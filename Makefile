@@ -1,0 +1,27 @@
+# Convenience targets for the repro project.
+
+.PHONY: install test bench tables examples clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+tables:
+	python -m repro.bench all
+
+examples:
+	python examples/quickstart.py
+	python examples/triangle_number.py
+	python examples/splitting_tour.py
+	python examples/richards_demo.py
+	python examples/guest_library.py
+	python examples/calculator.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info

@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+The full measurement matrix (every benchmark × every system) is
+expensive; it is computed lazily and memoized in
+:data:`repro.bench.harness.GLOBAL_SESSION`, so the table benchmarks
+share one pass.
+
+Set ``REPRO_BENCH_SKIP_PUZZLE=1`` to leave out the puzzle benchmark
+(the largest single workload, ~15 s across the five systems).
+"""
+
+import os
+
+import pytest
+
+
+def include_puzzle() -> bool:
+    return os.environ.get("REPRO_BENCH_SKIP_PUZZLE", "") != "1"
+
+
+@pytest.fixture(scope="session")
+def session():
+    from repro.bench.harness import GLOBAL_SESSION
+
+    return GLOBAL_SESSION
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark's timer.
+
+    Table builders are deterministic and memoized; multiple rounds would
+    only measure the cache.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

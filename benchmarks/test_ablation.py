@@ -1,0 +1,74 @@
+"""ABL — the paper's implicit ablation, made explicit.
+
+New SELF with individual techniques disabled, measured on four
+representative benchmarks.  Asserts each technique actually pays:
+disabling it must not make anything meaningfully faster, and the
+techniques the paper credits most must show real slowdowns where they
+apply.
+"""
+
+from conftest import run_once
+
+from repro.bench.base import get_benchmark
+from repro.bench.harness import GLOBAL_SESSION
+from repro.compiler.config import NEW_SELF
+from repro.vm.runtime import Runtime
+from repro.world.bootstrap import World
+
+BENCHES = ["sumTo", "sieve", "queens", "richards"]
+
+
+def _cycles(config, bench_name):
+    benchmark = get_benchmark(bench_name)
+    world = World()
+    world.add_slots(benchmark.setup_source)
+    runtime = Runtime(world, config)
+    answer = runtime.run(benchmark.run_source)
+    assert benchmark.expected is None or answer == benchmark.expected
+    return runtime.cycles
+
+
+def _matrix():
+    from repro.bench.tables import ABLATIONS
+
+    rows = {}
+    for label, changes in ABLATIONS.items():
+        config = NEW_SELF.but(**changes) if changes else NEW_SELF
+        rows[label] = {name: _cycles(config, name) for name in BENCHES}
+    return rows
+
+
+def test_ablation(benchmark, session):
+    rows = run_once(benchmark, _matrix)
+    from repro.bench.tables import ablation_table
+
+    print("\n" + ablation_table(BENCHES))
+
+    full = rows["full new SELF"]
+    # No ablation speeds things up by more than noise-free 2%.
+    for label, cells in rows.items():
+        for name in BENCHES:
+            assert cells[name] >= full[name] * 0.98, (label, name)
+
+    # Iterative loop analysis is the headline: loop benchmarks slow
+    # down measurably without it.
+    no_iter = rows["- iterative loop analysis"]
+    assert no_iter["sumTo"] > 1.1 * full["sumTo"]
+    assert no_iter["sieve"] > 1.1 * full["sieve"]
+
+    # Range analysis pays on array/arithmetic code.
+    no_range = rows["- range analysis"]
+    assert no_range["sieve"] > 1.02 * full["sieve"]
+
+    # Customization pays on send-heavy code.
+    no_customize = rows["- customization"]
+    assert no_customize["queens"] > 1.02 * full["queens"]
+
+    # Type prediction is load-bearing wherever receivers are *unknown*
+    # (slot loads, arguments): richards and queens collapse without it.
+    # On sumTo it changes nothing — full type analysis already knows the
+    # loop variables' types, which is itself a finding worth asserting.
+    no_predict = rows["- type prediction"]
+    assert no_predict["richards"] > 1.5 * full["richards"]
+    assert no_predict["queens"] > 2.0 * full["queens"]
+    assert no_predict["sumTo"] <= 1.05 * full["sumTo"]

@@ -1,0 +1,41 @@
+"""Appendix A — per-benchmark speed as a percentage of optimized C."""
+
+from conftest import include_puzzle, run_once
+
+from repro.bench.base import benchmarks_in_group
+from repro.bench.tables import appendix_a_speed
+
+
+def test_appendix_a_speed(benchmark, session):
+    table = run_once(
+        benchmark, appendix_a_speed, session, include_puzzle=include_puzzle()
+    )
+    print("\n" + table)
+
+    # Per-benchmark shape: ordering holds for every single program.
+    for group in ("stanford", "stanford-oo", "small", "richards"):
+        for b in benchmarks_in_group(group):
+            if b.name == "puzzle" and not include_puzzle():
+                continue
+            st80 = session.percent_of_c(b.name, "st80")
+            old = session.percent_of_c(b.name, "oldself90")
+            new = session.percent_of_c(b.name, "newself")
+            assert st80 <= old <= new, (b.name, st80, old, new)
+            assert new < 100, b.name
+
+    # The paper's standouts:
+    # tree is the benchmark where all systems come closest to C
+    # (allocation-dominated; 1990 malloc was expensive).
+    tree_st80 = session.percent_of_c("tree", "st80")
+    sumto_st80 = session.percent_of_c("sumTo", "st80")
+    assert tree_st80 > sumto_st80
+    # richards improves least from old to new SELF (the polymorphic
+    # task-dispatch site, §6.1): its speedup ratio is below the
+    # arithmetic benchmarks'.
+    richards_ratio = session.percent_of_c("richards", "newself") / session.percent_of_c(
+        "richards", "oldself90"
+    )
+    sieve_ratio = session.percent_of_c("sieve", "newself") / session.percent_of_c(
+        "sieve", "oldself90"
+    )
+    assert richards_ratio < sieve_ratio

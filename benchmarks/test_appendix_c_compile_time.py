@@ -1,0 +1,33 @@
+"""Appendix C — per-benchmark compile time (host seconds of our compiler)."""
+
+from conftest import include_puzzle, run_once
+
+from repro.bench.base import benchmarks_in_group
+from repro.bench.tables import appendix_c_compile_time
+
+
+def test_appendix_c_compile_time(benchmark, session):
+    table = run_once(
+        benchmark, appendix_c_compile_time, session, include_puzzle=include_puzzle()
+    )
+    print("\n" + table)
+
+    # Shape: the new compiler pays for iterative analysis.  Wall-clock
+    # compile times for individual small methods are noisy, so require
+    # the aggregate and a majority of rows.
+    slower = 0
+    total = 0
+    sum_new = sum_old = 0.0
+    for group in ("stanford", "small", "richards"):
+        for b in benchmarks_in_group(group):
+            if b.name == "puzzle" and not include_puzzle():
+                continue
+            new = session.result(b.name, "newself").compile_seconds
+            old = session.result(b.name, "oldself90").compile_seconds
+            sum_new += new
+            sum_old += old
+            total += 1
+            if new > old:
+                slower += 1
+    assert sum_new > 1.3 * sum_old, (sum_new, sum_old)
+    assert slower >= 0.6 * total, f"new SELF slower to compile on {slower}/{total}"

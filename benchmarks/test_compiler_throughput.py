@@ -1,0 +1,50 @@
+"""Real wall-clock micro-benchmarks of the compiler and the VM.
+
+Unlike the table benchmarks (which report modeled cycles), these time
+the actual host implementation with pytest-benchmark so regressions in
+the compiler or the interpreter loop show up.
+"""
+
+import pytest
+
+from repro.compiler import NEW_SELF, OLD_SELF_90, STATIC_C, compile_code
+from repro.lang import parse_doit
+from repro.vm import Runtime
+from repro.world import World
+
+TRIANGLE = """| sum <- 0. i <- 1. n <- 1000 |
+[ i < n ] whileTrue: [ sum: sum + i. i: i + 1 ].
+sum"""
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World()
+
+
+@pytest.mark.parametrize("config", [NEW_SELF, OLD_SELF_90, STATIC_C], ids=lambda c: c.name)
+def test_compile_triangle_number(benchmark, world, config):
+    doit = parse_doit(TRIANGLE)
+    lobby_map = world.universe.map_of(world.lobby)
+
+    def compile_once():
+        return compile_code(world.universe, config, doit, lobby_map, "<doit>")
+
+    graph = benchmark(compile_once)
+    assert graph.stats.total > 0
+
+
+def test_vm_throughput_sum_loop(benchmark, world):
+    runtime = Runtime(world, NEW_SELF)
+
+    def run():
+        runtime.reset_measurements()
+        return runtime.run(TRIANGLE)
+
+    result = benchmark(run)
+    assert result == 499500
+
+
+def test_world_bootstrap(benchmark):
+    world = benchmark(World)
+    assert world.get_global("traits") is not None

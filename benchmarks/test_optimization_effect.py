@@ -1,0 +1,62 @@
+"""OPT — compiler-effect counters (evidence for the mechanism claims).
+
+Not one of the paper's numbered tables, but the quantities its prose is
+about: how many sends each system inlines, how many run-time checks it
+emits versus deletes.  Asserts the qualitative story on representative
+benchmarks.
+"""
+
+from conftest import run_once
+
+from repro.bench.tables import optimization_effect_table
+
+BENCHES = ["sumTo", "sieve", "queens", "richards"]
+
+
+def test_optimization_effect(benchmark, session):
+    table = run_once(
+        benchmark, optimization_effect_table, session, benchmark_names=BENCHES
+    )
+    print("\n" + table)
+
+    for name in BENCHES:
+        st80 = session.result(name, "st80").compile_stats
+        old = session.result(name, "oldself90").compile_stats
+        new = session.result(name, "newself").compile_stats
+
+        # Inlining power strictly increases across the generations.
+        assert st80.get("inlined_sends", 0) <= old.get("inlined_sends", 0), name
+        assert old.get("inlined_sends", 0) <= new.get("inlined_sends", 0), name
+
+        # Site counts are not comparable across compilers that
+        # duplicate code (splitting copies uncommon send sites), so
+        # compare the *fraction* of sends resolved at compile time.
+        def inlined_fraction(stats):
+            inlined = stats.get("inlined_sends", 0)
+            dynamic = stats.get("dynamic_sends", 0)
+            return inlined / max(1, inlined + dynamic)
+
+        assert inlined_fraction(new) >= inlined_fraction(old) >= inlined_fraction(
+            st80
+        ), name
+
+        # Type analysis deletes checks the old compiler must emit (the
+        # emitted-test *site* count is again duplication-skewed, so the
+        # elided/emitted ratio carries the claim).
+        assert new.get("type_tests_elided", 0) > old.get("type_tests_elided", 0), name
+
+        def elided_ratio(stats):
+            elided = stats.get("type_tests_elided", 0)
+            emitted = stats.get("type_tests", 0)
+            return elided / max(1, elided + emitted)
+
+        assert elided_ratio(new) > elided_ratio(old) >= elided_ratio(st80), name
+
+        # Range analysis is exclusive to the new compiler.
+        assert old.get("overflow_checks_elided", 0) == 0, name
+        assert st80.get("overflow_checks_elided", 0) == 0, name
+
+    # Bounds-check elimination shows where there are arrays of known size.
+    assert session.result("sieve", "newself").compile_stats.get(
+        "bounds_checks_elided", 0
+    ) > 0

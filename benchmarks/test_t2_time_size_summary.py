@@ -1,0 +1,36 @@
+"""T2 — §6 "Compile Time and Code Size" summary table.
+
+Asserts the paper's shape: the new compiler is much slower to compile
+than the old one (the paper reports one to two orders of magnitude), and
+the static code is several times smaller than either SELF system's.
+"""
+
+import statistics
+
+from conftest import include_puzzle, run_once
+
+from repro.bench.tables import _group_benchmarks, t2_time_size_summary
+
+
+def test_t2_time_size_summary(benchmark, session):
+    table = run_once(
+        benchmark, t2_time_size_summary, session, include_puzzle=include_puzzle()
+    )
+    print("\n" + table)
+
+    names = [n for n in _group_benchmarks("stanford") if n != "puzzle"]
+    new_time = sum(session.result(n, "newself").compile_seconds for n in names)
+    old_time = sum(session.result(n, "oldself90").compile_seconds for n in names)
+    assert new_time > 1.3 * old_time, (
+        "iterative analysis + splitting must cost real compile time "
+        f"(new {new_time:.3f}s vs old {old_time:.3f}s total)"
+    )
+
+    new_size = statistics.median(session.result(n, "newself").code_kb for n in names)
+    old_size = statistics.median(session.result(n, "oldself90").code_kb for n in names)
+    c_size = statistics.median(session.result(n, "static").code_kb for n in names)
+    assert c_size < new_size, "dynamic typing costs code space"
+    assert c_size < old_size
+    # Paper: the old compiler uses even more space than the new one
+    # overall (its sends and failure code dominate).
+    assert new_size < old_size

@@ -1,0 +1,60 @@
+"""Run any benchmark under any system and inspect the measurements.
+
+Run:  python examples/benchmark_explorer.py richards newself [--pic]
+      python examples/benchmark_explorer.py sumTo all
+      python examples/benchmark_explorer.py --list
+"""
+
+import sys
+
+from repro.bench.base import SYSTEMS, all_benchmarks, get_benchmark
+from repro.compiler.annotations import StaticAnnotations
+from repro.vm import Runtime
+from repro.world import World
+
+
+def run_one(name: str, system: str, pic: bool) -> None:
+    benchmark = get_benchmark(name)
+    config = SYSTEMS[system]
+    world = World()
+    world.add_slots(benchmark.setup_source)
+    annotations = None
+    if benchmark.annotate is not None and config.static_types:
+        annotations = StaticAnnotations()
+        benchmark.annotate(world, annotations)
+    runtime = Runtime(
+        world, config, annotations=annotations, use_polymorphic_caches=pic
+    )
+    answer = runtime.run(benchmark.run_source)
+    ok = benchmark.expected is None or answer == benchmark.expected
+    print(
+        f"{config.name:14} answer={world.universe.print_string(answer):>10} "
+        f"({'ok' if ok else 'WRONG'})  cycles={runtime.cycles:>10}  "
+        f"insns={runtime.instructions:>10}  code={runtime.code_bytes/1024:6.1f}KB  "
+        f"compile={runtime.compile_seconds*1000:7.1f}ms  "
+        f"IC h/m/r={runtime.send_hits}/{runtime.send_misses}/"
+        f"{runtime.send_megamorphic + runtime.send_pic_hits}"
+    )
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    pic = "--pic" in sys.argv
+    if "--list" in sys.argv or not args:
+        for name, benchmark in sorted(all_benchmarks().items()):
+            print(f"{name:12} [{benchmark.group}] {benchmark.scale}")
+        print(f"\nsystems: {', '.join(SYSTEMS)} (or 'all')")
+        return
+    name = args[0]
+    system = args[1] if len(args) > 1 else "newself"
+    benchmark = get_benchmark(name)
+    print(f"{name} ({benchmark.scale})\n")
+    if system == "all":
+        for key in SYSTEMS:
+            run_one(name, key, pic)
+    else:
+        run_one(name, system, pic)
+
+
+if __name__ == "__main__":
+    main()

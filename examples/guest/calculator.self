@@ -1,0 +1,74 @@
+"An arithmetic-expression interpreter written in the guest language.
+
+ Expression trees are built from four polymorphic node prototypes —
+ numbers, variables, binary operations, and let-bindings — each
+ answering evalIn: env.  The `evalIn:` send site is polymorphic, which
+ makes this a miniature richards: watch the inline-cache relink counts.
+
+ Environments are association vectors: (| names. values. count |)."
+|
+  calcEnv = (| parent* = traits clonable.
+    names. values. count <- 0.
+
+    initCapacity: n = (
+      names: (vector copySize: n).
+      values: (vector copySize: n).
+      count: 0.
+      self ).
+
+    bind: aName To: v = (
+      names at: count Put: aName.
+      values at: count Put: v.
+      count: count + 1.
+      self ).
+
+    unbindLast = ( count: count - 1. self ).
+
+    lookupName: aName = ( | i |
+      i: count - 1.
+      [ i >= 0 ] whileTrue: [
+        (names at: i) = aName ifTrue: [ ^ values at: i ].
+        i: i - 1 ].
+      _Error: 'unbound variable' ).
+  |).
+
+  calcNum = (| parent* = traits clonable.
+    numValue <- 0.
+    evalIn: env = ( numValue ).
+  |).
+
+  calcVar = (| parent* = traits clonable.
+    varName.
+    evalIn: env = ( env lookupName: varName ).
+  |).
+
+  calcBin = (| parent* = traits clonable.
+    op. left. right.
+    evalIn: env = ( | a. b |
+      a: (left evalIn: env).
+      b: (right evalIn: env).
+      op = 'add' ifTrue: [ ^ a + b ].
+      op = 'sub' ifTrue: [ ^ a - b ].
+      op = 'mul' ifTrue: [ ^ a * b ].
+      op = 'div' ifTrue: [ ^ a / b ].
+      _Error: 'unknown operator' ).
+  |).
+
+  calcLet = (| parent* = traits clonable.
+    letName. binding. body.
+    evalIn: env = ( | result |
+      env bind: letName To: (binding evalIn: env).
+      result: (body evalIn: env).
+      env unbindLast.
+      result ).
+  |).
+
+  "convenience constructors on the lobby"
+  num: v = ( (calcNum clone) numValue: v ).
+  var: aName = ( (calcVar clone) varName: aName ).
+  bin: anOp L: l R: r = ( (((calcBin clone) op: anOp) left: l) right: r ).
+  let: aName Be: b In: body = (
+    (((calcLet clone) letName: aName) binding: b) body: body ).
+
+  evalExpr: tree = ( tree evalIn: (calcEnv clone initCapacity: 16) ).
+|

@@ -1,0 +1,78 @@
+"A singly-linked list library, written entirely in the guest language.
+
+ Load with:  world.add_slots_from('examples/guest/linkedlist.self')
+
+ Demonstrates prototype-based programming: a node prototype, a list
+ prototype holding head/size, and a block-based iteration protocol that
+ the optimizing compiler inlines like any user-defined control
+ structure."
+|
+  listNode = (| parent* = traits clonable.
+    item. next.
+  |).
+
+  linkedList = (| parent* = traits clonable.
+    head. size <- 0.
+
+    initialize = ( head: nil. size: 0. self ).
+
+    addFirst: x = ( | n |
+      n: listNode clone.
+      n item: x.
+      n next: head.
+      head: n.
+      size: size + 1.
+      self ).
+
+    addLast: x = ( | n. cursor |
+      n: listNode clone.
+      n item: x.
+      n next: nil.
+      head isNil
+        ifTrue: [ head: n ]
+        False: [
+          cursor: head.
+          [ cursor next isNil not ] whileTrue: [ cursor: cursor next ].
+          cursor next: n ].
+      size: size + 1.
+      self ).
+
+    removeFirst = ( | n |
+      head isNil ifTrue: [ _Error: 'removeFirst on empty list' ].
+      n: head.
+      head: n next.
+      size: size - 1.
+      n item ).
+
+    isEmpty = ( size = 0 ).
+
+    do: blk = ( | cursor |
+      cursor: head.
+      [ cursor isNil not ] whileTrue: [
+        blk value: cursor item.
+        cursor: cursor next ].
+      self ).
+
+    injectList: start Into: blk = ( | acc |
+      acc: start.
+      do: [ | :e | acc: (blk value: acc With: e) ].
+      acc ).
+
+    detectList: blk IfNone: noneBlk = (
+      do: [ | :e | (blk value: e) ifTrue: [ ^ e ] ].
+      noneBlk value ).
+
+    includesItem: x = ( detectList: [ | :e | e = x ] IfNone: [ ^ false ]. true ).
+
+    asVector = ( | out. i |
+      out: (vector copySize: size).
+      i: 0.
+      do: [ | :e | out at: i Put: e. i: i + 1 ].
+      out ).
+
+    reverseList = ( | out |
+      out: linkedList clone initialize.
+      do: [ | :e | out addFirst: e ].
+      out ).
+  |).
+|

@@ -1,0 +1,38 @@
+"""Loading and running a guest-language library from a .self file.
+
+Run:  python examples/guest_library.py
+"""
+
+from pathlib import Path
+
+from repro.compiler import NEW_SELF, OLD_SELF_90, ST80
+from repro.vm import Runtime
+from repro.world import World
+
+GUEST = Path(__file__).resolve().parent / "guest" / "linkedlist.self"
+
+PROGRAM = """| l. total |
+  l: linkedList clone initialize.
+  1 to: 20 Do: [ | :i | l addLast: i * i ].
+  l addFirst: 1000.
+  total: (l injectList: 0 Into: [ | :a :e | a + e ]).
+  (l includesItem: 100)
+    ifTrue: [ total: total + 1 ]
+    False: [ total: total - 1 ].
+  (l reverseList removeFirst) + total"""
+
+
+def main() -> None:
+    world = World()
+    world.add_slots_from(GUEST)
+    expected = world.eval(PROGRAM)
+    print("interpreter:", expected)
+    for config in (NEW_SELF, OLD_SELF_90, ST80):
+        runtime = Runtime(world, config)
+        got = runtime.run(PROGRAM)
+        assert got == expected, (config.name, got, expected)
+        print(f"{config.name:14} {got}  ({runtime.cycles} cycles)")
+
+
+if __name__ == "__main__":
+    main()

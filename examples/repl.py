@@ -1,0 +1,78 @@
+"""An interactive read-eval-print loop for the guest language.
+
+Run:  python examples/repl.py [--system newself|oldself90|st80|static|interp]
+
+Commands:
+    :quit                 leave
+    :slots | ... |        add slots to the lobby (prototypes, methods)
+    :cfg <expression>     show the compiled control-flow graph
+    :report <selector>    side-by-side compilation report for a method
+    :stats                show runtime counters
+Anything else is evaluated as a do-it (locals allowed: ``| x | ...``).
+"""
+
+import sys
+
+from repro.bench.base import SYSTEMS
+from repro.compiler import compile_code
+from repro.ir import format_graph
+from repro.lang import parse_doit
+from repro.objects import SelfError
+from repro.vm import Runtime
+from repro.world import World
+
+
+def main() -> None:
+    system = "newself"
+    if "--system" in sys.argv:
+        system = sys.argv[sys.argv.index("--system") + 1]
+    world = World()
+    runtime = None if system == "interp" else Runtime(world, SYSTEMS[system])
+    label = "interpreter" if runtime is None else SYSTEMS[system].name
+    print(f"repro REPL ({label}) — :quit to exit")
+
+    while True:
+        try:
+            line = input("self> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return
+        if not line.strip():
+            continue
+        if line.strip() == ":quit":
+            return
+        try:
+            if line.startswith(":slots"):
+                world.add_slots(line[len(":slots"):])
+                print("ok")
+            elif line.startswith(":cfg"):
+                doit = parse_doit(line[len(":cfg"):])
+                config = SYSTEMS["newself" if system == "interp" else system]
+                graph = compile_code(
+                    world.universe, config, doit,
+                    world.universe.map_of(world.lobby), "<doit>",
+                )
+                print(format_graph(graph.start))
+            elif line.startswith(":report"):
+                from repro.tools import method_report
+
+                print(method_report(world, line[len(":report"):].strip()))
+            elif line.strip() == ":stats" and runtime is not None:
+                print(
+                    f"cycles={runtime.cycles} instructions={runtime.instructions} "
+                    f"code bytes={runtime.code_bytes} "
+                    f"IC h/m/r={runtime.send_hits}/{runtime.send_misses}/"
+                    f"{runtime.send_megamorphic}"
+                )
+            else:
+                value = world.eval(line) if runtime is None else runtime.run(line)
+                print(world.universe.print_string(value))
+                output = world.universe.take_output()
+                if output:
+                    print(output, end="")
+        except SelfError as error:
+            print(f"error: {error}")
+
+
+if __name__ == "__main__":
+    main()

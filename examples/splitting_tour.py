@@ -1,0 +1,58 @@
+"""A tour of extended message splitting (§4).
+
+Compiles the paper's before/after scenario — a conditional that binds a
+variable to either an integer or a float, followed by later code that
+uses it — under three configurations, and prints the control-flow graphs
+so the splitting is visible: with the technique on, everything after the
+merge is duplicated per type and both copies inline their arithmetic.
+
+Run:  python examples/splitting_tour.py
+"""
+
+from collections import Counter
+
+from repro.compiler import NEW_SELF, OLD_SELF_90, ST80, compile_code
+from repro.ir import format_graph, iter_nodes
+from repro.world import World
+from repro.world.lookup import lookup_slot
+
+SOURCE = """|
+  demo: flag = ( | x. message |
+    flag ifTrue: [ x: 1 ] False: [ x: 2.5 ].
+    message: 'between merge and use'.
+    x + x ).
+|"""
+
+
+def main() -> None:
+    world = World()
+    world.add_slots(SOURCE)
+    method = lookup_slot(world.universe, world.lobby, "demo:")[1].value
+    lobby_map = world.universe.map_of(world.lobby)
+
+    for config in (ST80, OLD_SELF_90, NEW_SELF):
+        graph = compile_code(world.universe, config, method.code, lobby_map, "demo:")
+        counts = Counter(type(n).__name__ for n in iter_nodes(graph.start))
+        tests = [
+            n for n in iter_nodes(graph.start)
+            if type(n).__name__ == "TypeTestNode" and n.map.kind in ("smallInt", "float")
+        ]
+        print(f"== {config.name} ==")
+        print(
+            f"  {counts['MergeNode']} merges, {len(tests)} run-time type "
+            f"tests on x, {counts['SendNode']} dynamic sends, "
+            f"{graph.stats.total} nodes total"
+        )
+    print()
+    graph = compile_code(world.universe, NEW_SELF, method.code, lobby_map, "demo:")
+    print(format_graph(graph.start, "demo: with extended splitting"))
+    print(
+        "\nNotice: the statement between the conditional and `x + x` "
+        "appears twice — once per type of x — and each copy does its "
+        "arithmetic with no test, exactly the paper's 'After Extended "
+        "Splitting' figure."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — a reproduction of Chambers & Ungar, PLDI 1990.
+
+*Iterative Type Analysis and Extended Message Splitting: Optimizing
+Dynamically-Typed Object-Oriented Programs* — the second-generation
+SELF compiler, rebuilt as a complete Python system: language, reference
+interpreter, optimizing compiler, costed bytecode VM, and the paper's
+benchmark suites.
+
+Public surface (see README.md for a tour):
+
+>>> from repro import World, Runtime, NEW_SELF
+>>> world = World()
+>>> runtime = Runtime(world, NEW_SELF)
+>>> runtime.run("3 + 4")
+7
+"""
+
+from .compiler import (
+    NEW_SELF,
+    OLD_SELF,
+    OLD_SELF_89,
+    OLD_SELF_90,
+    ST80,
+    STATIC_C,
+    CompilerConfig,
+    compile_code,
+    preset,
+)
+from .compiler.annotations import StaticAnnotations
+from .vm import Runtime
+from .world import World
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompilerConfig",
+    "NEW_SELF",
+    "OLD_SELF",
+    "OLD_SELF_89",
+    "OLD_SELF_90",
+    "Runtime",
+    "ST80",
+    "STATIC_C",
+    "StaticAnnotations",
+    "World",
+    "compile_code",
+    "preset",
+    "__version__",
+]

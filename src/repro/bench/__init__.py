@@ -1,0 +1,26 @@
+"""The benchmark suites and measurement harness (the paper's evaluation)."""
+
+from .base import (
+    GROUPS,
+    SYSTEM_LABELS,
+    SYSTEMS,
+    Benchmark,
+    all_benchmarks,
+    benchmarks_in_group,
+    get_benchmark,
+)
+from .harness import GLOBAL_SESSION, RunResult, Session, run_benchmark
+
+__all__ = [
+    "Benchmark",
+    "GLOBAL_SESSION",
+    "GROUPS",
+    "RunResult",
+    "SYSTEMS",
+    "SYSTEM_LABELS",
+    "Session",
+    "all_benchmarks",
+    "benchmarks_in_group",
+    "get_benchmark",
+    "run_benchmark",
+]

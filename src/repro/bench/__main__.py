@@ -1,0 +1,119 @@
+"""Command-line entry for regenerating the paper's tables.
+
+Usage::
+
+    python -m repro.bench t1          # §6 speed summary
+    python -m repro.bench t2          # §6 compile time & code size
+    python -m repro.bench a           # Appendix A (per-benchmark speed)
+    python -m repro.bench b           # Appendix B (code size)
+    python -m repro.bench c           # Appendix C (compile time)
+    python -m repro.bench ablation    # feature-ablation table
+    python -m repro.bench opt         # compiler-effect counters
+    python -m repro.bench all         # everything
+    python -m repro.bench raw         # the raw measurement matrix
+    python -m repro.bench raw --json results.json   # machine-readable
+
+Add ``--no-puzzle`` to skip the (large) puzzle benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .base import SYSTEMS, all_benchmarks
+from .harness import GLOBAL_SESSION
+from . import tables
+
+
+def _raw_matrix(include_puzzle: bool) -> str:
+    lines = [
+        f"{'benchmark':12}{'system':>12}{'cycles':>14}{'KB':>8}"
+        f"{'compile s':>11}{'insns':>12}{'%C':>7}"
+    ]
+    for name in sorted(all_benchmarks()):
+        if name == "puzzle" and not include_puzzle:
+            continue
+        for system in SYSTEMS:
+            r = GLOBAL_SESSION.result(name, system)
+            pct = GLOBAL_SESSION.percent_of_c(name, system)
+            lines.append(
+                f"{name:12}{system:>12}{r.cycles:>14}{r.code_kb:>8.1f}"
+                f"{r.compile_seconds:>11.3f}{r.instructions:>12}{pct:>6.0f}%"
+            )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.bench")
+    parser.add_argument(
+        "table",
+        choices=["t1", "t2", "a", "b", "c", "ablation", "opt", "raw", "all"],
+        help="which of the paper's tables to regenerate",
+    )
+    parser.add_argument(
+        "--no-puzzle",
+        action="store_true",
+        help="skip the puzzle benchmark (it is by far the largest)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="with 'raw': also write the matrix as JSON to PATH",
+    )
+    args = parser.parse_args(argv)
+    include_puzzle = not args.no_puzzle
+
+    out = []
+    if args.table in ("t1", "all"):
+        out.append(tables.t1_speed_summary(include_puzzle=include_puzzle))
+    if args.table in ("t2", "all"):
+        out.append(tables.t2_time_size_summary(include_puzzle=include_puzzle))
+    if args.table in ("a", "all"):
+        out.append(tables.appendix_a_speed(include_puzzle=include_puzzle))
+    if args.table in ("b", "all"):
+        out.append(tables.appendix_b_size(include_puzzle=include_puzzle))
+    if args.table in ("c", "all"):
+        out.append(tables.appendix_c_compile_time(include_puzzle=include_puzzle))
+    if args.table in ("ablation", "all"):
+        out.append(tables.ablation_table())
+    if args.table in ("opt", "all"):
+        out.append(tables.optimization_effect_table())
+    if args.table == "raw":
+        out.append(_raw_matrix(include_puzzle))
+        if args.json:
+            _write_json(args.json, include_puzzle)
+            out.append(f"(wrote {args.json})")
+    print("\n\n".join(out))
+    return 0
+
+
+def _write_json(path: str, include_puzzle: bool) -> None:
+    records = []
+    for name in sorted(all_benchmarks()):
+        if name == "puzzle" and not include_puzzle:
+            continue
+        for system in SYSTEMS:
+            r = GLOBAL_SESSION.result(name, system)
+            records.append(
+                {
+                    "benchmark": r.benchmark,
+                    "system": r.system,
+                    "cycles": r.cycles,
+                    "instructions": r.instructions,
+                    "code_bytes": r.code_bytes,
+                    "compile_seconds": r.compile_seconds,
+                    "percent_of_c": GLOBAL_SESSION.percent_of_c(name, system),
+                    "send_hits": r.send_hits,
+                    "send_misses": r.send_misses,
+                    "send_relinks": r.send_megamorphic,
+                    "compile_stats": r.compile_stats,
+                }
+            )
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(records, handle, indent=2)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Benchmark descriptors and the system registry.
+
+Every benchmark is a guest-language program plus the metadata the
+harness needs: which group it belongs to (the paper's four), what the
+correct answer is, which benchmark serves as its "optimized C" baseline
+(the paper computes ``perm-oo`` percentages against plain C ``perm``),
+and the static type annotations the C configuration is allowed to use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..compiler.annotations import StaticAnnotations
+from ..compiler.config import (
+    NEW_SELF,
+    OLD_SELF_89,
+    OLD_SELF_90,
+    ST80,
+    STATIC_C,
+    CompilerConfig,
+)
+
+#: The five measured systems, in the paper's presentation order.
+SYSTEMS: dict[str, CompilerConfig] = {
+    "st80": ST80,
+    "oldself89": OLD_SELF_89,
+    "oldself90": OLD_SELF_90,
+    "newself": NEW_SELF,
+    "static": STATIC_C,
+}
+
+#: Pretty labels matching the paper's tables.
+SYSTEM_LABELS = {
+    "st80": "ST-80",
+    "oldself89": "old SELF-89",
+    "oldself90": "old SELF-90",
+    "newself": "new SELF",
+    "static": "optimized C",
+}
+
+GROUPS = ("stanford", "stanford-oo", "small", "richards")
+
+
+class Benchmark:
+    """One benchmark program.
+
+    Attributes:
+        name: e.g. ``'perm'`` or ``'perm-oo'``.
+        group: one of :data:`GROUPS`.
+        setup_source: slot declarations added to the lobby before the
+            run (prototypes, methods) — definition time, unmeasured.
+        run_source: the measured "do-it".
+        expected: the value the run must produce (host-comparable: int,
+            str, float) — every system's result is verified against it.
+        c_baseline: benchmark whose *static* run provides the 100%
+            baseline (the plain version, for ``-oo`` rewrites).
+        annotate: optional callback ``(world, annotations) -> None``
+            declaring argument/slot types for the static configuration.
+        scale: informal problem-size note for documentation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        group: str,
+        setup_source: str,
+        run_source: str,
+        expected,
+        c_baseline: Optional[str] = None,
+        annotate: Optional[Callable] = None,
+        scale: str = "",
+    ) -> None:
+        if group not in GROUPS:
+            raise ValueError(f"bad group {group!r}")
+        self.name = name
+        self.group = group
+        self.setup_source = setup_source
+        self.run_source = run_source
+        self.expected = expected
+        self.c_baseline = c_baseline or name
+        self.annotate = annotate
+        self.scale = scale
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Benchmark {self.name} ({self.group})>"
+
+
+_REGISTRY: dict[str, Benchmark] = {}
+
+
+def register(benchmark: Benchmark) -> Benchmark:
+    if benchmark.name in _REGISTRY:
+        raise ValueError(f"duplicate benchmark {benchmark.name!r}")
+    _REGISTRY[benchmark.name] = benchmark
+    return benchmark
+
+
+def all_benchmarks() -> dict[str, Benchmark]:
+    from . import programs  # noqa: F401  (registration side effect)
+
+    return dict(_REGISTRY)
+
+
+def benchmarks_in_group(group: str) -> list[Benchmark]:
+    return [b for b in all_benchmarks().values() if b.group == group]
+
+
+def get_benchmark(name: str) -> Benchmark:
+    benchmarks = all_benchmarks()
+    try:
+        return benchmarks[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(benchmarks)}"
+        ) from None

@@ -1,0 +1,122 @@
+"""The measurement harness.
+
+Runs each benchmark under each system configuration in a fresh world,
+collects the three quantities the paper reports — execution cycles
+(speed), compiled code bytes (space), and compile seconds (time) — and
+verifies every run's answer.
+
+Results are cached per process (a full matrix run is expensive), so the
+table builders and the pytest benchmarks share one measurement pass.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..objects.errors import SelfError
+from ..vm.runtime import Runtime
+from ..world.bootstrap import World
+from .base import SYSTEMS, Benchmark, all_benchmarks, get_benchmark
+
+
+@dataclass
+class RunResult:
+    """One (benchmark, system) measurement."""
+
+    benchmark: str
+    system: str
+    answer: object
+    cycles: int
+    code_bytes: int
+    compile_seconds: float
+    instructions: int
+    send_hits: int
+    send_misses: int
+    send_megamorphic: int
+    methods_compiled: int
+    wall_seconds: float
+    verified: bool
+    compile_stats: dict = field(default_factory=dict)
+
+    @property
+    def code_kb(self) -> float:
+        return self.code_bytes / 1024.0
+
+
+def run_benchmark(benchmark: Benchmark, system: str) -> RunResult:
+    """Execute one benchmark under one system in a fresh world."""
+    config = SYSTEMS[system]
+    world = World()
+    world.add_slots(benchmark.setup_source)
+    annotations = None
+    if benchmark.annotate is not None and config.static_types:
+        from ..compiler.annotations import StaticAnnotations
+
+        annotations = StaticAnnotations()
+        benchmark.annotate(world, annotations)
+    runtime = Runtime(world, config, annotations=annotations)
+    started = time.perf_counter()
+    answer = runtime.run(benchmark.run_source)
+    wall = time.perf_counter() - started
+    verified = benchmark.expected is None or answer == benchmark.expected
+    return RunResult(
+        benchmark=benchmark.name,
+        system=system,
+        answer=answer,
+        cycles=runtime.cycles,
+        code_bytes=runtime.code_bytes,
+        compile_seconds=runtime.compile_seconds,
+        instructions=runtime.instructions,
+        send_hits=runtime.send_hits,
+        send_misses=runtime.send_misses,
+        send_megamorphic=runtime.send_megamorphic,
+        methods_compiled=runtime.methods_compiled,
+        wall_seconds=wall,
+        verified=verified,
+        compile_stats=runtime.aggregate_compile_stats(),
+    )
+
+
+class Session:
+    """A lazy, memoizing matrix of benchmark results."""
+
+    def __init__(self) -> None:
+        self._results: dict[tuple[str, str], RunResult] = {}
+
+    def result(self, benchmark_name: str, system: str) -> RunResult:
+        key = (benchmark_name, system)
+        cached = self._results.get(key)
+        if cached is None:
+            cached = run_benchmark(get_benchmark(benchmark_name), system)
+            if not cached.verified:
+                raise AssertionError(
+                    f"{benchmark_name} under {system} produced a wrong answer: "
+                    f"{cached.answer!r} (expected {get_benchmark(benchmark_name).expected!r})"
+                )
+            self._results[key] = cached
+        return cached
+
+    def percent_of_c(self, benchmark_name: str, system: str) -> float:
+        """Speed as a percentage of the optimized-C baseline.
+
+        The baseline is the *static* run of the benchmark's ``c_baseline``
+        (the plain version, for the ``-oo`` rewrites), exactly how the
+        paper normalizes.
+        """
+        benchmark = get_benchmark(benchmark_name)
+        measured = self.result(benchmark_name, system)
+        baseline = self.result(benchmark.c_baseline, "static")
+        if measured.cycles == 0:
+            return 0.0
+        return 100.0 * baseline.cycles / measured.cycles
+
+    def all_results(self, systems: Optional[list[str]] = None) -> list[RunResult]:
+        names = sorted(all_benchmarks())
+        systems = systems or list(SYSTEMS)
+        return [self.result(name, system) for name in names for system in systems]
+
+
+#: the process-wide session shared by tables, tests, and benchmarks
+GLOBAL_SESSION = Session()

@@ -1,0 +1,26 @@
+"""The benchmark programs, written in the guest language.
+
+Importing this package registers every benchmark:
+
+* ``stanford`` — the eight Stanford integer benchmarks (perm, towers,
+  queens, intmm, puzzle, quick, bubble, tree),
+* ``stanford-oo`` — their object-oriented rewrites (messages redirected
+  to the manipulated data structures; puzzle is not rewritten, matching
+  the paper),
+* ``small`` — the micro-benchmarks (sieve, sumTo, sumFromTo,
+  sumToConst, atAllPut),
+* ``richards`` — the operating-system simulator.
+"""
+
+from . import (  # noqa: F401  (registration side effects)
+    bubble,
+    intmm,
+    perm,
+    puzzle,
+    queens,
+    quick,
+    richards,
+    small,
+    towers,
+    tree,
+)

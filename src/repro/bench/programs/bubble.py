@@ -1,0 +1,109 @@
+"""bubble — bubble sort over a pseudo-random vector."""
+
+from ..base import Benchmark, register
+from .common import RANDOM_SOURCE
+
+SIZE = 150  # Stanford uses 500
+
+BUBBLE_SETUP = RANDOM_SOURCE + f"""|
+  bubbleBench = (| parent* = traits clonable.
+    data.
+
+    initData = ( | rnd. i |
+      rnd: stanfordRandom clone initRandom.
+      data: (vector copySize: {SIZE}).
+      i: 0.
+      [ i < {SIZE} ] whileTrue: [ data at: i Put: rnd next. i: i + 1 ].
+      self ).
+
+    sort: a = ( | top. i. t |
+      top: a size - 1.
+      [ top > 0 ] whileTrue: [
+        i: 0.
+        [ i < top ] whileTrue: [
+          (a at: i) > (a at: i + 1) ifTrue: [
+            t: (a at: i).
+            a at: i Put: (a at: i + 1).
+            a at: i + 1 Put: t ].
+          i: i + 1 ].
+        top: top - 1 ].
+      self ).
+
+    checksum = ( | ok. i |
+      ok: true.
+      i: 1.
+      [ i < {SIZE} ] whileTrue: [
+        (data at: i - 1) > (data at: i) ifTrue: [ ok: false ].
+        i: i + 1 ].
+      ok ifTrue: [ (data at: 0) + (data at: {SIZE} - 1) ] False: [ -1 ] ).
+
+    run = ( initData. sort: data. checksum ).
+  |).
+|"""
+
+BUBBLE_OO_SETUP = RANDOM_SOURCE + f"""|
+  bubbleArrayProto = (| parent* = traits clonable.
+    items.
+
+    initSize: n With: rnd = ( | i |
+      items: (vector copySize: n).
+      i: 0.
+      [ i < n ] whileTrue: [ items at: i Put: rnd next. i: i + 1 ].
+      self ).
+
+    at: i = ( items at: i ).
+    size = ( items size ).
+
+    swapIfDisordered: i = ( | t |
+      (items at: i) > (items at: i + 1) ifTrue: [
+        t: (items at: i).
+        items at: i Put: (items at: i + 1).
+        items at: i + 1 Put: t ].
+      self ).
+
+    bubbleSort = ( | top. i |
+      top: size - 1.
+      [ top > 0 ] whileTrue: [
+        i: 0.
+        [ i < top ] whileTrue: [ swapIfDisordered: i. i: i + 1 ].
+        top: top - 1 ].
+      self ).
+
+    isSorted = ( | i |
+      i: 1.
+      [ i < size ] whileTrue: [
+        (at: i - 1) > (at: i) ifTrue: [ ^ false ].
+        i: i + 1 ].
+      true ).
+  |).
+
+  bubbleOoBench = (| parent* = traits clonable.
+    run = ( | a |
+      a: (bubbleArrayProto clone initSize: {SIZE} With: (stanfordRandom clone initRandom)).
+      a bubbleSort.
+      a isSorted ifTrue: [ (a at: 0) + (a at: a size - 1) ] False: [ -1 ] ).
+  |).
+|"""
+
+register(
+    Benchmark(
+        name="bubble",
+        group="stanford",
+        setup_source=BUBBLE_SETUP,
+        run_source="bubbleBench run",
+        expected=65801,
+        scale=f"{SIZE} elements (Stanford: 500)",
+    )
+)
+
+register(
+    Benchmark(
+        name="bubble-oo",
+        group="stanford-oo",
+        setup_source=BUBBLE_OO_SETUP,
+        run_source="bubbleOoBench run",
+        expected=65801,
+        c_baseline="bubble",
+        scale=f"{SIZE} elements (Stanford: 500)",
+    )
+)

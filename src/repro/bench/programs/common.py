@@ -1,0 +1,13 @@
+"""Shared guest-code fragments for the benchmark programs."""
+
+#: The Stanford suite's linear-congruential generator, kept inside the
+#: small-integer range (65535 * 1309 + 13849 < 2**27, so the multiply
+#: never overflows and range analysis can prove it).
+RANDOM_SOURCE = """|
+  stanfordRandom = (| parent* = traits clonable.
+    seed <- 74755.
+    initRandom = ( seed: 74755. self ).
+    next = ( seed: ((seed * 1309) + 13849) % 65536. seed ).
+    next: n = ( (next % n) ).
+  |).
+|"""

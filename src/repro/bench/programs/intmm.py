@@ -1,0 +1,141 @@
+"""intmm — integer matrix multiplication.
+
+Multiplies two pseudo-random m×m matrices (rows as vectors) and
+checksums the product.  The ``-oo`` rewrite makes matrices objects with
+``at:And:`` / ``at:And:Put:`` accessors and a ``times:`` method.
+"""
+
+from ..base import Benchmark, register
+from .common import RANDOM_SOURCE
+
+SIZE = 12  # Stanford uses 40
+
+INTMM_SETUP = RANDOM_SOURCE + f"""|
+  intmmBench = (| parent* = traits clonable.
+    rowsA. rowsB. rowsC.
+    rnd.
+
+    makeMatrix = ( | m. i. j. row |
+      m: (vector copySize: {SIZE}).
+      i: 0.
+      [ i < {SIZE} ] whileTrue: [
+        row: (vector copySize: {SIZE}).
+        j: 0.
+        [ j < {SIZE} ] whileTrue: [
+          row at: j Put: (rnd next % 120) - 60.
+          j: j + 1 ].
+        m at: i Put: row.
+        i: i + 1 ].
+      m ).
+
+    innerRow: ra Col: cbIndex Of: b = ( | sum. k. rowB |
+      sum: 0.
+      k: 0.
+      [ k < {SIZE} ] whileTrue: [
+        sum: sum + ((ra at: k) * ((b at: k) at: cbIndex)).
+        k: k + 1 ].
+      sum ).
+
+    run = ( | i. j. check |
+      rnd: stanfordRandom clone initRandom.
+      rowsA: makeMatrix.
+      rowsB: makeMatrix.
+      rowsC: (vector copySize: {SIZE}).
+      i: 0.
+      [ i < {SIZE} ] whileTrue: [ | rowC. rowA |
+        rowC: (vector copySize: {SIZE}).
+        rowA: (rowsA at: i).
+        j: 0.
+        [ j < {SIZE} ] whileTrue: [
+          rowC at: j Put: (innerRow: rowA Col: j Of: rowsB).
+          j: j + 1 ].
+        rowsC at: i Put: rowC.
+        i: i + 1 ].
+      check: 0.
+      i: 0.
+      [ i < {SIZE} ] whileTrue: [
+        check: check + (((rowsC at: i) at: i)).
+        i: i + 1 ].
+      check ).
+  |).
+|"""
+
+INTMM_OO_SETUP = RANDOM_SOURCE + f"""|
+  matrixProto = (| parent* = traits clonable.
+    rows.
+    size <- 0.
+
+    initSize: n = ( | i |
+      size: n.
+      rows: (vector copySize: n).
+      i: 0.
+      [ i < n ] whileTrue: [ rows at: i Put: (vector copySize: n). i: i + 1 ].
+      self ).
+
+    at: i And: j = ( ((rows at: i) at: j) ).
+    at: i And: j Put: v = ( (rows at: i) at: j Put: v. self ).
+
+    fillWith: rnd = ( | i. j |
+      i: 0.
+      [ i < size ] whileTrue: [
+        j: 0.
+        [ j < size ] whileTrue: [
+          at: i And: j Put: (rnd next % 120) - 60.
+          j: j + 1 ].
+        i: i + 1 ].
+      self ).
+
+    times: other = ( | result. i. j. k. sum |
+      result: (matrixProto clone initSize: size).
+      i: 0.
+      [ i < size ] whileTrue: [
+        j: 0.
+        [ j < size ] whileTrue: [
+          sum: 0.
+          k: 0.
+          [ k < size ] whileTrue: [
+            sum: sum + ((at: i And: k) * (other at: k And: j)).
+            k: k + 1 ].
+          result at: i And: j Put: sum.
+          j: j + 1 ].
+        i: i + 1 ].
+      result ).
+
+    trace = ( | t. i |
+      t: 0.
+      i: 0.
+      [ i < size ] whileTrue: [ t: t + (at: i And: i). i: i + 1 ].
+      t ).
+  |).
+
+  intmmOoBench = (| parent* = traits clonable.
+    run = ( | rnd. a. b |
+      rnd: stanfordRandom clone initRandom.
+      a: ((matrixProto clone initSize: {SIZE}) fillWith: rnd).
+      b: ((matrixProto clone initSize: {SIZE}) fillWith: rnd).
+      (a times: b) trace ).
+  |).
+|"""
+
+register(
+    Benchmark(
+        name="intmm",
+        group="stanford",
+        setup_source=INTMM_SETUP,
+        run_source="intmmBench run",
+        expected=-17876,  # deterministic PRNG; verified against the interpreter
+        scale=f"{SIZE}x{SIZE} (Stanford: 40x40)",
+    )
+)
+
+register(
+    Benchmark(
+        name="intmm-oo",
+        group="stanford-oo",
+        setup_source=INTMM_OO_SETUP,
+        run_source="intmmOoBench run",
+        expected=-17876,
+        c_baseline="intmm",
+        scale=f"{SIZE}x{SIZE} (Stanford: 40x40)",
+    )
+)

@@ -1,0 +1,120 @@
+"""perm — the Stanford permutation benchmark.
+
+Recursively generates all permutations of seven elements by swapping,
+counting the calls.  The plain version keeps the swap logic on the
+benchmark object; the ``-oo`` rewrite moves it onto the array being
+permuted (the paper's description of the rewrites: "redirect the target
+of messages from the benchmark object to the data structures").
+"""
+
+from ..base import Benchmark, register
+
+PERM_SETUP = """|
+  permBench = (| parent* = traits clonable.
+    pctr <- 0.
+    permArray.
+
+    initArray = ( | i |
+      permArray: (vector copySize: 8).
+      i: 0.
+      [ i <= 7 ] whileTrue: [ permArray at: i Put: i. i: i + 1 ].
+      self ).
+
+    swap: i With: j = ( | t |
+      t: (permArray at: i).
+      permArray at: i Put: (permArray at: j).
+      permArray at: j Put: t.
+      self ).
+
+    permute: n = (
+      pctr: pctr + 1.
+      n != 1 ifTrue: [ | k |
+        permute: n - 1.
+        k: n - 1.
+        [ k >= 1 ] whileTrue: [
+          swap: n With: k.
+          permute: n - 1.
+          swap: n With: k.
+          k: k - 1 ] ].
+      self ).
+
+    run = ( | trial |
+      pctr: 0.
+      trial: 0.
+      [ trial < 3 ] whileTrue: [
+        initArray.
+        permute: 7.
+        trial: trial + 1 ].
+      pctr ).
+  |).
+|"""
+
+PERM_OO_SETUP = """|
+  permArrayProto = (| parent* = traits clonable.
+    items.
+    counter <- 0.
+
+    initSize: n = ( | i |
+      items: (vector copySize: n + 1).
+      counter: 0.
+      i: 0.
+      [ i <= n ] whileTrue: [ items at: i Put: i. i: i + 1 ].
+      self ).
+
+    swap: i With: j = ( | t |
+      t: (items at: i).
+      items at: i Put: (items at: j).
+      items at: j Put: t.
+      self ).
+
+    permute: n = (
+      counter: counter + 1.
+      n != 1 ifTrue: [ | k |
+        permute: n - 1.
+        k: n - 1.
+        [ k >= 1 ] whileTrue: [
+          swap: n With: k.
+          permute: n - 1.
+          swap: n With: k.
+          k: k - 1 ] ].
+      self ).
+  |).
+
+  permOoBench = (| parent* = traits clonable.
+    run = ( | a. trial. total |
+      total: 0.
+      trial: 0.
+      [ trial < 3 ] whileTrue: [
+        a: (permArrayProto clone initSize: 7).
+        a permute: 7.
+        total: total + a counter.
+        trial: trial + 1 ].
+      total ).
+  |).
+|"""
+
+#: 3 trials of permute(7): 3 * 8660 calls.
+EXPECTED = 3 * 8660
+
+register(
+    Benchmark(
+        name="perm",
+        group="stanford",
+        setup_source=PERM_SETUP,
+        run_source="permBench run",
+        expected=EXPECTED,
+        scale="permute(7) x3 (Stanford: x5)",
+    )
+)
+
+register(
+    Benchmark(
+        name="perm-oo",
+        group="stanford-oo",
+        setup_source=PERM_OO_SETUP,
+        run_source="permOoBench run",
+        expected=EXPECTED,
+        c_baseline="perm",
+        scale="permute(7) x3 (Stanford: x5)",
+    )
+)

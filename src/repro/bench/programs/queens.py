@@ -1,0 +1,124 @@
+"""queens — the eight-queens benchmark.
+
+Counts all 92 solutions using the classic three boolean "free" arrays.
+The ``-oo`` rewrite wraps the arrays in a board object that answers
+``safeAtColumn:Row:``, ``placeColumn:Row:``, ``removeColumn:Row:``.
+"""
+
+from ..base import Benchmark, register
+
+QUEENS_SETUP = """|
+  queensBench = (| parent* = traits clonable.
+    freeRows. freeDiag1. freeDiag2.
+    solutions <- 0.
+
+    init = (
+      freeRows: ((vector copySize: 8) atAllPut: true).
+      freeDiag1: ((vector copySize: 15) atAllPut: true).
+      freeDiag2: ((vector copySize: 15) atAllPut: true).
+      solutions: 0.
+      self ).
+
+    safeColumn: c Row: r = (
+      (((freeRows at: r) and: [ freeDiag1 at: c + r ])
+        and: [ freeDiag2 at: (c - r) + 7 ]) ).
+
+    placeColumn: c Row: r = (
+      freeRows at: r Put: false.
+      freeDiag1 at: c + r Put: false.
+      freeDiag2 at: (c - r) + 7 Put: false.
+      self ).
+
+    removeColumn: c Row: r = (
+      freeRows at: r Put: true.
+      freeDiag1 at: c + r Put: true.
+      freeDiag2 at: (c - r) + 7 Put: true.
+      self ).
+
+    tryColumn: c = ( | r |
+      r: 0.
+      [ r < 8 ] whileTrue: [
+        (safeColumn: c Row: r) ifTrue: [
+          placeColumn: c Row: r.
+          c = 7 ifTrue: [ solutions: solutions + 1 ]
+                False: [ tryColumn: c + 1 ].
+          removeColumn: c Row: r ].
+        r: r + 1 ].
+      self ).
+
+    run = ( init. tryColumn: 0. solutions ).
+  |).
+|"""
+
+QUEENS_OO_SETUP = """|
+  boardProto = (| parent* = traits clonable.
+    freeRows. freeDiag1. freeDiag2.
+
+    init = (
+      freeRows: ((vector copySize: 8) atAllPut: true).
+      freeDiag1: ((vector copySize: 15) atAllPut: true).
+      freeDiag2: ((vector copySize: 15) atAllPut: true).
+      self ).
+
+    safeColumn: c Row: r = (
+      (((freeRows at: r) and: [ freeDiag1 at: c + r ])
+        and: [ freeDiag2 at: (c - r) + 7 ]) ).
+
+    placeColumn: c Row: r = (
+      freeRows at: r Put: false.
+      freeDiag1 at: c + r Put: false.
+      freeDiag2 at: (c - r) + 7 Put: false.
+      self ).
+
+    removeColumn: c Row: r = (
+      freeRows at: r Put: true.
+      freeDiag1 at: c + r Put: true.
+      freeDiag2 at: (c - r) + 7 Put: true.
+      self ).
+  |).
+
+  queensOoBench = (| parent* = traits clonable.
+    board.
+    solutions <- 0.
+
+    tryColumn: c = ( | r |
+      r: 0.
+      [ r < 8 ] whileTrue: [
+        (board safeColumn: c Row: r) ifTrue: [
+          board placeColumn: c Row: r.
+          c = 7 ifTrue: [ solutions: solutions + 1 ]
+                False: [ tryColumn: c + 1 ].
+          board removeColumn: c Row: r ].
+        r: r + 1 ].
+      self ).
+
+    run = (
+      board: (boardProto clone init).
+      solutions: 0.
+      tryColumn: 0.
+      solutions ).
+  |).
+|"""
+
+register(
+    Benchmark(
+        name="queens",
+        group="stanford",
+        setup_source=QUEENS_SETUP,
+        run_source="queensBench run",
+        expected=92,
+        scale="all 92 solutions, once (Stanford: first solution x10)",
+    )
+)
+
+register(
+    Benchmark(
+        name="queens-oo",
+        group="stanford-oo",
+        setup_source=QUEENS_OO_SETUP,
+        run_source="queensOoBench run",
+        expected=92,
+        c_baseline="queens",
+        scale="all 92 solutions, once",
+    )
+)

@@ -1,0 +1,128 @@
+"""quick — recursive quicksort over a pseudo-random vector.
+
+The plain version keeps ``sortFrom:To:`` on the benchmark object and
+passes the vector around; the ``-oo`` rewrite puts the sort on the
+vector-wrapping object itself.
+"""
+
+from ..base import Benchmark, register
+from .common import RANDOM_SOURCE
+
+SIZE = 600  # Stanford uses 5000
+
+QUICK_SETUP = RANDOM_SOURCE + f"""|
+  quickBench = (| parent* = traits clonable.
+    data.
+
+    initData = ( | rnd. i |
+      rnd: stanfordRandom clone initRandom.
+      data: (vector copySize: {SIZE}).
+      i: 0.
+      [ i < {SIZE} ] whileTrue: [ data at: i Put: rnd next. i: i + 1 ].
+      self ).
+
+    sort: a From: lo To: hi = ( | i. j. pivot. t |
+      i: lo.
+      j: hi.
+      pivot: (a at: (lo + hi) / 2).
+      [ i <= j ] whileTrue: [
+        [ (a at: i) < pivot ] whileTrue: [ i: i + 1 ].
+        [ pivot < (a at: j) ] whileTrue: [ j: j - 1 ].
+        i <= j ifTrue: [
+          t: (a at: i).
+          a at: i Put: (a at: j).
+          a at: j Put: t.
+          i: i + 1.
+          j: j - 1 ] ].
+      lo < j ifTrue: [ sort: a From: lo To: j ].
+      i < hi ifTrue: [ sort: a From: i To: hi ].
+      self ).
+
+    checksum = ( | ok. i |
+      ok: true.
+      i: 1.
+      [ i < {SIZE} ] whileTrue: [
+        (data at: i - 1) > (data at: i) ifTrue: [ ok: false ].
+        i: i + 1 ].
+      ok ifTrue: [ (data at: 0) + (data at: {SIZE} - 1) ] False: [ -1 ] ).
+
+    run = (
+      initData.
+      sort: data From: 0 To: {SIZE} - 1.
+      checksum ).
+  |).
+|"""
+
+QUICK_OO_SETUP = RANDOM_SOURCE + f"""|
+  sortableProto = (| parent* = traits clonable.
+    items.
+
+    initSize: n With: rnd = ( | i |
+      items: (vector copySize: n).
+      i: 0.
+      [ i < n ] whileTrue: [ items at: i Put: rnd next. i: i + 1 ].
+      self ).
+
+    at: i = ( items at: i ).
+    at: i Put: v = ( items at: i Put: v. self ).
+    size = ( items size ).
+
+    swap: i With: j = ( | t |
+      t: (items at: i).
+      items at: i Put: (items at: j).
+      items at: j Put: t.
+      self ).
+
+    quicksortFrom: lo To: hi = ( | i. j. pivot |
+      i: lo.
+      j: hi.
+      pivot: (at: (lo + hi) / 2).
+      [ i <= j ] whileTrue: [
+        [ (at: i) < pivot ] whileTrue: [ i: i + 1 ].
+        [ pivot < (at: j) ] whileTrue: [ j: j - 1 ].
+        i <= j ifTrue: [
+          swap: i With: j.
+          i: i + 1.
+          j: j - 1 ] ].
+      lo < j ifTrue: [ quicksortFrom: lo To: j ].
+      i < hi ifTrue: [ quicksortFrom: i To: hi ].
+      self ).
+
+    isSorted = ( | i |
+      i: 1.
+      [ i < size ] whileTrue: [
+        (at: i - 1) > (at: i) ifTrue: [ ^ false ].
+        i: i + 1 ].
+      true ).
+  |).
+
+  quickOoBench = (| parent* = traits clonable.
+    run = ( | s |
+      s: (sortableProto clone initSize: {SIZE} With: (stanfordRandom clone initRandom)).
+      s quicksortFrom: 0 To: s size - 1.
+      s isSorted ifTrue: [ (s at: 0) + (s at: s size - 1) ] False: [ -1 ] ).
+  |).
+|"""
+
+register(
+    Benchmark(
+        name="quick",
+        group="stanford",
+        setup_source=QUICK_SETUP,
+        run_source="quickBench run",
+        expected=65505,
+        scale=f"{SIZE} elements (Stanford: 5000)",
+    )
+)
+
+register(
+    Benchmark(
+        name="quick-oo",
+        group="stanford-oo",
+        setup_source=QUICK_OO_SETUP,
+        run_source="quickOoBench run",
+        expected=65505,
+        c_baseline="quick",
+        scale=f"{SIZE} elements (Stanford: 5000)",
+    )
+)

@@ -1,0 +1,364 @@
+"""richards — Martin Richards' operating-system simulator.
+
+The benchmark schedules six tasks (an idler, a worker, two protocol
+handlers, and two device handlers) exchanging packets through priority
+queues.  The scheduler's ``runTask:`` send is *polymorphic* — each task
+kind handles it differently — which defeats inline caching at that one
+call site and is the bottleneck the paper analyzes in section 6.1.
+
+This port follows the canonical structure (the Smalltalk/JS versions):
+task state is a bit set (RUNNING=0, RUNNABLE=1, SUSPENDED=2, HELD=4),
+and the answer packs the queue and hold counters into one integer so a
+single value verifies the whole simulation.
+"""
+
+from ..base import Benchmark, register
+
+#: scheduler iterations for the idle task (canonical uses 1000; scaled
+#: for the Python-hosted VM)
+COUNT = 150
+
+RICHARDS_SETUP = f"""|
+  richardsConsts = (| parent* = traits clonable.
+    idIdle = 0.  idWorker = 1.  idHandlerA = 2.  idHandlerB = 3.
+    idDeviceA = 4.  idDeviceB = 5.
+    kindDevice = 0.  kindWork = 1.
+    dataSize = 4.
+  |).
+
+  packetProto = (| parent* = traits clonable.
+    link. ident <- 0. kind <- 0. a1 <- 0. a2.
+
+    initLink: l Ident: i Kind: k = ( | x |
+      link: l.
+      ident: i.
+      kind: k.
+      a1: 0.
+      a2: (vector copySize: 4).
+      x: 0.
+      [ x < 4 ] whileTrue: [ a2 at: x Put: 0. x: x + 1 ].
+      self ).
+
+    addTo: queue = ( | peek. next |
+      link: nil.
+      queue isNil ifTrue: [ ^ self ].
+      peek: queue.
+      [ next: peek link. next isNil not ] whileTrue: [ peek: next ].
+      peek link: self.
+      queue ).
+  |).
+
+  "task data records"
+  idleDataProto = (| parent* = traits clonable.
+    control <- 1. count <- 0.
+  |).
+  workerDataProto = (| parent* = traits clonable.
+    destination <- 0. count <- 0.
+  |).
+  handlerDataProto = (| parent* = traits clonable.
+    workIn. deviceIn.
+  |).
+  deviceDataProto = (| parent* = traits clonable.
+    pending.
+  |).
+
+  "task control block: state bits RUNNING=0 RUNNABLE=1 SUSPENDED=2 HELD=4"
+  tcbProto = (| parent* = traits clonable.
+    link. ident <- 0. priority <- 0. queue. state <- 0.
+    task. scheduler.
+
+    initLink: l Ident: i Priority: p Queue: q Task: t Scheduler: s = (
+      link: l.
+      ident: i.
+      priority: p.
+      queue: q.
+      task: t.
+      scheduler: s.
+      queue isNil ifTrue: [ state: 2 ] False: [ state: 3 ].
+      self ).
+
+    setRunning      = ( state: 0. self ).
+    markAsRunnable  = ( state: (state bitOr: 1). self ).
+    markAsSuspended = ( state: (state bitOr: 2). self ).
+    markAsHeld      = ( state: (state bitOr: 4). self ).
+    markAsNotHeld   = ( state: (state bitAnd: 3). self ).
+    isHeldOrSuspended = (
+      ((state bitAnd: 4) != 0) or: [ state = 2 ] ).
+
+    takePacket = ( | packet |
+      packet: nil.
+      state = 3 ifTrue: [
+        packet: queue.
+        queue: packet link.
+        queue isNil ifTrue: [ state: 0 ] False: [ state: 1 ] ].
+      task runFor: packet ).
+
+    checkPriorityAdd: currentTask Packet: packet = (
+      queue isNil
+        ifTrue: [
+          queue: packet.
+          markAsRunnable.
+          priority > currentTask priority ifTrue: [ ^ self ] ]
+        False: [ queue: (packet addTo: queue) ].
+      currentTask ).
+  |).
+
+  schedulerProto = (| parent* = traits clonable.
+    taskList. currentTcb. currentIdent <- 0.
+    blocks.
+    queueCount <- 0. holdCount <- 0.
+
+    init = (
+      taskList: nil.
+      blocks: (vector copySize: 6).
+      queueCount: 0.
+      holdCount: 0.
+      self ).
+
+    addTask: ident Priority: p Queue: q Task: t = ( | tcb |
+      tcb: (tcbProto clone initLink: taskList Ident: ident
+            Priority: p Queue: q Task: t Scheduler: self).
+      taskList: tcb.
+      blocks at: ident Put: tcb.
+      t bindTcb: tcb.
+      self ).
+
+    schedule = (
+      currentTcb: taskList.
+      [ currentTcb isNil not ] whileTrue: [
+        currentTcb isHeldOrSuspended
+          ifTrue: [ currentTcb: currentTcb link ]
+          False: [
+            currentIdent: currentTcb ident.
+            currentTcb: currentTcb takePacket ] ].
+      self ).
+
+    findTcb: ident = ( blocks at: ident ).
+
+    release: ident = ( | tcb |
+      tcb: (findTcb: ident).
+      tcb markAsNotHeld.
+      tcb priority > currentTcb priority ifTrue: [ ^ tcb ].
+      currentTcb ).
+
+    holdCurrent = (
+      holdCount: holdCount + 1.
+      currentTcb markAsHeld.
+      currentTcb link ).
+
+    suspendCurrent = (
+      currentTcb markAsSuspended.
+      currentTcb ).
+
+    queuePacket: packet = ( | tcb |
+      tcb: (findTcb: packet ident).
+      tcb isNil ifTrue: [ ^ nil ].
+      queueCount: queueCount + 1.
+      packet link: nil.
+      packet ident: currentIdent.
+      tcb checkPriorityAdd: currentTcb Packet: packet ).
+  |).
+
+  "the four task behaviours; the scheduler's runFor: send is the
+   polymorphic site"
+  idleTaskProto = (| parent* = traits clonable.
+    scheduler. data. tcb.
+    bindTcb: t = ( tcb: t. self ).
+
+    runFor: packet = (
+      data count: data count - 1.
+      data count = 0 ifTrue: [ ^ scheduler holdCurrent ].
+      (data control bitAnd: 1) = 0
+        ifTrue: [
+          data control: (data control / 2).
+          scheduler release: richardsConsts idDeviceA ]
+        False: [
+          data control: ((data control / 2) bitXor: 53256).
+          scheduler release: richardsConsts idDeviceB ] ).
+  |).
+
+  workerTaskProto = (| parent* = traits clonable.
+    scheduler. data. tcb.
+    bindTcb: t = ( tcb: t. self ).
+
+    runFor: packet = ( | v |
+      packet isNil ifTrue: [ ^ scheduler suspendCurrent ].
+      data destination: (richardsConsts idHandlerA + richardsConsts idHandlerB)
+                        - data destination.
+      packet ident: data destination.
+      packet a1: 0.
+      v: 0.
+      [ v < 4 ] whileTrue: [
+        data count: data count + 1.
+        data count > 26 ifTrue: [ data count: 1 ].
+        packet a2 at: v Put: data count.
+        v: v + 1 ].
+      scheduler queuePacket: packet ).
+  |).
+
+  handlerTaskProto = (| parent* = traits clonable.
+    scheduler. data. tcb.
+    bindTcb: t = ( tcb: t. self ).
+
+    runFor: packet = ( | work. count. dev |
+      packet isNil not ifTrue: [
+        packet kind = richardsConsts kindWork
+          ifTrue: [ data workIn: (packet addTo: data workIn) ]
+          False: [ data deviceIn: (packet addTo: data deviceIn) ] ].
+      work: data workIn.
+      work isNil ifTrue: [ ^ scheduler suspendCurrent ].
+      count: work a1.
+      count < 4
+        ifTrue: [
+          dev: data deviceIn.
+          dev isNil ifTrue: [ ^ scheduler suspendCurrent ].
+          data deviceIn: dev link.
+          dev a1: (work a2 at: count).
+          work a1: count + 1.
+          ^ scheduler queuePacket: dev ]
+        False: [
+          data workIn: work link.
+          ^ scheduler queuePacket: work ] ).
+  |).
+
+  deviceTaskProto = (| parent* = traits clonable.
+    scheduler. data. tcb.
+    bindTcb: t = ( tcb: t. self ).
+
+    runFor: packet = ( | v |
+      packet isNil
+        ifTrue: [
+          v: data pending.
+          v isNil ifTrue: [ ^ scheduler suspendCurrent ].
+          data pending: nil.
+          ^ scheduler queuePacket: v ]
+        False: [
+          data pending: packet.
+          ^ scheduler holdCurrent ] ).
+  |).
+
+  richardsBench = (| parent* = traits clonable.
+    run = ( | sched. queue. t |
+      sched: (schedulerProto clone init).
+
+      t: idleTaskProto clone.
+      t scheduler: sched.
+      t data: ((idleDataProto clone control: 1) count: {COUNT}).
+      sched addTask: richardsConsts idIdle Priority: 0 Queue: nil Task: t.
+      (sched findTcb: richardsConsts idIdle) setRunning.
+
+      queue: (packetProto clone initLink: nil
+              Ident: richardsConsts idWorker Kind: richardsConsts kindWork).
+      queue: (packetProto clone initLink: queue
+              Ident: richardsConsts idWorker Kind: richardsConsts kindWork).
+      t: workerTaskProto clone.
+      t scheduler: sched.
+      t data: ((workerDataProto clone destination: richardsConsts idHandlerA) count: 0).
+      sched addTask: richardsConsts idWorker Priority: 1000 Queue: queue Task: t.
+
+      queue: (packetProto clone initLink: nil
+              Ident: richardsConsts idDeviceA Kind: richardsConsts kindDevice).
+      queue: (packetProto clone initLink: queue
+              Ident: richardsConsts idDeviceA Kind: richardsConsts kindDevice).
+      queue: (packetProto clone initLink: queue
+              Ident: richardsConsts idDeviceA Kind: richardsConsts kindDevice).
+      t: handlerTaskProto clone.
+      t scheduler: sched.
+      t data: handlerDataProto clone.
+      sched addTask: richardsConsts idHandlerA Priority: 2000 Queue: queue Task: t.
+
+      queue: (packetProto clone initLink: nil
+              Ident: richardsConsts idDeviceB Kind: richardsConsts kindDevice).
+      queue: (packetProto clone initLink: queue
+              Ident: richardsConsts idDeviceB Kind: richardsConsts kindDevice).
+      queue: (packetProto clone initLink: queue
+              Ident: richardsConsts idDeviceB Kind: richardsConsts kindDevice).
+      t: handlerTaskProto clone.
+      t scheduler: sched.
+      t data: handlerDataProto clone.
+      sched addTask: richardsConsts idHandlerB Priority: 3000 Queue: queue Task: t.
+
+      t: deviceTaskProto clone.
+      t scheduler: sched.
+      t data: deviceDataProto clone.
+      sched addTask: richardsConsts idDeviceA Priority: 4000 Queue: nil Task: t.
+
+      t: deviceTaskProto clone.
+      t scheduler: sched.
+      t data: deviceDataProto clone.
+      sched addTask: richardsConsts idDeviceB Priority: 5000 Queue: nil Task: t.
+
+      sched schedule.
+      (sched queueCount * 10000) + sched holdCount ).
+  |).
+|"""
+
+def _annotate_richards(world, ann):
+    """The C++ version's declarations: every field has a struct type;
+    only the task dispatch itself stays virtual."""
+    packet = world.get_global("packetProto").map
+    tcb = world.get_global("tcbProto").map
+    sched = world.get_global("schedulerProto").map
+    idle_data = world.get_global("idleDataProto").map
+    worker_data = world.get_global("workerDataProto").map
+    handler_data = world.get_global("handlerDataProto").map
+    device_data = world.get_global("deviceDataProto").map
+    maybe_packet = ("maybe", packet)
+    maybe_tcb = ("maybe", tcb)
+
+    ann.declare_slot("packetProto", "link", maybe_packet)
+    ann.declare_slot("packetProto", "ident", "int")
+    ann.declare_slot("packetProto", "kind", "int")
+    ann.declare_slot("packetProto", "a1", "int")
+    ann.declare_slot("packetProto", "a2", ("vector", 4))
+    ann.declare_args("packetProto", "addTo:", [maybe_packet])
+
+    ann.declare_slot("tcbProto", "link", maybe_tcb)
+    ann.declare_slot("tcbProto", "ident", "int")
+    ann.declare_slot("tcbProto", "priority", "int")
+    ann.declare_slot("tcbProto", "queue", maybe_packet)
+    ann.declare_slot("tcbProto", "state", "int")
+    ann.declare_slot("tcbProto", "scheduler", sched)
+    ann.declare_args("tcbProto", "checkPriorityAdd:Packet:", [tcb, packet])
+
+    ann.declare_slot("schedulerProto", "taskList", maybe_tcb)
+    ann.declare_slot("schedulerProto", "currentTcb", maybe_tcb)
+    ann.declare_slot("schedulerProto", "currentIdent", "int")
+    ann.declare_slot("schedulerProto", "blocks", ("vector", 6))
+    ann.declare_slot("schedulerProto", "queueCount", "int")
+    ann.declare_slot("schedulerProto", "holdCount", "int")
+    ann.declare_args("schedulerProto", "release:", ["int"])
+    ann.declare_args("schedulerProto", "findTcb:", ["int"])
+    ann.declare_args("schedulerProto", "queuePacket:", [packet])
+
+    for proto, data in (
+        ("idleTaskProto", idle_data),
+        ("workerTaskProto", worker_data),
+        ("handlerTaskProto", handler_data),
+        ("deviceTaskProto", device_data),
+    ):
+        ann.declare_slot(proto, "scheduler", sched)
+        ann.declare_slot(proto, "data", data)
+        ann.declare_slot(proto, "tcb", tcb)
+        ann.declare_args(proto, "runFor:", [maybe_packet])
+
+    ann.declare_slot("idleDataProto", "control", "int")
+    ann.declare_slot("idleDataProto", "count", "int")
+    ann.declare_slot("workerDataProto", "destination", "int")
+    ann.declare_slot("workerDataProto", "count", "int")
+    ann.declare_slot("handlerDataProto", "workIn", maybe_packet)
+    ann.declare_slot("handlerDataProto", "deviceIn", maybe_packet)
+    ann.declare_slot("deviceDataProto", "pending", maybe_packet)
+
+
+register(
+    Benchmark(
+        name="richards",
+        group="richards",
+        setup_source=RICHARDS_SETUP,
+        run_source="richardsBench run",
+        expected=3520140,  # queueCount=352, holdCount=140 (verified)
+        annotate=_annotate_richards,
+        scale=f"idle count {COUNT} (canonical: 1000)",
+    )
+)

@@ -1,0 +1,132 @@
+"""The "small" micro-benchmark group: sieve, sumTo, sumFromTo,
+sumToConst, atAllPut — the paper's initial test suite for the new
+techniques.
+
+* ``sumTo`` / ``sumFromTo`` exercise iterative type analysis on loops
+  whose bounds arrive as unknown-typed arguments.
+* ``sumToConst`` has a compile-time-constant bound, so range analysis
+  can remove *every* check including the overflow check.
+* ``sieve`` and ``atAllPut`` exercise array bounds-check elimination
+  against a vector of statically-known size.
+"""
+
+from ..base import Benchmark, register
+
+SIEVE_SIZE = 819  # classic BYTE sieve uses 8190
+
+SIEVE_SETUP = f"""|
+  sieveBench = (| parent* = traits clonable.
+    run = ( | flags. count. i. k |
+      flags: (vector copySize: {SIEVE_SIZE}).
+      flags atAllPut: true.
+      count: 0.
+      i: 2.
+      [ i < {SIEVE_SIZE} ] whileTrue: [
+        (flags at: i) ifTrue: [
+          k: i + i.
+          [ k < {SIEVE_SIZE} ] whileTrue: [
+            flags at: k Put: false.
+            k: k + i ].
+          count: count + 1 ].
+        i: i + 1 ].
+      count ).
+  |).
+|"""
+
+SUM_SETUP = """|
+  sumBench = (| parent* = traits clonable.
+    sumTo: n = ( | sum |
+      sum: 0.
+      1 to: n Do: [ | :i | sum: sum + i ].
+      sum ).
+
+    sumFrom: start To: n = ( | sum |
+      sum: 0.
+      start to: n Do: [ | :i | sum: sum + i ].
+      sum ).
+
+    sumToConst = ( | sum |
+      sum: 0.
+      1 to: 10000 Do: [ | :i | sum: sum + i ].
+      sum ).
+  |).
+|"""
+
+AT_ALL_PUT_SETUP = """|
+  atAllPutBench = (| parent* = traits clonable.
+    run = ( | v. passes |
+      v: (vector copySize: 2000).
+      passes: 0.
+      [ passes < 5 ] whileTrue: [
+        v atAllPut: passes.
+        passes: passes + 1 ].
+      (v at: 1999) ).
+  |).
+|"""
+
+
+def _count_primes(limit: int) -> int:
+    flags = [True] * limit
+    count = 0
+    for i in range(2, limit):
+        if flags[i]:
+            for k in range(i + i, limit, i):
+                flags[k] = False
+            count += 1
+    return count
+
+
+register(
+    Benchmark(
+        name="sieve",
+        group="small",
+        setup_source=SIEVE_SETUP,
+        run_source="sieveBench run",
+        expected=_count_primes(SIEVE_SIZE),
+        scale=f"{SIEVE_SIZE} flags (classic: 8190)",
+    )
+)
+
+register(
+    Benchmark(
+        name="sumTo",
+        group="small",
+        setup_source=SUM_SETUP,
+        run_source="sumBench sumTo: 10000",
+        expected=10000 * 10001 // 2,
+        scale="1..10000",
+    )
+)
+
+register(
+    Benchmark(
+        name="sumFromTo",
+        group="small",
+        setup_source=SUM_SETUP,
+        run_source="sumBench sumFrom: 1 To: 10000",
+        expected=10000 * 10001 // 2,
+        scale="1..10000",
+    )
+)
+
+register(
+    Benchmark(
+        name="sumToConst",
+        group="small",
+        setup_source=SUM_SETUP,
+        run_source="sumBench sumToConst",
+        expected=10000 * 10001 // 2,
+        scale="1..10000 constant bound",
+    )
+)
+
+register(
+    Benchmark(
+        name="atAllPut",
+        group="small",
+        setup_source=AT_ALL_PUT_SETUP,
+        run_source="atAllPutBench run",
+        expected=4,
+        scale="2000-element vector, 5 passes",
+    )
+)

@@ -1,0 +1,140 @@
+"""towers — Towers of Hanoi over explicit disk stacks.
+
+Like the Stanford original, the pegs are real data structures (stacks
+backed by arrays), not just a recursion counter.  The ``-oo`` rewrite
+turns each peg into an object that understands ``push:`` and ``pop``.
+"""
+
+from ..base import Benchmark, register
+
+DISCS = 11  # Stanford uses 14; 2**11 - 1 = 2047 moves
+
+TOWERS_SETUP = f"""|
+  towersBench = (| parent* = traits clonable.
+    stacks.
+    tops.
+    moveCount <- 0.
+
+    init: discs = ( | i |
+      stacks: (vector copySize: 3).
+      tops: (vector copySize: 3).
+      i: 0.
+      [ i < 3 ] whileTrue: [
+        stacks at: i Put: (vector copySize: discs + 1).
+        tops at: i Put: 0.
+        i: i + 1 ].
+      i: discs.
+      [ i >= 1 ] whileTrue: [ push: i On: 0. i: i - 1 ].
+      moveCount: 0.
+      self ).
+
+    push: d On: p = ( | s. t |
+      s: (stacks at: p).
+      t: (tops at: p).
+      ((t > 0) and: [ (s at: t - 1) < d ]) ifTrue: [ _Error: 'disc size error' ].
+      s at: t Put: d.
+      tops at: p Put: t + 1.
+      self ).
+
+    popOff: p = ( | s. t |
+      t: (tops at: p) - 1.
+      t < 0 ifTrue: [ _Error: 'nothing to pop' ].
+      tops at: p Put: t.
+      (stacks at: p) at: t ).
+
+    moveFrom: a To: b = (
+      push: (popOff: a) On: b.
+      moveCount: moveCount + 1.
+      self ).
+
+    move: n From: a To: b Via: c = (
+      n = 1 ifTrue: [ moveFrom: a To: b ]
+      False: [
+        move: n - 1 From: a To: c Via: b.
+        moveFrom: a To: b.
+        move: n - 1 From: c To: b Via: a ].
+      self ).
+
+    run = (
+      init: {DISCS}.
+      move: {DISCS} From: 0 To: 1 Via: 2.
+      moveCount ).
+  |).
+|"""
+
+TOWERS_OO_SETUP = f"""|
+  pegProto = (| parent* = traits clonable.
+    cells.
+    top <- 0.
+
+    capacity: n = ( cells: (vector copySize: n). top: 0. self ).
+    push: d = (
+      ((top > 0) and: [ (cells at: top - 1) < d ]) ifTrue: [ _Error: 'disc size error' ].
+      cells at: top Put: d.
+      top: top + 1.
+      self ).
+    pop = (
+      top = 0 ifTrue: [ _Error: 'nothing to pop' ].
+      top: top - 1.
+      cells at: top ).
+  |).
+
+  towersOoBench = (| parent* = traits clonable.
+    pegs.
+    moveCount <- 0.
+
+    init: discs = ( | i |
+      pegs: (vector copySize: 3).
+      i: 0.
+      [ i < 3 ] whileTrue: [
+        pegs at: i Put: (pegProto clone capacity: discs + 1).
+        i: i + 1 ].
+      i: discs.
+      [ i >= 1 ] whileTrue: [ (pegs at: 0) push: i. i: i - 1 ].
+      moveCount: 0.
+      self ).
+
+    moveFrom: a To: b = (
+      (pegs at: b) push: (pegs at: a) pop.
+      moveCount: moveCount + 1.
+      self ).
+
+    move: n From: a To: b Via: c = (
+      n = 1 ifTrue: [ moveFrom: a To: b ]
+      False: [
+        move: n - 1 From: a To: c Via: b.
+        moveFrom: a To: b.
+        move: n - 1 From: c To: b Via: a ].
+      self ).
+
+    run = (
+      init: {DISCS}.
+      move: {DISCS} From: 0 To: 1 Via: 2.
+      moveCount ).
+  |).
+|"""
+
+EXPECTED = 2 ** DISCS - 1
+
+register(
+    Benchmark(
+        name="towers",
+        group="stanford",
+        setup_source=TOWERS_SETUP,
+        run_source="towersBench run",
+        expected=EXPECTED,
+        scale=f"{DISCS} discs (Stanford: 14)",
+    )
+)
+
+register(
+    Benchmark(
+        name="towers-oo",
+        group="stanford-oo",
+        setup_source=TOWERS_OO_SETUP,
+        run_source="towersOoBench run",
+        expected=EXPECTED,
+        c_baseline="towers",
+        scale=f"{DISCS} discs (Stanford: 14)",
+    )
+)

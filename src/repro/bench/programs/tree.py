@@ -1,0 +1,149 @@
+"""tree — binary-tree sort (insert N pseudo-random keys, verify order).
+
+The plain version walks explicit node records through benchmark-object
+procedures; the ``-oo`` rewrite gives the nodes ``insert:`` and
+``checkFrom:`` methods (this is the benchmark where the paper's ST-80
+and SELF numbers come closest to C, since it is dominated by
+dynamically-bound calls in every system).
+"""
+
+from ..base import Benchmark, register
+from .common import RANDOM_SOURCE
+
+SIZE = 400  # Stanford uses 5000
+
+TREE_SETUP = RANDOM_SOURCE + f"""|
+  treeNode = (| parent* = traits clonable.
+    left. right. val <- 0.
+  |).
+
+  treeBench = (| parent* = traits clonable.
+    root.
+
+    newNode: v = ( | n |
+      n: treeNode clone.
+      n left: nil.
+      n right: nil.
+      n val: v.
+      n ).
+
+    insert: v Into: node = (
+      v < node val
+        ifTrue: [
+          node left isNil
+            ifTrue: [ node left: (newNode: v) ]
+            False: [ insert: v Into: node left ] ]
+        False: [
+          node right isNil
+            ifTrue: [ node right: (newNode: v) ]
+            False: [ insert: v Into: node right ] ].
+      self ).
+
+    check: node = (
+      node isNil ifTrue: [ ^ true ].
+      node left isNil not ifTrue: [
+        (node left val < node val) not ifTrue: [ ^ false ].
+        (check: node left) not ifTrue: [ ^ false ] ].
+      node right isNil not ifTrue: [
+        (node val <= node right val) not ifTrue: [ ^ false ].
+        (check: node right) not ifTrue: [ ^ false ] ].
+      true ).
+
+    count: node = (
+      node isNil ifTrue: [ ^ 0 ].
+      1 + (count: node left) + (count: node right) ).
+
+    run = ( | rnd. i |
+      rnd: stanfordRandom clone initRandom.
+      root: (newNode: rnd next).
+      i: 1.
+      [ i < {SIZE} ] whileTrue: [
+        insert: (rnd next) + (i % 3) Into: root.
+        i: i + 1 ].
+      (check: root) ifTrue: [ count: root ] False: [ -1 ] ).
+  |).
+|"""
+
+TREE_OO_SETUP = RANDOM_SOURCE + f"""|
+  ooTreeNode = (| parent* = traits clonable.
+    left. right. val <- 0.
+
+    initVal: v = ( left: nil. right: nil. val: v. self ).
+
+    insert: v = (
+      v < val
+        ifTrue: [
+          left isNil
+            ifTrue: [ left: (ooTreeNode clone initVal: v) ]
+            False: [ left insert: v ] ]
+        False: [
+          right isNil
+            ifTrue: [ right: (ooTreeNode clone initVal: v) ]
+            False: [ right insert: v ] ].
+      self ).
+
+    isOrdered = (
+      left isNil not ifTrue: [
+        (left val < val) not ifTrue: [ ^ false ].
+        left isOrdered not ifTrue: [ ^ false ] ].
+      right isNil not ifTrue: [
+        (val <= right val) not ifTrue: [ ^ false ].
+        right isOrdered not ifTrue: [ ^ false ] ].
+      true ).
+
+    count = ( | n |
+      n: 1.
+      left isNil not ifTrue: [ n: n + left count ].
+      right isNil not ifTrue: [ n: n + right count ].
+      n ).
+  |).
+
+  treeOoBench = (| parent* = traits clonable.
+    run = ( | rnd. root. i |
+      rnd: stanfordRandom clone initRandom.
+      root: (ooTreeNode clone initVal: rnd next).
+      i: 1.
+      [ i < {SIZE} ] whileTrue: [
+        root insert: (rnd next) + (i % 3).
+        i: i + 1 ].
+      root isOrdered ifTrue: [ root count ] False: [ -1 ] ).
+  |).
+|"""
+
+def _annotate_tree(world, ann):
+    """C declarations: node pointers are nullable struct pointers."""
+    node_map = world.get_global("treeNode").map
+    maybe_node = ("maybe", node_map)
+    ann.declare_slot("treeNode", "left", maybe_node)
+    ann.declare_slot("treeNode", "right", maybe_node)
+    ann.declare_slot("treeNode", "val", "int")
+    ann.declare_slot("treeBench", "root", node_map)
+    ann.declare_args("treeBench", "insert:Into:", ["int", node_map])
+    ann.declare_args("treeBench", "check:", [maybe_node])
+    ann.declare_args("treeBench", "count:", [maybe_node])
+    ann.declare_args("treeBench", "newNode:", ["int"])
+
+
+register(
+    Benchmark(
+        name="tree",
+        group="stanford",
+        setup_source=TREE_SETUP,
+        run_source="treeBench run",
+        expected=SIZE,
+        annotate=_annotate_tree,
+        scale=f"{SIZE} keys (Stanford: 5000)",
+    )
+)
+
+register(
+    Benchmark(
+        name="tree-oo",
+        group="stanford-oo",
+        setup_source=TREE_OO_SETUP,
+        run_source="treeOoBench run",
+        expected=SIZE,
+        c_baseline="tree",
+        scale=f"{SIZE} keys (Stanford: 5000)",
+    )
+)

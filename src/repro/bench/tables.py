@@ -1,0 +1,288 @@
+"""Reproductions of the paper's tables.
+
+* :func:`t1_speed_summary` — §6 "Speed of Compiled Code (as a percentage
+  of optimized C), median (min – max)" over the four benchmark groups.
+* :func:`t2_time_size_summary` — §6 "Compile Time and Code Size,
+  median / 75%-ile / max".
+* :func:`appendix_a_speed` / :func:`appendix_b_size` /
+  :func:`appendix_c_compile_time` — the per-benchmark appendices.
+* :func:`ablation_table` — the implicit ablation: new SELF with each
+  technique disabled individually.
+
+Each function renders a plain-text table (the same rows/columns as the
+paper) and returns it as a string, so the benchmarks can both print and
+assert on it.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Optional
+
+from .base import SYSTEM_LABELS, all_benchmarks, benchmarks_in_group, get_benchmark
+from .harness import GLOBAL_SESSION, Session
+
+#: systems in the paper's row order for T1
+T1_SYSTEMS = ("st80", "oldself89", "oldself90", "newself")
+
+#: groups in the paper's column order
+T1_GROUPS = ("small", "stanford", "stanford-oo", "richards")
+
+
+def _group_benchmarks(group: str) -> list[str]:
+    names = sorted(b.name for b in benchmarks_in_group(group))
+    if group == "stanford-oo":
+        # The paper counts the un-rewritten puzzle in the -oo group too.
+        names.append("puzzle")
+    return names
+
+
+def _median_min_max(values: list[float]) -> str:
+    if not values:
+        return "-"
+    med = statistics.median(values)
+    if len(values) == 1:
+        return f"{med:.0f}%"
+    return f"{med:.0f}% ({min(values):.0f}-{max(values):.0f})"
+
+
+def t1_speed_summary(
+    session: Optional[Session] = None,
+    include_puzzle: bool = True,
+) -> str:
+    """§6 Speed of Compiled Code — median (min–max) % of optimized C."""
+    session = session or GLOBAL_SESSION
+    lines = [
+        "Speed of Compiled Code (as a percentage of optimized C)",
+        "median ( min - max )",
+        "",
+        f"{'':12}" + "".join(f"{g:>22}" for g in T1_GROUPS),
+    ]
+    for system in T1_SYSTEMS:
+        cells = []
+        for group in T1_GROUPS:
+            values = []
+            for name in _group_benchmarks(group):
+                if name == "puzzle" and not include_puzzle:
+                    continue
+                values.append(session.percent_of_c(name, system))
+            cells.append(f"{_median_min_max(values):>22}")
+        lines.append(f"{SYSTEM_LABELS[system]:12}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def _median_p75_max(values: list[float], fmt: str) -> str:
+    if not values:
+        return "-"
+    values = sorted(values)
+    med = statistics.median(values)
+    p75 = values[min(len(values) - 1, int(round(0.75 * (len(values) - 1))))]
+    return f"{med:{fmt}} / {p75:{fmt}} / {max(values):{fmt}}"
+
+
+def t2_time_size_summary(
+    session: Optional[Session] = None,
+    include_puzzle: bool = True,
+) -> str:
+    """§6 Compile Time and Code Size — median / 75%-ile / max.
+
+    Compile time is in (host) seconds of our compiler; code size in
+    modeled kilobytes.  Columns follow the paper: small,
+    stanford+stanford-oo, puzzle (alone), richards.
+    """
+    session = session or GLOBAL_SESSION
+    stanford_both = [
+        n for n in _group_benchmarks("stanford") if n != "puzzle"
+    ] + _group_benchmarks("stanford-oo")
+    stanford_both = [n for n in stanford_both if n != "puzzle"]
+    columns: list[tuple[str, list[str]]] = [
+        ("small", _group_benchmarks("small")),
+        ("stanford+oo", sorted(set(stanford_both))),
+        ("puzzle", ["puzzle"] if include_puzzle else []),
+        ("richards", ["richards"]),
+    ]
+    systems = ("static", "oldself90", "newself")
+    lines = [
+        "Compile Time and Code Size",
+        "median / 75%-ile / max",
+        "",
+        f"{'':14}" + "".join(f"{label:>26}" for label, _ in columns),
+        "",
+        "compile time (in seconds of host CPU time)",
+    ]
+    for system in systems:
+        cells = []
+        for _, names in columns:
+            values = [session.result(n, system).compile_seconds for n in names]
+            cells.append(f"{_median_p75_max(values, '.2f'):>26}")
+        lines.append(f"{SYSTEM_LABELS[system]:14}" + "".join(cells))
+    lines.append("")
+    lines.append("compiled code size (in kilobytes)")
+    for system in systems:
+        cells = []
+        for _, names in columns:
+            values = [session.result(n, system).code_kb for n in names]
+            cells.append(f"{_median_p75_max(values, '.1f'):>26}")
+        lines.append(f"{SYSTEM_LABELS[system]:14}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def appendix_a_speed(
+    session: Optional[Session] = None, include_puzzle: bool = True
+) -> str:
+    """Appendix A: per-benchmark speed as a percentage of optimized C."""
+    session = session or GLOBAL_SESSION
+    lines = [
+        "Compiled Code Speed (as a percentage of optimized C)",
+        "",
+        f"{'benchmark':12}" + "".join(
+            f"{SYSTEM_LABELS[s]:>14}" for s in T1_SYSTEMS
+        ),
+    ]
+    for group in ("stanford", "stanford-oo", "small", "richards"):
+        lines.append(group)
+        for name in sorted(b.name for b in benchmarks_in_group(group)):
+            if name == "puzzle" and not include_puzzle:
+                continue
+            cells = "".join(
+                f"{session.percent_of_c(name, s):>13.0f}%" for s in T1_SYSTEMS
+            )
+            lines.append(f"  {name:10}" + cells)
+    return "\n".join(lines)
+
+
+def appendix_b_size(
+    session: Optional[Session] = None, include_puzzle: bool = True
+) -> str:
+    """Appendix B: per-benchmark compiled code size in kilobytes."""
+    session = session or GLOBAL_SESSION
+    systems = ("static", "oldself90", "newself")
+    lines = [
+        "Compiled Code Size (in kilobytes)",
+        "",
+        f"{'benchmark':12}" + "".join(f"{SYSTEM_LABELS[s]:>14}" for s in systems),
+    ]
+    for group in ("stanford", "stanford-oo", "small", "richards"):
+        lines.append(group)
+        for name in sorted(b.name for b in benchmarks_in_group(group)):
+            if name == "puzzle" and not include_puzzle:
+                continue
+            cells = "".join(
+                f"{session.result(name, s).code_kb:>14.1f}" for s in systems
+            )
+            lines.append(f"  {name:10}" + cells)
+    return "\n".join(lines)
+
+
+def appendix_c_compile_time(
+    session: Optional[Session] = None, include_puzzle: bool = True
+) -> str:
+    """Appendix C: per-benchmark compile time (host seconds)."""
+    session = session or GLOBAL_SESSION
+    systems = ("static", "oldself90", "newself")
+    lines = [
+        "Compile Time (in seconds of host CPU time)",
+        "",
+        f"{'benchmark':12}" + "".join(f"{SYSTEM_LABELS[s]:>14}" for s in systems),
+    ]
+    for group in ("stanford", "stanford-oo", "small", "richards"):
+        lines.append(group)
+        for name in sorted(b.name for b in benchmarks_in_group(group)):
+            if name == "puzzle" and not include_puzzle:
+                continue
+            cells = "".join(
+                f"{session.result(name, s).compile_seconds:>14.3f}" for s in systems
+            )
+            lines.append(f"  {name:10}" + cells)
+    return "\n".join(lines)
+
+
+def optimization_effect_table(
+    session: Optional[Session] = None,
+    benchmark_names: Optional[list[str]] = None,
+) -> str:
+    """Aggregate compiler-effect counters per system (not in the paper's
+    tables, but the direct evidence for its mechanism claims: how many
+    sends were inlined and how many checks deleted)."""
+    session = session or GLOBAL_SESSION
+    if benchmark_names is None:
+        benchmark_names = ["sumTo", "sieve", "queens", "richards"]
+    systems = ("st80", "oldself90", "newself")
+    keys = [
+        ("inlined_sends", "sends inlined"),
+        ("dynamic_sends", "sends left dynamic"),
+        ("type_tests", "type tests emitted"),
+        ("type_tests_elided", "type tests elided"),
+        ("overflow_checks_elided", "overflow checks elided"),
+        ("bounds_checks_elided", "bounds checks elided"),
+        ("loop_versions", "loop versions compiled"),
+    ]
+    lines = ["Optimization effect (compiler counters, summed over compiled code)"]
+    for name in benchmark_names:
+        lines.append("")
+        lines.append(f"{name}:")
+        lines.append(f"  {'counter':26}" + "".join(
+            f"{SYSTEM_LABELS[s]:>14}" for s in systems
+        ))
+        for key, label in keys:
+            cells = "".join(
+                f"{session.result(name, s).compile_stats.get(key, 0):>14}"
+                for s in systems
+            )
+            lines.append(f"  {label:26}" + cells)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Ablations
+# ---------------------------------------------------------------------------
+
+#: feature -> config change disabling it (applied to the new SELF preset)
+ABLATIONS = {
+    "full new SELF": {},
+    "- extended splitting": {"extended_splitting": False},
+    "- multi-version loops": {"multi_version_loops": False},
+    "- iterative loop analysis": {
+        "iterative_loops": False,
+        "multi_version_loops": False,
+    },
+    "- range analysis": {"range_analysis": False},
+    "- type prediction": {"type_prediction": False},
+    "- customization": {"customize": False},
+}
+
+
+def ablation_table(benchmark_names: Optional[list[str]] = None) -> str:
+    """New SELF with one technique at a time disabled (speed, % of C).
+
+    This reproduces the paper's implicit ablation (the old SELF compiler
+    is, in feature terms, new SELF minus the new techniques).
+    """
+    from ..compiler.config import NEW_SELF
+    from ..vm.runtime import Runtime
+    from ..world.bootstrap import World
+
+    if benchmark_names is None:
+        benchmark_names = ["sumTo", "sieve", "queens", "richards"]
+    session = GLOBAL_SESSION
+    lines = [
+        "Ablation: new SELF with individual techniques disabled",
+        "(speed as % of optimized C; higher is better)",
+        "",
+        f"{'variant':28}" + "".join(f"{n:>11}" for n in benchmark_names),
+    ]
+    for label, changes in ABLATIONS.items():
+        config = NEW_SELF.but(name=f"new SELF ablation", **changes) if changes else NEW_SELF
+        cells = []
+        for name in benchmark_names:
+            benchmark = get_benchmark(name)
+            world = World()
+            world.add_slots(benchmark.setup_source)
+            runtime = Runtime(world, config)
+            answer = runtime.run(benchmark.run_source)
+            if benchmark.expected is not None:
+                assert answer == benchmark.expected, (label, name, answer)
+            baseline = session.result(benchmark.c_baseline, "static").cycles
+            cells.append(f"{100.0 * baseline / runtime.cycles:>10.0f}%")
+        lines.append(f"{label:28}" + "".join(cells))
+    return "\n".join(lines)

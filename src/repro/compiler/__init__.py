@@ -1,0 +1,39 @@
+"""The optimizing compiler: the paper's contribution.
+
+Public surface:
+
+* :func:`compile_code` — compile a method (or block) body customized for
+  a receiver map under a :class:`CompilerConfig`.
+* :data:`NEW_SELF`, :data:`OLD_SELF`, :data:`ST80`, :data:`STATIC_C` —
+  the preset configurations matching the paper's evaluated systems.
+"""
+
+from .config import (
+    NEW_SELF,
+    OLD_SELF,
+    OLD_SELF_89,
+    OLD_SELF_90,
+    PRESETS,
+    ST80,
+    STATIC_C,
+    CompilerConfig,
+    preset,
+)
+from .engine import MethodCompiler, compile_code
+from .result import BlockTemplate, CompiledGraph
+
+__all__ = [
+    "BlockTemplate",
+    "CompiledGraph",
+    "CompilerConfig",
+    "MethodCompiler",
+    "NEW_SELF",
+    "OLD_SELF",
+    "OLD_SELF_89",
+    "OLD_SELF_90",
+    "PRESETS",
+    "ST80",
+    "STATIC_C",
+    "compile_code",
+    "preset",
+]

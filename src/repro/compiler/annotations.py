@@ -1,0 +1,116 @@
+"""Static type annotations — the "optimized C" configuration's input.
+
+The paper's C baselines are the same algorithms written with declared
+types.  Our static configuration compiles the *same guest source* but
+trusts external annotations for method argument types and data-slot
+types, which is exactly the information a C programmer supplies in
+declarations.  Only the ``static`` preset consults these; the SELF
+configurations never see them (the paper's compiler has no
+declarations).
+
+Type specs:
+
+=============== ==================================================
+``'int'``        small integers
+``'float'``      floats
+``'string'``     strings
+``'bool'``       true or false
+``'nil'``        nil
+``'vector'``     any vector
+``('vector', n)`` a vector of known length *n*
+``'unknown'``    no information (the default)
+a ``Map``        exactly that map (e.g. a prototype's map)
+=============== ==================================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..objects.maps import Map
+from ..types.lattice import (
+    UNKNOWN,
+    MapType,
+    SelfType,
+    ValueType,
+    VectorType,
+    make_union,
+)
+
+TypeSpec = Union[str, Map, tuple]
+
+
+class StaticAnnotations:
+    """Argument and slot type declarations for static compilation."""
+
+    def __init__(self) -> None:
+        #: (holder map name, selector) -> [spec per argument]
+        self._argument_types: dict[tuple[str, str], list[TypeSpec]] = {}
+        #: (holder map name, slot name) -> spec
+        self._slot_types: dict[tuple[str, str], TypeSpec] = {}
+
+    # -- declaration API ---------------------------------------------------------
+
+    def declare_args(self, map_name: str, selector: str, specs: list[TypeSpec]) -> "StaticAnnotations":
+        self._argument_types[(map_name, selector)] = list(specs)
+        return self
+
+    def declare_slot(self, map_name: str, slot_name: str, spec: TypeSpec) -> "StaticAnnotations":
+        self._slot_types[(map_name, slot_name)] = spec
+        return self
+
+    # -- compiler queries -----------------------------------------------------------
+
+    def argument_type(
+        self, receiver_map: Map, selector: str, index: int, universe
+    ) -> Optional[SelfType]:
+        specs = self._argument_types.get((receiver_map.name, selector))
+        if specs is None or index >= len(specs):
+            return None
+        return resolve_spec(specs[index], universe)
+
+    def slot_type(self, receiver_map: Map, slot_name: str, universe) -> Optional[SelfType]:
+        spec = self._slot_types.get((receiver_map.name, slot_name))
+        if spec is None:
+            return None
+        return resolve_spec(spec, universe)
+
+
+def resolve_spec(spec: TypeSpec, universe) -> Optional[SelfType]:
+    """Turn a type spec into a compile-time type."""
+    if isinstance(spec, tuple) and spec and spec[0] == "union":
+        return make_union([resolve_spec(s, universe) for s in spec[1:]])
+    if isinstance(spec, tuple) and spec and spec[0] == "maybe":
+        # A nullable pointer: the map or nil (C's NULL).
+        return make_union(
+            [
+                resolve_spec(spec[1], universe),
+                ValueType(universe.nil_object, universe.nil_map),
+            ]
+        )
+    if isinstance(spec, Map):
+        if spec.kind == "vector":
+            return VectorType(spec, None)
+        return MapType(spec)
+    if isinstance(spec, tuple) and len(spec) == 2 and spec[0] == "vector":
+        return VectorType(universe.vector_map, spec[1])
+    if spec == "int":
+        return MapType(universe.smallint_map)
+    if spec == "float":
+        return MapType(universe.float_map)
+    if spec == "string":
+        return MapType(universe.string_map)
+    if spec == "vector":
+        return VectorType(universe.vector_map, None)
+    if spec == "bool":
+        return make_union(
+            [
+                ValueType(universe.true_object, universe.true_map),
+                ValueType(universe.false_object, universe.false_map),
+            ]
+        )
+    if spec == "nil":
+        return ValueType(universe.nil_object, universe.nil_map)
+    if spec == "unknown":
+        return UNKNOWN
+    raise ValueError(f"unknown type spec {spec!r}")

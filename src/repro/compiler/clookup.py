@@ -1,0 +1,90 @@
+"""Compile-time message lookup.
+
+When type analysis proves the receiver's map, the compiler performs the
+message lookup at compile time (paper, section 3.2.2) and replaces the
+send with a slot access, a constant, or an inlined method body.
+
+Lookup here mirrors :mod:`repro.world.lookup` but starts from a *map*
+instead of a value: the receiver object itself is unknown, only its
+layout is.  The result distinguishes slots held by the receiver (data
+goes through the receiver register) from slots held by a parent object
+(a compile-time constant object the emitted code can reference
+directly).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..objects.errors import AmbiguousLookup
+from ..objects.maps import Map, Slot
+from ..world.universe import Universe
+
+
+class CompileTimeLookup:
+    """Outcome of a compile-time lookup.
+
+    ``holder`` is None when the slot lives in the receiver itself
+    (offset relative to the receiver register); otherwise it is the
+    parent *object* holding the slot.
+    """
+
+    __slots__ = ("slot", "holder")
+
+    def __init__(self, slot: Slot, holder: Optional[object]) -> None:
+        self.slot = slot
+        self.holder = holder
+
+    @property
+    def in_receiver(self) -> bool:
+        return self.holder is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = "receiver" if self.in_receiver else "parent"
+        return f"<clookup {self.slot!r} in {where}>"
+
+
+def lookup_in_map(
+    universe: Universe, receiver_map: Map, selector: str
+) -> Optional[CompileTimeLookup]:
+    """Breadth-first lookup by inheritance depth, starting from a map.
+
+    Returns None when the selector is absent (the send would be a
+    runtime messageNotUnderstood; the compiler then emits a dynamic send
+    and lets the runtime raise).  Raises :class:`AmbiguousLookup` for
+    genuinely ambiguous programs, like the runtime lookup does.
+    """
+    own = receiver_map.own_slot(selector)
+    if own is not None:
+        return CompileTimeLookup(own, None)
+
+    visited: set[int] = {id(receiver_map)}
+    frontier: list[object] = []
+    for parent_slot in receiver_map.parent_slots():
+        if parent_slot.kind == "constant" and parent_slot.value is not None:
+            frontier.append(parent_slot.value)
+    while frontier:
+        matches: list[tuple[object, Slot]] = []
+        next_frontier: list[object] = []
+        for obj in frontier:
+            obj_map = universe.map_of(obj)
+            if id(obj_map) in visited and obj_map.own_slot(selector) is None:
+                continue
+            visited.add(id(obj_map))
+            slot = obj_map.own_slot(selector)
+            if slot is not None:
+                matches.append((obj, slot))
+                continue
+            for parent_slot in obj_map.parent_slots():
+                if parent_slot.kind == "constant" and parent_slot.value is not None:
+                    next_frontier.append(parent_slot.value)
+                elif parent_slot.kind == "data":
+                    # A mutable parent defeats compile-time lookup.
+                    return None
+        if matches:
+            if len(matches) > 1 and any(m[0] is not matches[0][0] for m in matches[1:]):
+                raise AmbiguousLookup(selector)
+            holder, slot = matches[0]
+            return CompileTimeLookup(slot, holder)
+        frontier = next_frontier
+    return None

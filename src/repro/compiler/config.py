@@ -1,0 +1,160 @@
+"""Compiler configurations: the five systems of the paper's evaluation.
+
+Every optimization described in the paper is an independent toggle, so
+the benchmark harness can reproduce the paper's system comparison *and*
+run ablations (disable one technique at a time):
+
+===================  ========================================================
+flag                 paper concept
+===================  ========================================================
+customize            customized compilation (one code body per receiver map)
+inline_methods       message inlining after compile-time lookup
+inline_prims         primitive inlining (expansion into check + op nodes)
+type_analysis        propagate types across nodes (the section 3 machinery)
+range_analysis       integer subrange analysis (overflow/bounds elimination)
+type_prediction      insert run-time tests for likely receiver types
+local_splitting      split only the send directly after a merge (old SELF)
+extended_splitting   keep compilation fronts apart through arbitrary code
+iterative_loops      iterative type analysis for loops (section 5.1)
+multi_version_loops  loop head/tail splitting → multiple loop versions (5.2)
+st80_macros          ST-80 style hardwired control-flow macros (ifTrue:,
+                     whileTrue:, to:Do: with literal blocks) — the baseline
+                     compiler's only form of inlining
+static_types         trust external type annotations and elide every check —
+                     the "optimized C" stand-in
+===================  ========================================================
+
+The presets mirror the evaluation's five systems.  ``OLD_SELF_89`` and
+``OLD_SELF_90`` share one feature set (the paper describes them as the
+same compiler, differently tuned) and differ in the cost table selected
+by the VM (`repro.vm.cost`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CompilerConfig:
+    name: str
+
+    customize: bool = True
+    inline_methods: bool = True
+    inline_prims: bool = True
+    type_analysis: bool = True
+    range_analysis: bool = True
+    type_prediction: bool = True
+    local_splitting: bool = True
+    extended_splitting: bool = True
+    iterative_loops: bool = True
+    multi_version_loops: bool = True
+    st80_macros: bool = False
+    static_types: bool = False
+
+    #: maximum nesting of inlined methods
+    inline_depth_limit: int = 8
+    #: maximum AST weight of a method body eligible for inlining
+    inline_size_limit: int = 120
+    #: maximum simultaneous compilation fronts (extended splitting width)
+    max_fronts: int = 6
+    #: maximum iterations of the loop type analysis before widening all
+    #: the way to pessimistic bindings
+    max_loop_iterations: int = 6
+    #: maximum number of compiled versions of one source loop
+    max_loop_versions: int = 3
+    #: overall node budget per compiled method (safety valve)
+    node_budget: int = 20000
+    #: refuse (CompilerError) instead of counting when a block whose ^
+    #: targets an inlined method escapes to unseen code — see DESIGN.md
+    #: known limitations; off by default because well-formed programs
+    #: never hit it and the counter already surfaces it
+    forbid_unsafe_nlr: bool = False
+
+    def __post_init__(self) -> None:
+        if self.extended_splitting and not self.type_analysis:
+            raise ValueError("extended splitting requires type analysis")
+        if self.multi_version_loops and not self.iterative_loops:
+            raise ValueError("multi-version loops require iterative analysis")
+        if self.range_analysis and not self.type_analysis:
+            raise ValueError("range analysis requires type analysis")
+
+    def but(self, **changes) -> "CompilerConfig":
+        """A copy with some fields replaced (for ablation studies)."""
+        return replace(self, **changes)
+
+
+#: The new SELF compiler: everything in the paper switched on.
+NEW_SELF = CompilerConfig(name="new SELF")
+
+#: The old (1989/1990) SELF compiler: customization, type prediction,
+#: message/primitive inlining, and *local* splitting — but no type
+#: analysis of locals, no range analysis, no extended splitting, and
+#: pessimistic loops (section 2 and section 5 of the paper).
+OLD_SELF = CompilerConfig(
+    name="old SELF",
+    type_analysis=False,
+    range_analysis=False,
+    extended_splitting=False,
+    iterative_loops=False,
+    multi_version_loops=False,
+    # The old compiler worked on expression trees; its inlining budget
+    # was comparable, its splitting only local.
+    local_splitting=True,
+)
+
+#: Cost-table aliases (the VM picks tuning by name).
+OLD_SELF_89 = OLD_SELF.but(name="old SELF-89")
+OLD_SELF_90 = OLD_SELF.but(name="old SELF-90")
+
+#: A Deutsch–Schiffman-style Smalltalk-80 system: dynamic translation
+#: with inline caches; no customization, no user-method inlining, no
+#: analysis.  Its only "inlining" is the hardwired control-flow macros
+#: and the special arithmetic bytecodes (modeled by type-predicted,
+#: always-checked primitive expansions).
+ST80 = CompilerConfig(
+    name="ST-80",
+    customize=False,
+    inline_methods=False,
+    type_analysis=False,
+    range_analysis=False,
+    extended_splitting=False,
+    iterative_loops=False,
+    multi_version_loops=False,
+    local_splitting=False,
+    st80_macros=True,
+)
+
+#: The "optimized C" stand-in: the same programs compiled trusting
+#: static type annotations, with every dynamic-typing check elided.
+STATIC_C = CompilerConfig(
+    name="optimized C",
+    static_types=True,
+    # In static mode prediction is *trusted*: the predicted receiver
+    # type is assumed without a run-time test — the compile-time
+    # equivalent of the type declarations a C programmer writes.
+    type_prediction=True,
+    # A static compiler keeps comparison results flowing straight into
+    # branches (extended splitting on); with all types trusted the loop
+    # analysis converges immediately and never needs extra versions.
+    extended_splitting=True,
+    multi_version_loops=False,
+)
+
+PRESETS = {
+    "st80": ST80,
+    "oldself": OLD_SELF,
+    "oldself89": OLD_SELF_89,
+    "oldself90": OLD_SELF_90,
+    "newself": NEW_SELF,
+    "static": STATIC_C,
+}
+
+
+def preset(name: str) -> CompilerConfig:
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown compiler preset {name!r}; available: {sorted(PRESETS)}"
+        ) from None

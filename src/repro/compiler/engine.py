@@ -1,0 +1,1088 @@
+"""The compiler core: type analysis interleaved with CFG construction.
+
+This is the paper's new intermediate phase between front-end and
+back-end.  It walks the AST of a (customized) method, *simultaneously*
+
+* building the control-flow graph,
+* propagating a type binding table along every path (section 3),
+* performing compile-time lookup and message inlining (3.2.2),
+* inlining and constant-folding primitives with range analysis (3.2.3),
+* inserting predicted type tests with splitting (2, 3.2.2),
+* keeping compilation fronts apart across merges — extended message
+  splitting (4),
+* and iterating loop bodies to a type fixed point, possibly splitting
+  loop heads and tails into multiple versions (5) — see
+  :mod:`repro.compiler.loops`.
+
+The compiler is organized around :class:`~repro.compiler.fronts.Front`
+objects — open CFG edges with their own binding tables.  Every
+``compile_*`` method takes a list of fronts and returns the surviving
+fronts; expression results are written to one fresh temporary shared by
+all fronts, so control flow and data flow stay aligned.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..lang.ast_nodes import (
+    BlockNode,
+    CodeBody,
+    LiteralNode,
+    MethodNode,
+    Node,
+    ObjectLiteralNode,
+    ReturnNode as AstReturnNode,
+    SelfNode,
+    SendNode as AstSendNode,
+)
+from ..objects.errors import AmbiguousLookup, CompilerError
+from ..objects.maps import ASSIGNMENT, CONSTANT, DATA
+from ..objects.model import SelfMethod, block_value_selector
+from ..ir.nodes import (
+    ConstNode,
+    ErrorNode,
+    LoadSlotNode,
+    MakeBlockNode,
+    MoveNode,
+    ReturnNode,
+    NlrReturnNode,
+    SendNode,
+    StartNode,
+    StoreSlotNode,
+    TypeTestNode,
+    EnvLoadNode,
+    EnvStoreNode,
+    IRNode,
+)
+from ..ir import graph as irgraph
+from ..types.lattice import (
+    UNKNOWN,
+    MapType,
+    SelfType,
+    ValueType,
+    as_map,
+    contains,
+    disjoint,
+    type_of_constant,
+)
+from ..types.ops import exclude_map, refine_to_map
+from ..world.universe import Universe
+from .clookup import lookup_in_map
+from .config import CompilerConfig
+from .fronts import Front, regroup
+from .loops import LoopCompilationMixin
+from .predict import ST80_MACRO_SELECTORS, predicted_kind
+from .prims import PrimitiveExpansionMixin
+from .result import BlockTemplate, CompiledGraph
+from .scopes import BlockClosure, InlineScope, ast_weight, block_has_nlr
+
+
+class BudgetExhausted(Exception):
+    """Internal: the per-method node budget ran out; the driver retries
+    with a conservative configuration."""
+
+
+def compile_code(
+    universe: Universe,
+    config: CompilerConfig,
+    code: CodeBody,
+    receiver_map,
+    selector: str = "",
+    is_block: bool = False,
+    block_template: Optional[BlockTemplate] = None,
+    annotations=None,
+) -> CompiledGraph:
+    """Compile ``code`` customized for ``receiver_map`` under ``config``.
+
+    On node-budget exhaustion (runaway splitting in adversarial input)
+    the method is transparently recompiled with splitting and iteration
+    disabled — the pessimistic strategy always terminates.
+    """
+    try:
+        compiler = MethodCompiler(
+            universe, config, code, receiver_map, selector, is_block,
+            block_template, annotations,
+        )
+        return compiler.compile()
+    except BudgetExhausted:
+        fallback = config.but(
+            extended_splitting=False,
+            local_splitting=False,
+            multi_version_loops=False,
+            iterative_loops=False,
+            max_fronts=1,
+        )
+        compiler = MethodCompiler(
+            universe, fallback, code, receiver_map, selector, is_block,
+            block_template, annotations,
+        )
+        return compiler.compile()
+
+
+class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
+    """One customized compilation of a method or block body."""
+
+    def __init__(
+        self,
+        universe: Universe,
+        config: CompilerConfig,
+        code: CodeBody,
+        receiver_map,
+        selector: str = "",
+        is_block: bool = False,
+        block_template: Optional[BlockTemplate] = None,
+        annotations=None,
+    ) -> None:
+        self.universe = universe
+        self.config = config
+        self.code = code
+        self.receiver_map = receiver_map
+        self.selector = selector
+        self.is_block = is_block
+        self.block_template = block_template
+        self.annotations = annotations
+
+        self.start = StartNode()
+        self._temp_counter = 0
+        self._nodes_created = 1
+        #: flat var name -> source name, for locals that must live in the
+        #: frame's named environment (captured by materialized blocks)
+        self.escaping: dict[str, str] = {}
+        #: method scopes whose return joins are still open (for ^ routing
+        #: and for discarding sinks of thrown-away loop iterations)
+        self.active_method_scopes: list[InlineScope] = []
+        #: temporaries of in-flight sends (receiver/arguments whose send
+        #: has not finished compiling): inlined bodies prune statement
+        #: temps, and these must survive that pruning
+        self._pinned: list[str] = []
+        self.stats = {
+            "inlined_sends": 0,
+            "dynamic_sends": 0,
+            "inlined_blocks": 0,
+            "type_tests": 0,
+            "type_tests_elided": 0,
+            "overflow_checks_elided": 0,
+            "bounds_checks_elided": 0,
+            "constant_folds": 0,
+            "loop_analysis_iterations": 0,
+            "loop_versions": 0,
+            "nlr_unsafe_materializations": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def protected_vars(self) -> frozenset:
+        """Temps that must survive statement-boundary pruning: the self
+        variables of every open inlined scope, plus the operands of
+        sends still being compiled (an inlined callee's statement
+        boundaries must not drop the caller's pending expression)."""
+        return frozenset(s.self_var for s in self.active_method_scopes) | frozenset(
+            self._pinned
+        )
+
+    def fresh_temp(self) -> str:
+        self._temp_counter += 1
+        return f"%t{self._temp_counter}"
+
+    def count_node(self, node: IRNode) -> None:
+        self._nodes_created += 1
+        if self._nodes_created > self.config.node_budget:
+            raise BudgetExhausted()
+
+    def drop_dead(self, fronts: list) -> list:
+        """Filter out dead fronts, sealing their open edges.
+
+        A front whose binding became EMPTY is statically unreachable;
+        its already-emitted nodes still need a terminator so the graph
+        stays well-formed.
+        """
+        alive = []
+        for front in fronts:
+            if front.dead:
+                self.count_node_unchecked_terminal(front)
+            else:
+                alive.append(front)
+        return alive
+
+    def count_node_unchecked_terminal(self, front: Front) -> None:
+        node = ErrorNode("<unreachable>", "unreachableError")
+        self._nodes_created += 1
+        front.node.set_successor(front.port, node)
+        front.node = node
+        front.port = 0
+
+    def emit(self, front: Front, node: IRNode) -> None:
+        """Append a straight-line node along ``front``."""
+        self.count_node(node)
+        front.node.set_successor(front.port, node)
+        front.node = node
+        front.port = 0
+
+    def emit_branch(self, front: Front, node: IRNode, uncommon_false: bool = True):
+        """Append a two-way node; returns (true_front, false_front)."""
+        self.count_node(node)
+        front.node.set_successor(front.port, node)
+        false_front = front.split(node, 1, uncommon=front.uncommon or uncommon_false)
+        front.node = node
+        front.port = 0
+        return front, false_front
+
+    def use_value(self, front: Front, var: str) -> None:
+        """Materialize ``var`` if it holds a pending block closure.
+
+        Block literals are compiled lazily: no closure object is created
+        until the value could escape to code the compiler cannot see
+        (this is how fully-inlined control structures cost nothing at
+        run time).
+        """
+        closure = front.get_closure(var)
+        if closure is None or var in front.materialized:
+            return
+        if block_has_nlr(closure.block) and closure.scope.home is not self.outer_scope:
+            # A ^ in this block targets an *inlined* method; once the
+            # closure escapes to code we cannot see, that return can no
+            # longer be routed (it would unwind the whole physical
+            # frame).  Count it so tests can assert the benchmarks never
+            # rely on this (see DESIGN.md, known limitations).
+            self.stats["nlr_unsafe_materializations"] += 1
+            if self.config.forbid_unsafe_nlr:
+                raise CompilerError(
+                    "a block containing ^ escapes its inlined home method "
+                    f"(block #{closure.block.block_id}); compile with a "
+                    "larger inline budget or restructure the code"
+                )
+        template = self.build_block_template(closure)
+        node = MakeBlockNode(var, closure.block, self_var=closure.scope.home.self_var)
+        node.template = template  # attached for the backend
+        self.emit(front, node)
+        front.materialized = front.materialized | {var}
+        front.bind(var, MapType(self.universe.block_map(closure.block)))
+
+    def build_block_template(self, closure: BlockClosure) -> BlockTemplate:
+        """Resolve every free name of a block against its creation scope.
+
+        Names that land on enclosing locals become environment accesses:
+        the local is marked *escaping* and assigned a stable env key
+        (source name + identity of the defining code body, so the block
+        code — compiled separately, later — finds the same key).  Names
+        that resolve nowhere are implicit-self sends (``None`` in the
+        template).
+        """
+        resolutions: dict[str, Optional[str]] = {}
+        for name in _free_names(closure.block):
+            resolved = closure.scope.resolve_local(name)
+            if resolved is not None:
+                defining_scope, flat = resolved
+                # The flat name is the env key: unique per inlined scope
+                # instance, so the same method inlined twice keeps its
+                # two variables apart.  The closure carries the mapping.
+                resolutions[name] = flat
+                self.escaping[flat] = flat
+            elif self.block_template is not None and (
+                self.block_template.resolution(name) is not None
+            ):
+                # Compiling block code that creates a nested block: the
+                # name comes through our own closure's environment map,
+                # resolved at closure-creation time ('*' marker).
+                resolutions[name] = "*" + name
+            else:
+                resolutions[name] = None
+        return BlockTemplate(closure.block, resolutions)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def compile(self) -> CompiledGraph:
+        scope = InlineScope(
+            self.code,
+            "block" if self.is_block else "method",
+            self_var="%self",
+            method_key=id(self.code),
+        )
+        self.outer_scope = scope
+        self.active_method_scopes.append(scope.home)
+
+        front = Front(self.start, 0, {}, {})
+        front.materialized = frozenset()
+        front.bind("%self", self._initial_self_type())
+        arg_vars = []
+        for index, formal in enumerate(self.code.argument_names):
+            flat = scope.rename(formal)
+            arg_vars.append(flat)
+            front.bind(flat, self._initial_arg_type(index))
+        self._init_locals(scope, [front])
+
+        fronts, result_var = self.compile_statements(
+            scope, list(self.code.statements), [front]
+        )
+        # Normal completion.
+        for f in fronts:
+            self.use_value(f, result_var)
+            self.emit(f, ReturnNode(result_var))
+        # Explicit ^ returns.
+        for f, var in scope.return_sinks:
+            self.use_value(f, var)
+            if self.is_block:
+                self.emit(f, NlrReturnNode(var))
+            else:
+                self.emit(f, ReturnNode(var))
+        irgraph.validate(self.start)
+        return CompiledGraph(
+            self.start,
+            self.selector,
+            self.receiver_map,
+            self.config.name,
+            "%self",
+            tuple(arg_vars),
+            dict(self.escaping),
+            self.is_block,
+            compile_stats=dict(self.stats),
+        )
+
+    def _initial_self_type(self) -> SelfType:
+        if self.config.customize or self.config.static_types:
+            return self._map_or_vector_type(self.receiver_map)
+        return UNKNOWN
+
+    def _map_or_vector_type(self, map) -> SelfType:
+        if map.kind == "vector":
+            from ..types.lattice import VectorType
+
+            return VectorType(map, None)
+        return MapType(map)
+
+    def _initial_arg_type(self, index: int) -> SelfType:
+        if self.annotations is not None and not self.is_block:
+            annotated = self.annotations.argument_type(
+                self.receiver_map, self.selector, index, self.universe
+            )
+            if annotated is not None:
+                return annotated
+        return UNKNOWN
+
+    def _init_locals(self, scope: InlineScope, fronts: list[Front]) -> None:
+        for name in scope.code.local_names:
+            flat = scope.rename(name)
+            init = scope.code.local_inits.get(name)
+            value = self._constant_init_value(init)
+            for front in fronts:
+                self.emit(front, ConstNode(flat, value))
+                front.bind(flat, type_of_constant(value, self.universe))
+                front.bind_closure(flat, None)
+
+    def _constant_init_value(self, init: Optional[Node]):
+        universe = self.universe
+        if init is None:
+            return universe.nil_object
+        if isinstance(init, LiteralNode):
+            if type(init.value) is int:
+                from ..objects.model import normalize_int
+
+                return normalize_int(init.value)
+            return init.value
+        if isinstance(init, AstSendNode) and init.receiver is None and not init.arguments:
+            return {
+                "nil": universe.nil_object,
+                "true": universe.true_object,
+                "false": universe.false_object,
+            }[init.selector]
+        raise CompilerError(f"non-constant local initializer {init!r}")
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def compile_statements(
+        self, scope: InlineScope, statements: list[Node], fronts: list[Front]
+    ) -> tuple[list[Front], str]:
+        if not fronts:
+            return [], self.fresh_temp()
+        if not statements:
+            # An empty body returns self.
+            return fronts, scope.self_var
+        for index, statement in enumerate(statements):
+            last = index == len(statements) - 1
+            if isinstance(statement, AstReturnNode):
+                fronts, var = self.compile_expr(statement.expression, scope, fronts)
+                for front in fronts:
+                    scope.home.return_sinks.append((front, var))
+                return [], self.fresh_temp()
+            fronts, var = self.compile_expr(statement, scope, fronts)
+            if not fronts:
+                return [], var
+            protected = self.protected_vars()
+            for front in fronts:
+                front.prune_temps(keep=var, protected=protected)
+            # The last statement's value flows to a consumer: local
+            # splitting (old SELF) keeps its fronts apart that far.
+            fronts = regroup(self, fronts, at_consumer=last)
+            if last:
+                return fronts, var
+        raise CompilerError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def compile_expr(
+        self, node: Node, scope: InlineScope, fronts: list[Front]
+    ) -> tuple[list[Front], str]:
+        if not fronts:
+            return [], self.fresh_temp()
+        t = type(node)
+        if t is LiteralNode:
+            var = self.fresh_temp()
+            value = node.value
+            if type(value) is int:
+                from ..objects.model import normalize_int
+
+                value = normalize_int(value)
+            for front in fronts:
+                self.emit(front, ConstNode(var, value))
+                front.bind(var, type_of_constant(value, self.universe))
+            return fronts, var
+        if t is SelfNode:
+            return fronts, scope.self_var
+        if t is BlockNode:
+            var = self.fresh_temp()
+            closure = BlockClosure(node, scope)
+            for front in fronts:
+                front.bind(var, MapType(self.universe.block_map(node)))
+                front.bind_closure(var, closure)
+                front.materialized = front.materialized - {var}
+            return fronts, var
+        if t is AstSendNode:
+            return self._compile_send_node(node, scope, fronts)
+        if t is ObjectLiteralNode:
+            return self._compile_object_literal(node, scope, fronts)
+        raise CompilerError(f"cannot compile {node!r}")
+
+    def _compile_send_node(
+        self, node: AstSendNode, scope: InlineScope, fronts: list[Front]
+    ) -> tuple[list[Front], str]:
+        if node.receiver is None:
+            return self._compile_implicit_send(node, scope, fronts)
+        fronts, recv_var = self.compile_expr(node.receiver, scope, fronts)
+        depth = len(self._pinned)
+        self._pinned.append(recv_var)
+        try:
+            arg_vars: list[str] = []
+            for argument in node.arguments:
+                fronts, arg_var = self.compile_expr(argument, scope, fronts)
+                arg_vars.append(arg_var)
+                self._pinned.append(arg_var)
+            return self.compile_send(node.selector, recv_var, arg_vars, scope, fronts)
+        finally:
+            del self._pinned[depth:]
+
+    def _compile_implicit_send(
+        self, node: AstSendNode, scope: InlineScope, fronts: list[Front]
+    ) -> tuple[list[Front], str]:
+        selector = node.selector
+        # Local/argument read.
+        if not node.arguments:
+            resolved = scope.resolve_local(selector)
+            if resolved is not None:
+                _, flat = resolved
+                var = self.fresh_temp()
+                for front in fronts:
+                    self._emit_local_read(front, flat, var)
+                return fronts, var
+            if self.block_template is not None:
+                key = self.block_template.resolution(selector)
+                if key is not None:
+                    var = self.fresh_temp()
+                    for front in fronts:
+                        self.emit(front, EnvLoadNode(var, 0, selector))
+                        front.bind(var, UNKNOWN)
+                    return fronts, var
+        # Local assignment:  name: expr
+        elif (
+            len(node.arguments) == 1
+            and selector.endswith(":")
+            and ":" not in selector[:-1]
+        ):
+            base = selector[:-1]
+            resolved = scope.resolve_local(base)
+            if resolved is not None:
+                _, flat = resolved
+                fronts, value_var = self.compile_expr(node.arguments[0], scope, fronts)
+                for front in fronts:
+                    self._emit_local_write(front, flat, value_var)
+                return fronts, scope.self_var
+            if self.block_template is not None:
+                key = self.block_template.resolution(base)
+                if key is not None:
+                    fronts, value_var = self.compile_expr(node.arguments[0], scope, fronts)
+                    for front in fronts:
+                        self.use_value(front, value_var)
+                        self.emit(front, EnvStoreNode(0, base, value_var))
+                    return fronts, scope.self_var
+        # A real send to self.
+        depth = len(self._pinned)
+        try:
+            arg_vars: list[str] = []
+            for argument in node.arguments:
+                fronts, arg_var = self.compile_expr(argument, scope, fronts)
+                arg_vars.append(arg_var)
+                self._pinned.append(arg_var)
+            return self.compile_send(selector, scope.self_var, arg_vars, scope, fronts)
+        finally:
+            del self._pinned[depth:]
+
+    def _emit_local_read(self, front: Front, flat: str, var: str) -> None:
+        self.emit(front, MoveNode(var, flat))
+        if self.config.type_analysis or flat.startswith("%"):
+            front.copy_binding(var, flat)
+            if flat in front.materialized:
+                front.materialized = front.materialized | {var}
+        else:
+            # Old-SELF mode: locals are of unknown type (section 5), but
+            # closure tracking is what makes control structures inline.
+            front.bind(var, UNKNOWN)
+            front.bind_closure(var, front.get_closure(flat))
+            if flat in front.materialized:
+                front.materialized = front.materialized | {var}
+
+    def _emit_local_write(self, front: Front, flat: str, value_var: str) -> None:
+        # Writing a pending closure into a local keeps it pending — the
+        # common `blk: [...]` pattern stays inlinable.
+        self.emit(front, MoveNode(flat, value_var))
+        if self.config.type_analysis:
+            front.copy_binding(flat, value_var)
+        else:
+            front.bind(flat, UNKNOWN)
+            front.bind_closure(flat, front.get_closure(value_var))
+        if value_var in front.materialized:
+            front.materialized = front.materialized | {flat}
+        else:
+            front.materialized = front.materialized - {flat}
+
+    def _compile_object_literal(
+        self, node: ObjectLiteralNode, scope: InlineScope, fronts: list[Front]
+    ) -> tuple[list[Front], str]:
+        raise CompilerError(
+            "object literals inside compiled methods are not supported; "
+            "define a prototype with add_slots and clone it instead"
+        )
+
+    # ------------------------------------------------------------------
+    # Sends
+    # ------------------------------------------------------------------
+
+    def compile_send(
+        self,
+        selector: str,
+        recv_var: str,
+        arg_vars: Sequence[str],
+        scope: InlineScope,
+        fronts: list[Front],
+    ) -> tuple[list[Front], str]:
+        result_var = self.fresh_temp()
+        out: list[Front] = []
+        for front in fronts:
+            out.extend(
+                self.send_one(front, selector, recv_var, list(arg_vars), scope, result_var)
+            )
+        out = self.drop_dead(out)
+        # Mid-expression front cap: deeply nested sends would otherwise
+        # multiply fronts exponentially (every predicted test forks) —
+        # the unbounded version of the compile-time explosion the paper
+        # reports.  Over the cap, merge by class signature, then flat.
+        limit = max(2, self.config.max_fronts * 3)
+        if len(out) > limit:
+            from .fronts import merge_group
+
+            if self.config.extended_splitting:
+                out = regroup(self, out, at_consumer=True)
+            if len(out) > limit:
+                common = [f for f in out if not f.uncommon]
+                uncommon = [f for f in out if f.uncommon]
+                merged = []
+                if common:
+                    merged.append(merge_group(self, common))
+                if uncommon:
+                    merged.append(merge_group(self, uncommon))
+                out = merged
+        return out, result_var
+
+    def send_one(
+        self,
+        front: Front,
+        selector: str,
+        recv_var: str,
+        arg_vars: list[str],
+        scope: InlineScope,
+        result_var: str,
+    ) -> list[Front]:
+        if selector.startswith("_"):
+            return self.expand_primitive(
+                front, selector, recv_var, arg_vars, scope, result_var
+            )
+
+        closure = front.get_closure(recv_var)
+        if closure is not None:
+            handled = self._try_block_intrinsics(
+                front, selector, closure, recv_var, arg_vars, scope, result_var
+            )
+            if handled is not None:
+                return handled
+
+        receiver_type = front.get_type(recv_var)
+        receiver_map = as_map(receiver_type, self.universe)
+        if receiver_map is not None:
+            handled = self.dispatch_known(
+                front, receiver_map, selector, recv_var, arg_vars, scope, result_var
+            )
+            if handled is not None:
+                return handled
+
+        if self.config.static_types:
+            handled = self._static_union_dispatch(
+                front, selector, recv_var, arg_vars, scope, result_var, receiver_type
+            )
+            if handled is not None:
+                return handled
+
+        if self.config.type_prediction:
+            handled = self.try_prediction(
+                front, selector, recv_var, arg_vars, scope, result_var, receiver_type
+            )
+            if handled is not None:
+                return handled
+
+        return self.emit_dynamic_send(
+            front, selector, recv_var, arg_vars, result_var
+        )
+
+    # -- block intrinsics -------------------------------------------------------
+
+    def _try_block_intrinsics(
+        self,
+        front: Front,
+        selector: str,
+        closure: BlockClosure,
+        recv_var: str,
+        arg_vars: list[str],
+        scope: InlineScope,
+        result_var: str,
+    ) -> Optional[list[Front]]:
+        if selector == block_value_selector(closure.arity) and len(arg_vars) == closure.arity:
+            return self.inline_block(front, closure, arg_vars, scope, result_var)
+        if selector in ("whileTrue:", "whileFalse:") and len(arg_vars) == 1:
+            body_closure = front.get_closure(arg_vars[0])
+            if (
+                body_closure is not None
+                and closure.arity == 0
+                and body_closure.arity == 0
+            ):
+                return self.compile_loop_intrinsic(
+                    front, selector, closure, body_closure, scope, result_var
+                )
+        return None
+
+    def inline_block(
+        self,
+        front: Front,
+        closure: BlockClosure,
+        arg_vars: list[str],
+        scope: InlineScope,
+        result_var: str,
+    ) -> Optional[list[Front]]:
+        """Inline a block body at a ``value`` send (or return None)."""
+        if closure.scope.home not in self.active_method_scopes:
+            # The block's home method finished inlining; a ^ inside could
+            # not be routed.  Fall back to a runtime invocation.
+            if block_has_nlr(closure.block):
+                return None
+        self.stats["inlined_blocks"] += 1
+        block_scope = InlineScope(
+            closure.block,
+            "block",
+            self_var=closure.scope.home.self_var,
+            lexical_parent=closure.scope,
+            caller=scope,
+        )
+        for formal, arg_var in zip(closure.block.argument_names, arg_vars):
+            flat = block_scope.rename(formal)
+            self.emit(front, MoveNode(flat, arg_var))
+            front.copy_binding(flat, arg_var)
+            if arg_var in front.materialized:
+                front.materialized = front.materialized | {flat}
+        self._init_locals(block_scope, [front])
+        fronts, var = self.compile_statements(
+            block_scope, list(closure.block.statements), [front]
+        )
+        for f in fronts:
+            self.emit(f, MoveNode(result_var, var))
+            f.copy_binding(result_var, var)
+            if var in f.materialized:
+                f.materialized = f.materialized | {result_var}
+        return fronts
+
+    # -- known-receiver dispatch ---------------------------------------------------
+
+    def dispatch_known(
+        self,
+        front: Front,
+        receiver_map,
+        selector: str,
+        recv_var: str,
+        arg_vars: list[str],
+        scope: InlineScope,
+        result_var: str,
+    ) -> Optional[list[Front]]:
+        """Compile-time lookup + slot dispatch (paper, section 3.2.2)."""
+        try:
+            found = lookup_in_map(self.universe, receiver_map, selector)
+        except AmbiguousLookup:
+            return None
+        if found is None:
+            # Blocks answer the value family natively.
+            if receiver_map.kind == "block" and selector.startswith("value"):
+                return None
+            return None
+        slot = found.slot
+        if slot.kind == CONSTANT:
+            value = slot.value
+            if isinstance(value, SelfMethod):
+                if self.may_inline_method(value, selector, scope, front):
+                    return self.inline_method(
+                        front, value, recv_var, arg_vars, scope, result_var
+                    )
+                return None  # compiled as a (monomorphic) send
+            self.emit(front, ConstNode(result_var, value))
+            front.bind(result_var, type_of_constant(value, self.universe))
+            front.bind_closure(result_var, None)
+            self.stats["inlined_sends"] += 1
+            return [front]
+        if slot.kind == DATA:
+            holder_var = recv_var
+            if not found.in_receiver:
+                holder_var = self.fresh_temp()
+                self.emit(front, ConstNode(holder_var, found.holder))
+            self.emit(
+                front,
+                LoadSlotNode(result_var, holder_var, slot.offset, slot.name),
+            )
+            front.bind(result_var, self._slot_type(receiver_map, slot.name))
+            front.bind_closure(result_var, None)
+            self.stats["inlined_sends"] += 1
+            return [front]
+        if slot.kind == ASSIGNMENT:
+            value_var = arg_vars[0]
+            self.use_value(front, value_var)
+            holder_var = recv_var
+            if not found.in_receiver:
+                holder_var = self.fresh_temp()
+                self.emit(front, ConstNode(holder_var, found.holder))
+            self.emit(
+                front,
+                StoreSlotNode(holder_var, slot.offset, value_var, slot.name),
+            )
+            # Assignment answers the receiver.
+            self.emit(front, MoveNode(result_var, recv_var))
+            front.copy_binding(result_var, recv_var)
+            self.stats["inlined_sends"] += 1
+            return [front]
+        return None
+
+    def _slot_type(self, receiver_map, slot_name: str) -> SelfType:
+        """Data slot loads are unknown — unless static annotations apply."""
+        if self.annotations is not None:
+            annotated = self.annotations.slot_type(receiver_map, slot_name, self.universe)
+            if annotated is not None:
+                return annotated
+        return UNKNOWN
+
+    #: methods at most this heavy inline regardless of depth — the
+    #: boolean/accessor protocol (ifTrue:False:, isNil, not, value)
+    #: must never fall back to a dynamic send just because the inlining
+    #: got deep: that would materialize the arm blocks, and a ^ inside
+    #: one could not be routed to its (inlined) home method.
+    TINY_METHOD_WEIGHT = 12
+
+    def may_inline_method(
+        self, method: SelfMethod, selector: str, scope: InlineScope, front: Front
+    ) -> bool:
+        config = self.config
+        if not config.inline_methods:
+            if not (config.st80_macros and selector in ST80_MACRO_SELECTORS):
+                return False
+        weight = ast_weight(method.code)
+        if scope.depth >= config.inline_depth_limit and weight > self.TINY_METHOD_WEIGHT:
+            return False
+        if weight > config.inline_size_limit:
+            return False
+        occurrences = scope.occurrences_on_stack(id(method.code))
+        if weight <= self.TINY_METHOD_WEIGHT:
+            # Tiny structural methods (ifTrue:False:, isNil, not, ...)
+            # legitimately nest; only true runaway recursion is cut off.
+            return occurrences < 4
+        return occurrences == 0
+
+    def inline_method(
+        self,
+        front: Front,
+        method: SelfMethod,
+        recv_var: str,
+        arg_vars: list[str],
+        scope: InlineScope,
+        result_var: str,
+    ) -> list[Front]:
+        """Message inlining: replace the send with the method body."""
+        self.stats["inlined_sends"] += 1
+        method_scope = InlineScope(
+            method.code,
+            "method",
+            self_var=recv_var,
+            lexical_parent=None,
+            caller=scope,
+            method_key=id(method.code),
+        )
+        self.active_method_scopes.append(method_scope)
+        try:
+            for formal, arg_var in zip(method.code.argument_names, arg_vars):
+                flat = method_scope.rename(formal)
+                self.emit(front, MoveNode(flat, arg_var))
+                front.copy_binding(flat, arg_var)
+                if arg_var in front.materialized:
+                    front.materialized = front.materialized | {flat}
+            self._init_locals(method_scope, [front])
+            fronts, var = self.compile_statements(
+                method_scope, list(method.code.statements), [front]
+            )
+            joined: list[Front] = []
+            for f in fronts:
+                self.emit(f, MoveNode(result_var, var))
+                f.copy_binding(result_var, var)
+                if var in f.materialized:
+                    f.materialized = f.materialized | {result_var}
+                joined.append(f)
+            for f, sink_var in method_scope.return_sinks:
+                self.emit(f, MoveNode(result_var, sink_var))
+                f.copy_binding(result_var, sink_var)
+                if sink_var in f.materialized:
+                    f.materialized = f.materialized | {result_var}
+                joined.append(f)
+            return regroup(self, joined)
+        finally:
+            self.active_method_scopes.remove(method_scope)
+
+    def _static_union_dispatch(
+        self,
+        front: Front,
+        selector: str,
+        recv_var: str,
+        arg_vars: list[str],
+        scope: InlineScope,
+        result_var: str,
+        receiver_type: SelfType,
+    ) -> Optional[list[Front]]:
+        """Static-mode dispatch over a small declared union.
+
+        A C programmer writes ``if (p != NULL)`` and the compiler knows
+        the type on both sides.  Our equivalent: a declared union of a
+        few maps dispatches with map tests for all but the last
+        constituent, which is *assumed* (no residual dynamic send).
+        """
+        from ..types.lattice import MergeType, UnionType
+
+        if isinstance(receiver_type, UnionType):
+            members = list(receiver_type.members)
+        elif isinstance(receiver_type, MergeType):
+            members = list(receiver_type.constituents)
+        else:
+            return None
+        if not (2 <= len(members) <= 4):
+            return None
+        universe = self.universe
+        refined = []
+        for member in members:
+            member_map = as_map(member, universe)
+            if member_map is None:
+                return None
+            refined.append((member, member_map))
+        # Put nil-like constituents first (they test cheapest; order is
+        # deterministic either way).
+        refined.sort(key=lambda pair: (pair[1].kind != "nil", pair[1].map_id))
+        out: list[Front] = []
+        current = front
+        for index, (member, member_map) in enumerate(refined):
+            if index == len(refined) - 1:
+                current.refine(recv_var, member)
+                out += self.send_one(
+                    current, selector, recv_var, arg_vars, scope, result_var
+                )
+            else:
+                self.use_value(current, recv_var)
+                self.stats["type_tests"] += 1
+                yes, current = self.emit_branch(
+                    current,
+                    TypeTestNode(recv_var, member_map),
+                    uncommon_false=False,
+                )
+                yes.refine(recv_var, member)
+                out += self.send_one(
+                    yes, selector, recv_var, arg_vars, scope, result_var
+                )
+        return self.drop_dead(out)
+
+    # -- type prediction -----------------------------------------------------------
+
+    def try_prediction(
+        self,
+        front: Front,
+        selector: str,
+        recv_var: str,
+        arg_vars: list[str],
+        scope: InlineScope,
+        result_var: str,
+        receiver_type: SelfType,
+    ) -> Optional[list[Front]]:
+        kind = predicted_kind(selector)
+        if kind is None:
+            return None
+        universe = self.universe
+        if as_map(receiver_type, universe) is not None:
+            # The map is already known; dispatch_known had its chance —
+            # a predicted test could not add information (and would
+            # recurse forever).
+            return None
+        if kind == "boolean":
+            return self._predict_boolean(
+                front, selector, recv_var, arg_vars, scope, result_var, receiver_type
+            )
+        predicted = universe.smallint_map if kind == "int" else universe.vector_map
+        if disjoint(receiver_type, MapType(predicted)):
+            return None
+        if self.config.static_types:
+            # Trusted prediction: assume the declared type, no test —
+            # the compile-time equivalent of a C type declaration.
+            self.stats["type_tests_elided"] += 1
+            front.refine(recv_var, refine_to_map(receiver_type, predicted, universe))
+            return self.send_one(front, selector, recv_var, arg_vars, scope, result_var)
+        self.use_value(front, recv_var)
+        self.stats["type_tests"] += 1
+        yes, no = self.emit_branch(front, TypeTestNode(recv_var, predicted))
+        yes.refine(recv_var, refine_to_map(receiver_type, predicted, universe))
+        no.refine(recv_var, exclude_map(receiver_type, predicted, universe))
+        success = self.send_one(yes, selector, recv_var, arg_vars, scope, result_var)
+        failure = self.emit_dynamic_send(no, selector, recv_var, arg_vars, result_var)
+        return self.drop_dead(success + failure)
+
+    def _predict_boolean(
+        self,
+        front: Front,
+        selector: str,
+        recv_var: str,
+        arg_vars: list[str],
+        scope: InlineScope,
+        result_var: str,
+        receiver_type: SelfType,
+    ) -> Optional[list[Front]]:
+        universe = self.universe
+        true_map = universe.true_map
+        false_map = universe.false_map
+        if disjoint(receiver_type, MapType(true_map)) and disjoint(
+            receiver_type, MapType(false_map)
+        ):
+            return None
+        if self.config.static_types:
+            # A C conditional: one flag test; the other branch is simply
+            # assumed to be the other boolean.
+            self.use_value(front, recv_var)
+            self.stats["type_tests"] += 1
+            is_true, is_false = self.emit_branch(
+                front, TypeTestNode(recv_var, true_map), uncommon_false=False
+            )
+            is_true.refine(recv_var, ValueType(universe.true_object, true_map))
+            is_false.refine(recv_var, ValueType(universe.false_object, false_map))
+            out = self.send_one(is_true, selector, recv_var, arg_vars, scope, result_var)
+            out += self.send_one(is_false, selector, recv_var, arg_vars, scope, result_var)
+            return self.drop_dead(out)
+        self.use_value(front, recv_var)
+        self.stats["type_tests"] += 2
+        is_true, not_true = self.emit_branch(
+            front, TypeTestNode(recv_var, true_map), uncommon_false=False
+        )
+        is_true.refine(recv_var, ValueType(universe.true_object, true_map))
+        is_false, neither = self.emit_branch(not_true, TypeTestNode(recv_var, false_map))
+        is_false.refine(recv_var, ValueType(universe.false_object, false_map))
+        out = self.send_one(is_true, selector, recv_var, arg_vars, scope, result_var)
+        out += self.send_one(is_false, selector, recv_var, arg_vars, scope, result_var)
+        # A boolean-protocol message to a non-boolean: ST-80's
+        # mustBeBoolean; our world defines these selectors nowhere else,
+        # so this is the messageNotUnderstood path compiled as an error.
+        self.emit(neither, ErrorNode(selector, "mustBeBooleanError"))
+        return self.drop_dead(out)
+
+    # -- dynamic sends ----------------------------------------------------------------
+
+    def emit_dynamic_send(
+        self,
+        front: Front,
+        selector: str,
+        recv_var: str,
+        arg_vars: list[str],
+        result_var: str,
+    ) -> list[Front]:
+        self.stats["dynamic_sends"] += 1
+        self.use_value(front, recv_var)
+        for arg_var in arg_vars:
+            self.use_value(front, arg_var)
+        self.emit(front, SendNode(result_var, selector, recv_var, arg_vars))
+        front.bind(result_var, UNKNOWN)
+        front.bind_closure(result_var, None)
+        self.invalidate_escaping(front)
+        return [front]
+
+    def invalidate_escaping(self, front: Front) -> None:
+        """A call we cannot see may run a materialized block, which may
+        assign any escaping local (the paper's "up-level assignment"
+        source of unknown types)."""
+        for flat in self.escaping:
+            if flat in front.types:
+                front.bind(flat, UNKNOWN)
+                front.bind_closure(flat, None)
+
+
+def _free_names(block: BlockNode) -> set[str]:
+    """Identifiers a block (and its nested blocks) may resolve lexically.
+
+    Includes both reads (unary implicit sends) and writes (``name:``
+    implicit sends).  Names bound by the block or a nested block are
+    still included — resolution against the creating scope simply won't
+    find them locally and the template marks them 'send'; the inner
+    compile shadows them first anyway.
+    """
+    names: set[str] = set()
+    bound: set[str] = set(block.argument_names) | set(block.local_names)
+    stack: list = list(block.statements)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, AstSendNode):
+            if node.receiver is None:
+                if not node.arguments and node.selector.isidentifier():
+                    if node.selector not in bound:
+                        names.add(node.selector)
+                elif (
+                    len(node.arguments) == 1
+                    and node.selector.endswith(":")
+                    and ":" not in node.selector[:-1]
+                ):
+                    base = node.selector[:-1]
+                    if base not in bound:
+                        names.add(base)
+            else:
+                stack.append(node.receiver)
+            stack.extend(node.arguments)
+        elif isinstance(node, AstReturnNode):
+            stack.append(node.expression)
+        elif isinstance(node, BlockNode):
+            stack.extend(node.statements)
+    return names

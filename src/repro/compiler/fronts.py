@@ -1,0 +1,270 @@
+"""Compilation fronts: the mechanism behind extended message splitting.
+
+A *front* is one open edge of the control-flow graph under construction,
+together with everything the compiler knows along that path: the type
+binding table (paper, section 3) and the compile-time block closures.
+
+Branching nodes split one front into several; merge nodes combine
+several into one.  **Extended message splitting falls out of when we
+choose to merge**: with the technique enabled, fronts whose type
+bindings differ in class information stay apart — so every node compiled
+afterwards is (implicitly) duplicated per front, which is exactly the
+code duplication the paper performs by copying nodes from the merge
+point to the send.  When the front budget is exhausted, or on uncommon
+(failure) paths, fronts merge immediately and the diluted binding
+becomes a *merge type*, from which type prediction can still recover the
+common case with a run-time test.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import itertools
+
+from ..ir.nodes import IRNode, MergeNode
+from ..types.lattice import EMPTY, UNKNOWN, SelfType, as_map, is_boolean_constant
+from ..types.ops import merge_bindings
+from .scopes import BlockClosure
+
+
+_value_tokens = itertools.count(1)
+
+
+class Front:
+    """One open CFG edge plus per-path compile-time knowledge."""
+
+    __slots__ = (
+        "node", "port", "types", "closures", "uncommon", "materialized",
+        "value_ids",
+    )
+
+    def __init__(
+        self,
+        node: IRNode,
+        port: int,
+        types: dict[str, SelfType],
+        closures: dict[str, BlockClosure],
+        uncommon: bool = False,
+        materialized: frozenset = frozenset(),
+        value_ids: Optional[dict[str, int]] = None,
+    ) -> None:
+        self.node = node
+        self.port = port
+        self.types = types
+        self.closures = closures
+        self.uncommon = uncommon
+        #: variables whose pending block closure already exists at run
+        #: time (a MakeBlock node was emitted along this path)
+        self.materialized = materialized
+        #: variable -> value identity token.  Copies (MoveNodes from
+        #: inlining) share a token, so refining one name at a run-time
+        #: type test refines every alias — including the original local
+        #: a loop's next iteration reads.
+        self.value_ids = value_ids if value_ids is not None else {}
+
+    # -- bindings ------------------------------------------------------------
+
+    def get_type(self, var: str) -> SelfType:
+        return self.types.get(var, UNKNOWN)
+
+    def bind(self, var: str, t: SelfType) -> None:
+        """Bind a *definition*: the variable now holds a fresh value."""
+        self.types[var] = t
+        self.value_ids[var] = next(_value_tokens)
+
+    def refine(self, var: str, t: SelfType) -> None:
+        """Narrow a binding from a run-time test or range refinement.
+
+        Unlike :meth:`bind`, refinement applies to the *value* — every
+        variable aliasing it (through inlining's copy moves) narrows
+        with it.  Without this, a type test on an inlined method's
+        formal would never inform the caller's original variable, and
+        loop analysis could never hoist the test.
+        """
+        token = self.value_ids.get(var)
+        self.types[var] = t
+        if token is None:
+            return
+        for other, other_token in self.value_ids.items():
+            if other_token == token:
+                self.types[other] = t
+
+    def get_closure(self, var: str) -> Optional[BlockClosure]:
+        return self.closures.get(var)
+
+    def bind_closure(self, var: str, closure: Optional[BlockClosure]) -> None:
+        if closure is None:
+            self.closures.pop(var, None)
+        else:
+            self.closures[var] = closure
+
+    def copy_binding(self, dst: str, src: str) -> None:
+        self.types[dst] = self.get_type(src)
+        token = self.value_ids.get(src)
+        if token is None:
+            token = next(_value_tokens)
+            self.value_ids[src] = token
+        self.value_ids[dst] = token
+        closure = self.closures.get(src)
+        if closure is not None:
+            self.closures[dst] = closure
+        else:
+            self.closures.pop(dst, None)
+
+    @property
+    def dead(self) -> bool:
+        """A front becomes dead when a binding is provably EMPTY."""
+        return any(t is EMPTY for t in self.types.values())
+
+    def split(self, node: IRNode, port: int, uncommon: Optional[bool] = None) -> "Front":
+        """A copy of this front hanging off another port."""
+        return Front(
+            node,
+            port,
+            dict(self.types),
+            dict(self.closures),
+            self.uncommon if uncommon is None else uncommon,
+            self.materialized,
+            dict(self.value_ids),
+        )
+
+    def prune_temps(self, keep: Optional[str] = None, protected: frozenset = frozenset()) -> None:
+        """Drop dead compiler temporaries at a statement boundary.
+
+        ``protected`` holds temps that are still live across statements:
+        the self variables of every open inlined scope (an inlined
+        method's receiver usually sits in a temporary — dropping its
+        binding would degrade all later self sends to dynamic).
+        """
+        def droppable(v: str) -> bool:
+            return (
+                v.startswith("%")
+                and v != keep
+                and v != "%self"
+                and v not in protected
+            )
+
+        for var in [v for v in self.types if droppable(v)]:
+            del self.types[var]
+        for var in [v for v in self.closures if droppable(v)]:
+            del self.closures[var]
+        for var in [v for v in self.value_ids if droppable(v)]:
+            del self.value_ids[var]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = " uncommon" if self.uncommon else ""
+        return f"<front @{self.node!r}[{self.port}]{flag}>"
+
+
+def merge_group(engine, fronts: list[Front]) -> Front:
+    """Join several fronts with a MergeNode, forming merge types."""
+    if len(fronts) == 1:
+        return fronts[0]
+    merge = MergeNode(arity=len(fronts))
+    engine.count_node(merge)
+    shared_vars = set(fronts[0].types)
+    for front in fronts[1:]:
+        shared_vars &= set(front.types)
+    merged_types: dict[str, SelfType] = {}
+    for var in shared_vars:
+        merged_types[var] = merge_bindings([f.types[var] for f in fronts])
+    merged_closures: dict[str, BlockClosure] = {}
+    first = fronts[0].closures
+    for var, closure in first.items():
+        if all(f.closures.get(var) is closure for f in fronts[1:]):
+            merged_closures[var] = closure
+    for front in fronts:
+        front.node.set_successor(front.port, merge)
+    materialized = fronts[0].materialized
+    for front in fronts[1:]:
+        materialized = materialized & front.materialized
+    # Variables that alias each other in *every* incoming front still
+    # alias after the merge; group by the tuple of incoming tokens.
+    merged_ids: dict[str, int] = {}
+    token_for_tuple: dict[tuple, int] = {}
+    for var in shared_vars:
+        incoming = tuple(f.value_ids.get(var) for f in fronts)
+        if any(token is None for token in incoming):
+            continue
+        token = token_for_tuple.get(incoming)
+        if token is None:
+            token = next(_value_tokens)
+            token_for_tuple[incoming] = token
+        merged_ids[var] = token
+    return Front(
+        merge,
+        0,
+        merged_types,
+        merged_closures,
+        uncommon=all(f.uncommon for f in fronts),
+        materialized=materialized,
+        value_ids=merged_ids,
+    )
+
+
+def class_signature(front: Front, universe) -> tuple:
+    """The key extended splitting groups fronts by.
+
+    Two fronts merge when no *class-level* information distinguishes
+    them: for every bound variable, the same map (or absence of one), the
+    same boolean constant, and the same tracked closure.  Subrange
+    differences (``int[0..3]`` vs ``int[5..9]``) do *not* keep fronts
+    apart — that precision is cheap to re-merge and the paper's splitting
+    exists to preserve *class* information for inlining.
+    """
+    parts = []
+    for var in sorted(front.types):
+        t = front.types[var]
+        map_ = as_map(t, universe)
+        boolean = is_boolean_constant(t, universe)
+        parts.append((var, None if map_ is None else map_.map_id, boolean))
+    closure_parts = tuple(
+        (var, closure.block.block_id, closure.scope.scope_id)
+        for var, closure in sorted(front.closures.items())
+    )
+    return (tuple(parts), closure_parts)
+
+
+def regroup(engine, fronts: list[Front], at_consumer: bool = True) -> list[Front]:
+    """Apply the merge policy at a join point.
+
+    * Dead fronts are dropped.
+    * With **extended splitting**, fronts merge per class signature (the
+      full technique: splits survive arbitrarily far); if the number of
+      groups exceeds the budget, groups are folded together, uncommon
+      ones first (the paper only copies code along common-case
+      branches).
+    * With only **local splitting** (the old SELF compiler), splits
+      survive solely into the immediately-following consumer
+      (``at_consumer=True``: the value flowing out of the join is about
+      to be used); at plain statement boundaries everything merges.
+    * With neither (ST-80), everything merges at every join.
+    """
+    fronts = engine.drop_dead(fronts)
+    if not fronts:
+        return []
+    config = engine.config
+    if not config.extended_splitting:
+        if at_consumer and config.local_splitting:
+            if len(fronts) > max(1, config.max_fronts):
+                return [merge_group(engine, fronts)]
+            return fronts
+        return [merge_group(engine, fronts)] if len(fronts) > 1 else fronts
+    groups: dict[tuple, list[Front]] = {}
+    for front in fronts:
+        groups.setdefault(class_signature(front, engine.universe), []).append(front)
+    merged = [merge_group(engine, group) for group in groups.values()]
+    # Uncommon fronts do not deserve their own copy of downstream code:
+    # merge them into one (keeping common groups precise).
+    common = [f for f in merged if not f.uncommon]
+    uncommon = [f for f in merged if f.uncommon]
+    if common and len(uncommon) > 1:
+        uncommon = [merge_group(engine, uncommon)]
+    merged = common + uncommon
+    while len(merged) > max(1, config.max_fronts):
+        # Over budget: fold the two most similar (here: last two) groups.
+        tail = merged.pop()
+        head = merged.pop()
+        merged.append(merge_group(engine, [head, tail]))
+    return merged

@@ -1,0 +1,424 @@
+"""Iterative type analysis and multi-version loops (paper, section 5).
+
+The loop intrinsic fires when both the receiver and argument of
+``whileTrue:``/``whileFalse:`` are statically-known zero-argument blocks
+— which, after the standard library's ``upTo:Do:``-style methods have
+been inlined, is every loop in a typical program.
+
+The algorithm:
+
+1. Seed the loop-head binding table with the entry bindings (temps
+   pruned).
+2. Compile condition + body from the head bindings.  Each compilation
+   front reaching the end of the body is a *loop tail*; it searches the
+   loop-head versions for a *compatible* head and connects to it.
+3. Tails that match no head force another analysis round: the head
+   bindings are generalized with the loop-head widening rule
+   (value/subrange → class type; unknown vs. class → merge type), the
+   trial graph is discarded, and the loop recompiles.
+4. When the head table contains merge types for variables the body
+   uses, the head itself *splits*: a specialized version (the fast,
+   common-case loop) plus the general version.  Tails from the general
+   version whose bindings re-narrow (e.g. after a run-time type test)
+   connect across to the specialized head — this is how type tests get
+   hoisted out of the hot loop, as in the paper's triangleNumber
+   walkthrough.
+5. After ``max_loop_iterations`` rounds (or when iteration is disabled),
+   fall back to *pessimistic* analysis: every variable the loop could
+   assign is bound to unknown, and a single version compiles in one
+   pass — the old SELF compiler's strategy.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..ir.nodes import ConstNode, ErrorNode, LoopHeadNode, TypeTestNode
+from ..lang.ast_nodes import BlockNode, ReturnNode as AstReturnNode, SendNode as AstSendNode
+from ..types.lattice import (
+    UNKNOWN,
+    MergeType,
+    SelfType,
+    ValueType,
+    as_map,
+    is_boolean_constant,
+    type_of_constant,
+)
+from ..types.ops import loop_compatible, widen_for_loop_head
+from .fronts import Front, regroup
+from .scopes import BlockClosure, InlineScope
+
+_loop_ids = itertools.count(1)
+
+
+class _LoopVersion:
+    """One loop-head version: its binding table and (later) head node."""
+
+    __slots__ = ("types", "head_node")
+
+    def __init__(self, types: dict[str, SelfType]) -> None:
+        self.types = types
+        self.head_node: Optional[LoopHeadNode] = None
+
+
+class LoopCompilationMixin:
+    """Loop compilation for :class:`~repro.compiler.engine.MethodCompiler`."""
+
+    # ------------------------------------------------------------------
+    # Entry
+    # ------------------------------------------------------------------
+
+    def compile_loop_intrinsic(
+        self,
+        front: Front,
+        selector: str,
+        cond: BlockClosure,
+        body: BlockClosure,
+        scope: InlineScope,
+        result_var: str,
+    ) -> list[Front]:
+        want_true = selector == "whileTrue:"
+        loop_id = next(_loop_ids)
+        protected = self.protected_vars() | {"%self"}
+
+        def kept(var: str) -> bool:
+            return not var.startswith("%") or var in protected
+
+        base_types = {var: t for var, t in front.types.items() if kept(var)}
+        base_closures = {
+            var: c for var, c in front.closures.items() if kept(var)
+        }
+        base_mat = frozenset(v for v in front.materialized if kept(v))
+
+        if not (self.config.iterative_loops and self.config.type_analysis):
+            return self._compile_pessimistic_loop(
+                front, cond, body, want_true, scope, loop_id, result_var,
+                base_types, base_closures, base_mat,
+            )
+
+        snapshots = self._snapshot_sinks()
+        for _ in range(self.config.max_loop_iterations):
+            self.stats["loop_analysis_iterations"] += 1
+            self._restore_sinks(snapshots)
+            versions = self._make_versions(base_types, cond, body, base_closures)
+            exits, unmatched = self._compile_versions(
+                versions, base_closures, base_mat, cond, body, want_true,
+                scope, loop_id,
+            )
+            if not unmatched:
+                entry_version = self._find_compatible_version(versions, front)
+                if entry_version is not None:
+                    front.node.set_successor(front.port, entry_version.head_node)
+                    self.stats["loop_versions"] += len(versions)
+                    return self._finish_exits(exits, result_var)
+                unmatched = [front]
+            progressed = False
+            new_base = dict(base_types)
+            for tail in unmatched:
+                for var in base_types:
+                    widened = widen_for_loop_head(
+                        new_base[var], tail.get_type(var), self.universe
+                    )
+                    if widened != new_base[var]:
+                        new_base[var] = widened
+                        progressed = True
+                base_mat = base_mat & tail.materialized
+            if not progressed:
+                break
+            base_types = new_base
+        # Fixed point not reached in budget: pessimistic single version.
+        self._restore_sinks(snapshots)
+        return self._compile_pessimistic_loop(
+            front, cond, body, want_true, scope, loop_id, result_var,
+            base_types, base_closures, base_mat,
+        )
+
+    # ------------------------------------------------------------------
+    # Version construction (loop-head splitting)
+    # ------------------------------------------------------------------
+
+    def _make_versions(
+        self,
+        base_types: dict[str, SelfType],
+        cond: BlockClosure,
+        body: BlockClosure,
+        base_closures: dict,
+    ) -> list[_LoopVersion]:
+        versions = [_LoopVersion(dict(base_types))]
+        if not self.config.multi_version_loops:
+            return versions
+        used = self._loop_variables(cond, body, base_closures, writes_only=False)
+        split_vars = [
+            var
+            for var in sorted(base_types)
+            if var in used and isinstance(base_types[var], MergeType)
+        ]
+        if not split_vars:
+            return versions
+        specialized = dict(base_types)
+        any_split = False
+        for var in split_vars:
+            merge: MergeType = base_types[var]  # type: ignore[assignment]
+            best = next(
+                (
+                    c
+                    for c in merge.constituents
+                    if as_map(c, self.universe) is not None
+                ),
+                None,
+            )
+            if best is not None:
+                specialized[var] = best
+                any_split = True
+        if not any_split:
+            return versions
+        # Specialized (fast) version first so tails and the entry prefer
+        # it; the general version is the catch-all.
+        return [_LoopVersion(specialized), versions[0]][: self.config.max_loop_versions]
+
+    # ------------------------------------------------------------------
+    # Compiling the versions
+    # ------------------------------------------------------------------
+
+    def _compile_versions(
+        self,
+        versions: list[_LoopVersion],
+        base_closures: dict,
+        base_mat: frozenset,
+        cond: BlockClosure,
+        body: BlockClosure,
+        want_true: bool,
+        scope: InlineScope,
+        loop_id: int,
+    ) -> tuple[list[Front], list[Front]]:
+        for index, version in enumerate(versions):
+            version.head_node = LoopHeadNode(loop_id, index)
+            self.count_node(version.head_node)
+        exits: list[Front] = []
+        unmatched: list[Front] = []
+        for version in versions:
+            head_front = Front(
+                version.head_node, 0, dict(version.types), dict(base_closures),
+                False, base_mat,
+            )
+            body_fronts, version_exits = self._compile_condition(
+                head_front, cond, want_true, scope
+            )
+            exits.extend(version_exits)
+            tails: list[Front] = []
+            for body_front in body_fronts:
+                tails.extend(self._compile_loop_body(body_front, body, scope))
+            for tail in tails:
+                target = self._find_compatible_version_for_tail(versions, tail, base_mat)
+                if target is not None:
+                    tail.node.set_successor(tail.port, target.head_node)
+                else:
+                    unmatched.append(tail)
+        return exits, unmatched
+
+    def _compile_condition(
+        self, front: Front, cond: BlockClosure, want_true: bool, scope: InlineScope
+    ) -> tuple[list[Front], list[Front]]:
+        """Inline the condition block; route fronts to body or exit."""
+        universe = self.universe
+        cond_scope = InlineScope(
+            cond.block,
+            "block",
+            self_var=cond.scope.home.self_var,
+            lexical_parent=cond.scope,
+            caller=scope,
+        )
+        self._init_locals(cond_scope, [front])
+        fronts, cond_var = self.compile_statements(
+            cond_scope, list(cond.block.statements), [front]
+        )
+        body_fronts: list[Front] = []
+        exit_fronts: list[Front] = []
+        for f in fronts:
+            decided = is_boolean_constant(f.get_type(cond_var), universe)
+            if decided is not None:
+                (body_fronts if decided == want_true else exit_fronts).append(f)
+                continue
+            self.use_value(f, cond_var)
+            self.stats["type_tests"] += 2
+            is_true, not_true = self.emit_branch(
+                f, TypeTestNode(cond_var, universe.true_map), uncommon_false=False
+            )
+            is_true.refine(cond_var, ValueType(universe.true_object, universe.true_map))
+            (body_fronts if want_true else exit_fronts).append(is_true)
+            is_false, neither = self.emit_branch(
+                not_true, TypeTestNode(cond_var, universe.false_map)
+            )
+            is_false.refine(cond_var, ValueType(universe.false_object, universe.false_map))
+            (exit_fronts if want_true else body_fronts).append(is_false)
+            self.emit(neither, ErrorNode("_BlockWhileTrue:", "badTypeError"))
+        return body_fronts, exit_fronts
+
+    def _compile_loop_body(
+        self, front: Front, body: BlockClosure, scope: InlineScope
+    ) -> list[Front]:
+        body_scope = InlineScope(
+            body.block,
+            "block",
+            self_var=body.scope.home.self_var,
+            lexical_parent=body.scope,
+            caller=scope,
+        )
+        self._init_locals(body_scope, [front])
+        fronts, _ = self.compile_statements(
+            body_scope, list(body.block.statements), [front]
+        )
+        return fronts
+
+    # ------------------------------------------------------------------
+    # Compatibility (paper, section 5.2)
+    # ------------------------------------------------------------------
+
+    def _find_compatible_version_for_tail(
+        self, versions: list[_LoopVersion], tail: Front, base_mat: frozenset
+    ) -> Optional[_LoopVersion]:
+        for version in versions:
+            if not base_mat <= tail.materialized:
+                continue
+            if all(
+                loop_compatible(head_type, tail.get_type(var), self.universe)
+                for var, head_type in version.types.items()
+            ):
+                return version
+        return None
+
+    def _find_compatible_version(
+        self, versions: list[_LoopVersion], entry: Front
+    ) -> Optional[_LoopVersion]:
+        for version in versions:
+            if all(
+                loop_compatible(head_type, entry.get_type(var), self.universe)
+                for var, head_type in version.types.items()
+            ):
+                return version
+        return None
+
+    # ------------------------------------------------------------------
+    # Pessimistic fallback (the old SELF strategy)
+    # ------------------------------------------------------------------
+
+    def _compile_pessimistic_loop(
+        self,
+        front: Front,
+        cond: BlockClosure,
+        body: BlockClosure,
+        want_true: bool,
+        scope: InlineScope,
+        loop_id: int,
+        result_var: str,
+        base_types: dict[str, SelfType],
+        base_closures: dict,
+        base_mat: frozenset,
+    ) -> list[Front]:
+        assigned = self._loop_variables(cond, body, base_closures, writes_only=True)
+        assigned |= set(self.escaping)
+        head_types = dict(base_types)
+        head_closures = dict(base_closures)
+        head_mat = base_mat
+        for var in assigned:
+            if var in head_types:
+                head_types[var] = UNKNOWN
+            head_closures.pop(var, None)
+            head_mat = head_mat - {var}
+        head = LoopHeadNode(loop_id, 0)
+        self.count_node(head)
+        front.node.set_successor(front.port, head)
+        head_front = Front(head, 0, head_types, head_closures, front.uncommon, head_mat)
+        body_fronts, exits = self._compile_condition(head_front, cond, want_true, scope)
+        for body_front in body_fronts:
+            for tail in self._compile_loop_body(body_front, body, scope):
+                # Head bindings contain every possible tail by
+                # construction; connect unconditionally.
+                tail.node.set_successor(tail.port, head)
+        self.stats["loop_versions"] += 1
+        return self._finish_exits(exits, result_var)
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def _finish_exits(self, exits: list[Front], result_var: str) -> list[Front]:
+        universe = self.universe
+        for front in exits:
+            self.emit(front, ConstNode(result_var, universe.nil_object))
+            front.bind(
+                result_var, type_of_constant(universe.nil_object, universe)
+            )
+            front.bind_closure(result_var, None)
+        return regroup(self, exits)
+
+    def _snapshot_sinks(self) -> list[tuple[InlineScope, int]]:
+        return [(s, len(s.return_sinks)) for s in self.active_method_scopes]
+
+    def _restore_sinks(self, snapshots: list[tuple[InlineScope, int]]) -> None:
+        for method_scope, length in snapshots:
+            del method_scope.return_sinks[length:]
+
+    def _loop_variables(
+        self,
+        cond: BlockClosure,
+        body: BlockClosure,
+        base_closures: dict,
+        writes_only: bool,
+    ) -> set[str]:
+        """Flat variable names the loop may write (or touch at all).
+
+        Walks the condition and body block ASTs, *transitively* following
+        any block closures reachable through variables the loop reads —
+        a block invoked inside the loop assigns through its own lexical
+        scope, which the loop's AST does not show syntactically.
+        """
+        result: set[str] = set()
+        visited_blocks: set[int] = set()
+        worklist: list[BlockClosure] = [cond, body]
+        while worklist:
+            closure = worklist.pop()
+            if closure.block.block_id in visited_blocks:
+                continue
+            visited_blocks.add(closure.block.block_id)
+            reads, writes = _block_accesses(closure.block)
+            names = writes if writes_only else (reads | writes)
+            for name in names:
+                resolved = closure.scope.resolve_local(name)
+                if resolved is not None:
+                    result.add(resolved[1])
+            for name in reads:
+                resolved = closure.scope.resolve_local(name)
+                if resolved is not None:
+                    inner = base_closures.get(resolved[1])
+                    if inner is not None:
+                        worklist.append(inner)
+        return result
+
+
+def _block_accesses(block: BlockNode) -> tuple[set[str], set[str]]:
+    """(reads, writes) of implicit-self names in a block, nested included."""
+    reads: set[str] = set()
+    writes: set[str] = set()
+    stack: list = list(block.statements)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, AstSendNode):
+            if node.receiver is None:
+                if not node.arguments and node.selector.isidentifier():
+                    reads.add(node.selector)
+                elif (
+                    len(node.arguments) == 1
+                    and node.selector.endswith(":")
+                    and ":" not in node.selector[:-1]
+                ):
+                    writes.add(node.selector[:-1])
+            else:
+                stack.append(node.receiver)
+            stack.extend(node.arguments)
+        elif isinstance(node, AstReturnNode):
+            stack.append(node.expression)
+        elif isinstance(node, BlockNode):
+            stack.extend(node.statements)
+    return reads, writes

@@ -1,0 +1,68 @@
+"""Type prediction tables (paper, section 2 and 3.2.2).
+
+"Sometimes the name of the message is sufficient to predict the type of
+its receiver" — the receiver of ``+`` is overwhelmingly a small integer,
+the receiver of ``ifTrue:`` a boolean.  The compiler inserts a run-time
+type test for the predicted map and compiles a fast (inlined) version on
+the success branch and a dynamic send on the uncommon failure branch.
+
+These tables also double as the ST-80 configuration's "special
+selectors": the Deutsch–Schiffman system hardwired the same arithmetic
+and control-flow selectors into special bytecodes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Selectors whose receiver is predicted to be a small integer.
+INTEGER_SELECTORS = frozenset(
+    {
+        "+", "-", "*", "/", "%",
+        "<", "<=", ">", ">=", "=", "!=",
+        "min:", "max:", "succ", "pred", "abs", "negate",
+        "to:Do:", "upTo:Do:", "to:By:Do:", "downTo:Do:", "timesRepeat:",
+        "between:And:", "even", "odd",
+    }
+)
+
+#: Selectors whose receiver is predicted to be a boolean.
+BOOLEAN_SELECTORS = frozenset(
+    {
+        "ifTrue:", "ifFalse:",
+        "ifTrue:False:", "ifFalse:True:",
+        "and:", "or:", "not",
+    }
+)
+
+#: Selectors whose receiver is predicted to be a vector.
+VECTOR_SELECTORS = frozenset(
+    {"at:", "at:Put:", "size", "do:", "atAllPut:", "first", "last"}
+)
+
+#: The selectors the ST-80 baseline treats specially, and nothing else:
+#: the control-flow macros the real ST-80 bytecode compiler inlines for
+#: literal-block arguments, plus the Deutsch–Schiffman "special selector"
+#: bytecodes for small-integer arithmetic and comparison.
+ST80_MACRO_SELECTORS = frozenset(
+    {
+        "ifTrue:", "ifFalse:", "ifTrue:False:", "ifFalse:True:",
+        "and:", "or:", "not",
+        "whileTrue:", "whileFalse:", "whileTrue", "whileFalse",
+        "to:Do:", "upTo:Do:", "to:By:Do:", "timesRepeat:", "downTo:Do:",
+        "+", "-", "*", "/", "%",
+        "<", "<=", ">", ">=", "=", "!=",
+    }
+)
+
+
+def predicted_kind(selector: str) -> Optional[str]:
+    """The predicted receiver kind for ``selector``: 'int', 'boolean',
+    'vector', or None."""
+    if selector in INTEGER_SELECTORS:
+        return "int"
+    if selector in BOOLEAN_SELECTORS:
+        return "boolean"
+    if selector in VECTOR_SELECTORS:
+        return "vector"
+    return None

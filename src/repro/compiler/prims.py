@@ -1,0 +1,589 @@
+"""Primitive inlining, constant folding, and range analysis.
+
+This mixin implements section 3.2.3 of the paper.  Robust primitives
+expand into their constituent nodes — argument type tests, the bare
+operation, the overflow/bounds check, and the failure handler — and the
+type analysis then deletes every check it can prove redundant:
+
+* a type test vanishes when the binding is already within the class;
+* an overflow check vanishes when interval arithmetic proves the result
+  fits the tagged range;
+* a bounds check vanishes when the index subrange lies inside a vector
+  of statically-known length;
+* a comparison primitive constant-folds when the operand subranges do
+  not overlap — even though neither operand is a constant.
+
+Failure branches are *uncommon*: they compile the user's failure block
+(or the default error) and merge back into the main path, diluting
+types through a merge type exactly as in the paper's triangleNumber
+walkthrough.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.nodes import (
+    ArithNode,
+    ArithOvNode,
+    ArrayLengthNode,
+    ArrayLoadNode,
+    ArrayStoreNode,
+    BoundsCheckNode,
+    CompareBranchNode,
+    ConstNode,
+    ErrorNode,
+    MoveNode,
+    PrimCallNode,
+    SendNode,
+    TypeTestNode,
+)
+from ..primitives.registry import (
+    BAD_SIZE,
+    BAD_TYPE,
+    OUT_OF_BOUNDS,
+    OVERFLOW,
+    PrimFailSignal,
+    lookup_primitive,
+)
+from ..types import intervals
+from ..types.lattice import (
+    UNKNOWN,
+    IntRangeType,
+    MapType,
+    SelfType,
+    ValueType,
+    VectorType,
+    as_map,
+    contains,
+    disjoint,
+    int_interval,
+    make_union,
+    type_of_constant,
+    vector_length,
+)
+from ..types.ops import exclude_map, refine_compare, refine_to_map
+from .fronts import Front
+
+#: integer arithmetic primitives -> (ir op, interval transfer function)
+_INT_ARITH = {
+    "_IntAdd:": ("add", intervals.add),
+    "_IntSub:": ("sub", intervals.sub),
+    "_IntMul:": ("mul", intervals.mul),
+}
+_INT_DIVMOD = {
+    "_IntDiv:": ("div", intervals.floordiv),
+    "_IntMod:": ("mod", intervals.floormod),
+}
+_INT_COMPARE = {
+    "_IntLT:": "<",
+    "_IntLE:": "<=",
+    "_IntGT:": ">",
+    "_IntGE:": ">=",
+    "_IntEQ:": "==",
+    "_IntNE:": "!=",
+}
+
+
+class PrimitiveExpansionMixin:
+    """Primitive handling for :class:`~repro.compiler.engine.MethodCompiler`."""
+
+    # ------------------------------------------------------------------
+    # Entry
+    # ------------------------------------------------------------------
+
+    def expand_primitive(
+        self,
+        front: Front,
+        selector: str,
+        recv_var: str,
+        arg_vars: list[str],
+        scope,
+        result_var: str,
+    ) -> list[Front]:
+        primitive = lookup_primitive(selector)
+        if primitive is None:
+            # Unknown primitive: a runtime error; compile a dynamic send
+            # so behaviour matches the interpreter.
+            return self.emit_dynamic_send(front, selector, recv_var, arg_vars, result_var)
+        fail_var: Optional[str] = None
+        if selector.endswith("IfFail:") and selector != primitive.selector:
+            fail_var = arg_vars[-1]
+            arg_vars = arg_vars[:-1]
+        if len(arg_vars) != primitive.arity:
+            return self.emit_dynamic_send(front, selector, recv_var, arg_vars, result_var)
+
+        name = primitive.selector
+        folded = self._try_constant_fold(
+            front, primitive, recv_var, arg_vars, result_var
+        )
+        if folded is not None:
+            return folded
+
+        if name in _INT_ARITH or name in _INT_DIVMOD:
+            return self._expand_int_arith(
+                front, name, recv_var, arg_vars[0], fail_var, scope, result_var
+            )
+        if name in _INT_COMPARE:
+            return self._expand_int_compare(
+                front, name, recv_var, arg_vars[0], fail_var, scope, result_var
+            )
+        if name == "_VectorAt:":
+            return self._expand_vector_at(
+                front, recv_var, arg_vars[0], None, fail_var, scope, result_var
+            )
+        if name == "_VectorAt:Put:":
+            return self._expand_vector_at(
+                front, recv_var, arg_vars[0], arg_vars[1], fail_var, scope, result_var
+            )
+        if name == "_VectorSize":
+            return self._expand_vector_size(
+                front, recv_var, fail_var, scope, result_var
+            )
+        if name == "_Eq:" or name == "_Ne:":
+            return self._expand_identity(
+                front, name, recv_var, arg_vars[0], result_var
+            )
+        return self._emit_prim_call(
+            front, primitive, recv_var, arg_vars, fail_var, scope, result_var
+        )
+
+    # ------------------------------------------------------------------
+    # Constant folding
+    # ------------------------------------------------------------------
+
+    def _try_constant_fold(
+        self, front: Front, primitive, recv_var: str, arg_vars: list[str], result_var: str
+    ) -> Optional[list[Front]]:
+        if not primitive.pure:
+            return None
+        types = [front.get_type(recv_var)] + [front.get_type(v) for v in arg_vars]
+        if not all(t.is_constant() for t in types):
+            return None
+        values = [t.constant_value() for t in types]
+        try:
+            value = primitive.fn(self.universe, values[0], values[1:])
+        except PrimFailSignal:
+            return None  # compile the full expansion; failure is real
+        self.stats["constant_folds"] += 1
+        self.emit(front, ConstNode(result_var, value))
+        front.bind(result_var, type_of_constant(value, self.universe))
+        front.bind_closure(result_var, None)
+        return [front]
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+
+    def _check_class(
+        self,
+        front: Front,
+        var: str,
+        map,
+        fail_fronts: list,
+        code: str = BAD_TYPE,
+    ) -> Optional[Front]:
+        """Prove or emit a run-time type test; route failures.
+
+        Returns the surviving (success) front, or None when the test is
+        statically guaranteed to fail.  In static mode every check is
+        trusted away.
+        """
+        t = front.get_type(var)
+        if self.config.static_types:
+            self.stats["type_tests_elided"] += 1
+            front.refine(var, refine_to_map(t, map, self.universe))
+            return front
+        target = MapType(map)
+        if contains(target, t):
+            self.stats["type_tests_elided"] += 1
+            return front
+        if disjoint(t, target):
+            fail_fronts.append((front, code))
+            return None
+        self.use_value(front, var)
+        self.stats["type_tests"] += 1
+        yes, no = self.emit_branch(front, TypeTestNode(var, map))
+        yes.refine(var, refine_to_map(t, map, self.universe))
+        no.refine(var, exclude_map(t, map, self.universe))
+        fail_fronts.append((no, code))
+        return yes
+
+    def _interval_of(self, front: Front, var: str) -> intervals.Interval:
+        interval = int_interval(front.get_type(var), self.universe)
+        return interval if interval is not None else intervals.FULL
+
+    # ------------------------------------------------------------------
+    # Integer arithmetic
+    # ------------------------------------------------------------------
+
+    def _expand_int_arith(
+        self,
+        front: Front,
+        name: str,
+        recv_var: str,
+        arg_var: str,
+        fail_var: Optional[str],
+        scope,
+        result_var: str,
+    ) -> list[Front]:
+        universe = self.universe
+        fail_fronts: list = []
+        ok = self._check_class(front, recv_var, universe.smallint_map, fail_fronts)
+        if ok is not None:
+            ok = self._check_class(ok, arg_var, universe.smallint_map, fail_fronts)
+        out: list[Front] = []
+        if ok is not None:
+            xi = self._interval_of(ok, recv_var)
+            yi = self._interval_of(ok, arg_var)
+            if name in _INT_ARITH:
+                op, transfer = _INT_ARITH[name]
+                interval, safe = transfer(xi, yi)
+                zero_ok = True
+            else:
+                op, transfer = _INT_DIVMOD[name]
+                interval, safe, zero_ok = transfer(xi, yi)
+            use_ranges = self.config.range_analysis
+            checked_away = (use_ranges and safe and zero_ok) or self.config.static_types
+            if checked_away:
+                self.stats["overflow_checks_elided"] += 1
+                self.emit(ok, ArithNode(op, result_var, recv_var, arg_var))
+            else:
+                err_var = self.fresh_temp()
+                node = ArithOvNode(op, result_var, recv_var, arg_var, err_var)
+                ok, overflow = self.emit_branch(ok, node)
+                fail_fronts.append((overflow, err_var))
+            result_type: SelfType = (
+                IntRangeType(*interval) if use_ranges else MapType(universe.smallint_map)
+            )
+            ok.bind(result_var, result_type)
+            ok.bind_closure(result_var, None)
+            out.append(ok)
+        out.extend(
+            self._compile_failures(fail_fronts, fail_var, scope, result_var, name)
+        )
+        return self.drop_dead(out)
+
+    # ------------------------------------------------------------------
+    # Integer comparisons
+    # ------------------------------------------------------------------
+
+    def _expand_int_compare(
+        self,
+        front: Front,
+        name: str,
+        recv_var: str,
+        arg_var: str,
+        fail_var: Optional[str],
+        scope,
+        result_var: str,
+    ) -> list[Front]:
+        universe = self.universe
+        op = _INT_COMPARE[name]
+        fail_fronts: list = []
+        ok = self._check_class(front, recv_var, universe.smallint_map, fail_fronts)
+        if ok is not None:
+            ok = self._check_class(ok, arg_var, universe.smallint_map, fail_fronts)
+        out: list[Front] = []
+        if ok is not None:
+            out.extend(
+                self._finish_compare(ok, op, recv_var, arg_var, result_var)
+            )
+        out.extend(
+            self._compile_failures(fail_fronts, fail_var, scope, result_var, name)
+        )
+        return self.drop_dead(out)
+
+    def _finish_compare(
+        self, ok: Front, op: str, recv_var: str, arg_var: str, result_var: str
+    ) -> list[Front]:
+        universe = self.universe
+        if self.config.range_analysis:
+            from ..types.ops import constant_fold_compare
+
+            decided = constant_fold_compare(
+                op, ok.get_type(recv_var), ok.get_type(arg_var), universe
+            )
+            if decided is not None:
+                self.stats["constant_folds"] += 1
+                value = universe.boolean(decided)
+                self.emit(ok, ConstNode(result_var, value))
+                ok.bind(result_var, ValueType(value, universe.map_of(value)))
+                return [ok]
+        true_front, false_front = self.emit_branch(
+            ok, CompareBranchNode(op, recv_var, arg_var), uncommon_false=False
+        )
+        for taken, branch in ((True, true_front), (False, false_front)):
+            value = universe.boolean(taken)
+            self.emit(branch, ConstNode(result_var, value))
+            branch.bind(result_var, ValueType(value, universe.map_of(value)))
+            branch.bind_closure(result_var, None)
+            if self.config.range_analysis:
+                new_recv, new_arg = refine_compare(
+                    op,
+                    branch.get_type(recv_var),
+                    branch.get_type(arg_var),
+                    taken,
+                    universe,
+                )
+                branch.refine(recv_var, new_recv)
+                branch.refine(arg_var, new_arg)
+        return [true_front, false_front]
+
+    # ------------------------------------------------------------------
+    # Vectors
+    # ------------------------------------------------------------------
+
+    def _expand_vector_at(
+        self,
+        front: Front,
+        recv_var: str,
+        index_var: str,
+        store_var: Optional[str],
+        fail_var: Optional[str],
+        scope,
+        result_var: str,
+    ) -> list[Front]:
+        universe = self.universe
+        fail_fronts: list = []
+        ok = self._check_class(front, recv_var, universe.vector_map, fail_fronts)
+        if ok is not None:
+            ok = self._check_class(ok, index_var, universe.smallint_map, fail_fronts)
+        out: list[Front] = []
+        if ok is not None:
+            length = vector_length(ok.get_type(recv_var))
+            index_interval = int_interval(ok.get_type(index_var), universe)
+            in_bounds = (
+                self.config.range_analysis
+                and length is not None
+                and index_interval is not None
+                and 0 <= index_interval[0]
+                and index_interval[1] < length
+            )
+            if in_bounds or self.config.static_types:
+                self.stats["bounds_checks_elided"] += 1
+            else:
+                ok, oob = self.emit_branch(ok, BoundsCheckNode(recv_var, index_var))
+                fail_fronts.append((oob, OUT_OF_BOUNDS))
+                if self.config.range_analysis and length is not None:
+                    refined = intervals.intersect(
+                        index_interval or intervals.FULL, (0, length - 1)
+                    )
+                    if refined is not None:
+                        ok.refine(index_var, IntRangeType(*refined))
+            if store_var is None:
+                self.emit(ok, ArrayLoadNode(result_var, recv_var, index_var))
+                ok.bind(result_var, UNKNOWN)
+                ok.bind_closure(result_var, None)
+            else:
+                self.use_value(ok, store_var)
+                self.emit(ok, ArrayStoreNode(recv_var, index_var, store_var))
+                self.emit(ok, MoveNode(result_var, recv_var))
+                ok.copy_binding(result_var, recv_var)
+            out.append(ok)
+        out.extend(
+            self._compile_failures(
+                fail_fronts, fail_var, scope, result_var,
+                "_VectorAt:" if store_var is None else "_VectorAt:Put:",
+            )
+        )
+        return self.drop_dead(out)
+
+    def _expand_vector_size(
+        self,
+        front: Front,
+        recv_var: str,
+        fail_var: Optional[str],
+        scope,
+        result_var: str,
+    ) -> list[Front]:
+        universe = self.universe
+        fail_fronts: list = []
+        ok = self._check_class(front, recv_var, universe.vector_map, fail_fronts)
+        out: list[Front] = []
+        if ok is not None:
+            length = vector_length(ok.get_type(recv_var))
+            if length is not None:
+                self.stats["constant_folds"] += 1
+                self.emit(ok, ConstNode(result_var, length))
+                ok.bind(result_var, IntRangeType(length, length))
+            else:
+                self.emit(ok, ArrayLengthNode(result_var, recv_var))
+                from ..objects.model import SMALLINT_MAX
+
+                ok.bind(result_var, IntRangeType(0, SMALLINT_MAX))
+            ok.bind_closure(result_var, None)
+            out.append(ok)
+        out.extend(
+            self._compile_failures(fail_fronts, fail_var, scope, result_var, "_VectorSize")
+        )
+        return self.drop_dead(out)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+
+    def _expand_identity(
+        self, front: Front, name: str, recv_var: str, arg_var: str, result_var: str
+    ) -> list[Front]:
+        universe = self.universe
+        want_equal = name == "_Eq:"
+        rt = front.get_type(recv_var)
+        at = front.get_type(arg_var)
+        if disjoint(rt, at):
+            self.stats["constant_folds"] += 1
+            value = universe.boolean(not want_equal)
+            self.emit(front, ConstNode(result_var, value))
+            front.bind(result_var, ValueType(value, universe.map_of(value)))
+            return [front]
+        self.use_value(front, recv_var)
+        self.use_value(front, arg_var)
+        primitive = lookup_primitive(name)
+        self.emit(
+            front, PrimCallNode(result_var, name, recv_var, [arg_var])
+        )
+        true_map = universe.true_map
+        false_map = universe.false_map
+        front.bind(
+            result_var,
+            make_union(
+                [
+                    ValueType(universe.true_object, true_map),
+                    ValueType(universe.false_object, false_map),
+                ]
+            ),
+        )
+        front.bind_closure(result_var, None)
+        return [front]
+
+    # ------------------------------------------------------------------
+    # Out-of-line primitive calls
+    # ------------------------------------------------------------------
+
+    def _emit_prim_call(
+        self,
+        front: Front,
+        primitive,
+        recv_var: str,
+        arg_vars: list[str],
+        fail_var: Optional[str],
+        scope,
+        result_var: str,
+    ) -> list[Front]:
+        self.use_value(front, recv_var)
+        for arg_var in arg_vars:
+            self.use_value(front, arg_var)
+        can_fail = primitive.can_fail and not self.config.static_types
+        with_port = can_fail and fail_var is not None
+        err_var = self.fresh_temp() if with_port else ""
+        node = PrimCallNode(
+            result_var, primitive.selector, recv_var, arg_vars,
+            with_failure_port=with_port, err_dst=err_var,
+        )
+        if with_port:
+            ok, failed = self.emit_branch(front, node)
+        else:
+            self.emit(front, node)
+            ok, failed = front, None
+        ok.bind(result_var, self._primitive_result_type(primitive, ok, recv_var))
+        ok.bind_closure(result_var, None)
+        if primitive.selector == "_NewVector:Filler:":
+            size_type = ok.get_type(arg_vars[0])
+            if size_type.is_constant() and isinstance(size_type.constant_value(), int):
+                ok.bind(
+                    result_var,
+                    VectorType(self.universe.vector_map, size_type.constant_value()),
+                )
+        if primitive.selector in ("_BlockWhileTrue:", "_BlockWhileFalse:"):
+            self.invalidate_escaping(ok)
+        out = [ok]
+        if failed is not None:
+            out.extend(
+                self._compile_failures(
+                    [(failed, err_var)], fail_var, scope, result_var, primitive.selector
+                )
+            )
+        return self.drop_dead(out)
+
+    def _primitive_result_type(self, primitive, front: Front, recv_var: str) -> SelfType:
+        universe = self.universe
+        kind = primitive.result_kind
+        if kind == "smallInt":
+            return MapType(universe.smallint_map)
+        if kind == "integer":
+            return make_union(
+                [MapType(universe.smallint_map), MapType(universe.bigint_map)]
+            )
+        if kind == "boolean":
+            return make_union(
+                [
+                    ValueType(universe.true_object, universe.true_map),
+                    ValueType(universe.false_object, universe.false_map),
+                ]
+            )
+        if kind == "float":
+            return MapType(universe.float_map)
+        if kind == "string":
+            return MapType(universe.string_map)
+        if kind == "nil":
+            return ValueType(universe.nil_object, universe.nil_map)
+        if kind == "vector":
+            if primitive.selector == "_NewVector:Filler:":
+                # A constant size survives into the result type, enabling
+                # later bounds-check elimination.
+                return VectorType(universe.vector_map, None)
+            return VectorType(universe.vector_map, None)
+        if kind == "receiver":
+            recv_type = front.get_type(recv_var)
+            map_ = as_map(recv_type, universe)
+            if primitive.selector == "_Clone" and map_ is not None:
+                length = vector_length(recv_type)
+                if map_.kind == "vector":
+                    return VectorType(map_, length)
+                return MapType(map_)
+            return recv_type if primitive.selector != "_Clone" else UNKNOWN
+        return UNKNOWN
+
+    # ------------------------------------------------------------------
+    # Failure handlers
+    # ------------------------------------------------------------------
+
+    def _compile_failures(
+        self,
+        fail_fronts: list,
+        fail_var: Optional[str],
+        scope,
+        result_var: str,
+        primitive_name: str,
+    ) -> list[Front]:
+        """Compile the failure block (or default error) on each failure
+        front.  ``code`` entries are either literal failure-code strings
+        or the name of a variable the VM fills in (overflow vs. div0)."""
+        out: list[Front] = []
+        for front, code in fail_fronts:
+            front.uncommon = True
+            if fail_var is None:
+                self.emit(front, ErrorNode(primitive_name, code))
+                continue  # terminal: the front dies here
+            if code.startswith("%"):
+                code_var = code  # runtime-determined failure code
+            else:
+                code_var = self.fresh_temp()
+                self.emit(front, ConstNode(code_var, code))
+                front.bind(code_var, type_of_constant(code, self.universe))
+            closure = front.get_closure(fail_var)
+            if closure is not None and closure.arity <= 1:
+                args = [code_var] if closure.arity == 1 else []
+                inlined = self.inline_block(front, closure, args, scope, result_var)
+                if inlined is not None:
+                    out.extend(inlined)
+                    continue
+            # Runtime dispatch: blocks run, plain objects answer
+            # themselves (`value:` on traits clonable).
+            self.use_value(front, fail_var)
+            self.emit(front, SendNode(result_var, "value:", fail_var, [code_var]))
+            front.bind(result_var, UNKNOWN)
+            front.bind_closure(result_var, None)
+            self.invalidate_escaping(front)
+            out.append(front)
+        return out

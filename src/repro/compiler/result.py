@@ -1,0 +1,92 @@
+"""Compilation results: the finished CFG plus everything the backend needs."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.graph import GraphStats
+from ..ir.nodes import StartNode
+
+
+class BlockTemplate:
+    """How a (non-inlined) block's free names resolve, captured at the
+    point the closure was created.
+
+    ``resolutions`` maps each free identifier of the block (including
+    identifiers used by nested blocks) to:
+
+    * ``'env'``  — an escaping local of an enclosing activation; access
+      walks the home chain at run time, keyed by source name;
+    * ``'send'`` — not a lexical variable at all: an implicit-self send.
+    """
+
+    __slots__ = ("block", "resolutions")
+
+    def __init__(self, block, resolutions: dict[str, str]) -> None:
+        self.block = block
+        self.resolutions = resolutions
+
+    def resolution(self, name: str) -> Optional[str]:
+        return self.resolutions.get(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<template block#{self.block.block_id} {self.resolutions}>"
+
+
+class CompiledGraph:
+    """A compiled method (or block body) as a control-flow graph.
+
+    Attributes:
+        start: the graph's StartNode.
+        self_var / arg_vars: flat variable names the backend preloads
+            with the receiver and arguments.
+        escaping: flat variable names that must live in the frame's
+            named environment (captured by materialized blocks), mapped
+            to their source names (the env keys).
+        is_block: whether this is block code (normal completion returns
+            the block's value; ``^`` becomes a non-local return).
+        stats: node-count statistics (sends, type tests, ...).
+        compile_stats: compiler effort counters (see MethodCompiler).
+    """
+
+    __slots__ = (
+        "start",
+        "selector",
+        "receiver_map",
+        "config_name",
+        "self_var",
+        "arg_vars",
+        "escaping",
+        "is_block",
+        "stats",
+        "compile_stats",
+    )
+
+    def __init__(
+        self,
+        start: StartNode,
+        selector: str,
+        receiver_map,
+        config_name: str,
+        self_var: str,
+        arg_vars: tuple[str, ...],
+        escaping: dict[str, str],
+        is_block: bool,
+        compile_stats: Optional[dict] = None,
+    ) -> None:
+        self.start = start
+        self.selector = selector
+        self.receiver_map = receiver_map
+        self.config_name = config_name
+        self.self_var = self_var
+        self.arg_vars = arg_vars
+        self.escaping = escaping
+        self.is_block = is_block
+        self.stats = GraphStats(start)
+        self.compile_stats = compile_stats or {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CompiledGraph {self.selector!r} for {self.receiver_map.name} "
+            f"[{self.config_name}] {self.stats.total} nodes>"
+        )

@@ -1,0 +1,194 @@
+"""Compile-time scopes: the inlining structure of a compilation.
+
+Every inlined method or block body gets an :class:`InlineScope`.  Scopes
+form two chains:
+
+* the **lexical** chain (``lexical_parent``) — how blocks see their
+  enclosing locals.  Only blocks have lexical parents; methods start a
+  fresh lexical context.
+* the **caller** chain (``caller``) — who inlined whom; used for
+  recursion detection and depth limits.
+
+Source-level variable names are alpha-renamed per scope instance
+(``sum`` in inline instance 3 becomes ``sum@3``) so that two inlinings
+of the same method never collide in the flat variable namespace of the
+control-flow graph.
+
+A :class:`BlockClosure` is the compile-time value of a block literal:
+the block's code plus the scope it was created in.  When the compiler
+can track a closure to a ``value`` send (or a ``whileTrue:``), it
+inlines the block body with the closure's scope as lexical parent —
+this is how user-defined control structures compile into plain branches
+and loops.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+from ..lang.ast_nodes import BlockNode, CodeBody, MethodNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import MethodCompiler
+
+
+class InlineScope:
+    """One inlined (or outermost) method/block body."""
+
+    _ids = itertools.count(1)
+
+    __slots__ = (
+        "scope_id",
+        "code",
+        "kind",
+        "lexical_parent",
+        "caller",
+        "self_var",
+        "home",
+        "return_sinks",
+        "method_key",
+        "depth",
+    )
+
+    def __init__(
+        self,
+        code: CodeBody,
+        kind: str,
+        self_var: str,
+        lexical_parent: Optional["InlineScope"] = None,
+        caller: Optional["InlineScope"] = None,
+        method_key=None,
+    ) -> None:
+        assert kind in ("method", "block")
+        self.scope_id = next(InlineScope._ids)
+        self.code = code
+        self.kind = kind
+        self.lexical_parent = lexical_parent
+        self.caller = caller
+        self.self_var = self_var
+        #: the method scope that ``^`` returns from; outermost *block*
+        #: compilations (block code compiled as its own unit) are their
+        #: own home — their ``^`` lowers to a non-local return node.
+        if kind == "method" or lexical_parent is None:
+            self.home = self
+        else:
+            self.home = lexical_parent.home
+        #: (front, result_var) pairs produced by ``^`` inside this method
+        self.return_sinks: list = []
+        #: identity of the inlined method (for recursion detection)
+        self.method_key = method_key
+        self.depth = 0 if caller is None else caller.depth + 1
+
+    # -- naming -----------------------------------------------------------------
+
+    def rename(self, name: str) -> str:
+        """The flat CFG variable name for this scope's local ``name``."""
+        return f"{name}@{self.scope_id}"
+
+    def defines(self, name: str) -> bool:
+        return name in self.code.argument_names or name in self.code.local_names
+
+    def resolve_local(self, name: str) -> Optional[tuple["InlineScope", str]]:
+        """Find ``name`` in this scope or its lexical ancestors.
+
+        Returns ``(defining_scope, flat_variable_name)`` or None when the
+        name is not a local/argument anywhere up the chain (and therefore
+        a real message to self).
+        """
+        scope: Optional[InlineScope] = self
+        while scope is not None:
+            if scope.defines(name):
+                return scope, scope.rename(name)
+            scope = scope.lexical_parent
+        return None
+
+    def on_stack(self, method_key) -> bool:
+        """Whether ``method_key`` is currently being inlined (recursion)."""
+        return self.occurrences_on_stack(method_key) > 0
+
+    def occurrences_on_stack(self, method_key) -> int:
+        """How many times ``method_key`` is already being inlined.
+
+        Plain recursion detection would be too blunt: nested
+        conditionals inline the same tiny ``ifTrue:False:`` method at
+        several levels, which is re-entry, not recursion.  Callers allow
+        a small bounded count instead of zero.
+        """
+        count = 0
+        scope: Optional[InlineScope] = self
+        while scope is not None:
+            if scope.method_key is not None and scope.method_key == method_key:
+                count += 1
+            scope = scope.caller
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<scope#{self.scope_id} {self.kind} depth={self.depth}>"
+
+
+class BlockClosure:
+    """Compile-time knowledge of a block literal's value.
+
+    ``scope`` is the scope whose activation the closure captured; the
+    block's body, when inlined, gets a child scope of it.
+    """
+
+    __slots__ = ("block", "scope")
+
+    def __init__(self, block: BlockNode, scope: InlineScope) -> None:
+        self.block = block
+        self.scope = scope
+
+    @property
+    def arity(self) -> int:
+        return len(self.block.argument_names)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<closure block#{self.block.block_id} in {self.scope!r}>"
+
+
+def ast_weight(code: CodeBody) -> int:
+    """A crude size metric for inlining decisions (number of AST nodes)."""
+    from ..lang.ast_nodes import (
+        LiteralNode,
+        ObjectLiteralNode,
+        ReturnNode,
+        SelfNode,
+        SendNode,
+    )
+
+    total = 0
+    stack = list(code.statements)
+    while stack:
+        node = stack.pop()
+        total += 1
+        if isinstance(node, SendNode):
+            if node.receiver is not None:
+                stack.append(node.receiver)
+            stack.extend(node.arguments)
+        elif isinstance(node, ReturnNode):
+            stack.append(node.expression)
+        elif isinstance(node, BlockNode):
+            stack.extend(node.statements)
+        elif isinstance(node, (LiteralNode, SelfNode, ObjectLiteralNode)):
+            pass
+    return total
+
+
+def block_has_nlr(block: BlockNode) -> bool:
+    """Whether a block (or a nested block sharing its home) contains ``^``."""
+    from ..lang.ast_nodes import ReturnNode, SendNode
+
+    stack = list(block.statements)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ReturnNode):
+            return True
+        if isinstance(node, SendNode):
+            if node.receiver is not None:
+                stack.append(node.receiver)
+            stack.extend(node.arguments)
+        elif isinstance(node, BlockNode):
+            stack.extend(node.statements)
+    return False

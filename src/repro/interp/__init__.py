@@ -1,0 +1,5 @@
+"""The reference AST interpreter (semantic ground truth)."""
+
+from .interpreter import Activation, Interpreter
+
+__all__ = ["Activation", "Interpreter"]

@@ -1,0 +1,287 @@
+"""The reference AST interpreter.
+
+This interpreter defines the semantics that every compiler configuration
+must preserve: full dynamic lookup on every send, robust primitives, real
+block closures with non-local return.  It performs *no* optimization —
+the differential tests compare the optimizing pipeline's results against
+it on the same programs.
+
+Scoping model (as in SELF): an activation's locals and arguments are
+slots of the activation; an implicit-self send first searches the
+activation chain lexically (enclosing block/method activations), then
+falls back to a real message send to ``self``.  A keyword send ``name:``
+whose base name is an activation slot is an assignment to that slot.
+Assignment — both to activation slots and to object data slots — returns
+the *receiver*, which is what makes SELF's setter-chaining idiom
+``(proto clone x: 1) y: 2`` work.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..lang.ast_nodes import (
+    BlockNode,
+    CodeBody,
+    LiteralNode,
+    MethodNode,
+    Node,
+    ObjectLiteralNode,
+    ReturnNode,
+    SelfNode,
+    SendNode,
+)
+from ..objects.errors import (
+    MessageNotUnderstood,
+    NonLocalReturnFromDeadActivation,
+    PrimitiveFailed,
+    ReproInternalError,
+    SelfError,
+    WrongBlockArity,
+)
+from ..objects.maps import ASSIGNMENT, CONSTANT, DATA
+from ..objects.model import (
+    SelfBlock,
+    SelfMethod,
+    SelfObject,
+    block_value_selector,
+    normalize_int,
+)
+from ..primitives.registry import PrimFailSignal, lookup_primitive
+from ..world.lookup import lookup_slot
+from ..world.objects_builder import build_object
+from ..world.universe import Universe
+
+
+class _NonLocalReturn(Exception):
+    """Internal unwind signal for ``^`` returns."""
+
+    __slots__ = ("home", "value")
+
+    def __init__(self, home: "Activation", value) -> None:
+        self.home = home
+        self.value = value
+        super().__init__("non-local return")
+
+
+class Activation:
+    """A method or block activation: the frame of the interpreter.
+
+    ``lexical_parent`` is the defining activation for blocks (None for
+    methods); ``home`` is the enclosing *method* activation, which is the
+    target of non-local returns and the provider of ``self``.
+    """
+
+    __slots__ = ("receiver", "code", "slots", "lexical_parent", "home", "alive")
+
+    def __init__(
+        self,
+        receiver,
+        code: CodeBody,
+        slots: dict,
+        lexical_parent: Optional["Activation"],
+    ) -> None:
+        self.receiver = receiver
+        self.code = code
+        self.slots = slots
+        self.lexical_parent = lexical_parent
+        self.home: "Activation" = self if lexical_parent is None else lexical_parent.home
+        self.alive = True
+
+    def find_holder(self, name: str) -> Optional["Activation"]:
+        """The nearest activation (lexically) that defines ``name``."""
+        activation: Optional[Activation] = self
+        while activation is not None:
+            if name in activation.slots:
+                return activation
+            activation = activation.lexical_parent
+        return None
+
+
+class Interpreter:
+    """Evaluates AST directly against a universe and its lobby."""
+
+    def __init__(self, universe: Universe, lobby: SelfObject) -> None:
+        self.universe = universe
+        self.lobby = lobby
+        #: dynamic send counter, for curiosity/statistics in tests
+        self.send_count = 0
+
+    # -- public API -------------------------------------------------------------
+
+    def eval_doit(self, method: MethodNode, receiver=None):
+        """Run a zero-argument method (a "do-it") against ``receiver``."""
+        if receiver is None:
+            receiver = self.lobby
+        previous = self.universe.evaluator
+        self.universe.evaluator = self
+        try:
+            return self.invoke_method(receiver, method, ())
+        finally:
+            self.universe.evaluator = previous
+
+    def send(self, receiver, selector: str, args: Sequence = ()):
+        """Perform a full dynamically-bound message send."""
+        self.send_count += 1
+        if selector.startswith("_"):
+            return self._send_primitive(receiver, selector, list(args))
+        if type(receiver) is SelfBlock and selector == block_value_selector(len(args)):
+            return self.call_block(receiver, args)
+        found = lookup_slot(self.universe, receiver, selector)
+        if found is None:
+            raise MessageNotUnderstood(selector, self.universe.print_string(receiver))
+        holder, slot = found
+        if slot.kind == CONSTANT:
+            value = slot.value
+            if isinstance(value, SelfMethod):
+                return self.invoke_method(receiver, value.code, args)
+            return value
+        if slot.kind == DATA:
+            return holder.get_data(slot.offset)
+        if slot.kind == ASSIGNMENT:
+            holder.set_data(slot.offset, args[0])
+            return receiver
+        raise ReproInternalError(f"unexpected slot kind {slot.kind}")
+
+    def call_block(self, block: SelfBlock, args: Sequence):
+        """Invoke a block closure (the ``value``/``value:`` behaviour)."""
+        if len(args) != block.arity:
+            raise WrongBlockArity(block.arity, len(args))
+        home: Activation = block.home
+        if not home.home.alive:
+            raise NonLocalReturnFromDeadActivation()
+        slots = self._fresh_slots(block.code, args)
+        activation = Activation(home.receiver, block.code, slots, lexical_parent=home)
+        return self._run_body(activation)
+
+    def invoke_method(self, receiver, code: MethodNode, args: Sequence):
+        if len(args) != len(code.argument_names):
+            raise ReproInternalError(
+                f"method arity mismatch: {len(code.argument_names)} formals, "
+                f"{len(args)} actuals"
+            )
+        slots = self._fresh_slots(code, args)
+        activation = Activation(receiver, code, slots, lexical_parent=None)
+        try:
+            return self._run_body(activation)
+        except _NonLocalReturn as nlr:
+            if nlr.home is activation:
+                return nlr.value
+            raise
+        finally:
+            activation.alive = False
+
+    # -- evaluation -------------------------------------------------------------
+
+    def _fresh_slots(self, code: CodeBody, args: Sequence) -> dict:
+        slots = dict(zip(code.argument_names, args))
+        for name in code.local_names:
+            init = code.local_inits.get(name)
+            slots[name] = self._constant_init_value(init)
+        return slots
+
+    def _constant_init_value(self, init: Optional[Node]):
+        if init is None:
+            return self.universe.nil_object
+        if isinstance(init, LiteralNode):
+            if type(init.value) is int:
+                return normalize_int(init.value)
+            return init.value
+        if isinstance(init, SendNode) and init.receiver is None and not init.arguments:
+            if init.selector == "nil":
+                return self.universe.nil_object
+            if init.selector == "true":
+                return self.universe.true_object
+            if init.selector == "false":
+                return self.universe.false_object
+        raise ReproInternalError(f"non-constant local initializer: {init!r}")
+
+    def _run_body(self, activation: Activation):
+        result = activation.receiver  # empty bodies return self
+        for statement in activation.code.statements:
+            if isinstance(statement, ReturnNode):
+                value = self.eval_node(statement.expression, activation)
+                raise _NonLocalReturn(activation.home, value)
+            result = self.eval_node(statement, activation)
+        return result
+
+    def eval_node(self, node: Node, activation: Activation):
+        t = type(node)
+        if t is LiteralNode:
+            value = node.value
+            if type(value) is int:
+                return normalize_int(value)
+            return value
+        if t is SelfNode:
+            return activation.receiver
+        if t is SendNode:
+            return self._eval_send(node, activation)
+        if t is BlockNode:
+            return SelfBlock(self.universe.block_map(node), node, activation)
+        if t is ObjectLiteralNode:
+            return self._eval_object_literal(node, activation)
+        if t is ReturnNode:
+            # Reachable when a return is nested in expression position.
+            value = self.eval_node(node.expression, activation)
+            raise _NonLocalReturn(activation.home, value)
+        raise ReproInternalError(f"cannot evaluate node {node!r}")
+
+    def _eval_send(self, node: SendNode, activation: Activation):
+        if node.receiver is None:
+            return self._eval_implicit_send(node, activation)
+        receiver = self.eval_node(node.receiver, activation)
+        args = [self.eval_node(a, activation) for a in node.arguments]
+        return self.send(receiver, node.selector, args)
+
+    def _eval_implicit_send(self, node: SendNode, activation: Activation):
+        selector = node.selector
+        # Local/argument read.
+        if not node.arguments:
+            holder = activation.find_holder(selector)
+            if holder is not None:
+                return holder.slots[selector]
+        # Local assignment:  name: expr
+        elif len(node.arguments) == 1 and selector.endswith(":") and ":" not in selector[:-1]:
+            base = selector[:-1]
+            holder = activation.find_holder(base)
+            if holder is not None:
+                value = self.eval_node(node.arguments[0], activation)
+                holder.slots[base] = value
+                return activation.receiver
+        # Otherwise: a real send to self.
+        args = [self.eval_node(a, activation) for a in node.arguments]
+        return self.send(activation.receiver, selector, args)
+
+    def _eval_object_literal(self, node: ObjectLiteralNode, activation: Activation):
+        def eval_expr(expr, name=""):
+            if isinstance(expr, ObjectLiteralNode):
+                return build_object(self.universe, expr, eval_expr, name=name)
+            return self.eval_node(expr, activation)
+
+        return build_object(self.universe, node, eval_expr)
+
+    # -- primitives ----------------------------------------------------------------
+
+    def _send_primitive(self, receiver, selector: str, args: list):
+        primitive = lookup_primitive(selector)
+        if primitive is None:
+            raise MessageNotUnderstood(selector, self.universe.print_string(receiver))
+        fail_block = None
+        if selector.endswith("IfFail:") and selector != primitive.selector:
+            fail_block = args.pop()
+        if len(args) != primitive.arity:
+            raise ReproInternalError(
+                f"primitive {selector} arity mismatch: expected {primitive.arity}, "
+                f"got {len(args)}"
+            )
+        try:
+            return primitive.fn(self.universe, receiver, args)
+        except PrimFailSignal as failure:
+            if fail_block is None:
+                raise PrimitiveFailed(primitive.selector, failure.code) from None
+            if isinstance(fail_block, SelfBlock):
+                if fail_block.arity == 1:
+                    return self.call_block(fail_block, (failure.code,))
+                return self.call_block(fail_block, ())
+            # A non-block failure handler is simply the fallback value.
+            return fail_block

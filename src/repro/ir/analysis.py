@@ -1,0 +1,102 @@
+"""Graph analyses over compiled CFGs: hot paths and loop summaries.
+
+The paper's claims are about what remains on the *common-case* path —
+"the common-case version of the loop contains no type tests".  These
+helpers make that measurable: the hot path of a loop version is its
+port-0 spine (codegen lays it out as straight-line code), and a loop
+summary classifies each version the way the paper's figures do.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional
+
+from .graph import reachable_loop_heads
+from .nodes import IRNode, LoopHeadNode
+
+
+def hot_path(head: LoopHeadNode) -> tuple[list[IRNode], bool]:
+    """The port-0 spine from a loop head until it closes (or leaves).
+
+    Returns ``(nodes, closed)``; ``closed`` means the spine returns to
+    this same head — a self-contained fast loop.  An open spine that
+    ends at *another* loop head is the §5.3 hand-off: control transfers
+    to a different version once types settle.
+    """
+    nodes: list[IRNode] = []
+    node = head.successors[0]
+    while node is not None and node is not head and node not in nodes:
+        nodes.append(node)
+        node = node.successors[0] if node.successors else None
+    return nodes, node is head
+
+
+def hot_path_counts(head: LoopHeadNode) -> Counter:
+    nodes, _ = hot_path(head)
+    return Counter(type(n).__name__ for n in nodes)
+
+
+def common_path_counts(start: IRNode) -> Counter:
+    """Node counts along the port-0 path from ``start`` to the first
+    terminal — failure branches are never entered."""
+    counts: Counter = Counter()
+    node = start.successors[0] if start.successors else None
+    seen: set[int] = set()
+    while node is not None and id(node) not in seen:
+        seen.add(id(node))
+        counts[type(node).__name__] += 1
+        node = node.successors[0] if node.successors else None
+    return counts
+
+
+@dataclass
+class LoopVersionSummary:
+    """One compiled loop version, classified."""
+
+    loop_id: int
+    version: int
+    closed: bool
+    type_tests: int
+    overflow_checks: int
+    bounds_checks: int
+    sends: int
+    raw_arith: int
+    length: int
+    hands_off_to: Optional[int]  # version index it transfers into
+
+    @property
+    def is_common_case(self) -> bool:
+        """A self-contained version with no residual type tests — the
+        paper's gray-box loop."""
+        return self.closed and self.type_tests == 0 and self.sends == 0
+
+
+def summarize_loops(start: IRNode) -> list[LoopVersionSummary]:
+    """Classify every compiled loop version reachable from ``start``."""
+    summaries: list[LoopVersionSummary] = []
+    heads = reachable_loop_heads(start)
+    for head in heads:
+        nodes, closed = hot_path(head)
+        counts = Counter(type(n).__name__ for n in nodes)
+        hands_off: Optional[int] = None
+        if not closed and nodes:
+            last = nodes[-1].successors[0] if nodes[-1].successors else None
+            if isinstance(last, LoopHeadNode) and last.loop_id == head.loop_id:
+                hands_off = last.version
+        summaries.append(
+            LoopVersionSummary(
+                loop_id=head.loop_id,
+                version=head.version,
+                closed=closed,
+                type_tests=counts["TypeTestNode"],
+                overflow_checks=counts["ArithOvNode"],
+                bounds_checks=counts["BoundsCheckNode"],
+                sends=counts["SendNode"],
+                raw_arith=counts["ArithNode"],
+                length=len(nodes),
+                hands_off_to=hands_off,
+            )
+        )
+    return summaries

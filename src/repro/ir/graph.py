@@ -1,0 +1,178 @@
+"""Graph utilities over the CFG: traversal, statistics, validation."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Iterator, Optional
+
+from ..objects.errors import ReproInternalError
+from .nodes import (
+    ArithNode,
+    ArithOvNode,
+    BoundsCheckNode,
+    IRNode,
+    LoopHeadNode,
+    MergeNode,
+    PrimCallNode,
+    SendNode,
+    StartNode,
+    TypeTestNode,
+    TERMINAL_NODES,
+)
+
+
+def iter_nodes(start: IRNode) -> Iterator[IRNode]:
+    """All nodes reachable from ``start``, depth-first, each once."""
+    seen: set[int] = set()
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        yield node
+        for successor in reversed(node.successors):
+            if successor is not None:
+                stack.append(successor)
+
+
+def node_count(start: IRNode) -> int:
+    return sum(1 for _ in iter_nodes(start))
+
+
+def predecessors(start: IRNode) -> dict[IRNode, list[tuple[IRNode, int]]]:
+    """Map each node to its (predecessor, port) pairs."""
+    preds: dict[IRNode, list[tuple[IRNode, int]]] = {}
+    for node in iter_nodes(start):
+        preds.setdefault(node, [])
+        for port, successor in enumerate(node.successors):
+            if successor is not None:
+                preds.setdefault(successor, []).append((node, port))
+    return preds
+
+
+class GraphStats:
+    """Optimization-relevant counts over a finished CFG.
+
+    Tests assert on these to verify the paper's structural claims (e.g.
+    "the common-case loop version contains zero type tests").
+    """
+
+    def __init__(self, start: IRNode) -> None:
+        self.counts: Counter = Counter()
+        self.loop_versions: Counter = Counter()
+        for node in iter_nodes(start):
+            self.counts[type(node).__name__] += 1
+            if isinstance(node, LoopHeadNode):
+                self.loop_versions[node.loop_id] += 1
+
+    @property
+    def sends(self) -> int:
+        return self.counts["SendNode"]
+
+    @property
+    def prim_calls(self) -> int:
+        return self.counts["PrimCallNode"]
+
+    @property
+    def type_tests(self) -> int:
+        return self.counts["TypeTestNode"]
+
+    @property
+    def overflow_checks(self) -> int:
+        return self.counts["ArithOvNode"]
+
+    @property
+    def bounds_checks(self) -> int:
+        return self.counts["BoundsCheckNode"]
+
+    @property
+    def raw_arith(self) -> int:
+        return self.counts["ArithNode"]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def versions_of_loop(self, loop_id: int) -> int:
+        return self.loop_versions.get(loop_id, 0)
+
+    @property
+    def max_loop_versions(self) -> int:
+        return max(self.loop_versions.values(), default=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+        return f"GraphStats({inner})"
+
+
+def validate(start: IRNode) -> None:
+    """Check structural invariants; raise ReproInternalError on violation.
+
+    * every non-terminal port is connected;
+    * terminal nodes have no successors;
+    * the start node is a StartNode.
+    """
+    if not isinstance(start, StartNode):
+        raise ReproInternalError("graph does not begin with a StartNode")
+    for node in iter_nodes(start):
+        if isinstance(node, TERMINAL_NODES):
+            if any(s is not None for s in node.successors):
+                raise ReproInternalError(f"terminal node {node!r} has successors")
+            continue
+        for port, successor in enumerate(node.successors):
+            if successor is None:
+                raise ReproInternalError(
+                    f"dangling port {port} on {node!r}"
+                )
+
+
+def map_nodes(start: IRNode, fn: Callable[[IRNode], None]) -> None:
+    for node in iter_nodes(start):
+        fn(node)
+
+
+def find_nodes(start: IRNode, node_type) -> list[IRNode]:
+    return [n for n in iter_nodes(start) if isinstance(n, node_type)]
+
+
+def loop_body_nodes(start: IRNode, head: LoopHeadNode) -> list[IRNode]:
+    """The nodes in the cycle of ``head``: reachable from it and able to
+    reach it again (one compiled *version* of a source loop).
+
+    Tests use this to assert the paper's structural claims, e.g. that
+    the common-case version of a loop contains zero run-time type tests
+    while the general version carries them all.
+    """
+    reachable_from_head: set[int] = set()
+    stack: list[IRNode] = [head]
+    order: dict[int, IRNode] = {}
+    while stack:
+        node = stack.pop()
+        if id(node) in reachable_from_head:
+            continue
+        reachable_from_head.add(id(node))
+        order[id(node)] = node
+        for successor in node.successors:
+            if successor is not None:
+                stack.append(successor)
+    preds = predecessors(start)
+    # Walk backwards from head through predecessors that are reachable
+    # from head: those lie on a cycle through it.
+    on_cycle: set[int] = {id(head)}
+    stack = [p for p, _ in preds.get(head, []) if id(p) in reachable_from_head]
+    while stack:
+        node = stack.pop()
+        if id(node) in on_cycle:
+            continue
+        on_cycle.add(id(node))
+        for p, _ in preds.get(node, []):
+            if id(p) in reachable_from_head and id(p) not in on_cycle:
+                stack.append(p)
+    return [node for key, node in order.items() if key in on_cycle]
+
+
+def reachable_loop_heads(start: IRNode) -> list[LoopHeadNode]:
+    heads = [n for n in iter_nodes(start) if isinstance(n, LoopHeadNode)]
+    heads.sort(key=lambda n: (n.loop_id, n.version))
+    return heads

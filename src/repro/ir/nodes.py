@@ -1,0 +1,562 @@
+"""Control-flow-graph nodes.
+
+The compiler builds this graph *while* performing type analysis (the
+paper's central architectural point: inlining changes the graph, and the
+graph determines the types).  Nodes reference virtual variables by name:
+``self``, argument/local names (alpha-renamed on inlining), and
+compiler temporaries ``%tN``.
+
+Edges are successor pointers: every node has a fixed number of outgoing
+ports (1 for straight-line nodes, 2 for branching nodes, 0 for terminal
+nodes).  For branching nodes, port 0 is the true/success branch and
+port 1 the false/failure branch — matching the paper's diagram
+convention ("true outgoing branch on the left").
+
+The node set mirrors the paper:
+
+* straight-line: Const, Move, LoadSlot, StoreSlot, Arith, ArrayLoad,
+  ArrayStore, ArrayLength, MakeBlock, EnvLoad, EnvStore
+* branching: TypeTest, CompareBranch, ArithOv (arithmetic with overflow
+  check), BoundsCheck
+* calls: Send (dynamically bound), PrimCall (out-of-line robust
+  primitive)
+* structure: Start, Merge, LoopHead, Return, NlrReturn, Error
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence
+
+_node_ids = itertools.count(1)
+
+
+class IRNode:
+    """Base class; ``successors`` has one slot per outgoing port."""
+
+    PORTS = 1
+    mnemonic = "node"
+
+    __slots__ = ("node_id", "successors")
+
+    def __init__(self) -> None:
+        self.node_id = next(_node_ids)
+        self.successors: list[Optional[IRNode]] = [None] * self.PORTS
+
+    # -- structural helpers ---------------------------------------------------
+
+    def set_successor(self, port: int, target: "IRNode") -> None:
+        self.successors[port] = target
+
+    def inputs(self) -> tuple[str, ...]:
+        """Variable names this node reads."""
+        return ()
+
+    def output(self) -> Optional[str]:
+        """The variable name this node writes, if any."""
+        return None
+
+    def describe(self) -> str:
+        """One-line description for printers (no successor info)."""
+        return self.mnemonic
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} #{self.node_id} {self.describe()}>"
+
+
+# ---------------------------------------------------------------------------
+# Structure
+# ---------------------------------------------------------------------------
+
+
+class StartNode(IRNode):
+    mnemonic = "start"
+    __slots__ = ()
+
+
+class MergeNode(IRNode):
+    """A control-flow merge (the enemy of type information)."""
+
+    mnemonic = "merge"
+    __slots__ = ("arity",)
+
+    def __init__(self, arity: int = 2) -> None:
+        super().__init__()
+        self.arity = arity
+
+    def describe(self) -> str:
+        return f"merge/{self.arity}"
+
+
+class LoopHeadNode(IRNode):
+    """A merge with a back edge; one loop version per LoopHead.
+
+    ``version`` numbers the loop versions the iterative analysis / head
+    splitting produced for the same source loop (``loop_id``).
+    """
+
+    mnemonic = "loophead"
+    __slots__ = ("loop_id", "version")
+
+    def __init__(self, loop_id: int, version: int = 0) -> None:
+        super().__init__()
+        self.loop_id = loop_id
+        self.version = version
+
+    def describe(self) -> str:
+        return f"loophead L{self.loop_id}v{self.version}"
+
+
+class ReturnNode(IRNode):
+    """Method return."""
+
+    PORTS = 0
+    mnemonic = "return"
+    __slots__ = ("src",)
+
+    def __init__(self, src: str) -> None:
+        super().__init__()
+        self.src = src
+
+    def inputs(self) -> tuple[str, ...]:
+        return (self.src,)
+
+    def describe(self) -> str:
+        return f"return {self.src}"
+
+
+class NlrReturnNode(IRNode):
+    """Non-local return from (compiled, non-inlined) block code."""
+
+    PORTS = 0
+    mnemonic = "nlr"
+    __slots__ = ("src",)
+
+    def __init__(self, src: str) -> None:
+        super().__init__()
+        self.src = src
+
+    def inputs(self) -> tuple[str, ...]:
+        return (self.src,)
+
+    def describe(self) -> str:
+        return f"nlr-return {self.src}"
+
+
+class ErrorNode(IRNode):
+    """Terminal: raise a guest-level error (default primitive failure)."""
+
+    PORTS = 0
+    mnemonic = "error"
+    __slots__ = ("primitive", "code")
+
+    def __init__(self, primitive: str, code: str) -> None:
+        super().__init__()
+        self.primitive = primitive
+        self.code = code
+
+    def describe(self) -> str:
+        return f"error {self.primitive}:{self.code}"
+
+
+# ---------------------------------------------------------------------------
+# Straight-line data nodes
+# ---------------------------------------------------------------------------
+
+
+class ConstNode(IRNode):
+    mnemonic = "const"
+    __slots__ = ("dst", "value")
+
+    def __init__(self, dst: str, value) -> None:
+        super().__init__()
+        self.dst = dst
+        self.value = value
+
+    def output(self) -> Optional[str]:
+        return self.dst
+
+    def describe(self) -> str:
+        return f"{self.dst} := const {self.value!r}"
+
+
+class MoveNode(IRNode):
+    mnemonic = "move"
+    __slots__ = ("dst", "src")
+
+    def __init__(self, dst: str, src: str) -> None:
+        super().__init__()
+        self.dst = dst
+        self.src = src
+
+    def inputs(self) -> tuple[str, ...]:
+        return (self.src,)
+
+    def output(self) -> Optional[str]:
+        return self.dst
+
+    def describe(self) -> str:
+        return f"{self.dst} := {self.src}"
+
+
+class LoadSlotNode(IRNode):
+    """Memory load: read a data slot at a known offset."""
+
+    mnemonic = "loadslot"
+    __slots__ = ("dst", "obj", "offset", "slot_name")
+
+    def __init__(self, dst: str, obj: str, offset: int, slot_name: str = "") -> None:
+        super().__init__()
+        self.dst = dst
+        self.obj = obj
+        self.offset = offset
+        self.slot_name = slot_name
+
+    def inputs(self) -> tuple[str, ...]:
+        return (self.obj,)
+
+    def output(self) -> Optional[str]:
+        return self.dst
+
+    def describe(self) -> str:
+        return f"{self.dst} := {self.obj}.{self.slot_name or self.offset}"
+
+
+class StoreSlotNode(IRNode):
+    mnemonic = "storeslot"
+    __slots__ = ("obj", "offset", "src", "slot_name")
+
+    def __init__(self, obj: str, offset: int, src: str, slot_name: str = "") -> None:
+        super().__init__()
+        self.obj = obj
+        self.offset = offset
+        self.src = src
+        self.slot_name = slot_name
+
+    def inputs(self) -> tuple[str, ...]:
+        return (self.obj, self.src)
+
+    def describe(self) -> str:
+        return f"{self.obj}.{self.slot_name or self.offset} := {self.src}"
+
+
+class ArithNode(IRNode):
+    """A raw arithmetic instruction — *no* checks of any kind.
+
+    This is the node the paper draws as the bare ``add`` instruction that
+    remains after all type and overflow checks were optimized away.
+    """
+
+    mnemonic = "arith"
+    __slots__ = ("op", "dst", "x", "y")
+
+    def __init__(self, op: str, dst: str, x: str, y: str) -> None:
+        super().__init__()
+        self.op = op
+        self.dst = dst
+        self.x = x
+        self.y = y
+
+    def inputs(self) -> tuple[str, ...]:
+        return (self.x, self.y)
+
+    def output(self) -> Optional[str]:
+        return self.dst
+
+    def describe(self) -> str:
+        return f"{self.dst} := {self.x} {self.op} {self.y}"
+
+
+class EnvLoadNode(IRNode):
+    """Read an enclosing activation's local (compiled block code only)."""
+
+    mnemonic = "envload"
+    __slots__ = ("dst", "depth", "name")
+
+    def __init__(self, dst: str, depth: int, name: str) -> None:
+        super().__init__()
+        self.dst = dst
+        self.depth = depth
+        self.name = name
+
+    def output(self) -> Optional[str]:
+        return self.dst
+
+    def describe(self) -> str:
+        return f"{self.dst} := env[{self.depth}].{self.name}"
+
+
+class EnvStoreNode(IRNode):
+    mnemonic = "envstore"
+    __slots__ = ("depth", "name", "src")
+
+    def __init__(self, depth: int, name: str, src: str) -> None:
+        super().__init__()
+        self.depth = depth
+        self.name = name
+        self.src = src
+
+    def inputs(self) -> tuple[str, ...]:
+        return (self.src,)
+
+    def describe(self) -> str:
+        return f"env[{self.depth}].{self.name} := {self.src}"
+
+
+class MakeBlockNode(IRNode):
+    """Create a block closure capturing the current activation."""
+
+    mnemonic = "makeblock"
+    __slots__ = ("dst", "block", "template", "self_var")
+
+    def __init__(self, dst: str, block, self_var: str = "%self") -> None:
+        super().__init__()
+        self.dst = dst
+        self.block = block  # lang.ast_nodes.BlockNode
+        self.template = None  # result.BlockTemplate, set by the compiler
+        #: variable holding the conceptual receiver at creation time —
+        #: the *inlined* home method's self, not the physical frame's
+        self.self_var = self_var
+
+    def output(self) -> Optional[str]:
+        return self.dst
+
+    def describe(self) -> str:
+        return f"{self.dst} := block#{self.block.block_id}"
+
+
+# ---------------------------------------------------------------------------
+# Arrays
+# ---------------------------------------------------------------------------
+
+
+class ArrayLoadNode(IRNode):
+    """Unchecked vector element read (bounds check already proven/emitted)."""
+
+    mnemonic = "aload"
+    __slots__ = ("dst", "arr", "idx")
+
+    def __init__(self, dst: str, arr: str, idx: str) -> None:
+        super().__init__()
+        self.dst = dst
+        self.arr = arr
+        self.idx = idx
+
+    def inputs(self) -> tuple[str, ...]:
+        return (self.arr, self.idx)
+
+    def output(self) -> Optional[str]:
+        return self.dst
+
+    def describe(self) -> str:
+        return f"{self.dst} := {self.arr}[{self.idx}]"
+
+
+class ArrayStoreNode(IRNode):
+    mnemonic = "astore"
+    __slots__ = ("arr", "idx", "src")
+
+    def __init__(self, arr: str, idx: str, src: str) -> None:
+        super().__init__()
+        self.arr = arr
+        self.idx = idx
+        self.src = src
+
+    def inputs(self) -> tuple[str, ...]:
+        return (self.arr, self.idx, self.src)
+
+    def describe(self) -> str:
+        return f"{self.arr}[{self.idx}] := {self.src}"
+
+
+class ArrayLengthNode(IRNode):
+    mnemonic = "alen"
+    __slots__ = ("dst", "arr")
+
+    def __init__(self, dst: str, arr: str) -> None:
+        super().__init__()
+        self.dst = dst
+        self.arr = arr
+
+    def inputs(self) -> tuple[str, ...]:
+        return (self.arr,)
+
+    def output(self) -> Optional[str]:
+        return self.dst
+
+    def describe(self) -> str:
+        return f"{self.dst} := length({self.arr})"
+
+
+# ---------------------------------------------------------------------------
+# Branching nodes  (port 0 = true/success, port 1 = false/failure)
+# ---------------------------------------------------------------------------
+
+
+class TypeTestNode(IRNode):
+    """Run-time map (class) test."""
+
+    PORTS = 2
+    mnemonic = "typetest"
+    __slots__ = ("var", "map")
+
+    def __init__(self, var: str, map) -> None:
+        super().__init__()
+        self.var = var
+        self.map = map
+
+    def inputs(self) -> tuple[str, ...]:
+        return (self.var,)
+
+    def describe(self) -> str:
+        return f"is {self.var} a {self.map.name}?"
+
+
+class CompareBranchNode(IRNode):
+    """Integer compare-and-branch."""
+
+    PORTS = 2
+    mnemonic = "cmpbr"
+    __slots__ = ("op", "x", "y")
+
+    def __init__(self, op: str, x: str, y: str) -> None:
+        super().__init__()
+        self.op = op
+        self.x = x
+        self.y = y
+
+    def inputs(self) -> tuple[str, ...]:
+        return (self.x, self.y)
+
+    def describe(self) -> str:
+        return f"if {self.x} {self.op} {self.y}"
+
+
+class ArithOvNode(IRNode):
+    """Arithmetic with overflow check: port 0 = in range, port 1 = overflow.
+
+    Also covers checked division/modulo, whose port 1 is taken on a zero
+    divisor as well (the failure code distinguishes them at run time).
+    """
+
+    PORTS = 2
+    mnemonic = "arith.ov"
+    __slots__ = ("op", "dst", "x", "y", "err_dst")
+
+    def __init__(self, op: str, dst: str, x: str, y: str, err_dst: str = "") -> None:
+        super().__init__()
+        self.op = op
+        self.dst = dst
+        self.x = x
+        self.y = y
+        #: variable that receives the failure code string on port 1
+        #: ('overflowError' or 'divisionByZeroError')
+        self.err_dst = err_dst
+
+    def inputs(self) -> tuple[str, ...]:
+        return (self.x, self.y)
+
+    def output(self) -> Optional[str]:
+        return self.dst
+
+    def describe(self) -> str:
+        return f"{self.dst} := {self.x} {self.op} {self.y} (ov?)"
+
+
+class BoundsCheckNode(IRNode):
+    """0 <= idx < length(arr): port 0 = in bounds, port 1 = out of bounds."""
+
+    PORTS = 2
+    mnemonic = "bounds"
+    __slots__ = ("arr", "idx")
+
+    def __init__(self, arr: str, idx: str) -> None:
+        super().__init__()
+        self.arr = arr
+        self.idx = idx
+
+    def inputs(self) -> tuple[str, ...]:
+        return (self.arr, self.idx)
+
+    def describe(self) -> str:
+        return f"bounds {self.arr}[{self.idx}]?"
+
+
+# ---------------------------------------------------------------------------
+# Calls
+# ---------------------------------------------------------------------------
+
+
+class SendNode(IRNode):
+    """A dynamically-bound message send (with an inline-cache site)."""
+
+    mnemonic = "send"
+    __slots__ = ("dst", "selector", "recv", "args")
+
+    def __init__(self, dst: str, selector: str, recv: str, args: Sequence[str]) -> None:
+        super().__init__()
+        self.dst = dst
+        self.selector = selector
+        self.recv = recv
+        self.args = tuple(args)
+
+    def inputs(self) -> tuple[str, ...]:
+        return (self.recv,) + self.args
+
+    def output(self) -> Optional[str]:
+        return self.dst
+
+    def describe(self) -> str:
+        args = " ".join(self.args)
+        return f"{self.dst} := send {self.recv} {self.selector} {args}".rstrip()
+
+
+class PrimCallNode(IRNode):
+    """Out-of-line robust primitive call.
+
+    Port 0 is the success continuation.  When the primitive can fail and
+    a failure handler was compiled, the node has a second port; the
+    failure code is bound to ``err_dst`` on that branch.  Otherwise the
+    node has one port and failure raises the guest error directly.
+    """
+
+    mnemonic = "primcall"
+    __slots__ = ("dst", "selector", "recv", "args", "err_dst", "_ports")
+
+    def __init__(
+        self,
+        dst: str,
+        selector: str,
+        recv: str,
+        args: Sequence[str],
+        with_failure_port: bool = False,
+        err_dst: str = "",
+    ) -> None:
+        self._ports = 2 if with_failure_port else 1
+        super().__init__()
+        # PORTS is a class attribute; patch the instance's successor list.
+        self.successors = [None] * self._ports
+        self.dst = dst
+        self.selector = selector
+        self.recv = recv
+        self.args = tuple(args)
+        self.err_dst = err_dst
+
+    @property
+    def has_failure_port(self) -> bool:
+        return self._ports == 2
+
+    def inputs(self) -> tuple[str, ...]:
+        return (self.recv,) + self.args
+
+    def output(self) -> Optional[str]:
+        return self.dst
+
+    def describe(self) -> str:
+        args = " ".join(self.args)
+        tail = " (fail?)" if self.has_failure_port else ""
+        return f"{self.dst} := prim {self.recv} {self.selector} {args}{tail}".rstrip()
+
+
+BRANCHING_NODES = (TypeTestNode, CompareBranchNode, ArithOvNode, BoundsCheckNode)
+TERMINAL_NODES = (ReturnNode, NlrReturnNode, ErrorNode)

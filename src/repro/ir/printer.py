@@ -1,0 +1,76 @@
+"""Textual and Graphviz rendering of control-flow graphs.
+
+The text format numbers nodes in a stable depth-first order and prints
+one line per node with explicit jump targets, so examples and golden
+tests can show "before/after splitting" graphs like the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .nodes import IRNode, LoopHeadNode, MergeNode
+from .graph import iter_nodes, predecessors
+
+
+def format_graph(start: IRNode, title: str = "") -> str:
+    """Pretty-print the CFG reachable from ``start``."""
+    order: dict[IRNode, int] = {}
+    for index, node in enumerate(iter_nodes(start)):
+        order[node] = index
+    preds = predecessors(start)
+    lines: list[str] = []
+    if title:
+        lines.append(f"== {title} ==")
+    for node, index in order.items():
+        label = f"n{index}"
+        incoming = len(preds.get(node, []))
+        marker = ""
+        if isinstance(node, LoopHeadNode):
+            marker = "  <<loop head>>"
+        elif isinstance(node, MergeNode) or incoming > 1:
+            marker = f"  <<merge x{incoming}>>" if incoming > 1 else ""
+        succ_parts = []
+        for port, successor in enumerate(node.successors):
+            if successor is None:
+                succ_parts.append(f"[{port}]->∅")
+            else:
+                succ_parts.append(f"[{port}]->n{order[successor]}")
+        succ = "  " + " ".join(succ_parts) if succ_parts else ""
+        lines.append(f"{label}: {node.describe()}{succ}{marker}")
+    return "\n".join(lines)
+
+
+def to_dot(start: IRNode, title: str = "cfg") -> str:
+    """Graphviz dot rendering (for the examples' --dot flag)."""
+    order: dict[IRNode, int] = {}
+    for index, node in enumerate(iter_nodes(start)):
+        order[node] = index
+    lines = [f"digraph {_dot_ident(title)} {{", "  node [shape=box, fontname=monospace];"]
+    for node, index in order.items():
+        label = node.describe().replace('"', "'")
+        shape = ""
+        if isinstance(node, LoopHeadNode):
+            shape = ", shape=ellipse, style=bold"
+        elif isinstance(node, MergeNode):
+            shape = ", shape=ellipse"
+        lines.append(f'  n{index} [label="{label}"{shape}];')
+    for node, index in order.items():
+        for port, successor in enumerate(node.successors):
+            if successor is None:
+                continue
+            attrs = ""
+            if len(node.successors) == 2:
+                attrs = ' [label="T"]' if port == 0 else ' [label="F"]'
+            target = order[successor]
+            back = successor in order and isinstance(successor, LoopHeadNode) and target <= index
+            if back:
+                attrs = attrs[:-1] + ', style=dashed]' if attrs else ' [style=dashed]'
+            lines.append(f"  n{index} -> n{target}{attrs};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _dot_ident(name: str) -> str:
+    cleaned = "".join(c if c.isalnum() else "_" for c in name)
+    return cleaned or "cfg"

@@ -1,0 +1,31 @@
+"""Lexer, parser, and AST for the SELF-like surface language."""
+
+from .ast_nodes import (
+    BlockNode,
+    LiteralNode,
+    MethodNode,
+    Node,
+    ObjectLiteralNode,
+    ReturnNode,
+    SelfNode,
+    SendNode,
+    SlotDecl,
+)
+from .lexer import tokenize
+from .parser import parse_doit, parse_expression, parse_slot_list
+
+__all__ = [
+    "BlockNode",
+    "LiteralNode",
+    "MethodNode",
+    "Node",
+    "ObjectLiteralNode",
+    "ReturnNode",
+    "SelfNode",
+    "SendNode",
+    "SlotDecl",
+    "parse_doit",
+    "parse_expression",
+    "parse_slot_list",
+    "tokenize",
+]

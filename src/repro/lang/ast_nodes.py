@@ -1,0 +1,216 @@
+"""Abstract syntax trees for the SELF-like surface language.
+
+The AST is tiny because SELF is tiny: almost everything is a message
+send.  In particular there is *no* assignment node and *no* variable
+reference node — reading a local is an implicit-self unary send that the
+evaluator resolves against the activation before falling back to object
+lookup, and writing a local is an implicit-self keyword send (``sum: 3``)
+that hits the assignment slot.  This mirrors SELF's "state accessed via
+messages" design and is what makes the paper's techniques apply uniformly
+to locals, arguments, and instance slots.
+
+AST nodes are immutable after parsing.  Block nodes get a unique
+``block_id`` so the compiler and runtime can create a distinct map per
+block literal (the map identifies the block's code, enabling inlining of
+user-defined control structures).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence, Union
+
+
+class Node:
+    """Base class for AST nodes; carries the source position."""
+
+    __slots__ = ("line", "column")
+
+    def __init__(self, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+
+
+class LiteralNode(Node):
+    """An integer, float, or string literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Union[int, float, str], line: int = 0, column: int = 0) -> None:
+        super().__init__(line, column)
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Lit({self.value!r})"
+
+
+class SelfNode(Node):
+    """An explicit reference to ``self``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Self"
+
+
+class SendNode(Node):
+    """A message send.
+
+    ``receiver is None`` encodes an implicit-self send (resolved first in
+    the activation's locals/arguments, then lexically, then in the
+    receiver object).  Primitive sends are ordinary sends whose selector
+    starts with ``_``; ``is_primitive`` is a convenience flag.
+    """
+
+    __slots__ = ("receiver", "selector", "arguments", "is_primitive")
+
+    def __init__(
+        self,
+        receiver: Optional[Node],
+        selector: str,
+        arguments: Sequence[Node] = (),
+        line: int = 0,
+        column: int = 0,
+    ) -> None:
+        super().__init__(line, column)
+        self.receiver = receiver
+        self.selector = selector
+        self.arguments = tuple(arguments)
+        self.is_primitive = selector.startswith("_")
+
+    def __repr__(self) -> str:
+        recv = repr(self.receiver) if self.receiver is not None else "(self)"
+        if not self.arguments:
+            return f"Send({recv} {self.selector})"
+        args = ", ".join(repr(a) for a in self.arguments)
+        return f"Send({recv} {self.selector} [{args}])"
+
+
+class ReturnNode(Node):
+    """``^ expr`` — method return, or non-local return inside a block."""
+
+    __slots__ = ("expression",)
+
+    def __init__(self, expression: Node, line: int = 0, column: int = 0) -> None:
+        super().__init__(line, column)
+        self.expression = expression
+
+    def __repr__(self) -> str:
+        return f"Return({self.expression!r})"
+
+
+_block_ids = itertools.count(1)
+
+
+class CodeBody:
+    """Shared shape of method and block bodies.
+
+    ``locals`` maps each local name to its initializer AST (a literal
+    node; SELF initializes locals to compile-time constants, ``nil`` by
+    default — the paper relies on this to seed value types).
+
+    This mixin declares no storage of its own (subclasses list the slots)
+    so it can combine with :class:`Node` under ``__slots__``.
+    """
+
+    __slots__ = ()
+
+    def __init__(
+        self,
+        argument_names: Sequence[str],
+        local_decls: Sequence[tuple[str, Optional[Node]]],
+        statements: Sequence[Node],
+    ) -> None:
+        self.argument_names = tuple(argument_names)
+        self.local_names = tuple(name for name, _ in local_decls)
+        self.local_inits = {name: init for name, init in local_decls}
+        self.statements = tuple(statements)
+
+
+class BlockNode(Node, CodeBody):
+    """A block literal ``[ :x | body ]``."""
+
+    __slots__ = ("block_id", "argument_names", "local_names", "local_inits", "statements")
+
+    def __init__(
+        self,
+        argument_names: Sequence[str],
+        local_decls: Sequence[tuple[str, Optional[Node]]],
+        statements: Sequence[Node],
+        line: int = 0,
+        column: int = 0,
+    ) -> None:
+        Node.__init__(self, line, column)
+        CodeBody.__init__(self, argument_names, local_decls, statements)
+        self.block_id = next(_block_ids)
+
+    def __repr__(self) -> str:
+        args = " ".join(":" + a for a in self.argument_names)
+        return f"Block#{self.block_id}({args})"
+
+
+class MethodNode(Node, CodeBody):
+    """A method body ``( | locals | statements )`` with its formals.
+
+    Methods implicitly return the value of their last statement unless a
+    ``^`` return runs first.  An empty body returns ``self`` (as in SELF).
+    """
+
+    __slots__ = ("argument_names", "local_names", "local_inits", "statements", "source")
+
+    def __init__(
+        self,
+        argument_names: Sequence[str],
+        local_decls: Sequence[tuple[str, Optional[Node]]],
+        statements: Sequence[Node],
+        source: str = "",
+        line: int = 0,
+        column: int = 0,
+    ) -> None:
+        Node.__init__(self, line, column)
+        CodeBody.__init__(self, argument_names, local_decls, statements)
+        self.source = source
+
+    def __repr__(self) -> str:
+        return f"Method(args={list(self.argument_names)})"
+
+
+# ---------------------------------------------------------------------------
+# Slot declarations (object literals and top-level world extensions)
+# ---------------------------------------------------------------------------
+
+
+class SlotDecl:
+    """One slot in an object literal ``(| ... |)``.
+
+    kind is one of:
+
+    * ``'constant'`` — ``name = expr``
+    * ``'data'``     — ``name`` or ``name <- expr``
+    * ``'parent'``   — ``name* = expr`` (constant parent)
+    * ``'method'``   — ``selector = ( body )`` / ``kw: a = ( body )`` /
+      ``+ a = ( body )``; ``value`` holds the :class:`MethodNode`.
+    """
+
+    __slots__ = ("name", "kind", "value")
+
+    def __init__(self, name: str, kind: str, value: Optional[Node]) -> None:
+        self.name = name
+        self.kind = kind
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"SlotDecl({self.name!r}, {self.kind})"
+
+
+class ObjectLiteralNode(Node):
+    """``(| slot. slot. ... |)`` — builds a fresh object at evaluation time."""
+
+    __slots__ = ("slots",)
+
+    def __init__(self, slots: Sequence[SlotDecl], line: int = 0, column: int = 0) -> None:
+        super().__init__(line, column)
+        self.slots = tuple(slots)
+
+    def __repr__(self) -> str:
+        return f"ObjectLiteral({len(self.slots)} slots)"

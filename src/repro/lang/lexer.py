@@ -1,0 +1,169 @@
+"""The lexer for the SELF-like surface language.
+
+Hand-written single-pass scanner.  Notable rules:
+
+* ``"..."`` is a comment (SELF convention) and is skipped entirely;
+  comments may span lines and may not nest.
+* ``'...'`` is a string literal; a doubled ``''`` encodes a single quote.
+* An identifier immediately followed by ``:`` fuses into one KEYWORD
+  token (``at:``), so the parser never has to re-associate them.  A ``:``
+  *not* preceded by an identifier is a COLON token (block arguments).
+* ``<-`` lexes as ARROW, taking precedence over the binary operators
+  ``<`` and ``-``.
+* Any other run of operator characters lexes as a single BINOP token
+  (``<=``, ``==``, ``//``...).  The parser treats ``=`` contextually
+  (slot definition vs. the equality message).
+"""
+
+from __future__ import annotations
+
+from ..objects.errors import SelfParseError
+from . import tokens as T
+from .tokens import Token
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``, returning a list ending with an EOF token."""
+    return Lexer(source).run()
+
+
+class Lexer:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+        self.out: list[Token] = []
+
+    # -- character helpers ---------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index >= len(self.source):
+            return ""
+        return self.source[index]
+
+    def _advance(self) -> str:
+        ch = self.source[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+    def _error(self, message: str) -> SelfParseError:
+        return SelfParseError(message, self.line, self.column)
+
+    def _emit(self, kind: str, text: str, line: int, column: int, value=None) -> None:
+        self.out.append(Token(kind, text, line, column, value))
+
+    # -- scanner -------------------------------------------------------------
+
+    def run(self) -> list[Token]:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == '"':
+                self._skip_comment()
+            elif ch == "'":
+                self._scan_string()
+            elif ch.isdigit():
+                self._scan_number()
+            elif ch.isalpha() or ch == "_":
+                self._scan_identifier()
+            else:
+                self._scan_punctuation()
+        self._emit(T.EOF, "", self.line, self.column)
+        return self.out
+
+    def _skip_comment(self) -> None:
+        line, column = self.line, self.column
+        self._advance()  # opening quote
+        while True:
+            if self.pos >= len(self.source):
+                raise SelfParseError("unterminated comment", line, column)
+            if self._advance() == '"':
+                return
+
+    def _scan_string(self) -> None:
+        line, column = self.line, self.column
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise SelfParseError("unterminated string", line, column)
+            ch = self._advance()
+            if ch == "'":
+                if self._peek() == "'":  # escaped quote
+                    chars.append(self._advance())
+                else:
+                    break
+            else:
+                chars.append(ch)
+        text = "".join(chars)
+        self._emit(T.STRING, text, line, column, value=text)
+
+    def _scan_number(self) -> None:
+        line, column = self.line, self.column
+        digits = [self._advance()]
+        while self._peek().isdigit():
+            digits.append(self._advance())
+        if self._peek() == "." and self._peek(1).isdigit():
+            digits.append(self._advance())  # the dot
+            while self._peek().isdigit():
+                digits.append(self._advance())
+            text = "".join(digits)
+            self._emit(T.FLOAT, text, line, column, value=float(text))
+        else:
+            text = "".join(digits)
+            self._emit(T.INT, text, line, column, value=int(text))
+
+    def _scan_identifier(self) -> None:
+        line, column = self.line, self.column
+        chars = [self._advance()]
+        while self._peek().isalnum() or self._peek() == "_":
+            chars.append(self._advance())
+        text = "".join(chars)
+        if self._peek() == ":" and self._peek(1) != "=":
+            self._advance()
+            self._emit(T.KEYWORD, text + ":", line, column)
+        else:
+            self._emit(T.IDENT, text, line, column)
+
+    def _scan_punctuation(self) -> None:
+        line, column = self.line, self.column
+        ch = self._peek()
+        if ch == "<" and self._peek(1) == "-":
+            self._advance()
+            self._advance()
+            self._emit(T.ARROW, "<-", line, column)
+            return
+        if ch in T.OPERATOR_CHARS:
+            chars = [self._advance()]
+            # Greedily extend, but never swallow a '<-' that starts a
+            # data-slot initializer (e.g. in 'x<-3' there is no operator).
+            while self._peek() in T.OPERATOR_CHARS and not (
+                self._peek() == "<" and self._peek(1) == "-"
+            ):
+                chars.append(self._advance())
+            self._emit(T.BINOP, "".join(chars), line, column)
+            return
+        simple = {
+            "|": T.PIPE,
+            "^": T.CARET,
+            ".": T.DOT,
+            ":": T.COLON,
+            ";": T.SEMI,
+            "(": T.LPAREN,
+            ")": T.RPAREN,
+            "[": T.LBRACKET,
+            "]": T.RBRACKET,
+        }
+        if ch in simple:
+            self._advance()
+            self._emit(simple[ch], ch, line, column)
+            return
+        raise self._error(f"unexpected character {ch!r}")

@@ -1,0 +1,430 @@
+"""Recursive-descent parser for the SELF-like surface language.
+
+Precedence follows SELF/Smalltalk exactly:
+
+1. unary sends bind tightest (``x foo bar``),
+2. then binary sends, left-associative, all at one precedence level
+   (``a + b * c`` is ``(a + b) * c``),
+3. then keyword sends, which bind loosest.
+
+In a keyword message the second and later keyword parts must start with
+an uppercase letter to belong to the same message (the SELF rule), so
+``1 upTo: n Do: [...]`` is one ``upTo:Do:`` send, while in
+``d at: k put: v`` the lowercase ``put:`` would start a *nested* keyword
+send — our standard library therefore spells it ``at:Put:``.
+
+There are no variable references or assignments in the AST: a bare
+identifier is an implicit-self unary send, and an initial lowercase
+keyword (``sum: expr``) is an implicit-self keyword send, which assigns
+when it reaches an assignment slot (method locals included).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..objects.errors import SelfParseError
+from . import tokens as T
+from .ast_nodes import (
+    BlockNode,
+    LiteralNode,
+    MethodNode,
+    Node,
+    ObjectLiteralNode,
+    ReturnNode,
+    SelfNode,
+    SendNode,
+    SlotDecl,
+)
+from .lexer import tokenize
+
+#: Identifiers with hardwired meaning in expression position.
+_RESERVED = {"self"}
+
+
+def parse_expression(source: str) -> Node:
+    """Parse a single expression (no trailing tokens allowed)."""
+    parser = Parser(source)
+    node = parser.parse_expr()
+    parser.expect(T.EOF)
+    return node
+
+
+def parse_doit(source: str) -> MethodNode:
+    """Parse a "do-it": optional ``| locals |`` then statements.
+
+    The result is a zero-argument :class:`MethodNode`, ready to be
+    interpreted or compiled against any receiver (normally the lobby).
+    """
+    parser = Parser(source)
+    locals_decl = parser.parse_optional_locals()
+    statements = parser.parse_statements(terminators=(T.EOF,))
+    parser.expect(T.EOF)
+    return MethodNode((), locals_decl, statements, source=source)
+
+
+def parse_slot_list(source: str) -> list[SlotDecl]:
+    """Parse slot declarations, with or without the ``(| ... |)`` wrapper.
+
+    Several adjacent groups concatenate (so reusable source fragments can
+    simply be joined): ``"| a = 1 |" + "| b = 2 |"`` declares both.
+    """
+    parser = Parser(source)
+    slots: list[SlotDecl] = []
+    while not parser.at(T.EOF):
+        wrapped = False
+        if parser.at(T.LPAREN):
+            parser.advance()
+            wrapped = True
+        parser.expect(T.PIPE)
+        slots.extend(parser.parse_slot_decls())
+        parser.expect(T.PIPE)
+        if wrapped:
+            parser.expect(T.RPAREN)
+    return slots
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> T.Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def advance(self) -> T.Token:
+        token = self.tokens[self.pos]
+        if token.kind != T.EOF:
+            self.pos += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> T.Token:
+        if not self.at(kind, text):
+            token = self.peek()
+            wanted = text or kind
+            raise SelfParseError(
+                f"expected {wanted}, found {token.kind} {token.text!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def error(self, message: str) -> SelfParseError:
+        token = self.peek()
+        return SelfParseError(message, token.line, token.column)
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_statements(self, terminators: tuple[str, ...]) -> list[Node]:
+        """Statements separated by DOT, stopping before any terminator kind."""
+        statements: list[Node] = []
+        while True:
+            while self.at(T.DOT):  # tolerate stray separators
+                self.advance()
+            if self.peek().kind in terminators:
+                return statements
+            statements.append(self.parse_statement())
+            if self.at(T.DOT):
+                self.advance()
+            elif self.peek().kind not in terminators:
+                raise self.error("expected '.' between statements")
+
+    def parse_statement(self) -> Node:
+        if self.at(T.CARET):
+            token = self.advance()
+            value = self.parse_expr()
+            return ReturnNode(value, token.line, token.column)
+        return self.parse_expr()
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expr(self) -> Node:
+        return self.parse_keyword_expr()
+
+    def parse_keyword_expr(self) -> Node:
+        if self.at(T.KEYWORD):
+            # Implicit-self keyword send:  sum: sum + i
+            return self.parse_keyword_send(receiver=None)
+        receiver = self.parse_binary_expr()
+        if self.at(T.KEYWORD):
+            return self.parse_keyword_send(receiver)
+        return receiver
+
+    def parse_keyword_send(self, receiver: Optional[Node]) -> Node:
+        first = self.expect(T.KEYWORD)
+        selector_parts = [first.text]
+        arguments = [self.parse_binary_expr()]
+        while self.at(T.KEYWORD) and self.peek().text[0].isupper():
+            selector_parts.append(self.advance().text)
+            arguments.append(self.parse_binary_expr())
+        selector = "".join(selector_parts)
+        return SendNode(receiver, selector, arguments, first.line, first.column)
+
+    def parse_binary_expr(self) -> Node:
+        node = self.parse_unary_expr()
+        while self.at(T.BINOP):
+            op = self.advance()
+            argument = self.parse_unary_expr()
+            node = SendNode(node, op.text, [argument], op.line, op.column)
+        return node
+
+    def parse_unary_expr(self) -> Node:
+        node = self.parse_primary()
+        while self.at(T.IDENT) and self.peek().text not in _RESERVED:
+            token = self.advance()
+            node = SendNode(node, token.text, (), token.line, token.column)
+        return node
+
+    def parse_primary(self) -> Node:
+        token = self.peek()
+        if token.kind == T.INT or token.kind == T.FLOAT or token.kind == T.STRING:
+            self.advance()
+            return LiteralNode(token.value, token.line, token.column)
+        if token.kind == T.BINOP and token.text == "-":
+            nxt = self.peek(1)
+            if nxt.kind in (T.INT, T.FLOAT):
+                self.advance()
+                self.advance()
+                return LiteralNode(-nxt.value, token.line, token.column)
+            raise self.error("unary '-' is only allowed before a number literal")
+        if token.kind == T.IDENT:
+            if token.text == "self":
+                self.advance()
+                return SelfNode(token.line, token.column)
+            self.advance()
+            # Bare identifier: implicit-self unary send.
+            return SendNode(None, token.text, (), token.line, token.column)
+        if token.kind == T.LPAREN:
+            self.advance()
+            if self.at(T.PIPE):
+                return self.parse_object_literal(token)
+            node = self.parse_expr()
+            self.expect(T.RPAREN)
+            return node
+        if token.kind == T.LBRACKET:
+            return self.parse_block()
+        raise self.error(f"unexpected token {token.kind} {token.text!r}")
+
+    # -- blocks and bodies ----------------------------------------------------
+
+    def parse_block(self) -> BlockNode:
+        """Parse a block literal.
+
+        Two header styles are accepted:
+
+        * SELF style — arguments and locals inside one pipe pair, arguments
+          marked with a colon: ``[ | :i. t <- 0 | body ]``
+        * Smalltalk style — ``[:i :j | body ]``, optionally followed by a
+          separate locals section ``[:i | | t | body ]``.
+        """
+        start = self.expect(T.LBRACKET)
+        argument_names: list[str] = []
+        locals_decl: list[tuple[str, Optional[Node]]] = []
+        if self.at(T.COLON):
+            # Smalltalk style header.
+            while self.at(T.COLON):
+                self.advance()
+                argument_names.append(self.expect(T.IDENT).text)
+            self.expect(T.PIPE)
+            locals_decl = self.parse_optional_locals()
+        elif self.at(T.PIPE):
+            # SELF style header: pipes around mixed :args and locals.
+            self.advance()
+            while not self.at(T.PIPE):
+                if self.at(T.COLON):
+                    self.advance()
+                    argument_names.append(self.expect(T.IDENT).text)
+                else:
+                    name = self.expect(T.IDENT).text
+                    init: Optional[Node] = None
+                    if self.at(T.ARROW):
+                        self.advance()
+                        init = self.parse_literal_init()
+                    locals_decl.append((name, init))
+                if self.at(T.DOT):
+                    self.advance()
+                elif not (self.at(T.PIPE) or self.at(T.COLON)):
+                    # Consecutive ':x :y' arguments may omit the dot.
+                    raise self.error("expected '.' or '|' in block header")
+            self.expect(T.PIPE)
+        statements = self.parse_statements(terminators=(T.RBRACKET,))
+        self.expect(T.RBRACKET)
+        return BlockNode(argument_names, locals_decl, statements, start.line, start.column)
+
+    def parse_optional_locals(self) -> list[tuple[str, Optional[Node]]]:
+        """``| a. b <- 0 |`` — local declarations with literal initializers."""
+        if not self.at(T.PIPE):
+            return []
+        self.advance()
+        decls: list[tuple[str, Optional[Node]]] = []
+        while not self.at(T.PIPE):
+            name = self.expect(T.IDENT).text
+            init: Optional[Node] = None
+            if self.at(T.ARROW):
+                self.advance()
+                init = self.parse_literal_init()
+            decls.append((name, init))
+            if self.at(T.DOT):
+                self.advance()
+            elif not self.at(T.PIPE):
+                raise self.error("expected '.' or '|' in local declarations")
+        self.expect(T.PIPE)
+        return decls
+
+    def parse_literal_init(self) -> Node:
+        """Local initializers must be compile-time constants (as in SELF)."""
+        token = self.peek()
+        if token.kind in (T.INT, T.FLOAT, T.STRING):
+            self.advance()
+            return LiteralNode(token.value, token.line, token.column)
+        if token.kind == T.BINOP and token.text == "-":
+            nxt = self.peek(1)
+            if nxt.kind in (T.INT, T.FLOAT):
+                self.advance()
+                self.advance()
+                return LiteralNode(-nxt.value, token.line, token.column)
+        if token.kind == T.IDENT and token.text in ("nil", "true", "false"):
+            self.advance()
+            return SendNode(None, token.text, (), token.line, token.column)
+        raise self.error("local initializer must be a literal constant")
+
+    def parse_method_body(self, argument_names: list[str], start_token: T.Token) -> MethodNode:
+        """Parse ``( |locals| statements )`` — the LPAREN is next in the stream."""
+        self.expect(T.LPAREN)
+        locals_decl = self.parse_optional_locals()
+        statements = self.parse_statements(terminators=(T.RPAREN,))
+        end = self.expect(T.RPAREN)
+        source = self._slice_source(start_token, end)
+        return MethodNode(
+            argument_names,
+            locals_decl,
+            statements,
+            source=source,
+            line=start_token.line,
+            column=start_token.column,
+        )
+
+    def _slice_source(self, start: T.Token, end: T.Token) -> str:
+        # Best-effort source extraction for diagnostics (line-based).
+        lines = self.source.splitlines()
+        if not lines or start.line <= 0 or end.line > len(lines):
+            return ""
+        return "\n".join(lines[start.line - 1 : end.line])
+
+    # -- slot declarations ------------------------------------------------------
+
+    def parse_object_literal(self, start: T.Token) -> ObjectLiteralNode:
+        """The '(' is consumed; parse ``| slots |``, then ')'."""
+        self.expect(T.PIPE)
+        slots = self.parse_slot_decls()
+        self.expect(T.PIPE)
+        self.expect(T.RPAREN)
+        return ObjectLiteralNode(slots, start.line, start.column)
+
+    def parse_slot_decls(self) -> list[SlotDecl]:
+        decls: list[SlotDecl] = []
+        while not self.at(T.PIPE):
+            decls.append(self.parse_slot_decl())
+            if self.at(T.DOT):
+                self.advance()
+            elif not self.at(T.PIPE):
+                raise self.error("expected '.' or '|' in slot list")
+        return decls
+
+    def parse_slot_decl(self) -> SlotDecl:
+        token = self.peek()
+        if token.kind == T.KEYWORD:
+            return self.parse_keyword_method_decl()
+        if token.kind == T.BINOP:
+            # Binary method:   + n = ( ... )   — including '= n = ( ... )'
+            op = self.advance()
+            argument = self.expect(T.IDENT).text
+            self.expect(T.BINOP, "=")
+            body = self.parse_method_body([argument], self.peek())
+            return SlotDecl(op.text, "method", body)
+        if token.kind == T.IDENT:
+            name = self.advance().text
+            if self.at(T.BINOP, "*"):
+                self.advance()
+                self.expect(T.BINOP, "=")
+                value = self.parse_expr()
+                return SlotDecl(name, "parent", value)
+            if self.at(T.ARROW):
+                self.advance()
+                value = self.parse_expr()
+                return SlotDecl(name, "data", value)
+            if self.at(T.BINOP, "="):
+                self.advance()
+                if self.at(T.LPAREN):
+                    return self._object_or_method_after_equals(name)
+                value = self.parse_expr()
+                return SlotDecl(name, "constant", value)
+            # Bare name: a data slot initialized to nil.
+            return SlotDecl(name, "data", None)
+        raise self.error(f"bad slot declaration at {token.kind} {token.text!r}")
+
+    def _object_or_method_after_equals(self, name: str) -> SlotDecl:
+        """Disambiguate ``name = ( ... )``.
+
+        Following SELF: a parenthesized body containing *statements* is a
+        zero-argument method; ``(| slots |)`` with no statements is an
+        object literal stored in a constant slot.
+        """
+        start = self.peek()
+        self.expect(T.LPAREN)
+        if not self.at(T.PIPE):
+            # ( statements ) — a zero-argument method without locals.
+            statements = self.parse_statements(terminators=(T.RPAREN,))
+            end = self.expect(T.RPAREN)
+            body = MethodNode(
+                (), [], statements, source=self._slice_source(start, end),
+                line=start.line, column=start.column,
+            )
+            return SlotDecl(name, "method", body)
+        self.advance()  # consume the first PIPE
+        decls = self.parse_slot_decls()
+        self.expect(T.PIPE)
+        if self.at(T.RPAREN):
+            end = self.advance()
+            literal = ObjectLiteralNode(decls, start.line, start.column)
+            return SlotDecl(name, "constant", literal)
+        statements = self.parse_statements(terminators=(T.RPAREN,))
+        end = self.expect(T.RPAREN)
+        local_decls = self._decls_as_locals(decls)
+        body = MethodNode(
+            (), local_decls, statements, source=self._slice_source(start, end),
+            line=start.line, column=start.column,
+        )
+        return SlotDecl(name, "method", body)
+
+    def _decls_as_locals(self, decls: list[SlotDecl]) -> list[tuple[str, Optional[Node]]]:
+        """Reinterpret slot declarations as method locals (data slots only)."""
+        local_decls: list[tuple[str, Optional[Node]]] = []
+        for decl in decls:
+            if decl.kind != "data":
+                raise self.error(
+                    f"method locals must be simple data slots, got {decl.kind} "
+                    f"slot {decl.name!r}"
+                )
+            local_decls.append((decl.name, decl.value))
+        return local_decls
+
+    def parse_keyword_method_decl(self) -> SlotDecl:
+        selector_parts: list[str] = []
+        argument_names: list[str] = []
+        first = True
+        while self.at(T.KEYWORD) and (first or self.peek().text[0].isupper()):
+            selector_parts.append(self.advance().text)
+            argument_names.append(self.expect(T.IDENT).text)
+            first = False
+        self.expect(T.BINOP, "=")
+        body = self.parse_method_body(argument_names, self.peek())
+        return SlotDecl("".join(selector_parts), "method", body)

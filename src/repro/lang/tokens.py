@@ -1,0 +1,72 @@
+"""Token kinds for the SELF-like surface language.
+
+The token set is deliberately small; all the interesting structure
+(keyword selectors, slot declarations, block headers) is resolved by the
+parser from these kinds:
+
+=========  ==============================================================
+kind       examples
+=========  ==============================================================
+INT        ``42``
+FLOAT      ``3.14``
+STRING     ``'hello'`` (with ``''`` as the escaped quote)
+IDENT      ``sum``, ``upTo``, ``_IntAdd`` (primitives start with ``_``)
+KEYWORD    ``at:``, ``Put:``, ``_IntAdd:`` — an identifier fused with
+           the ``:`` that immediately follows it
+BINOP      ``+``, ``-``, ``*``, ``<=``, ``=``, ``%``, ``&``, ``@`` ...
+ARROW      ``<-`` (data-slot initializer)
+PIPE       ``|`` (slot-list and local-list delimiter)
+CARET      ``^`` (return)
+DOT        ``.`` (statement separator)
+COLON      ``:`` (block argument marker, when not fused into a KEYWORD)
+SEMI       ``;`` (unused by the core grammar, reserved)
+LPAREN     ``(``      RPAREN  ``)``
+LBRACKET   ``[``      RBRACKET ``]``
+STAR       ``*`` *in slot contexts only*; the lexer always emits ``*`` as
+           BINOP and the parser reinterprets it after an identifier in a
+           slot list (``parent* = ...``)
+EOF        end of input
+=========  ==============================================================
+
+Comments are SELF-style ``"double quoted"`` and are skipped by the lexer.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+INT = "INT"
+FLOAT = "FLOAT"
+STRING = "STRING"
+IDENT = "IDENT"
+KEYWORD = "KEYWORD"
+BINOP = "BINOP"
+ARROW = "ARROW"
+PIPE = "PIPE"
+CARET = "CARET"
+DOT = "DOT"
+COLON = "COLON"
+SEMI = "SEMI"
+LPAREN = "LPAREN"
+RPAREN = "RPAREN"
+LBRACKET = "LBRACKET"
+RBRACKET = "RBRACKET"
+EOF = "EOF"
+
+
+class Token(NamedTuple):
+    """One lexed token with its source position (1-based)."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+    value: object = None  # decoded literal value for INT/FLOAT/STRING
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r} @{self.line}:{self.column})"
+
+
+#: Characters that may start (and continue) a binary operator selector.
+#: ``|`` and ``^`` are intentionally excluded: they are structural.
+OPERATOR_CHARS = set("+-*/%~<>=&!?,@")

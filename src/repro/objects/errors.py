@@ -1,0 +1,115 @@
+"""Error types raised by the SELF-like runtime.
+
+All errors that correspond to *language-level* failures (message not
+understood, primitive failure with the default failure handler, block
+non-local-return into a dead activation, ...) derive from
+:class:`SelfError`, so embedding code can catch everything from the guest
+language with a single ``except SelfError``.
+
+Errors that indicate a bug in the host implementation (malformed IR,
+compiler invariant violations) derive from :class:`ReproInternalError`
+instead and are never raised by well-formed guest programs.
+"""
+
+from __future__ import annotations
+
+
+class SelfError(Exception):
+    """Base class for all guest-language-level errors."""
+
+
+class SelfParseError(SelfError):
+    """Raised by the lexer/parser on malformed source code.
+
+    Carries the 1-based source position so tools can point at the
+    offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class MessageNotUnderstood(SelfError):
+    """A message send found no matching slot in the receiver or its parents."""
+
+    def __init__(self, selector: str, receiver_description: str) -> None:
+        self.selector = selector
+        self.receiver_description = receiver_description
+        super().__init__(
+            f"message not understood: {selector!r} sent to {receiver_description}"
+        )
+
+
+class AmbiguousLookup(SelfError):
+    """Message lookup found the selector in two unrelated parents."""
+
+    def __init__(self, selector: str) -> None:
+        self.selector = selector
+        super().__init__(f"ambiguous lookup for selector {selector!r}")
+
+
+class PrimitiveFailed(SelfError):
+    """A robust primitive failed and the default failure handler ran.
+
+    ``code`` is the primitive failure code, a short string such as
+    ``'badTypeError'``, ``'overflowError'``, ``'outOfBoundsError'`` or
+    ``'divisionByZeroError'`` — mirroring the error strings the real SELF
+    system passes to failure blocks.
+    """
+
+    def __init__(self, primitive: str, code: str) -> None:
+        self.primitive = primitive
+        self.code = code
+        super().__init__(f"primitive {primitive} failed: {code}")
+
+
+class NonLocalReturnFromDeadActivation(SelfError):
+    """A block performed ``^`` after its home method already returned."""
+
+    def __init__(self) -> None:
+        super().__init__("non-local return from a block whose home has returned")
+
+
+class WrongBlockArity(SelfError):
+    """A block was invoked with the wrong number of ``value:`` arguments."""
+
+    def __init__(self, expected: int, got: int) -> None:
+        self.expected = expected
+        self.got = got
+        super().__init__(f"block expects {expected} argument(s), got {got}")
+
+
+class SlotExists(SelfError):
+    """An ``_AddSlots:`` style operation tried to redefine a constant slot."""
+
+    def __init__(self, name: str) -> None:
+        self.slot_name = name
+        super().__init__(f"slot already exists: {name!r}")
+
+
+class GuestError(SelfError):
+    """A guest program called the ``error:`` routine explicitly."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(f"error: {message}")
+
+
+class ReproInternalError(Exception):
+    """An invariant of the host implementation was violated (a bug here,
+    not in the guest program)."""
+
+
+class CompilerError(ReproInternalError):
+    """The optimizing compiler reached an inconsistent state."""
+
+
+class CodegenError(ReproInternalError):
+    """The bytecode backend could not lower a control-flow graph."""
+
+
+class VMError(ReproInternalError):
+    """The bytecode interpreter hit a malformed instruction stream."""

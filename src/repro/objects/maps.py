@@ -1,0 +1,190 @@
+"""Maps: the hidden classes of the SELF object model.
+
+SELF has no classes; to recover the space- and information-efficiency of
+classes, the implementation gives every object a *map* describing its
+format (which slots it has, which of them are mutable data slots, which
+are parents).  Objects created by cloning share their prototype's map, so
+in a running program there are few maps and many objects — exactly the
+property the compiler's *class types* rely on (see the paper, section 3.1,
+footnote 2: "the class type becomes the set of all values that share the
+same map").
+
+A :class:`Map` is immutable once built.  Adding a slot to an object (only
+possible through the bootstrap ``_AddSlots:`` machinery, not in compiled
+benchmark code) creates a fresh map.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Optional
+
+from .errors import SlotExists
+
+# ---------------------------------------------------------------------------
+# Slot kinds
+# ---------------------------------------------------------------------------
+
+#: Constant slot: holds an immutable value (methods, shared constants,
+#: parent objects).  Stored in the map itself, shared by all clones.
+CONSTANT = "constant"
+
+#: Data slot: mutable per-object storage.  The map stores the *offset* into
+#: the object's data vector; reading goes through an implicit accessor
+#: message and writing through the matching assignment slot (``name:``).
+DATA = "data"
+
+#: Assignment slot: the write half of a data slot; ``x <- 0`` defines both
+#: the data slot ``x`` and the assignment slot ``x:``.
+ASSIGNMENT = "assignment"
+
+#: Argument slot: a method's formal parameter (only appears in method maps).
+ARGUMENT = "argument"
+
+_SLOT_KINDS = (CONSTANT, DATA, ASSIGNMENT, ARGUMENT)
+
+
+class Slot:
+    """One named slot in a map.
+
+    Attributes:
+        name: the selector that reads (or for assignment slots, writes)
+            this slot.
+        kind: one of :data:`CONSTANT`, :data:`DATA`, :data:`ASSIGNMENT`,
+            :data:`ARGUMENT`.
+        value: for constant slots, the stored value; ``None`` otherwise.
+        offset: for data and assignment slots, the index into the
+            object's data vector; for argument slots the argument index.
+        is_parent: whether lookup should continue through this slot
+            (``parent*`` slots).  Only constant and data slots may be
+            parents.
+    """
+
+    __slots__ = ("name", "kind", "value", "offset", "is_parent")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        value: object = None,
+        offset: int = -1,
+        is_parent: bool = False,
+    ) -> None:
+        if kind not in _SLOT_KINDS:
+            raise ValueError(f"bad slot kind: {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.value = value
+        self.offset = offset
+        self.is_parent = is_parent
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        star = "*" if self.is_parent else ""
+        return f"<Slot {self.name}{star} {self.kind} @{self.offset}>"
+
+
+_map_ids = itertools.count(1)
+
+
+class Map:
+    """An immutable object layout descriptor (a hidden class).
+
+    ``kind`` tags well-known layouts so the compiler and VM can special
+    case them cheaply:
+
+    * ``'object'``   — ordinary slot objects
+    * ``'smallInt'`` — tagged small integers (31-bit range)
+    * ``'bigInt'``   — arbitrary-precision integers (overflow results)
+    * ``'float'``    — floating point numbers
+    * ``'string'``   — immutable strings
+    * ``'vector'``   — indexable arrays
+    * ``'block'``    — block closures
+    * ``'method'``   — method objects
+    * ``'boolean'``  — ``true`` and ``false`` (each has its *own* map so a
+      value type for ``true`` is also a map type)
+    * ``'nil'``      — the singleton ``nil``
+    """
+
+    __slots__ = (
+        "map_id",
+        "name",
+        "kind",
+        "slots",
+        "data_size",
+        "_parent_slots",
+        "_lookup_cache",
+        "_cache_epoch",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        slots: Iterable[Slot] = (),
+        kind: str = "object",
+    ) -> None:
+        self.map_id = next(_map_ids)
+        self.name = name
+        self.kind = kind
+        self.slots: dict[str, Slot] = {}
+        data_size = 0
+        for slot in slots:
+            if slot.name in self.slots:
+                raise SlotExists(slot.name)
+            self.slots[slot.name] = slot
+            if slot.kind == DATA:
+                data_size = max(data_size, slot.offset + 1)
+        self.data_size = data_size
+        self._parent_slots = tuple(s for s in self.slots.values() if s.is_parent)
+        self._lookup_cache: dict[str, object] = {}
+        self._cache_epoch = -1
+
+    # -- construction helpers ------------------------------------------------
+
+    @staticmethod
+    def build(
+        name: str,
+        constants: Optional[dict[str, object]] = None,
+        data: Iterable[str] = (),
+        parents: Optional[dict[str, object]] = None,
+        kind: str = "object",
+    ) -> "Map":
+        """Build a map from separate constant / data / parent descriptions.
+
+        Data slots are assigned consecutive offsets in iteration order and
+        each automatically gets its assignment slot ``name:``.
+        """
+        slots: list[Slot] = []
+        for cname, cvalue in (constants or {}).items():
+            slots.append(Slot(cname, CONSTANT, value=cvalue))
+        for pname, pvalue in (parents or {}).items():
+            slots.append(Slot(pname, CONSTANT, value=pvalue, is_parent=True))
+        for offset, dname in enumerate(data):
+            slots.append(Slot(dname, DATA, offset=offset))
+            slots.append(Slot(dname + ":", ASSIGNMENT, offset=offset))
+        return Map(name, slots, kind=kind)
+
+    def with_added_slots(self, new_slots: Iterable[Slot], name: str = "") -> "Map":
+        """Return a fresh map extending this one (bootstrap-time only)."""
+        merged: dict[str, Slot] = dict(self.slots)
+        for slot in new_slots:
+            merged[slot.name] = slot
+        return Map(name or self.name, merged.values(), kind=self.kind)
+
+    # -- queries -------------------------------------------------------------
+
+    def own_slot(self, name: str) -> Optional[Slot]:
+        """The slot directly present in this map, or ``None``."""
+        return self.slots.get(name)
+
+    def parent_slots(self) -> tuple[Slot, ...]:
+        return self._parent_slots
+
+    def iter_slots(self) -> Iterator[Slot]:
+        return iter(self.slots.values())
+
+    @property
+    def is_integer(self) -> bool:
+        return self.kind in ("smallInt", "bigInt")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Map #{self.map_id} {self.name} ({self.kind})>"

@@ -1,0 +1,222 @@
+"""Runtime value representations for the SELF-like guest language.
+
+Value kinds and their host representations:
+
+===============  ==========================================================
+guest value      host representation
+===============  ==========================================================
+small integer    a plain Python ``int`` within ``[SMALLINT_MIN,
+                 SMALLINT_MAX]`` (the 31-bit tagged-integer range of the
+                 original SELF implementation)
+big integer      :class:`BigInt` wrapping a Python ``int`` outside that
+                 range (the result of a small-integer overflow, promoted
+                 by the standard library's failure blocks)
+float            a plain Python ``float``
+string           a plain Python ``str``
+vector           :class:`SelfVector` (fixed-length mutable array)
+slot object      :class:`SelfObject` (a map plus a data vector)
+block            :class:`SelfBlock` (code plus the lexical frame link)
+method           :class:`SelfMethod` (named code stored in a slot)
+nil/true/false   dedicated :class:`SelfObject` singletons owned by the
+                 world's :class:`~repro.world.bootstrap.Universe`
+===============  ==========================================================
+
+Using unboxed host ``int``/``float``/``str`` for the common immutable
+values keeps the interpreter and the bytecode VM fast, at the cost of a
+``map_of`` dispatch function instead of an attribute read.  That function
+lives on the :class:`~repro.world.bootstrap.Universe`, because each world
+owns its own canonical maps (so tests can build isolated worlds).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .maps import Map
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..lang.ast_nodes import BlockNode, MethodNode
+
+# ---------------------------------------------------------------------------
+# The tagged small-integer range (31-bit, as in the original SELF system).
+# ---------------------------------------------------------------------------
+
+SMALLINT_BITS = 31
+SMALLINT_MIN = -(2 ** (SMALLINT_BITS - 1))
+SMALLINT_MAX = 2 ** (SMALLINT_BITS - 1) - 1
+
+
+def fits_smallint(value: int) -> bool:
+    """Whether ``value`` is representable as a tagged small integer."""
+    return SMALLINT_MIN <= value <= SMALLINT_MAX
+
+
+class BigInt:
+    """An arbitrary-precision integer that escaped the small-int range.
+
+    The standard library creates these in the failure blocks of the
+    arithmetic primitives (overflow promotion), mirroring how real SELF
+    promotes to bignums.  Arithmetic on :class:`BigInt` goes through the
+    ``_Big*`` primitives, which normalize results back to plain ints when
+    they re-enter the small range.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BigInt) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("BigInt", self.value))
+
+    def __repr__(self) -> str:
+        return f"BigInt({self.value})"
+
+
+def normalize_int(value: int):
+    """Return ``value`` as a guest integer: plain int if small, else BigInt."""
+    if fits_smallint(value):
+        return value
+    return BigInt(value)
+
+
+def guest_int_value(value) -> Optional[int]:
+    """The host integer behind a guest integer, or ``None`` if not one."""
+    if isinstance(value, bool):  # bool is an int subclass; guard explicitly
+        return None
+    if isinstance(value, int):
+        return value
+    if isinstance(value, BigInt):
+        return value.value
+    return None
+
+
+class SelfObject:
+    """An ordinary slot object: a map plus per-object mutable data.
+
+    ``data[i]`` holds the value of the data slot whose map entry carries
+    ``offset == i``.  The map is reassignable only during bootstrap (when
+    the world adds slots to the well-known objects); compiled code relies
+    on maps being stable afterwards.
+    """
+
+    __slots__ = ("map", "data")
+
+    def __init__(self, map: Map, data: Optional[list] = None) -> None:
+        self.map = map
+        if data is None:
+            data = [None] * map.data_size
+        self.data = data
+
+    def clone(self) -> "SelfObject":
+        return SelfObject(self.map, list(self.data))
+
+    def get_data(self, offset: int):
+        return self.data[offset]
+
+    def set_data(self, offset: int, value) -> None:
+        self.data[offset] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<a {self.map.name}>"
+
+
+class SelfVector:
+    """A fixed-length mutable array (SELF's ``vector``)."""
+
+    __slots__ = ("map", "elements")
+
+    def __init__(self, map: Map, elements: list) -> None:
+        self.map = map
+        self.elements = elements
+
+    def clone(self) -> "SelfVector":
+        return SelfVector(self.map, list(self.elements))
+
+    @property
+    def size(self) -> int:
+        return len(self.elements)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = ", ".join(repr(e) for e in self.elements[:4])
+        if len(self.elements) > 4:
+            preview += ", ..."
+        return f"<vector[{len(self.elements)}] {preview}>"
+
+
+class SelfMethod:
+    """Code stored in a (constant) slot; invoked on lookup.
+
+    The compiler customizes a method per receiver map, so a single
+    :class:`SelfMethod` can have several compiled versions; those live in
+    the runtime's code cache keyed by ``(method, receiver_map)``, not
+    here.
+    """
+
+    __slots__ = ("selector", "code", "holder_name")
+
+    def __init__(self, selector: str, code: "MethodNode", holder_name: str = "") -> None:
+        self.selector = selector
+        self.code = code
+        self.holder_name = holder_name
+
+    @property
+    def argument_names(self) -> tuple[str, ...]:
+        return self.code.argument_names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        holder = f"{self.holder_name}." if self.holder_name else ""
+        return f"<method {holder}{self.selector}>"
+
+
+class SelfBlock:
+    """A block closure: block code plus the lexically enclosing frame.
+
+    Every block *literal* in the source has its own map (created by the
+    parser via the world), so the compiler's map types identify block
+    code statically — that is what lets ``whileTrue:`` and friends be
+    inlined.  ``home`` is the activation that created the closure; it is
+    ``None`` for blocks the compiler fully inlined (those never
+    materialize at run time).
+    """
+
+    __slots__ = ("map", "code", "home", "env_map", "captured_self")
+
+    def __init__(
+        self, map: Map, code: "BlockNode", home, env_map=None, captured_self=None
+    ) -> None:
+        self.map = map
+        self.code = code
+        self.home = home
+        #: for VM-created closures: free-name -> concrete environment
+        #: key in the creating frame (None for interpreter closures)
+        self.env_map = env_map
+        #: the conceptual receiver at creation time.  When the creating
+        #: method was inlined, the physical frame's receiver is the
+        #: *caller's* self; the closure must remember its own.  None
+        #: means "use home.receiver" (interpreter closures).
+        self.captured_self = captured_self
+
+    @property
+    def arity(self) -> int:
+        return len(self.code.argument_names)
+
+    @property
+    def value_selector(self) -> str:
+        """The selector that invokes this block (``value``, ``value:``, ...)."""
+        return block_value_selector(self.arity)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<block/{self.arity} {self.map.name}>"
+
+
+def block_value_selector(arity: int) -> str:
+    """The canonical invocation selector for a block of the given arity."""
+    if arity == 0:
+        return "value"
+    if arity == 1:
+        return "value:"
+    return "value:" + "With:" * (arity - 1)

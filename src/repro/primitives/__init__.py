@@ -1,0 +1,31 @@
+"""Robust primitive operations shared by the interpreter and the VM.
+
+Importing this package registers every primitive family.
+"""
+
+from . import blocks, floats, integers, objects_prims, vectors  # noqa: F401  (registration)
+from .registry import (
+    BAD_SIZE,
+    BAD_TYPE,
+    DIVISION_BY_ZERO,
+    OUT_OF_BOUNDS,
+    OVERFLOW,
+    PrimFailSignal,
+    Primitive,
+    all_primitives,
+    has_failure_variant,
+    lookup_primitive,
+)
+
+__all__ = [
+    "BAD_SIZE",
+    "BAD_TYPE",
+    "DIVISION_BY_ZERO",
+    "OUT_OF_BOUNDS",
+    "OVERFLOW",
+    "PrimFailSignal",
+    "Primitive",
+    "all_primitives",
+    "has_failure_variant",
+    "lookup_primitive",
+]

@@ -1,0 +1,69 @@
+"""Block-control primitives.
+
+``_BlockWhileTrue:`` is the loop fallback used by ``traits block
+whileTrue:`` when the compiler could *not* inline the loop (receiver or
+body block not statically known).  It re-enters the active evaluator
+(interpreter or VM) once per iteration, so even megamorphic loops run in
+bounded host stack space.
+
+The common case never reaches this primitive: the compiler recognizes
+``[cond] whileTrue: [body]`` with statically-known blocks and builds a
+loop in the control-flow graph directly (paper, section 5).
+"""
+
+from __future__ import annotations
+
+from ..objects.model import SelfBlock
+from .registry import BAD_TYPE, PrimFailSignal, Primitive, register
+
+
+def _block_while_true(universe, receiver, args):
+    body = args[0]
+    evaluator = universe.evaluator
+    if (
+        not isinstance(receiver, SelfBlock)
+        or not isinstance(body, SelfBlock)
+        or receiver.arity != 0
+        or body.arity != 0
+        or evaluator is None
+    ):
+        raise PrimFailSignal(BAD_TYPE)
+    while True:
+        condition = evaluator.call_block(receiver, ())
+        if condition is universe.true_object:
+            evaluator.call_block(body, ())
+        elif condition is universe.false_object:
+            return universe.nil_object
+        else:
+            raise PrimFailSignal(BAD_TYPE)
+
+
+def _block_while_false(universe, receiver, args):
+    body = args[0]
+    evaluator = universe.evaluator
+    if (
+        not isinstance(receiver, SelfBlock)
+        or not isinstance(body, SelfBlock)
+        or receiver.arity != 0
+        or body.arity != 0
+        or evaluator is None
+    ):
+        raise PrimFailSignal(BAD_TYPE)
+    while True:
+        condition = evaluator.call_block(receiver, ())
+        if condition is universe.false_object:
+            evaluator.call_block(body, ())
+        elif condition is universe.true_object:
+            return universe.nil_object
+        else:
+            raise PrimFailSignal(BAD_TYPE)
+
+
+def _register_all() -> None:
+    register(Primitive("_BlockWhileTrue:", _block_while_true, arity=1,
+                       can_fail=True, pure=False, result_kind="nil"))
+    register(Primitive("_BlockWhileFalse:", _block_while_false, arity=1,
+                       can_fail=True, pure=False, result_kind="nil"))
+
+
+_register_all()

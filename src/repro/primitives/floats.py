@@ -1,0 +1,102 @@
+"""Floating-point primitives.
+
+The benchmark suites are integer programs, but the language is complete:
+``_Flt*`` primitives mirror the ``_Int*`` family (robust type checks, no
+overflow checks — IEEE arithmetic saturates to infinities instead of
+failing, as in real SELF).
+"""
+
+from __future__ import annotations
+
+from ..objects.model import guest_int_value
+from .registry import BAD_TYPE, DIVISION_BY_ZERO, PrimFailSignal, Primitive, register
+
+
+def _float_operands(receiver, argument) -> tuple[float, float]:
+    if isinstance(receiver, float) and isinstance(argument, float):
+        return receiver, argument
+    raise PrimFailSignal(BAD_TYPE)
+
+
+def _flt_add(universe, receiver, args):
+    x, y = _float_operands(receiver, args[0])
+    return x + y
+
+
+def _flt_sub(universe, receiver, args):
+    x, y = _float_operands(receiver, args[0])
+    return x - y
+
+
+def _flt_mul(universe, receiver, args):
+    x, y = _float_operands(receiver, args[0])
+    return x * y
+
+
+def _flt_div(universe, receiver, args):
+    x, y = _float_operands(receiver, args[0])
+    if y == 0.0:
+        raise PrimFailSignal(DIVISION_BY_ZERO)
+    return x / y
+
+
+def _flt_lt(universe, receiver, args):
+    x, y = _float_operands(receiver, args[0])
+    return universe.boolean(x < y)
+
+
+def _flt_le(universe, receiver, args):
+    x, y = _float_operands(receiver, args[0])
+    return universe.boolean(x <= y)
+
+
+def _flt_gt(universe, receiver, args):
+    x, y = _float_operands(receiver, args[0])
+    return universe.boolean(x > y)
+
+
+def _flt_ge(universe, receiver, args):
+    x, y = _float_operands(receiver, args[0])
+    return universe.boolean(x >= y)
+
+
+def _flt_eq(universe, receiver, args):
+    x, y = _float_operands(receiver, args[0])
+    return universe.boolean(x == y)
+
+
+def _int_as_float(universe, receiver, args):
+    value = guest_int_value(receiver)
+    if value is None:
+        raise PrimFailSignal(BAD_TYPE)
+    return float(value)
+
+
+def _flt_truncate(universe, receiver, args):
+    if not isinstance(receiver, float):
+        raise PrimFailSignal(BAD_TYPE)
+    from ..objects.model import normalize_int
+
+    return normalize_int(int(receiver))
+
+
+def _register_all() -> None:
+    for selector, fn, kind in [
+        ("_FltAdd:", _flt_add, "float"),
+        ("_FltSub:", _flt_sub, "float"),
+        ("_FltMul:", _flt_mul, "float"),
+        ("_FltDiv:", _flt_div, "float"),
+        ("_FltLT:", _flt_lt, "boolean"),
+        ("_FltLE:", _flt_le, "boolean"),
+        ("_FltGT:", _flt_gt, "boolean"),
+        ("_FltGE:", _flt_ge, "boolean"),
+        ("_FltEQ:", _flt_eq, "boolean"),
+    ]:
+        register(Primitive(selector, fn, arity=1, can_fail=True, pure=True, result_kind=kind))
+    register(Primitive("_IntAsFloat", _int_as_float, arity=0, can_fail=True,
+                       pure=True, result_kind="float"))
+    register(Primitive("_FltTruncate", _flt_truncate, arity=0, can_fail=True,
+                       pure=True, result_kind="integer"))
+
+
+_register_all()

@@ -1,0 +1,255 @@
+"""Integer primitives.
+
+Two families:
+
+* ``_Int*`` — the *tagged small integer* primitives.  These are the
+  robust primitives the compiler inlines (paper, section 3.2.3): they
+  fail with ``badTypeError`` unless both operands are small integers and
+  with ``overflowError`` when the result leaves the 31-bit range.  The
+  standard library builds ``+ - * / % < <= ...`` on top of them, passing
+  failure blocks that retry in arbitrary precision.
+
+* ``_Big*`` — arbitrary-precision fallbacks accepting any mix of small
+  and big integers and normalizing results back into the small range
+  when possible.  These are what the failure blocks call, so guest
+  arithmetic silently promotes and demotes exactly like real SELF.
+
+Division and modulo follow Smalltalk semantics (floor division; the
+remainder has the sign of the divisor).
+"""
+
+from __future__ import annotations
+
+from ..objects.model import BigInt, fits_smallint, guest_int_value, normalize_int
+from .registry import (
+    BAD_TYPE,
+    DIVISION_BY_ZERO,
+    OVERFLOW,
+    PrimFailSignal,
+    Primitive,
+    register,
+)
+
+
+def _small_operands(receiver, argument) -> tuple[int, int]:
+    """Both operands as small ints, or fail with badTypeError."""
+    if (
+        type(receiver) is int
+        and type(argument) is int
+        and fits_smallint(receiver)
+        and fits_smallint(argument)
+    ):
+        return receiver, argument
+    raise PrimFailSignal(BAD_TYPE)
+
+
+def _checked(value: int) -> int:
+    if fits_smallint(value):
+        return value
+    raise PrimFailSignal(OVERFLOW)
+
+
+# -- small integer arithmetic -------------------------------------------------
+
+
+def _int_add(universe, receiver, args):
+    x, y = _small_operands(receiver, args[0])
+    return _checked(x + y)
+
+
+def _int_sub(universe, receiver, args):
+    x, y = _small_operands(receiver, args[0])
+    return _checked(x - y)
+
+
+def _int_mul(universe, receiver, args):
+    x, y = _small_operands(receiver, args[0])
+    return _checked(x * y)
+
+
+def _int_div(universe, receiver, args):
+    x, y = _small_operands(receiver, args[0])
+    if y == 0:
+        raise PrimFailSignal(DIVISION_BY_ZERO)
+    return _checked(x // y)
+
+
+def _int_mod(universe, receiver, args):
+    x, y = _small_operands(receiver, args[0])
+    if y == 0:
+        raise PrimFailSignal(DIVISION_BY_ZERO)
+    return _checked(x % y)
+
+
+# -- small integer comparisons ------------------------------------------------
+
+
+def _int_lt(universe, receiver, args):
+    x, y = _small_operands(receiver, args[0])
+    return universe.boolean(x < y)
+
+
+def _int_le(universe, receiver, args):
+    x, y = _small_operands(receiver, args[0])
+    return universe.boolean(x <= y)
+
+
+def _int_gt(universe, receiver, args):
+    x, y = _small_operands(receiver, args[0])
+    return universe.boolean(x > y)
+
+
+def _int_ge(universe, receiver, args):
+    x, y = _small_operands(receiver, args[0])
+    return universe.boolean(x >= y)
+
+
+def _int_eq(universe, receiver, args):
+    x, y = _small_operands(receiver, args[0])
+    return universe.boolean(x == y)
+
+
+def _int_ne(universe, receiver, args):
+    x, y = _small_operands(receiver, args[0])
+    return universe.boolean(x != y)
+
+
+# -- bit operations (cannot overflow on small operands) ------------------------
+
+
+def _int_and(universe, receiver, args):
+    x, y = _small_operands(receiver, args[0])
+    return x & y
+
+
+def _int_or(universe, receiver, args):
+    x, y = _small_operands(receiver, args[0])
+    return x | y
+
+
+def _int_xor(universe, receiver, args):
+    x, y = _small_operands(receiver, args[0])
+    return x ^ y
+
+
+def _int_shl(universe, receiver, args):
+    x, y = _small_operands(receiver, args[0])
+    if y < 0 or y >= 31:
+        raise PrimFailSignal(BAD_TYPE)
+    return _checked(x << y)
+
+
+def _int_shr(universe, receiver, args):
+    x, y = _small_operands(receiver, args[0])
+    if y < 0:
+        raise PrimFailSignal(BAD_TYPE)
+    return x >> y
+
+
+# -- arbitrary-precision fallbacks ---------------------------------------------
+
+
+def _big_operands(receiver, argument) -> tuple[int, int]:
+    x = guest_int_value(receiver)
+    y = guest_int_value(argument)
+    if x is None or y is None:
+        raise PrimFailSignal(BAD_TYPE)
+    return x, y
+
+
+def _big_add(universe, receiver, args):
+    x, y = _big_operands(receiver, args[0])
+    return normalize_int(x + y)
+
+
+def _big_sub(universe, receiver, args):
+    x, y = _big_operands(receiver, args[0])
+    return normalize_int(x - y)
+
+
+def _big_mul(universe, receiver, args):
+    x, y = _big_operands(receiver, args[0])
+    return normalize_int(x * y)
+
+
+def _big_div(universe, receiver, args):
+    x, y = _big_operands(receiver, args[0])
+    if y == 0:
+        raise PrimFailSignal(DIVISION_BY_ZERO)
+    return normalize_int(x // y)
+
+
+def _big_mod(universe, receiver, args):
+    x, y = _big_operands(receiver, args[0])
+    if y == 0:
+        raise PrimFailSignal(DIVISION_BY_ZERO)
+    return normalize_int(x % y)
+
+
+def _big_lt(universe, receiver, args):
+    x, y = _big_operands(receiver, args[0])
+    return universe.boolean(x < y)
+
+
+def _big_le(universe, receiver, args):
+    x, y = _big_operands(receiver, args[0])
+    return universe.boolean(x <= y)
+
+
+def _big_gt(universe, receiver, args):
+    x, y = _big_operands(receiver, args[0])
+    return universe.boolean(x > y)
+
+
+def _big_ge(universe, receiver, args):
+    x, y = _big_operands(receiver, args[0])
+    return universe.boolean(x >= y)
+
+
+def _big_eq(universe, receiver, args):
+    x, y = _big_operands(receiver, args[0])
+    return universe.boolean(x == y)
+
+
+def _big_ne(universe, receiver, args):
+    x, y = _big_operands(receiver, args[0])
+    return universe.boolean(x != y)
+
+
+def _register_all() -> None:
+    for selector, fn, kind in [
+        ("_IntAdd:", _int_add, "smallInt"),
+        ("_IntSub:", _int_sub, "smallInt"),
+        ("_IntMul:", _int_mul, "smallInt"),
+        ("_IntDiv:", _int_div, "smallInt"),
+        ("_IntMod:", _int_mod, "smallInt"),
+        ("_IntLT:", _int_lt, "boolean"),
+        ("_IntLE:", _int_le, "boolean"),
+        ("_IntGT:", _int_gt, "boolean"),
+        ("_IntGE:", _int_ge, "boolean"),
+        ("_IntEQ:", _int_eq, "boolean"),
+        ("_IntNE:", _int_ne, "boolean"),
+        ("_IntAnd:", _int_and, "smallInt"),
+        ("_IntOr:", _int_or, "smallInt"),
+        ("_IntXor:", _int_xor, "smallInt"),
+        ("_IntShl:", _int_shl, "smallInt"),
+        ("_IntShr:", _int_shr, "smallInt"),
+    ]:
+        register(Primitive(selector, fn, arity=1, can_fail=True, pure=True, result_kind=kind))
+    for selector, fn, kind in [
+        ("_BigAdd:", _big_add, "integer"),
+        ("_BigSub:", _big_sub, "integer"),
+        ("_BigMul:", _big_mul, "integer"),
+        ("_BigDiv:", _big_div, "integer"),
+        ("_BigMod:", _big_mod, "integer"),
+        ("_BigLT:", _big_lt, "boolean"),
+        ("_BigLE:", _big_le, "boolean"),
+        ("_BigGT:", _big_gt, "boolean"),
+        ("_BigGE:", _big_ge, "boolean"),
+        ("_BigEQ:", _big_eq, "boolean"),
+        ("_BigNE:", _big_ne, "boolean"),
+    ]:
+        register(Primitive(selector, fn, arity=1, can_fail=True, pure=True, result_kind=kind))
+
+
+_register_all()

@@ -1,0 +1,93 @@
+"""Object-level primitives: cloning, identity, printing, and errors."""
+
+from __future__ import annotations
+
+from ..objects.errors import GuestError
+from ..objects.model import BigInt, SelfObject, SelfVector
+from .registry import BAD_TYPE, PrimFailSignal, Primitive, register
+
+
+def _clone(universe, receiver, args):
+    """Shallow copy; the clone shares the receiver's map (hidden class)."""
+    if isinstance(receiver, (SelfObject, SelfVector)):
+        return receiver.clone()
+    # Immutable values clone to themselves (ints, floats, strings, blocks).
+    return receiver
+
+
+def _identity_eq(universe, receiver, args):
+    """Identity for heap objects, value identity for unboxed immediates."""
+    other = args[0]
+    if isinstance(receiver, (SelfObject, SelfVector)):
+        return universe.boolean(receiver is other)
+    if isinstance(receiver, BigInt):
+        return universe.boolean(isinstance(other, BigInt) and receiver.value == other.value)
+    if type(receiver) is int:
+        return universe.boolean(type(other) is int and receiver == other)
+    if isinstance(receiver, float):
+        return universe.boolean(isinstance(other, float) and receiver == other)
+    if isinstance(receiver, str):
+        return universe.boolean(isinstance(other, str) and receiver == other)
+    return universe.boolean(receiver is other)
+
+
+def _identity_ne(universe, receiver, args):
+    result = _identity_eq(universe, receiver, args)
+    return universe.boolean(result is universe.false_object)
+
+
+def _print_string(universe, receiver, args):
+    return universe.print_string(receiver)
+
+
+def _print(universe, receiver, args):
+    universe.write_output(universe.print_string(receiver))
+    return receiver
+
+
+def _print_line(universe, receiver, args):
+    universe.write_output(universe.print_string(receiver) + "\n")
+    return receiver
+
+
+def _error(universe, receiver, args):
+    message = args[0]
+    if not isinstance(message, str):
+        message = universe.print_string(message)
+    raise GuestError(message)
+
+
+def _string_size(universe, receiver, args):
+    if not isinstance(receiver, str):
+        raise PrimFailSignal(BAD_TYPE)
+    return len(receiver)
+
+
+def _string_concat(universe, receiver, args):
+    if not isinstance(receiver, str) or not isinstance(args[0], str):
+        raise PrimFailSignal(BAD_TYPE)
+    return receiver + args[0]
+
+
+def _register_all() -> None:
+    register(Primitive("_Clone", _clone, arity=0, can_fail=False,
+                       pure=False, result_kind="receiver"))
+    register(Primitive("_Eq:", _identity_eq, arity=1, can_fail=False,
+                       pure=True, result_kind="boolean"))
+    register(Primitive("_Ne:", _identity_ne, arity=1, can_fail=False,
+                       pure=True, result_kind="boolean"))
+    register(Primitive("_PrintString", _print_string, arity=0, can_fail=False,
+                       pure=False, result_kind="string"))
+    register(Primitive("_Print", _print, arity=0, can_fail=False,
+                       pure=False, result_kind="receiver"))
+    register(Primitive("_PrintLine", _print_line, arity=0, can_fail=False,
+                       pure=False, result_kind="receiver"))
+    register(Primitive("_Error:", _error, arity=1, can_fail=False,
+                       pure=False, result_kind="unknown"))
+    register(Primitive("_StringSize", _string_size, arity=0, can_fail=True,
+                       pure=True, result_kind="smallInt"))
+    register(Primitive("_StringConcat:", _string_concat, arity=1, can_fail=True,
+                       pure=True, result_kind="string"))
+
+
+_register_all()

@@ -1,0 +1,133 @@
+"""The primitive registry.
+
+SELF primitives are *robust*: every primitive validates the types of its
+receiver and arguments and checks for exceptional conditions (overflow,
+divide-by-zero, out-of-bounds) before doing any work.  A failing
+primitive invokes a *failure block* — either one the programmer supplied
+via the ``IfFail:`` suffix, or a default handler that raises a
+guest-level error.  The compiler's job (paper, section 3.2.3) is to prove
+those checks redundant and delete them.
+
+Primitive functions are host callables ``fn(universe, receiver, args)``
+returning a guest value or raising :class:`PrimFailSignal` with a failure
+code string.  They are shared between the reference interpreter and the
+bytecode VM (used whenever a primitive is *not* inlined by the compiler,
+and as the semantic oracle for the inlined expansions).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+# Failure codes, mirroring the error selectors real SELF passes to
+# failure blocks.
+BAD_TYPE = "badTypeError"
+OVERFLOW = "overflowError"
+DIVISION_BY_ZERO = "divisionByZeroError"
+OUT_OF_BOUNDS = "outOfBoundsError"
+BAD_SIZE = "badSizeError"
+
+
+class PrimFailSignal(Exception):
+    """Internal control-flow signal: a primitive failed with ``code``.
+
+    Never escapes to embedding code; the interpreter and VM catch it and
+    run the failure block (or the default failure handler).
+    """
+
+    __slots__ = ("code",)
+
+    def __init__(self, code: str) -> None:
+        self.code = code
+        super().__init__(code)
+
+
+class Primitive:
+    """Descriptor for one primitive operation.
+
+    Attributes:
+        selector: the base selector, e.g. ``'_IntAdd:'`` (the ``IfFail:``
+            variant is derived automatically).
+        fn: the host implementation.
+        arity: number of message arguments (excluding receiver and any
+            failure block).
+        can_fail: whether a failure block / default handler is reachable.
+        pure: side-effect free — eligible for compile-time constant
+            folding when all arguments are compile-time constants.
+        result_kind: a coarse static result hint for the compiler's table
+            of primitive result types (paper, end of section 3.2.3):
+            one of ``'smallInt'``, ``'integer'`` (small or big),
+            ``'boolean'``, ``'float'``, ``'vector'``, ``'string'``,
+            ``'receiver'``, ``'nil'``, ``'unknown'``.
+    """
+
+    __slots__ = ("selector", "fn", "arity", "can_fail", "pure", "result_kind")
+
+    def __init__(
+        self,
+        selector: str,
+        fn: Callable,
+        arity: int,
+        can_fail: bool = True,
+        pure: bool = False,
+        result_kind: str = "unknown",
+    ) -> None:
+        self.selector = selector
+        self.fn = fn
+        self.arity = arity
+        self.can_fail = can_fail
+        self.pure = pure
+        self.result_kind = result_kind
+
+    @property
+    def fail_selector(self) -> str:
+        """The selector of the explicit-failure-block variant."""
+        if self.selector.endswith(":"):
+            return self.selector + "IfFail:"
+        return self.selector + "IfFail:"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Primitive {self.selector}/{self.arity}>"
+
+
+_REGISTRY: dict[str, Primitive] = {}
+
+
+def register(primitive: Primitive) -> Primitive:
+    if primitive.selector in _REGISTRY:
+        raise ValueError(f"duplicate primitive {primitive.selector}")
+    _REGISTRY[primitive.selector] = primitive
+    return primitive
+
+
+def lookup_primitive(selector: str) -> Optional[Primitive]:
+    """Find the primitive for a send selector.
+
+    Accepts both the base selector (``_IntAdd:``) and the failure-block
+    variant (``_IntAdd:IfFail:``); returns ``None`` for unknown
+    primitives (a guest-level error at send time).
+    """
+    primitive = _REGISTRY.get(selector)
+    if primitive is not None:
+        return primitive
+    if selector.endswith("IfFail:"):
+        base = selector[: -len("IfFail:")]
+        primitive = _REGISTRY.get(base)
+        if primitive is not None and primitive.can_fail:
+            return primitive
+        # Zero-argument primitives: '_Foo' + 'IfFail:' strips to '_Foo'
+        # only when the base had a trailing colon; handle '_FooIfFail:'.
+        if base.endswith(":"):
+            primitive = _REGISTRY.get(base[:-1])
+            if primitive is not None and primitive.can_fail and primitive.arity == 0:
+                return primitive
+    return None
+
+
+def has_failure_variant(selector: str) -> bool:
+    """Whether ``selector`` is the ``IfFail:`` form of a primitive."""
+    return selector.endswith("IfFail:") and lookup_primitive(selector) is not None
+
+
+def all_primitives() -> dict[str, Primitive]:
+    return dict(_REGISTRY)

@@ -1,0 +1,79 @@
+"""Vector (array) primitives: creation, sized access, bounds-checked I/O.
+
+Indexing is zero-based (as in SELF's byte/object vectors).  ``_VectorAt:``
+and ``_VectorAt:Put:`` are the robust primitives whose bounds checks the
+compiler's range analysis tries to eliminate (paper, sections 3.2.3
+and 7).
+"""
+
+from __future__ import annotations
+
+from ..objects.model import SelfVector, fits_smallint
+from .registry import (
+    BAD_SIZE,
+    BAD_TYPE,
+    OUT_OF_BOUNDS,
+    PrimFailSignal,
+    Primitive,
+    register,
+)
+
+
+def _vector_new(universe, receiver, args):
+    size = args[0]
+    if type(size) is not int or not fits_smallint(size):
+        raise PrimFailSignal(BAD_TYPE)
+    if size < 0:
+        raise PrimFailSignal(BAD_SIZE)
+    return SelfVector(universe.vector_map, [args[1]] * size)
+
+
+def _vector_at(universe, receiver, args):
+    if not isinstance(receiver, SelfVector):
+        raise PrimFailSignal(BAD_TYPE)
+    index = args[0]
+    if type(index) is not int:
+        raise PrimFailSignal(BAD_TYPE)
+    if index < 0 or index >= len(receiver.elements):
+        raise PrimFailSignal(OUT_OF_BOUNDS)
+    return receiver.elements[index]
+
+
+def _vector_at_put(universe, receiver, args):
+    if not isinstance(receiver, SelfVector):
+        raise PrimFailSignal(BAD_TYPE)
+    index = args[0]
+    if type(index) is not int:
+        raise PrimFailSignal(BAD_TYPE)
+    if index < 0 or index >= len(receiver.elements):
+        raise PrimFailSignal(OUT_OF_BOUNDS)
+    receiver.elements[index] = args[1]
+    return receiver
+
+
+def _vector_size(universe, receiver, args):
+    if not isinstance(receiver, SelfVector):
+        raise PrimFailSignal(BAD_TYPE)
+    return len(receiver.elements)
+
+
+def _register_all() -> None:
+    register(
+        Primitive("_NewVector:Filler:", _vector_new, arity=2, can_fail=True,
+                  pure=False, result_kind="vector")
+    )
+    register(
+        Primitive("_VectorAt:", _vector_at, arity=1, can_fail=True,
+                  pure=False, result_kind="unknown")
+    )
+    register(
+        Primitive("_VectorAt:Put:", _vector_at_put, arity=2, can_fail=True,
+                  pure=False, result_kind="receiver")
+    )
+    register(
+        Primitive("_VectorSize", _vector_size, arity=0, can_fail=True,
+                  pure=False, result_kind="smallInt")
+    )
+
+
+_register_all()

@@ -1,0 +1,5 @@
+"""Developer tooling built on the public API."""
+
+from .report import method_report
+
+__all__ = ["method_report"]

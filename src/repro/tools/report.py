@@ -1,0 +1,106 @@
+"""Per-method optimization reports.
+
+``method_report`` compiles one method under several configurations and
+renders a side-by-side summary: node mix, loop versions and their hot
+paths, and the compiler's effort counters — the view a compiler
+developer wants when asking "what did each system do with this code?".
+
+Usage::
+
+    from repro.tools import method_report
+    print(method_report(world, "triangleNumber:"))
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..compiler import NEW_SELF, OLD_SELF_90, ST80, STATIC_C, CompilerConfig, compile_code
+from ..compiler.result import CompiledGraph
+from ..ir.analysis import summarize_loops
+from ..objects.model import SelfMethod
+from ..world.bootstrap import World
+from ..world.lookup import lookup_slot
+
+DEFAULT_CONFIGS = (ST80, OLD_SELF_90, NEW_SELF, STATIC_C)
+
+_NODE_COLUMNS = (
+    ("SendNode", "sends"),
+    ("PrimCallNode", "prim calls"),
+    ("TypeTestNode", "type tests"),
+    ("ArithOvNode", "checked arith"),
+    ("ArithNode", "bare arith"),
+    ("BoundsCheckNode", "bounds checks"),
+    ("MergeNode", "merges"),
+    ("LoopHeadNode", "loop heads"),
+)
+
+
+def compile_for_report(
+    world: World,
+    selector: str,
+    config: CompilerConfig,
+    holder_name: Optional[str] = None,
+) -> CompiledGraph:
+    holder = world.get_global(holder_name) if holder_name else world.lobby
+    found = lookup_slot(world.universe, holder, selector)
+    if found is None:
+        raise KeyError(f"{selector!r} not found on {holder_name or 'the lobby'}")
+    value = found[1].value
+    if not isinstance(value, SelfMethod):
+        raise TypeError(f"{selector!r} is not a method slot")
+    return compile_code(
+        world.universe, config, value.code,
+        world.universe.map_of(holder), selector,
+    )
+
+
+def method_report(
+    world: World,
+    selector: str,
+    holder_name: Optional[str] = None,
+    configs: Sequence[CompilerConfig] = DEFAULT_CONFIGS,
+) -> str:
+    """A side-by-side compilation report for one method."""
+    graphs = [
+        (config, compile_for_report(world, selector, config, holder_name))
+        for config in configs
+    ]
+    lines = [f"method report: {selector!r}"]
+    header = f"  {'':16}" + "".join(f"{c.name:>14}" for c, _ in graphs)
+    lines.append(header)
+    lines.append(
+        f"  {'total nodes':16}"
+        + "".join(f"{g.stats.total:>14}" for _, g in graphs)
+    )
+    for key, label in _NODE_COLUMNS:
+        lines.append(
+            f"  {label:16}"
+            + "".join(f"{g.stats.counts.get(key, 0):>14}" for _, g in graphs)
+        )
+    lines.append(
+        f"  {'loop analysis':16}"
+        + "".join(
+            f"{g.compile_stats.get('loop_analysis_iterations', 0):>13}x"
+            for _, g in graphs
+        )
+    )
+    lines.append("")
+    for config, graph in graphs:
+        summaries = summarize_loops(graph.start)
+        if not summaries:
+            continue
+        lines.append(f"  {config.name} loop versions:")
+        for summary in summaries:
+            role = "common-case" if summary.is_common_case else (
+                f"hands off to v{summary.hands_off_to}"
+                if summary.hands_off_to is not None
+                else "general"
+            )
+            lines.append(
+                f"    L{summary.loop_id}v{summary.version} [{role}] "
+                f"tests={summary.type_tests} ov={summary.overflow_checks} "
+                f"bounds={summary.bounds_checks} sends={summary.sends} "
+                f"len={summary.length}"
+            )
+    return "\n".join(lines)

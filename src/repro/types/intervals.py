@@ -1,0 +1,209 @@
+"""Integer interval arithmetic for subrange analysis.
+
+The paper's *integer subrange analysis* (section 3.2.1) computes result
+ranges of arithmetic nodes and refines operand ranges across
+compare-and-branch nodes.  An interval here is an inclusive pair
+``(lo, hi)`` of host integers, always a subset of the tagged
+small-integer range.
+
+All functions are total and side-effect free; results that would escape
+the small-integer range are reported as ``None`` ("may overflow") so the
+caller can decide whether an overflow check is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..objects.model import SMALLINT_MAX, SMALLINT_MIN
+
+Interval = tuple[int, int]
+
+FULL: Interval = (SMALLINT_MIN, SMALLINT_MAX)
+
+
+def make(lo: int, hi: int) -> Optional[Interval]:
+    """An interval clamped to the small-int range; None when empty."""
+    lo = max(lo, SMALLINT_MIN)
+    hi = min(hi, SMALLINT_MAX)
+    if lo > hi:
+        return None
+    return (lo, hi)
+
+
+def is_full(interval: Interval) -> bool:
+    return interval == FULL
+
+
+def contains(outer: Interval, inner: Interval) -> bool:
+    return outer[0] <= inner[0] and inner[1] <= outer[1]
+
+
+def intersect(a: Interval, b: Interval) -> Optional[Interval]:
+    lo = max(a[0], b[0])
+    hi = min(a[1], b[1])
+    if lo > hi:
+        return None
+    return (lo, hi)
+
+
+def hull(a: Interval, b: Interval) -> Interval:
+    return (min(a[0], b[0]), max(a[1], b[1]))
+
+
+def overlaps(a: Interval, b: Interval) -> bool:
+    return intersect(a, b) is not None
+
+
+# -- arithmetic -------------------------------------------------------------
+
+
+def add(a: Interval, b: Interval) -> tuple[Interval, bool]:
+    """Result interval of x + y and whether overflow is *impossible*.
+
+    The returned interval is the overflow-free projection (clamped); the
+    boolean is True iff the exact result always fits, i.e. the overflow
+    check can be removed (paper, section 3.2.3).
+    """
+    lo = a[0] + b[0]
+    hi = a[1] + b[1]
+    safe = SMALLINT_MIN <= lo and hi <= SMALLINT_MAX
+    clamped = make(lo, hi) or FULL
+    return clamped, safe
+
+
+def sub(a: Interval, b: Interval) -> tuple[Interval, bool]:
+    lo = a[0] - b[1]
+    hi = a[1] - b[0]
+    safe = SMALLINT_MIN <= lo and hi <= SMALLINT_MAX
+    clamped = make(lo, hi) or FULL
+    return clamped, safe
+
+
+def mul(a: Interval, b: Interval) -> tuple[Interval, bool]:
+    products = (a[0] * b[0], a[0] * b[1], a[1] * b[0], a[1] * b[1])
+    lo = min(products)
+    hi = max(products)
+    safe = SMALLINT_MIN <= lo and hi <= SMALLINT_MAX
+    clamped = make(lo, hi) or FULL
+    return clamped, safe
+
+
+def floordiv(a: Interval, b: Interval) -> tuple[Interval, bool, bool]:
+    """Result interval of x // y (floor division).
+
+    Returns ``(interval, overflow_safe, zero_impossible)``; the last flag
+    is True iff the divisor range excludes zero (the divide-by-zero check
+    can be removed).  Division only overflows at ``MIN // -1``.
+    """
+    zero_impossible = not (b[0] <= 0 <= b[1])
+    if not zero_impossible:
+        # Use the nonzero parts of b for the result estimate.
+        candidates = []
+        if b[0] <= -1:
+            candidates.append((b[0], min(b[1], -1)))
+        if b[1] >= 1:
+            candidates.append((max(b[0], 1), b[1]))
+        if not candidates:
+            return FULL, False, False
+        parts = [floordiv(a, c)[0] for c in candidates]
+        interval = parts[0]
+        for part in parts[1:]:
+            interval = hull(interval, part)
+        overflow_possible = a[0] == SMALLINT_MIN and b[0] <= -1 <= b[1]
+        return interval, not overflow_possible, False
+    quotients = []
+    for x in (a[0], a[1]):
+        for y in (b[0], b[1]):
+            quotients.append(_floordiv_host(x, y))
+    lo, hi = min(quotients), max(quotients)
+    safe = SMALLINT_MIN <= lo and hi <= SMALLINT_MAX
+    return (make(lo, hi) or FULL), safe, True
+
+
+def _floordiv_host(x: int, y: int) -> int:
+    return x // y
+
+
+def floormod(a: Interval, b: Interval) -> tuple[Interval, bool, bool]:
+    """Result interval of x % y (sign follows the divisor).
+
+    Returns ``(interval, overflow_safe, zero_impossible)``.  Modulo never
+    overflows; the interval is bounded by the divisor magnitude.
+    """
+    zero_impossible = not (b[0] <= 0 <= b[1])
+    if b[0] >= 1:
+        # Positive divisors: result in [0, max(b)-1], and no wider than a
+        # non-negative dividend range.
+        hi = b[1] - 1
+        if a[0] >= 0:
+            hi = min(hi, a[1])
+        return (0, max(0, hi)), True, zero_impossible
+    if b[1] <= -1:
+        lo = b[0] + 1
+        return (min(0, lo), 0), True, zero_impossible
+    return FULL, True, zero_impossible
+
+
+# -- comparisons -------------------------------------------------------------
+
+
+def compare_lt(a: Interval, b: Interval) -> Optional[bool]:
+    """Decide x < y from ranges alone: True/False if provable, else None."""
+    if a[1] < b[0]:
+        return True
+    if a[0] >= b[1]:
+        return False
+    return None
+
+
+def compare_le(a: Interval, b: Interval) -> Optional[bool]:
+    if a[1] <= b[0]:
+        return True
+    if a[0] > b[1]:
+        return False
+    return None
+
+
+def compare_eq(a: Interval, b: Interval) -> Optional[bool]:
+    if a[0] == a[1] == b[0] == b[1]:
+        return True
+    if not overlaps(a, b):
+        return False
+    return None
+
+
+def refine_lt(a: Interval, b: Interval) -> tuple[Optional[Interval], Optional[Interval]]:
+    """Refined (a, b) on the *true* branch of ``a < b``.
+
+    The paper's rule:  x: [x_lo .. min(x_hi, y_hi - 1)],
+    y: [max(y_lo, x_lo + 1) .. y_hi].  Empty refinements (branch
+    unreachable) come back as None.
+    """
+    new_a = make(a[0], min(a[1], b[1] - 1))
+    new_b = make(max(b[0], a[0] + 1), b[1])
+    return new_a, new_b
+
+
+def refine_ge(a: Interval, b: Interval) -> tuple[Optional[Interval], Optional[Interval]]:
+    """Refined (a, b) on the *false* branch of ``a < b`` (i.e. a >= b)."""
+    new_a = make(max(a[0], b[0]), a[1])
+    new_b = make(b[0], min(b[1], a[1]))
+    return new_a, new_b
+
+
+def refine_le(a: Interval, b: Interval) -> tuple[Optional[Interval], Optional[Interval]]:
+    new_a = make(a[0], min(a[1], b[1]))
+    new_b = make(max(b[0], a[0]), b[1])
+    return new_a, new_b
+
+
+def refine_gt(a: Interval, b: Interval) -> tuple[Optional[Interval], Optional[Interval]]:
+    new_a = make(max(a[0], b[0] + 1), a[1])
+    new_b = make(b[0], min(b[1], a[1] - 1))
+    return new_a, new_b
+
+
+def refine_eq(a: Interval, b: Interval) -> tuple[Optional[Interval], Optional[Interval]]:
+    both = intersect(a, b)
+    return both, both

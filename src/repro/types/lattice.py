@@ -1,0 +1,566 @@
+"""The compile-time type system of the paper (section 3.1).
+
+A type denotes a set of run-time values:
+
+=================  ==========================================================
+type               set denoted / static information
+=================  ==========================================================
+:class:`ValueType`      a singleton set — a compile-time constant
+:class:`IntRangeType`   a contiguous range of small integers
+:class:`MapType`        all values sharing one map — a "class type"
+:class:`UnknownType`    all values (no information)
+:class:`UnionType`      set union of member types
+:class:`DifferenceType` set difference (failed type tests)
+:class:`MergeType`      like a union, but it *remembers its constituents*
+                        because the dilution came from a control-flow
+                        merge — the hook extended splitting needs
+:class:`EmptyType`      the empty set — an unreachable binding (the paper
+                        keeps types non-empty; we use EMPTY to mark dead
+                        compilation fronts instead)
+=================  ==========================================================
+
+Integer value types and the small-integer class type are treated as
+extreme forms of subrange types, exactly as in the paper: an integer
+constant ``k`` is ``IntRangeType(k, k)`` and the full range canonicalizes
+to ``MapType(smallint)`` on construction, so there is exactly one
+representation for each set.
+
+All types are immutable and hashable.  Soundness contract: every
+operation may *lose* precision but never *invent* it — ``contains`` only
+answers True when provable, refinements always denote supersets of the
+exact result set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..objects.maps import Map
+from ..objects.model import BigInt, SelfBlock, SelfObject, SelfVector, fits_smallint
+from . import intervals
+
+
+class SelfType:
+    """Abstract base for compile-time types."""
+
+    __slots__ = ()
+
+    # Subclasses override; these defaults are conservative.
+
+    def is_constant(self) -> bool:
+        """Whether this type denotes exactly one value."""
+        return False
+
+    def constant_value(self):
+        raise ValueError(f"{self!r} is not a compile-time constant")
+
+
+class UnknownType(SelfType):
+    """The set of all values — no static information."""
+
+    __slots__ = ()
+    _instance: Optional["UnknownType"] = None
+
+    def __new__(cls) -> "UnknownType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "?"
+
+
+class EmptyType(SelfType):
+    """The empty set — marks unreachable compilation fronts."""
+
+    __slots__ = ()
+    _instance: Optional["EmptyType"] = None
+
+    def __new__(cls) -> "EmptyType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "∅"
+
+
+UNKNOWN = UnknownType()
+EMPTY = EmptyType()
+
+
+class MapType(SelfType):
+    """All values sharing one map — the paper's *class type*."""
+
+    __slots__ = ("map",)
+
+    def __init__(self, map: Map) -> None:
+        self.map = map
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, MapType) and other.map is self.map
+
+    def __hash__(self) -> int:
+        return hash(("MapType", id(self.map)))
+
+    def __repr__(self) -> str:
+        return self.map.name
+
+
+class IntRangeType(SelfType):
+    """A contiguous, non-full range of small integers (inclusive)."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: int, hi: int) -> None:
+        if lo > hi:
+            raise ValueError("empty integer range")
+        self.lo = lo
+        self.hi = hi
+
+    @property
+    def interval(self) -> intervals.Interval:
+        return (self.lo, self.hi)
+
+    def is_constant(self) -> bool:
+        return self.lo == self.hi
+
+    def constant_value(self):
+        if self.lo != self.hi:
+            raise ValueError(f"{self!r} is not a compile-time constant")
+        return self.lo
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, IntRangeType) and (other.lo, other.hi) == (self.lo, self.hi)
+
+    def __hash__(self) -> int:
+        return hash(("IntRangeType", self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        if self.lo == self.hi:
+            return f"int={self.lo}"
+        return f"int[{self.lo}..{self.hi}]"
+
+
+class ValueType(SelfType):
+    """A singleton set: one specific (non-small-integer) value.
+
+    Identity semantics follow the value kind: heap objects compare by
+    identity, immutable immediates (floats, strings, BigInts) by value.
+    Small-integer constants are *not* represented here — they
+    canonicalize to one-element :class:`IntRangeType`s via
+    :func:`type_of_constant`.
+    """
+
+    __slots__ = ("value", "map")
+
+    def __init__(self, value, map: Map) -> None:
+        self.value = value
+        self.map = map
+
+    def is_constant(self) -> bool:
+        return True
+
+    def constant_value(self):
+        return self.value
+
+    def _key(self):
+        value = self.value
+        if isinstance(value, (SelfObject, SelfVector, SelfBlock)):
+            return ("id", id(value))
+        return ("val", type(value).__name__, value)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ValueType) and other._key() == self._key()
+
+    def __hash__(self) -> int:
+        return hash(("ValueType",) + self._key())
+
+    def __repr__(self) -> str:
+        return f"val:{self.map.name}"
+
+
+class VectorType(SelfType):
+    """All vectors — optionally of one statically-known length.
+
+    A known length is what lets range analysis prove array bounds checks
+    redundant (index subrange ⊆ ``[0, length)``), e.g. for the sieve and
+    atAllPut benchmarks where the vector is created with a constant size.
+    """
+
+    __slots__ = ("map", "length")
+
+    def __init__(self, map: Map, length: Optional[int] = None) -> None:
+        self.map = map
+        self.length = length
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, VectorType)
+            and other.map is self.map
+            and other.length == self.length
+        )
+
+    def __hash__(self) -> int:
+        return hash(("VectorType", id(self.map), self.length))
+
+    def __repr__(self) -> str:
+        if self.length is None:
+            return "vector"
+        return f"vector[{self.length}]"
+
+
+class UnionType(SelfType):
+    """Set union of several types (flattened, deduplicated, unordered)."""
+
+    __slots__ = ("members",)
+
+    def __init__(self, members: frozenset) -> None:
+        self.members = members
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, UnionType) and other.members == self.members
+
+    def __hash__(self) -> int:
+        return hash(("UnionType", self.members))
+
+    def __repr__(self) -> str:
+        inner = " | ".join(sorted(repr(m) for m in self.members))
+        return f"({inner})"
+
+
+class DifferenceType(SelfType):
+    """``base`` minus ``removed`` — the failure branch of a type test."""
+
+    __slots__ = ("base", "removed")
+
+    def __init__(self, base: SelfType, removed: SelfType) -> None:
+        self.base = base
+        self.removed = removed
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, DifferenceType)
+            and other.base == self.base
+            and other.removed == self.removed
+        )
+
+    def __hash__(self) -> int:
+        return hash(("DifferenceType", self.base, self.removed))
+
+    def __repr__(self) -> str:
+        return f"({self.base!r} - {self.removed!r})"
+
+
+class MergeType(SelfType):
+    """A union created by a control-flow merge.
+
+    Unlike :class:`UnionType`, a merge type records the *identities* of
+    its constituents even when one subsumes another — merging the
+    small-integer class type with the unknown type keeps both elements
+    (paper, section 4), so splitting can later recover the precise
+    branch.  Constituents are kept in arrival order, deduplicated.
+    """
+
+    __slots__ = ("constituents",)
+
+    def __init__(self, constituents: tuple) -> None:
+        self.constituents = constituents
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, MergeType) and other.constituents == self.constituents
+
+    def __hash__(self) -> int:
+        return hash(("MergeType", self.constituents))
+
+    def __repr__(self) -> str:
+        inner = " ∨ ".join(repr(c) for c in self.constituents)
+        return f"{{{inner}}}"
+
+
+# ---------------------------------------------------------------------------
+# Constructors
+# ---------------------------------------------------------------------------
+
+
+def make_int_range(lo: int, hi: int) -> SelfType:
+    """Canonical type for an integer interval (EMPTY / range / full)."""
+    clamped = intervals.make(lo, hi)
+    if clamped is None:
+        return EMPTY
+    return IntRangeType(*clamped)
+
+
+def int_range_from_interval(interval: Optional[intervals.Interval]) -> SelfType:
+    if interval is None:
+        return EMPTY
+    return IntRangeType(*interval)
+
+
+def type_of_constant(value, universe) -> SelfType:
+    """The value type of a compile-time constant."""
+    if type(value) is int:
+        if not fits_smallint(value):
+            return ValueType(BigInt(value), universe.bigint_map)
+        return IntRangeType(value, value)
+    return ValueType(value, universe.map_of(value))
+
+
+def make_union(members: Iterable[SelfType]) -> SelfType:
+    """Set union with flattening and canonicalization."""
+    flat: set = set()
+    for member in members:
+        if member is EMPTY:
+            continue
+        if member is UNKNOWN:
+            return UNKNOWN
+        if isinstance(member, (UnionType,)):
+            flat.update(member.members)
+        elif isinstance(member, MergeType):
+            flat.update(member.constituents)
+        else:
+            flat.add(member)
+    if not flat:
+        return EMPTY
+    flat = _absorb(flat)
+    if len(flat) == 1:
+        return next(iter(flat))
+    if UNKNOWN in flat:
+        return UNKNOWN
+    return UnionType(frozenset(flat))
+
+
+def _absorb(members: set) -> set:
+    """Drop members subsumed by another member; hull adjacent int ranges."""
+    ranges = [m for m in members if isinstance(m, IntRangeType)]
+    if len(ranges) > 1:
+        hull = ranges[0].interval
+        for r in ranges[1:]:
+            hull = intervals.hull(hull, r.interval)
+        for r in ranges:
+            members.discard(r)
+        members.add(int_range_from_interval(hull))
+    out = set(members)
+    for a in members:
+        for b in members:
+            if a is not b and a in out and b in out and contains(a, b):
+                out.discard(b)
+    return out
+
+
+def make_merge(constituents: Sequence[SelfType]) -> SelfType:
+    """A merge type from incoming branch types (paper, section 4)."""
+    seen: list[SelfType] = []
+    for constituent in constituents:
+        if constituent is EMPTY:
+            continue
+        if isinstance(constituent, MergeType):
+            for inner in constituent.constituents:
+                if inner not in seen:
+                    seen.append(inner)
+        elif constituent not in seen:
+            seen.append(constituent)
+    if not seen:
+        return EMPTY
+    if len(seen) == 1:
+        return seen[0]
+    return MergeType(tuple(seen))
+
+
+def make_difference(base: SelfType, removed: SelfType) -> SelfType:
+    """``base - removed`` with cheap canonicalizations."""
+    if base is EMPTY or contains(removed, base):
+        return EMPTY
+    if disjoint(base, removed):
+        return base
+    if isinstance(base, (UnionType, MergeType)):
+        members = (
+            base.members if isinstance(base, UnionType) else base.constituents
+        )
+        survivors = [
+            make_difference(member, removed)
+            for member in members
+        ]
+        if isinstance(base, MergeType):
+            return make_merge([s for s in survivors if s is not EMPTY])
+        return make_union(survivors)
+    if isinstance(base, IntRangeType) and isinstance(removed, IntRangeType):
+        # Chop off an end when the removal is a prefix/suffix.
+        if removed.lo <= base.lo and removed.hi < base.hi:
+            return make_int_range(removed.hi + 1, base.hi)
+        if removed.hi >= base.hi and removed.lo > base.lo:
+            return make_int_range(base.lo, removed.lo - 1)
+    return DifferenceType(base, removed)
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+
+
+def as_map(t: SelfType, universe) -> Optional[Map]:
+    """The single map all values of ``t`` share, if provable.
+
+    This is the key query for message inlining: a non-None answer means
+    compile-time lookup is possible (paper, section 3.2.2).
+    """
+    if isinstance(t, MapType):
+        return t.map
+    if isinstance(t, IntRangeType):
+        return universe.smallint_map
+    if isinstance(t, (ValueType, VectorType)):
+        return t.map
+    if isinstance(t, (UnionType, MergeType)):
+        members = t.members if isinstance(t, UnionType) else t.constituents
+        maps = {as_map(m, universe) for m in members}
+        if len(maps) == 1 and None not in maps:
+            return maps.pop()
+        return None
+    if isinstance(t, DifferenceType):
+        return as_map(t.base, universe)
+    return None
+
+
+def int_interval(t: SelfType, universe) -> Optional[intervals.Interval]:
+    """The value interval if ``t`` is provably all small integers."""
+    if isinstance(t, IntRangeType):
+        return t.interval
+    if isinstance(t, MapType) and t.map is universe.smallint_map:
+        return intervals.FULL
+    if isinstance(t, (UnionType, MergeType)):
+        members = t.members if isinstance(t, UnionType) else t.constituents
+        result: Optional[intervals.Interval] = None
+        for member in members:
+            inner = int_interval(member, universe)
+            if inner is None:
+                return None
+            result = inner if result is None else intervals.hull(result, inner)
+        return result
+    if isinstance(t, DifferenceType):
+        base = int_interval(t.base, universe)
+        if base is None:
+            return None
+        removed = int_interval(t.removed, universe)
+        if removed is not None:
+            # Chop ends (same canonicalization as make_difference).
+            if removed[0] <= base[0] and removed[1] < base[1]:
+                return (removed[1] + 1, base[1])
+            if removed[1] >= base[1] and removed[0] > base[0]:
+                return (base[0], removed[0] - 1)
+        return base
+    return None
+
+
+def is_boolean_constant(t: SelfType, universe) -> Optional[bool]:
+    """True/False if ``t`` is exactly the true/false singleton, else None."""
+    if isinstance(t, ValueType):
+        if t.value is universe.true_object:
+            return True
+        if t.value is universe.false_object:
+            return False
+    return None
+
+
+def contains(a: SelfType, b: SelfType) -> bool:
+    """Conservative superset test: True only when ``a ⊇ b`` is provable."""
+    if a is UNKNOWN or b is EMPTY:
+        return True
+    if a is EMPTY:
+        return False
+    if a == b:
+        return True
+    if isinstance(b, (UnionType, MergeType)):
+        members = b.members if isinstance(b, UnionType) else b.constituents
+        return all(contains(a, member) for member in members)
+    if isinstance(a, (UnionType, MergeType)):
+        members = a.members if isinstance(a, UnionType) else a.constituents
+        if any(contains(member, b) for member in members):
+            return True
+        # fall through: a difference b may still be contained via its base
+    if isinstance(b, DifferenceType):
+        return contains(a, b.base)
+    if isinstance(a, (UnionType, MergeType)):
+        return False
+    if b is UNKNOWN:
+        return False
+    if isinstance(a, MapType):
+        if isinstance(b, (MapType, ValueType, VectorType)):
+            return b.map is a.map
+        if isinstance(b, IntRangeType):
+            return a.map.kind == "smallInt"
+        return False
+    if isinstance(a, VectorType):
+        if isinstance(b, VectorType):
+            return b.map is a.map and (a.length is None or a.length == b.length)
+        if isinstance(b, MapType):
+            return a.length is None and b.map is a.map
+        if isinstance(b, ValueType):
+            value = b.value
+            return (
+                b.map is a.map
+                and isinstance(value, SelfVector)
+                and (a.length is None or a.length == value.size)
+            )
+        return False
+    if isinstance(a, IntRangeType):
+        if isinstance(b, IntRangeType):
+            return intervals.contains(a.interval, b.interval)
+        if isinstance(b, MapType) and b.map.kind == "smallInt":
+            # A full-range subrange is the small-int class type.
+            return intervals.is_full(a.interval)
+        return False
+    if isinstance(a, ValueType):
+        return False  # b == a was handled above
+    if isinstance(a, DifferenceType):
+        return contains(a.base, b) and disjoint(a.removed, b)
+    return False
+
+
+def disjoint(a: SelfType, b: SelfType) -> bool:
+    """Conservative emptiness of ``a ∩ b``: True only when provable."""
+    if a is EMPTY or b is EMPTY:
+        return True
+    if a is UNKNOWN or b is UNKNOWN:
+        return False
+    if isinstance(a, (UnionType, MergeType)):
+        members = a.members if isinstance(a, UnionType) else a.constituents
+        return all(disjoint(member, b) for member in members)
+    if isinstance(b, (UnionType, MergeType)):
+        return disjoint(b, a)
+    if isinstance(a, DifferenceType):
+        return disjoint(a.base, b) or contains(a.removed, b)
+    if isinstance(b, DifferenceType):
+        return disjoint(b, a)
+    map_a = _own_map(a)
+    map_b = _own_map(b)
+    if map_a is not None and map_b is not None and map_a is not map_b:
+        return True
+    # Integer subranges only hold small integers.
+    if isinstance(a, IntRangeType) and map_b is not None:
+        return map_b.kind != "smallInt"
+    if isinstance(b, IntRangeType) and map_a is not None:
+        return map_a.kind != "smallInt"
+    if isinstance(a, IntRangeType) and isinstance(b, IntRangeType):
+        return not intervals.overlaps(a.interval, b.interval)
+    if isinstance(a, ValueType) and isinstance(b, ValueType):
+        return a != b
+    if isinstance(a, ValueType) and isinstance(b, IntRangeType):
+        return True  # value types never hold small ints
+    if isinstance(b, ValueType) and isinstance(a, IntRangeType):
+        return True
+    return False
+
+
+def _own_map(t: SelfType) -> Optional[Map]:
+    if isinstance(t, (MapType, ValueType, VectorType)):
+        return t.map
+    return None
+
+
+def vector_length(t: SelfType) -> Optional[int]:
+    """The statically-known length if ``t`` is provably one vector size."""
+    if isinstance(t, VectorType):
+        return t.length
+    if isinstance(t, ValueType) and isinstance(t.value, SelfVector):
+        return t.value.size
+    return None

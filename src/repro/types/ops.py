@@ -1,0 +1,258 @@
+"""Type transformers used by the compiler.
+
+These implement the paper's analysis rules that *change* bindings:
+
+* run-time type tests rebind the tested variable on each branch
+  (success: intersection with the tested class; failure: set
+  difference) — section 3.2.1;
+* merges form merge types — section 4;
+* loop heads *generalize* (values/subranges widen to their class type)
+  to reach the fixed point quickly — section 5.1;
+* loop tails match loop heads under the paper's *compatibility*
+  predicate — section 5.2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..objects.maps import Map
+from . import intervals
+from .lattice import (
+    EMPTY,
+    UNKNOWN,
+    DifferenceType,
+    IntRangeType,
+    MapType,
+    MergeType,
+    SelfType,
+    UnionType,
+    ValueType,
+    contains,
+    disjoint,
+    int_interval,
+    make_difference,
+    make_merge,
+    make_union,
+)
+
+
+def refine_to_map(t: SelfType, map: Map, universe) -> SelfType:
+    """The binding on the *success* branch of a map type test.
+
+    Keeps any information narrower than the class: a merge of
+    ``int[0..5]`` and unknown refined to the small-int map yields
+    ``int[0..5]`` (the unknown constituent contributes the full class).
+    Returns EMPTY when the branch is unreachable.
+    """
+    map_type = MapType(map)
+    if contains(map_type, t):
+        return t
+    if isinstance(t, (UnionType, MergeType)):
+        members = t.members if isinstance(t, UnionType) else t.constituents
+        refined = [refine_to_map(member, map, universe) for member in members]
+        if isinstance(t, MergeType):
+            return make_merge([r for r in refined if r is not EMPTY])
+        return make_union(refined)
+    if isinstance(t, DifferenceType):
+        base = refine_to_map(t.base, map, universe)
+        result = make_difference(base, t.removed)
+        return result
+    if disjoint(t, map_type):
+        return EMPTY
+    # No exploitable structure (e.g. unknown): the test itself is the
+    # information.
+    if map.kind == "smallInt":
+        return MapType(map)
+    return map_type
+
+
+def exclude_map(t: SelfType, map: Map, universe) -> SelfType:
+    """The binding on the *failure* branch of a map type test."""
+    return make_difference(t, MapType(map))
+
+
+def merge_bindings(incoming: list[SelfType]) -> SelfType:
+    """Combine bindings at an ordinary merge node (paper, section 4)."""
+    first = incoming[0]
+    if all(t == first for t in incoming[1:]):
+        return first
+    return make_merge(incoming)
+
+
+def widen_for_loop_head(head: SelfType, tail: SelfType, universe) -> SelfType:
+    """The loop-head generalization rule (paper, section 5.1).
+
+    If the head and tail bindings are different value/subrange types
+    *within the same class type*, generalize to the class type itself
+    (so a counter initialized to 0 immediately becomes "integer" instead
+    of iterating through every constant).  Otherwise form a merge type.
+
+    Containment alone is not enough to keep the head binding: an unknown
+    head that contains a class-typed tail still *sacrifices* the class —
+    the paper iterates and forms the merge of the unknown type and the
+    class type so the next round can split the loop (section 5.2).
+    """
+    if head == tail:
+        return head
+    if contains(head, tail):
+        if loop_compatible(head, tail, universe):
+            return head
+        return make_merge([head, _generalized(tail, universe)])
+    head_interval = int_interval(head, universe)
+    tail_interval = int_interval(tail, universe)
+    if head_interval is not None and tail_interval is not None:
+        # Mild refinement over the paper's "generalize to the class
+        # type": keep the sign when both bindings are non-negative.
+        # This is what lets the bounds check of an upward-counting loop
+        # over a known-size vector disappear (sieve, atAllPut) — the
+        # loop condition supplies the upper bound, the sign the lower.
+        if head_interval[0] >= 0 and tail_interval[0] >= 0:
+            from ..objects.model import SMALLINT_MAX
+
+            return IntRangeType(0, SMALLINT_MAX)
+        return MapType(universe.smallint_map)
+    head_map = _single_map(head, universe)
+    tail_map = _single_map(tail, universe)
+    if head_map is not None and head_map is tail_map:
+        return MapType(head_map)
+    # Widen pairwise: constituents that share a class generalize to the
+    # class before merging, keeping merge types small.
+    return make_merge([_generalized(head, universe), _generalized(tail, universe)])
+
+
+def _single_map(t: SelfType, universe) -> Optional[Map]:
+    from .lattice import as_map
+
+    return as_map(t, universe)
+
+
+def _generalized(t: SelfType, universe) -> SelfType:
+    """Value/subrange types widen to their class type (loop heads only)."""
+    if isinstance(t, IntRangeType):
+        return MapType(universe.smallint_map)
+    if isinstance(t, ValueType):
+        # Boolean/nil/block singletons *are* their class; keep them.
+        if t.map.kind in ("boolean", "nil", "block"):
+            return t
+        from ..objects.model import SelfVector
+        from .lattice import VectorType
+
+        if isinstance(t.value, SelfVector):
+            # Keep the length: it is per-value class-like information.
+            return VectorType(t.map, t.value.size)
+        return MapType(t.map)
+    if isinstance(t, MergeType):
+        return make_merge([_generalized(c, universe) for c in t.constituents])
+    if isinstance(t, UnionType):
+        return make_union([_generalized(m, universe) for m in t.members])
+    return t
+
+
+def loop_compatible(head: SelfType, tail: SelfType, universe) -> bool:
+    """The paper's loop head/tail compatibility predicate (section 5.2).
+
+    The head binding must contain the tail binding *and* must not
+    sacrifice class information the tail has: an unknown head is not
+    compatible with a class-typed tail — analysis iterates and forms a
+    merge type instead, so splitting can later separate the classes.
+
+    A *merge-typed* head, by contrast, retains its constituents'
+    identities, so it is compatible with a class-typed tail whenever one
+    of its constituents carries that class: the merge is precisely the
+    representation from which splitting recovers the class later.
+    """
+    if not contains(head, tail):
+        return False
+    from .lattice import MergeType, UnionType, as_map
+
+    tail_map = as_map(tail, universe)
+    if tail_map is None:
+        return True
+    head_map = as_map(head, universe)
+    if head_map is tail_map:
+        return True
+    if isinstance(head, (MergeType, UnionType)):
+        members = head.constituents if isinstance(head, MergeType) else head.members
+        return any(
+            as_map(member, universe) is tail_map and contains(member, tail)
+            for member in members
+        )
+    return False
+
+
+def constant_fold_compare(
+    op: str, a: SelfType, b: SelfType, universe
+) -> Optional[bool]:
+    """Decide an integer comparison from subranges alone, if possible.
+
+    This is the paper's example of constant-folding a primitive whose
+    arguments aren't constants (section 3.2.3): non-overlapping ranges
+    decide ``<`` at compile time.
+    """
+    ia = int_interval(a, universe)
+    ib = int_interval(b, universe)
+    if ia is None or ib is None:
+        return None
+    if op == "<":
+        return intervals.compare_lt(ia, ib)
+    if op == "<=":
+        return intervals.compare_le(ia, ib)
+    if op == ">":
+        return intervals.compare_lt(ib, ia)
+    if op == ">=":
+        return intervals.compare_le(ib, ia)
+    if op == "==":
+        return intervals.compare_eq(ia, ib)
+    if op == "!=":
+        result = intervals.compare_eq(ia, ib)
+        return None if result is None else not result
+    raise ValueError(f"unknown comparison {op!r}")
+
+
+def refine_compare(
+    op: str, a: SelfType, b: SelfType, taken: bool, universe
+) -> tuple[SelfType, SelfType]:
+    """Refined operand bindings on one branch of a compare-and-branch.
+
+    Implements the subrange refinement rules of section 3.2.1 for all six
+    comparison operators.  Non-integer operands pass through unchanged.
+    Returns possibly-EMPTY types for unreachable branches.
+    """
+    ia = int_interval(a, universe)
+    ib = int_interval(b, universe)
+    if ia is None or ib is None:
+        return a, b
+    effective = op if taken else _negated(op)
+    if effective == "<":
+        ra, rb = intervals.refine_lt(ia, ib)
+    elif effective == ">=":
+        ra, rb = intervals.refine_ge(ia, ib)
+    elif effective == "<=":
+        ra, rb = intervals.refine_le(ia, ib)
+    elif effective == ">":
+        ra, rb = intervals.refine_gt(ia, ib)
+    elif effective == "==":
+        ra, rb = intervals.refine_eq(ia, ib)
+    else:  # '!=' — only useful when one side is a constant at an endpoint
+        ra, rb = ia, ib
+        if ib[0] == ib[1]:
+            if ia[0] == ib[0]:
+                ra = intervals.make(ia[0] + 1, ia[1])
+            elif ia[1] == ib[0]:
+                ra = intervals.make(ia[0], ia[1] - 1)
+        if ia[0] == ia[1]:
+            if ib[0] == ia[0]:
+                rb = intervals.make(ib[0] + 1, ib[1])
+            elif ib[1] == ia[0]:
+                rb = intervals.make(ib[0], ib[1] - 1)
+    from .lattice import int_range_from_interval
+
+    return (
+        int_range_from_interval(ra) if ra is not None else EMPTY,
+        int_range_from_interval(rb) if rb is not None else EMPTY,
+    )
+
+
+def _negated(op: str) -> str:
+    return {"<": ">=", ">=": "<", "<=": ">", ">": "<=", "==": "!=", "!=": "=="}[op]

@@ -1,0 +1,33 @@
+"""The bytecode backend: codegen, VM, inline caches, and cost models."""
+
+from .code import Code, InlineCacheSite
+from .codegen import generate
+from .cost import (
+    MODELS,
+    NEW_SELF_MODEL,
+    OLD_SELF_89_MODEL,
+    OLD_SELF_90_MODEL,
+    PRIMITIVE_WORK_CYCLES,
+    ST80_MODEL,
+    STATIC_MODEL,
+    CostModel,
+    model_for,
+)
+from .runtime import Frame, Runtime
+
+__all__ = [
+    "Code",
+    "CostModel",
+    "Frame",
+    "InlineCacheSite",
+    "MODELS",
+    "NEW_SELF_MODEL",
+    "OLD_SELF_89_MODEL",
+    "OLD_SELF_90_MODEL",
+    "PRIMITIVE_WORK_CYCLES",
+    "Runtime",
+    "ST80_MODEL",
+    "STATIC_MODEL",
+    "generate",
+    "model_for",
+]

@@ -1,0 +1,107 @@
+"""Compiled bytecode objects and inline-cache sites."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class InlineCacheSite:
+    """One send site's inline cache.
+
+    Tracks the actions per receiver map and the miss count; after
+    ``megamorphic_threshold`` distinct maps the site is megamorphic and
+    every send pays most of a lookup (this is the effect behind the
+    paper's richards anomaly, section 6.1).
+    """
+
+    __slots__ = (
+        "selector", "entries", "cached_map_id", "cached_action",
+        "misses", "hits", "relinks",
+    )
+
+    def __init__(self, selector: str) -> None:
+        self.selector = selector
+        #: resolution cache (all actions ever resolved at this site)
+        self.entries: dict[int, object] = {}
+        #: the single inline-cache entry (monomorphic, as in the era)
+        self.cached_map_id = -1
+        self.cached_action = None
+        self.misses = 0
+        self.hits = 0
+        self.relinks = 0
+
+    @property
+    def polymorphic(self) -> bool:
+        return len(self.entries) > 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<IC {self.selector!r} {len(self.entries)} maps "
+            f"h{self.hits}/m{self.misses}/r{self.relinks}>"
+        )
+
+
+class Code:
+    """One compiled activation body (method or block) in bytecode."""
+
+    __slots__ = (
+        "name",
+        "insns",
+        "consts",
+        "reg_count",
+        "self_reg",
+        "arg_regs",
+        "env_keys",
+        "ic_sites",
+        "size_bytes",
+        "is_block",
+        "graph_stats",
+        "compile_stats",
+        "config_name",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        insns: list,
+        consts: list,
+        reg_count: int,
+        self_reg: int,
+        arg_regs: tuple[int, ...],
+        env_keys: frozenset,
+        ic_sites: list[InlineCacheSite],
+        size_bytes: int,
+        is_block: bool,
+        graph_stats=None,
+        compile_stats=None,
+        config_name: str = "",
+    ) -> None:
+        self.name = name
+        self.insns = insns
+        self.consts = consts
+        self.reg_count = reg_count
+        self.self_reg = self_reg
+        self.arg_regs = arg_regs
+        self.env_keys = env_keys
+        self.ic_sites = ic_sites
+        self.size_bytes = size_bytes
+        self.is_block = is_block
+        self.graph_stats = graph_stats
+        self.compile_stats = compile_stats or {}
+        self.config_name = config_name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Code {self.name!r} {len(self.insns)} insns, "
+            f"{self.size_bytes} bytes, {self.reg_count} regs>"
+        )
+
+    def disassemble(self) -> str:
+        """Human-readable instruction listing (for tests and examples)."""
+        from .opcodes import op_name
+
+        lines = []
+        for index, insn in enumerate(self.insns):
+            operands = " ".join(repr(x) for x in insn[1:])
+            lines.append(f"{index:4}: {op_name(insn[0]):<10} {operands}")
+        return "\n".join(lines)

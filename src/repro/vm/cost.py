@@ -1,0 +1,305 @@
+"""Cycle and code-size cost models.
+
+The paper measured wall-clock time on a Sun-4/260 and bytes of SPARC
+machine code.  Our backend stops at bytecode, so we attach a
+deterministic cost model to every instruction.  **The model is per
+system-architecture class, not per benchmark**: each configuration gets
+one table justified by how its real counterpart generated code, and the
+same table is used for every program.
+
+* ``static`` (optimized C): register-allocated RISC code — moves are
+  coalesced away, every op is ~1 cycle, calls are direct.
+* ``new SELF``: the same RISC ops, but register allocation is weaker
+  (the paper credits part of its speedup to regalloc improvements we
+  don't model), so copies cost a cycle; type tests are compare+branch
+  pairs; sends go through inline caches.
+* ``old SELF-89/90``: same op costs as new SELF; the 90 system's sends
+  and block costs are higher ("more elaborate semantics for message
+  lookup and blocks, not as highly tuned", section 6).
+* ``ST-80``: a stack-machine dynamic translator — operands constantly
+  move through the stack, so every data operation carries extra traffic,
+  activations are costlier, and arithmetic runs through the special
+  Deutsch–Schiffman bytecode sequences.
+
+Code sizes are bytes of the modeled target code: ~4 bytes per RISC
+instruction, with multi-instruction sequences (checked arithmetic,
+tests, inline-cache call sites) costing their real expansions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import opcodes as op
+
+
+@dataclass(frozen=True)
+class CostModel:
+    name: str
+
+    #: cycles for plain data/arith ops (MOVE excluded)
+    op_cycles: int = 1
+    #: cycles for a register-to-register copy
+    move_cycles: int = 1
+    #: load a constant
+    const_cycles: int = 1
+    #: map-compare-and-branch (load map word, compare, branch)
+    type_test_cycles: int = 2
+    #: checked arithmetic (op + condition-code branch)
+    checked_arith_cycles: int = 2
+    #: array bounds check (two compares or unsigned trick + branch)
+    bounds_cycles: int = 2
+    #: array element access (tag adjust + load/store)
+    array_cycles: int = 2
+    #: data slot load/store
+    slot_cycles: int = 2
+    #: taken/fall-through jump
+    jump_cycles: int = 1
+    #: compare-and-branch
+    compare_cycles: int = 1
+
+    #: dynamically-bound send: inline-cache hit (call + check + link)
+    send_hit_cycles: int = 8
+    #: inline-cache miss: full lookup + cache update
+    send_miss_cycles: int = 60
+    #: a polymorphic send relinking the (monomorphic) inline cache:
+    #: full lookup + cache update — the richards task-dispatch cost
+    send_megamorphic_cycles: int = 100
+    #: a hit in a *polymorphic* inline cache — the paper's proposed
+    #: "call-site-specific inline-cache miss handlers" extension (§6.1),
+    #: later published as PICs (Hölzle, Chambers & Ungar, ECOOP '91):
+    #: a short dispatch stub instead of a full lookup
+    send_pic_hit_cycles: int = 16
+    #: number of distinct receiver maps after which a site is megamorphic
+    megamorphic_threshold: int = 4
+    #: object/vector allocation (on top of prim_call_cycles):
+    #: C pays malloc; SELF pays a bump allocator + amortized GC
+    alloc_cycles: int = 15
+    #: statically-bound call in static mode (C function call / vtable)
+    static_call_cycles: int = 4
+    #: callee frame setup + return overhead (added per activation)
+    frame_cycles: int = 6
+    #: non-local return unwinding (per frame popped)
+    nlr_cycles: int = 4
+    #: closure creation
+    make_block_cycles: int = 8
+    #: per-hop cost of environment (uplevel) variable access
+    env_hop_cycles: int = 3
+    #: out-of-line primitive call overhead (on top of the work itself)
+    prim_call_cycles: int = 10
+    #: per-element cost of vector allocation / bulk primitives
+    prim_per_element_cycles: float = 0.25
+
+    # ---- code size (bytes) -------------------------------------------------
+    word: int = 4
+    move_bytes: int = 4
+    op_bytes: int = 4
+    const_bytes: int = 4
+    type_test_bytes: int = 12
+    checked_arith_bytes: int = 8
+    bounds_bytes: int = 12
+    array_bytes: int = 8
+    slot_bytes: int = 4
+    jump_bytes: int = 4
+    compare_bytes: int = 8
+    #: a send site: call + nops + inline-cache stub + class check
+    send_bytes: int = 32
+    prim_bytes: int = 12
+    make_block_bytes: int = 16
+    env_bytes: int = 8
+    return_bytes: int = 8
+    error_bytes: int = 8
+    #: per-method prologue/epilogue and header
+    method_overhead_bytes: int = 32
+
+    def instruction_cycles(self, opcode: int) -> int:
+        """Base cycles for one instruction (dynamic extras added by VM)."""
+        return _CYCLE_DISPATCH[opcode](self)
+
+    def instruction_bytes(self, opcode: int) -> int:
+        return _SIZE_DISPATCH[opcode](self)
+
+
+_CYCLE_DISPATCH = {
+    op.MOVE: lambda m: m.move_cycles,
+    op.LOADK: lambda m: m.const_cycles,
+    op.ADD: lambda m: m.op_cycles,
+    op.SUB: lambda m: m.op_cycles,
+    op.MUL: lambda m: m.op_cycles * 3,   # integer multiply is slow on SPARC
+    op.DIV: lambda m: m.op_cycles * 8,
+    op.MOD: lambda m: m.op_cycles * 8,
+    op.ADD_OV: lambda m: m.checked_arith_cycles,
+    op.SUB_OV: lambda m: m.checked_arith_cycles,
+    op.MUL_OV: lambda m: m.checked_arith_cycles + 2,
+    op.DIV_OV: lambda m: m.checked_arith_cycles + 7,
+    op.MOD_OV: lambda m: m.checked_arith_cycles + 7,
+    op.CMP_LT: lambda m: m.compare_cycles,
+    op.CMP_LE: lambda m: m.compare_cycles,
+    op.CMP_GT: lambda m: m.compare_cycles,
+    op.CMP_GE: lambda m: m.compare_cycles,
+    op.CMP_EQ: lambda m: m.compare_cycles,
+    op.CMP_NE: lambda m: m.compare_cycles,
+    op.TYPETEST: lambda m: m.type_test_cycles,
+    op.BOUNDS: lambda m: m.bounds_cycles,
+    op.ALOAD: lambda m: m.array_cycles,
+    op.ASTORE: lambda m: m.array_cycles,
+    op.ALEN: lambda m: m.slot_cycles,
+    op.LOADSLOT: lambda m: m.slot_cycles,
+    op.STORESLOT: lambda m: m.slot_cycles,
+    op.ENV_LOAD: lambda m: m.env_hop_cycles,
+    op.ENV_STORE: lambda m: m.env_hop_cycles,
+    op.MAKE_BLOCK: lambda m: m.make_block_cycles,
+    op.SEND: lambda m: 0,       # dynamic; charged by the VM per IC state
+    op.PRIMCALL: lambda m: m.prim_call_cycles,
+    op.JUMP: lambda m: m.jump_cycles,
+    op.RETURN: lambda m: m.jump_cycles,
+    op.NLR: lambda m: m.nlr_cycles,
+    op.ERROR: lambda m: 0,
+}
+
+_SIZE_DISPATCH = {
+    op.MOVE: lambda m: m.move_bytes,
+    op.LOADK: lambda m: m.const_bytes,
+    op.ADD: lambda m: m.op_bytes,
+    op.SUB: lambda m: m.op_bytes,
+    op.MUL: lambda m: m.op_bytes,
+    op.DIV: lambda m: m.op_bytes,
+    op.MOD: lambda m: m.op_bytes,
+    op.ADD_OV: lambda m: m.checked_arith_bytes,
+    op.SUB_OV: lambda m: m.checked_arith_bytes,
+    op.MUL_OV: lambda m: m.checked_arith_bytes,
+    op.DIV_OV: lambda m: m.checked_arith_bytes,
+    op.MOD_OV: lambda m: m.checked_arith_bytes,
+    op.CMP_LT: lambda m: m.compare_bytes,
+    op.CMP_LE: lambda m: m.compare_bytes,
+    op.CMP_GT: lambda m: m.compare_bytes,
+    op.CMP_GE: lambda m: m.compare_bytes,
+    op.CMP_EQ: lambda m: m.compare_bytes,
+    op.CMP_NE: lambda m: m.compare_bytes,
+    op.TYPETEST: lambda m: m.type_test_bytes,
+    op.BOUNDS: lambda m: m.bounds_bytes,
+    op.ALOAD: lambda m: m.array_bytes,
+    op.ASTORE: lambda m: m.array_bytes,
+    op.ALEN: lambda m: m.slot_bytes,
+    op.LOADSLOT: lambda m: m.slot_bytes,
+    op.STORESLOT: lambda m: m.slot_bytes,
+    op.ENV_LOAD: lambda m: m.env_bytes,
+    op.ENV_STORE: lambda m: m.env_bytes,
+    op.MAKE_BLOCK: lambda m: m.make_block_bytes,
+    op.SEND: lambda m: m.send_bytes,
+    op.PRIMCALL: lambda m: m.prim_bytes,
+    op.JUMP: lambda m: m.jump_bytes,
+    op.RETURN: lambda m: m.return_bytes,
+    op.NLR: lambda m: m.return_bytes,
+    op.ERROR: lambda m: m.error_bytes,
+}
+
+#: Extra cycles for specific out-of-line primitives (the work itself,
+#: on top of ``prim_call_cycles``).
+PRIMITIVE_WORK_CYCLES = {
+    "_BigAdd:": 30, "_BigSub:": 30, "_BigMul:": 40, "_BigDiv:": 50,
+    "_BigMod:": 50, "_BigLT:": 20, "_BigLE:": 20, "_BigGT:": 20,
+    "_BigGE:": 20, "_BigEQ:": 20, "_BigNE:": 20,
+    "_Eq:": 2, "_Ne:": 3,
+    "_Clone": 20,
+    "_NewVector:Filler:": 20,
+    "_Print": 200, "_PrintLine": 200, "_PrintString": 100,
+    "_StringSize": 4, "_StringConcat:": 40,
+    "_IntAsFloat": 6, "_FltTruncate": 6,
+}
+
+
+# ---------------------------------------------------------------------------
+# Per-system tables
+# ---------------------------------------------------------------------------
+
+#: Optimized C: perfectly coalesced register code, direct calls.
+STATIC_MODEL = CostModel(
+    name="optimized C",
+    move_cycles=0,
+    send_hit_cycles=6,       # an indirect (vtable) call when one remains
+    send_miss_cycles=6,
+    send_megamorphic_cycles=6,
+    frame_cycles=4,
+    make_block_cycles=6,
+    alloc_cycles=90,         # 1990 malloc
+    method_overhead_bytes=16,
+    send_bytes=8,            # plain call instruction
+    type_test_bytes=8,
+)
+
+#: The new SELF compiler's backend.
+NEW_SELF_MODEL = CostModel(
+    name="new SELF",
+)
+
+#: The 1989 old SELF system (well tuned, but an expression-tree
+#: compiler without global register allocation: locals live in memory,
+#: so copies and checks carry load/store traffic).
+OLD_SELF_89_MODEL = CostModel(
+    name="old SELF-89",
+    move_cycles=2,
+    type_test_cycles=3,
+    checked_arith_cycles=3,
+    slot_cycles=3,
+    send_hit_cycles=10,
+    frame_cycles=8,
+)
+
+#: The 1990 production system: more elaborate lookup and block
+#: semantics, less tuned (paper, section 6).
+OLD_SELF_90_MODEL = CostModel(
+    name="old SELF-90",
+    move_cycles=2,
+    type_test_cycles=3,
+    checked_arith_cycles=3,
+    slot_cycles=3,
+    const_cycles=2,
+    send_hit_cycles=14,
+    send_miss_cycles=80,
+    send_megamorphic_cycles=120,
+    frame_cycles=12,
+    make_block_cycles=12,
+    env_hop_cycles=4,
+)
+
+#: ParcPlace Smalltalk-80: stack-machine dynamic translation.  Every
+#: data operation shuffles operands through the home-grown stack; frames
+#: are heap-ish; arithmetic runs the special-selector sequences.
+ST80_MODEL = CostModel(
+    name="ST-80",
+    op_cycles=3,
+    move_cycles=2,
+    const_cycles=2,
+    type_test_cycles=3,
+    checked_arith_cycles=5,
+    bounds_cycles=4,
+    array_cycles=5,
+    slot_cycles=4,
+    compare_cycles=3,
+    jump_cycles=2,
+    send_hit_cycles=12,
+    send_miss_cycles=80,
+    send_megamorphic_cycles=60,
+    frame_cycles=12,
+    make_block_cycles=14,
+    env_hop_cycles=5,
+    prim_call_cycles=14,
+    alloc_cycles=25,
+)
+
+MODELS = {
+    "optimized C": STATIC_MODEL,
+    "new SELF": NEW_SELF_MODEL,
+    "old SELF": OLD_SELF_90_MODEL,
+    "old SELF-89": OLD_SELF_89_MODEL,
+    "old SELF-90": OLD_SELF_90_MODEL,
+    "ST-80": ST80_MODEL,
+}
+
+
+def model_for(config_name: str) -> CostModel:
+    try:
+        return MODELS[config_name]
+    except KeyError:
+        return NEW_SELF_MODEL

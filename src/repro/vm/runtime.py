@@ -1,0 +1,710 @@
+"""The bytecode VM and dynamic-compilation runtime.
+
+A :class:`Runtime` owns a code cache and executes bytecode produced by
+the compiler under one :class:`~repro.compiler.config.CompilerConfig`.
+Methods are compiled lazily, *customized per receiver map* when the
+configuration says so — this is the paper's dynamic compilation setup:
+only code that actually runs is compiled, and the measured "compiled
+code size" is the size of what the run touched.
+
+Dynamically-bound sends go through per-site inline caches with
+hit/miss/megamorphic accounting, so the richards task-queue anomaly
+(section 6.1 of the paper) emerges from the model rather than being
+hard-coded.
+
+Every executed instruction adds its cost-model cycles to
+``runtime.cycles`` — the deterministic stand-in for the paper's
+wall-clock measurements.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from ..compiler.annotations import StaticAnnotations
+from ..compiler.config import CompilerConfig
+from ..compiler.engine import compile_code
+from ..lang.ast_nodes import BlockNode, MethodNode
+from ..lang.parser import parse_doit
+from ..objects.errors import (
+    MessageNotUnderstood,
+    NonLocalReturnFromDeadActivation,
+    PrimitiveFailed,
+    VMError,
+)
+from ..objects.maps import ASSIGNMENT, CONSTANT, DATA
+from ..objects.model import (
+    SelfBlock,
+    SelfMethod,
+    SelfObject,
+    SelfVector,
+    block_value_selector,
+    fits_smallint,
+)
+from ..primitives.registry import PrimFailSignal
+from ..world.bootstrap import World
+from ..world.lookup import lookup_slot
+from . import opcodes as op
+from .code import Code
+from .codegen import generate
+from .cost import PRIMITIVE_WORK_CYCLES, CostModel, model_for
+
+
+class Frame:
+    """One activation: registers plus the named environment."""
+
+    __slots__ = (
+        "code", "pc", "regs", "receiver", "env", "env_map", "home",
+        "ret_reg", "alive",
+    )
+
+    def __init__(
+        self,
+        code: Code,
+        receiver,
+        home: Optional["Frame"],
+        ret_reg: int,
+        env_map: Optional[dict] = None,
+    ) -> None:
+        self.code = code
+        self.pc = 0
+        self.regs = [None] * code.reg_count
+        self.receiver = receiver
+        self.env = dict.fromkeys(code.env_keys) if code.env_keys else None
+        #: block frames: free-name -> concrete env key of the creating
+        #: frame (captured at closure creation)
+        self.env_map = env_map
+        self.home = home
+        self.ret_reg = ret_reg
+        self.alive = True
+
+
+class _NonLocalUnwind(Exception):
+    """Internal: a ^ in block code is unwinding to its home frame."""
+
+    __slots__ = ("target", "value")
+
+    def __init__(self, target: Frame, value) -> None:
+        self.target = target
+        self.value = value
+        super().__init__("non-local return")
+
+
+class Runtime:
+    """Execute guest code under one compiler configuration."""
+
+    def __init__(
+        self,
+        world: World,
+        config: CompilerConfig,
+        model: Optional[CostModel] = None,
+        annotations: Optional[StaticAnnotations] = None,
+        use_polymorphic_caches: bool = False,
+    ) -> None:
+        self.world = world
+        self.universe = world.universe
+        self.config = config
+        self.model = model or model_for(config.name)
+        self.annotations = annotations if config.static_types else None
+        #: the paper's §6.1 proposal ("call-site-specific inline-cache
+        #: miss handlers"): polymorphic sites dispatch through a short
+        #: stub instead of relinking — the PIC extension.
+        self.use_polymorphic_caches = use_polymorphic_caches
+
+        #: (method identity, map id or 0) -> (AST node, Code).  The AST
+        #: node is stored to keep it alive: the key uses ``id()``, which
+        #: the host may reuse once the node is collected.
+        self._method_code: dict[tuple[int, int], tuple[object, Code]] = {}
+        #: (block id, receiver map id or 0) -> Code
+        self._block_code: dict[tuple[int, int], Code] = {}
+        #: block literal id -> BlockTemplate (captured at MAKE_BLOCK)
+        self._block_templates: dict[int, object] = {}
+
+        # -- measurements ------------------------------------------------
+        self.cycles = 0
+        self.compile_seconds = 0.0
+        self.code_bytes = 0
+        self.methods_compiled = 0
+        self.send_hits = 0
+        self.send_misses = 0
+        self.send_megamorphic = 0
+        self.send_pic_hits = 0
+        self.instructions = 0
+
+        self.frames: list[Frame] = []
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self, source: str, receiver=None):
+        """Parse a do-it, compile it, and execute it to a value."""
+        doit = parse_doit(source)
+        return self.run_doit(doit, receiver)
+
+    def run_doit(self, doit: MethodNode, receiver=None):
+        if receiver is None:
+            receiver = self.world.lobby
+        code = self._compile_method(doit, self.universe.map_of(receiver), "<doit>")
+        previous = self.universe.evaluator
+        self.universe.evaluator = self
+        try:
+            return self._run_code(code, receiver, (), home=None)
+        finally:
+            self.universe.evaluator = previous
+
+    def call(self, receiver, selector: str, args: Sequence = ()):
+        """Perform one dynamically-bound send from the outside."""
+        previous = self.universe.evaluator
+        self.universe.evaluator = self
+        try:
+            return self._send_sync(receiver, selector, list(args))
+        finally:
+            self.universe.evaluator = previous
+
+    def call_block(self, block: SelfBlock, args: Sequence = ()):
+        """Evaluator protocol (used by _BlockWhileTrue: and friends)."""
+        return self._call_block_sync(block, list(args))
+
+    def reset_measurements(self) -> None:
+        self.cycles = 0
+        self.instructions = 0
+        self.send_hits = self.send_misses = self.send_megamorphic = 0
+        self.send_pic_hits = 0
+
+    @property
+    def compiled_code_bytes(self) -> int:
+        return self.code_bytes
+
+    def aggregate_compile_stats(self) -> dict:
+        """Sum the compiler's effort/effect counters over every body
+        this runtime compiled (methods and blocks) — the evidence for
+        "how many sends were inlined, how many checks deleted"."""
+        totals: dict = {}
+        for _, code in self._method_code.values():
+            for key, value in code.compile_stats.items():
+                totals[key] = totals.get(key, 0) + value
+        for code in self._block_code.values():
+            for key, value in code.compile_stats.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    # ------------------------------------------------------------------
+    # Compilation (the JIT half)
+    # ------------------------------------------------------------------
+
+    def _compile_method(self, code_node, receiver_map, selector: str) -> Code:
+        key_map = receiver_map.map_id if self.config.customize else 0
+        key = (id(code_node), key_map)
+        cached = self._method_code.get(key)
+        if cached is not None:
+            return cached[1]
+        started = time.perf_counter()
+        graph = compile_code(
+            self.universe, self.config, code_node, receiver_map,
+            selector=selector, annotations=self.annotations,
+        )
+        compiled = generate(graph, self.model)
+        self.compile_seconds += time.perf_counter() - started
+        self._method_code[key] = (code_node, compiled)
+        self.code_bytes += compiled.size_bytes
+        self.methods_compiled += 1
+        return compiled
+
+    def _compile_block(self, block: SelfBlock, receiver_map) -> Code:
+        key_map = receiver_map.map_id if self.config.customize else 0
+        key = (block.code.block_id, key_map)
+        cached = self._block_code.get(key)
+        if cached is not None:
+            return cached
+        template = self._block_templates.get(block.code.block_id)
+        started = time.perf_counter()
+        graph = compile_code(
+            self.universe, self.config, block.code, receiver_map,
+            selector=f"<block#{block.code.block_id}>", is_block=True,
+            block_template=template, annotations=self.annotations,
+        )
+        compiled = generate(graph, self.model)
+        self.compile_seconds += time.perf_counter() - started
+        self._block_code[key] = compiled
+        self.code_bytes += compiled.size_bytes
+        self.methods_compiled += 1
+        return compiled
+
+    # ------------------------------------------------------------------
+    # Synchronous call helpers (re-entrant run segments)
+    # ------------------------------------------------------------------
+
+    def _send_sync(self, receiver, selector: str, args: list):
+        if selector.startswith("_"):
+            return self._run_primitive_send(receiver, selector, args)
+        if type(receiver) is SelfBlock and selector == block_value_selector(len(args)):
+            return self._call_block_sync(receiver, args)
+        found = lookup_slot(self.universe, receiver, selector)
+        if found is None:
+            raise MessageNotUnderstood(selector, self.universe.print_string(receiver))
+        holder, slot = found
+        if slot.kind == CONSTANT:
+            value = slot.value
+            if isinstance(value, SelfMethod):
+                code = self._compile_method(
+                    value.code, self.universe.map_of(receiver), selector
+                )
+                self.cycles += self.model.frame_cycles
+                return self._run_code(code, receiver, args, home=None)
+            return value
+        if slot.kind == DATA:
+            self.cycles += self.model.slot_cycles
+            return holder.get_data(slot.offset)
+        if slot.kind == ASSIGNMENT:
+            self.cycles += self.model.slot_cycles
+            holder.set_data(slot.offset, args[0])
+            return receiver
+        raise VMError(f"unexpected slot kind {slot.kind}")
+
+    def _call_block_sync(self, block: SelfBlock, args: list):
+        home = block.home
+        if not isinstance(home, Frame):
+            raise VMError("a block from a foreign evaluator reached the VM")
+        method_home = home
+        while method_home.home is not None:
+            method_home = method_home.home
+        if not method_home.alive:
+            raise NonLocalReturnFromDeadActivation()
+        receiver = block.captured_self if block.captured_self is not None else home.receiver
+        code = self._compile_block(block, self.universe.map_of(receiver))
+        self.cycles += self.model.frame_cycles
+        return self._run_code(
+            code, receiver, args, home=home, env_map=block.env_map
+        )
+
+    def _run_primitive_send(self, receiver, selector: str, args: list):
+        from ..primitives.registry import lookup_primitive
+
+        primitive = lookup_primitive(selector)
+        if primitive is None:
+            raise MessageNotUnderstood(selector, self.universe.print_string(receiver))
+        fail_handler = None
+        if selector.endswith("IfFail:") and selector != primitive.selector:
+            fail_handler = args.pop()
+        self.cycles += self.model.prim_call_cycles
+        self.cycles += PRIMITIVE_WORK_CYCLES.get(primitive.selector, 4)
+        try:
+            return primitive.fn(self.universe, receiver, args)
+        except PrimFailSignal as failure:
+            if fail_handler is None:
+                raise PrimitiveFailed(primitive.selector, failure.code) from None
+            if isinstance(fail_handler, SelfBlock):
+                handler_args = [failure.code] if fail_handler.arity == 1 else []
+                return self._call_block_sync(fail_handler, handler_args)
+            return fail_handler
+
+    # ------------------------------------------------------------------
+    # The interpreter loop
+    # ------------------------------------------------------------------
+
+    def _run_code(
+        self,
+        code: Code,
+        receiver,
+        args: Sequence,
+        home: Optional[Frame],
+        env_map: Optional[dict] = None,
+    ):
+        frame = Frame(code, receiver, home, ret_reg=-1, env_map=env_map)
+        frame.regs[code.self_reg] = receiver
+        for reg, value in zip(code.arg_regs, args):
+            frame.regs[reg] = value
+        base = len(self.frames)
+        self.frames.append(frame)
+        try:
+            return self._loop(base)
+        except _NonLocalUnwind as unwind:
+            # The target frame lives below this run segment: unwind our
+            # frames and re-raise for the outer segment.
+            for dead in self.frames[base:]:
+                dead.alive = False
+            del self.frames[base:]
+            raise
+
+    def _loop(self, base: int):
+        universe = self.universe
+        model = self.model
+        frames = self.frames
+        while True:
+            frame = frames[-1]
+            insns = frame.code.insns
+            regs = frame.regs
+            pc = frame.pc
+            while True:
+                insn = insns[pc]
+                opcode = insn[0]
+                self.instructions += 1
+                self.cycles += model.instruction_cycles(opcode)
+                pc += 1
+
+                if opcode == op.MOVE:
+                    regs[insn[1]] = regs[insn[2]]
+                elif opcode == op.LOADK:
+                    regs[insn[1]] = frame.code.consts[insn[2]]
+                elif opcode == op.CMP_LT:
+                    if not (regs[insn[1]] < regs[insn[2]]):
+                        pc = insn[3]
+                elif opcode == op.CMP_LE:
+                    if not (regs[insn[1]] <= regs[insn[2]]):
+                        pc = insn[3]
+                elif opcode == op.CMP_GT:
+                    if not (regs[insn[1]] > regs[insn[2]]):
+                        pc = insn[3]
+                elif opcode == op.CMP_GE:
+                    if not (regs[insn[1]] >= regs[insn[2]]):
+                        pc = insn[3]
+                elif opcode == op.CMP_EQ:
+                    if not (regs[insn[1]] == regs[insn[2]]):
+                        pc = insn[3]
+                elif opcode == op.CMP_NE:
+                    if not (regs[insn[1]] != regs[insn[2]]):
+                        pc = insn[3]
+                elif opcode == op.ADD_OV:
+                    result = regs[insn[2]] + regs[insn[3]]
+                    if fits_smallint(result):
+                        regs[insn[1]] = result
+                    else:
+                        regs[insn[4]] = "overflowError"
+                        pc = insn[5]
+                elif opcode == op.SUB_OV:
+                    result = regs[insn[2]] - regs[insn[3]]
+                    if fits_smallint(result):
+                        regs[insn[1]] = result
+                    else:
+                        regs[insn[4]] = "overflowError"
+                        pc = insn[5]
+                elif opcode == op.MUL_OV:
+                    result = regs[insn[2]] * regs[insn[3]]
+                    if fits_smallint(result):
+                        regs[insn[1]] = result
+                    else:
+                        regs[insn[4]] = "overflowError"
+                        pc = insn[5]
+                elif opcode == op.DIV_OV:
+                    divisor = regs[insn[3]]
+                    if divisor == 0:
+                        regs[insn[4]] = "divisionByZeroError"
+                        pc = insn[5]
+                    else:
+                        result = regs[insn[2]] // divisor
+                        if fits_smallint(result):
+                            regs[insn[1]] = result
+                        else:
+                            regs[insn[4]] = "overflowError"
+                            pc = insn[5]
+                elif opcode == op.MOD_OV:
+                    divisor = regs[insn[3]]
+                    if divisor == 0:
+                        regs[insn[4]] = "divisionByZeroError"
+                        pc = insn[5]
+                    else:
+                        regs[insn[1]] = regs[insn[2]] % divisor
+                elif opcode == op.ADD:
+                    regs[insn[1]] = regs[insn[2]] + regs[insn[3]]
+                elif opcode == op.SUB:
+                    regs[insn[1]] = regs[insn[2]] - regs[insn[3]]
+                elif opcode == op.MUL:
+                    regs[insn[1]] = regs[insn[2]] * regs[insn[3]]
+                elif opcode == op.DIV:
+                    divisor = regs[insn[3]]
+                    if divisor == 0:
+                        raise PrimitiveFailed("_IntDiv:", "divisionByZeroError")
+                    regs[insn[1]] = regs[insn[2]] // divisor
+                elif opcode == op.MOD:
+                    divisor = regs[insn[3]]
+                    if divisor == 0:
+                        raise PrimitiveFailed("_IntMod:", "divisionByZeroError")
+                    regs[insn[1]] = regs[insn[2]] % divisor
+                elif opcode == op.TYPETEST:
+                    if universe.map_of(regs[insn[1]]) is not insn[2]:
+                        pc = insn[3]
+                elif opcode == op.BOUNDS:
+                    vector = regs[insn[1]]
+                    index = regs[insn[2]]
+                    if (
+                        type(index) is not int
+                        or index < 0
+                        or index >= len(vector.elements)
+                    ):
+                        pc = insn[3]
+                elif opcode == op.ALOAD:
+                    regs[insn[1]] = regs[insn[2]].elements[regs[insn[3]]]
+                elif opcode == op.ASTORE:
+                    regs[insn[1]].elements[regs[insn[2]]] = regs[insn[3]]
+                elif opcode == op.ALEN:
+                    regs[insn[1]] = len(regs[insn[2]].elements)
+                elif opcode == op.LOADSLOT:
+                    regs[insn[1]] = regs[insn[2]].data[insn[3]]
+                elif opcode == op.STORESLOT:
+                    regs[insn[1]].data[insn[2]] = regs[insn[3]]
+                elif opcode == op.ENV_LOAD:
+                    regs[insn[1]] = self._env_load(frame, insn[2])
+                elif opcode == op.ENV_STORE:
+                    self._env_store(frame, insn[1], regs[insn[2]])
+                elif opcode == op.MAKE_BLOCK:
+                    block_node, template = frame.code.consts[insn[2]]
+                    self._block_templates.setdefault(block_node.block_id, template)
+                    env_map = self._build_env_map(frame, template)
+                    regs[insn[1]] = SelfBlock(
+                        universe.block_map(block_node), block_node, frame,
+                        env_map=env_map, captured_self=regs[insn[3]],
+                    )
+                elif opcode == op.JUMP:
+                    pc = insn[1]
+                elif opcode == op.SEND:
+                    frame.pc = pc
+                    pushed = self._execute_send(frame, insn)
+                    if pushed:
+                        break  # enter the callee frame
+                elif opcode == op.PRIMCALL:
+                    frame.pc = pc
+                    self._execute_primcall(frame, insn)
+                    pc = frame.pc
+                elif opcode == op.RETURN:
+                    value = regs[insn[1]]
+                    frame.alive = False
+                    frames.pop()
+                    if len(frames) <= base:
+                        return value
+                    caller = frames[-1]
+                    if frame.ret_reg >= 0:
+                        caller.regs[frame.ret_reg] = value
+                    break
+                elif opcode == op.NLR:
+                    value = regs[insn[1]]
+                    target = frame
+                    while target.home is not None:
+                        target = target.home
+                    if not target.alive:
+                        raise NonLocalReturnFromDeadActivation()
+                    self.cycles += model.nlr_cycles
+                    # Unwind within this segment if possible.
+                    try:
+                        position = frames.index(target, base)
+                    except ValueError:
+                        frame.pc = pc
+                        raise _NonLocalUnwind(target, value) from None
+                    for dead in frames[position:]:
+                        dead.alive = False
+                    ret_reg = target.ret_reg
+                    del frames[position:]
+                    if len(frames) <= base:
+                        return value
+                    caller = frames[-1]
+                    if ret_reg >= 0:
+                        caller.regs[ret_reg] = value
+                    break
+                elif opcode == op.ERROR:
+                    code_value = insn[2] if insn[2] is not None else regs[insn[3]]
+                    raise PrimitiveFailed(insn[1], code_value)
+                else:
+                    raise VMError(f"bad opcode {opcode}")
+
+    # ------------------------------------------------------------------
+    # Sends
+    # ------------------------------------------------------------------
+
+    def _execute_send(self, frame: Frame, insn) -> bool:
+        """Returns True when a callee frame was pushed."""
+        universe = self.universe
+        model = self.model
+        dst, selector, recv_reg, arg_regs, site_index = insn[1:6]
+        receiver = frame.regs[recv_reg]
+        args = [frame.regs[r] for r in arg_regs]
+        site = frame.code.ic_sites[site_index]
+        receiver_map = universe.map_of(receiver)
+        if site.cached_map_id == receiver_map.map_id:
+            # Monomorphic inline-cache hit: the fast path of
+            # Deutsch–Schiffman caching, which both ST-80 and SELF used.
+            action = site.cached_action
+            site.hits += 1
+            self.send_hits += 1
+            self.cycles += model.send_hit_cycles
+        else:
+            action = site.entries.get(receiver_map.map_id)
+            if action is None:
+                # Cold: full lookup (and possibly a compile).
+                site.misses += 1
+                self.send_misses += 1
+                self.cycles += model.send_miss_cycles
+                action = self._resolve_send(receiver, receiver_map, selector, len(args))
+                site.entries[receiver_map.map_id] = action
+            elif self.use_polymorphic_caches:
+                # Extension: a polymorphic inline cache dispatches the
+                # known receiver maps through a stub (§6.1's proposed
+                # fix; PICs in the later literature).
+                site.relinks += 1
+                self.send_pic_hits += 1
+                self.cycles += model.send_pic_hit_cycles
+            else:
+                # The site is polymorphic: the cache keeps relinking.
+                # This is what makes the richards task-dispatch site
+                # expensive (paper, section 6.1).
+                site.relinks += 1
+                self.send_megamorphic += 1
+                self.cycles += model.send_megamorphic_cycles
+            site.cached_map_id = receiver_map.map_id
+            site.cached_action = action
+
+        kind = action[0]
+        if kind == "call":
+            self.cycles += model.frame_cycles
+            callee = Frame(action[1], receiver, None, ret_reg=dst)
+            callee.regs[action[1].self_reg] = receiver
+            for reg, value in zip(action[1].arg_regs, args):
+                callee.regs[reg] = value
+            self.frames.append(callee)
+            return True
+        if kind == "block":
+            block = receiver
+            home = block.home
+            method_home = home
+            while method_home.home is not None:
+                method_home = method_home.home
+            if not method_home.alive:
+                raise NonLocalReturnFromDeadActivation()
+            receiver2 = (
+                block.captured_self if block.captured_self is not None
+                else home.receiver
+            )
+            code = self._compile_block(block, universe.map_of(receiver2))
+            self.cycles += model.frame_cycles
+            callee = Frame(code, receiver2, home, ret_reg=dst, env_map=block.env_map)
+            callee.regs[code.self_reg] = receiver2
+            for reg, value in zip(code.arg_regs, args):
+                callee.regs[reg] = value
+            self.frames.append(callee)
+            return True
+        if kind == "data":
+            holder = action[1] if action[1] is not None else receiver
+            frame.regs[dst] = holder.data[action[2]]
+            self.cycles += model.slot_cycles
+            return False
+        if kind == "assign":
+            holder = action[1] if action[1] is not None else receiver
+            holder.data[action[2]] = args[0]
+            frame.regs[dst] = receiver
+            self.cycles += model.slot_cycles
+            return False
+        if kind == "const":
+            frame.regs[dst] = action[1]
+            return False
+        if kind == "prim":
+            frame.regs[dst] = self._run_primitive_send(receiver, selector, args)
+            return False
+        raise VMError(f"bad send action {action!r}")
+
+    def _resolve_send(self, receiver, receiver_map, selector: str, arity: int):
+        if selector.startswith("_"):
+            return ("prim",)
+        if type(receiver) is SelfBlock and selector == block_value_selector(arity):
+            return ("block",)
+        found = lookup_slot(self.universe, receiver, selector)
+        if found is None:
+            raise MessageNotUnderstood(selector, self.universe.print_string(receiver))
+        holder, slot = found
+        holder_for_action = None if holder is receiver else holder
+        if slot.kind == CONSTANT:
+            value = slot.value
+            if isinstance(value, SelfMethod):
+                code = self._compile_method(value.code, receiver_map, selector)
+                return ("call", code)
+            return ("const", value)
+        if slot.kind == DATA:
+            return ("data", holder_for_action, slot.offset)
+        if slot.kind == ASSIGNMENT:
+            return ("assign", holder_for_action, slot.offset)
+        raise VMError(f"unexpected slot kind {slot.kind}")
+
+    # ------------------------------------------------------------------
+    # Primitive calls and environments
+    # ------------------------------------------------------------------
+
+    def _execute_primcall(self, frame: Frame, insn) -> None:
+        dst, primitive, recv_reg, arg_regs, err_reg, fail_target = insn[1:7]
+        receiver = frame.regs[recv_reg]
+        args = [frame.regs[r] for r in arg_regs]
+        selector_name = primitive.selector
+        if selector_name == "_Clone" or selector_name == "_NewVector:Filler:":
+            # Allocation cost is a per-system constant: 1990 malloc for
+            # the C baseline, a bump allocator for the SELF systems.
+            self.cycles += self.model.alloc_cycles
+            if selector_name == "_NewVector:Filler:" and type(args[0]) is int:
+                self.cycles += int(args[0] * self.model.prim_per_element_cycles)
+            elif isinstance(receiver, SelfVector):
+                self.cycles += int(
+                    len(receiver.elements) * self.model.prim_per_element_cycles
+                )
+        else:
+            self.cycles += PRIMITIVE_WORK_CYCLES.get(selector_name, 4)
+        try:
+            frame.regs[dst] = primitive.fn(self.universe, receiver, args)
+        except PrimFailSignal as failure:
+            if fail_target is None or fail_target < 0:
+                raise PrimitiveFailed(primitive.selector, failure.code) from None
+            if err_reg >= 0:
+                frame.regs[err_reg] = failure.code
+            frame.pc = fail_target
+
+    def _build_env_map(self, frame: Frame, template) -> dict:
+        """Capture the closure's free-name -> env-key mapping.
+
+        Passthrough entries ('*name') come from this frame's own closure
+        mapping (we are block code creating a nested block).
+        """
+        env_map: dict = {}
+        frame_map = frame.env_map
+        for name, key in template.resolutions.items():
+            if key is None:
+                continue
+            if key.startswith("*"):
+                source = key[1:]
+                if frame_map is not None and source in frame_map:
+                    env_map[source] = frame_map[source]
+                else:
+                    env_map[source] = source
+            else:
+                env_map[name] = key
+        return env_map
+
+    def _env_load(self, frame: Frame, key: str):
+        current: Optional[Frame] = frame
+        if frame.env_map is not None and key in frame.env_map:
+            # A free variable of this block: by construction it lives in
+            # the home chain, never in this frame — start above, so a
+            # recursive block's own (identically-keyed) locals cannot
+            # shadow the instance the closure captured.
+            key = frame.env_map[key]
+            current = frame.home
+        hops = 1
+        while current is not None:
+            env = current.env
+            if env is not None and key in env:
+                self.cycles += self.model.env_hop_cycles * hops
+                return env[key]
+            current = current.home
+            hops += 1
+        raise VMError(f"unresolved environment variable {key!r}")
+
+    def _env_store(self, frame: Frame, key: str, value) -> None:
+        current: Optional[Frame] = frame
+        if frame.env_map is not None and key in frame.env_map:
+            key = frame.env_map[key]
+            current = frame.home
+        hops = 1
+        while current is not None:
+            env = current.env
+            if env is not None and key in env:
+                self.cycles += self.model.env_hop_cycles * hops
+                env[key] = value
+                return
+            current = current.home
+            hops += 1
+        raise VMError(f"unresolved environment variable {key!r}")

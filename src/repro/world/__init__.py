@@ -1,0 +1,7 @@
+"""World construction: universe, lookup, bootstrap, and the core library."""
+
+from .bootstrap import World
+from .lookup import lookup_slot
+from .universe import Universe
+
+__all__ = ["Universe", "World", "lookup_slot"]

@@ -1,0 +1,221 @@
+"""World bootstrap: wiring the lobby, traits, and the core library.
+
+A :class:`World` is a complete, isolated guest universe:
+
+* the **lobby** — the global namespace object every method can reach
+  through its receiver's parent chain;
+* the **traits** objects — shared behaviour for integers, floats,
+  strings, vectors, blocks, booleans, and plain objects ("clonable");
+* the **core library** from :mod:`repro.world.corelib`, written in the
+  guest language and added slot-by-slot with the reference interpreter
+  evaluating the initializers.
+
+The parent graph is a simple chain::
+
+    <value> -> traits <kind> -> traits clonable -> lobby
+
+so a small integer understands ``+`` (traits integer), ``printLine``
+(traits clonable), and can name globals like ``vector`` (lobby).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..interp.interpreter import Interpreter
+from ..lang.parser import parse_doit, parse_expression, parse_slot_list
+from ..objects.maps import Map, Slot
+from ..objects.model import SelfObject, SelfVector
+from ..world import corelib
+from .objects_builder import compile_slot_decls
+from .universe import Universe
+
+
+class World:
+    """A complete guest world: universe + lobby + core library."""
+
+    def __init__(self) -> None:
+        self.universe = Universe()
+        universe = self.universe
+
+        # Stage 1: the lobby with the universal constants.
+        self.lobby = SelfObject(Map.build("lobby"))
+        self.nil_object = universe.nil_object
+        self.true_object = universe.true_object
+        self.false_object = universe.false_object
+
+        self.interpreter = Interpreter(universe, self.lobby)
+
+        self._install_constants(
+            self.lobby,
+            {
+                "nil": universe.nil_object,
+                "true": universe.true_object,
+                "false": universe.false_object,
+            },
+        )
+        # The lobby names itself so parent-less code can say ``lobby``.
+        self._install_constants(self.lobby, {"lobby": self.lobby})
+
+        # Stage 2: the traits skeleton (empty objects, parent-chained).
+        self.traits_clonable = self._new_traits("clonable", parent=self.lobby)
+        self.traits_integer = self._new_traits("integer", parent=self.traits_clonable)
+        self.traits_float = self._new_traits("float", parent=self.traits_clonable)
+        self.traits_string = self._new_traits("string", parent=self.traits_clonable)
+        self.traits_vector = self._new_traits("vector", parent=self.traits_clonable)
+        self.traits_block = self._new_traits("block", parent=self.traits_clonable)
+        self.traits_boolean = self._new_traits("boolean", parent=self.traits_clonable)
+
+        traits = SelfObject(
+            Map.build(
+                "traits",
+                constants={
+                    "clonable": self.traits_clonable,
+                    "integer": self.traits_integer,
+                    "float": self.traits_float,
+                    "string": self.traits_string,
+                    "vector": self.traits_vector,
+                    "block": self.traits_block,
+                    "boolean": self.traits_boolean,
+                },
+            )
+        )
+        self.traits = traits
+        self._install_constants(self.lobby, {"traits": traits})
+
+        # Stage 3: re-parent the canonical maps onto the traits.
+        universe.smallint_map = Map.build(
+            "smallInt", parents={"parent": self.traits_integer}, kind="smallInt"
+        )
+        universe.bigint_map = Map.build(
+            "bigInt", parents={"parent": self.traits_integer}, kind="bigInt"
+        )
+        universe.float_map = Map.build(
+            "float", parents={"parent": self.traits_float}, kind="float"
+        )
+        universe.string_map = Map.build(
+            "string", parents={"parent": self.traits_string}, kind="string"
+        )
+        universe.vector_map = Map.build(
+            "vector", parents={"parent": self.traits_vector}, kind="vector"
+        )
+        universe.nil_map = Map.build(
+            "nil", parents={"parent": self.traits_clonable}, kind="nil"
+        )
+        universe.true_map = Map.build(
+            "true", parents={"parent": self.traits_boolean}, kind="boolean"
+        )
+        universe.false_map = Map.build(
+            "false", parents={"parent": self.traits_boolean}, kind="boolean"
+        )
+        universe.nil_object.map = universe.nil_map
+        universe.true_object.map = universe.true_map
+        universe.false_object.map = universe.false_map
+        universe.set_block_traits(self.traits_block)
+
+        # Stage 4: the vector prototype global.
+        self.vector_prototype = SelfVector(universe.vector_map, [])
+        self._install_constants(self.lobby, {"vector": self.vector_prototype})
+
+        # Stage 5: the core library, in guest source.
+        for attribute, source in corelib.CORELIB_LAYERS:
+            self.add_slots(source, to=getattr(self, attribute))
+
+        # Keep the universe's canonical boolean/nil maps in sync with the
+        # singletons (add_slots replaced their maps).
+        universe.nil_map = universe.nil_object.map
+        universe.true_map = universe.true_object.map
+        universe.false_map = universe.false_object.map
+
+    # -- construction helpers -----------------------------------------------------
+
+    def _new_traits(self, name: str, parent: SelfObject) -> SelfObject:
+        return SelfObject(
+            Map.build(f"traits {name}", parents={"parent": parent})
+        )
+
+    def _install_constants(self, target: SelfObject, constants: dict) -> None:
+        slots = [Slot(name, "constant", value=value) for name, value in constants.items()]
+        target.map = target.map.with_added_slots(slots)
+        self.universe.lookup_epoch += 1
+
+    # -- public API ------------------------------------------------------------------
+
+    def add_slots(self, source: str, to: Optional[object] = None) -> None:
+        """Parse slot declarations and add them to ``to`` (default: lobby).
+
+        Initializer expressions are evaluated by the reference
+        interpreter with the target object as the receiver, so they can
+        reference the target's existing slots and, through its parents,
+        the lobby globals.
+        """
+        target = to if to is not None else self.lobby
+        decls = parse_slot_list(source)
+        target_map = self.universe.map_of(target)
+        holder_name = target_map.name
+
+        def eval_expr(expr, slot_name=""):
+            from ..lang.ast_nodes import MethodNode, ObjectLiteralNode
+            from .objects_builder import build_object
+
+            if isinstance(expr, ObjectLiteralNode):
+                # Name the prototype's map after its slot, so tools and
+                # static annotations can address it ("quickBench", ...).
+                return build_object(
+                    self.universe, expr, eval_expr, name=slot_name
+                )
+            wrapper = MethodNode((), [], [expr])
+            return self.interpreter.eval_doit(wrapper, receiver=target)
+
+        if not isinstance(target, SelfObject):
+            raise TypeError("can only add slots to slot objects")
+        # Install declaration by declaration, so later initializers can
+        # reference slots declared earlier in the same source (the
+        # common "derived = (| parent* = base |)" pattern).
+        for decl in decls:
+            slots, data_inits = compile_slot_decls(
+                [decl],
+                eval_expr,
+                name=holder_name,
+                first_data_offset=self.universe.map_of(target).data_size,
+            )
+            target.map = self.universe.map_of(target).with_added_slots(slots)
+            target.data.extend([None] * (target.map.data_size - len(target.data)))
+            for offset, init in data_inits:
+                value = self.universe.nil_object if init is None else eval_expr(init)
+                target.set_data(offset, value)
+            self.universe.lookup_epoch += 1
+
+    def add_slots_from(self, path, to: Optional[object] = None) -> None:
+        """Load slot declarations from a guest source file (.self)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            self.add_slots(handle.read(), to=to)
+
+    def eval(self, source: str, receiver: Optional[object] = None):
+        """Parse and interpret a "do-it" (``| locals |`` + statements)."""
+        doit = parse_doit(source)
+        return self.interpreter.eval_doit(doit, receiver=receiver)
+
+    def eval_expression(self, source: str, receiver: Optional[object] = None):
+        """Parse and interpret a single expression."""
+        expr = parse_expression(source)
+        from ..lang.ast_nodes import MethodNode
+
+        wrapper = MethodNode((), [], [expr])
+        return self.interpreter.eval_doit(wrapper, receiver=receiver)
+
+    def get_global(self, name: str):
+        """Read a constant slot straight off the lobby."""
+        slot = self.universe.map_of(self.lobby).own_slot(name)
+        if slot is None:
+            raise KeyError(name)
+        return slot.value
+
+    # -- convenience -----------------------------------------------------------------
+
+    @property
+    def nil(self):
+        return self.universe.nil_object
+
+    def boolean(self, flag: bool):
+        return self.universe.boolean(flag)

@@ -1,0 +1,281 @@
+"""The standard library, written in the guest language itself.
+
+Everything here is deliberately SELF-like: control structures are
+user-defined methods over blocks, arithmetic is defined on ``traits
+integer`` in terms of the robust ``_Int*`` primitives with failure
+blocks that promote to arbitrary precision, and booleans implement
+``ifTrue:False:`` as ordinary (per-object) methods.  None of this is
+special-cased by the evaluators beyond block invocation — which is what
+forces the compiler to *earn* its performance by inlining these methods,
+exactly as in the paper.
+"""
+
+# -- shared behaviour for every object ---------------------------------------
+
+CLONABLE_SOURCE = """|
+  clone       = ( _Clone ).
+  print       = ( _Print ).
+  printLine   = ( _PrintLine ).
+  printString = ( _PrintString ).
+  == x  = ( _Eq: x ).
+  = x   = ( _Eq: x ).
+  != x  = ( (self = x) not ).
+  isNil = ( false ).
+  value = ( self ).
+  value: v = ( self ).
+  yourself = ( self ).
+|"""
+
+# ``value`` on non-blocks returning self lets code treat plain values and
+# thunks uniformly (a SELF idiom the paper's examples rely on).
+
+NIL_SOURCE = """|
+  isNil = ( true ).
+|"""
+
+# -- booleans ------------------------------------------------------------------
+
+TRUE_SOURCE = """|
+  ifTrue: t          = ( t value ).
+  ifFalse: f         = ( nil ).
+  ifTrue: t False: f = ( t value ).
+  ifFalse: f True: t = ( t value ).
+  not    = ( false ).
+  and: b = ( b value ).
+  or: b  = ( true ).
+|"""
+
+FALSE_SOURCE = """|
+  ifTrue: t          = ( nil ).
+  ifFalse: f         = ( f value ).
+  ifTrue: t False: f = ( f value ).
+  ifFalse: f True: t = ( f value ).
+  not    = ( true ).
+  and: b = ( false ).
+  or: b  = ( b value ).
+|"""
+
+# -- integers -------------------------------------------------------------------
+#
+# Each operator first tries the fast small-integer primitive; the failure
+# block retries in arbitrary precision (covering both overflow and BigInt
+# operands), which is how SELF integers silently promote.
+
+INTEGER_SOURCE = """|
+  + n  = ( _IntAdd: n IfFail: [ | :e | _BigAdd: n ] ).
+  - n  = ( _IntSub: n IfFail: [ | :e | _BigSub: n ] ).
+  * n  = ( _IntMul: n IfFail: [ | :e | _BigMul: n ] ).
+  / n  = ( _IntDiv: n IfFail: [ | :e | _BigDiv: n ] ).
+  % n  = ( _IntMod: n IfFail: [ | :e | _BigMod: n ] ).
+  < n  = ( _IntLT: n IfFail: [ | :e | _BigLT: n ] ).
+  <= n = ( _IntLE: n IfFail: [ | :e | _BigLE: n ] ).
+  > n  = ( _IntGT: n IfFail: [ | :e | _BigGT: n ] ).
+  >= n = ( _IntGE: n IfFail: [ | :e | _BigGE: n ] ).
+  = n  = ( _IntEQ: n IfFail: [ | :e | _BigEQ: n IfFail: [ | :e2 | false ] ] ).
+  != n = ( (self = n) not ).
+
+  negate  = ( 0 - self ).
+  abs     = ( self < 0 ifTrue: [ negate ] False: [ self ] ).
+  min: n  = ( self < n ifTrue: [ self ] False: [ n ] ).
+  max: n  = ( self > n ifTrue: [ self ] False: [ n ] ).
+  between: lo And: hi = ( (lo <= self) and: [ self <= hi ] ).
+  even    = ( (self % 2) = 0 ).
+  odd     = ( (self % 2) != 0 ).
+  succ    = ( self + 1 ).
+  pred    = ( self - 1 ).
+  asFloat = ( _IntAsFloat ).
+  asInteger = ( self ).
+  bitAnd: n = ( _IntAnd: n ).
+  bitOr: n  = ( _IntOr: n ).
+  bitXor: n = ( _IntXor: n ).
+  bitShiftLeft: n  = ( _IntShl: n ).
+  bitShiftRight: n = ( _IntShr: n ).
+
+  "User-defined control structures: iteration is built from whileTrue:
+   on blocks, which the optimizing compiler inlines into real loops."
+  upTo: end Do: blk = ( | i |
+    i: self.
+    [ i < end ] whileTrue: [ blk value: i. i: i + 1 ].
+    self ).
+  to: end Do: blk = ( | i |
+    i: self.
+    [ i <= end ] whileTrue: [ blk value: i. i: i + 1 ].
+    self ).
+  to: end By: step Do: blk = ( | i |
+    i: self.
+    [ i <= end ] whileTrue: [ blk value: i. i: i + step ].
+    self ).
+  downTo: end Do: blk = ( | i |
+    i: self.
+    [ i >= end ] whileTrue: [ blk value: i. i: i - 1 ].
+    self ).
+  timesRepeat: blk = ( | i |
+    i: 0.
+    [ i < self ] whileTrue: [ blk value. i: i + 1 ].
+    self ).
+|"""
+
+# -- floats ---------------------------------------------------------------------
+
+FLOAT_SOURCE = """|
+  + n  = ( _FltAdd: n ).
+  - n  = ( _FltSub: n ).
+  * n  = ( _FltMul: n ).
+  / n  = ( _FltDiv: n ).
+  < n  = ( _FltLT: n ).
+  <= n = ( _FltLE: n ).
+  > n  = ( _FltGT: n ).
+  >= n = ( _FltGE: n ).
+  = n  = ( _FltEQ: n IfFail: [ | :e | false ] ).
+  != n = ( (self = n) not ).
+  negate   = ( 0.0 - self ).
+  abs      = ( self < 0.0 ifTrue: [ negate ] False: [ self ] ).
+  min: n   = ( self < n ifTrue: [ self ] False: [ n ] ).
+  max: n   = ( self > n ifTrue: [ self ] False: [ n ] ).
+  truncate = ( _FltTruncate ).
+  asFloat  = ( self ).
+|"""
+
+# -- blocks ----------------------------------------------------------------------
+#
+# Block invocation (the ``value`` family) is handled by the evaluators;
+# here live only the loop protocols.  The primitive fallback re-enters
+# the evaluator, so these stay correct even when nothing is inlined.
+
+BLOCK_SOURCE = """|
+  whileTrue: body  = ( _BlockWhileTrue: body ).
+  whileFalse: body = ( _BlockWhileFalse: body ).
+  whileTrue  = ( self whileTrue: [ nil ] ).
+  whileFalse = ( self whileFalse: [ nil ] ).
+  repeat = ( [ true ] whileTrue: [ self value ]. nil ).
+|"""
+
+# -- vectors ----------------------------------------------------------------------
+
+VECTOR_SOURCE = """|
+  at: i        = ( _VectorAt: i ).
+  at: i Put: v = ( _VectorAt: i Put: v ).
+  size         = ( _VectorSize ).
+  isEmpty      = ( size = 0 ).
+  copySize: n  = ( _NewVector: n Filler: nil ).
+  copySize: n FillingWith: v = ( _NewVector: n Filler: v ).
+  firstIndex   = ( 0 ).
+  lastIndex    = ( size - 1 ).
+  first        = ( at: 0 ).
+  last         = ( at: size - 1 ).
+  atAllPut: v = ( | i |
+    i: 0.
+    [ i < size ] whileTrue: [ at: i Put: v. i: i + 1 ].
+    self ).
+  do: blk = ( | i. n |
+    i: 0.
+    n: size.
+    [ i < n ] whileTrue: [ blk value: (at: i). i: i + 1 ].
+    self ).
+  doIndexes: blk = ( | i. n |
+    i: 0.
+    n: size.
+    [ i < n ] whileTrue: [ blk value: i. i: i + 1 ].
+    self ).
+  from: s To: e Do: blk = ( | i |
+    i: s.
+    [ i < e ] whileTrue: [ blk value: (at: i). i: i + 1 ].
+    self ).
+  copy = ( clone ).
+
+  "higher-order protocol, all built on the user-defined loops"
+  collect: blk = ( | out. i. n |
+    n: size.
+    out: (copySize: n).
+    i: 0.
+    [ i < n ] whileTrue: [ out at: i Put: (blk value: (at: i)). i: i + 1 ].
+    out ).
+  select: blk = ( | kept. count. i. n. out |
+    n: size.
+    kept: (copySize: n).
+    count: 0.
+    i: 0.
+    [ i < n ] whileTrue: [
+      (blk value: (at: i)) ifTrue: [
+        kept at: count Put: (at: i).
+        count: count + 1 ].
+      i: i + 1 ].
+    out: (copySize: count).
+    i: 0.
+    [ i < count ] whileTrue: [ out at: i Put: (kept at: i). i: i + 1 ].
+    out ).
+  inject: start Into: blk = ( | acc. i. n |
+    acc: start.
+    n: size.
+    i: 0.
+    [ i < n ] whileTrue: [ acc: (blk value: acc With: (at: i)). i: i + 1 ].
+    acc ).
+  detect: blk IfNone: noneBlk = ( | i. n |
+    n: size.
+    i: 0.
+    [ i < n ] whileTrue: [
+      (blk value: (at: i)) ifTrue: [ ^ at: i ].
+      i: i + 1 ].
+    noneBlk value ).
+  anySatisfy: blk = ( detect: blk IfNone: [ ^ false ]. true ).
+  allSatisfy: blk = ( detect: [ | :e | (blk value: e) not ] IfNone: [ ^ true ]. false ).
+  includes: x = ( anySatisfy: [ | :e | e = x ] ).
+  indexOf: x = ( | i. n |
+    n: size.
+    i: 0.
+    [ i < n ] whileTrue: [
+      (at: i) = x ifTrue: [ ^ i ].
+      i: i + 1 ].
+    -1 ).
+  reverse = ( | out. i. n |
+    n: size.
+    out: (copySize: n).
+    i: 0.
+    [ i < n ] whileTrue: [ out at: (n - 1 - i) Put: (at: i). i: i + 1 ].
+    out ).
+  sum = ( inject: 0 Into: [ | :a :e | a + e ] ).
+  maxElement = ( inject: (at: 0) Into: [ | :a :e | a max: e ] ).
+  minElement = ( inject: (at: 0) Into: [ | :a :e | a min: e ] ).
+  sorted = ( | out |
+    out: copy.
+    out quicksortFrom: 0 To: out size - 1.
+    out ).
+  quicksortFrom: lo To: hi = ( | i. j. pivot. t |
+    lo >= hi ifTrue: [ ^ self ].
+    i: lo.
+    j: hi.
+    pivot: (at: (lo + hi) / 2).
+    [ i <= j ] whileTrue: [
+      [ (at: i) < pivot ] whileTrue: [ i: i + 1 ].
+      [ pivot < (at: j) ] whileTrue: [ j: j - 1 ].
+      i <= j ifTrue: [
+        t: (at: i).
+        at: i Put: (at: j).
+        at: j Put: t.
+        i: i + 1.
+        j: j - 1 ] ].
+    lo < j ifTrue: [ quicksortFrom: lo To: j ].
+    i < hi ifTrue: [ quicksortFrom: i To: hi ].
+    self ).
+|"""
+
+# -- strings -----------------------------------------------------------------------
+
+STRING_SOURCE = """|
+  size    = ( _StringSize ).
+  , other = ( _StringConcat: other ).
+  isEmpty = ( size = 0 ).
+|"""
+
+#: (attribute on World, source) pairs applied by the bootstrap, in order.
+CORELIB_LAYERS = [
+    ("traits_clonable", CLONABLE_SOURCE),
+    ("nil_object", NIL_SOURCE),
+    ("true_object", TRUE_SOURCE),
+    ("false_object", FALSE_SOURCE),
+    ("traits_integer", INTEGER_SOURCE),
+    ("traits_float", FLOAT_SOURCE),
+    ("traits_block", BLOCK_SOURCE),
+    ("traits_vector", VECTOR_SOURCE),
+    ("traits_string", STRING_SOURCE),
+]

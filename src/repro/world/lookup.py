@@ -1,0 +1,107 @@
+"""Message lookup through the parent graph.
+
+SELF lookup searches the receiver's own slots, then its parents'
+(breadth-first by inheritance depth).  Finding the selector in two
+different objects at the same (shallowest) depth is an
+:class:`~repro.objects.errors.AmbiguousLookup` error; a match at a
+shallower depth shadows deeper ones.
+
+The result of a lookup is a ``(holder, slot)`` pair — ``holder`` is the
+object that physically owns the slot, which matters for *data* slots
+found in a parent: reading/writing goes to the parent's storage (shared
+state), exactly as in SELF.
+
+Results are cached per map, since every object with the same map has the
+same (constant) parents.  The caches are invalidated wholesale when the
+bootstrap replaces an object's map, by virtue of new maps starting with
+empty caches.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..objects.errors import AmbiguousLookup
+from ..objects.maps import Slot
+from ..objects.model import SelfObject
+from .universe import Universe
+
+LookupResult = Optional[tuple[object, Slot]]
+
+
+def lookup_slot(universe: Universe, receiver, selector: str) -> LookupResult:
+    """Find ``selector`` in ``receiver`` or its parents; None if absent."""
+    receiver_map = universe.map_of(receiver)
+    if receiver_map._cache_epoch != universe.lookup_epoch:
+        receiver_map._lookup_cache.clear()
+        receiver_map._cache_epoch = universe.lookup_epoch
+    cached = receiver_map._lookup_cache.get(selector)
+    if cached is not None or selector in receiver_map._lookup_cache:
+        if cached is None:
+            return None
+        holder, slot = cached
+        # Own data slots belong to the receiver itself, not to the
+        # prototype the cache was filled from.
+        if holder is _SELF_HOLDER:
+            return receiver, slot
+        return holder, slot
+
+    result = _search(universe, receiver, selector)
+    if result is None:
+        receiver_map._lookup_cache[selector] = None
+        return None
+    holder, slot = result
+    if holder is receiver:
+        receiver_map._lookup_cache[selector] = (_SELF_HOLDER, slot)
+    else:
+        receiver_map._lookup_cache[selector] = (holder, slot)
+    return holder, slot
+
+
+class _SelfHolderToken:
+    """Cache marker: the slot lives in the receiver itself."""
+
+    __repr__ = lambda self: "<self-holder>"  # pragma: no cover
+
+
+_SELF_HOLDER = _SelfHolderToken()
+
+
+def _search(universe: Universe, receiver, selector: str) -> LookupResult:
+    """Breadth-first search by inheritance depth with ambiguity detection."""
+    visited: set[int] = set()
+    frontier: list[object] = [receiver]
+    while frontier:
+        matches: list[tuple[object, Slot]] = []
+        next_frontier: list[object] = []
+        for obj in frontier:
+            if id(obj) in visited:
+                continue
+            visited.add(id(obj))
+            obj_map = universe.map_of(obj)
+            slot = obj_map.own_slot(selector)
+            if slot is not None:
+                matches.append((obj, slot))
+                continue  # a match shadows this object's parents
+            for parent_slot in obj_map.parent_slots():
+                parent = _parent_value(obj, parent_slot)
+                if parent is not None and id(parent) not in visited:
+                    next_frontier.append(parent)
+        if matches:
+            unique_slots = {id(slot) for _, slot in matches}
+            if len(unique_slots) > 1 or len(matches) > 1:
+                first = matches[0]
+                if any(m[0] is not first[0] for m in matches[1:]):
+                    raise AmbiguousLookup(selector)
+            return matches[0]
+        frontier = next_frontier
+    return None
+
+
+def _parent_value(obj, parent_slot: Slot):
+    """The object a parent slot refers to (constant or data parent)."""
+    if parent_slot.kind == "constant":
+        return parent_slot.value
+    if parent_slot.kind == "data" and isinstance(obj, SelfObject):
+        return obj.get_data(parent_slot.offset)
+    return None

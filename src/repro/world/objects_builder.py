@@ -1,0 +1,89 @@
+"""Building guest objects from slot declarations.
+
+Used by the interpreter (object literals in expressions) and by
+:meth:`World.add_slots` (extending well-known objects during bootstrap
+and benchmark setup).
+
+Semantics follow SELF: constant, parent, and method slot initializers are
+evaluated *once* per literal (the map is shared by every evaluation of
+the same literal); data slot initializers are re-evaluated for each new
+object, so ``(| pos <- 0 |)`` objects don't share state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..lang.ast_nodes import MethodNode, ObjectLiteralNode, SlotDecl
+from ..objects.errors import ReproInternalError
+from ..objects.maps import ASSIGNMENT, CONSTANT, DATA, Map, Slot
+from ..objects.model import SelfMethod, SelfObject
+from .universe import Universe
+
+#: evaluates an initializer expression; receives the slot name being
+#: initialized so nested object literals can get named maps
+EvalFn = Callable[[object, str], object]
+
+
+def build_object(
+    universe: Universe,
+    literal: ObjectLiteralNode,
+    eval_expr: EvalFn,
+    name: str = "",
+) -> SelfObject:
+    """Instantiate an object literal node (with per-node map caching)."""
+    cache = getattr(universe, "_literal_maps", None)
+    if cache is None:
+        cache = {}
+        universe._literal_maps = cache
+    cached = cache.get(literal)
+    if cached is None:
+        slots, data_inits = compile_slot_decls(
+            literal.slots, eval_expr, name=name, first_data_offset=0
+        )
+        new_map = Map(name or f"objectLiteral@{literal.line}", slots)
+        cache[literal] = (new_map, data_inits)
+    else:
+        new_map, data_inits = cached
+    data = [None] * new_map.data_size
+    for offset, init in data_inits:
+        data[offset] = universe.nil_object if init is None else eval_expr(init, "")
+    return SelfObject(new_map, data)
+
+
+def compile_slot_decls(
+    decls,
+    eval_expr: EvalFn,
+    name: str = "",
+    first_data_offset: int = 0,
+) -> tuple[list[Slot], list[tuple[int, Optional[object]]]]:
+    """Turn :class:`SlotDecl` items into map slots.
+
+    Returns ``(slots, data_inits)`` where ``data_inits`` pairs each data
+    slot offset with its (unevaluated) initializer AST, for per-instance
+    evaluation by the caller.
+    """
+    slots: list[Slot] = []
+    data_inits: list[tuple[int, Optional[object]]] = []
+    offset = first_data_offset
+    for decl in decls:
+        if decl.kind == "constant":
+            slots.append(Slot(decl.name, CONSTANT, value=eval_expr(decl.value, decl.name)))
+        elif decl.kind == "parent":
+            slots.append(
+                Slot(decl.name, CONSTANT, value=eval_expr(decl.value, decl.name),
+                     is_parent=True)
+            )
+        elif decl.kind == "method":
+            if not isinstance(decl.value, MethodNode):
+                raise ReproInternalError(f"method slot {decl.name!r} has no body")
+            method = SelfMethod(decl.name, decl.value, holder_name=name)
+            slots.append(Slot(decl.name, CONSTANT, value=method))
+        elif decl.kind == "data":
+            slots.append(Slot(decl.name, DATA, offset=offset))
+            slots.append(Slot(decl.name + ":", ASSIGNMENT, offset=offset))
+            data_inits.append((offset, decl.value))
+            offset += 1
+        else:
+            raise ReproInternalError(f"unknown slot kind {decl.kind!r}")
+    return slots, data_inits

@@ -1,0 +1,146 @@
+"""The Universe: per-world canonical maps, singletons, and value services.
+
+Each :class:`~repro.world.bootstrap.World` owns one Universe so tests can
+build fully isolated guest worlds.  The Universe knows how to map any
+runtime value to its map (hidden class), owns the ``nil``/``true``/
+``false`` singletons, creates the per-block-literal maps, and collects
+guest output from the printing primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..lang.ast_nodes import BlockNode
+from ..objects.maps import Map
+from ..objects.model import BigInt, SelfBlock, SelfObject, SelfVector
+
+
+class Universe:
+    """Value services shared by the interpreter, compiler, and VM."""
+
+    def __init__(self) -> None:
+        # Canonical maps for unboxed/special values.  Bootstrap replaces
+        # these with versions that carry parent slots to the traits
+        # objects; ``map_of`` always consults the current attribute.
+        self.smallint_map = Map("smallInt", kind="smallInt")
+        self.bigint_map = Map("bigInt", kind="bigInt")
+        self.float_map = Map("float", kind="float")
+        self.string_map = Map("string", kind="string")
+        self.vector_map = Map("vector", kind="vector")
+        self.nil_map = Map("nil", kind="nil")
+        self.true_map = Map("true", kind="boolean")
+        self.false_map = Map("false", kind="boolean")
+
+        self.nil_object = SelfObject(self.nil_map)
+        self.true_object = SelfObject(self.true_map)
+        self.false_object = SelfObject(self.false_map)
+
+        #: Per-block-literal maps, keyed by ``BlockNode.block_id``.  A
+        #: block literal's map identifies its code, which is what lets
+        #: the compiler treat blocks as statically-known values.
+        self._block_maps: dict[int, Map] = {}
+        #: Shared parent object for all block maps (traits block); set
+        #: during bootstrap, applied lazily to new block maps.
+        self.block_traits: Optional[SelfObject] = None
+
+        #: Output collected from _Print / _PrintLine.
+        self.output: list[str] = []
+
+        #: The active evaluator (interpreter or VM) — lets loop-ish
+        #: primitives such as _BlockWhileTrue: call back into guest code.
+        self.evaluator = None
+
+        #: Bumped whenever slots are added to existing objects so that
+        #: per-map lookup caches (filled before the change) are discarded.
+        self.lookup_epoch = 0
+
+    # -- booleans -------------------------------------------------------------
+
+    def boolean(self, flag: bool) -> SelfObject:
+        return self.true_object if flag else self.false_object
+
+    def is_true(self, value) -> bool:
+        return value is self.true_object
+
+    def is_false(self, value) -> bool:
+        return value is self.false_object
+
+    # -- map dispatch ----------------------------------------------------------
+
+    def map_of(self, value) -> Map:
+        """The map (hidden class) of any runtime value."""
+        t = type(value)
+        if t is int:
+            return self.smallint_map
+        if t is SelfObject:
+            return value.map
+        if t is SelfVector:
+            return value.map
+        if t is SelfBlock:
+            return value.map
+        if t is BigInt:
+            return self.bigint_map
+        if t is float:
+            return self.float_map
+        if t is str:
+            return self.string_map
+        if t is bool:
+            raise TypeError("host bool leaked into the guest world")
+        raise TypeError(f"not a guest value: {value!r}")
+
+    def block_map(self, node: BlockNode) -> Map:
+        """The unique map for a block literal (created on first use)."""
+        existing = self._block_maps.get(node.block_id)
+        if existing is not None:
+            return existing
+        parents = {}
+        if self.block_traits is not None:
+            parents["parent"] = self.block_traits
+        new_map = Map.build(f"block#{node.block_id}", parents=parents, kind="block")
+        self._block_maps[node.block_id] = new_map
+        return new_map
+
+    def set_block_traits(self, traits: SelfObject) -> None:
+        """Install the parent for all block maps (bootstrap only)."""
+        self.block_traits = traits
+        rebuilt = {}
+        for block_id, old in self._block_maps.items():
+            rebuilt[block_id] = Map.build(old.name, parents={"parent": traits}, kind="block")
+        self._block_maps = rebuilt
+
+    # -- printing ---------------------------------------------------------------
+
+    def write_output(self, text: str) -> None:
+        self.output.append(text)
+
+    def take_output(self) -> str:
+        text = "".join(self.output)
+        self.output.clear()
+        return text
+
+    def print_string(self, value) -> str:
+        """A host-side printable rendering of any guest value."""
+        if value is self.nil_object:
+            return "nil"
+        if value is self.true_object:
+            return "true"
+        if value is self.false_object:
+            return "false"
+        t = type(value)
+        if t is int:
+            return str(value)
+        if t is BigInt:
+            return str(value.value)
+        if t is float:
+            return repr(value)
+        if t is str:
+            return value
+        if t is SelfVector:
+            inner = ", ".join(self.print_string(e) for e in value.elements)
+            return f"({inner})"
+        if t is SelfBlock:
+            return f"a block/{value.arity}"
+        if t is SelfObject:
+            return f"a {value.map.name}" if value.map.name else "an object"
+        return repr(value)

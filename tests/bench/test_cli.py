@@ -1,0 +1,47 @@
+"""CLI plumbing for ``python -m repro.bench`` (table builders stubbed)."""
+
+import pytest
+
+import repro.bench.__main__ as cli
+from repro.bench import tables
+
+
+@pytest.fixture
+def stubbed(monkeypatch):
+    calls = []
+
+    def stub(name):
+        def fn(*args, **kwargs):
+            calls.append((name, kwargs.get("include_puzzle")))
+            return f"<{name}>"
+        return fn
+
+    monkeypatch.setattr(tables, "t1_speed_summary", stub("t1"))
+    monkeypatch.setattr(tables, "t2_time_size_summary", stub("t2"))
+    monkeypatch.setattr(tables, "appendix_a_speed", stub("a"))
+    monkeypatch.setattr(tables, "appendix_b_size", stub("b"))
+    monkeypatch.setattr(tables, "appendix_c_compile_time", stub("c"))
+    monkeypatch.setattr(tables, "ablation_table", stub("ablation"))
+    monkeypatch.setattr(tables, "optimization_effect_table", stub("opt"))
+    return calls
+
+
+def test_single_table(stubbed, capsys):
+    assert cli.main(["t1"]) == 0
+    assert [c[0] for c in stubbed] == ["t1"]
+    assert "<t1>" in capsys.readouterr().out
+
+
+def test_all_tables(stubbed, capsys):
+    assert cli.main(["all"]) == 0
+    assert [c[0] for c in stubbed] == ["t1", "t2", "a", "b", "c", "ablation", "opt"]
+
+
+def test_no_puzzle_flag_propagates(stubbed):
+    cli.main(["t2", "--no-puzzle"])
+    assert stubbed == [("t2", False)]
+
+
+def test_bad_table_rejected(stubbed):
+    with pytest.raises(SystemExit):
+        cli.main(["nope"])

@@ -1,0 +1,76 @@
+"""Benchmark harness unit tests (with the cheap benchmarks only)."""
+
+import pytest
+
+from repro.bench.base import SYSTEMS, Benchmark, get_benchmark
+from repro.bench.harness import RunResult, Session, run_benchmark
+
+
+def test_run_result_fields():
+    result = run_benchmark(get_benchmark("sumTo"), "newself")
+    assert isinstance(result, RunResult)
+    assert result.verified
+    assert result.benchmark == "sumTo"
+    assert result.system == "newself"
+    assert result.cycles > 0
+    assert result.instructions > 0
+    assert result.compile_seconds > 0
+    assert result.code_kb > 0
+    assert result.wall_seconds > 0
+
+
+def test_session_memoizes():
+    session = Session()
+    first = session.result("sumTo", "newself")
+    second = session.result("sumTo", "newself")
+    assert first is second
+
+
+def test_percent_of_c_uses_static_baseline():
+    session = Session()
+    static = session.result("sumTo", "static")
+    new = session.result("sumTo", "newself")
+    pct = session.percent_of_c("sumTo", "newself")
+    assert pct == pytest.approx(100.0 * static.cycles / new.cycles)
+    assert session.percent_of_c("sumTo", "static") == pytest.approx(100.0)
+
+
+def test_oo_percent_uses_plain_baseline():
+    session = Session()
+    pct = session.percent_of_c("tree-oo", "newself")
+    plain_static = session.result("tree", "static")
+    oo = session.result("tree-oo", "newself")
+    assert pct == pytest.approx(100.0 * plain_static.cycles / oo.cycles)
+
+
+def test_wrong_answer_raises():
+    session = Session()
+    bad = Benchmark(
+        name="bad-bench",
+        group="small",
+        setup_source="| answer = ( 41 ) |",
+        run_source="answer",
+        expected=42,
+    )
+    from repro.bench import base
+
+    base._REGISTRY["bad-bench"] = bad
+    try:
+        with pytest.raises(AssertionError):
+            session.result("bad-bench", "newself")
+    finally:
+        del base._REGISTRY["bad-bench"]
+
+
+def test_unknown_benchmark_raises():
+    with pytest.raises(KeyError):
+        get_benchmark("nope")
+
+
+def test_bad_group_rejected():
+    with pytest.raises(ValueError):
+        Benchmark("x", "nogroup", "| a = 1 |", "a", 1)
+
+
+def test_systems_registry():
+    assert set(SYSTEMS) == {"st80", "oldself89", "oldself90", "newself", "static"}

@@ -1,0 +1,80 @@
+"""Table-formatter unit tests against a synthetic session.
+
+The real matrix takes minutes; these tests inject canned results so the
+formatting and statistics paths are covered cheaply.
+"""
+
+import pytest
+
+from repro.bench.base import SYSTEMS, all_benchmarks
+from repro.bench.harness import RunResult, Session
+from repro.bench.tables import (
+    _group_benchmarks,
+    _median_min_max,
+    _median_p75_max,
+    appendix_a_speed,
+    t1_speed_summary,
+    t2_time_size_summary,
+)
+
+
+def _fake_result(name, system, cycles, kb=4.0, secs=0.25):
+    return RunResult(
+        benchmark=name, system=system, answer=0, cycles=cycles,
+        code_bytes=int(kb * 1024), compile_seconds=secs, instructions=cycles,
+        send_hits=0, send_misses=0, send_megamorphic=0, methods_compiled=1,
+        wall_seconds=0.01, verified=True,
+    )
+
+
+@pytest.fixture
+def fake_session():
+    session = Session()
+    speed_factor = {
+        "static": 1, "newself": 4, "oldself89": 6, "oldself90": 7, "st80": 12,
+    }
+    for name in all_benchmarks():
+        for system, factor in speed_factor.items():
+            session._results[(name, system)] = _fake_result(
+                name, system, cycles=1000 * factor,
+                kb=2.0 * factor, secs=0.01 * factor,
+            )
+    return session
+
+
+def test_median_min_max_formatting():
+    assert _median_min_max([10.0]) == "10%"
+    assert _median_min_max([10.0, 20.0, 30.0]) == "20% (10-30)"
+    assert _median_min_max([]) == "-"
+
+
+def test_median_p75_max_formatting():
+    assert _median_p75_max([1.0, 2.0, 3.0, 4.0], ".1f") == "2.5 / 3.0 / 4.0"
+    assert _median_p75_max([], ".1f") == "-"
+
+
+def test_group_benchmarks_includes_puzzle_in_oo():
+    oo = _group_benchmarks("stanford-oo")
+    assert "puzzle" in oo
+    assert "perm-oo" in oo
+
+
+def test_t1_renders_every_system_row(fake_session):
+    table = t1_speed_summary(fake_session)
+    for label in ("ST-80", "old SELF-89", "old SELF-90", "new SELF"):
+        assert label in table
+    # every system is a uniform fraction of C in the fake data
+    assert "25%" in table  # newself: 1000/4000
+
+
+def test_t2_renders_time_and_size_sections(fake_session):
+    table = t2_time_size_summary(fake_session)
+    assert "compile time" in table
+    assert "compiled code size" in table
+    assert "optimized C" in table
+
+
+def test_appendix_a_lists_every_benchmark(fake_session):
+    table = appendix_a_speed(fake_session)
+    for name in all_benchmarks():
+        assert name in table

@@ -1,0 +1,59 @@
+"""Shared helpers for compiler tests: compile guest code, inspect CFGs."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.compiler import CompilerConfig, compile_code
+from repro.compiler.result import CompiledGraph
+from repro.ir.graph import iter_nodes, loop_body_nodes, reachable_loop_heads
+from repro.lang import parse_doit
+from repro.world import World
+from repro.world.lookup import lookup_slot
+
+
+def compile_doit(world: World, source: str, config: CompilerConfig) -> CompiledGraph:
+    doit = parse_doit(source)
+    return compile_code(
+        world.universe, config, doit, world.universe.map_of(world.lobby), "<doit>"
+    )
+
+
+def compile_method_of(
+    world: World, holder_name: str, selector: str, config: CompilerConfig,
+    annotations=None,
+) -> CompiledGraph:
+    holder = world.get_global(holder_name)
+    found = lookup_slot(world.universe, holder, selector)
+    assert found is not None, f"{selector!r} not found on {holder_name}"
+    method = found[1].value
+    return compile_code(
+        world.universe, config, method.code, world.universe.map_of(holder),
+        selector, annotations=annotations,
+    )
+
+
+def node_counter(graph: CompiledGraph) -> Counter:
+    return Counter(type(n).__name__ for n in iter_nodes(graph.start))
+
+
+from repro.ir.analysis import hot_path, hot_path_counts
+from repro.ir.analysis import common_path_counts as _common_path_counts
+
+
+def common_path_counts(graph: CompiledGraph) -> Counter:
+    """Common-path node mix of a compiled graph (delegates to
+    :mod:`repro.ir.analysis`)."""
+    return _common_path_counts(graph.start)
+
+
+__all__ = [
+    "common_path_counts",
+    "compile_doit",
+    "compile_method_of",
+    "hot_path",
+    "hot_path_counts",
+    "loop_body_nodes",
+    "node_counter",
+    "reachable_loop_heads",
+]

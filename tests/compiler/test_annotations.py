@@ -1,0 +1,88 @@
+"""Static annotations (the optimized-C configuration's declarations)."""
+
+import pytest
+
+from repro.compiler import NEW_SELF, STATIC_C
+from repro.compiler.annotations import StaticAnnotations, resolve_spec
+from repro.types import MapType, UNKNOWN, VectorType, as_map, contains
+from repro.vm import Runtime
+from repro.world import World
+
+from .helpers import compile_method_of, node_counter
+
+
+@pytest.fixture
+def world():
+    w = World()
+    w.add_slots(
+        """|
+        node = (| parent* = traits clonable. next. val <- 0 |).
+        walker = (| parent* = traits clonable. head.
+                    total = ( | n. s |
+                      s: 0.
+                      n: head.
+                      [ n isNil not ] whileTrue: [ s: s + n val. n: n next ].
+                      s ) |).
+        |"""
+    )
+    return w
+
+
+def test_resolve_spec_primitives(world):
+    u = world.universe
+    assert resolve_spec("int", u) == MapType(u.smallint_map)
+    assert resolve_spec("unknown", u) is UNKNOWN
+    assert resolve_spec(("vector", 8), u) == VectorType(u.vector_map, 8)
+    maybe = resolve_spec(("maybe", world.get_global("node").map), u)
+    assert contains(maybe, MapType(world.get_global("node").map))
+    with pytest.raises(ValueError):
+        resolve_spec("gibberish", u)
+
+
+def test_slot_annotations_turn_sends_into_loads(world):
+    node_map = world.get_global("node").map
+    ann = StaticAnnotations()
+    ann.declare_slot("walker", "head", ("maybe", node_map))
+    ann.declare_slot("node", "next", ("maybe", node_map))
+    ann.declare_slot("node", "val", "int")
+    annotated = compile_method_of(world, "walker", "total", STATIC_C, annotations=ann)
+    bare = compile_method_of(world, "walker", "total", STATIC_C)
+    # With declarations, val/next resolve to loads behind one null check;
+    # without them they stay virtual calls.
+    assert node_counter(annotated)["SendNode"] < node_counter(bare)["SendNode"]
+    assert node_counter(annotated)["SendNode"] == 0
+
+
+def test_annotations_ignored_by_dynamic_configs(world):
+    """The SELF compilers never see declarations (the paper's setting)."""
+    node_map = world.get_global("node").map
+    ann = StaticAnnotations()
+    ann.declare_slot("node", "val", "int")
+    runtime = Runtime(world, NEW_SELF, annotations=ann)
+    assert runtime.annotations is None
+
+
+def test_annotated_run_produces_same_answer(world):
+    node_map = world.get_global("node").map
+    ann = StaticAnnotations()
+    ann.declare_slot("walker", "head", ("maybe", node_map))
+    ann.declare_slot("node", "next", ("maybe", node_map))
+    ann.declare_slot("node", "val", "int")
+    program = """| w. n1. n2 |
+      n1: ((node clone) val: 30).
+      n2: ((node clone) val: 12).
+      n1 next: n2.
+      w: (walker clone head: n1).
+      w total"""
+    expected = world.eval(program)
+    static_rt = Runtime(world, STATIC_C, annotations=ann)
+    assert static_rt.run(program) == expected == 42
+
+
+def test_argument_annotations(world):
+    w = World()
+    w.add_slots("| sumOf: v = ( | s <- 0 | v do: [ | :e | s: s + e ]. s ) |")
+    ann = StaticAnnotations()
+    ann.declare_args("lobby", "sumOf:", ["vector"])
+    graph = compile_method_of(w, "lobby", "sumOf:", STATIC_C, annotations=ann)
+    assert node_counter(graph)["TypeTestNode"] == 0

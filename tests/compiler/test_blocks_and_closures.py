@@ -1,0 +1,163 @@
+"""Compiled block/closure machinery: lazy materialization, environments,
+captured self, and the compiled-NLR paths."""
+
+import pytest
+
+from repro.compiler import NEW_SELF
+from repro.ir import MakeBlockNode, iter_nodes
+from repro.vm import Runtime
+from repro.world import World
+
+from .helpers import compile_doit, compile_method_of, node_counter
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World()
+
+
+def _make_blocks(graph):
+    return [n for n in iter_nodes(graph.start) if isinstance(n, MakeBlockNode)]
+
+
+def test_fully_inlined_blocks_cost_nothing(world):
+    """ifTrue: arms and loop blocks never materialize at run time."""
+    graph = compile_doit(
+        world,
+        "| s <- 0 | 1 to: 9 Do: [ | :i | s: s + i ]. s",
+        NEW_SELF,
+    )
+    assert not _make_blocks(graph)
+
+
+def test_escaping_block_materializes_once_per_use_site(world):
+    w = World()
+    w.add_slots("| consume: blk = ( blk value ) |")
+    # `consume:` inlines... make it big enough not to:
+    w.add_slots(
+        """|
+        heavy: blk = ( | a <- 0 |
+          a: a + 1. a: a + 2. a: a + 3. a: a + 4. a: a + 5.
+          a: a + 6. a: a + 7. a: a + 8. a: a + 9. a: a + 10.
+          a: a + 11. a: a + 12. a: a + 13. a: a + 14. a: a + 15.
+          a + blk value ).
+        |"""
+    )
+    config = NEW_SELF.but(inline_size_limit=10)
+    graph = compile_doit(w, "heavy: [ 42 ]", config)
+    assert len(_make_blocks(graph)) == 1
+
+
+def test_escaping_locals_live_in_the_environment(world):
+    w = World()
+    w.add_slots("| call: blk = ( blk value ) |")
+    config = NEW_SELF.but(inline_methods=False)
+    graph = compile_doit(w, "| n <- 1 | call: [ n: n + 1 ]. n", config)
+    # n escapes into the block: the compiled graph records it.
+    assert graph.escaping, "captured local must be marked escaping"
+
+
+def test_runtime_closure_semantics_with_shared_state(world):
+    w = World()
+    w.add_slots(
+        """|
+        callTwice: blk = ( blk value. blk value. nil ).
+        |"""
+    )
+    config = NEW_SELF.but(inline_methods=False)  # force real closures
+    rt = Runtime(w, config)
+    assert rt.run("| n <- 0 | callTwice: [ n: n + 10 ]. n") == 20
+
+
+def test_closure_captures_inlined_receiver(world):
+    """Regression for the captured-self bug: a block created inside an
+    *inlined* method must see that method's receiver as self."""
+    w = World()
+    w.add_slots(
+        """|
+        invoke: blk = ( blk value ).
+        gadget = (| parent* = traits clonable. tag = ( 'G' ).
+                    describe = ( invoke: [ tag ] ) |).
+        driver = (| parent* = traits clonable. tag = ( 'D' ).
+                    go = ( gadget describe ) |).
+        |"""
+    )
+    rt = Runtime(w, NEW_SELF.but(inline_size_limit=3))
+    assert rt.run("driver go") == "G"
+
+
+def test_recursive_block_environments_do_not_shadow(world):
+    """Regression: a recursive method invoked through blocks keeps each
+    activation's captured variables separate."""
+    w = World()
+    w.add_slots(
+        """|
+        apply: blk = ( blk value ).
+        nest: n = (
+          n = 0 ifTrue: [ ^ 0 ].
+          apply: [ n + (nest: n - 1) ] ).
+        |"""
+    )
+    rt = Runtime(w, NEW_SELF.but(inline_size_limit=3))
+    assert rt.run("nest: 4") == 10
+
+
+def test_block_arguments_are_fresh_per_invocation(world):
+    w = World()
+    w.add_slots("| call: blk With: x = ( blk value: x ) |")
+    rt = Runtime(w, NEW_SELF.but(inline_methods=False))
+    assert rt.run(
+        "| b | b: [ :v | v * v ]. (call: b With: 3) + (call: b With: 4)"
+    ) == 25
+
+
+def test_nlr_from_outermost_home_through_runtime_block(world):
+    w = World()
+    w.add_slots(
+        """|
+        seek: blk = ( | i <- 0 | [ i < 10 ] whileTrue: [ blk value: i. i: i + 1 ]. -1 ).
+        firstOverTwo = ( seek: [ | :x | x > 2 ifTrue: [ ^ x ] ]. -99 ).
+        |"""
+    )
+    rt = Runtime(w, NEW_SELF.but(inline_size_limit=5))
+    assert rt.call(w.lobby, "firstOverTwo") == 3
+
+
+def test_no_unsafe_nlr_materializations_in_core_patterns(world):
+    sources = [
+        "| s <- 0 | 1 to: 9 Do: [ | :i | s: s + i ]. s",
+        "3 max: 4",
+        "(3 < 4) ifTrue: [ 1 ] False: [ 2 ]",
+    ]
+    for source in sources:
+        graph = compile_doit(world, source, NEW_SELF)
+        assert graph.compile_stats["nlr_unsafe_materializations"] == 0, source
+
+
+def test_forbid_unsafe_nlr_flag(world):
+    """With the strict flag, the documented NLR limitation becomes a
+    compile-time error instead of a counter."""
+    from repro.objects import CompilerError
+
+    w = World()
+    # A method whose body hands an ^-block to a send that cannot be
+    # inlined; when that method is itself inlined, the block's home is
+    # an inlined scope — the unsafe pattern.
+    w.add_slots(
+        """|
+        opaque = (| parent* = traits clonable. held.
+                    take: b = ( held: b. self ) |).
+        risky = ( opaque take: [ ^ 1 ]. 2 ).
+        caller = ( risky ).
+        |"""
+    )
+    strict = NEW_SELF.but(forbid_unsafe_nlr=True, inline_size_limit=200)
+    with pytest.raises(CompilerError):
+        compile_method_of(world_for(w), "lobby", "caller", strict)
+    # The default configuration compiles it and counts the hazard.
+    graph = compile_method_of(world_for(w), "lobby", "caller", NEW_SELF)
+    assert graph.compile_stats["nlr_unsafe_materializations"] >= 1
+
+
+def world_for(w):
+    return w

@@ -1,0 +1,89 @@
+"""Compiler configuration presets and their invariants."""
+
+import pytest
+
+from repro.compiler import (
+    NEW_SELF,
+    OLD_SELF,
+    OLD_SELF_89,
+    OLD_SELF_90,
+    PRESETS,
+    ST80,
+    STATIC_C,
+    CompilerConfig,
+    preset,
+)
+
+
+def test_presets_cover_the_papers_systems():
+    assert set(PRESETS) == {
+        "st80", "oldself", "oldself89", "oldself90", "newself", "static",
+    }
+
+
+def test_preset_lookup():
+    assert preset("newself") is NEW_SELF
+    with pytest.raises(KeyError):
+        preset("nope")
+
+
+def test_new_self_has_every_technique():
+    for flag in (
+        "customize", "inline_methods", "inline_prims", "type_analysis",
+        "range_analysis", "type_prediction", "local_splitting",
+        "extended_splitting", "iterative_loops", "multi_version_loops",
+    ):
+        assert getattr(NEW_SELF, flag), flag
+    assert not NEW_SELF.st80_macros
+    assert not NEW_SELF.static_types
+
+
+def test_old_self_matches_the_papers_description():
+    """§2 and §5: customization, prediction, message/primitive inlining,
+    local splitting; no type analysis, no range analysis, no extended
+    splitting, pessimistic loops."""
+    assert OLD_SELF.customize
+    assert OLD_SELF.inline_methods
+    assert OLD_SELF.inline_prims
+    assert OLD_SELF.type_prediction
+    assert OLD_SELF.local_splitting
+    assert not OLD_SELF.type_analysis
+    assert not OLD_SELF.range_analysis
+    assert not OLD_SELF.extended_splitting
+    assert not OLD_SELF.iterative_loops
+
+
+def test_old_self_89_and_90_share_features():
+    for field in CompilerConfig.__dataclass_fields__:
+        if field == "name":
+            continue
+        assert getattr(OLD_SELF_89, field) == getattr(OLD_SELF_90, field), field
+
+
+def test_st80_is_uncustomized_and_macro_based():
+    assert not ST80.customize
+    assert not ST80.inline_methods
+    assert ST80.st80_macros
+    assert not ST80.type_analysis
+
+
+def test_static_trusts_types():
+    assert STATIC_C.static_types
+    assert STATIC_C.type_prediction  # trusted prediction = declarations
+
+
+def test_invalid_combinations_rejected():
+    with pytest.raises(ValueError):
+        CompilerConfig(name="bad", type_analysis=False, extended_splitting=True)
+    with pytest.raises(ValueError):
+        CompilerConfig(name="bad", iterative_loops=False, multi_version_loops=True)
+    with pytest.raises(ValueError):
+        CompilerConfig(name="bad", type_analysis=False, range_analysis=True,
+                       extended_splitting=False)
+
+
+def test_but_creates_modified_copy():
+    narrowed = NEW_SELF.but(max_fronts=2)
+    assert narrowed.max_fronts == 2
+    assert NEW_SELF.max_fronts != 2
+    assert narrowed.customize == NEW_SELF.customize

@@ -1,0 +1,67 @@
+"""Sweep: every standard-library method compiles cleanly under every
+configuration for its natural receiver map.
+
+This catches regressions anywhere in the pipeline (a corelib method
+that stops compiling, an expansion that leaves a dangling port, an
+unsafe NLR materialization) in one place.
+"""
+
+import pytest
+
+from repro.compiler import NEW_SELF, OLD_SELF_90, ST80, STATIC_C, compile_code
+from repro.objects import SelfMethod
+from repro.world import World
+
+CONFIGS = (NEW_SELF, OLD_SELF_90, ST80, STATIC_C)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World()
+
+
+def _targets(world):
+    universe = world.universe
+    yield world.traits_clonable, universe.map_of(world.lobby)
+    yield world.traits_integer, universe.smallint_map
+    yield world.traits_float, universe.float_map
+    yield world.traits_vector, universe.vector_map
+    yield world.traits_string, universe.string_map
+    yield world.traits_block, universe.map_of(world.traits_block)
+    yield universe.true_object, universe.true_map
+    yield universe.false_object, universe.false_map
+
+
+def _methods(world):
+    for holder, receiver_map in _targets(world):
+        holder_map = world.universe.map_of(holder)
+        for slot in holder_map.iter_slots():
+            if slot.kind == "constant" and isinstance(slot.value, SelfMethod):
+                yield slot.value, receiver_map
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_every_corelib_method_compiles(world, config):
+    compiled = 0
+    for method, receiver_map in _methods(world):
+        graph = compile_code(
+            world.universe, config, method.code, receiver_map, method.selector
+        )
+        assert graph.stats.total > 0, method.selector
+        assert graph.compile_stats["nlr_unsafe_materializations"] == 0, (
+            method.selector
+        )
+        compiled += 1
+    assert compiled > 60, "the core library should be substantial"
+
+
+def test_corelib_compiles_quickly(world):
+    import time
+
+    started = time.perf_counter()
+    for method, receiver_map in _methods(world):
+        compile_code(
+            world.universe, NEW_SELF, method.code, receiver_map, method.selector
+        )
+    elapsed = time.perf_counter() - started
+    assert elapsed < 30.0, f"corelib compile took {elapsed:.1f}s"

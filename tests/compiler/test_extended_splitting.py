@@ -1,0 +1,111 @@
+"""Extended message splitting (§4) — experiment F3 of DESIGN.md.
+
+The paper's before/after figure: a conditional assigns ``x`` either a
+constant integer or a constant float; a *later statement* sends a
+message to ``x``.  Without extended splitting the merge dilutes the
+type and the send needs a run-time test (or stays dynamic); with it the
+code between the merge and the send is (implicitly) duplicated and both
+copies inline their send with full type knowledge.
+"""
+
+import pytest
+
+from repro.compiler import NEW_SELF, OLD_SELF, ST80
+from repro.world import World
+
+from .helpers import compile_method_of, node_counter
+
+
+@pytest.fixture(scope="module")
+def world():
+    w = World()
+    w.add_slots(
+        """|
+        splitDemo: flag = ( | x |
+          flag ifTrue: [ x: 1 ] False: [ x: 2.5 ].
+          x + 10 printString size.
+          x ).
+
+        localOnlyDemo: flag = ( | x |
+          x: (flag ifTrue: [ 1 ] False: [ 2.5 ]) + 0.
+          x ).
+
+        deadStoreDemo: flag = ( | x. y |
+          flag ifTrue: [ x: 1 ] False: [ x: 2.5 ].
+          y: 99.
+          y + 1 ).
+        |"""
+    )
+    return w
+
+
+def test_extended_splitting_keeps_both_paths_typed(world):
+    """With the technique on, the + after the merge is inlined on both
+    arms: an integer add on one copy, a float add on the other — and no
+    run-time type test on x is needed."""
+    graph = compile_method_of(world, "lobby", "splitDemo:", NEW_SELF)
+    counts = node_counter(graph)
+    tests_on_x = [
+        n for n in _type_tests(graph) if n.map.kind in ("smallInt", "float")
+    ]
+    assert not tests_on_x, "splitting preserved the types; no test on x"
+    # Both specializations exist: a (checked) integer add and a float
+    # primitive call.
+    assert counts["ArithNode"] + counts["ArithOvNode"] >= 1
+    assert any(
+        n.selector == "_FltAdd:" for n in _prim_calls(graph)
+    )
+
+
+def test_without_extended_splitting_type_is_lost(world):
+    """Old SELF merges at the statement boundary: the downstream + needs
+    a predicted type test (local splitting alone cannot save it)."""
+    graph = compile_method_of(world, "lobby", "splitDemo:", OLD_SELF)
+    tests = [n for n in _type_tests(graph) if n.map.kind == "smallInt"]
+    assert tests, "old SELF must re-discover x's type at run time"
+
+
+def test_local_splitting_covers_the_immediate_consumer(world):
+    """Even old SELF keeps the split alive into the value's immediate
+    consumer (the send right after the merge)."""
+    graph = compile_method_of(world, "lobby", "localOnlyDemo:", OLD_SELF)
+    counts = node_counter(graph)
+    # The + 0 right after the if is compiled per branch: int and float
+    # versions both present without a test on the merged value.
+    assert any(n.selector == "_FltAdd:" for n in _prim_calls(graph))
+
+
+def test_st80_has_no_splitting_at_all(world):
+    graph = compile_method_of(world, "lobby", "localOnlyDemo:", ST80)
+    tests = [n for n in _type_tests(graph) if n.map.kind == "smallInt"]
+    assert tests, "ST-80 merges eagerly; the + needs its class check"
+
+
+def test_splitting_does_not_duplicate_for_dead_differences(world):
+    """Fronts whose type differences are never used again still merge —
+    the budget exists and class signatures only keep *useful* splits...
+    here the x difference is dead, so downstream code is not duplicated
+    without bound."""
+    graph = compile_method_of(world, "lobby", "deadStoreDemo:", NEW_SELF)
+    # y + 1 with y = 99 folds to a single constant — at most one per
+    # surviving front; the method must stay small.
+    assert graph.stats.total < 60
+
+
+def test_front_budget_bounds_code_growth(world):
+    narrow = NEW_SELF.but(max_fronts=1)
+    wide = compile_method_of(world, "lobby", "splitDemo:", NEW_SELF)
+    tight = compile_method_of(world, "lobby", "splitDemo:", narrow)
+    assert tight.stats.total <= wide.stats.total
+
+
+def _type_tests(graph):
+    from repro.ir import TypeTestNode, iter_nodes
+
+    return [n for n in iter_nodes(graph.start) if isinstance(n, TypeTestNode)]
+
+
+def _prim_calls(graph):
+    from repro.ir import PrimCallNode, iter_nodes
+
+    return [n for n in iter_nodes(graph.start) if isinstance(n, PrimCallNode)]

@@ -1,0 +1,160 @@
+"""Unit tests for the Front machinery (the splitting substrate)."""
+
+import pytest
+
+from repro.compiler import NEW_SELF, OLD_SELF, ST80
+from repro.compiler.fronts import Front, class_signature, merge_group, regroup
+from repro.ir import StartNode
+from repro.types import IntRangeType, MapType, MergeType, UNKNOWN
+from repro.world import World
+
+
+class FakeEngine:
+    def __init__(self, config, universe):
+        self.config = config
+        self.universe = universe
+        self.nodes = 0
+
+    def count_node(self, node):
+        self.nodes += 1
+
+    def drop_dead(self, fronts):
+        return [f for f in fronts if not f.dead]
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World()
+
+
+def fresh_front(types=None):
+    return Front(StartNode(), 0, dict(types or {}), {})
+
+
+def test_bind_allocates_fresh_value_identity(world):
+    front = fresh_front()
+    front.bind("a", IntRangeType(1, 1))
+    front.bind("b", IntRangeType(1, 1))
+    assert front.value_ids["a"] != front.value_ids["b"]
+
+
+def test_copy_binding_shares_identity_and_refines_aliases(world):
+    u = world.universe
+    front = fresh_front({"x": UNKNOWN})
+    front.copy_binding("t", "x")
+    assert front.value_ids["t"] == front.value_ids["x"]
+    front.refine("t", MapType(u.smallint_map))
+    assert front.get_type("x") == MapType(u.smallint_map)
+
+
+def test_reassignment_breaks_aliasing(world):
+    u = world.universe
+    front = fresh_front({"x": UNKNOWN})
+    front.copy_binding("t", "x")
+    front.bind("x", IntRangeType(5, 5))  # fresh value
+    front.refine("t", MapType(u.smallint_map))
+    assert front.get_type("x") == IntRangeType(5, 5)
+
+
+def test_split_is_independent(world):
+    front = fresh_front({"x": IntRangeType(0, 9)})
+    node = StartNode()
+    other = front.split(node, 0)
+    other.bind("x", UNKNOWN)
+    assert front.get_type("x") == IntRangeType(0, 9)
+
+
+def test_dead_front_detection(world):
+    from repro.types import EMPTY
+
+    front = fresh_front({"x": IntRangeType(0, 1)})
+    assert not front.dead
+    front.types["x"] = EMPTY
+    assert front.dead
+
+
+def test_prune_keeps_protected_and_self(world):
+    front = fresh_front({"%self": UNKNOWN, "%t1": UNKNOWN, "%t2": UNKNOWN, "x@1": UNKNOWN})
+    front.prune_temps(keep="%t1", protected=frozenset({"%t2"}))
+    assert set(front.types) == {"%self", "%t1", "%t2", "x@1"}
+    front.prune_temps()
+    assert set(front.types) == {"%self", "x@1"}
+
+
+def test_merge_group_forms_merge_types(world):
+    engine = FakeEngine(NEW_SELF, world.universe)
+    u = world.universe
+    a = fresh_front({"x": MapType(u.smallint_map)})
+    b = fresh_front({"x": UNKNOWN})
+    merged = merge_group(engine, [a, b])
+    assert isinstance(merged.get_type("x"), MergeType)
+    assert engine.nodes == 1  # one MergeNode
+
+
+def test_merge_group_drops_unshared_bindings(world):
+    engine = FakeEngine(NEW_SELF, world.universe)
+    a = fresh_front({"x": UNKNOWN, "onlyA": UNKNOWN})
+    b = fresh_front({"x": UNKNOWN})
+    merged = merge_group(engine, [a, b])
+    assert "onlyA" not in merged.types
+
+
+def test_class_signature_distinguishes_maps_not_ranges(world):
+    u = world.universe
+    a = fresh_front({"x": IntRangeType(0, 3)})
+    b = fresh_front({"x": IntRangeType(50, 90)})
+    c = fresh_front({"x": MapType(u.float_map)})
+    assert class_signature(a, u) == class_signature(b, u)
+    assert class_signature(a, u) != class_signature(c, u)
+
+
+def test_regroup_extended_keeps_distinct_classes_apart(world):
+    engine = FakeEngine(NEW_SELF, world.universe)
+    u = world.universe
+    a = fresh_front({"x": MapType(u.smallint_map)})
+    b = fresh_front({"x": MapType(u.float_map)})
+    out = regroup(engine, [a, b])
+    assert len(out) == 2
+
+
+def test_regroup_without_extended_merges_at_boundaries(world):
+    engine = FakeEngine(OLD_SELF, world.universe)
+    u = world.universe
+    a = fresh_front({"x": MapType(u.smallint_map)})
+    b = fresh_front({"x": MapType(u.float_map)})
+    out = regroup(engine, [a, b], at_consumer=False)
+    assert len(out) == 1
+    # ...but local splitting keeps them apart for the direct consumer.
+    a2 = fresh_front({"x": MapType(u.smallint_map)})
+    b2 = fresh_front({"x": MapType(u.float_map)})
+    out2 = regroup(engine, [a2, b2], at_consumer=True)
+    assert len(out2) == 2
+
+
+def test_regroup_st80_merges_everywhere(world):
+    engine = FakeEngine(ST80, world.universe)
+    u = world.universe
+    a = fresh_front({"x": MapType(u.smallint_map)})
+    b = fresh_front({"x": MapType(u.float_map)})
+    assert len(regroup(engine, [a, b], at_consumer=True)) == 1
+
+
+def test_regroup_folds_uncommon_groups_together(world):
+    engine = FakeEngine(NEW_SELF, world.universe)
+    u = world.universe
+    common = fresh_front({"x": MapType(u.smallint_map)})
+    fail_a = fresh_front({"x": MapType(u.float_map)})
+    fail_a.uncommon = True
+    fail_b = fresh_front({"x": MapType(u.string_map)})
+    fail_b.uncommon = True
+    out = regroup(engine, [common, fail_a, fail_b])
+    assert len(out) == 2  # common + one merged uncommon
+
+
+def test_regroup_respects_front_budget(world):
+    engine = FakeEngine(NEW_SELF.but(max_fronts=2), world.universe)
+    maps = [world.universe.smallint_map, world.universe.float_map,
+            world.universe.string_map, world.universe.vector_map]
+    fronts = [fresh_front({"x": MapType(m)}) for m in maps]
+    out = regroup(engine, fronts)
+    assert len(out) <= 2

@@ -1,0 +1,119 @@
+"""Message inlining and customized compilation (§2, §3.2.2)."""
+
+import pytest
+
+from repro.compiler import NEW_SELF, ST80
+from repro.world import World
+
+from .helpers import common_path_counts, compile_method_of, node_counter
+
+
+@pytest.fixture(scope="module")
+def world():
+    w = World()
+    w.add_slots(
+        """|
+        point = (| parent* = traits clonable. x <- 0. y <- 0.
+                   sum = ( x + y ).
+                   doubled = ( sum + sum ).
+                   area = ( x * y ) |).
+        big = (| parent* = traits clonable.
+                 huge = ( 1 + 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9 + 10 + 11 + 12 +
+                          13 + 14 + 15 + 16 + 17 + 18 + 19 + 20 + 21 + 22 +
+                          23 + 24 + 25 + 26 + 27 + 28 + 29 + 30 + 31 + 32 +
+                          33 + 34 + 35 + 36 + 37 + 38 + 39 + 40 + 41 + 42 ).
+                 caller = ( huge + huge ) |).
+        selfRec = (| parent* = traits clonable.
+                     count: n = ( n = 0 ifTrue: [ ^ 0 ].
+                                  1 + (count: n - 1) ) |).
+        constHolder = (| parent* = traits clonable.
+                         limit = 100.
+                         uses = ( limit + limit ) |).
+        |"""
+    )
+    return w
+
+
+def test_data_slot_access_compiles_to_memory_load(world):
+    graph = compile_method_of(world, "point", "sum", NEW_SELF)
+    counts = node_counter(graph)
+    assert counts["LoadSlotNode"] == 2  # x and y
+    # The common path has no dynamic send (the only send is the
+    # uncommon non-integer fallback of the predicted +).
+    assert common_path_counts(graph)["SendNode"] == 0
+
+
+def test_self_sends_inline_through_customization(world):
+    """`doubled` calls `sum` twice; with the receiver map known from
+    customization both calls inline down to slot loads."""
+    graph = compile_method_of(world, "point", "doubled", NEW_SELF)
+    common = common_path_counts(graph)
+    assert common["SendNode"] == 0
+    assert common["LoadSlotNode"] >= 4
+    assert not any(
+        s.selector in ("sum", "doubled") for s in _all_sends(graph)
+    ), "the user methods themselves are fully inlined"
+    assert graph.compile_stats["inlined_sends"] >= 2
+
+
+def _all_sends(graph):
+    from repro.ir import SendNode, iter_nodes
+
+    return [n for n in iter_nodes(graph.start) if isinstance(n, SendNode)]
+
+
+def test_constant_slot_access_compiles_to_constant(world):
+    graph = compile_method_of(world, "constHolder", "uses", NEW_SELF)
+    counts = node_counter(graph)
+    assert counts["SendNode"] == 0
+    assert counts["LoadSlotNode"] == 0
+    # 100 + 100 folds outright.
+    assert graph.compile_stats["constant_folds"] >= 1
+
+
+def test_oversized_methods_are_not_inlined(world):
+    config = NEW_SELF.but(inline_size_limit=20)
+    graph = compile_method_of(world, "big", "caller", config)
+    assert node_counter(graph)["SendNode"] >= 2  # both `huge` calls stay
+
+
+def test_recursive_methods_fall_back_to_send(world):
+    graph = compile_method_of(world, "selfRec", "count:", NEW_SELF)
+    sends = node_counter(graph)["SendNode"]
+    assert sends >= 1, "the recursive call cannot be fully inlined"
+
+
+def test_without_customization_self_sends_are_dynamic(world):
+    graph = compile_method_of(world, "point", "doubled", ST80)
+    assert node_counter(graph)["SendNode"] >= 2
+
+
+def test_assignment_slot_compiles_to_store_returning_receiver(world):
+    w = World()
+    w.add_slots(
+        "| cell = (| parent* = traits clonable. v <- 0. put: n = ( v: n ) |) |"
+    )
+    graph = compile_method_of(w, "cell", "put:", NEW_SELF)
+    counts = node_counter(graph)
+    assert counts["StoreSlotNode"] == 1
+    assert counts["SendNode"] == 0
+
+
+def test_inlined_method_keeps_receiver_type_across_statements(world):
+    """Regression: a multi-statement inlined method's self lives in a
+    temp; statement pruning must not drop its binding."""
+    w = World()
+    w.add_slots(
+        """|
+        gadget = (| parent* = traits clonable. a <- 1. b <- 2.
+                    work = ( a: a + 1. b: b + 1. a + b ) |).
+        driver = (| parent* = traits clonable.
+                    go = ( gadget work ) |).
+        |"""
+    )
+    graph = compile_method_of(w, "driver", "go", NEW_SELF)
+    # `work` inlines (gadget is a constant); its three statements all
+    # resolve self slots as direct loads/stores — no dynamic send of
+    # `work` (or anything else) on the common path.
+    assert common_path_counts(graph)["SendNode"] == 0
+    assert not any(s.selector == "work" for s in _all_sends(graph))

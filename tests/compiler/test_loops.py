@@ -1,0 +1,180 @@
+"""Iterative type analysis and multi-version loops (§5) — beyond the
+triangleNumber walkthrough."""
+
+import pytest
+
+from repro.compiler import NEW_SELF, OLD_SELF
+from repro.world import World
+
+from .helpers import (
+    compile_doit,
+    compile_method_of,
+    hot_path_counts,
+    node_counter,
+    reachable_loop_heads,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World()
+
+
+def test_counted_loop_with_constant_bound_fully_clean(world):
+    """All-constant loop: after the fixpoint, no type tests; both the
+    increment and (bounded) sum overflow checks go away."""
+    graph = compile_doit(
+        world,
+        "| s <- 0. i <- 0 | [ i < 100 ] whileTrue: [ s: s + i. i: i + 1 ].  s",
+        NEW_SELF,
+    )
+    heads = reachable_loop_heads(graph.start)
+    # The fast version is test-free.  A second, general version is
+    # legitimate: s may overflow after enough iterations, and the
+    # overflow path gets its own version (§5.4).
+    assert 1 <= len(heads) <= 2
+    counts = hot_path_counts(heads[0])
+    assert counts["TypeTestNode"] == 0
+    assert counts["SendNode"] == 0
+
+
+def test_nested_loops_both_analyzed(world):
+    graph = compile_doit(
+        world,
+        """| s <- 0. i <- 0 |
+        [ i < 10 ] whileTrue: [ | j |
+          j: 0.
+          [ j < 10 ] whileTrue: [ s: s + 1. j: j + 1 ].
+          i: i + 1 ].
+        s""",
+        NEW_SELF,
+    )
+    heads = reachable_loop_heads(graph.start)
+    assert len({h.loop_id for h in heads}) >= 2  # outer + inner versions
+    fast_versions = [h for h in heads if h.version == 0]
+    for head in fast_versions:
+        assert hot_path_counts(head)["TypeTestNode"] == 0
+
+
+def test_loop_over_unknown_bound_gets_two_versions(world):
+    w = World()
+    w.add_slots(
+        """|
+        spin: n = ( | i <- 0 | [ i < n ] whileTrue: [ i: i + 1 ]. i ).
+        |"""
+    )
+    graph = compile_method_of(w, "lobby", "spin:", NEW_SELF)
+    heads = reachable_loop_heads(graph.start)
+    assert len(heads) == 2
+    fast = hot_path_counts(heads[0])
+    assert fast["TypeTestNode"] == 0
+
+
+def test_multi_version_disabled_single_loop_with_in_loop_test(world):
+    """The paper's measured configuration ('without compiling multiple
+    versions of loops'): one version, the type test stays inside."""
+    w = World()
+    w.add_slots(
+        "| spin: n = ( | i <- 0 | [ i < n ] whileTrue: [ i: i + 1 ]. i ) |"
+    )
+    config = NEW_SELF.but(multi_version_loops=False)
+    graph = compile_method_of(w, "lobby", "spin:", config)
+    heads = reachable_loop_heads(graph.start)
+    assert len(heads) == 1
+    assert hot_path_counts(heads[0])["TypeTestNode"] >= 1
+
+
+def test_pessimistic_loops_converge_in_one_pass(world):
+    config = NEW_SELF.but(iterative_loops=False, multi_version_loops=False)
+    graph = compile_doit(
+        world,
+        "| s <- 0. i <- 0 | [ i < 100 ] whileTrue: [ s: s + i. i: i + 1 ]. s",
+        config,
+    )
+    assert graph.compile_stats["loop_analysis_iterations"] == 0
+    heads = reachable_loop_heads(graph.start)
+    assert len(heads) == 1
+    # Pessimistic bindings: the loop body re-tests its locals.
+    assert hot_path_counts(heads[0])["TypeTestNode"] >= 2
+
+
+def test_iteration_counts_are_recorded(world):
+    graph = compile_doit(
+        world,
+        "| s <- 0. i <- 0 | [ i < 100 ] whileTrue: [ s: s + i. i: i + 1 ]. s",
+        NEW_SELF,
+    )
+    assert graph.compile_stats["loop_analysis_iterations"] >= 2
+
+
+def test_while_false_loops(world):
+    graph = compile_doit(
+        world,
+        "| i <- 0 | [ i >= 5 ] whileFalse: [ i: i + 1 ]. i",
+        NEW_SELF,
+    )
+    heads = reachable_loop_heads(graph.start)
+    assert heads, "whileFalse: compiles to a loop too"
+
+
+def test_loop_result_is_nil(world):
+    graph = compile_doit(world, "[ false ] whileTrue: [ 1 ]", NEW_SELF)
+    # Must compile (result nil) without error; the loop folds to exit.
+    assert graph.stats.total > 0
+
+
+def test_loop_carried_vector_length_survives(world):
+    """A vector created before the loop keeps its known length through
+    the head, so in-loop bounds checks vanish (sieve pattern)."""
+    graph = compile_doit(
+        world,
+        """| v. i <- 0 |
+        v: (vector copySize: 64).
+        [ i < 64 ] whileTrue: [ v at: i Put: i. i: i + 1 ].
+        v at: 0""",
+        NEW_SELF,
+    )
+    assert node_counter(graph)["BoundsCheckNode"] == 0
+
+
+def test_loop_through_inlined_control_structure(world):
+    """to:Do: is a user-defined method; the loop intrinsic only fires
+    after it is inlined, proving loops need no special AST forms."""
+    graph = compile_doit(
+        world,
+        "| s <- 0 | 1 to: 50 Do: [ | :k | s: s + k ]. s",
+        NEW_SELF,
+    )
+    heads = reachable_loop_heads(graph.start)
+    assert heads
+    assert hot_path_counts(heads[0])["TypeTestNode"] == 0
+
+
+def test_dynamic_while_true_falls_back_to_primitive(world):
+    """A block held in a variable assigned from an unknown source cannot
+    be inlined; whileTrue: then compiles as a real send (to the
+    _BlockWhileTrue: fallback)."""
+    w = World()
+    w.add_slots(
+        """|
+        holder = (| parent* = traits clonable. b.
+                    stash: x = ( b: x ).
+                    spin = ( b whileTrue: [ nil ] ) |).
+        |"""
+    )
+    graph = compile_method_of(w, "holder", "spin", NEW_SELF)
+    counts = node_counter(graph)
+    assert counts["LoopHeadNode"] == 0
+    assert counts["SendNode"] + counts["PrimCallNode"] >= 1
+
+
+def test_budget_exhaustion_recovers_with_pessimistic_compile(world):
+    tiny = NEW_SELF.but(node_budget=60)
+    graph = compile_doit(
+        world,
+        "| s <- 0. i <- 0 | [ i < 100 ] whileTrue: [ s: s + i. i: i + 1 ]. s",
+        tiny,
+    )
+    # compile_code falls back internally; the result is still a valid
+    # (single-version) graph.
+    assert reachable_loop_heads(graph.start)

@@ -1,0 +1,93 @@
+"""Type prediction (§2, §3.2.2): predicted tests and their splitting."""
+
+import pytest
+
+from repro.compiler import NEW_SELF, STATIC_C
+from repro.ir import SendNode, TypeTestNode, iter_nodes
+from repro.world import World
+
+from .helpers import compile_method_of, node_counter
+
+
+@pytest.fixture(scope="module")
+def world():
+    w = World()
+    w.add_slots(
+        """|
+        addArgs: a To: b = ( a + b ).
+        boolArg: flag = ( flag ifTrue: [ 1 ] False: [ 2 ] ).
+        vecArg: v = ( v at: 3 ).
+        knownInt = ( 3 + 4 ).
+        strangeReceiver = ( 'abc' foo: 1 ).
+        |"""
+    )
+    return w
+
+
+def _tests(graph, kind):
+    return [
+        n for n in iter_nodes(graph.start)
+        if isinstance(n, TypeTestNode) and n.map.kind == kind
+    ]
+
+
+def _sends(graph):
+    return [n for n in iter_nodes(graph.start) if isinstance(n, SendNode)]
+
+
+def test_plus_predicts_integer_receiver(world):
+    graph = compile_method_of(world, "lobby", "addArgs:To:", NEW_SELF)
+    assert _tests(graph, "smallInt"), "a predicted integer test is inserted"
+    # The uncommon branch keeps a dynamic send of +.
+    assert any(s.selector == "+" for s in _sends(graph))
+
+
+def test_prediction_splits_common_and_uncommon(world):
+    """The success branch inlines the arithmetic; the failure branch
+    does the full dynamic send — local splitting around the test."""
+    graph = compile_method_of(world, "lobby", "addArgs:To:", NEW_SELF)
+    counts = node_counter(graph)
+    assert counts["ArithOvNode"] >= 1  # inlined common case
+    assert counts["SendNode"] >= 1     # dynamic uncommon case
+
+
+def test_boolean_prediction_inlines_both_arms(world):
+    graph = compile_method_of(world, "lobby", "boolArg:", NEW_SELF)
+    boolean_tests = _tests(graph, "boolean")
+    assert len(boolean_tests) == 2  # true, then false
+    # No residual dynamic ifTrue:False: — a non-boolean receiver is the
+    # compiled mustBeBoolean error.
+    assert not any(s.selector == "ifTrue:False:" for s in _sends(graph))
+    assert node_counter(graph)["ErrorNode"] >= 1
+
+
+def test_vector_prediction_inlines_at(world):
+    graph = compile_method_of(world, "lobby", "vecArg:", NEW_SELF)
+    assert _tests(graph, "vector")
+    assert node_counter(graph)["ArrayLoadNode"] >= 1
+
+
+def test_no_prediction_when_receiver_known(world):
+    graph = compile_method_of(world, "lobby", "knownInt", NEW_SELF)
+    assert not _tests(graph, "smallInt")
+
+
+def test_no_prediction_when_receiver_disjoint(world):
+    """foo: on a string: prediction tables don't apply, plain send."""
+    graph = compile_method_of(world, "lobby", "strangeReceiver", NEW_SELF)
+    assert not _tests(graph, "smallInt")
+    assert any(s.selector == "foo:" for s in _sends(graph))
+
+
+def test_prediction_disabled_goes_straight_to_send(world):
+    config = NEW_SELF.but(type_prediction=False)
+    graph = compile_method_of(world, "lobby", "addArgs:To:", config)
+    assert not _tests(graph, "smallInt")
+    assert any(s.selector == "+" for s in _sends(graph))
+
+
+def test_static_mode_trusts_predictions(world):
+    graph = compile_method_of(world, "lobby", "addArgs:To:", STATIC_C)
+    assert not _tests(graph, "smallInt")
+    assert node_counter(graph)["ArithNode"] == 1
+    assert not _sends(graph)

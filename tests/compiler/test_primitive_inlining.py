@@ -1,0 +1,135 @@
+"""Primitive inlining, constant folding, and range analysis (§3.2.3).
+
+Experiment F2 of DESIGN.md: the integer-add primitive expands into type
+tests + checked add + failure block, and the analysis then deletes each
+check it can prove away.
+"""
+
+import pytest
+
+from repro.compiler import NEW_SELF, OLD_SELF, STATIC_C
+from repro.world import World
+
+from .helpers import compile_doit, compile_method_of, node_counter
+
+
+@pytest.fixture(scope="module")
+def world():
+    w = World()
+    w.add_slots(
+        """|
+        adder: a To: b = ( a + b ).
+        sumSmall = ( | x <- 3. y <- 4 | x + y ).
+        compareDisjoint = ( | x <- 3 | x < 100 ).
+        boundsDemo = ( | v | v: (vector copySize: 10). v at: 3 ).
+        boundsLoop = ( | v. i <- 0 | v: (vector copySize: 10).
+                       [ i < 10 ] whileTrue: [ v at: i Put: i. i: i + 1 ].
+                       v at: 9 ).
+        boundsUnknown: v Index: i = ( v at: i ).
+        divByConst: x = ( x / 4 ).
+        modByConst: x = ( x % 16 ).
+        |"""
+    )
+    return w
+
+
+def test_constant_arguments_fold_away_entirely(world):
+    graph = compile_method_of(world, "lobby", "sumSmall", NEW_SELF)
+    counts = node_counter(graph)
+    assert counts["ArithNode"] == 0 and counts["ArithOvNode"] == 0
+    assert counts["TypeTestNode"] == 0
+    assert counts["SendNode"] == 0
+    assert graph.compile_stats["constant_folds"] >= 1
+
+
+def test_unknown_arguments_get_full_robust_expansion(world):
+    graph = compile_method_of(world, "lobby", "adder:To:", NEW_SELF)
+    counts = node_counter(graph)
+    # Receiver and argument tests plus the checked add on the hot path.
+    assert counts["TypeTestNode"] >= 2
+    assert counts["ArithOvNode"] >= 1
+    # The failure path calls into arbitrary precision.
+    assert counts["PrimCallNode"] >= 1
+
+
+def test_comparison_folds_on_disjoint_subranges(world):
+    """'execute the comparison primitive at compile-time based solely on
+    subrange information' — x in [3,3] is always < 100."""
+    graph = compile_method_of(world, "lobby", "compareDisjoint", NEW_SELF)
+    counts = node_counter(graph)
+    assert counts["CompareBranchNode"] == 0
+    assert graph.compile_stats["constant_folds"] >= 1
+
+
+def test_comparison_not_folded_without_range_analysis(world):
+    graph = compile_method_of(world, "lobby", "compareDisjoint", OLD_SELF)
+    assert node_counter(graph)["CompareBranchNode"] == 1
+
+
+def test_bounds_check_elided_for_constant_index(world):
+    graph = compile_method_of(world, "lobby", "boundsDemo", NEW_SELF)
+    assert node_counter(graph)["BoundsCheckNode"] == 0
+    assert graph.compile_stats["bounds_checks_elided"] >= 1
+
+
+def test_bounds_check_elided_inside_counted_loop(world):
+    """sieve/atAllPut pattern: index subrange ⊆ [0, len) from the loop
+    condition against the known allocation size."""
+    graph = compile_method_of(world, "lobby", "boundsLoop", NEW_SELF)
+    assert node_counter(graph)["BoundsCheckNode"] == 0
+
+
+def test_bounds_check_kept_for_unknown_vector(world):
+    graph = compile_method_of(world, "lobby", "boundsUnknown:Index:", NEW_SELF)
+    assert node_counter(graph)["BoundsCheckNode"] >= 1
+
+
+def test_bounds_check_kept_without_range_analysis(world):
+    graph = compile_method_of(world, "lobby", "boundsLoop", OLD_SELF)
+    assert node_counter(graph)["BoundsCheckNode"] >= 1
+
+
+def test_division_keeps_zero_check_only_when_needed(world):
+    by_const = compile_method_of(world, "lobby", "divByConst:", NEW_SELF)
+    # Divisor 4 can still overflow at MIN//... no: only MIN // -1
+    # overflows, and the divisor is the constant 4 — plain divide.
+    assert node_counter(by_const)["ArithOvNode"] == 0
+    assert node_counter(by_const)["ArithNode"] == 1
+
+
+def test_modulo_by_constant_is_unchecked(world):
+    graph = compile_method_of(world, "lobby", "modByConst:", NEW_SELF)
+    assert node_counter(graph)["ArithOvNode"] == 0
+
+
+def test_static_mode_emits_bare_instructions(world):
+    graph = compile_method_of(world, "lobby", "adder:To:", STATIC_C)
+    counts = node_counter(graph)
+    assert counts["TypeTestNode"] == 0
+    assert counts["ArithOvNode"] == 0
+    assert counts["ArithNode"] == 1
+
+
+def test_vector_size_folds_for_known_allocation(world):
+    graph = compile_doit(world, "| v | v: (vector copySize: 7). v size", NEW_SELF)
+    counts = node_counter(graph)
+    assert counts["ArrayLengthNode"] == 0  # folded to the constant 7
+
+
+def test_identity_on_disjoint_types_folds(world):
+    graph = compile_doit(world, "3 _Eq: 'x'", NEW_SELF)
+    assert node_counter(graph)["PrimCallNode"] == 0
+
+
+def test_failure_block_is_compiled_inline_on_uncommon_path(world):
+    graph = compile_doit(world, "3 _IntAdd: 'x' IfFail: [ | :e | e ]", NEW_SELF)
+    # Arg is provably non-integer: the whole thing folds to the failure
+    # block's body — no add at all.
+    counts = node_counter(graph)
+    assert counts["ArithOvNode"] == 0
+    assert counts["ArithNode"] == 0
+
+
+def test_default_failure_is_an_error_node(world):
+    graph = compile_doit(world, "3 _IntDiv: 0", NEW_SELF)
+    assert node_counter(graph)["ErrorNode"] >= 1

@@ -1,0 +1,156 @@
+"""Unit tests for inline scopes and compile-time lookup."""
+
+import pytest
+
+from repro.compiler.clookup import lookup_in_map
+from repro.compiler.scopes import BlockClosure, InlineScope, ast_weight, block_has_nlr
+from repro.lang import parse_doit, parse_expression, parse_slot_list
+from repro.objects import AmbiguousLookup
+from repro.world import World
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World()
+
+
+# -- scopes -----------------------------------------------------------------------
+
+
+def method(source):
+    return parse_doit(source)  # a MethodNode-shaped CodeBody
+
+
+def test_rename_is_unique_per_instance():
+    code = method("| a | a")
+    first = InlineScope(code, "method", "%self")
+    second = InlineScope(code, "method", "%self")
+    assert first.rename("a") != second.rename("a")
+
+
+def test_resolve_local_walks_lexical_chain():
+    outer_code = method("| a | a")
+    outer = InlineScope(outer_code, "method", "%self")
+    block = parse_expression("[ :b | a + b ]")
+    inner = InlineScope(block, "block", "%self", lexical_parent=outer)
+    assert inner.resolve_local("a") == (outer, outer.rename("a"))
+    assert inner.resolve_local("b") == (inner, inner.rename("b"))
+    assert inner.resolve_local("missing") is None
+
+
+def test_home_follows_lexical_parents_for_blocks():
+    outer = InlineScope(method("| a | a"), "method", "%self")
+    block = parse_expression("[ 1 ]")
+    inner = InlineScope(block, "block", "%self", lexical_parent=outer)
+    nested = InlineScope(parse_expression("[ 2 ]"), "block", "%self", lexical_parent=inner)
+    assert inner.home is outer
+    assert nested.home is outer
+
+
+def test_standalone_block_scope_is_its_own_home():
+    block = parse_expression("[ ^ 1 ]")
+    scope = InlineScope(block, "block", "%self")
+    assert scope.home is scope
+
+
+def test_occurrences_on_stack_counts_through_callers():
+    code = method("| a | a")
+    key = id(code)
+    top = InlineScope(code, "method", "%self", method_key=key)
+    mid = InlineScope(code, "method", "%self", caller=top, method_key=key)
+    leaf = InlineScope(method("3"), "method", "%self", caller=mid)
+    assert leaf.occurrences_on_stack(key) == 2
+    assert top.occurrences_on_stack(key) == 1
+    assert leaf.on_stack(key)
+
+
+def test_depth_increments_with_callers():
+    top = InlineScope(method("1"), "method", "%self")
+    child = InlineScope(method("2"), "method", "%self", caller=top)
+    assert (top.depth, child.depth) == (0, 1)
+
+
+def test_ast_weight_scales_with_body_size():
+    small = ast_weight(method("1"))
+    big = ast_weight(method("1 + 2 + 3 + 4 + 5 + 6 + 7"))
+    assert small < big
+
+
+def test_block_has_nlr_detects_nested_returns():
+    assert block_has_nlr(parse_expression("[ ^ 1 ]"))
+    assert block_has_nlr(parse_expression("[ [ ^ 1 ] ]"))
+    assert block_has_nlr(parse_expression("[ 1 < 2 ifTrue: [ ^ 3 ] ]"))
+    assert not block_has_nlr(parse_expression("[ 1 + 2 ]"))
+
+
+def test_block_closure_arity():
+    closure = BlockClosure(
+        parse_expression("[ :a :b | a ]"),
+        InlineScope(method("1"), "method", "%self"),
+    )
+    assert closure.arity == 2
+
+
+# -- compile-time lookup --------------------------------------------------------------
+
+
+def test_lookup_own_slot(world):
+    w = World()
+    w.add_slots("| thing = (| parent* = traits clonable. v <- 1 |) |")
+    thing_map = w.get_global("thing").map
+    found = lookup_in_map(w.universe, thing_map, "v")
+    assert found is not None
+    assert found.in_receiver
+    assert found.slot.kind == "data"
+
+
+def test_lookup_through_parents_returns_holder(world):
+    w = World()
+    w.add_slots(
+        """|
+        base = (| parent* = traits clonable. shared = ( 1 ) |).
+        child = (| parent* = base |).
+        |"""
+    )
+    child_map = w.get_global("child").map
+    found = lookup_in_map(w.universe, child_map, "shared")
+    assert found is not None
+    assert not found.in_receiver
+    assert found.holder is w.get_global("base")
+
+
+def test_lookup_miss(world):
+    found = lookup_in_map(world.universe, world.universe.smallint_map, "nonsense")
+    assert found is None
+
+
+def test_lookup_finds_integer_arithmetic(world):
+    found = lookup_in_map(world.universe, world.universe.smallint_map, "+")
+    assert found is not None
+    assert found.holder is world.traits_integer
+
+
+def test_lookup_ambiguity(world):
+    w = World()
+    w.add_slots(
+        """|
+        l = (| v = ( 1 ) |).
+        r = (| v = ( 2 ) |).
+        both = (| p1* = l. p2* = r |).
+        |"""
+    )
+    with pytest.raises(AmbiguousLookup):
+        lookup_in_map(w.universe, w.get_global("both").map, "v")
+
+
+def test_shallow_match_shadows_deep(world):
+    w = World()
+    w.add_slots(
+        """|
+        gp = (| d = ( 'deep' ) |).
+        p = (| parent* = gp. d = ( 'shallow' ) |).
+        c = (| parent* = p |).
+        |"""
+    )
+    found = lookup_in_map(w.universe, w.get_global("c").map, "d")
+    assert found.holder is w.get_global("p")

@@ -1,0 +1,141 @@
+"""Stress tests: adversarial shapes must compile, terminate, and agree
+with the interpreter."""
+
+import pytest
+
+from repro.compiler import NEW_SELF, OLD_SELF_90, ST80
+from repro.vm import Runtime
+from repro.world import World
+
+from .helpers import compile_doit
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World()
+
+
+def _agree(world, source, skip=()):
+    expected = world.universe.print_string(world.eval(source))
+    for config in (NEW_SELF, OLD_SELF_90, ST80):
+        if config.name in skip:
+            continue
+        got = world.universe.print_string(Runtime(world, config).run(source))
+        assert got == expected, (config.name, source)
+    return expected
+
+
+def test_three_way_type_flow_through_a_loop(world):
+    """A loop variable that is alternately int, float, and nil."""
+    source = """| x. rounds <- 0 |
+      x: 0.
+      [ rounds < 9 ] whileTrue: [
+        rounds: rounds + 1.
+        (rounds % 3) = 0 ifTrue: [ x: 1 ] False: [
+          (rounds % 3) = 1 ifTrue: [ x: 2.5 ] False: [ x: nil ] ] ].
+      x printString"""
+    # rounds ends at 9, 9 % 3 = 0, so the last assignment is the int.
+    assert _agree(world, source) == "1"
+
+
+def test_triply_nested_loops_compile_within_budget(world):
+    source = """| s <- 0. i <- 0 |
+      [ i < 3 ] whileTrue: [ | j |
+        j: 0.
+        [ j < 3 ] whileTrue: [ | k |
+          k: 0.
+          [ k < 3 ] whileTrue: [ s: s + 1. k: k + 1 ].
+          j: j + 1 ].
+        i: i + 1 ].
+      s"""
+    graph = compile_doit(world, source, NEW_SELF)
+    assert graph.stats.total < NEW_SELF.node_budget
+    assert _agree(world, source) == "27"
+
+
+def test_deep_expression_nesting_hits_the_front_cap(world):
+    parts = "1"
+    for k in range(2, 14):
+        parts = f"(({parts}) max: ({k} min: {k + 1}))"
+    source = parts
+    graph = compile_doit(world, source, NEW_SELF)
+    assert graph.stats.total < NEW_SELF.node_budget
+    assert _agree(world, source) == "13"
+
+
+def test_wide_conditional_ladder(world):
+    clauses = " ".join(
+        f"x = {k} ifTrue: [ r: {k * 10} ]." for k in range(12)
+    )
+    source = f"| x <- 7. r <- -1 | {clauses} r"
+    assert _agree(world, source) == "70"
+
+
+def test_loop_whose_body_overflows_every_iteration(world):
+    """sum lives in big-integer land almost immediately; the general
+    loop version carries it."""
+    source = """| sum <- 1073741820. i <- 0 |
+      [ i < 6 ] whileTrue: [ sum: sum + 1. i: i + 1 ].
+      sum printString"""
+    assert _agree(world, source) == "1073741826"
+
+
+def test_alternating_types_defeat_then_recover(world):
+    """A value that flips between int and float per iteration exercises
+    merge types at the loop head."""
+    source = """| x. i <- 0 |
+      x: 0.
+      [ i < 8 ] whileTrue: [
+        i even ifTrue: [ x: i ] False: [ x: i asFloat ].
+        i: i + 1 ].
+      x printString"""
+    assert _agree(world, source) == "7.0"
+
+
+def test_vector_of_mixed_types_round_trips(world):
+    source = """| v. out |
+      v: (vector copySize: 4).
+      v at: 0 Put: 1.
+      v at: 1 Put: 'two'.
+      v at: 2 Put: 3.5.
+      v at: 3 Put: nil.
+      out: ''.
+      v do: [ | :e | out: out , e printString , ';' ].
+      out"""
+    assert _agree(world, source) == "1;two;3.5;nil;"
+
+
+def test_method_with_many_locals_and_args(world):
+    w = World()
+    w.add_slots(
+        """|
+        blend: a With: b And: c And2: d = ( | p. q. r. s. t |
+          p: a + b.
+          q: c + d.
+          r: p * q.
+          s: r - a.
+          t: s / (1 max: b).
+          t ).
+        |"""
+    )
+    source = "blend: 3 With: 4 And: 5 And2: 6"
+    expected = w.universe.print_string(w.eval(source))
+    for config in (NEW_SELF, OLD_SELF_90, ST80):
+        got = w.universe.print_string(Runtime(w, config).run(source))
+        assert got == expected
+
+
+def test_recursion_with_block_arguments(world):
+    w = World()
+    w.add_slots(
+        """|
+        fold: n With: blk = (
+          n = 0 ifTrue: [ ^ 0 ].
+          (blk value: n) + (fold: n - 1 With: blk) ).
+        |"""
+    )
+    source = "fold: 10 With: [ | :k | k * k ]"
+    expected = w.universe.print_string(w.eval(source))
+    for config in (NEW_SELF, OLD_SELF_90, ST80):
+        got = w.universe.print_string(Runtime(w, config).run(source))
+        assert got == expected == "385"

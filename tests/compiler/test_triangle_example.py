@@ -1,0 +1,118 @@
+"""The paper's worked example (section 5.3): triangleNumber.
+
+Under the new SELF configuration the compiler must produce **two**
+versions of the loop:
+
+* the common-case version — *zero* run-time type tests and exactly one
+  overflow check (``sum + i``; the ``i + 1`` check is eliminated by
+  subrange analysis because the loop condition bounds ``i``);
+* a general version that carries the type tests and branches into the
+  common-case version once the types settle — the type test on ``n`` is
+  thereby hoisted out of the hot loop.
+
+This is experiment F1 of DESIGN.md.
+"""
+
+import pytest
+
+from repro.compiler import NEW_SELF, OLD_SELF, ST80, STATIC_C
+from repro.world import World
+
+from .helpers import compile_method_of, hot_path, hot_path_counts, reachable_loop_heads
+
+TRIANGLE = """|
+  triangleNumber: n = ( | sum <- 0. i <- 1 |
+    [ i < n ] whileTrue: [ sum: sum + i. i: i + 1 ].
+    sum ).
+|"""
+
+
+@pytest.fixture(scope="module")
+def world():
+    w = World()
+    w.add_slots(TRIANGLE)
+    return w
+
+
+@pytest.fixture(scope="module")
+def new_self_graph(world):
+    return compile_method_of(world, "lobby", "triangleNumber:", NEW_SELF)
+
+
+def test_two_loop_versions(new_self_graph):
+    heads = reachable_loop_heads(new_self_graph.start)
+    assert len(heads) == 2, "the paper's example compiles two loop versions"
+    assert {h.version for h in heads} == {0, 1}
+    assert len({h.loop_id for h in heads}) == 1  # same source loop
+
+
+def test_common_case_version_has_no_type_tests(new_self_graph):
+    fast = reachable_loop_heads(new_self_graph.start)[0]
+    counts = hot_path_counts(fast)
+    assert counts["TypeTestNode"] == 0
+    assert counts["SendNode"] == 0
+
+
+def test_common_case_version_has_single_overflow_check(new_self_graph):
+    """'Robustness ... at the cost of only an overflow check' (§5.4)."""
+    fast = reachable_loop_heads(new_self_graph.start)[0]
+    counts = hot_path_counts(fast)
+    assert counts["ArithOvNode"] == 1  # sum + i may overflow
+    assert counts["ArithNode"] == 1    # i + 1 proven safe by ranges
+
+
+def test_common_case_version_is_a_closed_cycle(new_self_graph):
+    fast = reachable_loop_heads(new_self_graph.start)[0]
+    _, closed = hot_path(fast)
+    assert closed, "the fast version loops back to its own head"
+
+
+def test_general_version_keeps_type_tests_and_feeds_fast_version(new_self_graph):
+    heads = reachable_loop_heads(new_self_graph.start)
+    general = heads[1]
+    nodes, closed = hot_path(general)
+    counts = hot_path_counts(general)
+    assert counts["TypeTestNode"] >= 1, "the general version carries the tests"
+    # Its common path does NOT cycle back to itself: once the types
+    # settle it jumps into the fast version (test hoisting).
+    assert not closed
+    fast_head = heads[0]
+    assert nodes[-1].successors[0] is fast_head
+
+
+def test_old_self_compiles_single_loop_with_tests(world):
+    graph = compile_method_of(world, "lobby", "triangleNumber:", OLD_SELF)
+    heads = reachable_loop_heads(graph.start)
+    assert len(heads) == 1
+    counts = hot_path_counts(heads[0])
+    # Pessimistic loop types: every arithmetic operand re-tested.
+    assert counts["TypeTestNode"] >= 5
+    assert counts["ArithOvNode"] == 2  # no range analysis: both checked
+
+
+def test_st80_compiles_single_loop_with_tests(world):
+    graph = compile_method_of(world, "lobby", "triangleNumber:", ST80)
+    heads = reachable_loop_heads(graph.start)
+    assert len(heads) == 1
+    assert hot_path_counts(heads[0])["TypeTestNode"] >= 5
+
+
+def test_static_matches_the_ideal(world):
+    """'A compiler for a statically-typed, non-object-oriented language
+    could do no better' — the static configuration IS that compiler."""
+    graph = compile_method_of(world, "lobby", "triangleNumber:", STATIC_C)
+    heads = reachable_loop_heads(graph.start)
+    assert len(heads) == 1
+    counts = hot_path_counts(heads[0])
+    assert counts["TypeTestNode"] == 0
+    assert counts["ArithOvNode"] == 0
+    assert counts["ArithNode"] == 2
+    assert counts["CompareBranchNode"] == 1
+
+
+def test_compile_stats_record_the_iteration(new_self_graph):
+    stats = new_self_graph.compile_stats
+    assert stats["loop_analysis_iterations"] >= 2, "analysis must iterate"
+    assert stats["loop_versions"] == 2
+    assert stats["overflow_checks_elided"] >= 1
+    assert stats["nlr_unsafe_materializations"] == 0

@@ -1,0 +1,50 @@
+"""Shared fixtures.
+
+``fresh_world`` builds an isolated world per test; ``shared_world`` is a
+session-scoped world for read-only tests (bootstrap costs ~100 ms, so
+tests that don't mutate globals share one).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import NEW_SELF, OLD_SELF_90, ST80, STATIC_C
+from repro.vm import Runtime
+from repro.world import World
+
+ALL_CONFIGS = (NEW_SELF, OLD_SELF_90, ST80, STATIC_C)
+DYNAMIC_CONFIGS = (NEW_SELF, OLD_SELF_90, ST80)
+
+
+@pytest.fixture
+def fresh_world():
+    return World()
+
+
+@pytest.fixture(scope="session")
+def shared_world():
+    return World()
+
+
+@pytest.fixture
+def run_everywhere(fresh_world):
+    """Run a source snippet on the interpreter and every VM config and
+    assert all results agree; returns the interpreter's result."""
+
+    def runner(source: str, *, skip_static: bool = False):
+        world = fresh_world
+        expected = world.eval(source)
+        expected_repr = world.universe.print_string(expected)
+        configs = DYNAMIC_CONFIGS if skip_static else ALL_CONFIGS
+        for config in configs:
+            runtime = Runtime(world, config)
+            got = runtime.run(source)
+            got_repr = world.universe.print_string(got)
+            assert got_repr == expected_repr, (
+                f"{config.name} produced {got_repr!r}, "
+                f"interpreter produced {expected_repr!r} for {source!r}"
+            )
+        return expected
+
+    return runner

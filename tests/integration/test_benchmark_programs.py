@@ -1,0 +1,53 @@
+"""Benchmark-program integration: every registered benchmark verifies
+under the new SELF configuration (the heavy measurement matrix lives in
+benchmarks/; this guards correctness in the ordinary test run)."""
+
+import pytest
+
+from repro.bench.base import all_benchmarks, benchmarks_in_group, get_benchmark
+from repro.bench.harness import run_benchmark
+
+FAST_BENCHMARKS = [
+    "sumTo", "sumFromTo", "sumToConst", "sieve", "atAllPut",
+    "towers", "tree", "tree-oo", "richards", "intmm", "bubble",
+]
+
+
+def test_registry_is_complete():
+    names = set(all_benchmarks())
+    assert names == {
+        "perm", "perm-oo", "towers", "towers-oo", "queens", "queens-oo",
+        "intmm", "intmm-oo", "puzzle", "quick", "quick-oo",
+        "bubble", "bubble-oo", "tree", "tree-oo",
+        "sieve", "sumTo", "sumFromTo", "sumToConst", "atAllPut",
+        "richards",
+    }
+
+
+def test_groups_match_the_paper():
+    assert len(benchmarks_in_group("stanford")) == 8
+    assert len(benchmarks_in_group("stanford-oo")) == 7  # puzzle not rewritten
+    assert len(benchmarks_in_group("small")) == 5
+    assert len(benchmarks_in_group("richards")) == 1
+
+
+def test_oo_variants_share_c_baseline():
+    for name in ("perm-oo", "towers-oo", "queens-oo", "intmm-oo",
+                 "quick-oo", "bubble-oo", "tree-oo"):
+        benchmark = get_benchmark(name)
+        assert benchmark.c_baseline == name[:-3]
+
+
+@pytest.mark.parametrize("name", FAST_BENCHMARKS)
+def test_benchmark_verifies_under_new_self(name):
+    result = run_benchmark(get_benchmark(name), "newself")
+    assert result.verified, (name, result.answer)
+    assert result.cycles > 0
+    assert result.code_bytes > 0
+
+
+@pytest.mark.parametrize("name", ["sumTo", "sieve", "richards"])
+def test_benchmark_verifies_under_every_system(name):
+    for system in ("st80", "oldself89", "oldself90", "newself", "static"):
+        result = run_benchmark(get_benchmark(name), system)
+        assert result.verified, (name, system, result.answer)

@@ -1,0 +1,120 @@
+"""Differential testing: interpreter vs. every compiler configuration.
+
+The reference interpreter defines the semantics; every VM configuration
+must produce the same answers on the same programs.  This corpus covers
+arithmetic (with overflow promotion), control structures, blocks and
+closures, non-local returns, vectors, prototypes, and recursion.
+"""
+
+import pytest
+
+SNIPPETS = [
+    # arithmetic and comparison
+    "3 + 4 * 2",
+    "10 % 3",
+    "10 / 3",
+    "-17 / 5",
+    "-17 % 5",
+    "(3 < 4) ifTrue: [ 'yes' ] False: [ 'no' ]",
+    "5 max: 2",
+    "(-7) abs",
+    "5 between: 1 And: 10",
+    "3 = 3",
+    "3 != 4",
+    "7 even",
+    "7 odd",
+    "6 bitXor: 3",
+    "12 bitShiftRight: 2",
+    # overflow promotion / demotion (not run under static: C ints do not
+    # promote)
+    "1073741823 + 5",
+    "(1073741823 + 5) - 5",
+    "(100000 * 100000) / 100000",
+    # floats & strings
+    "3 asFloat + 0.5",
+    "2.5 * 4.0",
+    "7.9 truncate",
+    "'abc' , 'def'",
+    "'abc' size",
+    # locals, assignment chaining
+    "| x <- 5 | x: x * x. x + 1",
+    "| a. b | a: 3. b: a. a: 9. b",
+    # vectors
+    "| v | v: (vector copySize: 10). v atAllPut: 3. (v at: 7) + v size",
+    "| v | v: (vector copySize: 4). v doIndexes: [ | :i | v at: i Put: i * i ]. (v at: 3)",
+    "| v | v: (vector copySize: 3). v at: 0 Put: 'a'. v at: 1 Put: 2. (v at: 0) , 'b'",
+    "| v. s <- 0 | v: (vector copySize: 5 FillingWith: 4). v do: [ | :e | s: s + e ]. s",
+    # control structures
+    "| s <- 0 | 1 to: 10 Do: [ | :i | s: s + (i * i) ]. s",
+    "| s <- 0 | 10 downTo: 1 Do: [ | :i | s: s + i ]. s",
+    "| s | s: 0. 1 to: 100 By: 7 Do: [ | :i | s: s + i ]. s",
+    "| s <- 0 | 3 timesRepeat: [ s: s + 5 ]. s",
+    "| f <- 1. n <- 12 | [ n > 1 ] whileTrue: [ f: f * n. n: n - 1 ]. f",
+    "| i <- 0 | [ i >= 5 ] whileFalse: [ i: i + 1 ]. i",
+    "| s <- 0. i <- 0 | [ i < 5 ] whileTrue: [ | t | t: i * 10. s: s + t. i: i + 1 ]. s",
+    # booleans
+    "true and: [ false ]",
+    "false or: [ true ]",
+    "(1 = 2) not",
+    "nil isNil",
+    "| x | x: 3. x isNil",
+    # blocks & closures
+    "| b | b: [ :x | x * 2 ]. (b value: 21)",
+    "| b. s <- 0 | b: [ :x | s: s + x. s ]. (b value: 3) + (b value: 4)",
+    "| a <- 1 | [ | b <- 2 | [ a + b ] value ] value",
+    "| make. b1. b2 | make: [ :n | [ n * 10 ] ]. b1: (make value: 1). "
+    "b2: (make value: 2). b1 value + b2 value",
+    # mixed-type merges (the extended-splitting shape)
+    "| x | 1 < 2 ifTrue: [ x: 1 ] False: [ x: 2.5 ]. x printString size",
+    "3 _IntAdd: 4 IfFail: [ | :e | e ]",
+]
+
+# Snippets a trusting static compiler is *allowed* to reject or crash
+# on: they exercise primitive failure on ill-typed operands, which is
+# undefined behaviour in C terms (DESIGN.md, substitution table).
+HETEROGENEOUS_SNIPPETS = [
+    "3 _IntAdd: 'x' IfFail: [ | :e | e ]",
+    "3 _IntDiv: 0 IfFail: [ | :e | e ]",
+    "3 = 'x'",
+    "0 - 1073741824",  # the literal itself exceeds the 31-bit C int
+]
+
+RECURSION_SETUP = """|
+  fib: n = ( n < 2 ifTrue: [ ^ n ]. (fib: n - 1) + (fib: n - 2) ).
+  ack: m N: n = (
+    m = 0 ifTrue: [ ^ n + 1 ].
+    n = 0 ifTrue: [ ^ ack: m - 1 N: 1 ].
+    ack: m - 1 N: (ack: m N: n - 1) ).
+  even: n = ( n = 0 ifTrue: [ ^ true ]. odd: n - 1 ).
+  odd: n = ( n = 0 ifTrue: [ ^ false ]. even: n - 1 ).
+  point = (| parent* = traits clonable. x <- 0. y <- 0.
+             + p = ( ((clone x: x + p x) y: y + p y) ).
+             dist2 = ( (x * x) + (y * y) ) |).
+|"""
+
+RECURSION_SNIPPETS = [
+    "fib: 14",
+    "ack: 2 N: 3",
+    "even: 20",
+    "odd: 21",
+    "| p | p: (((point clone) x: 3) y: 4). (p + p) dist2",
+]
+
+
+OVERFLOWING = [s for s in SNIPPETS if "1073741823" in s or "100000 * 100000" in s]
+
+
+@pytest.mark.parametrize("source", SNIPPETS)
+def test_snippet_agrees_across_systems(run_everywhere, source):
+    run_everywhere(source, skip_static=source in OVERFLOWING)
+
+
+@pytest.mark.parametrize("source", HETEROGENEOUS_SNIPPETS)
+def test_heterogeneous_snippets_agree_across_dynamic_systems(run_everywhere, source):
+    run_everywhere(source, skip_static=True)
+
+
+@pytest.mark.parametrize("source", RECURSION_SNIPPETS)
+def test_recursive_programs_agree(fresh_world, run_everywhere, source):
+    fresh_world.add_slots(RECURSION_SETUP)
+    run_everywhere(source)

@@ -1,0 +1,66 @@
+"""Smoke tests: every example script runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "interpreter says: 5000" in out
+    assert "optimized C" in out and "new SELF" in out
+
+
+def test_triangle_number():
+    out = run_example("triangle_number.py")
+    assert "loop version v0 (common-case): 0 type tests, 1 overflow checks" in out
+    assert "triangleNumber: 1000 = 499500" in out
+
+
+def test_splitting_tour():
+    out = run_example("splitting_tour.py")
+    assert "0 run-time type tests on x" in out     # new SELF line
+    assert "2 run-time type tests on x" in out     # the baselines
+
+
+def test_richards_demo():
+    out = run_example("richards_demo.py")
+    assert "relink" in out
+    assert "% of optimized C" in out
+
+
+def test_benchmark_explorer_list():
+    out = run_example("benchmark_explorer.py", "--list")
+    assert "richards" in out and "sieve" in out
+
+
+def test_benchmark_explorer_run():
+    out = run_example("benchmark_explorer.py", "sumTo", "newself")
+    assert "ok" in out
+
+
+def test_guest_library():
+    out = run_example("guest_library.py")
+    assert "interpreter: 4271" in out
+    assert "new SELF" in out
+
+
+def test_calculator():
+    out = run_example("calculator.py")
+    assert "interpreter: 6000" in out
+    assert "relink" in out

@@ -1,0 +1,82 @@
+"""Cross-system behaviour of guest I/O and error paths."""
+
+import pytest
+
+from repro.compiler import NEW_SELF, OLD_SELF_90, ST80
+from repro.objects import GuestError, MessageNotUnderstood, PrimitiveFailed
+from repro.vm import Runtime
+from repro.world import World
+
+
+@pytest.mark.parametrize("config", [NEW_SELF, OLD_SELF_90, ST80])
+def test_printing_agrees(config):
+    world = World()
+    runtime = Runtime(world, config)
+    runtime.run("'hello' print. ' ' print. 42 printLine")
+    assert world.universe.take_output() == "hello 42\n"
+
+
+@pytest.mark.parametrize("config", [NEW_SELF, OLD_SELF_90, ST80])
+def test_error_routine_raises_everywhere(config):
+    world = World()
+    runtime = Runtime(world, config)
+    with pytest.raises(GuestError):
+        runtime.run("_Error: 'boom'")
+
+
+@pytest.mark.parametrize("config", [NEW_SELF, OLD_SELF_90, ST80])
+def test_mnu_carries_selector(config):
+    runtime = Runtime(World(), config)
+    with pytest.raises(MessageNotUnderstood) as info:
+        runtime.run("3 launchMissiles")
+    assert info.value.selector == "launchMissiles"
+
+
+@pytest.mark.parametrize("config", [NEW_SELF, OLD_SELF_90, ST80])
+def test_unhandled_primitive_failure_identifies_code(config):
+    runtime = Runtime(World(), config)
+    with pytest.raises(PrimitiveFailed) as info:
+        runtime.run("| v | v: (vector copySize: 1). v at: 5")
+    assert info.value.code == "outOfBoundsError"
+
+
+@pytest.mark.parametrize("config", [NEW_SELF, OLD_SELF_90, ST80])
+def test_division_by_zero_surfaces(config):
+    runtime = Runtime(World(), config)
+    with pytest.raises(PrimitiveFailed) as info:
+        runtime.run("| d <- 0 | 10 / d")
+    assert info.value.code == "divisionByZeroError"
+
+
+@pytest.mark.parametrize("config", [NEW_SELF, OLD_SELF_90])
+def test_boolean_protocol_on_non_boolean_errors(config):
+    """Our documented mustBeBoolean semantics: a boolean-protocol send
+    to a *statically known* non-boolean is a plain MNU; to a receiver
+    only discovered non-boolean at run time it is the compiled
+    mustBeBoolean error branch."""
+    runtime = Runtime(World(), config)
+    with pytest.raises(MessageNotUnderstood):
+        runtime.run("3 ifTrue: [ 1 ] False: [ 2 ]")
+    world = World()
+    world.add_slots("| cond: flag = ( flag ifTrue: [ 1 ] False: [ 2 ] ) |")
+    runtime = Runtime(world, config)
+    assert runtime.run("cond: (1 < 2)") == 1
+    # An opaque non-boolean (loaded from a vector, so no compile-time
+    # constant propagation reveals it) hits the compiled error branch.
+    with pytest.raises(PrimitiveFailed) as info:
+        runtime.run("| v | v: (vector copySize: 1). v at: 0 Put: 3. cond: (v at: 0)")
+    assert "mustBeBoolean" in info.value.code
+
+
+def test_error_inside_deep_inlining_still_surfaces():
+    world = World()
+    world.add_slots(
+        """|
+        a = ( b ).
+        b = ( c ).
+        c = ( _Error: 'deep' ).
+        |"""
+    )
+    runtime = Runtime(world, NEW_SELF)
+    with pytest.raises(GuestError):
+        runtime.run("a")

@@ -1,0 +1,163 @@
+"""Reference interpreter semantics: scoping, blocks, returns, failures."""
+
+import pytest
+
+from repro.objects import (
+    NonLocalReturnFromDeadActivation,
+    PrimitiveFailed,
+    WrongBlockArity,
+)
+
+
+def test_locals_initialize_to_constants(fresh_world):
+    assert fresh_world.eval("| a. b <- 5 | b") == 5
+    assert fresh_world.eval("| a | a isNil") is fresh_world.universe.true_object
+
+
+def test_local_assignment_returns_receiver_enabling_chaining(fresh_world):
+    w = fresh_world
+    w.add_slots("| pt = (| parent* = traits clonable. x <- 0. y <- 0 |) |")
+    assert w.eval("| p | p: (((pt clone) x: 3) y: 4). p x + p y") == 7
+
+
+def test_empty_method_returns_self(fresh_world):
+    w = fresh_world
+    w.add_slots("| o = (| parent* = traits clonable. nothing = ( ) |) |")
+    assert w.eval_expression("o nothing") is w.get_global("o")
+
+
+def test_method_returns_last_statement(fresh_world):
+    w = fresh_world
+    w.add_slots("| o = (| parent* = traits clonable. m = ( 1. 2. 3 ) |) |")
+    assert w.eval_expression("o m") == 3
+
+
+def test_caret_returns_early(fresh_world):
+    w = fresh_world
+    w.add_slots("| o = (| parent* = traits clonable. m = ( ^ 1. 2 ) |) |")
+    assert w.eval_expression("o m") == 1
+
+
+def test_block_captures_enclosing_locals(fresh_world):
+    assert fresh_world.eval(
+        "| x <- 10. b | b: [ x + 1 ]. x: 20. b value"
+    ) == 21
+
+
+def test_block_assigns_enclosing_local(fresh_world):
+    assert fresh_world.eval(
+        "| x <- 0. b | b: [ x: x + 5 ]. b value. b value. x"
+    ) == 10
+
+
+def test_block_arguments_shadow_outer_names(fresh_world):
+    assert fresh_world.eval(
+        "| x <- 1. b | b: [ :x | x * 2 ]. (b value: 21) + x"
+    ) == 43
+
+
+def test_nested_blocks_resolve_lexically(fresh_world):
+    assert fresh_world.eval(
+        "| a <- 1 | [ | b <- 2 | [ a + b ] value ] value"
+    ) == 3
+
+
+def test_block_self_is_home_receiver(fresh_world):
+    w = fresh_world
+    w.add_slots(
+        """|
+        o = (| parent* = traits clonable. tag = ( 'O' ).
+               viaBlock = ( [ tag ] value ) |).
+        |"""
+    )
+    assert w.eval_expression("o viaBlock") == "O"
+
+
+def test_non_local_return_exits_home_method(fresh_world):
+    w = fresh_world
+    w.add_slots(
+        """|
+        o = (| parent* = traits clonable.
+               find = ( 1 to: 10 Do: [ | :i | i = 4 ifTrue: [ ^ i ] ]. -1 ) |).
+        |"""
+    )
+    assert w.eval_expression("o find") == 4
+
+
+def test_non_local_return_through_two_block_levels(fresh_world):
+    w = fresh_world
+    w.add_slots(
+        """|
+        o = (| parent* = traits clonable.
+               m = ( [ [ ^ 'deep' ] value ] value. 'unreached' ) |).
+        |"""
+    )
+    assert w.eval_expression("o m") == "deep"
+
+
+def test_nlr_into_dead_activation_raises(fresh_world):
+    w = fresh_world
+    w.add_slots(
+        """|
+        holder = (| parent* = traits clonable. blk.
+                    make = ( blk: [ ^ 1 ]. self ).
+                    fire = ( blk value ) |).
+        |"""
+    )
+    w.eval_expression("holder make")
+    with pytest.raises(NonLocalReturnFromDeadActivation):
+        w.eval_expression("holder fire")
+
+
+def test_wrong_block_arity_raises(fresh_world):
+    with pytest.raises(WrongBlockArity):
+        fresh_world.eval("| b | b: [ :x | x ]. b value")
+
+
+def test_primitive_failure_block_receives_code(fresh_world):
+    assert fresh_world.eval_expression(
+        "3 _IntAdd: 'x' IfFail: [ | :e | e ]"
+    ) == "badTypeError"
+
+
+def test_primitive_failure_block_zero_arity(fresh_world):
+    assert fresh_world.eval_expression("3 _IntAdd: 'x' IfFail: [ 'fell back' ]") == "fell back"
+
+
+def test_primitive_failure_without_handler_raises(fresh_world):
+    with pytest.raises(PrimitiveFailed):
+        fresh_world.eval_expression("3 _IntAdd: 'x'")
+
+
+def test_primitive_failure_non_block_handler_is_value(fresh_world):
+    assert fresh_world.eval_expression("3 _IntAdd: 'x' IfFail: 99") == 99
+
+
+def test_while_true_runs_natively(fresh_world):
+    # Large iteration counts must not recurse on the host stack.
+    assert fresh_world.eval(
+        "| i <- 0 | [ i < 5000 ] whileTrue: [ i: i + 1 ]. i"
+    ) == 5000
+
+
+def test_object_literal_in_expression(fresh_world):
+    w = fresh_world
+    assert w.eval("| o | o: (| v = 9 |). o v") == 9
+
+
+def test_object_literal_data_slots_are_per_instance(fresh_world):
+    w = fresh_world
+    w.add_slots(
+        """|
+        maker = (| parent* = traits clonable.
+                   make = ( (| n <- 0 |) ) |).
+        |"""
+    )
+    assert w.eval("| a. b | a: maker make. b: maker make. a n: 5. b n") == 0
+    assert w.eval("| a | a: maker make. a n: 5. a n") == 5
+
+
+def test_deep_recursion_in_interpreter(fresh_world):
+    w = fresh_world
+    w.add_slots("| fib: n = ( n < 2 ifTrue: [ ^ n ]. (fib: n - 1) + (fib: n - 2) ) |")
+    assert w.eval_expression("fib: 12") == 144

@@ -1,0 +1,76 @@
+"""Loop/hot-path analysis tests (repro.ir.analysis + repro.tools)."""
+
+import pytest
+
+from repro.compiler import NEW_SELF, STATIC_C, compile_code
+from repro.ir import reachable_loop_heads, summarize_loops
+from repro.ir.analysis import common_path_counts, hot_path
+from repro.lang import parse_doit
+from repro.tools import method_report
+from repro.world import World
+
+TRIANGLE = """|
+  triangleNumber: n = ( | sum <- 0. i <- 1 |
+    [ i < n ] whileTrue: [ sum: sum + i. i: i + 1 ].
+    sum ).
+|"""
+
+
+@pytest.fixture(scope="module")
+def world():
+    w = World()
+    w.add_slots(TRIANGLE)
+    return w
+
+
+def _graph(world, config):
+    from repro.world.lookup import lookup_slot
+
+    method = lookup_slot(world.universe, world.lobby, "triangleNumber:")[1].value
+    return compile_code(
+        world.universe, config, method.code,
+        world.universe.map_of(world.lobby), "triangleNumber:",
+    )
+
+
+def test_summarize_classifies_the_two_versions(world):
+    summaries = summarize_loops(_graph(world, NEW_SELF).start)
+    assert len(summaries) == 2
+    fast, general = summaries
+    assert fast.is_common_case
+    assert fast.type_tests == 0 and fast.overflow_checks == 1
+    assert not general.is_common_case
+    assert general.hands_off_to == fast.version
+
+
+def test_hot_path_closure(world):
+    heads = reachable_loop_heads(_graph(world, NEW_SELF).start)
+    _, closed_fast = hot_path(heads[0])
+    _, closed_general = hot_path(heads[1])
+    assert closed_fast and not closed_general
+
+
+def test_common_path_counts_straight_line(world):
+    doit = parse_doit("3 + 4 + 5")
+    graph = compile_code(
+        world.universe, STATIC_C, doit, world.universe.map_of(world.lobby), "<doit>"
+    )
+    counts = common_path_counts(graph.start)
+    assert counts["ReturnNode"] == 1
+    assert counts["SendNode"] == 0
+
+
+def test_method_report_renders(world):
+    report = method_report(world, "triangleNumber:")
+    assert "common-case" in report
+    assert "new SELF" in report and "ST-80" in report
+    assert "hands off to" in report
+
+
+def test_method_report_errors(world):
+    with pytest.raises(KeyError):
+        method_report(world, "noSuchSelector")
+    w = World()
+    w.add_slots("| k = 5 |")
+    with pytest.raises(TypeError):
+        method_report(w, "k")

@@ -1,0 +1,128 @@
+"""IR structure tests: traversal, validation, statistics, printing."""
+
+import pytest
+
+from repro.ir import (
+    ArithNode,
+    CompareBranchNode,
+    ConstNode,
+    GraphStats,
+    LoopHeadNode,
+    MergeNode,
+    ReturnNode,
+    StartNode,
+    find_nodes,
+    format_graph,
+    iter_nodes,
+    node_count,
+    predecessors,
+    to_dot,
+    validate,
+)
+from repro.ir.graph import loop_body_nodes
+from repro.objects import ReproInternalError
+
+
+def diamond():
+    """start -> cmp -> (a | b) -> merge -> return"""
+    start = StartNode()
+    cmp_node = CompareBranchNode("<", "x", "y")
+    a = ConstNode("r", 1)
+    b = ConstNode("r", 2)
+    merge = MergeNode(2)
+    ret = ReturnNode("r")
+    start.set_successor(0, cmp_node)
+    cmp_node.set_successor(0, a)
+    cmp_node.set_successor(1, b)
+    a.set_successor(0, merge)
+    b.set_successor(0, merge)
+    merge.set_successor(0, ret)
+    return start, cmp_node, a, b, merge, ret
+
+
+def looped():
+    """start -> head -> cmp -> (body -> head | return)"""
+    start = StartNode()
+    head = LoopHeadNode(1)
+    cmp_node = CompareBranchNode("<", "i", "n")
+    body = ArithNode("add", "i", "i", "one")
+    ret = ReturnNode("i")
+    start.set_successor(0, head)
+    head.set_successor(0, cmp_node)
+    cmp_node.set_successor(0, body)
+    cmp_node.set_successor(1, ret)
+    body.set_successor(0, head)
+    return start, head, cmp_node, body, ret
+
+
+def test_iter_nodes_visits_each_once():
+    start, *_ = diamond()
+    nodes = list(iter_nodes(start))
+    assert len(nodes) == len({id(n) for n in nodes}) == 6
+    assert node_count(start) == 6
+
+
+def test_iter_nodes_handles_cycles():
+    start, *_ = looped()
+    assert node_count(start) == 5
+
+
+def test_predecessors():
+    start, cmp_node, a, b, merge, ret = diamond()
+    preds = predecessors(start)
+    assert {p for p, _ in preds[merge]} == {a, b}
+    assert preds[start] == []
+
+
+def test_validate_accepts_well_formed():
+    validate(diamond()[0])
+    validate(looped()[0])
+
+
+def test_validate_rejects_dangling_port():
+    start = StartNode()
+    cmp_node = CompareBranchNode("<", "x", "y")
+    ret = ReturnNode("x")
+    start.set_successor(0, cmp_node)
+    cmp_node.set_successor(0, ret)  # port 1 dangles
+    with pytest.raises(ReproInternalError):
+        validate(start)
+
+
+def test_validate_requires_start_node():
+    with pytest.raises(ReproInternalError):
+        validate(ConstNode("x", 1))
+
+
+def test_graph_stats_counts():
+    stats = GraphStats(looped()[0])
+    assert stats.raw_arith == 1
+    assert stats.counts["LoopHeadNode"] == 1
+    assert stats.versions_of_loop(1) == 1
+    assert stats.max_loop_versions == 1
+
+
+def test_loop_body_nodes_finds_the_cycle():
+    start, head, cmp_node, body, ret = looped()
+    cycle = loop_body_nodes(start, head)
+    names = {type(n).__name__ for n in cycle}
+    assert "ArithNode" in names and "CompareBranchNode" in names
+    assert ret not in cycle
+
+
+def test_find_nodes():
+    start, *_ = diamond()
+    assert len(find_nodes(start, ConstNode)) == 2
+
+
+def test_format_graph_is_stable_and_labelled():
+    text = format_graph(diamond()[0], "diamond")
+    assert "== diamond ==" in text
+    assert "merge" in text
+    assert "[1]->" in text  # branch ports rendered
+
+
+def test_to_dot_renders_edges():
+    dot = to_dot(diamond()[0], "d")
+    assert dot.startswith("digraph")
+    assert '"T"' in dot and '"F"' in dot

@@ -1,0 +1,113 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang import tokenize
+from repro.lang.lexer import Lexer
+from repro.objects import SelfParseError
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)][:-1]
+
+
+def test_integer_literal():
+    tokens = tokenize("42")
+    assert tokens[0].kind == "INT"
+    assert tokens[0].value == 42
+
+
+def test_float_literal():
+    tokens = tokenize("3.25")
+    assert tokens[0].kind == "FLOAT"
+    assert tokens[0].value == 3.25
+
+
+def test_integer_then_dot_is_statement_separator():
+    assert kinds("3. 4") == ["INT", "DOT", "INT"]
+
+
+def test_string_literal_with_escaped_quote():
+    tokens = tokenize("'don''t'")
+    assert tokens[0].value == "don't"
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(SelfParseError):
+        tokenize("'oops")
+
+
+def test_comment_is_skipped():
+    assert kinds('3 "a comment" + 4') == ["INT", "BINOP", "INT"]
+
+
+def test_comment_spans_lines():
+    assert kinds('"line one\nline two" 5') == ["INT"]
+
+
+def test_unterminated_comment_raises():
+    with pytest.raises(SelfParseError):
+        tokenize('"never closed')
+
+
+def test_keyword_token_fuses_colon():
+    tokens = tokenize("at: 3")
+    assert tokens[0].kind == "KEYWORD"
+    assert tokens[0].text == "at:"
+
+
+def test_capitalized_keyword_part():
+    assert texts("at: 1 Put: 2") == ["at:", "1", "Put:", "2"]
+
+
+def test_block_argument_colon_not_fused():
+    assert kinds("[ :x | x ]") == ["LBRACKET", "COLON", "IDENT", "PIPE", "IDENT", "RBRACKET"]
+
+
+def test_arrow_token():
+    assert kinds("x <- 3") == ["IDENT", "ARROW", "INT"]
+
+
+def test_arrow_without_spaces():
+    assert kinds("x<-3") == ["IDENT", "ARROW", "INT"]
+
+
+def test_less_than_is_binop():
+    assert texts("a < b") == ["a", "<", "b"]
+
+
+def test_multi_character_operators():
+    assert texts("a <= b >= c != d") == ["a", "<=", "b", ">=", "c", "!=", "d"]
+
+
+def test_pipe_is_structural_not_operator():
+    assert kinds("| x |") == ["PIPE", "IDENT", "PIPE"]
+
+
+def test_caret():
+    assert kinds("^ x") == ["CARET", "IDENT"]
+
+
+def test_primitive_identifier():
+    tokens = tokenize("_IntAdd: 3")
+    assert tokens[0].kind == "KEYWORD"
+    assert tokens[0].text == "_IntAdd:"
+
+
+def test_positions_are_tracked():
+    tokens = tokenize("a\n  b")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(SelfParseError):
+        tokenize("a $ b")
+
+
+def test_eof_token_is_last():
+    assert tokenize("x")[-1].kind == "EOF"

@@ -1,0 +1,245 @@
+"""Parser unit tests: precedence, slot declarations, blocks, methods."""
+
+import pytest
+
+from repro.lang import (
+    BlockNode,
+    LiteralNode,
+    MethodNode,
+    ObjectLiteralNode,
+    ReturnNode,
+    SelfNode,
+    SendNode,
+    parse_doit,
+    parse_expression,
+    parse_slot_list,
+)
+from repro.objects import SelfParseError
+
+
+# -- precedence -----------------------------------------------------------------
+
+
+def test_unary_binds_tighter_than_binary():
+    node = parse_expression("a foo + b bar")
+    assert node.selector == "+"
+    assert node.receiver.selector == "foo"
+    assert node.arguments[0].selector == "bar"
+
+
+def test_binary_is_left_associative_same_precedence():
+    node = parse_expression("1 + 2 * 3")
+    assert node.selector == "*"
+    assert node.receiver.selector == "+"
+
+
+def test_keyword_binds_loosest():
+    node = parse_expression("a at: 1 + 2")
+    assert node.selector == "at:"
+    assert node.arguments[0].selector == "+"
+
+
+def test_capitalized_keyword_parts_continue_message():
+    node = parse_expression("a at: 1 Put: 2")
+    assert node.selector == "at:Put:"
+    assert len(node.arguments) == 2
+
+
+def test_lowercase_second_keyword_needs_parentheses():
+    # As in SELF: a lowercase second keyword cannot continue the message,
+    # so the chain is a parse error without explicit grouping.
+    with pytest.raises(SelfParseError):
+        parse_expression("a at: b foo: c")
+    node = parse_expression("a at: (b foo: c)")
+    assert node.selector == "at:"
+    assert node.arguments[0].selector == "foo:"
+
+
+def test_parenthesized_expression():
+    node = parse_expression("(1 + 2) * 3")
+    assert node.selector == "*"
+    assert node.receiver.selector == "+"
+
+
+def test_negative_literal_in_primary_position():
+    node = parse_expression("-5 + 3")
+    assert isinstance(node.receiver, LiteralNode)
+    assert node.receiver.value == -5
+
+
+def test_minus_as_binary_operator():
+    node = parse_expression("a - 1")
+    assert node.selector == "-"
+
+
+def test_implicit_self_unary_send():
+    node = parse_expression("foo")
+    assert isinstance(node, SendNode)
+    assert node.receiver is None
+    assert node.selector == "foo"
+
+
+def test_implicit_self_keyword_send():
+    node = parse_doit("sum: 3").statements[0]
+    assert node.receiver is None
+    assert node.selector == "sum:"
+
+
+def test_explicit_self():
+    node = parse_expression("self")
+    assert isinstance(node, SelfNode)
+
+
+def test_unary_chain():
+    node = parse_expression("a b c")
+    assert node.selector == "c"
+    assert node.receiver.selector == "b"
+
+
+def test_primitive_send_flag():
+    node = parse_expression("3 _IntAdd: 4")
+    assert node.is_primitive
+
+
+# -- blocks ----------------------------------------------------------------------
+
+
+def test_block_without_arguments():
+    node = parse_expression("[ 42 ]")
+    assert isinstance(node, BlockNode)
+    assert node.argument_names == ()
+
+
+def test_block_smalltalk_style_arguments():
+    node = parse_expression("[ :a :b | a + b ]")
+    assert node.argument_names == ("a", "b")
+
+
+def test_block_self_style_arguments():
+    node = parse_expression("[ | :i | i ]")
+    assert node.argument_names == ("i",)
+
+
+def test_block_with_locals():
+    node = parse_expression("[ | t <- 3 | t ]")
+    assert node.local_names == ("t",)
+    assert node.local_inits["t"].value == 3
+
+
+def test_block_mixed_args_and_locals_self_style():
+    node = parse_expression("[ | :x. acc <- 0 | acc ]")
+    assert node.argument_names == ("x",)
+    assert node.local_names == ("acc",)
+
+
+def test_blocks_have_unique_ids():
+    a = parse_expression("[ 1 ]")
+    b = parse_expression("[ 1 ]")
+    assert a.block_id != b.block_id
+
+
+# -- do-its and statements ----------------------------------------------------------
+
+
+def test_doit_with_locals():
+    doit = parse_doit("| a. b <- 2 | a")
+    assert doit.local_names == ("a", "b")
+    assert doit.local_inits["a"] is None
+    assert doit.local_inits["b"].value == 2
+
+
+def test_return_statement():
+    doit = parse_doit("^ 42")
+    assert isinstance(doit.statements[0], ReturnNode)
+
+
+def test_trailing_dot_tolerated():
+    doit = parse_doit("3. 4.")
+    assert len(doit.statements) == 2
+
+
+def test_missing_dot_between_statements_raises():
+    with pytest.raises(SelfParseError):
+        parse_doit("3 + 1 4")
+
+
+def test_non_constant_local_initializer_raises():
+    with pytest.raises(SelfParseError):
+        parse_doit("| x <- a foo | x")
+
+
+# -- slot declarations ------------------------------------------------------------
+
+
+def test_data_slot_with_initializer():
+    decls = parse_slot_list("| x <- 3 |")
+    assert decls[0].kind == "data"
+    assert decls[0].value.value == 3
+
+
+def test_bare_data_slot():
+    decls = parse_slot_list("| x |")
+    assert decls[0].kind == "data"
+    assert decls[0].value is None
+
+
+def test_constant_slot():
+    decls = parse_slot_list("| limit = 100 |")
+    assert decls[0].kind == "constant"
+
+
+def test_parent_slot():
+    decls = parse_slot_list("| parent* = traits clonable |")
+    assert decls[0].kind == "parent"
+
+
+def test_keyword_method_slot():
+    decls = parse_slot_list("| at: i Put: v = ( v ) |")
+    assert decls[0].kind == "method"
+    assert decls[0].name == "at:Put:"
+    assert decls[0].value.argument_names == ("i", "v")
+
+
+def test_binary_method_slot():
+    decls = parse_slot_list("| + n = ( n ) |")
+    assert decls[0].name == "+"
+    assert decls[0].value.argument_names == ("n",)
+
+
+def test_equals_method_slot():
+    decls = parse_slot_list("| = x = ( true ) |")
+    assert decls[0].name == "="
+
+
+def test_unary_method_vs_object_literal_constant():
+    decls = parse_slot_list("| m = ( 3 + 4 ). o = (| x = 1 |) |")
+    assert decls[0].kind == "method"
+    assert decls[1].kind == "constant"
+    assert isinstance(decls[1].value, ObjectLiteralNode)
+
+
+def test_method_with_locals_is_method_not_literal():
+    decls = parse_slot_list("| m = (| t <- 0 | t: 3. t) |")
+    assert decls[0].kind == "method"
+    assert decls[0].value.local_names == ("t",)
+
+
+def test_wrapped_slot_list():
+    decls = parse_slot_list("(| a = 1. b = 2 |)")
+    assert [d.name for d in decls] == ["a", "b"]
+
+
+def test_adjacent_slot_lists_concatenate():
+    decls = parse_slot_list("| a = 1 |" + "| b = 2 |")
+    assert [d.name for d in decls] == ["a", "b"]
+
+
+def test_paper_example_parses():
+    doit = parse_doit(
+        """| sum <- 0 |
+        1 upTo: n Do: [ | :i | sum: sum + i ].
+        sum"""
+    )
+    send = doit.statements[0]
+    assert send.selector == "upTo:Do:"
+    assert isinstance(send.arguments[1], BlockNode)

@@ -1,0 +1,80 @@
+"""Parser robustness: arbitrary input must either parse or raise
+SelfParseError — never crash with a host-level exception."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import parse_doit, parse_expression, parse_slot_list, tokenize
+from repro.objects import SelfParseError
+
+# Character soup biased toward the language's own alphabet.
+source_chars = st.text(
+    alphabet=st.sampled_from(
+        list("abcxyz012 .|()[]^:<->=+*/%'\"\n_ABC") + [" "]
+    ),
+    max_size=60,
+)
+
+
+@given(source_chars)
+@settings(max_examples=300)
+def test_tokenizer_never_crashes(source):
+    try:
+        tokens = tokenize(source)
+        assert tokens[-1].kind == "EOF"
+    except SelfParseError:
+        pass
+
+
+@given(source_chars)
+@settings(max_examples=300)
+def test_doit_parser_never_crashes(source):
+    try:
+        parse_doit(source)
+    except SelfParseError:
+        pass
+
+
+@given(source_chars)
+@settings(max_examples=200)
+def test_slot_parser_never_crashes(source):
+    try:
+        parse_slot_list(source)
+    except SelfParseError:
+        pass
+
+
+@st.composite
+def wellformed_expressions(draw, depth=0):
+    """Grammar-directed expression strings; all must parse."""
+    if depth >= 3:
+        return draw(st.sampled_from(["1", "42", "'s'", "x", "self", "3.5"]))
+    kind = draw(st.integers(0, 4))
+    inner = draw(wellformed_expressions(depth=depth + 1))
+    if kind == 0:
+        return f"({inner})"
+    if kind == 1:
+        return f"{inner} foo"
+    if kind == 2:
+        other = draw(wellformed_expressions(depth=depth + 1))
+        op = draw(st.sampled_from(["+", "-", "*", "<", "<=", "="]))
+        return f"{inner} {op} {other}"
+    if kind == 3:
+        # Keyword sends are parenthesized so composition never produces
+        # a lowercase keyword chain (which the grammar rightly rejects).
+        other = draw(wellformed_expressions(depth=depth + 1))
+        return f"({inner} at: {other})"
+    return f"[ :a | {inner} ]"
+
+
+@given(wellformed_expressions())
+@settings(max_examples=200)
+def test_grammatical_expressions_always_parse(source):
+    node = parse_expression(source)
+    assert node is not None
+
+
+def test_error_positions_are_reported():
+    with pytest.raises(SelfParseError) as info:
+        parse_expression("3 +")
+    assert info.value.line >= 1

@@ -1,0 +1,79 @@
+"""Object model unit tests: maps (hidden classes) and slots."""
+
+import pytest
+
+from repro.objects import (
+    CONSTANT,
+    DATA,
+    Map,
+    SelfObject,
+    SlotExists,
+    Slot,
+)
+
+
+def test_build_assigns_data_offsets_in_order():
+    m = Map.build("point", data=["x", "y"])
+    assert m.own_slot("x").offset == 0
+    assert m.own_slot("y").offset == 1
+    assert m.data_size == 2
+
+
+def test_data_slot_gets_assignment_slot():
+    m = Map.build("point", data=["x"])
+    assignment = m.own_slot("x:")
+    assert assignment is not None
+    assert assignment.kind == "assignment"
+    assert assignment.offset == m.own_slot("x").offset
+
+
+def test_constant_slots_live_in_map():
+    m = Map.build("c", constants={"limit": 99})
+    assert m.own_slot("limit").value == 99
+    assert m.data_size == 0
+
+
+def test_parent_slots_are_enumerable():
+    parent = SelfObject(Map.build("parent"))
+    m = Map.build("child", parents={"parent": parent})
+    assert [s.value for s in m.parent_slots()] == [parent]
+
+
+def test_duplicate_slot_raises():
+    with pytest.raises(SlotExists):
+        Map("bad", [Slot("x", CONSTANT, value=1), Slot("x", CONSTANT, value=2)])
+
+
+def test_with_added_slots_creates_new_map():
+    m = Map.build("obj", data=["a"])
+    extended = m.with_added_slots([Slot("k", CONSTANT, value=7)])
+    assert extended is not m
+    assert extended.own_slot("k").value == 7
+    assert extended.own_slot("a") is not None
+    assert m.own_slot("k") is None
+
+
+def test_map_ids_are_unique():
+    assert Map("a").map_id != Map("a").map_id
+
+
+def test_clone_shares_map():
+    m = Map.build("proto", data=["x"])
+    original = SelfObject(m)
+    original.set_data(0, 42)
+    clone = original.clone()
+    assert clone.map is original.map
+    assert clone.get_data(0) == 42
+    clone.set_data(0, 1)
+    assert original.get_data(0) == 42  # clones do not share data
+
+
+def test_is_integer_kind():
+    assert Map("i", kind="smallInt").is_integer
+    assert Map("b", kind="bigInt").is_integer
+    assert not Map("o", kind="object").is_integer
+
+
+def test_bad_slot_kind_rejected():
+    with pytest.raises(ValueError):
+        Slot("x", "bogus")

@@ -1,0 +1,58 @@
+"""Runtime value representation tests."""
+
+from repro.objects import (
+    SMALLINT_MAX,
+    SMALLINT_MIN,
+    BigInt,
+    SelfVector,
+    block_value_selector,
+    fits_smallint,
+    guest_int_value,
+    normalize_int,
+)
+from repro.objects.maps import Map
+
+
+def test_smallint_bounds_are_31_bit():
+    assert SMALLINT_MAX == 2**30 - 1
+    assert SMALLINT_MIN == -(2**30)
+
+
+def test_fits_smallint_boundaries():
+    assert fits_smallint(SMALLINT_MAX)
+    assert fits_smallint(SMALLINT_MIN)
+    assert not fits_smallint(SMALLINT_MAX + 1)
+    assert not fits_smallint(SMALLINT_MIN - 1)
+
+
+def test_normalize_int_promotes_and_keeps():
+    assert normalize_int(5) == 5
+    assert isinstance(normalize_int(SMALLINT_MAX + 1), BigInt)
+
+
+def test_guest_int_value_unwraps():
+    assert guest_int_value(7) == 7
+    assert guest_int_value(BigInt(2**40)) == 2**40
+    assert guest_int_value("x") is None
+    assert guest_int_value(True) is None  # host bools are not guest values
+
+
+def test_bigint_equality_and_hash():
+    assert BigInt(5) == BigInt(5)
+    assert BigInt(5) != BigInt(6)
+    assert hash(BigInt(5)) == hash(BigInt(5))
+
+
+def test_vector_clone_copies_elements():
+    v = SelfVector(Map("vector", kind="vector"), [1, 2, 3])
+    c = v.clone()
+    c.elements[0] = 99
+    assert v.elements[0] == 1
+    assert c.size == 3
+
+
+def test_block_value_selector_by_arity():
+    assert block_value_selector(0) == "value"
+    assert block_value_selector(1) == "value:"
+    assert block_value_selector(2) == "value:With:"
+    assert block_value_selector(3) == "value:With:With:"

@@ -1,0 +1,174 @@
+"""Direct unit tests of the robust primitive functions.
+
+These bypass interpreter and VM and call the host implementations, so
+failure codes and edge semantics are pinned down exactly — both
+evaluators and the compiler's inlined expansions must agree with them.
+"""
+
+import pytest
+
+from repro.objects import SMALLINT_MAX, SMALLINT_MIN, BigInt, SelfVector
+from repro.primitives import (
+    BAD_SIZE,
+    BAD_TYPE,
+    DIVISION_BY_ZERO,
+    OUT_OF_BOUNDS,
+    OVERFLOW,
+    PrimFailSignal,
+    all_primitives,
+    has_failure_variant,
+    lookup_primitive,
+)
+from repro.world import World
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return World().universe
+
+
+def call(universe, selector, receiver, *args):
+    primitive = lookup_primitive(selector)
+    assert primitive is not None, selector
+    return primitive.fn(universe, receiver, list(args))
+
+
+def fails_with(universe, code, selector, receiver, *args):
+    with pytest.raises(PrimFailSignal) as info:
+        call(universe, selector, receiver, *args)
+    assert info.value.code == code
+
+
+# -- integers ---------------------------------------------------------------------
+
+
+def test_int_add(universe):
+    assert call(universe, "_IntAdd:", 2, 3) == 5
+
+
+def test_int_add_overflow(universe):
+    fails_with(universe, OVERFLOW, "_IntAdd:", SMALLINT_MAX, 1)
+    fails_with(universe, OVERFLOW, "_IntSub:", SMALLINT_MIN, 1)
+
+
+def test_int_add_bad_type(universe):
+    fails_with(universe, BAD_TYPE, "_IntAdd:", 2, "x")
+    fails_with(universe, BAD_TYPE, "_IntAdd:", "x", 2)
+    fails_with(universe, BAD_TYPE, "_IntAdd:", 2, BigInt(2**40))
+
+
+def test_int_division_semantics(universe):
+    assert call(universe, "_IntDiv:", 17, 5) == 3
+    assert call(universe, "_IntDiv:", -17, 5) == -4  # floor division
+    assert call(universe, "_IntMod:", -17, 5) == 3   # sign of divisor
+    assert call(universe, "_IntMod:", 17, -5) == -3
+    fails_with(universe, DIVISION_BY_ZERO, "_IntDiv:", 1, 0)
+    fails_with(universe, DIVISION_BY_ZERO, "_IntMod:", 1, 0)
+
+
+def test_int_div_min_by_minus_one_overflows(universe):
+    fails_with(universe, OVERFLOW, "_IntDiv:", SMALLINT_MIN, -1)
+
+
+def test_int_comparisons_return_boolean_singletons(universe):
+    assert call(universe, "_IntLT:", 1, 2) is universe.true_object
+    assert call(universe, "_IntGE:", 1, 2) is universe.false_object
+    assert call(universe, "_IntEQ:", 4, 4) is universe.true_object
+    assert call(universe, "_IntNE:", 4, 4) is universe.false_object
+
+
+def test_big_arithmetic_normalizes(universe):
+    big = call(universe, "_BigAdd:", SMALLINT_MAX, 1)
+    assert isinstance(big, BigInt)
+    back = call(universe, "_BigSub:", big, 1)
+    assert back == SMALLINT_MAX and type(back) is int
+
+
+def test_big_comparison_mixed_operands(universe):
+    assert call(universe, "_BigLT:", 1, BigInt(2**40)) is universe.true_object
+
+
+def test_bit_operations(universe):
+    assert call(universe, "_IntAnd:", 6, 3) == 2
+    assert call(universe, "_IntOr:", 6, 3) == 7
+    assert call(universe, "_IntXor:", 6, 3) == 5
+    assert call(universe, "_IntShl:", 3, 2) == 12
+    assert call(universe, "_IntShr:", 12, 2) == 3
+    fails_with(universe, OVERFLOW, "_IntShl:", SMALLINT_MAX, 1)
+    fails_with(universe, BAD_TYPE, "_IntShr:", 12, -1)
+
+
+# -- vectors ---------------------------------------------------------------------
+
+
+def test_vector_new_and_access(universe):
+    v = call(universe, "_NewVector:Filler:", None, 3, 0)
+    assert isinstance(v, SelfVector) and v.size == 3
+    call(universe, "_VectorAt:Put:", v, 1, 42)
+    assert call(universe, "_VectorAt:", v, 1) == 42
+    assert call(universe, "_VectorSize", v) == 3
+
+
+def test_vector_bounds(universe):
+    v = call(universe, "_NewVector:Filler:", None, 2, 0)
+    fails_with(universe, OUT_OF_BOUNDS, "_VectorAt:", v, 2)
+    fails_with(universe, OUT_OF_BOUNDS, "_VectorAt:", v, -1)
+    fails_with(universe, BAD_TYPE, "_VectorAt:", v, "x")
+    fails_with(universe, BAD_TYPE, "_VectorAt:", "notavector", 0)
+
+
+def test_vector_negative_size(universe):
+    fails_with(universe, BAD_SIZE, "_NewVector:Filler:", None, -1, 0)
+
+
+# -- objects & strings --------------------------------------------------------------
+
+
+def test_clone_of_immediates_is_identity(universe):
+    assert call(universe, "_Clone", 5) == 5
+    assert call(universe, "_Clone", "abc") == "abc"
+
+
+def test_identity_eq(universe):
+    assert call(universe, "_Eq:", 3, 3) is universe.true_object
+    assert call(universe, "_Eq:", 3, 4) is universe.false_object
+    assert call(universe, "_Eq:", "a", "a") is universe.true_object
+    v = call(universe, "_NewVector:Filler:", None, 1, 0)
+    assert call(universe, "_Eq:", v, v) is universe.true_object
+    assert call(universe, "_Eq:", v, v.clone()) is universe.false_object
+
+
+def test_string_primitives(universe):
+    assert call(universe, "_StringSize", "abc") == 3
+    assert call(universe, "_StringConcat:", "ab", "cd") == "abcd"
+    fails_with(universe, BAD_TYPE, "_StringConcat:", "ab", 3)
+
+
+# -- floats -----------------------------------------------------------------------
+
+
+def test_float_primitives(universe):
+    assert call(universe, "_FltAdd:", 1.5, 2.25) == 3.75
+    assert call(universe, "_FltLT:", 1.0, 2.0) is universe.true_object
+    assert call(universe, "_IntAsFloat", 3) == 3.0
+    assert call(universe, "_FltTruncate", 2.9) == 2
+    fails_with(universe, DIVISION_BY_ZERO, "_FltDiv:", 1.0, 0.0)
+    fails_with(universe, BAD_TYPE, "_FltAdd:", 1.5, 2)
+
+
+# -- registry ----------------------------------------------------------------------
+
+
+def test_lookup_accepts_iffail_variant():
+    assert lookup_primitive("_IntAdd:IfFail:") is lookup_primitive("_IntAdd:")
+    assert has_failure_variant("_IntAdd:IfFail:")
+    assert not has_failure_variant("_IntAdd:")
+    assert lookup_primitive("_NoSuchPrim") is None
+
+
+def test_registry_is_populated():
+    primitives = all_primitives()
+    assert len(primitives) > 40
+    for selector, primitive in primitives.items():
+        assert selector.startswith("_")
+        assert primitive.arity >= 0

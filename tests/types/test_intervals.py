@@ -1,0 +1,99 @@
+"""Interval arithmetic unit tests."""
+
+from repro.objects import SMALLINT_MAX, SMALLINT_MIN
+from repro.types import intervals
+
+
+def test_make_clamps_and_rejects_empty():
+    assert intervals.make(0, 5) == (0, 5)
+    assert intervals.make(SMALLINT_MIN - 10, 3) == (SMALLINT_MIN, 3)
+    assert intervals.make(5, 4) is None
+
+
+def test_contains_and_intersect():
+    assert intervals.contains((0, 10), (3, 4))
+    assert not intervals.contains((0, 10), (3, 11))
+    assert intervals.intersect((0, 10), (5, 20)) == (5, 10)
+    assert intervals.intersect((0, 1), (2, 3)) is None
+
+
+def test_hull():
+    assert intervals.hull((0, 3), (10, 12)) == (0, 12)
+
+
+def test_add_reports_overflow_safety():
+    interval, safe = intervals.add((0, 10), (5, 5))
+    assert interval == (5, 15)
+    assert safe
+    _, safe = intervals.add((0, SMALLINT_MAX), (1, 1))
+    assert not safe
+
+
+def test_sub():
+    interval, safe = intervals.sub((10, 20), (1, 5))
+    assert interval == (5, 19)
+    assert safe
+
+
+def test_mul_sign_combinations():
+    interval, safe = intervals.mul((-3, 2), (-4, 5))
+    assert interval == (-15, 12)
+    assert safe
+
+
+def test_floordiv_excludes_zero_divisor():
+    interval, safe, nonzero = intervals.floordiv((10, 20), (2, 4))
+    assert nonzero and safe
+    assert interval == (2, 10)
+    _, _, nonzero = intervals.floordiv((10, 20), (-1, 4))
+    assert not nonzero
+
+
+def test_floordiv_min_by_minus_one_overflows():
+    _, safe, _ = intervals.floordiv((SMALLINT_MIN, SMALLINT_MIN), (-1, -1))
+    assert not safe
+
+
+def test_floormod_positive_divisor_bounds():
+    interval, safe, nonzero = intervals.floormod((0, 100), (7, 7))
+    assert interval == (0, 6)
+    assert safe and nonzero
+
+
+def test_floormod_result_tightened_by_small_dividend():
+    interval, _, _ = intervals.floormod((0, 3), (100, 100))
+    assert interval == (0, 3)
+
+
+def test_compare_lt_decidable_cases():
+    assert intervals.compare_lt((0, 3), (4, 9)) is True
+    assert intervals.compare_lt((4, 9), (0, 4)) is False
+    assert intervals.compare_lt((0, 5), (3, 9)) is None
+
+
+def test_compare_eq():
+    assert intervals.compare_eq((3, 3), (3, 3)) is True
+    assert intervals.compare_eq((0, 1), (2, 3)) is False
+    assert intervals.compare_eq((0, 3), (2, 5)) is None
+
+
+def test_refine_lt_tightens_both_sides():
+    a, b = intervals.refine_lt((0, 100), (0, 10))
+    assert a == (0, 9)
+    assert b == (1, 10)
+
+
+def test_refine_lt_unreachable_branch_is_none():
+    a, b = intervals.refine_lt((10, 20), (0, 5))
+    assert a is None or b is None
+
+
+def test_refine_ge():
+    a, b = intervals.refine_ge((0, 100), (50, 60))
+    assert a == (50, 100)
+    assert b == (50, 60)
+
+
+def test_refine_eq_is_intersection():
+    a, b = intervals.refine_eq((0, 10), (5, 20))
+    assert a == b == (5, 10)

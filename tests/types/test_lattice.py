@@ -1,0 +1,185 @@
+"""Type lattice unit tests (the paper's section 3.1 type system)."""
+
+import pytest
+
+from repro.types import (
+    EMPTY,
+    UNKNOWN,
+    IntRangeType,
+    MapType,
+    MergeType,
+    UnionType,
+    ValueType,
+    VectorType,
+    as_map,
+    contains,
+    disjoint,
+    int_interval,
+    is_boolean_constant,
+    make_difference,
+    make_int_range,
+    make_merge,
+    make_union,
+    type_of_constant,
+    vector_length,
+)
+from repro.world import World
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World()
+
+
+def test_integer_constant_is_one_element_subrange(world):
+    t = type_of_constant(3, world.universe)
+    assert isinstance(t, IntRangeType)
+    assert t.is_constant() and t.constant_value() == 3
+
+
+def test_value_types_for_singletons(world):
+    u = world.universe
+    t = type_of_constant(u.true_object, u)
+    assert isinstance(t, ValueType)
+    assert is_boolean_constant(t, u) is True
+    assert is_boolean_constant(type_of_constant(u.false_object, u), u) is False
+    assert is_boolean_constant(type_of_constant(3, u), u) is None
+
+
+def test_big_integer_constant_has_bigint_map(world):
+    u = world.universe
+    t = type_of_constant(2**40, u)
+    assert as_map(t, u) is u.bigint_map
+
+
+def test_unknown_contains_everything(world):
+    u = world.universe
+    for t in (MapType(u.smallint_map), IntRangeType(0, 5), UNKNOWN, EMPTY):
+        assert contains(UNKNOWN, t)
+
+
+def test_class_type_contains_subranges(world):
+    u = world.universe
+    int_class = MapType(u.smallint_map)
+    assert contains(int_class, IntRangeType(0, 9))
+    assert contains(int_class, type_of_constant(7, u))
+    assert not contains(IntRangeType(0, 9), int_class)
+
+
+def test_full_range_equals_class(world):
+    u = world.universe
+    from repro.objects import SMALLINT_MAX, SMALLINT_MIN
+
+    full = IntRangeType(SMALLINT_MIN, SMALLINT_MAX)
+    assert contains(full, MapType(u.smallint_map))
+    assert contains(MapType(u.smallint_map), full)
+
+
+def test_subrange_containment():
+    assert contains(IntRangeType(0, 10), IntRangeType(2, 5))
+    assert not contains(IntRangeType(0, 10), IntRangeType(2, 11))
+
+
+def test_union_flattens_and_absorbs(world):
+    u = world.universe
+    int_class = MapType(u.smallint_map)
+    union = make_union([IntRangeType(0, 5), int_class])
+    assert union == int_class  # absorbed
+    union2 = make_union([int_class, MapType(u.float_map)])
+    assert isinstance(union2, UnionType)
+
+
+def test_union_with_unknown_collapses(world):
+    assert make_union([UNKNOWN, IntRangeType(0, 1)]) is UNKNOWN
+
+
+def test_union_of_ranges_takes_hull():
+    union = make_union([IntRangeType(0, 2), IntRangeType(5, 9)])
+    assert union == IntRangeType(0, 9)
+
+
+def test_merge_keeps_unknown_distinct(world):
+    """The paper's key point: a merge of int and unknown remembers both."""
+    u = world.universe
+    merged = make_merge([MapType(u.smallint_map), UNKNOWN])
+    assert isinstance(merged, MergeType)
+    assert len(merged.constituents) == 2
+    assert UNKNOWN in merged.constituents
+
+
+def test_merge_of_identical_collapses(world):
+    u = world.universe
+    t = MapType(u.smallint_map)
+    assert make_merge([t, t]) == t
+
+
+def test_merge_flattens_nested(world):
+    u = world.universe
+    inner = make_merge([MapType(u.smallint_map), UNKNOWN])
+    outer = make_merge([inner, MapType(u.float_map)])
+    assert isinstance(outer, MergeType)
+    assert len(outer.constituents) == 3
+
+
+def test_difference_from_failed_type_test(world):
+    u = world.universe
+    diff = make_difference(UNKNOWN, MapType(u.smallint_map))
+    assert not contains(MapType(u.smallint_map), diff)
+    assert contains(UNKNOWN, diff)
+    assert disjoint(diff, IntRangeType(0, 5))
+
+
+def test_difference_that_empties(world):
+    u = world.universe
+    assert make_difference(IntRangeType(0, 5), MapType(u.smallint_map)) is EMPTY
+
+
+def test_difference_chops_range_ends():
+    base = IntRangeType(0, 10)
+    assert make_difference(base, IntRangeType(0, 3)) == IntRangeType(4, 10)
+    assert make_difference(base, IntRangeType(8, 10)) == IntRangeType(0, 7)
+
+
+def test_disjoint_by_map(world):
+    u = world.universe
+    assert disjoint(MapType(u.smallint_map), MapType(u.float_map))
+    assert disjoint(IntRangeType(0, 1), MapType(u.string_map))
+    assert not disjoint(UNKNOWN, MapType(u.float_map))
+
+
+def test_disjoint_ranges():
+    assert disjoint(IntRangeType(0, 3), IntRangeType(4, 9))
+    assert not disjoint(IntRangeType(0, 5), IntRangeType(5, 9))
+
+
+def test_as_map_queries(world):
+    u = world.universe
+    assert as_map(IntRangeType(0, 3), u) is u.smallint_map
+    assert as_map(UNKNOWN, u) is None
+    assert as_map(make_merge([IntRangeType(0, 1), UNKNOWN]), u) is None
+    same_map_merge = make_merge([IntRangeType(0, 1), MapType(u.smallint_map)])
+    assert as_map(same_map_merge, u) is u.smallint_map
+
+
+def test_int_interval_through_merges(world):
+    u = world.universe
+    merged = make_merge([IntRangeType(0, 3), IntRangeType(10, 12)])
+    assert int_interval(merged, u) == (0, 12)
+    assert int_interval(make_merge([IntRangeType(0, 3), UNKNOWN]), u) is None
+
+
+def test_vector_type_length(world):
+    u = world.universe
+    sized = VectorType(u.vector_map, 10)
+    unsized = VectorType(u.vector_map, None)
+    assert vector_length(sized) == 10
+    assert vector_length(unsized) is None
+    assert contains(unsized, sized)
+    assert not contains(sized, unsized)
+    assert contains(MapType(u.vector_map), sized)
+    assert as_map(sized, u) is u.vector_map
+
+
+def test_empty_front_marker(world):
+    assert contains(IntRangeType(0, 1), EMPTY)
+    assert disjoint(EMPTY, UNKNOWN)

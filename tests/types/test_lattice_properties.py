@@ -1,0 +1,219 @@
+"""Property-based tests of the type lattice (hypothesis).
+
+Soundness contract under test: every lattice operation may lose
+precision but never invent it.  We check the algebraic laws against the
+concrete-set semantics, using integer subranges (where membership is
+exactly decidable) and randomly composed types.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.objects import SMALLINT_MAX, SMALLINT_MIN
+from repro.types import (
+    EMPTY,
+    UNKNOWN,
+    IntRangeType,
+    MapType,
+    contains,
+    disjoint,
+    int_interval,
+    make_difference,
+    make_int_range,
+    make_merge,
+    make_union,
+    type_of_constant,
+    widen_for_loop_head,
+)
+from repro.types import intervals
+from repro.world import World
+
+WORLD = World()
+U = WORLD.universe
+
+# Small bounds keep examples readable; clamping behaviour is exercised by
+# a dedicated strategy below.
+small_ints = st.integers(min_value=-1000, max_value=1000)
+
+
+@st.composite
+def ranges(draw):
+    lo = draw(small_ints)
+    hi = draw(st.integers(min_value=lo, max_value=lo + draw(st.integers(0, 200))))
+    return IntRangeType(lo, hi)
+
+
+@st.composite
+def lattice_types(draw):
+    """A random type built from ranges, classes, unions, merges, diffs."""
+    base = draw(
+        st.one_of(
+            ranges(),
+            st.sampled_from(
+                [
+                    UNKNOWN,
+                    MapType(U.smallint_map),
+                    MapType(U.float_map),
+                    MapType(U.string_map),
+                    type_of_constant(U.true_object, U),
+                    type_of_constant(U.false_object, U),
+                ]
+            ),
+        )
+    )
+    depth = draw(st.integers(0, 2))
+    for _ in range(depth):
+        op = draw(st.integers(0, 2))
+        other = draw(st.one_of(ranges(), st.just(MapType(U.smallint_map))))
+        if op == 0:
+            base = make_union([base, other])
+        elif op == 1:
+            base = make_merge([base, other])
+        else:
+            candidate = make_difference(base, other)
+            if candidate is not EMPTY:
+                base = candidate
+    return base
+
+
+# ---------------------------------------------------------------------------
+# contains: reflexive, transitive on samples, consistent with membership
+# ---------------------------------------------------------------------------
+
+
+@given(lattice_types())
+def test_contains_is_reflexive(t):
+    assert contains(t, t)
+
+
+@given(lattice_types(), lattice_types(), lattice_types())
+def test_contains_is_transitive(a, b, c):
+    if contains(a, b) and contains(b, c):
+        assert contains(a, c)
+
+
+@given(ranges(), ranges())
+def test_contains_matches_set_semantics_on_ranges(a, b):
+    exact = a.lo <= b.lo and b.hi <= a.hi
+    assert contains(a, b) == exact
+
+
+@given(ranges(), ranges())
+def test_disjoint_matches_set_semantics_on_ranges(a, b):
+    exact = a.hi < b.lo or b.hi < a.lo
+    assert disjoint(a, b) == exact
+
+
+@given(lattice_types(), lattice_types())
+def test_disjoint_is_symmetric(a, b):
+    assert disjoint(a, b) == disjoint(b, a)
+
+
+@given(lattice_types(), lattice_types())
+def test_disjoint_and_contains_exclude_each_other(a, b):
+    if contains(a, b) and b is not EMPTY:
+        # A non-empty contained type can never be disjoint.
+        if not disjoint(b, b):  # b denotes a non-empty set
+            assert not disjoint(a, b)
+
+
+# ---------------------------------------------------------------------------
+# union / merge are upper bounds
+# ---------------------------------------------------------------------------
+
+
+@given(lattice_types(), lattice_types())
+def test_union_is_upper_bound(a, b):
+    union = make_union([a, b])
+    assert contains(union, a)
+    assert contains(union, b)
+
+
+@given(lattice_types(), lattice_types())
+def test_merge_is_upper_bound(a, b):
+    merged = make_merge([a, b])
+    assert contains(merged, a)
+    assert contains(merged, b)
+
+
+@given(lattice_types())
+def test_merge_of_one_is_identity(a):
+    assert make_merge([a]) == a
+
+
+@given(lattice_types(), lattice_types())
+def test_union_is_commutative_as_a_set(a, b):
+    left = make_union([a, b])
+    right = make_union([b, a])
+    assert contains(left, right) and contains(right, left)
+
+
+# ---------------------------------------------------------------------------
+# difference: sound subtraction
+# ---------------------------------------------------------------------------
+
+
+@given(lattice_types(), lattice_types())
+def test_difference_is_contained_in_base(a, b):
+    diff = make_difference(a, b)
+    if diff is not EMPTY:
+        assert contains(a, diff)
+
+
+@given(ranges(), ranges())
+def test_difference_excludes_removed_on_ranges(a, b):
+    diff = make_difference(a, b)
+    if diff is EMPTY:
+        assert contains(b, a)
+    else:
+        interval = int_interval(diff, U)
+        if interval is not None and not intervals.overlaps(a.interval, b.interval):
+            assert interval == a.interval
+
+
+# ---------------------------------------------------------------------------
+# widening: sound and progress-making
+# ---------------------------------------------------------------------------
+
+
+@given(lattice_types(), lattice_types())
+@settings(max_examples=200)
+def test_widening_is_an_upper_bound(head, tail):
+    widened = widen_for_loop_head(head, tail, U)
+    assert contains(widened, tail)
+    assert contains(widened, head)
+
+
+@given(ranges(), ranges())
+def test_widening_ranges_reaches_fixpoint_in_two_steps(a, b):
+    """Widening two incompatible ranges gives either the non-negative
+    range (sign preserved) or the full class — and widening again with
+    any range is then stable (termination)."""
+    if not contains(a, b):
+        widened = widen_for_loop_head(a, b, U)
+        assert widened in (
+            MapType(U.smallint_map),
+            IntRangeType(0, SMALLINT_MAX),
+        )
+        again = widen_for_loop_head(widened, a, U)
+        third = widen_for_loop_head(again, b, U)
+        assert widen_for_loop_head(third, third, U) == third
+
+
+# ---------------------------------------------------------------------------
+# constructors: canonicalization invariants
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(SMALLINT_MIN - 5, SMALLINT_MAX + 5), st.integers(-5, 5))
+def test_make_int_range_clamps(lo, width):
+    t = make_int_range(lo, lo + abs(width))
+    if t is not EMPTY:
+        assert SMALLINT_MIN <= t.lo <= t.hi <= SMALLINT_MAX
+
+
+@given(st.integers(-10000, 10000))
+def test_type_of_constant_roundtrip(value):
+    t = type_of_constant(value, U)
+    assert t.is_constant()
+    assert t.constant_value() == value
+    assert int_interval(t, U) == (value, value)

@@ -1,0 +1,190 @@
+"""Type transformer tests: refinement, widening, loop compatibility."""
+
+import pytest
+
+from repro.types import (
+    EMPTY,
+    UNKNOWN,
+    IntRangeType,
+    MapType,
+    MergeType,
+    ValueType,
+    constant_fold_compare,
+    contains,
+    loop_compatible,
+    make_difference,
+    make_merge,
+    merge_bindings,
+    refine_compare,
+    refine_to_map,
+    widen_for_loop_head,
+)
+from repro.world import World
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World()
+
+
+# -- type test refinement (section 3.2.1) ---------------------------------------
+
+
+def test_refine_unknown_to_class(world):
+    u = world.universe
+    refined = refine_to_map(UNKNOWN, u.smallint_map, u)
+    assert refined == MapType(u.smallint_map)
+
+
+def test_refine_keeps_narrower_information(world):
+    u = world.universe
+    merged = make_merge([IntRangeType(0, 5), UNKNOWN])
+    refined = refine_to_map(merged, u.smallint_map, u)
+    # The subrange constituent survives; unknown contributes the class.
+    assert contains(MapType(u.smallint_map), refined)
+    assert contains(refined, IntRangeType(0, 5))
+
+
+def test_refine_disjoint_is_empty(world):
+    u = world.universe
+    assert refine_to_map(MapType(u.float_map), u.smallint_map, u) is EMPTY
+
+
+# -- merges (section 4) -----------------------------------------------------------
+
+
+def test_merge_bindings_same_type_stays(world):
+    t = IntRangeType(0, 3)
+    assert merge_bindings([t, t]) == t
+
+
+def test_merge_bindings_different_forms_merge_type(world):
+    u = world.universe
+    merged = merge_bindings([IntRangeType(0, 3), UNKNOWN])
+    assert isinstance(merged, MergeType)
+
+
+# -- loop-head widening (section 5.1) -----------------------------------------------
+
+
+def test_widen_values_within_class_to_class(world):
+    """The paper's counter example: 0 merged with 1 becomes 'integer' —
+    with our documented refinement, the *non-negative* integers (the
+    sign is kept so upward-counting loops can elide bounds checks)."""
+    from repro.objects import SMALLINT_MAX
+
+    u = world.universe
+    widened = widen_for_loop_head(IntRangeType(0, 0), IntRangeType(1, 1), u)
+    assert widened == IntRangeType(0, SMALLINT_MAX)
+    assert contains(MapType(u.smallint_map), widened)
+
+
+def test_widen_subranges_to_class(world):
+    from repro.objects import SMALLINT_MAX
+
+    u = world.universe
+    widened = widen_for_loop_head(IntRangeType(0, 10), IntRangeType(5, 90), u)
+    assert widened == IntRangeType(0, SMALLINT_MAX)
+
+
+def test_widen_negative_subranges_to_class(world):
+    u = world.universe
+    widened = widen_for_loop_head(IntRangeType(-5, 0), IntRangeType(1, 3), u)
+    assert widened == MapType(u.smallint_map)
+
+
+def test_widen_unknown_vs_class_forms_merge(world):
+    """Section 5.2: unknown at head + class at tail => merge {class, ?},
+    not plain unknown — that is what later splits the loop."""
+    u = world.universe
+    widened = widen_for_loop_head(UNKNOWN, MapType(u.smallint_map), u)
+    assert isinstance(widened, MergeType)
+    assert UNKNOWN in widened.constituents
+    assert MapType(u.smallint_map) in widened.constituents
+
+
+def test_widen_identical_is_stable(world):
+    u = world.universe
+    t = MapType(u.smallint_map)
+    assert widen_for_loop_head(t, t, u) == t
+
+
+def test_widen_compatible_containment_is_stable(world):
+    u = world.universe
+    head = MapType(u.smallint_map)
+    assert widen_for_loop_head(head, IntRangeType(0, 3), u) == head
+
+
+# -- loop compatibility (section 5.2) --------------------------------------------------
+
+
+def test_unknown_head_incompatible_with_class_tail(world):
+    """The paper's explicit rule."""
+    u = world.universe
+    assert not loop_compatible(UNKNOWN, MapType(u.smallint_map), u)
+
+
+def test_class_head_compatible_with_subrange_tail(world):
+    u = world.universe
+    assert loop_compatible(MapType(u.smallint_map), IntRangeType(0, 5), u)
+
+
+def test_merge_head_compatible_with_constituent_class_tail(world):
+    u = world.universe
+    head = make_merge([MapType(u.smallint_map), UNKNOWN])
+    assert loop_compatible(head, IntRangeType(0, 5), u)
+    assert loop_compatible(head, UNKNOWN, u)
+
+
+def test_head_must_contain_tail(world):
+    u = world.universe
+    assert not loop_compatible(IntRangeType(0, 5), IntRangeType(0, 9), u)
+
+
+def test_difference_tail_compatible_with_unknown_head(world):
+    u = world.universe
+    tail = make_difference(UNKNOWN, MapType(u.smallint_map))
+    assert loop_compatible(UNKNOWN, tail, u)
+
+
+# -- comparison folding and refinement ---------------------------------------------------
+
+
+def test_constant_fold_compare_disjoint_ranges(world):
+    """Section 3.2.3: comparisons fold on subrange info alone."""
+    u = world.universe
+    assert constant_fold_compare("<", IntRangeType(0, 3), IntRangeType(5, 9), u) is True
+    assert constant_fold_compare(">", IntRangeType(0, 3), IntRangeType(5, 9), u) is False
+    assert constant_fold_compare("<", IntRangeType(0, 6), IntRangeType(5, 9), u) is None
+    assert constant_fold_compare("==", IntRangeType(1, 1), IntRangeType(1, 1), u) is True
+    assert constant_fold_compare("!=", IntRangeType(0, 1), IntRangeType(5, 6), u) is True
+
+
+def test_constant_fold_compare_needs_integers(world):
+    u = world.universe
+    assert constant_fold_compare("<", UNKNOWN, IntRangeType(0, 1), u) is None
+
+
+def test_refine_compare_lt_true_branch(world):
+    u = world.universe
+    a, b = refine_compare("<", IntRangeType(0, 100), IntRangeType(0, 10), True, u)
+    assert a == IntRangeType(0, 9)
+    assert b == IntRangeType(1, 10)
+
+
+def test_refine_compare_lt_false_branch(world):
+    u = world.universe
+    a, b = refine_compare("<", IntRangeType(0, 100), IntRangeType(50, 60), False, u)
+    assert a == IntRangeType(50, 100)
+
+
+def test_refine_compare_neq_constant_endpoint(world):
+    u = world.universe
+    a, _ = refine_compare("!=", IntRangeType(0, 10), IntRangeType(0, 0), True, u)
+    assert a == IntRangeType(1, 10)
+
+
+def test_refine_compare_non_integer_passthrough(world):
+    u = world.universe
+    a, b = refine_compare("<", UNKNOWN, IntRangeType(0, 1), True, u)
+    assert a is UNKNOWN

@@ -1,0 +1,84 @@
+"""Bytecode backend tests: lowering, layout, code size."""
+
+import pytest
+
+from repro.compiler import NEW_SELF, STATIC_C, compile_code
+from repro.lang import parse_doit
+from repro.vm import NEW_SELF_MODEL, STATIC_MODEL, generate
+from repro.vm import opcodes as op
+from repro.world import World
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World()
+
+
+def _code(world, source, config=NEW_SELF, model=NEW_SELF_MODEL):
+    graph = compile_code(
+        world.universe, config, parse_doit(source),
+        world.universe.map_of(world.lobby), "<doit>",
+    )
+    return generate(graph, model)
+
+
+def test_simple_arith_lowers_to_expected_opcodes(world):
+    code = _code(world, "3 + 4")
+    opcodes = {insn[0] for insn in code.insns}
+    assert op.LOADK in opcodes
+    assert op.RETURN in opcodes
+
+
+def test_all_jump_targets_are_valid(world):
+    code = _code(world, "| i <- 0 | [ i < 9 ] whileTrue: [ i: i + 1 ]. i")
+    limit = len(code.insns)
+    for insn in code.insns:
+        for operand in insn[1:]:
+            if isinstance(operand, int) and insn[0] in (
+                op.JUMP, op.CMP_LT, op.CMP_LE, op.CMP_GT, op.CMP_GE,
+                op.CMP_EQ, op.CMP_NE,
+            ):
+                pass  # operands checked structurally below
+    # Every JUMP target within range:
+    for insn in code.insns:
+        if insn[0] == op.JUMP:
+            assert 0 <= insn[1] < limit
+
+
+def test_hot_loop_is_laid_out_as_fallthrough(world):
+    """Trace layout: the loop body follows its condition without jumps
+    in between (the back edge is the only jump on the hot path)."""
+    code = _code(world, "| i <- 0 | [ i < 9 ] whileTrue: [ i: i + 1 ]. i")
+    jumps = sum(1 for insn in code.insns if insn[0] == op.JUMP)
+    assert jumps <= 4  # back edge + a couple of merges, not one per node
+
+
+def test_code_size_uses_model_bytes(world):
+    small = _code(world, "3 + 4")
+    big = _code(world, "| v | v: (vector copySize: 4). v atAllPut: 1. v at: 2")
+    assert small.size_bytes >= STATIC_MODEL.method_overhead_bytes
+    assert big.size_bytes > small.size_bytes
+
+
+def test_static_code_is_smaller_than_dynamic(world):
+    source = "| s <- 0 | 1 to: 20 Do: [ | :i | s: s + i ]. s"
+    dynamic = _code(world, source)
+    static = _code(world, source, STATIC_C, STATIC_MODEL)
+    assert static.size_bytes < dynamic.size_bytes
+
+
+def test_disassembly_is_readable(world):
+    code = _code(world, "3 + 4")
+    text = code.disassemble()
+    assert "LOADK" in text and "RETURN" in text
+
+
+def test_register_count_is_bounded(world):
+    code = _code(world, "3 + 4")
+    assert code.reg_count < 40
+
+
+def test_consts_are_pooled(world):
+    code = _code(world, "| a <- 5. b <- 5 | a + b")
+    fives = [c for c in code.consts if c == 5]
+    assert len(fives) == 1, "identical constants share one pool entry"

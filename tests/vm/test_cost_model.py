@@ -1,0 +1,58 @@
+"""Cost model invariants: determinism and per-system orderings."""
+
+import pytest
+
+from repro.compiler import NEW_SELF, OLD_SELF_89, OLD_SELF_90, ST80, STATIC_C
+from repro.vm import MODELS, Runtime, model_for
+from repro.vm import opcodes as op
+from repro.world import World
+
+LOOP = "| s <- 0 | 1 to: 500 Do: [ | :i | s: s + i ]. s"
+
+
+def test_cycles_are_deterministic():
+    w1, w2 = World(), World()
+    a = Runtime(w1, NEW_SELF)
+    b = Runtime(w2, NEW_SELF)
+    a.run(LOOP)
+    b.run(LOOP)
+    assert a.cycles == b.cycles
+    assert a.instructions == b.instructions
+
+
+def test_system_speed_ordering_on_a_loop():
+    """static < new SELF < old SELF-89 <= old SELF-90 < ST-80 cycles."""
+    cycles = {}
+    for config in (STATIC_C, NEW_SELF, OLD_SELF_89, OLD_SELF_90, ST80):
+        rt = Runtime(World(), config)
+        assert rt.run(LOOP) == 125250
+        cycles[config.name] = rt.cycles
+    assert cycles["optimized C"] < cycles["new SELF"]
+    assert cycles["new SELF"] < cycles["old SELF-89"]
+    assert cycles["old SELF-89"] <= cycles["old SELF-90"]
+    assert cycles["old SELF-90"] < cycles["ST-80"]
+
+
+def test_every_opcode_has_cycle_and_byte_costs():
+    model = model_for("new SELF")
+    for name, value in vars(op).items():
+        if isinstance(value, int) and name.isupper() and name != "NAMES":
+            assert model.instruction_cycles(value) >= 0
+            assert model.instruction_bytes(value) >= 0
+
+
+def test_model_lookup_by_config_name():
+    for name in ("optimized C", "new SELF", "old SELF-89", "old SELF-90", "ST-80"):
+        assert model_for(name).name == name
+    assert model_for("something else").name == "new SELF"
+
+
+def test_static_moves_are_free_dynamic_moves_are_not():
+    assert model_for("optimized C").move_cycles == 0
+    assert model_for("new SELF").move_cycles >= 1
+    assert model_for("old SELF-90").move_cycles > model_for("new SELF").move_cycles
+
+
+def test_allocation_is_costlier_in_c():
+    """1990 malloc vs. SELF's bump allocator (explains the tree numbers)."""
+    assert model_for("optimized C").alloc_cycles > model_for("new SELF").alloc_cycles

@@ -1,0 +1,79 @@
+"""Inline-cache behaviour: monomorphic hits, polymorphic relinking.
+
+The monomorphic (single-entry) cache is what produces the paper's
+richards anomaly: a call site alternating between receiver maps relinks
+on every send.  The receivers are loaded from a vector so the compiler
+cannot statically bind them (it would otherwise inline everything away).
+"""
+
+import pytest
+
+from repro.compiler import NEW_SELF
+from repro.vm import Runtime
+from repro.world import World
+
+SETUP = """|
+  red = (| parent* = traits clonable. kindTag = ( 'r' ). hue = ( 0 ) |).
+  blue = (| parent* = traits clonable. kindTag = ( 'b' ). hue = ( 240 ) |).
+  monoLoop = ( | v. s <- 0. i <- 0 |
+    v: (vector copySize: 2).
+    v at: 0 Put: blue. v at: 1 Put: blue.
+    [ i < 50 ] whileTrue: [ s: s + (v at: (i % 2)) hue. i: i + 1 ].
+    s ).
+  polyLoop = ( | v. s <- 0. i <- 0 |
+    v: (vector copySize: 2).
+    v at: 0 Put: red. v at: 1 Put: blue.
+    [ i < 50 ] whileTrue: [ s: s + (v at: (i % 2)) hue. i: i + 1 ].
+    s ).
+|"""
+
+
+@pytest.fixture
+def world():
+    w = World()
+    w.add_slots(SETUP)
+    return w
+
+
+def test_monomorphic_site_hits_after_first_miss(world):
+    rt = Runtime(world, NEW_SELF)
+    assert rt.run("monoLoop") == 240 * 50
+    assert rt.send_hits >= 45
+    assert rt.send_megamorphic == 0
+
+
+def test_polymorphic_site_relinks_every_call(world):
+    """Alternating receiver maps defeat a monomorphic cache (§6.1)."""
+    rt = Runtime(world, NEW_SELF)
+    assert rt.run("polyLoop") == 240 * 25
+    assert rt.send_megamorphic >= 40  # nearly every iteration relinks
+
+
+def test_polymorphism_costs_cycles(world):
+    mono = Runtime(world, NEW_SELF)
+    mono.run("monoLoop")
+    poly = Runtime(world, NEW_SELF)
+    poly.run("polyLoop")
+    # Same send count, much higher cost: each relink pays the lookup.
+    assert poly.cycles > mono.cycles * 1.5
+
+
+def test_relinking_never_recompiles(world):
+    rt = Runtime(world, NEW_SELF)
+    rt.run("polyLoop")
+    compiled_once = rt.methods_compiled
+    rt.run("polyLoop")
+    # Only the fresh do-it compiles; hue versions come from the cache.
+    assert rt.methods_compiled == compiled_once + 1
+
+
+def test_polymorphic_cache_extension_dispatches_without_relink(world):
+    from repro.vm import Runtime as RT
+
+    plain = RT(world, NEW_SELF)
+    plain.run("polyLoop")
+    extended = RT(world, NEW_SELF, use_polymorphic_caches=True)
+    extended.run("polyLoop")
+    assert extended.send_pic_hits > 40
+    assert extended.send_megamorphic == 0
+    assert extended.cycles < plain.cycles

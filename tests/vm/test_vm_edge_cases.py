@@ -1,0 +1,100 @@
+"""VM edge cases: checked arithmetic branches, cross-segment NLR,
+dynamic loops through the primitive fallback."""
+
+import pytest
+
+from repro.compiler import NEW_SELF, OLD_SELF_90
+from repro.objects import NonLocalReturnFromDeadActivation, PrimitiveFailed
+from repro.vm import Runtime
+from repro.world import World
+
+
+def test_checked_div_by_zero_takes_failure_branch(fresh_world):
+    # The failure branch feeds the standard library's _BigDiv retry,
+    # which fails again with the right code.
+    rt = Runtime(fresh_world, NEW_SELF)
+    with pytest.raises(PrimitiveFailed) as info:
+        rt.run("| a <- 8. b <- 0 | a / b")
+    assert info.value.code == "divisionByZeroError"
+
+
+def test_checked_overflow_promotes_through_failure_branch(fresh_world):
+    rt = Runtime(fresh_world, NEW_SELF)
+    assert (
+        fresh_world.universe.print_string(rt.run("| a <- 1073741823 | a + a"))
+        == "2147483646"
+    )
+
+
+def test_mod_negative_divisor(fresh_world):
+    rt = Runtime(fresh_world, NEW_SELF)
+    assert rt.run("| a <- 17. b <- -5 | a % b") == -3
+
+
+def test_dynamic_loop_through_primitive_fallback(fresh_world):
+    """A whileTrue: whose blocks the compiler cannot see runs through
+    _BlockWhileTrue:, which re-enters the VM once per iteration."""
+    w = fresh_world
+    w.add_slots(
+        """|
+        looper = (| parent* = traits clonable. c. b.
+                    cond: x Body: y = ( c: x. b: y. self ).
+                    go = ( c whileTrue: b ) |).
+        |"""
+    )
+    rt = Runtime(w, NEW_SELF)
+    result = rt.run(
+        "| n <- 0 | (looper cond: [ n < 4 ] Body: [ n: n + 1 ]) go. n"
+    )
+    assert result == 4
+
+
+def test_nlr_across_vm_segments(fresh_world):
+    """A ^ inside the body of a *dynamic* loop unwinds through the
+    nested run segment the loop primitive created."""
+    w = fresh_world
+    w.add_slots(
+        """|
+        runBoth: c And: b = ( c whileTrue: b. -1 ).
+        findIt = ( | n <- 0 |
+          runBoth: [ n < 100 ] And: [ n: n + 1. n = 7 ifTrue: [ ^ n ] ].
+          -2 ).
+        |"""
+    )
+    rt = Runtime(w, NEW_SELF.but(inline_size_limit=4))
+    assert rt.call(w.lobby, "findIt") == 7
+
+
+def test_nlr_across_segments_into_dead_frame(fresh_world):
+    w = fresh_world
+    w.add_slots(
+        """|
+        stash = (| parent* = traits clonable. blk.
+                   keep: b = ( blk: b. self ).
+                   runIt = ( [ false ] whileTrue: [ nil ]. blk value ) |).
+        makeEscaper = ( stash keep: [ ^ 1 ]. nil ).
+        |"""
+    )
+    rt = Runtime(w, NEW_SELF)
+    rt.run("makeEscaper")
+    with pytest.raises(NonLocalReturnFromDeadActivation):
+        rt.run("stash runIt")
+
+
+def test_deep_vm_recursion_does_not_hit_host_limits(fresh_world):
+    w = fresh_world
+    w.add_slots("| down: n = ( n = 0 ifTrue: [ ^ 0 ]. 1 + (down: n - 1) ) |")
+    rt = Runtime(w, OLD_SELF_90)
+    # 5000 activations: far beyond CPython's default recursion limit —
+    # the VM's frame stack is an explicit list.
+    assert rt.call(w.lobby, "down:", [5000]) == 5000
+
+
+def test_reentrant_runtimes_share_a_world(fresh_world):
+    w = fresh_world
+    w.add_slots("| counter <- 0 |")
+    a = Runtime(w, NEW_SELF)
+    b = Runtime(w, OLD_SELF_90)
+    a.run("counter: counter + 1")
+    b.run("counter: counter + 1")
+    assert w.eval("counter") == 2

@@ -1,0 +1,157 @@
+"""VM execution: frames, sends, blocks, NLR, errors, measurements."""
+
+import pytest
+
+from repro.compiler import NEW_SELF, OLD_SELF_90, ST80
+from repro.objects import (
+    MessageNotUnderstood,
+    NonLocalReturnFromDeadActivation,
+    PrimitiveFailed,
+)
+from repro.vm import Runtime
+from repro.world import World
+
+
+@pytest.fixture
+def runtime(fresh_world):
+    return Runtime(fresh_world, NEW_SELF)
+
+
+def test_run_returns_value(runtime):
+    assert runtime.run("3 + 4 * 2") == 14
+
+
+def test_cycles_accumulate_and_reset(runtime):
+    runtime.run("3 + 4")
+    assert runtime.cycles > 0
+    runtime.reset_measurements()
+    assert runtime.cycles == 0
+
+
+def test_code_cache_compiles_each_method_once(fresh_world):
+    w = fresh_world
+    w.add_slots("| double: n = ( n + n ) |")
+    rt = Runtime(w, NEW_SELF)
+    assert rt.call(w.lobby, "double:", [3]) == 6
+    first = rt.methods_compiled
+    assert rt.call(w.lobby, "double:", [4]) == 8
+    assert rt.methods_compiled == first, "second call reuses the cache"
+
+
+def test_customization_compiles_per_receiver_map(fresh_world):
+    w = fresh_world
+    w.add_slots(
+        """|
+        a = (| parent* = traits clonable. name = ( 'A' ). greet = ( name ) |).
+        b = (| parent* = traits clonable. name = ( 'B' ). greetToo = ( 3 ) |).
+        shared = (| parent* = traits clonable. tag = ( 'x' ) |).
+        |"""
+    )
+    rt = Runtime(w, NEW_SELF)
+    assert rt.run("a greet") == "A"
+
+
+def test_dynamic_dispatch_selects_by_receiver(fresh_world):
+    w = fresh_world
+    w.add_slots(
+        """|
+        cat = (| parent* = traits clonable. speak = ( 'meow' ) |).
+        dog = (| parent* = traits clonable. speak = ( 'woof' ) |).
+        speakOf: x = ( x speak ).
+        |"""
+    )
+    rt = Runtime(w, NEW_SELF)
+    assert rt.run("(speakOf: cat) , (speakOf: dog)") == "meowwoof"
+
+
+def test_runtime_block_invocation(fresh_world):
+    w = fresh_world
+    w.add_slots(
+        """|
+        applier = (| parent* = traits clonable.
+                     apply: blk To: x = ( blk value: x ) |).
+        |"""
+    )
+    rt = Runtime(w, NEW_SELF)
+    assert rt.run("applier apply: [ :v | v * 3 ] To: 14") == 42
+
+
+def test_runtime_nlr_through_dynamic_block(fresh_world):
+    w = fresh_world
+    w.add_slots(
+        """|
+        each: v Do: blk = ( | i <- 0 | [ i < v size ] whileTrue: [
+            blk value: (v at: i). i: i + 1 ]. nil ).
+        findFirstBig: v = ( each: v Do: [ | :e | e > 10 ifTrue: [ ^ e ] ]. -1 ).
+        |"""
+    )
+    rt = Runtime(w, NEW_SELF)
+    result = rt.run(
+        "| v | v: (vector copySize: 4). v at: 0 Put: 3. v at: 1 Put: 25. "
+        "v at: 2 Put: 7. v at: 3 Put: 99. findFirstBig: v"
+    )
+    assert result == 25
+
+
+def test_nlr_into_dead_frame_raises(fresh_world):
+    w = fresh_world
+    w.add_slots(
+        """|
+        holder = (| parent* = traits clonable. blk.
+                    make = ( blk: [ ^ 1 ]. self ).
+                    fire = ( blk value ) |).
+        |"""
+    )
+    rt = Runtime(w, NEW_SELF)
+    rt.run("holder make")
+    with pytest.raises(NonLocalReturnFromDeadActivation):
+        rt.run("holder fire")
+
+
+def test_mnu_raises(runtime):
+    with pytest.raises(MessageNotUnderstood):
+        runtime.run("3 quux")
+
+
+def test_primitive_failure_raises_without_handler(runtime):
+    with pytest.raises(PrimitiveFailed):
+        runtime.run("| v | v: (vector copySize: 2). v at: 9")
+
+
+def test_uplevel_assignment_through_escaping_block(fresh_world):
+    w = fresh_world
+    w.add_slots(
+        """|
+        twice: blk = ( blk value. blk value. nil ).
+        counter = ( | n <- 0 | twice: [ n: n + 1 ]. n ).
+        |"""
+    )
+    rt = Runtime(w, NEW_SELF)
+    assert rt.run("counter") == 2
+
+
+def test_instruction_count_tracks_execution(runtime):
+    runtime.run("| s <- 0 | 1 to: 100 Do: [ | :i | s: s + i ]. s")
+    short = runtime.instructions
+    runtime.reset_measurements()
+    runtime.run("| s <- 0 | 1 to: 1000 Do: [ | :i | s: s + i ]. s")
+    assert runtime.instructions > short * 5
+
+
+def test_compile_seconds_counted(fresh_world):
+    rt = Runtime(fresh_world, NEW_SELF)
+    rt.run("| s <- 0 | 1 to: 10 Do: [ | :i | s: s + i ]. s")
+    assert rt.compile_seconds > 0
+
+
+def test_code_bytes_accumulate(fresh_world):
+    rt = Runtime(fresh_world, NEW_SELF)
+    rt.run("3 + 4")
+    assert rt.code_bytes > 0
+
+
+@pytest.mark.parametrize("config", [NEW_SELF, OLD_SELF_90, ST80])
+def test_overflow_promotes_in_all_configs(fresh_world, config):
+    rt = Runtime(fresh_world, config)
+    result = rt.run("(1073741823 + 2) - 2")
+    assert result == 1073741823

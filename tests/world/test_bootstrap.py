@@ -1,0 +1,188 @@
+"""World bootstrap and standard library behaviour (via the interpreter)."""
+
+import pytest
+
+from repro.objects import GuestError, MessageNotUnderstood, PrimitiveFailed
+from repro.world import World
+
+
+def test_lobby_globals_exist(shared_world):
+    for name in ("nil", "true", "false", "traits", "vector", "lobby"):
+        shared_world.get_global(name)
+
+
+def test_boolean_singletons(shared_world):
+    w = shared_world
+    assert w.get_global("true") is w.universe.true_object
+    assert w.get_global("false") is w.universe.false_object
+
+
+def test_integers_reach_traits_integer(shared_world):
+    assert shared_world.eval_expression("3 + 4") == 7
+
+
+def test_integers_reach_clonable(shared_world):
+    assert shared_world.eval_expression("3 yourself") == 3
+
+
+def test_integers_reach_lobby_globals(shared_world):
+    # `vector` resolves from an integer-receiver method context only
+    # because the parent chain reaches the lobby.
+    assert shared_world.eval_expression("(vector copySize: 2) size") == 2
+
+
+@pytest.mark.parametrize(
+    "source, expected",
+    [
+        ("7 max: 3", 7),
+        ("7 min: 3", 3),
+        ("(-9) abs", 9),
+        ("9 negate", -9),
+        ("4 between: 1 And: 10", True),
+        ("11 between: 1 And: 10", False),
+        ("6 even", True),
+        ("6 odd", False),
+        ("5 succ", 6),
+        ("5 pred", 4),
+        ("17 % 5", 2),
+        ("17 / 5", 3),
+        ("-17 / 5", -4),  # floor division, as documented
+        ("6 bitAnd: 3", 2),
+        ("6 bitOr: 3", 7),
+        ("6 bitXor: 3", 5),
+        ("3 bitShiftLeft: 2", 12),
+        ("12 bitShiftRight: 2", 3),
+    ],
+)
+def test_integer_protocol(shared_world, source, expected):
+    result = shared_world.eval_expression(source)
+    if isinstance(expected, bool):
+        assert result is shared_world.boolean(expected)
+    else:
+        assert result == expected
+
+
+def test_overflow_promotes_to_big_integers(shared_world):
+    w = shared_world
+    big = w.eval_expression("1073741823 + 1")
+    assert w.universe.print_string(big) == "1073741824"
+    # ...and demotes back when the result fits.
+    assert w.eval_expression("(1073741823 + 1) - 1") == 1073741823
+
+
+def test_big_integer_multiplication(shared_world):
+    w = shared_world
+    assert w.universe.print_string(w.eval_expression("100000 * 100000")) == "10000000000"
+
+
+def test_division_by_zero_fails(shared_world):
+    with pytest.raises(PrimitiveFailed) as info:
+        shared_world.eval_expression("3 / 0")
+    assert info.value.code == "divisionByZeroError"
+
+
+def test_boolean_protocol(shared_world):
+    w = shared_world
+    assert w.eval_expression("true not") is w.universe.false_object
+    assert w.eval_expression("(true and: [ false ])") is w.universe.false_object
+    assert w.eval_expression("(false or: [ true ])") is w.universe.true_object
+    assert w.eval_expression("true ifTrue: [ 1 ] False: [ 2 ]") == 1
+    assert w.eval_expression("false ifTrue: [ 1 ] False: [ 2 ]") == 2
+    assert w.eval_expression("false ifFalse: [ 9 ]") == 9
+
+
+def test_vector_protocol(fresh_world):
+    w = fresh_world
+    assert w.eval("| v | v: (vector copySize: 3). v atAllPut: 7. v at: 1") == 7
+    assert w.eval("(vector copySize: 5) size") == 5
+    assert w.eval("(vector copySize: 0) isEmpty") is w.universe.true_object
+    assert w.eval(
+        "| v | v: (vector copySize: 3 FillingWith: 9). (v at: 0) + (v at: 2)"
+    ) == 18
+    assert w.eval(
+        "| v. s | s: 0. v: (vector copySize: 4). v doIndexes: [ | :i | v at: i Put: i ]. "
+        "v do: [ | :e | s: s + e ]. s"
+    ) == 6
+    assert w.eval("| v | v: (vector copySize: 3). v at: 0 Put: 5. v first") == 5
+
+
+def test_string_protocol(shared_world):
+    w = shared_world
+    assert w.eval_expression("'abc' size") == 3
+    assert w.eval_expression("('ab' , 'cd') size") == 4
+    assert w.eval_expression("'' isEmpty") is w.universe.true_object
+
+
+def test_float_protocol(shared_world):
+    w = shared_world
+    assert w.eval_expression("1.5 + 2.25") == 3.75
+    assert w.eval_expression("2 asFloat") == 2.0
+    assert w.eval_expression("2.9 truncate") == 2
+    assert w.eval_expression("(1.0 < 2.0)") is w.universe.true_object
+
+
+def test_nil_protocol(shared_world):
+    w = shared_world
+    assert w.eval_expression("nil isNil") is w.universe.true_object
+    assert w.eval_expression("3 isNil") is w.universe.false_object
+
+
+def test_equality_protocol(shared_world):
+    w = shared_world
+    assert w.eval_expression("3 = 3") is w.universe.true_object
+    assert w.eval_expression("3 = 'x'") is w.universe.false_object
+    assert w.eval_expression("3 != 4") is w.universe.true_object
+    assert w.eval_expression("'a' = 'a'") is w.universe.true_object
+
+
+def test_add_slots_defines_prototypes(fresh_world):
+    w = fresh_world
+    w.add_slots(
+        """|
+        counter = (| parent* = traits clonable. n <- 0.
+                     bump = ( n: n + 1. self ).
+                     value = ( n ) |).
+        |"""
+    )
+    assert w.eval("| c | c: counter clone. c bump bump bump value") == 3
+
+
+def test_prototype_map_named_after_slot(fresh_world):
+    w = fresh_world
+    w.add_slots("| widget = (| parent* = traits clonable. w <- 1 |) |")
+    assert w.get_global("widget").map.name == "widget"
+
+
+def test_message_not_understood(shared_world):
+    with pytest.raises(MessageNotUnderstood):
+        shared_world.eval_expression("3 fizzbuzz")
+
+
+def test_guest_error_routine(shared_world):
+    with pytest.raises(GuestError):
+        shared_world.eval_expression("_Error: 'boom'")
+
+
+def test_print_output_collected(fresh_world):
+    w = fresh_world
+    w.eval_expression("'hi' printLine")
+    assert w.universe.take_output() == "hi\n"
+
+
+def test_timesRepeat(shared_world):
+    assert shared_world.eval("| s <- 0 | 4 timesRepeat: [ s: s + 3 ]. s") == 12
+
+
+def test_to_by_do(shared_world):
+    assert shared_world.eval("| s <- 0 | 1 to: 10 By: 3 Do: [ | :i | s: s + i ]. s") == 22
+
+
+def test_down_to_do(shared_world):
+    assert shared_world.eval("| s <- 0 | 3 downTo: 1 Do: [ | :i | s: s + i ]. s") == 6
+
+
+def test_add_slots_from_file(fresh_world, tmp_path):
+    path = tmp_path / "lib.self"
+    path.write_text("| tripled: n = ( n * 3 ) |")
+    fresh_world.add_slots_from(path)
+    assert fresh_world.eval_expression("tripled: 14") == 42

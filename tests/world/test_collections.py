@@ -1,0 +1,73 @@
+"""The vector higher-order protocol (collect:, select:, inject:Into:,
+detect:IfNone:, sorting) — on the interpreter and across VM configs."""
+
+import pytest
+
+from repro.compiler import NEW_SELF, OLD_SELF_90, ST80
+from repro.vm import Runtime
+from repro.world import World
+
+FILL = "| v | v: (vector copySize: 6). v doIndexes: [ | :i | v at: i Put: 6 - i ]. "
+
+CASES = [
+    (FILL + "(v collect: [ | :e | e * 2 ]) sum", 42),
+    (FILL + "(v select: [ | :e | e even ]) size", 3),
+    (FILL + "v inject: 0 Into: [ | :a :e | a + e ]", 21),
+    (FILL + "v detect: [ | :e | e < 3 ] IfNone: [ -1 ]", 2),
+    (FILL + "v detect: [ | :e | e > 99 ] IfNone: [ -1 ]", -1),
+    (FILL + "v indexOf: 4", 2),
+    (FILL + "v indexOf: 99", -1),
+    (FILL + "(v reverse at: 0)", 1),
+    (FILL + "(v sorted at: 0)", 1),
+    (FILL + "(v sorted at: 5)", 6),
+    (FILL + "v maxElement", 6),
+    (FILL + "v minElement", 1),
+    (FILL + "v sum", 21),
+    (FILL + "v first + v last", 7),
+]
+
+BOOLEAN_CASES = [
+    (FILL + "v includes: 4", True),
+    (FILL + "v includes: 99", False),
+    (FILL + "v anySatisfy: [ | :e | e > 5 ]", True),
+    (FILL + "v anySatisfy: [ | :e | e > 9 ]", False),
+    (FILL + "v allSatisfy: [ | :e | e > 0 ]", True),
+    (FILL + "v allSatisfy: [ | :e | e > 1 ]", False),
+]
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World()
+
+
+@pytest.mark.parametrize("source, expected", CASES)
+def test_protocol_on_interpreter(world, source, expected):
+    assert world.eval(source) == expected
+
+
+@pytest.mark.parametrize("source, expected", BOOLEAN_CASES)
+def test_boolean_protocol_on_interpreter(world, source, expected):
+    assert world.eval(source) is world.boolean(expected)
+
+
+@pytest.mark.parametrize("config", [NEW_SELF, OLD_SELF_90, ST80])
+def test_protocol_agrees_on_vm(world, config):
+    runtime = Runtime(world, config)
+    for source, expected in CASES:
+        assert runtime.run(source) == expected, (config.name, source)
+    for source, expected in BOOLEAN_CASES:
+        assert runtime.run(source) is world.boolean(expected), (config.name, source)
+
+
+def test_sorted_does_not_mutate_receiver(world):
+    assert world.eval(FILL + "v sorted. v at: 0") == 6
+
+
+def test_sort_is_stable_against_duplicates(world):
+    source = (
+        "| v | v: (vector copySize: 5). "
+        "v at: 0 Put: 3. v at: 1 Put: 1. v at: 2 Put: 3. v at: 3 Put: 1. v at: 4 Put: 2. "
+        "(((v sorted at: 0) * 100) + ((v sorted at: 2) * 10)) + (v sorted at: 4)"
+    )
+    assert world.eval(source) == 123

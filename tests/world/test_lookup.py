@@ -1,0 +1,114 @@
+"""Message lookup semantics: parent chains, shadowing, ambiguity, caching."""
+
+import pytest
+
+from repro.objects import AmbiguousLookup
+from repro.world import World
+from repro.world.lookup import lookup_slot
+
+
+def test_own_slot_found(fresh_world):
+    w = fresh_world
+    w.add_slots("| thing = (| parent* = traits clonable. x <- 5 |) |")
+    thing = w.get_global("thing")
+    holder, slot = lookup_slot(w.universe, thing, "x")
+    assert holder is thing
+    assert slot.kind == "data"
+
+
+def test_parent_slot_found_with_parent_holder(fresh_world):
+    w = fresh_world
+    w.add_slots(
+        """|
+        base = (| parent* = traits clonable. shared <- 42 |).
+        derived = (| parent* = base |).
+        |"""
+    )
+    derived = w.get_global("derived")
+    base = w.get_global("base")
+    holder, slot = lookup_slot(w.universe, derived, "shared")
+    assert holder is base  # shared state lives in the parent
+
+
+def test_data_in_parent_is_shared_state(fresh_world):
+    w = fresh_world
+    w.add_slots(
+        """|
+        base = (| parent* = traits clonable. shared <- 0 |).
+        a = (| parent* = base |).
+        b = (| parent* = base |).
+        |"""
+    )
+    w.eval_expression("a shared: 9")
+    assert w.eval_expression("b shared") == 9
+
+
+def test_child_shadows_parent(fresh_world):
+    w = fresh_world
+    w.add_slots(
+        """|
+        base = (| parent* = traits clonable. name = ( 'base' ) |).
+        child = (| parent* = base. name = ( 'child' ) |).
+        |"""
+    )
+    assert w.eval_expression("child name") == "child"
+    assert w.eval_expression("base name") == "base"
+
+
+def test_shallower_match_wins_over_deeper(fresh_world):
+    w = fresh_world
+    w.add_slots(
+        """|
+        grandparent = (| parent* = traits clonable. depth = ( 2 ) |).
+        parentObj = (| parent* = grandparent. depth = ( 1 ) |).
+        child = (| parent* = parentObj |).
+        |"""
+    )
+    assert w.eval_expression("child depth") == 1
+
+
+def test_ambiguous_lookup_raises(fresh_world):
+    w = fresh_world
+    w.add_slots(
+        """|
+        left = (| v = ( 1 ) |).
+        right = (| v = ( 2 ) |).
+        both = (| p1* = left. p2* = right |).
+        |"""
+    )
+    with pytest.raises(AmbiguousLookup):
+        w.eval_expression("both v")
+
+
+def test_same_slot_through_diamond_is_not_ambiguous(fresh_world):
+    w = fresh_world
+    w.add_slots(
+        """|
+        top = (| v = ( 7 ) |).
+        l = (| p* = top |).
+        r = (| p* = top |).
+        bottom = (| p1* = l. p2* = r |).
+        |"""
+    )
+    assert w.eval_expression("bottom v") == 7
+
+
+def test_lookup_miss_returns_none(fresh_world):
+    w = fresh_world
+    assert lookup_slot(w.universe, 3, "noSuchSelector") is None
+
+
+def test_cache_invalidated_by_add_slots(fresh_world):
+    w = fresh_world
+    w.add_slots("| box = (| parent* = traits clonable |) |")
+    assert lookup_slot(w.universe, w.get_global("box"), "late") is None
+    w.add_slots("| late = ( 5 ) |", to=w.get_global("box"))
+    holder, slot = lookup_slot(w.universe, w.get_global("box"), "late")
+    assert slot is not None
+
+
+def test_lookup_cached_per_map(fresh_world):
+    w = fresh_world
+    first = lookup_slot(w.universe, 3, "+")
+    second = lookup_slot(w.universe, 4, "+")  # same map, cached path
+    assert first[1] is second[1]

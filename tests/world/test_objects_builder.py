@@ -1,0 +1,68 @@
+"""Object-construction error paths and literal-map caching."""
+
+import pytest
+
+from repro.lang import parse_expression
+from repro.objects import ReproInternalError
+from repro.world import World
+from repro.world.objects_builder import build_object, compile_slot_decls
+
+
+@pytest.fixture
+def world():
+    return World()
+
+
+def test_object_literal_map_is_cached_per_node(world):
+    w = world
+    literal = parse_expression("(| v <- 3 |)")
+
+    def eval_expr(expr, name=""):
+        return w.interpreter.eval_doit(
+            __import__("repro.lang.ast_nodes", fromlist=["MethodNode"]).MethodNode(
+                (), [], [expr]
+            )
+        )
+
+    first = build_object(w.universe, literal, eval_expr)
+    second = build_object(w.universe, literal, eval_expr)
+    assert first.map is second.map
+    assert first is not second
+    first.set_data(0, 99)
+    assert second.get_data(0) == 3  # data is per instance
+
+
+def test_unknown_slot_kind_rejected(world):
+    class Bogus:
+        name = "x"
+        kind = "mystery"
+        value = None
+
+    with pytest.raises(ReproInternalError):
+        compile_slot_decls([Bogus()], lambda e, n="": None)
+
+
+def test_method_slot_requires_body(world):
+    class Broken:
+        name = "m"
+        kind = "method"
+        value = None  # not a MethodNode
+
+    with pytest.raises(ReproInternalError):
+        compile_slot_decls([Broken()], lambda e, n="": None)
+
+
+def test_add_slots_rejects_non_objects(world):
+    with pytest.raises(TypeError):
+        world.add_slots("| x = 1 |", to=42)
+
+
+def test_data_offsets_continue_after_existing(world):
+    w = world
+    w.add_slots("| holder = (| parent* = traits clonable. a <- 1 |) |")
+    holder = w.get_global("holder")
+    w.add_slots("| b <- 2 |", to=holder)
+    a_slot = w.universe.map_of(holder).own_slot("a")
+    b_slot = w.universe.map_of(holder).own_slot("b")
+    assert b_slot.offset == a_slot.offset + 1
+    assert w.eval_expression("holder a + holder b") == 3

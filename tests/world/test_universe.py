@@ -1,0 +1,88 @@
+"""Universe services: map dispatch, printing, block maps, output."""
+
+import pytest
+
+from repro.lang import parse_expression
+from repro.objects import BigInt, SelfVector
+from repro.world import World
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World()
+
+
+def test_map_of_every_value_kind(world):
+    u = world.universe
+    assert u.map_of(3) is u.smallint_map
+    assert u.map_of(BigInt(2**40)) is u.bigint_map
+    assert u.map_of(2.5) is u.float_map
+    assert u.map_of("s") is u.string_map
+    assert u.map_of(u.nil_object) is u.nil_map
+    assert u.map_of(u.true_object) is u.true_map
+    assert u.map_of(u.false_object) is u.false_map
+    vector = SelfVector(u.vector_map, [])
+    assert u.map_of(vector) is u.vector_map
+
+
+def test_map_of_rejects_host_bools(world):
+    with pytest.raises(TypeError):
+        world.universe.map_of(True)
+
+
+def test_map_of_rejects_foreign_values(world):
+    with pytest.raises(TypeError):
+        world.universe.map_of(object())
+
+
+def test_boolean_helper(world):
+    u = world.universe
+    assert u.boolean(True) is u.true_object
+    assert u.boolean(False) is u.false_object
+    assert u.is_true(u.true_object)
+    assert u.is_false(u.false_object)
+    assert not u.is_true(3)
+
+
+def test_block_maps_are_per_literal_and_cached(world):
+    u = world.universe
+    block_a = parse_expression("[ 1 ]")
+    block_b = parse_expression("[ 1 ]")
+    assert u.block_map(block_a) is u.block_map(block_a)
+    assert u.block_map(block_a) is not u.block_map(block_b)
+    assert u.block_map(block_a).kind == "block"
+
+
+def test_block_maps_inherit_block_traits(world):
+    u = world.universe
+    block = parse_expression("[ 2 ]")
+    parents = [s.value for s in u.block_map(block).parent_slots()]
+    assert u.block_traits in parents
+
+
+def test_print_string_rendering(world):
+    u = world.universe
+    assert u.print_string(42) == "42"
+    assert u.print_string(BigInt(2**40)) == str(2**40)
+    assert u.print_string("hi") == "hi"
+    assert u.print_string(u.nil_object) == "nil"
+    assert u.print_string(u.true_object) == "true"
+    vector = SelfVector(u.vector_map, [1, 2])
+    assert u.print_string(vector) == "(1, 2)"
+
+
+def test_output_buffer(world):
+    u = world.universe
+    u.write_output("a")
+    u.write_output("b")
+    assert u.take_output() == "ab"
+    assert u.take_output() == ""
+
+
+def test_worlds_are_isolated():
+    w1, w2 = World(), World()
+    assert w1.universe.smallint_map is not w2.universe.smallint_map
+    w1.add_slots("| onlyInOne = 5 |")
+    assert w1.get_global("onlyInOne") == 5
+    with pytest.raises(KeyError):
+        w2.get_global("onlyInOne")
