@@ -14,6 +14,12 @@ Usage::
     python -m repro.bench raw --json results.json   # machine-readable
 
 Add ``--no-puzzle`` to skip the (large) puzzle benchmark.
+
+Measurements fan out over ``--jobs`` worker processes (default: the
+host CPU count) and are replayed from the on-disk ``.bench_cache/``
+when the simulator sources are unchanged; ``--no-cache`` forces fresh
+runs.  Both knobs only change wall-clock time — the modeled numbers in
+every table are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -22,12 +28,28 @@ import argparse
 import json
 import sys
 
-from .base import SYSTEMS, all_benchmarks
-from .harness import GLOBAL_SESSION
+from .base import SYSTEMS, all_benchmarks, get_benchmark
+from .harness import Session
 from . import tables
 
 
-def _raw_matrix(include_puzzle: bool) -> str:
+def _matrix_pairs(include_puzzle: bool) -> list[tuple[str, str]]:
+    return [
+        (name, system)
+        for name in sorted(all_benchmarks())
+        if include_puzzle or name != "puzzle"
+        for system in SYSTEMS
+    ]
+
+
+def _ablation_pairs() -> list[tuple[str, str]]:
+    return [
+        (get_benchmark(name).c_baseline, "static")
+        for name in ("sumTo", "sieve", "queens", "richards")
+    ]
+
+
+def _raw_matrix(session: Session, include_puzzle: bool) -> str:
     lines = [
         f"{'benchmark':12}{'system':>12}{'cycles':>14}{'KB':>8}"
         f"{'compile s':>11}{'insns':>12}{'%C':>7}"
@@ -36,8 +58,8 @@ def _raw_matrix(include_puzzle: bool) -> str:
         if name == "puzzle" and not include_puzzle:
             continue
         for system in SYSTEMS:
-            r = GLOBAL_SESSION.result(name, system)
-            pct = GLOBAL_SESSION.percent_of_c(name, system)
+            r = session.result(name, system)
+            pct = session.percent_of_c(name, system)
             lines.append(
                 f"{name:12}{system:>12}{r.cycles:>14}{r.code_kb:>8.1f}"
                 f"{r.compile_seconds:>11.3f}{r.instructions:>12}{pct:>6.0f}%"
@@ -62,40 +84,63 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="with 'raw': also write the matrix as JSON to PATH",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the measurement matrix "
+        "(default: CPU count; 1 runs serially in-process)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the on-disk measurement cache",
+    )
     args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be at least 1")
     include_puzzle = not args.no_puzzle
+
+    session = Session(jobs=args.jobs, use_cache=not args.no_cache)
+    # Measure everything the requested tables will read up front, so
+    # misses run in parallel instead of lazily one at a time.
+    if args.table == "ablation":
+        session.prefetch(_ablation_pairs())
+    else:
+        session.prefetch(_matrix_pairs(include_puzzle))
 
     out = []
     if args.table in ("t1", "all"):
-        out.append(tables.t1_speed_summary(include_puzzle=include_puzzle))
+        out.append(tables.t1_speed_summary(session, include_puzzle=include_puzzle))
     if args.table in ("t2", "all"):
-        out.append(tables.t2_time_size_summary(include_puzzle=include_puzzle))
+        out.append(tables.t2_time_size_summary(session, include_puzzle=include_puzzle))
     if args.table in ("a", "all"):
-        out.append(tables.appendix_a_speed(include_puzzle=include_puzzle))
+        out.append(tables.appendix_a_speed(session, include_puzzle=include_puzzle))
     if args.table in ("b", "all"):
-        out.append(tables.appendix_b_size(include_puzzle=include_puzzle))
+        out.append(tables.appendix_b_size(session, include_puzzle=include_puzzle))
     if args.table in ("c", "all"):
-        out.append(tables.appendix_c_compile_time(include_puzzle=include_puzzle))
+        out.append(tables.appendix_c_compile_time(session, include_puzzle=include_puzzle))
     if args.table in ("ablation", "all"):
-        out.append(tables.ablation_table())
+        out.append(tables.ablation_table(session=session))
     if args.table in ("opt", "all"):
-        out.append(tables.optimization_effect_table())
+        out.append(tables.optimization_effect_table(session))
     if args.table == "raw":
-        out.append(_raw_matrix(include_puzzle))
+        out.append(_raw_matrix(session, include_puzzle))
         if args.json:
-            _write_json(args.json, include_puzzle)
+            _write_json(session, args.json, include_puzzle)
             out.append(f"(wrote {args.json})")
     print("\n\n".join(out))
     return 0
 
 
-def _write_json(path: str, include_puzzle: bool) -> None:
+def _write_json(session: Session, path: str, include_puzzle: bool) -> None:
     records = []
     for name in sorted(all_benchmarks()):
         if name == "puzzle" and not include_puzzle:
             continue
         for system in SYSTEMS:
-            r = GLOBAL_SESSION.result(name, system)
+            r = session.result(name, system)
             records.append(
                 {
                     "benchmark": r.benchmark,
@@ -104,7 +149,7 @@ def _write_json(path: str, include_puzzle: bool) -> None:
                     "instructions": r.instructions,
                     "code_bytes": r.code_bytes,
                     "compile_seconds": r.compile_seconds,
-                    "percent_of_c": GLOBAL_SESSION.percent_of_c(name, system),
+                    "percent_of_c": session.percent_of_c(name, system),
                     "send_hits": r.send_hits,
                     "send_misses": r.send_misses,
                     "send_relinks": r.send_megamorphic,

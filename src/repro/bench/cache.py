@@ -1,0 +1,82 @@
+"""On-disk memoization of benchmark measurements.
+
+The modeled quantities (cycles, instructions, code bytes, send
+counters) are pure functions of the guest program, the system
+configuration, and the simulator's own sources — so a measurement can
+be replayed from disk as long as none of those changed.  Every cache
+entry is keyed by ``(benchmark, system, source digest)`` where the
+digest hashes every ``repro`` source file; touching *any* file under
+``src/repro/`` invalidates the whole cache, which errs on the side of
+never serving a stale number.
+
+Host-measured times (``compile_seconds``, ``wall_seconds``) are stored
+verbatim from the run that populated the entry; a cache hit reports the
+cold run's timings rather than re-measuring.
+
+The cache directory defaults to ``.bench_cache/`` next to ``src/``
+(the repository root) and can be moved with ``REPRO_BENCH_CACHE_DIR``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+_PACKAGE_ROOT = Path(__file__).resolve().parents[1]  # src/repro
+_DEFAULT_CACHE_DIR = _PACKAGE_ROOT.parents[1] / ".bench_cache"
+
+_digest_cache: Optional[str] = None
+
+
+def source_digest() -> str:
+    """Hex digest over every ``repro`` source file (stable per process)."""
+    global _digest_cache
+    if _digest_cache is None:
+        hasher = hashlib.sha256()
+        for path in sorted(_PACKAGE_ROOT.rglob("*.py")):
+            hasher.update(str(path.relative_to(_PACKAGE_ROOT)).encode())
+            hasher.update(b"\0")
+            hasher.update(path.read_bytes())
+            hasher.update(b"\0")
+        _digest_cache = hasher.hexdigest()
+    return _digest_cache
+
+
+def cache_dir() -> Path:
+    override = os.environ.get("REPRO_BENCH_CACHE_DIR")
+    return Path(override) if override else _DEFAULT_CACHE_DIR
+
+
+def _entry_path(benchmark: str, system: str) -> Path:
+    return cache_dir() / f"{benchmark}-{system}-{source_digest()[:16]}.json"
+
+
+def load(benchmark: str, system: str) -> Optional[dict]:
+    """The stored measurement record, or None on miss/corruption."""
+    try:
+        with open(_entry_path(benchmark, system), encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def store(benchmark: str, system: str, record: dict) -> None:
+    """Atomically persist one measurement record (best effort: an
+    unwritable cache directory silently disables caching)."""
+    path = _entry_path(benchmark, system)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            os.unlink(tmp)
+            raise
+    except OSError:
+        pass

@@ -5,19 +5,33 @@ collects the three quantities the paper reports — execution cycles
 (speed), compiled code bytes (space), and compile seconds (time) — and
 verifies every run's answer.
 
-Results are cached per process (a full matrix run is expensive), so the
-table builders and the pytest benchmarks share one measurement pass.
+Results are memoized per :class:`Session` (a full matrix run is
+expensive), so the table builders and the pytest benchmarks share one
+measurement pass.  A session can additionally
+
+* replay measurements from the on-disk cache (:mod:`.cache`), keyed by
+  a digest of the simulator's own sources so a stale entry can never be
+  served, and
+* :meth:`~Session.prefetch` a batch of (benchmark, system) pairs across
+  worker processes — each pair is an independent fresh-world run, so
+  the matrix is embarrassingly parallel.
+
+Both paths produce bit-identical modeled numbers to a serial in-process
+run: the modeled quantities are deterministic, and only host-measured
+timings vary.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from ..objects.errors import SelfError
 from ..vm.runtime import Runtime
 from ..world.bootstrap import World
+from . import cache
 from .base import SYSTEMS, Benchmark, all_benchmarks, get_benchmark
 
 
@@ -43,6 +57,19 @@ class RunResult:
     @property
     def code_kb(self) -> float:
         return self.code_bytes / 1024.0
+
+    def to_record(self) -> dict:
+        """A JSON-serializable form (for the disk cache and workers)."""
+        answer = self.answer
+        if not isinstance(answer, (int, float, str, bool, type(None))):
+            answer = repr(answer)
+        record = dict(self.__dict__)
+        record["answer"] = answer
+        return record
+
+    @classmethod
+    def from_record(cls, record: dict) -> "RunResult":
+        return cls(**record)
 
 
 def run_benchmark(benchmark: Benchmark, system: str) -> RunResult:
@@ -79,24 +106,79 @@ def run_benchmark(benchmark: Benchmark, system: str) -> RunResult:
     )
 
 
-class Session:
-    """A lazy, memoizing matrix of benchmark results."""
+def _run_pair(pair: tuple[str, str]) -> dict:
+    """Worker entry: measure one pair, return a picklable record."""
+    name, system = pair
+    return run_benchmark(get_benchmark(name), system).to_record()
 
-    def __init__(self) -> None:
+
+class Session:
+    """A lazy, memoizing matrix of benchmark results.
+
+    ``use_cache`` replays results from the on-disk cache; ``jobs``
+    bounds the worker-process count used by :meth:`prefetch` (None
+    means the host CPU count; 1 runs serially in-process).
+    """
+
+    def __init__(self, jobs: Optional[int] = None, use_cache: bool = False) -> None:
         self._results: dict[tuple[str, str], RunResult] = {}
+        self.jobs = jobs
+        self.use_cache = use_cache
+
+    def _admit(self, result: RunResult) -> RunResult:
+        if not result.verified:
+            raise AssertionError(
+                f"{result.benchmark} under {result.system} produced a wrong "
+                f"answer: {result.answer!r} "
+                f"(expected {get_benchmark(result.benchmark).expected!r})"
+            )
+        self._results[(result.benchmark, result.system)] = result
+        if self.use_cache:
+            cache.store(result.benchmark, result.system, result.to_record())
+        return result
 
     def result(self, benchmark_name: str, system: str) -> RunResult:
-        key = (benchmark_name, system)
-        cached = self._results.get(key)
-        if cached is None:
-            cached = run_benchmark(get_benchmark(benchmark_name), system)
-            if not cached.verified:
-                raise AssertionError(
-                    f"{benchmark_name} under {system} produced a wrong answer: "
-                    f"{cached.answer!r} (expected {get_benchmark(benchmark_name).expected!r})"
-                )
-            self._results[key] = cached
-        return cached
+        cached = self._results.get((benchmark_name, system))
+        if cached is not None:
+            return cached
+        if self.use_cache:
+            record = cache.load(benchmark_name, system)
+            if record is not None:
+                return self._admit(RunResult.from_record(record))
+        return self._admit(run_benchmark(get_benchmark(benchmark_name), system))
+
+    def prefetch(self, pairs: Optional[Iterable[tuple[str, str]]] = None) -> None:
+        """Measure the given (benchmark, system) pairs — the full matrix
+        when omitted — fanning the misses out over worker processes."""
+        if pairs is None:
+            pairs = [
+                (name, system)
+                for name in sorted(all_benchmarks())
+                for system in SYSTEMS
+            ]
+        missing = []
+        for pair in pairs:
+            if pair in self._results:
+                continue
+            if self.use_cache:
+                record = cache.load(*pair)
+                if record is not None:
+                    self._admit(RunResult.from_record(record))
+                    continue
+            missing.append(pair)
+        if not missing:
+            return
+        jobs = self.jobs if self.jobs is not None else os.cpu_count() or 1
+        jobs = min(jobs, len(missing))
+        if jobs <= 1:
+            for pair in missing:
+                self.result(*pair)
+            return
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for record in pool.map(_run_pair, missing):
+                self._admit(RunResult.from_record(record))
 
     def percent_of_c(self, benchmark_name: str, system: str) -> float:
         """Speed as a percentage of the optimized-C baseline.
@@ -119,4 +201,6 @@ class Session:
 
 
 #: the process-wide session shared by tables, tests, and benchmarks
+#: (in-memory memoization only, exactly as before; the CLI builds its
+#: own cached/parallel session)
 GLOBAL_SESSION = Session()

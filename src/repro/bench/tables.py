@@ -252,7 +252,10 @@ ABLATIONS = {
 }
 
 
-def ablation_table(benchmark_names: Optional[list[str]] = None) -> str:
+def ablation_table(
+    benchmark_names: Optional[list[str]] = None,
+    session: Optional[Session] = None,
+) -> str:
     """New SELF with one technique at a time disabled (speed, % of C).
 
     This reproduces the paper's implicit ablation (the old SELF compiler
@@ -264,7 +267,7 @@ def ablation_table(benchmark_names: Optional[list[str]] = None) -> str:
 
     if benchmark_names is None:
         benchmark_names = ["sumTo", "sieve", "queens", "richards"]
-    session = GLOBAL_SESSION
+    session = session or GLOBAL_SESSION
     lines = [
         "Ablation: new SELF with individual techniques disabled",
         "(speed as % of optimized C; higher is better)",

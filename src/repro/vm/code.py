@@ -47,6 +47,7 @@ class Code:
     __slots__ = (
         "name",
         "insns",
+        "threaded",
         "consts",
         "reg_count",
         "self_reg",
@@ -75,9 +76,14 @@ class Code:
         graph_stats=None,
         compile_stats=None,
         config_name: str = "",
+        threaded=None,
     ) -> None:
         self.name = name
         self.insns = insns
+        #: the predecoded, superinstruction-fused stream the VM actually
+        #: executes (see :mod:`.dispatch`); ``insns`` is kept as the
+        #: architectural listing for tests, sizing, and disassembly.
+        self.threaded = threaded
         self.consts = consts
         self.reg_count = reg_count
         self.self_reg = self_reg
@@ -105,3 +111,9 @@ class Code:
             operands = " ".join(repr(x) for x in insn[1:])
             lines.append(f"{index:4}: {op_name(insn[0]):<10} {operands}")
         return "\n".join(lines)
+
+    def disassemble_threaded(self) -> str:
+        """Listing of the predecoded/fused stream the VM executes."""
+        from .dispatch import disassemble_threaded
+
+        return disassemble_threaded(self.threaded)

@@ -21,6 +21,7 @@ from ..ir import nodes as ir
 from . import opcodes as op
 from .code import Code, InlineCacheSite
 from .cost import CostModel
+from .dispatch import predecode
 
 _ARITH_OPS = {"add": op.ADD, "sub": op.SUB, "mul": op.MUL, "div": op.DIV, "mod": op.MOD}
 _ARITH_OV_OPS = {
@@ -115,6 +116,10 @@ class _Codegen:
         insns = [tuple(i) for i in self.insns]
         self_reg = self.reg(self.graph.self_var)
         arg_regs = tuple(self.reg(v) for v in self.graph.arg_vars)
+        # The peephole/predecode pass: resolve pools, bake static cycles,
+        # and fuse hot adjacent pairs.  Sizing above uses the unfused
+        # stream, so ``size_bytes`` is independent of fusion.
+        threaded = predecode(insns, self.consts, self.ic_sites, self.model)
         return Code(
             name=self.graph.selector or "<doit>",
             insns=insns,
@@ -129,6 +134,7 @@ class _Codegen:
             graph_stats=self.graph.stats,
             compile_stats=self.graph.compile_stats,
             config_name=self.graph.config_name,
+            threaded=threaded,
         )
 
     def _layout_order(self) -> list[ir.IRNode]:

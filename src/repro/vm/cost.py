@@ -119,6 +119,22 @@ class CostModel:
     def instruction_bytes(self, opcode: int) -> int:
         return _SIZE_DISPATCH[opcode](self)
 
+    def static_cycle_table(self) -> dict:
+        """``opcode -> base cycles`` as a plain dict, computed once per
+        model.  The predecoder bakes these into the instruction stream so
+        the VM's hot loop adds an int instead of calling
+        :meth:`instruction_cycles` for every executed instruction."""
+        entry = _STATIC_TABLE_CACHE.get(id(self))
+        if entry is None or entry[1] is not self:
+            entry = ({opc: fn(self) for opc, fn in _CYCLE_DISPATCH.items()}, self)
+            _STATIC_TABLE_CACHE[id(self)] = entry
+        return entry[0]
+
+
+#: id(model) -> (opcode cycle table, model).  The model is kept in the
+#: value so a collected model's id can never alias a stale table.
+_STATIC_TABLE_CACHE: dict = {}
+
 
 _CYCLE_DISPATCH = {
     op.MOVE: lambda m: m.move_cycles,

@@ -1,0 +1,782 @@
+"""Token-threaded dispatch: predecoded instructions and superinstructions.
+
+The VM used to rediscover every opcode with a long ``if/elif`` walk and
+call :meth:`CostModel.instruction_cycles` once per executed instruction.
+This module translates each :class:`~.code.Code` object's tuple
+instructions — once, at code-install time — into a *predecoded stream*
+where
+
+* element 0 of every instruction is the per-opcode **handler function**
+  itself (direct threading: dispatch is one indexed load plus one call),
+* constant-pool indices are resolved to the actual objects (constants,
+  block templates, inline-cache sites, primitive functions),
+* the static cost-model cycles and the architectural instruction count
+  are precomputed (elements 1 and 2), so the hot loop adds two ints per
+  dispatch instead of consulting the cost model.
+
+A peephole pass fuses hot adjacent pairs (``MOVE``+``MOVE`` chains,
+``LOADK``+``ADD_OV``, type tests feeding bounds checks, compare-into-
+branch forms are already single instructions) into **superinstructions**
+whose modeled cycle count and instruction count are defined as exactly
+the sum of their parts — ``runtime.cycles``, ``runtime.instructions``
+and ``code_bytes`` stay bit-identical to the unfused stream; the win is
+pure host wall-clock.
+
+Handler protocol::
+
+    handler(vm, frame, regs, insn, pc) -> next_pc
+
+``pc`` is the index of the *following* predecoded instruction.  A
+handler returns the next index, or a negative sentinel:
+
+* ``REDISPATCH`` (-1): the frame stack changed (a callee was pushed or
+  the current frame returned); the outer loop re-examines ``frames[-1]``
+  or finishes the run segment.
+* ``NLR_SIGNAL`` (-3): a non-local return is in flight; the outer loop
+  (which knows the segment base) unwinds or re-raises.
+
+Fusion correctness: an instruction is only absorbed as the *second*
+half of a superinstruction when no branch targets it, and a suspending
+instruction (``SEND``) is never the *first* half — resuming the frame
+after the callee returns would skip the second half.
+"""
+
+from __future__ import annotations
+
+from ..objects.errors import (
+    NonLocalReturnFromDeadActivation,
+    PrimitiveFailed,
+    VMError,
+)
+from ..objects.model import SMALLINT_MAX, SMALLINT_MIN, SelfBlock, SelfVector
+from ..primitives.registry import PrimFailSignal
+from . import opcodes as op
+from .frame import Frame
+
+#: sentinel: the frame stack changed; re-dispatch from ``frames[-1]``.
+REDISPATCH = -1
+#: sentinel: a non-local return is unwinding (``vm._nlr`` holds it).
+NLR_SIGNAL = -3
+
+
+# ---------------------------------------------------------------------------
+# Single-opcode handlers
+# ---------------------------------------------------------------------------
+# Operand layout starts at index 3: (handler, cycles, count, *operands).
+
+
+def _do_move(vm, frame, regs, insn, pc):
+    regs[insn[3]] = regs[insn[4]]
+    return pc
+
+
+def _do_loadk(vm, frame, regs, insn, pc):
+    regs[insn[3]] = insn[4]
+    return pc
+
+
+def _do_cmp_lt(vm, frame, regs, insn, pc):
+    return pc if regs[insn[3]] < regs[insn[4]] else insn[5]
+
+
+def _do_cmp_le(vm, frame, regs, insn, pc):
+    return pc if regs[insn[3]] <= regs[insn[4]] else insn[5]
+
+
+def _do_cmp_gt(vm, frame, regs, insn, pc):
+    return pc if regs[insn[3]] > regs[insn[4]] else insn[5]
+
+
+def _do_cmp_ge(vm, frame, regs, insn, pc):
+    return pc if regs[insn[3]] >= regs[insn[4]] else insn[5]
+
+
+def _do_cmp_eq(vm, frame, regs, insn, pc):
+    return pc if regs[insn[3]] == regs[insn[4]] else insn[5]
+
+
+def _do_cmp_ne(vm, frame, regs, insn, pc):
+    return pc if regs[insn[3]] != regs[insn[4]] else insn[5]
+
+
+def _do_add_ov(vm, frame, regs, insn, pc):
+    result = regs[insn[4]] + regs[insn[5]]
+    if SMALLINT_MIN <= result <= SMALLINT_MAX:
+        regs[insn[3]] = result
+        return pc
+    regs[insn[6]] = "overflowError"
+    return insn[7]
+
+
+def _do_sub_ov(vm, frame, regs, insn, pc):
+    result = regs[insn[4]] - regs[insn[5]]
+    if SMALLINT_MIN <= result <= SMALLINT_MAX:
+        regs[insn[3]] = result
+        return pc
+    regs[insn[6]] = "overflowError"
+    return insn[7]
+
+
+def _do_mul_ov(vm, frame, regs, insn, pc):
+    result = regs[insn[4]] * regs[insn[5]]
+    if SMALLINT_MIN <= result <= SMALLINT_MAX:
+        regs[insn[3]] = result
+        return pc
+    regs[insn[6]] = "overflowError"
+    return insn[7]
+
+
+def _do_div_ov(vm, frame, regs, insn, pc):
+    divisor = regs[insn[5]]
+    if divisor == 0:
+        regs[insn[6]] = "divisionByZeroError"
+        return insn[7]
+    result = regs[insn[4]] // divisor
+    if SMALLINT_MIN <= result <= SMALLINT_MAX:
+        regs[insn[3]] = result
+        return pc
+    regs[insn[6]] = "overflowError"
+    return insn[7]
+
+
+def _do_mod_ov(vm, frame, regs, insn, pc):
+    divisor = regs[insn[5]]
+    if divisor == 0:
+        regs[insn[6]] = "divisionByZeroError"
+        return insn[7]
+    regs[insn[3]] = regs[insn[4]] % divisor
+    return pc
+
+
+def _do_add(vm, frame, regs, insn, pc):
+    regs[insn[3]] = regs[insn[4]] + regs[insn[5]]
+    return pc
+
+
+def _do_sub(vm, frame, regs, insn, pc):
+    regs[insn[3]] = regs[insn[4]] - regs[insn[5]]
+    return pc
+
+
+def _do_mul(vm, frame, regs, insn, pc):
+    regs[insn[3]] = regs[insn[4]] * regs[insn[5]]
+    return pc
+
+
+def _do_div(vm, frame, regs, insn, pc):
+    divisor = regs[insn[5]]
+    if divisor == 0:
+        raise PrimitiveFailed("_IntDiv:", "divisionByZeroError")
+    regs[insn[3]] = regs[insn[4]] // divisor
+    return pc
+
+
+def _do_mod(vm, frame, regs, insn, pc):
+    divisor = regs[insn[5]]
+    if divisor == 0:
+        raise PrimitiveFailed("_IntMod:", "divisionByZeroError")
+    regs[insn[3]] = regs[insn[4]] % divisor
+    return pc
+
+
+def _do_typetest(vm, frame, regs, insn, pc):
+    return pc if vm._map_of(regs[insn[3]]) is insn[4] else insn[5]
+
+
+def _do_bounds(vm, frame, regs, insn, pc):
+    vector = regs[insn[3]]
+    index = regs[insn[4]]
+    if type(index) is not int or index < 0 or index >= len(vector.elements):
+        return insn[5]
+    return pc
+
+
+def _do_aload(vm, frame, regs, insn, pc):
+    regs[insn[3]] = regs[insn[4]].elements[regs[insn[5]]]
+    return pc
+
+
+def _do_astore(vm, frame, regs, insn, pc):
+    regs[insn[3]].elements[regs[insn[4]]] = regs[insn[5]]
+    return pc
+
+
+def _do_alen(vm, frame, regs, insn, pc):
+    regs[insn[3]] = len(regs[insn[4]].elements)
+    return pc
+
+
+def _do_loadslot(vm, frame, regs, insn, pc):
+    regs[insn[3]] = regs[insn[4]].data[insn[5]]
+    return pc
+
+
+def _do_storeslot(vm, frame, regs, insn, pc):
+    regs[insn[3]].data[insn[4]] = regs[insn[5]]
+    return pc
+
+
+def _do_env_load(vm, frame, regs, insn, pc):
+    regs[insn[3]] = vm._env_load(frame, insn[4])
+    return pc
+
+
+def _do_env_store(vm, frame, regs, insn, pc):
+    vm._env_store(frame, insn[3], regs[insn[4]])
+    return pc
+
+
+def _do_make_block(vm, frame, regs, insn, pc):
+    # insn: (..., dst, block_node, template, self_reg)
+    regs[insn[3]] = vm._make_block(frame, insn[4], insn[5], regs[insn[6]])
+    return pc
+
+
+def _do_jump(vm, frame, regs, insn, pc):
+    return insn[3]
+
+
+def _do_send(vm, frame, regs, insn, pc):
+    # insn: (..., dst, selector, recv_reg, arg_regs, site,
+    #        hit_cyc, miss_cyc, mega_cyc, pic_cyc, frame_cyc, slot_cyc)
+    frame.pc = pc
+    receiver = regs[insn[5]]
+    site = insn[7]
+    receiver_map = vm._map_of(receiver)
+    map_id = receiver_map.map_id
+    if site.cached_map_id == map_id:
+        # Monomorphic inline-cache hit: the fast path of
+        # Deutsch–Schiffman caching, which both ST-80 and SELF used.
+        site.hits += 1
+        vm.send_hits += 1
+        vm.cycles += insn[8]
+        action = site.cached_action
+    else:
+        action = site.entries.get(map_id)
+        if action is None:
+            # Cold: full lookup (and possibly a compile).
+            site.misses += 1
+            vm.send_misses += 1
+            vm.cycles += insn[9]
+            action = vm._resolve_send(receiver, receiver_map, insn[4], len(insn[6]))
+            site.entries[map_id] = action
+        elif vm.use_polymorphic_caches:
+            # Extension: a polymorphic inline cache dispatches the
+            # known receiver maps through a stub (§6.1's proposed
+            # fix; PICs in the later literature).
+            site.relinks += 1
+            vm.send_pic_hits += 1
+            vm.cycles += insn[11]
+        else:
+            # The site is polymorphic: the cache keeps relinking.
+            # This is what makes the richards task-dispatch site
+            # expensive (paper, section 6.1).
+            site.relinks += 1
+            vm.send_megamorphic += 1
+            vm.cycles += insn[10]
+        site.cached_map_id = map_id
+        site.cached_action = action
+
+    kind = action[0]
+    if kind == "call":
+        vm.cycles += insn[12]
+        code = action[1]
+        callee = Frame(code, receiver, None, insn[3])
+        cregs = callee.regs
+        cregs[code.self_reg] = receiver
+        for reg, src in zip(code.arg_regs, insn[6]):
+            cregs[reg] = regs[src]
+        vm.frames.append(callee)
+        return REDISPATCH
+    if kind == "data":
+        holder = action[1] if action[1] is not None else receiver
+        regs[insn[3]] = holder.data[action[2]]
+        vm.cycles += insn[13]
+        return pc
+    if kind == "const":
+        regs[insn[3]] = action[1]
+        return pc
+    if kind == "assign":
+        holder = action[1] if action[1] is not None else receiver
+        holder.data[action[2]] = regs[insn[6][0]]
+        regs[insn[3]] = receiver
+        vm.cycles += insn[13]
+        return pc
+    if kind == "block":
+        return vm._send_block(regs, insn, receiver)
+    if kind == "prim":
+        regs[insn[3]] = vm._run_primitive_send(
+            receiver, insn[4], [regs[r] for r in insn[6]]
+        )
+        return pc
+    raise VMError(f"bad send action {action!r}")
+
+
+def _do_primcall(vm, frame, regs, insn, pc):
+    # insn: (..., dst, fn, recv_reg, arg_regs, err_reg, fail_target, selector)
+    # Static cycles (prim_call_cycles + the per-primitive work table
+    # entry) are already baked into insn[1] by the predecoder.
+    frame.pc = pc
+    try:
+        regs[insn[3]] = insn[4](
+            vm.universe, regs[insn[5]], [regs[r] for r in insn[6]]
+        )
+    except PrimFailSignal as failure:
+        return _primcall_failure(regs, insn, failure)
+    return pc
+
+
+def _do_primcall_clone(vm, frame, regs, insn, pc):
+    # _Clone: allocation cost is a per-system constant (baked into
+    # insn[1]); cloning a vector additionally pays per element.
+    frame.pc = pc
+    receiver = regs[insn[5]]
+    if isinstance(receiver, SelfVector):
+        vm.cycles += int(len(receiver.elements) * insn[10])
+    try:
+        regs[insn[3]] = insn[4](vm.universe, receiver, [regs[r] for r in insn[6]])
+    except PrimFailSignal as failure:
+        return _primcall_failure(regs, insn, failure)
+    return pc
+
+
+def _do_primcall_newvec(vm, frame, regs, insn, pc):
+    # _NewVector:Filler: pays per requested element.
+    frame.pc = pc
+    receiver = regs[insn[5]]
+    args = [regs[r] for r in insn[6]]
+    if args and type(args[0]) is int:
+        vm.cycles += int(args[0] * insn[10])
+    elif isinstance(receiver, SelfVector):
+        vm.cycles += int(len(receiver.elements) * insn[10])
+    try:
+        regs[insn[3]] = insn[4](vm.universe, receiver, args)
+    except PrimFailSignal as failure:
+        return _primcall_failure(regs, insn, failure)
+    return pc
+
+
+def _primcall_failure(regs, insn, failure):
+    fail_target = insn[8]
+    if fail_target < 0:
+        raise PrimitiveFailed(insn[9], failure.code) from None
+    err_reg = insn[7]
+    if err_reg >= 0:
+        regs[err_reg] = failure.code
+    return fail_target
+
+
+def _do_return(vm, frame, regs, insn, pc):
+    value = regs[insn[3]]
+    frame.alive = False
+    frames = vm.frames
+    frames.pop()
+    vm._ret_value = value
+    if frames:
+        ret_reg = frame.ret_reg
+        if ret_reg >= 0:
+            # A frame at a run-segment boundary always has ret_reg -1,
+            # so this never writes into an outer segment's frame.
+            frames[-1].regs[ret_reg] = value
+    return REDISPATCH
+
+
+def _do_nlr(vm, frame, regs, insn, pc):
+    # insn: (..., src, nlr_cycles)
+    value = regs[insn[3]]
+    target = frame
+    while target.home is not None:
+        target = target.home
+    if not target.alive:
+        raise NonLocalReturnFromDeadActivation()
+    vm.cycles += insn[4]
+    vm._nlr = (target, value, pc)
+    return NLR_SIGNAL
+
+
+def _do_error(vm, frame, regs, insn, pc):
+    # insn: (..., prim_name, code_or_None, err_reg)
+    code = insn[4]
+    if code is None:
+        code = regs[insn[5]]
+    raise PrimitiveFailed(insn[3], code)
+
+
+# ---------------------------------------------------------------------------
+# Superinstruction handlers
+# ---------------------------------------------------------------------------
+# Fused operand layouts are the concatenation of the two halves'
+# single-instruction layouts (still starting at index 3); the modeled
+# cycle count (insn[1]) and instruction count (insn[2]) are the sums of
+# the parts, so the cost model cannot observe fusion.
+
+
+def _f_move_move(vm, frame, regs, insn, pc):
+    regs[insn[3]] = regs[insn[4]]
+    regs[insn[5]] = regs[insn[6]]
+    return pc
+
+
+def _f_move_move_move(vm, frame, regs, insn, pc):
+    regs[insn[3]] = regs[insn[4]]
+    regs[insn[5]] = regs[insn[6]]
+    regs[insn[7]] = regs[insn[8]]
+    return pc
+
+
+def _f_move_loadk(vm, frame, regs, insn, pc):
+    regs[insn[3]] = regs[insn[4]]
+    regs[insn[5]] = insn[6]
+    return pc
+
+
+def _f_loadk_move(vm, frame, regs, insn, pc):
+    regs[insn[3]] = insn[4]
+    regs[insn[5]] = regs[insn[6]]
+    return pc
+
+
+def _f_move_typetest(vm, frame, regs, insn, pc):
+    regs[insn[3]] = regs[insn[4]]
+    return pc if vm._map_of(regs[insn[5]]) is insn[6] else insn[7]
+
+
+def _f_loadk_typetest(vm, frame, regs, insn, pc):
+    regs[insn[3]] = insn[4]
+    return pc if vm._map_of(regs[insn[5]]) is insn[6] else insn[7]
+
+
+def _skip_second(vm, insn):
+    """The first half branched away: the architectural stream never
+    executed the second half, so refund its pre-charged cost.  (The
+    outer loop charges the fused sum before dispatch; this runs only on
+    the out-of-line path, keeping the fallthrough path charge-free.)"""
+    vm.cycles -= insn[-1]
+    vm.instructions -= 1
+
+
+def _f_typetest_move(vm, frame, regs, insn, pc):
+    if vm._map_of(regs[insn[3]]) is not insn[4]:
+        _skip_second(vm, insn)
+        return insn[5]
+    regs[insn[6]] = regs[insn[7]]
+    return pc
+
+
+def _f_typetest_typetest(vm, frame, regs, insn, pc):
+    if vm._map_of(regs[insn[3]]) is not insn[4]:
+        _skip_second(vm, insn)
+        return insn[5]
+    return pc if vm._map_of(regs[insn[6]]) is insn[7] else insn[8]
+
+
+def _f_typetest_bounds(vm, frame, regs, insn, pc):
+    if vm._map_of(regs[insn[3]]) is not insn[4]:
+        _skip_second(vm, insn)
+        return insn[5]
+    vector = regs[insn[6]]
+    index = regs[insn[7]]
+    if type(index) is not int or index < 0 or index >= len(vector.elements):
+        return insn[8]
+    return pc
+
+
+def _f_bounds_aload(vm, frame, regs, insn, pc):
+    vector = regs[insn[3]]
+    index = regs[insn[4]]
+    if type(index) is not int or index < 0 or index >= len(vector.elements):
+        _skip_second(vm, insn)
+        return insn[5]
+    regs[insn[6]] = regs[insn[7]].elements[regs[insn[8]]]
+    return pc
+
+
+def _f_bounds_astore(vm, frame, regs, insn, pc):
+    vector = regs[insn[3]]
+    index = regs[insn[4]]
+    if type(index) is not int or index < 0 or index >= len(vector.elements):
+        _skip_second(vm, insn)
+        return insn[5]
+    regs[insn[6]].elements[regs[insn[7]]] = regs[insn[8]]
+    return pc
+
+
+def _f_move_jump(vm, frame, regs, insn, pc):
+    regs[insn[3]] = regs[insn[4]]
+    return insn[5]
+
+
+def _f_addov_move(vm, frame, regs, insn, pc):
+    result = regs[insn[4]] + regs[insn[5]]
+    if SMALLINT_MIN <= result <= SMALLINT_MAX:
+        regs[insn[3]] = result
+        regs[insn[8]] = regs[insn[9]]
+        return pc
+    regs[insn[6]] = "overflowError"
+    _skip_second(vm, insn)
+    return insn[7]
+
+
+def _f_subov_move(vm, frame, regs, insn, pc):
+    result = regs[insn[4]] - regs[insn[5]]
+    if SMALLINT_MIN <= result <= SMALLINT_MAX:
+        regs[insn[3]] = result
+        regs[insn[8]] = regs[insn[9]]
+        return pc
+    regs[insn[6]] = "overflowError"
+    _skip_second(vm, insn)
+    return insn[7]
+
+
+def _f_loadk_addov(vm, frame, regs, insn, pc):
+    regs[insn[3]] = insn[4]
+    result = regs[insn[6]] + regs[insn[7]]
+    if SMALLINT_MIN <= result <= SMALLINT_MAX:
+        regs[insn[5]] = result
+        return pc
+    regs[insn[8]] = "overflowError"
+    return insn[9]
+
+
+def _f_loadslot_move(vm, frame, regs, insn, pc):
+    regs[insn[3]] = regs[insn[4]].data[insn[5]]
+    regs[insn[6]] = regs[insn[7]]
+    return pc
+
+
+def _f_move_return(vm, frame, regs, insn, pc):
+    regs[insn[3]] = regs[insn[4]]
+    value = regs[insn[5]]
+    frame.alive = False
+    frames = vm.frames
+    frames.pop()
+    vm._ret_value = value
+    if frames:
+        ret_reg = frame.ret_reg
+        if ret_reg >= 0:
+            frames[-1].regs[ret_reg] = value
+    return REDISPATCH
+
+
+def _f_move_send(vm, frame, regs, insn, pc):
+    # (..., dst, src, <embedded SEND tuple>)
+    regs[insn[3]] = regs[insn[4]]
+    return _do_send(vm, frame, regs, insn[5], pc)
+
+
+def _f_typetest_send(vm, frame, regs, insn, pc):
+    if vm._map_of(regs[insn[3]]) is not insn[4]:
+        # Refund the embedded SEND's pre-charged static cost.
+        vm.cycles -= insn[6][1]
+        vm.instructions -= 1
+        return insn[5]
+    return _do_send(vm, frame, regs, insn[6], pc)
+
+
+# ---------------------------------------------------------------------------
+# Predecoding
+# ---------------------------------------------------------------------------
+
+_SIMPLE_HANDLERS = {
+    op.MOVE: _do_move,
+    op.CMP_LT: _do_cmp_lt,
+    op.CMP_LE: _do_cmp_le,
+    op.CMP_GT: _do_cmp_gt,
+    op.CMP_GE: _do_cmp_ge,
+    op.CMP_EQ: _do_cmp_eq,
+    op.CMP_NE: _do_cmp_ne,
+    op.ADD_OV: _do_add_ov,
+    op.SUB_OV: _do_sub_ov,
+    op.MUL_OV: _do_mul_ov,
+    op.DIV_OV: _do_div_ov,
+    op.MOD_OV: _do_mod_ov,
+    op.ADD: _do_add,
+    op.SUB: _do_sub,
+    op.MUL: _do_mul,
+    op.DIV: _do_div,
+    op.MOD: _do_mod,
+    op.TYPETEST: _do_typetest,
+    op.BOUNDS: _do_bounds,
+    op.ALOAD: _do_aload,
+    op.ASTORE: _do_astore,
+    op.ALEN: _do_alen,
+    op.LOADSLOT: _do_loadslot,
+    op.STORESLOT: _do_storeslot,
+    op.ENV_LOAD: _do_env_load,
+    op.ENV_STORE: _do_env_store,
+    op.JUMP: _do_jump,
+    op.RETURN: _do_return,
+}
+
+#: (first opcode, second opcode) -> fused handler.  Chosen from dynamic
+#: pair frequencies over the benchmark suite: MOVE+MOVE alone is ~25% of
+#: executed transitions, MOVE+TYPETEST ~11%, TYPETEST+MOVE ~7%.
+_PAIR_RULES = {
+    (op.MOVE, op.MOVE): _f_move_move,
+    (op.MOVE, op.LOADK): _f_move_loadk,
+    (op.LOADK, op.MOVE): _f_loadk_move,
+    (op.MOVE, op.TYPETEST): _f_move_typetest,
+    (op.LOADK, op.TYPETEST): _f_loadk_typetest,
+    (op.TYPETEST, op.MOVE): _f_typetest_move,
+    (op.TYPETEST, op.TYPETEST): _f_typetest_typetest,
+    (op.TYPETEST, op.BOUNDS): _f_typetest_bounds,
+    (op.BOUNDS, op.ALOAD): _f_bounds_aload,
+    (op.BOUNDS, op.ASTORE): _f_bounds_astore,
+    (op.MOVE, op.JUMP): _f_move_jump,
+    (op.ADD_OV, op.MOVE): _f_addov_move,
+    (op.SUB_OV, op.MOVE): _f_subov_move,
+    (op.LOADK, op.ADD_OV): _f_loadk_addov,
+    (op.LOADSLOT, op.MOVE): _f_loadslot_move,
+    (op.MOVE, op.RETURN): _f_move_return,
+    (op.MOVE, op.SEND): _f_move_send,
+    (op.TYPETEST, op.SEND): _f_typetest_send,
+}
+
+#: rules whose second half keeps its own full predecoded tuple embedded
+#: (the fused handler tail-calls the second half's handler).
+_EMBED_SECOND = {_f_move_send, _f_typetest_send}
+
+#: rules whose *first* half can branch away (failed type test, failed
+#: bounds check, overflow).  The architectural stream never executes the
+#: second half on that path, so the predecoder appends the second half's
+#: static cycle cost as the final operand and the handler refunds it
+#: (see :func:`_skip_second`).
+_REFUND_SECOND = {
+    _f_typetest_move, _f_typetest_typetest, _f_typetest_bounds,
+    _f_bounds_aload, _f_bounds_astore, _f_addov_move, _f_subov_move,
+}
+
+
+def predecode(insns, consts, ic_sites, model):
+    """Translate a code object's tuple instructions into the threaded
+    stream executed by :meth:`Runtime._loop`.
+
+    Returns a list of predecoded tuples.  Branch targets are remapped to
+    indices in the new stream; fusion never absorbs a branch target, so
+    every target still heads an instruction.
+    """
+    cycle_table = model.static_cycle_table()
+    n = len(insns)
+
+    targets = set()
+    for insn in insns:
+        pos = op.BRANCH_OPERANDS.get(insn[0])
+        if pos is not None:
+            target = insn[pos]
+            if isinstance(target, int) and target >= 0:
+                targets.add(target)
+
+    # Phase 1: greedy left-to-right segmentation into superinstructions.
+    segments = []  # (old_index, length, fused handler or None)
+    i = 0
+    while i < n:
+        opcode = insns[i][0]
+        if (
+            opcode == op.MOVE
+            and i + 2 < n
+            and insns[i + 1][0] == op.MOVE
+            and insns[i + 2][0] == op.MOVE
+            and i + 1 not in targets
+            and i + 2 not in targets
+        ):
+            segments.append((i, 3, _f_move_move_move))
+            i += 3
+            continue
+        rule = None
+        if i + 1 < n and i + 1 not in targets and opcode not in op.SUSPENDING:
+            rule = _PAIR_RULES.get((opcode, insns[i + 1][0]))
+        if rule is not None:
+            segments.append((i, 2, rule))
+            i += 2
+        else:
+            segments.append((i, 1, None))
+            i += 1
+
+    # Phase 2: old index -> new index, for branch-target remapping.
+    remap = {old: new for new, (old, _, _) in enumerate(segments)}
+
+    # Phase 3: emit.
+    def decode_one(insn):
+        opcode = insn[0]
+        cycles = cycle_table[opcode]
+        handler = _SIMPLE_HANDLERS.get(opcode)
+        if handler is not None:
+            operands = list(insn[1:])
+            pos = op.BRANCH_OPERANDS.get(opcode)
+            if pos is not None:
+                operands[pos - 1] = remap[insn[pos]]
+            return (handler, cycles, 1, *operands)
+        if opcode == op.LOADK:
+            return (_do_loadk, cycles, 1, insn[1], consts[insn[2]])
+        if opcode == op.TYPETEST:  # pragma: no cover - in _SIMPLE_HANDLERS
+            raise VMError("unreachable")
+        if opcode == op.MAKE_BLOCK:
+            block_node, template = consts[insn[2]]
+            return (_do_make_block, cycles, 1, insn[1], block_node, template, insn[3])
+        if opcode == op.SEND:
+            dst, selector, recv, arg_regs, site_index = insn[1:6]
+            return (
+                _do_send, cycles, 1, dst, selector, recv, arg_regs,
+                ic_sites[site_index],
+                model.send_hit_cycles, model.send_miss_cycles,
+                model.send_megamorphic_cycles, model.send_pic_hit_cycles,
+                model.frame_cycles, model.slot_cycles,
+            )
+        if opcode == op.PRIMCALL:
+            from .cost import PRIMITIVE_WORK_CYCLES
+
+            dst, primitive, recv, arg_regs, err_reg, fail_target = insn[1:7]
+            selector = primitive.selector
+            fail_target = remap[fail_target] if (
+                fail_target is not None and fail_target >= 0
+            ) else -1
+            if selector == "_Clone" or selector == "_NewVector:Filler:":
+                handler = (
+                    _do_primcall_clone if selector == "_Clone"
+                    else _do_primcall_newvec
+                )
+                cycles += model.alloc_cycles
+                return (
+                    handler, cycles, 1, dst, primitive.fn, recv, arg_regs,
+                    err_reg, fail_target, selector,
+                    model.prim_per_element_cycles,
+                )
+            cycles += PRIMITIVE_WORK_CYCLES.get(selector, 4)
+            return (
+                _do_primcall, cycles, 1, dst, primitive.fn, recv, arg_regs,
+                err_reg, fail_target, selector,
+            )
+        if opcode == op.NLR:
+            return (_do_nlr, cycles, 1, insn[1], model.nlr_cycles)
+        if opcode == op.ERROR:
+            return (_do_error, cycles, 1, insn[1], insn[2], insn[3])
+        raise VMError(f"cannot predecode opcode {op.op_name(opcode)}")
+
+    out = []
+    for old, length, fused in segments:
+        parts = [decode_one(insns[old + k]) for k in range(length)]
+        if fused is None:
+            out.append(parts[0])
+            continue
+        cycles = sum(p[1] for p in parts)
+        count = sum(p[2] for p in parts)
+        if fused in _EMBED_SECOND:
+            out.append((fused, cycles, count, *parts[0][3:], parts[1]))
+        else:
+            operands = [x for p in parts for x in p[3:]]
+            if fused in _REFUND_SECOND:
+                operands.append(parts[1][1])
+            out.append((fused, cycles, count, *operands))
+    return out
+
+
+def disassemble_threaded(threaded) -> str:
+    """Human-readable listing of a predecoded stream (debugging aid)."""
+    lines = []
+    for index, insn in enumerate(threaded):
+        name = insn[0].__name__.lstrip("_")
+        operands = " ".join(repr(x) for x in insn[3:])
+        lines.append(
+            f"{index:4}: {name:<22} cyc={insn[1]:<3} n={insn[2]} {operands}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Activation frames and the non-local-return unwind signal.
+
+These live in their own module (rather than :mod:`.runtime`) so the
+threaded-dispatch handlers in :mod:`.dispatch` can construct frames
+without a circular import: ``runtime`` imports ``codegen`` imports
+``dispatch`` imports this.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Frame:
+    """One activation: registers plus the named environment."""
+
+    __slots__ = (
+        "code", "pc", "regs", "receiver", "env", "env_map", "home",
+        "ret_reg", "alive",
+    )
+
+    def __init__(
+        self,
+        code,
+        receiver,
+        home: Optional["Frame"],
+        ret_reg: int,
+        env_map: Optional[dict] = None,
+    ) -> None:
+        self.code = code
+        self.pc = 0
+        self.regs = [None] * code.reg_count
+        self.receiver = receiver
+        self.env = dict.fromkeys(code.env_keys) if code.env_keys else None
+        #: block frames: free-name -> concrete env key of the creating
+        #: frame (captured at closure creation)
+        self.env_map = env_map
+        self.home = home
+        self.ret_reg = ret_reg
+        self.alive = True
+
+
+class NonLocalUnwind(Exception):
+    """Internal: a ^ in block code is unwinding to its home frame."""
+
+    __slots__ = ("target", "value")
+
+    def __init__(self, target: Frame, value) -> None:
+        self.target = target
+        self.value = value
+        super().__init__("non-local return")

@@ -77,3 +77,30 @@ NAMES = {
 
 def op_name(op: int) -> str:
     return NAMES.get(op, f"op{op}")
+
+
+# ---------------------------------------------------------------------------
+# Encoding metadata (used by the predecoder in :mod:`.dispatch`)
+# ---------------------------------------------------------------------------
+
+#: operand position holding a jump target, per branching opcode.  The
+#: target is an instruction index into the same code object's stream.
+BRANCH_OPERANDS = {
+    CMP_LT: 3, CMP_LE: 3, CMP_GT: 3, CMP_GE: 3, CMP_EQ: 3, CMP_NE: 3,
+    ADD_OV: 5, SUB_OV: 5, MUL_OV: 5, DIV_OV: 5, MOD_OV: 5,
+    TYPETEST: 3,
+    BOUNDS: 3,
+    JUMP: 1,
+    PRIMCALL: 6,   # failure target, or -1 when the primitive cannot fail
+}
+
+#: opcodes that never continue to the textually-next instruction; an
+#: instruction stream position after one of these is only reachable as a
+#: branch target.
+NO_FALLTHROUGH = frozenset({JUMP, RETURN, NLR, ERROR})
+
+#: opcodes that may suspend the current frame mid-instruction (a callee
+#: frame is pushed and this frame later resumes at ``frame.pc``).  They
+#: can never be the *first* half of a fused superinstruction: resuming
+#: after the call would skip the second half.
+SUSPENDING = frozenset({SEND})

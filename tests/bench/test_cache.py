@@ -1,0 +1,115 @@
+"""Disk cache and parallel-prefetch behaviour of the bench session.
+
+All tests point ``REPRO_BENCH_CACHE_DIR`` at a temp directory and use
+the cheapest (benchmark, system) pair, so they exercise the machinery
+without re-measuring the matrix.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import cache
+from repro.bench.base import get_benchmark
+from repro.bench.harness import RunResult, Session, run_benchmark
+from repro.bench import harness
+
+PAIR = ("sumTo", "static")
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_CACHE_DIR", str(tmp_path))
+    return tmp_path
+
+
+def test_record_round_trip():
+    result = run_benchmark(get_benchmark(*PAIR[:1]), PAIR[1])
+    restored = RunResult.from_record(
+        json.loads(json.dumps(result.to_record()))
+    )
+    assert restored == result
+
+
+def test_cached_session_writes_an_entry(isolated_cache):
+    session = Session(use_cache=True)
+    session.result(*PAIR)
+    entries = list(isolated_cache.glob("sumTo-static-*.json"))
+    assert len(entries) == 1
+    record = json.loads(entries[0].read_text())
+    assert record["benchmark"] == "sumTo"
+    assert record["verified"] is True
+
+
+def test_cache_hit_skips_the_measurement(monkeypatch):
+    warm = Session(use_cache=True)
+    first = warm.result(*PAIR)
+
+    def boom(*args, **kwargs):
+        raise AssertionError("cache miss: run_benchmark was called")
+
+    monkeypatch.setattr(harness, "run_benchmark", boom)
+    replayed = Session(use_cache=True).result(*PAIR)
+    assert (replayed.cycles, replayed.instructions, replayed.code_bytes) == (
+        first.cycles, first.instructions, first.code_bytes
+    )
+
+
+def test_uncached_session_never_touches_disk(isolated_cache):
+    Session(use_cache=False).result(*PAIR)
+    assert list(isolated_cache.iterdir()) == []
+
+
+def test_source_digest_change_invalidates(monkeypatch):
+    Session(use_cache=True).result(*PAIR)
+    monkeypatch.setattr(cache, "source_digest", lambda: "0" * 64)
+    ran = []
+    original = harness.run_benchmark
+
+    def counting(*args, **kwargs):
+        ran.append(args)
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(harness, "run_benchmark", counting)
+    Session(use_cache=True).result(*PAIR)
+    assert ran  # the stale entry (different digest) was not served
+
+
+def test_corrupt_entry_falls_back_to_measuring(isolated_cache):
+    session = Session(use_cache=True)
+    session.result(*PAIR)
+    (entry,) = isolated_cache.glob("sumTo-static-*.json")
+    entry.write_text("{not json")
+    fresh = Session(use_cache=True).result(*PAIR)
+    assert fresh.verified
+
+
+def test_serial_prefetch_fills_the_memo():
+    session = Session(jobs=1)
+    session.prefetch([PAIR])
+    assert PAIR in session._results
+
+
+def test_parallel_prefetch_matches_serial():
+    serial = Session(jobs=1)
+    serial.prefetch([PAIR, ("sumTo", "newself")])
+    parallel = Session(jobs=2)
+    parallel.prefetch([PAIR, ("sumTo", "newself")])
+    for key in (PAIR, ("sumTo", "newself")):
+        a = serial._results[key]
+        b = parallel._results[key]
+        assert (a.cycles, a.instructions, a.code_bytes, a.send_hits) == (
+            b.cycles, b.instructions, b.code_bytes, b.send_hits
+        )
+
+
+def test_prefetch_skips_already_known_pairs(monkeypatch):
+    session = Session(jobs=1)
+    known = session.result(*PAIR)
+
+    def boom(*args, **kwargs):
+        raise AssertionError("prefetch re-measured a memoized pair")
+
+    monkeypatch.setattr(harness, "run_benchmark", boom)
+    session.prefetch([PAIR])
+    assert session._results[PAIR] is known

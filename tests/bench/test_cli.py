@@ -4,6 +4,7 @@ import pytest
 
 import repro.bench.__main__ as cli
 from repro.bench import tables
+from repro.bench.harness import Session
 
 
 @pytest.fixture
@@ -23,6 +24,9 @@ def stubbed(monkeypatch):
     monkeypatch.setattr(tables, "appendix_c_compile_time", stub("c"))
     monkeypatch.setattr(tables, "ablation_table", stub("ablation"))
     monkeypatch.setattr(tables, "optimization_effect_table", stub("opt"))
+    # The CLI eagerly measures everything its tables will read; these
+    # tests only exercise argument plumbing, so skip the measuring.
+    monkeypatch.setattr(Session, "prefetch", lambda self, pairs=None: None)
     return calls
 
 
@@ -45,3 +49,41 @@ def test_no_puzzle_flag_propagates(stubbed):
 def test_bad_table_rejected(stubbed):
     with pytest.raises(SystemExit):
         cli.main(["nope"])
+
+
+def _spy_session(monkeypatch, captured):
+    original = Session.__init__
+
+    def spy(self, jobs=None, use_cache=False):
+        captured["jobs"] = jobs
+        captured["use_cache"] = use_cache
+        original(self, jobs=jobs, use_cache=use_cache)
+
+    monkeypatch.setattr(Session, "__init__", spy)
+
+
+def test_jobs_flag_reaches_the_session(stubbed, monkeypatch):
+    captured = {}
+    _spy_session(monkeypatch, captured)
+    assert cli.main(["t1", "--jobs", "3"]) == 0
+    assert captured == {"jobs": 3, "use_cache": True}
+
+
+def test_no_cache_flag_reaches_the_session(stubbed, monkeypatch):
+    captured = {}
+    _spy_session(monkeypatch, captured)
+    assert cli.main(["t1", "--no-cache"]) == 0
+    assert captured == {"jobs": None, "use_cache": False}
+
+
+def test_nonpositive_jobs_rejected(stubbed):
+    with pytest.raises(SystemExit):
+        cli.main(["t1", "--jobs", "0"])
+
+
+def test_prefetch_pairs_cover_the_matrix(stubbed):
+    from repro.bench.base import SYSTEMS, all_benchmarks
+
+    pairs = cli._matrix_pairs(include_puzzle=False)
+    names = {n for n in all_benchmarks() if n != "puzzle"}
+    assert set(pairs) == {(n, s) for n in names for s in SYSTEMS}

@@ -1,0 +1,122 @@
+"""Exact inline-cache accounting through the threaded SEND handler.
+
+The dispatch handlers bake the per-system send costs into the
+predecoded instruction, so the IC bookkeeping (``site.hits`` /
+``site.misses`` / ``site.relinks`` and the runtime-wide ``send_*``
+counters) is easy to get subtly wrong.  These tests pin the *exact*
+counts for the three site shapes the paper distinguishes:
+
+* monomorphic — one receiver map: one cold miss, then all hits;
+* bimorphic   — two maps alternating: one miss per map, then a relink
+  on *every* send (the monomorphic cache thrashes — §6.1's anomaly);
+* megamorphic — three maps cycling: same, one miss per map then
+  all relinks.
+
+The ``hue`` receivers are loaded from a vector so no compiler version
+can statically bind the send.
+"""
+
+import pytest
+
+from repro.compiler import NEW_SELF, ST80
+from repro.vm import Runtime
+from repro.world import World
+
+SETUP = """|
+  red = (| parent* = traits clonable. kindTag = ( 'r' ). hue = ( 0 ) |).
+  green = (| parent* = traits clonable. kindTag = ( 'g' ). hue = ( 120 ) |).
+  blue = (| parent* = traits clonable. kindTag = ( 'b' ). hue = ( 240 ) |).
+  monoLoop = ( | v. s <- 0. i <- 0 |
+    v: (vector copySize: 2).
+    v at: 0 Put: blue. v at: 1 Put: blue.
+    [ i < 20 ] whileTrue: [ s: s + (v at: (i % 2)) hue. i: i + 1 ].
+    s ).
+  biLoop = ( | v. s <- 0. i <- 0 |
+    v: (vector copySize: 2).
+    v at: 0 Put: red. v at: 1 Put: blue.
+    [ i < 20 ] whileTrue: [ s: s + (v at: (i % 2)) hue. i: i + 1 ].
+    s ).
+  megaLoop = ( | v. s <- 0. i <- 0 |
+    v: (vector copySize: 3).
+    v at: 0 Put: red. v at: 1 Put: green. v at: 2 Put: blue.
+    [ i < 30 ] whileTrue: [ s: s + (v at: (i % 3)) hue. i: i + 1 ].
+    s ).
+|"""
+
+
+@pytest.fixture
+def world():
+    w = World()
+    w.add_slots(SETUP)
+    return w
+
+
+def _hue_sites(runtime):
+    """All trafficked inline-cache sites for the ``hue`` selector."""
+    sites = []
+    for _, code in runtime._method_code.values():
+        sites.extend(code.ic_sites)
+    for code in runtime._block_code.values():
+        sites.extend(code.ic_sites)
+    return [
+        s for s in sites
+        if s.selector == "hue" and (s.hits + s.misses + s.relinks) > 0
+    ]
+
+
+@pytest.mark.parametrize("config", [ST80, NEW_SELF], ids=lambda c: c.name)
+class TestSiteCounters:
+    def test_monomorphic_site(self, world, config):
+        rt = Runtime(world, config)
+        assert rt.run("monoLoop") == 240 * 20
+        (site,) = _hue_sites(rt)
+        assert (site.hits, site.misses, site.relinks) == (19, 1, 0)
+        # No site in the program ever sees a second map.
+        assert rt.send_megamorphic == 0
+
+    def test_bimorphic_site_relinks_every_send(self, world, config):
+        rt = Runtime(world, config)
+        assert rt.run("biLoop") == 240 * 10
+        (site,) = _hue_sites(rt)
+        # 20 sends: one cold miss per map, then every send relinks.
+        assert (site.hits, site.misses, site.relinks) == (0, 2, 18)
+        # The hue site is the only polymorphic site in the program, so
+        # the runtime-wide counter matches it exactly.
+        assert rt.send_megamorphic == 18
+
+    def test_megamorphic_site(self, world, config):
+        rt = Runtime(world, config)
+        assert rt.run("megaLoop") == 360 * 10
+        (site,) = _hue_sites(rt)
+        # 30 sends over 3 cycling maps: 3 cold misses, 27 relinks.
+        assert (site.hits, site.misses, site.relinks) == (0, 3, 27)
+        assert rt.send_megamorphic == 27
+
+    def test_pic_extension_reclassifies_relinks(self, world, config):
+        """With polymorphic caches the same traffic books every relink
+        as a PIC hit and none as a megamorphic send."""
+        rt = Runtime(world, config, use_polymorphic_caches=True)
+        assert rt.run("biLoop") == 240 * 10
+        assert rt.send_pic_hits == 18
+        assert rt.send_megamorphic == 0
+
+
+def test_runtime_counters_sum_site_counters(world):
+    """send_hits/send_misses aggregate every site of every compiled
+    body — the threaded handler must bump both levels in lockstep."""
+    rt = Runtime(world, ST80)
+    rt.run("megaLoop")
+    hits = misses = relinks = 0
+    for _, code in rt._method_code.values():
+        for s in code.ic_sites:
+            hits += s.hits
+            misses += s.misses
+            relinks += s.relinks
+    for code in rt._block_code.values():
+        for s in code.ic_sites:
+            hits += s.hits
+            misses += s.misses
+            relinks += s.relinks
+    assert rt.send_hits == hits
+    assert rt.send_misses == misses
+    assert rt.send_megamorphic == relinks
