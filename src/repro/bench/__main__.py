@@ -30,7 +30,7 @@ import sys
 
 from .base import SYSTEMS, all_benchmarks, get_benchmark
 from .harness import Session
-from . import tables
+from . import cache, tables
 
 
 def _matrix_pairs(include_puzzle: bool) -> list[tuple[str, str]]:
@@ -59,6 +59,9 @@ def _raw_matrix(session: Session, include_puzzle: bool) -> str:
             continue
         for system in SYSTEMS:
             r = session.result(name, system)
+            if r.failed:
+                lines.append(f"{name:12}{system:>12}  FAILED  {r.error}")
+                continue
             pct = session.percent_of_c(name, system)
             lines.append(
                 f"{name:12}{system:>12}{r.cycles:>14}{r.code_kb:>8.1f}"
@@ -109,6 +112,19 @@ def main(argv=None) -> int:
         session.prefetch(_ablation_pairs())
     else:
         session.prefetch(_matrix_pairs(include_puzzle))
+    discarded = cache.corruption_count()
+    if discarded:
+        print(
+            f"note: discarded {discarded} corrupt bench-cache "
+            f"entr{'y' if discarded == 1 else 'ies'} (remeasured from scratch)",
+            file=sys.stderr,
+        )
+    failed = [r for r in session._results.values() if r.failed]
+    for r in failed:
+        print(
+            f"warning: {r.benchmark}/{r.system} FAILED: {r.error}",
+            file=sys.stderr,
+        )
 
     out = []
     if args.table in ("t1", "all"):

@@ -26,10 +26,38 @@ import tempfile
 from pathlib import Path
 from typing import Optional
 
+from ..objects.errors import InjectedFault
+from ..robustness import faults
+
 _PACKAGE_ROOT = Path(__file__).resolve().parents[1]  # src/repro
 _DEFAULT_CACHE_DIR = _PACKAGE_ROOT.parents[1] / ".bench_cache"
 
 _digest_cache: Optional[str] = None
+
+#: keys every stored measurement record must carry to be served; a
+#: record missing any of them (a torn write, a manual edit, an old
+#: schema) is discarded as corrupt rather than half-deserialized
+_REQUIRED_KEYS = frozenset(
+    (
+        "benchmark", "system", "answer", "cycles", "code_bytes",
+        "compile_seconds", "instructions", "send_hits", "send_misses",
+        "send_megamorphic", "methods_compiled", "wall_seconds", "verified",
+    )
+)
+
+#: entries discarded as corrupt (I/O error mid-read, unparseable JSON,
+#: or schema validation failure) since process start / the last reset
+_corrupt_discarded = 0
+
+
+def corruption_count() -> int:
+    """How many cache entries were discarded as corrupt (not misses)."""
+    return _corrupt_discarded
+
+
+def reset_corruption_count() -> None:
+    global _corrupt_discarded
+    _corrupt_discarded = 0
 
 
 def source_digest() -> str:
@@ -56,12 +84,34 @@ def _entry_path(benchmark: str, system: str) -> Path:
 
 
 def load(benchmark: str, system: str) -> Optional[dict]:
-    """The stored measurement record, or None on miss/corruption."""
+    """The stored measurement record, or None on miss/corruption.
+
+    A plain miss (no entry on disk) and a *corrupt* entry (I/O error
+    mid-read, unparseable JSON, missing record keys) both degrade to
+    recomputation, but corruption additionally increments
+    :func:`corruption_count` so the bench CLI can report it.
+    """
+    global _corrupt_discarded
+    torn = False
     try:
+        # Fault site: models a failing disk (raise) or a torn/partial
+        # write that survived on disk (corrupt).
+        if faults.ENABLED and faults.hit(faults.SITE_BENCH_CACHE):
+            torn = True
         with open(_entry_path(benchmark, system), encoding="utf-8") as handle:
-            return json.load(handle)
-    except (OSError, ValueError):
+            text = handle.read()
+        if torn:
+            text = text[: max(0, len(text) - 7)]
+        record = json.loads(text)
+    except FileNotFoundError:
+        return None  # an ordinary miss, not corruption
+    except (OSError, ValueError, InjectedFault):
+        _corrupt_discarded += 1
         return None
+    if not isinstance(record, dict) or not _REQUIRED_KEYS.issubset(record):
+        _corrupt_discarded += 1
+        return None
+    return record
 
 
 def store(benchmark: str, system: str, record: dict) -> None:

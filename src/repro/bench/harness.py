@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Iterable, Optional
 
 from ..objects.errors import SelfError
@@ -53,6 +53,15 @@ class RunResult:
     wall_seconds: float
     verified: bool
     compile_stats: dict = field(default_factory=dict)
+    #: the run could not be measured at all (worker crash and the
+    #: in-process retry also failed) — rendered as a FAILED cell
+    failed: bool = False
+    #: diagnostic for a failed cell: "ErrorKind: detail"
+    error: str = ""
+    #: tier degradations the run's Runtime recorded (see
+    #: repro.robustness.recovery); nonzero means the modeled numbers
+    #: are diagnostic, not comparable
+    recovery_events: int = 0
 
     @property
     def code_kb(self) -> float:
@@ -69,7 +78,23 @@ class RunResult:
 
     @classmethod
     def from_record(cls, record: dict) -> "RunResult":
-        return cls(**record)
+        # Tolerate record-shape drift (an on-disk entry written by an
+        # older or newer schema): unknown keys are dropped, missing
+        # optional fields take their defaults, and a record missing a
+        # required field still raises — cache.load() validates first.
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in record.items() if k in known})
+
+    @classmethod
+    def failure(cls, benchmark: str, system: str, error: BaseException) -> "RunResult":
+        """A FAILED cell: the pair could not be measured."""
+        return cls(
+            benchmark=benchmark, system=system, answer=None, cycles=0,
+            code_bytes=0, compile_seconds=0.0, instructions=0, send_hits=0,
+            send_misses=0, send_megamorphic=0, methods_compiled=0,
+            wall_seconds=0.0, verified=False, failed=True,
+            error=f"{type(error).__name__}: {error}",
+        )
 
 
 def run_benchmark(benchmark: Benchmark, system: str) -> RunResult:
@@ -103,6 +128,7 @@ def run_benchmark(benchmark: Benchmark, system: str) -> RunResult:
         wall_seconds=wall,
         verified=verified,
         compile_stats=runtime.aggregate_compile_stats(),
+        recovery_events=len(runtime.recovery),
     )
 
 
@@ -126,6 +152,12 @@ class Session:
         self.use_cache = use_cache
 
     def _admit(self, result: RunResult) -> RunResult:
+        if result.failed:
+            # A FAILED cell is memoized so the tables can render it, but
+            # never written to the on-disk cache: a later run should
+            # retry the measurement, not replay the failure.
+            self._results[(result.benchmark, result.system)] = result
+            return result
         if not result.verified:
             raise AssertionError(
                 f"{result.benchmark} under {result.system} produced a wrong "
@@ -149,7 +181,13 @@ class Session:
 
     def prefetch(self, pairs: Optional[Iterable[tuple[str, str]]] = None) -> None:
         """Measure the given (benchmark, system) pairs — the full matrix
-        when omitted — fanning the misses out over worker processes."""
+        when omitted — fanning the misses out over worker processes.
+
+        Failure containment: a pair whose worker dies (or raises) is
+        retried once in-process; if the retry also fails, a FAILED cell
+        is recorded and the rest of the matrix proceeds.  One crashing
+        measurement never aborts the whole run.
+        """
         if pairs is None:
             pairs = [
                 (name, system)
@@ -170,15 +208,28 @@ class Session:
             return
         jobs = self.jobs if self.jobs is not None else os.cpu_count() or 1
         jobs = min(jobs, len(missing))
+        retry = []
         if jobs <= 1:
-            for pair in missing:
-                self.result(*pair)
-            return
-        from concurrent.futures import ProcessPoolExecutor
+            retry = missing
+        else:
+            from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            for record in pool.map(_run_pair, missing):
-                self._admit(RunResult.from_record(record))
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = [(pair, pool.submit(_run_pair, pair)) for pair in missing]
+                for pair, future in futures:
+                    try:
+                        self._admit(RunResult.from_record(future.result()))
+                    except Exception:
+                        # Worker crash (BrokenProcessPool kills every
+                        # sibling future too), an in-worker error, or a
+                        # record that fails verification: fall back to
+                        # one in-process attempt below.
+                        retry.append(pair)
+        for name, system in retry:
+            try:
+                self._admit(run_benchmark(get_benchmark(name), system))
+            except Exception as error:
+                self._admit(RunResult.failure(name, system, error))
 
     def percent_of_c(self, benchmark_name: str, system: str) -> float:
         """Speed as a percentage of the optimized-C baseline.

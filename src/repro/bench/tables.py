@@ -145,7 +145,9 @@ def appendix_a_speed(
             if name == "puzzle" and not include_puzzle:
                 continue
             cells = "".join(
-                f"{session.percent_of_c(name, s):>13.0f}%" for s in T1_SYSTEMS
+                f"{'FAILED':>14}" if session.result(name, s).failed
+                else f"{session.percent_of_c(name, s):>13.0f}%"
+                for s in T1_SYSTEMS
             )
             lines.append(f"  {name:10}" + cells)
     return "\n".join(lines)
@@ -168,7 +170,9 @@ def appendix_b_size(
             if name == "puzzle" and not include_puzzle:
                 continue
             cells = "".join(
-                f"{session.result(name, s).code_kb:>14.1f}" for s in systems
+                f"{'FAILED':>14}" if session.result(name, s).failed
+                else f"{session.result(name, s).code_kb:>14.1f}"
+                for s in systems
             )
             lines.append(f"  {name:10}" + cells)
     return "\n".join(lines)
@@ -191,7 +195,9 @@ def appendix_c_compile_time(
             if name == "puzzle" and not include_puzzle:
                 continue
             cells = "".join(
-                f"{session.result(name, s).compile_seconds:>14.3f}" for s in systems
+                f"{'FAILED':>14}" if session.result(name, s).failed
+                else f"{session.result(name, s).compile_seconds:>14.3f}"
+                for s in systems
             )
             lines.append(f"  {name:10}" + cells)
     return "\n".join(lines)

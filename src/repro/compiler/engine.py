@@ -37,6 +37,7 @@ from ..lang.ast_nodes import (
     SendNode as AstSendNode,
 )
 from ..objects.errors import AmbiguousLookup, CompilerError
+from ..robustness import faults
 from ..objects.maps import ASSIGNMENT, CONSTANT, DATA
 from ..objects.model import SelfMethod, block_value_selector
 from ..ir.nodes import (
@@ -83,6 +84,41 @@ class BudgetExhausted(Exception):
     with a conservative configuration."""
 
 
+#: the conservative configuration every degradation path shares: the
+#: BudgetExhausted retry here and the pessimistic tier in
+#: :mod:`repro.robustness.tiers` must compile identically.
+PESSIMISTIC_FALLBACK = dict(
+    extended_splitting=False,
+    local_splitting=False,
+    multi_version_loops=False,
+    iterative_loops=False,
+    max_fronts=1,
+)
+
+
+def compile_once(
+    universe: Universe,
+    config: CompilerConfig,
+    code: CodeBody,
+    receiver_map,
+    selector: str = "",
+    is_block: bool = False,
+    block_template: Optional[BlockTemplate] = None,
+    annotations=None,
+    watchdog=None,
+) -> CompiledGraph:
+    """One compilation attempt under exactly ``config`` — no fallback.
+
+    The tiered pipeline calls this so it can observe (and log) every
+    failure, including :class:`BudgetExhausted`, itself.
+    """
+    compiler = MethodCompiler(
+        universe, config, code, receiver_map, selector, is_block,
+        block_template, annotations, watchdog=watchdog,
+    )
+    return compiler.compile()
+
+
 def compile_code(
     universe: Universe,
     config: CompilerConfig,
@@ -92,6 +128,7 @@ def compile_code(
     is_block: bool = False,
     block_template: Optional[BlockTemplate] = None,
     annotations=None,
+    watchdog=None,
 ) -> CompiledGraph:
     """Compile ``code`` customized for ``receiver_map`` under ``config``.
 
@@ -100,24 +137,15 @@ def compile_code(
     disabled — the pessimistic strategy always terminates.
     """
     try:
-        compiler = MethodCompiler(
+        return compile_once(
             universe, config, code, receiver_map, selector, is_block,
-            block_template, annotations,
+            block_template, annotations, watchdog,
         )
-        return compiler.compile()
     except BudgetExhausted:
-        fallback = config.but(
-            extended_splitting=False,
-            local_splitting=False,
-            multi_version_loops=False,
-            iterative_loops=False,
-            max_fronts=1,
+        return compile_once(
+            universe, config.but(**PESSIMISTIC_FALLBACK), code, receiver_map,
+            selector, is_block, block_template, annotations, watchdog,
         )
-        compiler = MethodCompiler(
-            universe, fallback, code, receiver_map, selector, is_block,
-            block_template, annotations,
-        )
-        return compiler.compile()
 
 
 class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
@@ -133,6 +161,7 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
         is_block: bool = False,
         block_template: Optional[BlockTemplate] = None,
         annotations=None,
+        watchdog=None,
     ) -> None:
         self.universe = universe
         self.config = config
@@ -142,6 +171,7 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
         self.is_block = is_block
         self.block_template = block_template
         self.annotations = annotations
+        self.watchdog = watchdog
 
         self.start = StartNode()
         self._temp_counter = 0
@@ -191,6 +221,8 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
         self._nodes_created += 1
         if self._nodes_created > self.config.node_budget:
             raise BudgetExhausted()
+        if self.watchdog is not None and self._nodes_created & 255 == 0:
+            self.watchdog.tick(256)
 
     def drop_dead(self, fronts: list) -> list:
         """Filter out dead fronts, sealing their open edges.
@@ -330,6 +362,10 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
                 self.emit(f, NlrReturnNode(var))
             else:
                 self.emit(f, ReturnNode(var))
+        if faults.ENABLED and faults.hit(faults.SITE_COMPILER_ENGINE):
+            # Corrupt mode: a "wild write" into the finished graph.  The
+            # validator below must catch it — never ship a broken graph.
+            self.start.successors[0] = None
         irgraph.validate(self.start)
         return CompiledGraph(
             self.start,

@@ -36,6 +36,7 @@ from typing import Optional
 
 from ..ir.nodes import ConstNode, ErrorNode, LoopHeadNode, TypeTestNode
 from ..lang.ast_nodes import BlockNode, ReturnNode as AstReturnNode, SendNode as AstSendNode
+from ..robustness import faults
 from ..types.lattice import (
     UNKNOWN,
     MergeType,
@@ -100,6 +101,13 @@ class LoopCompilationMixin:
         snapshots = self._snapshot_sinks()
         for _ in range(self.config.max_loop_iterations):
             self.stats["loop_analysis_iterations"] += 1
+            if self.watchdog is not None:
+                self.watchdog.tick()
+            if faults.ENABLED and faults.hit(faults.SITE_COMPILER_LOOPS):
+                # Corrupt mode: poison the analysis seed.  Widening over
+                # UNKNOWN still reaches a fixed point, so the loop
+                # compiles — just pessimistically (and deterministically).
+                base_types = {var: UNKNOWN for var in base_types}
             self._restore_sinks(snapshots)
             versions = self._make_versions(base_types, cond, body, base_closures)
             exits, unmatched = self._compile_versions(

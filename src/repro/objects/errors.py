@@ -9,6 +9,22 @@ language with a single ``except SelfError``.
 Errors that indicate a bug in the host implementation (malformed IR,
 compiler invariant violations) derive from :class:`ReproInternalError`
 instead and are never raised by well-formed guest programs.
+
+Taxonomy audit (every exception in the tree belongs to exactly one
+family):
+
+* guest-visible failures — subclasses of :class:`SelfError`;
+* host bugs and induced faults — subclasses of
+  :class:`ReproInternalError` (including :class:`InjectedFault` from the
+  fault-injection framework and :class:`CompileTimeout` from the compile
+  watchdog, both of which the tiered pipeline in
+  :mod:`repro.robustness.tiers` contains by degrading);
+* control-flow signals that are deliberately in *neither* family, so a
+  broad ``except SelfError``/``except ReproInternalError`` can never
+  swallow them: ``PrimFailSignal`` (primitive failure, handled at the
+  call site), ``BudgetExhausted`` (node-budget retry inside the
+  compiler), ``NonLocalUnwind`` and the interpreter's ``_NonLocalReturn``
+  (both unwind a ``^`` to its home activation).
 """
 
 from __future__ import annotations
@@ -113,3 +129,27 @@ class CodegenError(ReproInternalError):
 
 class VMError(ReproInternalError):
     """The bytecode interpreter hit a malformed instruction stream."""
+
+
+class CompileTimeout(ReproInternalError):
+    """The compile watchdog expired (wall clock or fuel) before the
+    compiler finished; the tiered pipeline retries pessimistically."""
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
+        super().__init__(f"compilation watchdog expired ({reason})")
+
+
+class InjectedFault(ReproInternalError):
+    """A fault deliberately raised by :mod:`repro.robustness.faults`.
+
+    Never raised in production configurations — only when fault
+    injection is armed (``REPRO_FAULTS`` or a programmatic plan).  It
+    derives from :class:`ReproInternalError` because an injected fault
+    models a host defect, and must be contained the same way.
+    """
+
+    def __init__(self, site: str, hit: int) -> None:
+        self.site = site
+        self.hit = hit
+        super().__init__(f"injected fault at {site!r} (hit #{hit})")

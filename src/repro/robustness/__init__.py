@@ -1,0 +1,32 @@
+"""Failure containment and graceful degradation.
+
+The reproduction's compiler is built on optimistic assumptions —
+predicted type tests, inlined primitives, split fronts — and the
+production requirement is that no guest program, adversarial input, or
+compiler defect may crash the runtime or silently corrupt a
+measurement.  This package provides the three pieces of that story:
+
+* :mod:`.faults` — a deterministic, seeded fault-injection framework
+  with named sites planted through the compiler, VM backend, and bench
+  cache (zero overhead when disabled);
+* :mod:`.recovery` — the structured per-runtime recovery log every
+  degradation is recorded in;
+* :mod:`.tiers` — the tiered execution pipeline: optimizing compile →
+  pessimistic compile → AST interpreter, plus the compile watchdog.
+
+See docs/INTERNALS.md §8 for the failure model.
+"""
+
+from . import faults, recovery  # noqa: F401
+
+# .tiers imports the compiler and VM backend, which themselves import
+# .faults through this package — so it must load lazily to keep the
+# import graph acyclic.
+
+
+def __getattr__(name):
+    if name == "tiers":
+        from . import tiers
+
+        return tiers
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

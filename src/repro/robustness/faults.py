@@ -1,0 +1,210 @@
+"""Deterministic, seeded fault injection.
+
+Named *sites* are planted at the seams of the compile pipeline and the
+bench cache.  Each site is one line of the form::
+
+    if faults.ENABLED and faults.hit(faults.SITE_X):
+        <apply site-specific corruption>
+
+``ENABLED`` is a module-level boolean that is ``False`` unless a plan
+is installed, so a disabled build pays exactly one attribute read per
+site — and no site sits on a per-instruction path (the hottest one,
+``vm.predecode``, runs once per code installation).
+
+A :class:`FaultPlan` names a site, a mode, and *when* to fire: the Nth
+hit of that site within the process (1-based), optionally persisting
+from that hit onward.  Everything is deterministic: the same plan
+against the same workload fires at the same place every time, and a
+*seed* merely derives the hit number reproducibly so CI can sweep a
+seed matrix without enumerating hit counts by hand.
+
+Modes:
+
+* ``raise`` — raise :class:`~repro.objects.errors.InjectedFault` at the
+  site (models a crash inside that phase);
+* ``corrupt`` — ``hit()`` returns True and the site applies a
+  site-specific corruption to its in-flight data (models a wild write
+  that a later integrity check must catch).
+
+Activation:
+
+* programmatic — :func:`install`, :func:`clear`, or the
+  :func:`injected` context manager (what the chaos tests use);
+* environment — ``REPRO_FAULTS="site[:mode][:nth[+]]; ..."`` with an
+  optional ``REPRO_FAULT_SEED`` (read once at import, for CLI runs).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..objects.errors import InjectedFault
+
+# -- registered sites -------------------------------------------------------
+
+SITE_COMPILER_ENGINE = "compiler.engine"
+SITE_COMPILER_LOOPS = "compiler.loops"
+SITE_VM_CODEGEN = "vm.codegen"
+SITE_VM_PREDECODE = "vm.predecode"
+SITE_BENCH_CACHE = "bench.cache"
+
+#: every site planted in the source tree (the chaos matrix iterates this)
+ALL_SITES = (
+    SITE_COMPILER_ENGINE,
+    SITE_COMPILER_LOOPS,
+    SITE_VM_CODEGEN,
+    SITE_VM_PREDECODE,
+    SITE_BENCH_CACHE,
+)
+
+MODES = ("raise", "corrupt")
+
+#: fast-path flag: sites check this before calling :func:`hit`
+ENABLED = False
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One armed fault: fire at ``site`` on the ``nth`` hit."""
+
+    site: str
+    mode: str = "raise"
+    nth: int = 1
+    #: fire on *every* hit from the nth onward (models a persistent
+    #: defect rather than a transient one)
+    persistent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.site not in ALL_SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; registered: {ALL_SITES}"
+            )
+        if self.mode not in MODES:
+            raise ValueError(f"unknown fault mode {self.mode!r}; known: {MODES}")
+        if self.nth < 1:
+            raise ValueError("nth is 1-based and must be >= 1")
+
+    @classmethod
+    def from_spec(cls, spec: str, seed: Optional[int] = None) -> "FaultPlan":
+        """Parse ``site[:mode][:nth[+]]``.
+
+        When ``nth`` is omitted it is derived deterministically from
+        ``seed`` (default seed 0), so a CI seed sweep probes different
+        hit positions without spelling them out.
+        """
+        parts = [p.strip() for p in spec.strip().split(":")]
+        site = parts[0]
+        mode = parts[1] if len(parts) > 1 and parts[1] else "raise"
+        persistent = False
+        if len(parts) > 2 and parts[2]:
+            raw = parts[2]
+            if raw.endswith("+"):
+                persistent = True
+                raw = raw[:-1]
+            nth = int(raw)
+        else:
+            nth = derived_nth(site, 0 if seed is None else seed)
+        return cls(site=site, mode=mode, nth=nth, persistent=persistent)
+
+
+def derived_nth(site: str, seed: int, span: int = 8) -> int:
+    """A deterministic hit number in ``1..span`` from (site, seed)."""
+    digest = hashlib.sha256(f"{site}\0{seed}".encode()).digest()
+    return int.from_bytes(digest[:4], "big") % span + 1
+
+
+class _FaultState:
+    """The armed plans plus per-site hit counters and a fired journal."""
+
+    __slots__ = ("plans", "counters", "fired")
+
+    def __init__(self, plans: Iterable[FaultPlan]) -> None:
+        self.plans: dict[str, FaultPlan] = {}
+        for plan in plans:
+            if plan.site in self.plans:
+                raise ValueError(f"duplicate plan for site {plan.site!r}")
+            self.plans[plan.site] = plan
+        self.counters: dict[str, int] = {}
+        #: (site, hit index, mode) for every fault that actually fired
+        self.fired: list[tuple[str, int, str]] = []
+
+
+_STATE: Optional[_FaultState] = None
+
+
+def install(plans: Iterable[FaultPlan]) -> None:
+    """Arm the given plans (replacing any previous installation)."""
+    global _STATE, ENABLED
+    _STATE = _FaultState(plans)
+    ENABLED = bool(_STATE.plans)
+
+
+def clear() -> None:
+    """Disarm fault injection entirely (back to zero overhead)."""
+    global _STATE, ENABLED
+    _STATE = None
+    ENABLED = False
+
+
+def fired() -> list[tuple[str, int, str]]:
+    """The journal of faults that actually fired since :func:`install`."""
+    return list(_STATE.fired) if _STATE is not None else []
+
+
+def hit_counts() -> dict[str, int]:
+    """How many times each armed site has been reached."""
+    return dict(_STATE.counters) if _STATE is not None else {}
+
+
+@contextmanager
+def injected(*plans: FaultPlan):
+    """Arm ``plans`` for the duration of a with-block, then disarm."""
+    install(plans)
+    try:
+        yield _STATE
+    finally:
+        clear()
+
+
+def hit(site: str) -> bool:
+    """Record one hit of ``site``; fire if the armed plan says so.
+
+    Returns True when a ``corrupt``-mode fault fires (the caller applies
+    its site-specific corruption), False when nothing fires; raises
+    :class:`InjectedFault` when a ``raise``-mode fault fires.
+    """
+    state = _STATE
+    if state is None:
+        return False
+    plan = state.plans.get(site)
+    if plan is None:
+        return False
+    count = state.counters.get(site, 0) + 1
+    state.counters[site] = count
+    if count != plan.nth and not (plan.persistent and count > plan.nth):
+        return False
+    state.fired.append((site, count, plan.mode))
+    if plan.mode == "raise":
+        raise InjectedFault(site, count)
+    return True
+
+
+def configure_from_env() -> None:
+    """Arm plans from ``REPRO_FAULTS`` / ``REPRO_FAULT_SEED`` if set."""
+    spec = os.environ.get("REPRO_FAULTS")
+    if not spec:
+        return
+    seed = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+    plans = [
+        FaultPlan.from_spec(part, seed)
+        for part in spec.split(";")
+        if part.strip()
+    ]
+    install(plans)
+
+
+configure_from_env()

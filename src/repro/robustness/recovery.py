@@ -1,0 +1,91 @@
+"""The structured per-runtime recovery log.
+
+Every degradation the tiered pipeline performs — optimizing compile
+falling back to a pessimistic compile, a pessimistic compile falling
+back to the AST interpreter — is recorded here instead of propagating
+an exception to the guest program.  The log is deterministic (no
+timestamps, no host state), so two runs of the same workload under the
+same fault plan produce identical logs.
+
+Schema (one :class:`RecoveryEvent` per degradation)::
+
+    stage       what was being attempted ("compile", "compile-block")
+    selector    the method or block being compiled
+    from_tier   the tier that failed ("optimizing" | "pessimistic")
+    to_tier     the tier execution degraded to
+                ("pessimistic" | "interpreter")
+    error_kind  exception class name, e.g. "InjectedFault"
+    detail      str(exception)
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Iterator
+
+#: the tier ladder, fastest first
+TIER_OPTIMIZING = "optimizing"
+TIER_PESSIMISTIC = "pessimistic"
+TIER_INTERPRETER = "interpreter"
+
+TIERS = (TIER_OPTIMIZING, TIER_PESSIMISTIC, TIER_INTERPRETER)
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    stage: str
+    selector: str
+    from_tier: str
+    to_tier: str
+    error_kind: str
+    detail: str
+
+    def to_record(self) -> dict:
+        return asdict(self)
+
+
+class RecoveryLog:
+    """Append-only log of degradations, owned by one Runtime."""
+
+    def __init__(self) -> None:
+        self.events: list[RecoveryEvent] = []
+
+    def record(
+        self,
+        stage: str,
+        selector: str,
+        from_tier: str,
+        to_tier: str,
+        error: BaseException,
+    ) -> RecoveryEvent:
+        event = RecoveryEvent(
+            stage=stage,
+            selector=selector,
+            from_tier=from_tier,
+            to_tier=to_tier,
+            error_kind=type(error).__name__,
+            detail=str(error),
+        )
+        self.events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[RecoveryEvent]:
+        return iter(self.events)
+
+    def degradations_to(self, tier: str) -> list[RecoveryEvent]:
+        return [e for e in self.events if e.to_tier == tier]
+
+    def to_records(self) -> list[dict]:
+        """JSON-serializable form (for reports and the bench harness)."""
+        return [e.to_record() for e in self.events]
+
+    def summary(self) -> dict[str, int]:
+        """Degradation counts keyed by ``from_tier->to_tier``."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            key = f"{event.from_tier}->{event.to_tier}"
+            counts[key] = counts.get(key, 0) + 1
+        return counts

@@ -1,0 +1,288 @@
+"""The tiered execution pipeline: contain compiler faults by degrading.
+
+The ladder, fastest tier first:
+
+* **optimizing** — the runtime's configured compiler (splitting,
+  iteration, prediction … whatever the system preset enables), plus the
+  backend (codegen + predecode).
+* **pessimistic** — the same conservative recompile the pre-existing
+  ``BudgetExhausted`` safety valve uses: splitting and loop iteration
+  off, one front.  It does strictly less speculative work, so a defect
+  in the optimistic machinery (or an injected fault that fired once)
+  does not recur.
+* **interpreter** — the reference AST interpreter
+  (:mod:`repro.interp.interpreter`), which defines the language
+  semantics and shares none of the compile pipeline.  A method that
+  cannot be compiled at all still runs — it just runs slowly, and its
+  execution is not charged to the modeled cycle counters (measurements
+  under active degradation are diagnostic, not comparable; the recovery
+  log says so).
+
+Every step down the ladder is recorded in the runtime's
+:class:`~repro.robustness.recovery.RecoveryLog`.  Guest-level errors
+(:class:`~repro.objects.errors.SelfError`) are *not* contained — a
+guest bug must surface identically at every tier.
+
+The **watchdog** bounds compilation beyond the node budget: the node
+budget caps graph growth per attempt, while the watchdog caps wall
+clock (and optionally total fuel) across everything a single compile
+attempt does, including discarded loop-iteration trial graphs.  It
+raises :class:`~repro.objects.errors.CompileTimeout`, which the ladder
+contains like any other internal fault.
+
+Interpreter-tier interop: a degraded method can receive and invoke
+closures created by compiled code, and compiled code can invoke
+closures created by a degraded method.  :class:`TierInterpreter`
+routes VM-created blocks (whose home is a :class:`~repro.vm.frame.Frame`)
+back into the runtime, and the runtime routes interpreter-created
+blocks (whose home is an :class:`~repro.interp.interpreter.Activation`)
+here.  A block whose *own* compilation degrades all the way down is
+interpreted against its creating frame's environment through a bridge
+activation.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..compiler.engine import BudgetExhausted, PESSIMISTIC_FALLBACK, compile_once
+from ..interp.interpreter import Activation, Interpreter, _NonLocalReturn
+from ..objects.errors import (
+    CompileTimeout,
+    NonLocalReturnFromDeadActivation,
+    SelfError,
+    WrongBlockArity,
+)
+from ..vm.codegen import generate
+from ..vm.frame import NonLocalUnwind
+from .recovery import TIER_INTERPRETER, TIER_OPTIMIZING, TIER_PESSIMISTIC
+
+
+# ---------------------------------------------------------------------------
+# The compile watchdog
+# ---------------------------------------------------------------------------
+
+#: wall-clock budget per compile attempt, seconds (<= 0 disables)
+_DEFAULT_TIMEOUT_S = 10.0
+
+
+class Watchdog:
+    """Wall-clock (and optional fuel) bound on one compile attempt.
+
+    ``tick`` is called from coarse checkpoints — every 256th IR node
+    the compiler creates and every loop-analysis iteration — so the
+    cost of an armed watchdog is one time query per few hundred nodes.
+    """
+
+    __slots__ = ("deadline", "fuel")
+
+    def __init__(
+        self, seconds: Optional[float] = None, fuel: Optional[int] = None
+    ) -> None:
+        self.deadline = (
+            time.monotonic() + seconds if seconds is not None and seconds > 0
+            else None
+        )
+        self.fuel = fuel
+
+    def tick(self, amount: int = 1) -> None:
+        if self.fuel is not None:
+            self.fuel -= amount
+            if self.fuel <= 0:
+                raise CompileTimeout("fuel exhausted")
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise CompileTimeout("wall clock")
+
+
+def default_watchdog() -> Watchdog:
+    """A watchdog from ``REPRO_COMPILE_TIMEOUT_S`` / ``REPRO_COMPILE_FUEL``."""
+    seconds = float(os.environ.get("REPRO_COMPILE_TIMEOUT_S", _DEFAULT_TIMEOUT_S))
+    fuel_raw = os.environ.get("REPRO_COMPILE_FUEL")
+    fuel = int(fuel_raw) if fuel_raw else None
+    return Watchdog(seconds=seconds, fuel=fuel)
+
+
+# ---------------------------------------------------------------------------
+# The ladder
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InterpretedCode:
+    """Marker installed in the runtime's code cache for a body that
+    degraded to the interpreter tier: holds the AST to execute."""
+
+    code: object  # CodeBody (MethodNode or BlockNode)
+    selector: str
+    is_block: bool = False
+
+
+def pessimistic_config(config):
+    """The conservative configuration of the BudgetExhausted path."""
+    return config.but(**PESSIMISTIC_FALLBACK)
+
+
+def compile_with_tiers(
+    runtime,
+    code_node,
+    receiver_map,
+    selector: str,
+    is_block: bool = False,
+    block_template=None,
+):
+    """Compile down the tier ladder; never raise an internal error.
+
+    Returns a :class:`~repro.vm.code.Code` from the optimizing or
+    pessimistic tier, or an :class:`InterpretedCode` marker when both
+    compile tiers failed.  Guest-level :class:`SelfError` exceptions
+    propagate unchanged.
+    """
+    stage = "compile-block" if is_block else "compile"
+    ladder = (
+        (TIER_OPTIMIZING, runtime.config, TIER_PESSIMISTIC),
+        (TIER_PESSIMISTIC, pessimistic_config(runtime.config), TIER_INTERPRETER),
+    )
+    for tier, config, next_tier in ladder:
+        try:
+            graph = compile_once(
+                runtime.universe, config, code_node, receiver_map,
+                selector=selector, is_block=is_block,
+                block_template=block_template, annotations=runtime.annotations,
+                watchdog=default_watchdog(),
+            )
+            return generate(graph, runtime.model)
+        except SelfError:
+            raise  # a guest bug surfaces identically at every tier
+        except BudgetExhausted as error:
+            runtime.recovery.record(stage, selector, tier, next_tier, error)
+        except Exception as error:  # noqa: BLE001 — the containment boundary
+            runtime.recovery.record(stage, selector, tier, next_tier, error)
+    return InterpretedCode(code_node, selector, is_block)
+
+
+# ---------------------------------------------------------------------------
+# Interpreter-tier execution
+# ---------------------------------------------------------------------------
+
+
+class TierInterpreter(Interpreter):
+    """The reference interpreter wired back into a Runtime.
+
+    Blocks created by compiled code carry a :class:`Frame` home; the
+    plain interpreter cannot invoke them, so this subclass routes them
+    back to the owning runtime (which may in turn route an
+    interpreter-created block back here — the two evaluators co-exist
+    per closure, not per run).
+    """
+
+    def __init__(self, runtime) -> None:
+        super().__init__(runtime.universe, runtime.world.lobby)
+        self.runtime = runtime
+
+    def call_block(self, block, args):
+        if isinstance(block.home, Activation):
+            return super().call_block(block, args)
+        return self.runtime._call_block_sync(block, list(args))
+
+
+def _switched(runtime, thunk):
+    """Run ``thunk`` with the tier interpreter as the active evaluator
+    (so primitives that invoke blocks reach the routing bridge)."""
+    interp = runtime.tier_interpreter
+    universe = runtime.universe
+    previous = universe.evaluator
+    universe.evaluator = interp
+    try:
+        return thunk(interp)
+    finally:
+        universe.evaluator = previous
+
+
+def run_interpreted_method(runtime, code_node, receiver, args):
+    """Execute a method body at the interpreter tier."""
+    return _switched(
+        runtime, lambda interp: interp.invoke_method(receiver, code_node, list(args))
+    )
+
+
+def call_foreign_block(runtime, block, args):
+    """Invoke an interpreter-created closure that reached the VM."""
+    return _switched(runtime, lambda interp: interp.call_block(block, list(args)))
+
+
+class _EnvSlots:
+    """Mapping view over a VM frame-environment chain.
+
+    Exposes exactly the free names a block captured (its ``env_map``);
+    reads and writes go through the runtime's environment walkers, so
+    an interpreted block shares mutable state with the compiled frames
+    around it.
+    """
+
+    __slots__ = ("_runtime", "_frame_view", "_names")
+
+    def __init__(self, runtime, block) -> None:
+        self._runtime = runtime
+        self._frame_view = _FrameView(block.home, block.env_map)
+        self._names = frozenset(block.env_map or ())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._names
+
+    def __getitem__(self, name: str):
+        return self._runtime._env_load(self._frame_view, name)
+
+    def __setitem__(self, name: str, value) -> None:
+        self._runtime._env_store(self._frame_view, name, value)
+
+
+class _FrameView:
+    """Just enough of a :class:`Frame` for the environment walkers."""
+
+    __slots__ = ("home", "env_map", "env")
+
+    def __init__(self, home, env_map) -> None:
+        self.home = home
+        self.env_map = env_map
+        self.env = None
+
+
+def run_interpreted_block(runtime, block, args):
+    """Execute a VM-created block at the interpreter tier.
+
+    The block's own body degraded past both compile tiers, but it was
+    *created* by compiled code: its free variables live in the creating
+    frame's environment and ``self`` comes from its home frame.  A
+    bridge activation supplies both; a ``^`` inside the block is
+    converted to the VM's non-local unwind toward its home frame.
+    """
+    if len(args) != block.arity:
+        raise WrongBlockArity(block.arity, len(args))
+    home_frame = block.home
+    method_home = home_frame
+    while method_home.home is not None:
+        method_home = method_home.home
+    if not method_home.alive:
+        raise NonLocalReturnFromDeadActivation()
+    receiver = (
+        block.captured_self if block.captured_self is not None
+        else home_frame.receiver
+    )
+
+    def invoke(interp):
+        root = Activation(receiver, block.code, _EnvSlots(runtime, block), None)
+        slots = interp._fresh_slots(block.code, list(args))
+        activation = Activation(receiver, block.code, slots, lexical_parent=root)
+        try:
+            return interp._run_body(activation)
+        except _NonLocalReturn as nlr:
+            if nlr.home is root:
+                if not method_home.alive:
+                    raise NonLocalReturnFromDeadActivation() from None
+                raise NonLocalUnwind(method_home, nlr.value) from None
+            raise
+
+    return _switched(runtime, invoke)

@@ -17,6 +17,7 @@ from typing import Optional
 
 from ..compiler.result import CompiledGraph
 from ..objects.errors import CodegenError
+from ..robustness import faults
 from ..ir import nodes as ir
 from . import opcodes as op
 from .code import Code, InlineCacheSite
@@ -111,6 +112,10 @@ class _Codegen:
             next_node = order[index + 1] if index + 1 < len(order) else None
             self._emit_node(node, next_node)
         self._apply_fixups()
+        if faults.ENABLED and faults.hit(faults.SITE_VM_CODEGEN):
+            # Corrupt mode: a jump to a nonexistent instruction.  The
+            # predecode target remap below must reject the stream.
+            self.insns.append([op.JUMP, len(self.insns) + 1])
         size = sum(self.model.instruction_bytes(i[0]) for i in self.insns)
         size += self.model.method_overhead_bytes
         insns = [tuple(i) for i in self.insns]

@@ -50,6 +50,7 @@ from ..objects.errors import (
 )
 from ..objects.model import SMALLINT_MAX, SMALLINT_MIN, SelfBlock, SelfVector
 from ..primitives.registry import PrimFailSignal
+from ..robustness import faults
 from . import opcodes as op
 from .frame import Frame
 
@@ -303,10 +304,17 @@ def _do_send(vm, frame, regs, insn, pc):
         vm.cycles += insn[13]
         return pc
     if kind == "block":
-        return vm._send_block(regs, insn, receiver)
+        return vm._send_block(regs, insn, receiver, pc)
     if kind == "prim":
         regs[insn[3]] = vm._run_primitive_send(
             receiver, insn[4], [regs[r] for r in insn[6]]
+        )
+        return pc
+    if kind == "interp":
+        # The callee degraded to the interpreter tier: run it
+        # synchronously (its execution is not charged modeled cycles).
+        regs[insn[3]] = vm._run_interpreted(
+            action[1], receiver, [regs[r] for r in insn[6]]
         )
         return pc
     raise VMError(f"bad send action {action!r}")
@@ -657,6 +665,7 @@ def predecode(insns, consts, ic_sites, model):
     """
     cycle_table = model.static_cycle_table()
     n = len(insns)
+    corrupted = faults.ENABLED and faults.hit(faults.SITE_VM_PREDECODE)
 
     targets = set()
     for insn in insns:
@@ -694,6 +703,10 @@ def predecode(insns, consts, ic_sites, model):
 
     # Phase 2: old index -> new index, for branch-target remapping.
     remap = {old: new for new, (old, _, _) in enumerate(segments)}
+    if corrupted:
+        # Corrupt mode: the target-translation table is trashed; any
+        # branch below fails remapping (caught at code installation).
+        remap = {}
 
     # Phase 3: emit.
     def decode_one(insn):

@@ -29,7 +29,7 @@ from typing import Optional, Sequence
 
 from ..compiler.annotations import StaticAnnotations
 from ..compiler.config import CompilerConfig
-from ..compiler.engine import compile_code
+from ..interp.interpreter import _NonLocalReturn
 from ..lang.ast_nodes import MethodNode
 from ..lang.parser import parse_doit
 from ..objects.errors import (
@@ -45,10 +45,18 @@ from ..objects.model import (
     block_value_selector,
 )
 from ..primitives.registry import PrimFailSignal
+from ..robustness.recovery import RecoveryLog
+from ..robustness.tiers import (
+    InterpretedCode,
+    TierInterpreter,
+    call_foreign_block,
+    compile_with_tiers,
+    run_interpreted_block,
+    run_interpreted_method,
+)
 from ..world.bootstrap import World
 from ..world.lookup import lookup_slot
 from .code import Code
-from .codegen import generate
 from .cost import PRIMITIVE_WORK_CYCLES, CostModel, model_for
 from .dispatch import NLR_SIGNAL
 from .frame import Frame, NonLocalUnwind
@@ -106,6 +114,17 @@ class Runtime:
         #: in-flight non-local return: (target frame, value, resume pc)
         self._nlr = None
 
+        #: structured log of tier degradations (robustness subsystem)
+        self.recovery = RecoveryLog()
+        self._tier_interpreter: Optional[TierInterpreter] = None
+
+    @property
+    def tier_interpreter(self) -> TierInterpreter:
+        """The interpreter-tier evaluator, created on first degradation."""
+        if self._tier_interpreter is None:
+            self._tier_interpreter = TierInterpreter(self)
+        return self._tier_interpreter
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
@@ -122,6 +141,8 @@ class Runtime:
         previous = self.universe.evaluator
         self.universe.evaluator = self
         try:
+            if isinstance(code, InterpretedCode):
+                return run_interpreted_method(self, code.code, receiver, ())
             return self._run_code(code, receiver, (), home=None)
         finally:
             self.universe.evaluator = previous
@@ -155,10 +176,11 @@ class Runtime:
         "how many sends were inlined, how many checks deleted"."""
         totals: dict = {}
         for _, code in self._method_code.values():
-            for key, value in code.compile_stats.items():
+            # Interpreter-tier bodies have no compiled stats to count.
+            for key, value in getattr(code, "compile_stats", {}).items():
                 totals[key] = totals.get(key, 0) + value
         for code in self._block_code.values():
-            for key, value in code.compile_stats.items():
+            for key, value in getattr(code, "compile_stats", {}).items():
                 totals[key] = totals.get(key, 0) + value
         return totals
 
@@ -166,25 +188,29 @@ class Runtime:
     # Compilation (the JIT half)
     # ------------------------------------------------------------------
 
-    def _compile_method(self, code_node, receiver_map, selector: str) -> Code:
+    def _compile_method(self, code_node, receiver_map, selector: str):
+        """Compile (or fetch) a method body — down the tier ladder.
+
+        Returns a :class:`Code`, or an :class:`InterpretedCode` marker
+        when compilation degraded all the way to the interpreter tier.
+        """
         key_map = receiver_map.map_id if self.config.customize else 0
         key = (id(code_node), key_map)
         cached = self._method_code.get(key)
         if cached is not None:
             return cached[1]
         started = time.perf_counter()
-        graph = compile_code(
-            self.universe, self.config, code_node, receiver_map,
-            selector=selector, annotations=self.annotations,
+        compiled = compile_with_tiers(
+            self, code_node, receiver_map, selector=selector
         )
-        compiled = generate(graph, self.model)
         self.compile_seconds += time.perf_counter() - started
         self._method_code[key] = (code_node, compiled)
-        self.code_bytes += compiled.size_bytes
-        self.methods_compiled += 1
+        if isinstance(compiled, Code):
+            self.code_bytes += compiled.size_bytes
+            self.methods_compiled += 1
         return compiled
 
-    def _compile_block(self, block: SelfBlock, receiver_map) -> Code:
+    def _compile_block(self, block: SelfBlock, receiver_map):
         key_map = receiver_map.map_id if self.config.customize else 0
         key = (block.code.block_id, key_map)
         cached = self._block_code.get(key)
@@ -192,16 +218,16 @@ class Runtime:
             return cached
         template = self._block_templates.get(block.code.block_id)
         started = time.perf_counter()
-        graph = compile_code(
-            self.universe, self.config, block.code, receiver_map,
+        compiled = compile_with_tiers(
+            self, block.code, receiver_map,
             selector=f"<block#{block.code.block_id}>", is_block=True,
-            block_template=template, annotations=self.annotations,
+            block_template=template,
         )
-        compiled = generate(graph, self.model)
         self.compile_seconds += time.perf_counter() - started
         self._block_code[key] = compiled
-        self.code_bytes += compiled.size_bytes
-        self.methods_compiled += 1
+        if isinstance(compiled, Code):
+            self.code_bytes += compiled.size_bytes
+            self.methods_compiled += 1
         return compiled
 
     # ------------------------------------------------------------------
@@ -223,6 +249,8 @@ class Runtime:
                 code = self._compile_method(
                     value.code, self.universe.map_of(receiver), selector
                 )
+                if isinstance(code, InterpretedCode):
+                    return run_interpreted_method(self, code.code, receiver, args)
                 self.cycles += self.model.frame_cycles
                 return self._run_code(code, receiver, args, home=None)
             return value
@@ -238,7 +266,9 @@ class Runtime:
     def _call_block_sync(self, block: SelfBlock, args: list):
         home = block.home
         if not isinstance(home, Frame):
-            raise VMError("a block from a foreign evaluator reached the VM")
+            # A closure created at the interpreter tier (its home is an
+            # Activation): route it back to the bridge evaluator.
+            return call_foreign_block(self, block, args)
         method_home = home
         while method_home.home is not None:
             method_home = method_home.home
@@ -246,6 +276,8 @@ class Runtime:
             raise NonLocalReturnFromDeadActivation()
         receiver = block.captured_self if block.captured_self is not None else home.receiver
         code = self._compile_block(block, self.universe.map_of(receiver))
+        if isinstance(code, InterpretedCode):
+            return run_interpreted_block(self, block, args)
         self.cycles += self.model.frame_cycles
         return self._run_code(
             code, receiver, args, home=home, env_map=block.env_map
@@ -292,9 +324,11 @@ class Runtime:
         self.frames.append(frame)
         try:
             return self._loop(base)
-        except NonLocalUnwind:
-            # The target frame lives below this run segment: unwind our
-            # frames and re-raise for the outer segment.
+        except (NonLocalUnwind, _NonLocalReturn):
+            # The target activation lives below this run segment (a VM
+            # frame, or — across the tier bridge — an interpreter
+            # activation): unwind our frames and re-raise for the outer
+            # segment or evaluator.
             for dead in self.frames[base:]:
                 dead.alive = False
             del self.frames[base:]
@@ -312,23 +346,36 @@ class Runtime:
                 pc = frame.pc
                 # The hot loop: fetch, charge the precomputed modeled
                 # cost, and jump straight to the bound handler.
-                while pc >= 0:
-                    insn = insns[pc]
-                    cycles += insn[1]
-                    icount += insn[2]
-                    pc = insn[0](self, frame, regs, insn, pc + 1)
+                try:
+                    while pc >= 0:
+                        insn = insns[pc]
+                        cycles += insn[1]
+                        icount += insn[2]
+                        pc = insn[0](self, frame, regs, insn, pc + 1)
+                except NonLocalUnwind as unwind:
+                    # A nested run segment (or the interpreter tier, via
+                    # the bridge) unwound into this segment: pick the
+                    # unwind up as if our own NLR handler had signalled.
+                    self._nlr = (unwind.target, unwind.value, frame.pc)
+                    pc = NLR_SIGNAL
                 if pc != NLR_SIGNAL:
                     # REDISPATCH: a callee was pushed or a frame popped.
                     if len(frames) <= base:
                         return self._ret_value
                     continue
-                # A non-local return is unwinding toward its home.
+                # A non-local return is unwinding toward its home.  The
+                # target is found by identity scan (not list.index, whose
+                # ValueError doubles as control flow and compares by
+                # equality): absence is an expected outcome, not an error.
                 target, value, resume_pc = self._nlr
-                try:
-                    position = frames.index(target, base)
-                except ValueError:
+                position = -1
+                for index in range(len(frames) - 1, base - 1, -1):
+                    if frames[index] is target:
+                        position = index
+                        break
+                if position < 0:
                     frame.pc = resume_pc
-                    raise NonLocalUnwind(target, value) from None
+                    raise NonLocalUnwind(target, value)
                 for dead in frames[position:]:
                     dead.alive = False
                 ret_reg = target.ret_reg
@@ -359,6 +406,8 @@ class Runtime:
             value = slot.value
             if isinstance(value, SelfMethod):
                 code = self._compile_method(value.code, receiver_map, selector)
+                if isinstance(code, InterpretedCode):
+                    return ("interp", code)
                 return ("call", code)
             return ("const", value)
         if slot.kind == DATA:
@@ -367,10 +416,17 @@ class Runtime:
             return ("assign", holder_for_action, slot.offset)
         raise VMError(f"unexpected slot kind {slot.kind}")
 
-    def _send_block(self, regs, insn, block) -> int:
+    def _send_block(self, regs, insn, block, pc: int) -> int:
         """A SEND whose resolved action is a block invocation; pushes
-        the block's frame and returns the REDISPATCH sentinel."""
+        the block's frame and returns the REDISPATCH sentinel (or runs
+        the block synchronously at the interpreter tier and returns
+        ``pc``)."""
         home = block.home
+        if not isinstance(home, Frame):
+            regs[insn[3]] = call_foreign_block(
+                self, block, [regs[r] for r in insn[6]]
+            )
+            return pc
         method_home = home
         while method_home.home is not None:
             method_home = method_home.home
@@ -381,6 +437,11 @@ class Runtime:
             else home.receiver
         )
         code = self._compile_block(block, self.universe.map_of(receiver))
+        if isinstance(code, InterpretedCode):
+            regs[insn[3]] = run_interpreted_block(
+                self, block, [regs[r] for r in insn[6]]
+            )
+            return pc
         self.cycles += self.model.frame_cycles
         callee = Frame(code, receiver, home, ret_reg=insn[3], env_map=block.env_map)
         callee.regs[code.self_reg] = receiver
@@ -388,6 +449,10 @@ class Runtime:
             callee.regs[reg] = regs[src]
         self.frames.append(callee)
         return -1
+
+    def _run_interpreted(self, code: InterpretedCode, receiver, args: list):
+        """Execute an interpreter-tier method body for the dispatch loop."""
+        return run_interpreted_method(self, code.code, receiver, args)
 
     def _make_block(self, frame: Frame, block_node, template, captured_self):
         self._block_templates.setdefault(block_node.block_id, template)

@@ -113,3 +113,84 @@ def test_prefetch_skips_already_known_pairs(monkeypatch):
     monkeypatch.setattr(harness, "run_benchmark", boom)
     session.prefetch([PAIR])
     assert session._results[PAIR] is known
+
+
+# -- corruption accounting ---------------------------------------------------
+
+
+@pytest.fixture(autouse=True)
+def reset_corruption_counter():
+    cache.reset_corruption_count()
+    yield
+    cache.reset_corruption_count()
+
+
+def _write_entry(isolated_cache):
+    Session(use_cache=True).result(*PAIR)
+    (entry,) = isolated_cache.glob("sumTo-static-*.json")
+    return entry
+
+
+def test_plain_miss_is_not_counted_as_corruption():
+    assert cache.load("sumTo", "static") is None
+    assert cache.corruption_count() == 0
+
+
+def test_unparseable_entry_counts_as_corruption(isolated_cache):
+    entry = _write_entry(isolated_cache)
+    entry.write_text("{not json")
+    assert cache.load(*PAIR) is None
+    assert cache.corruption_count() == 1
+
+
+def test_schema_violation_counts_as_corruption(isolated_cache):
+    entry = _write_entry(isolated_cache)
+    entry.write_text(json.dumps({"benchmark": "sumTo", "system": "static"}))
+    assert cache.load(*PAIR) is None
+    assert cache.corruption_count() == 1
+
+
+def test_non_dict_entry_counts_as_corruption(isolated_cache):
+    entry = _write_entry(isolated_cache)
+    entry.write_text(json.dumps([1, 2, 3]))
+    assert cache.load(*PAIR) is None
+    assert cache.corruption_count() == 1
+
+
+def test_intact_entry_counts_nothing(isolated_cache):
+    _write_entry(isolated_cache)
+    assert cache.load(*PAIR) is not None
+    assert cache.corruption_count() == 0
+
+
+def test_injected_torn_write_is_discarded_and_remeasured(isolated_cache):
+    from repro.robustness import faults
+    from repro.robustness.faults import FaultPlan
+
+    _write_entry(isolated_cache)
+    with faults.injected(FaultPlan(site="bench.cache", mode="corrupt", nth=1)):
+        assert cache.load(*PAIR) is None  # truncated JSON fails to parse
+    assert cache.corruption_count() == 1
+    # the entry on disk is intact; only the injected read was torn
+    assert cache.load(*PAIR) is not None
+
+
+def test_injected_io_error_is_discarded_and_remeasured(isolated_cache):
+    from repro.robustness import faults
+    from repro.robustness.faults import FaultPlan
+
+    _write_entry(isolated_cache)
+    with faults.injected(FaultPlan(site="bench.cache", mode="raise", nth=1)):
+        session = Session(use_cache=True)
+        result = session.result(*PAIR)  # load fails -> remeasures
+    assert result.verified
+    assert cache.corruption_count() == 1
+
+
+def test_from_record_tolerates_unknown_keys(isolated_cache):
+    entry = _write_entry(isolated_cache)
+    record = json.loads(entry.read_text())
+    record["invented_by_a_newer_schema"] = 123
+    restored = RunResult.from_record(record)
+    assert restored.benchmark == "sumTo"
+    assert not hasattr(restored, "invented_by_a_newer_schema")

@@ -74,3 +74,79 @@ def test_bad_group_rejected():
 
 def test_systems_registry():
     assert set(SYSTEMS) == {"st80", "oldself89", "oldself90", "newself", "static"}
+
+
+# -- failure containment -----------------------------------------------------
+
+
+def _register_bad_benchmark(name, **overrides):
+    from repro.bench import base
+
+    spec = dict(
+        name=name,
+        group="small",
+        setup_source="| answer = ( 41 ) |",
+        run_source="answer",
+        expected=42,
+    )
+    spec.update(overrides)
+    benchmark = Benchmark(**spec)
+    base._REGISTRY[name] = benchmark
+    return benchmark
+
+
+def test_run_result_failure_cell():
+    cell = RunResult.failure("sumTo", "newself", ValueError("kaput"))
+    assert cell.failed
+    assert cell.error == "ValueError: kaput"
+    assert not cell.verified
+    assert cell.cycles == 0
+
+
+def test_prefetch_records_a_failed_cell_instead_of_aborting():
+    from repro.bench import base
+
+    _register_bad_benchmark("bad-bench")
+    try:
+        session = Session(jobs=1)
+        session.prefetch([("bad-bench", "newself"), ("sumTo", "newself")])
+    finally:
+        del base._REGISTRY["bad-bench"]
+    bad = session._results[("bad-bench", "newself")]
+    assert bad.failed
+    assert "AssertionError" in bad.error
+    # the rest of the matrix still measured normally
+    good = session._results[("sumTo", "newself")]
+    assert good.verified and not good.failed
+
+
+def test_parallel_prefetch_contains_worker_failures():
+    from repro.bench import base
+
+    _register_bad_benchmark("bad-bench")
+    try:
+        session = Session(jobs=2)
+        session.prefetch([("bad-bench", "newself"), ("sumTo", "newself")])
+    finally:
+        del base._REGISTRY["bad-bench"]
+    assert session._results[("bad-bench", "newself")].failed
+    assert session._results[("sumTo", "newself")].verified
+
+
+def test_failed_cells_are_never_written_to_the_disk_cache(tmp_path, monkeypatch):
+    from repro.bench import base
+
+    monkeypatch.setenv("REPRO_BENCH_CACHE_DIR", str(tmp_path))
+    _register_bad_benchmark("bad-bench")
+    try:
+        session = Session(jobs=1, use_cache=True)
+        session.prefetch([("bad-bench", "newself")])
+    finally:
+        del base._REGISTRY["bad-bench"]
+    assert session._results[("bad-bench", "newself")].failed
+    assert not list(tmp_path.glob("bad-bench-*.json"))
+
+
+def test_clean_run_reports_zero_recovery_events():
+    result = run_benchmark(get_benchmark("sumTo"), "newself")
+    assert result.recovery_events == 0

@@ -1,0 +1,74 @@
+"""The BudgetExhausted -> pessimistic-recompile safety valve, directly.
+
+A tiny node budget forces the optimizing compile to overrun; both the
+standalone ``compile_code`` driver and the runtime's tier ladder must
+terminate, recompile pessimistically, and produce the same answer the
+unconstrained compile does.
+"""
+
+from repro.compiler.config import NEW_SELF
+from repro.compiler.engine import PESSIMISTIC_FALLBACK
+from repro.vm.runtime import Runtime
+from repro.world.bootstrap import World
+
+#: big enough to parse and start, far too small for the optimizing
+#: pipeline's splitting/iteration on a loop method
+TINY_BUDGET = 40
+
+SLOTS = """
+| worker = (| parent* = traits clonable.
+    sumTo: n = ( | total. i |
+      total: 0.  i: 1.
+      [ i <= n ] whileTrue: [ total: total + i.  i: i + 1 ].
+      total ).
+  |).
+|"""
+
+
+def make_runtime(config):
+    world = World()
+    world.add_slots(SLOTS)
+    return Runtime(world, config)
+
+
+def test_tiny_budget_terminates_with_the_same_answer():
+    unconstrained = make_runtime(NEW_SELF)
+    expected = unconstrained.run("worker sumTo: 200")
+    assert expected == 20100
+    assert len(unconstrained.recovery) == 0
+
+    starved = make_runtime(NEW_SELF.but(node_budget=TINY_BUDGET))
+    assert starved.run("worker sumTo: 200") == expected
+
+
+def test_budget_exhaustion_is_recorded_as_a_degradation():
+    starved = make_runtime(NEW_SELF.but(node_budget=TINY_BUDGET))
+    starved.run("worker sumTo: 200")
+    kinds = {e.error_kind for e in starved.recovery}
+    assert "BudgetExhausted" in kinds
+    # The first degradation is always the optimizing tier overrunning;
+    # with a budget this tiny the pessimistic recompile may overrun
+    # too, in which case the ladder lands on the interpreter.
+    assert any(
+        e.from_tier == "optimizing" and e.to_tier == "pessimistic"
+        for e in starved.recovery
+        if e.error_kind == "BudgetExhausted"
+    )
+
+
+def test_pessimistic_fallback_disables_the_speculative_machinery():
+    # The fallback config documented in engine.PESSIMISTIC_FALLBACK is
+    # what both the legacy compile_code retry and the tier ladder use;
+    # pin its shape so a drive-by config rename cannot silently turn
+    # the safety valve into a no-op.
+    assert PESSIMISTIC_FALLBACK == {
+        "extended_splitting": False,
+        "local_splitting": False,
+        "multi_version_loops": False,
+        "iterative_loops": False,
+        "max_fronts": 1,
+    }
+    config = NEW_SELF.but(**PESSIMISTIC_FALLBACK)
+    assert not config.extended_splitting
+    assert not config.iterative_loops
+    assert config.max_fronts == 1

@@ -1,0 +1,106 @@
+"""Differential chaos matrix: benchmark x fault-site, degraded tiers.
+
+Every cell arms exactly one fault plan, runs a real benchmark in a
+fresh world, and asserts the *verified expected answer* still comes out
+— the only acceptable observable difference under an injected host
+fault is the recovery log.  With faults disarmed, determinism is the
+goldens' job (``tests/vm/test_golden_determinism.py``); here a final
+test re-checks that arming and disarming leaves no residue.
+
+Scope knobs (both read from the environment, for the CI chaos job):
+
+* ``REPRO_CHAOS_SEEDS`` — comma-separated seeds; each seed derives a
+  per-site hit position via :func:`repro.robustness.faults.derived_nth`
+  (default ``"0"``).
+* ``REPRO_CHAOS_FULL=1`` — widen the benchmark set from the cheap six
+  to everything but puzzle.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.base import all_benchmarks, get_benchmark
+from repro.compiler.config import NEW_SELF
+from repro.robustness import faults
+from repro.robustness.faults import ALL_SITES, MODES, FaultPlan, derived_nth
+from repro.vm.runtime import Runtime
+from repro.world.bootstrap import World
+
+CHEAP_BENCHMARKS = ("sumTo", "sumFromTo", "atAllPut", "sieve", "towers-oo", "queens-oo")
+
+_FULL = os.environ.get("REPRO_CHAOS_FULL") == "1"
+_SEEDS = tuple(
+    int(s) for s in os.environ.get("REPRO_CHAOS_SEEDS", "0").split(",") if s.strip()
+)
+
+if _FULL:
+    BENCHMARKS = tuple(n for n in sorted(all_benchmarks()) if n != "puzzle")
+else:
+    BENCHMARKS = CHEAP_BENCHMARKS
+
+
+@pytest.fixture(autouse=True)
+def disarmed():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def run_with_plan(name: str, plan: FaultPlan):
+    benchmark = get_benchmark(name)
+    world = World()
+    world.add_slots(benchmark.setup_source)
+    runtime = Runtime(world, NEW_SELF)
+    faults.install([plan])
+    try:
+        answer = runtime.run(benchmark.run_source)
+        fired = faults.fired()
+    finally:
+        faults.clear()
+    return benchmark, runtime, answer, fired
+
+
+@pytest.mark.parametrize("seed", _SEEDS)
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("site", ALL_SITES)
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_single_fault_still_answers(name, site, mode, seed):
+    nth = derived_nth(site, seed)
+    plan = FaultPlan(site=site, mode=mode, nth=nth, persistent=True)
+    benchmark, runtime, answer, fired = run_with_plan(name, plan)
+    assert answer == benchmark.expected, (
+        f"{name} under {plan} answered {answer!r}, "
+        f"expected {benchmark.expected!r} (recovery: {runtime.recovery.summary()})"
+    )
+    # A raise-mode fault that actually fired in the compile pipeline
+    # must leave a trace in the recovery log — silence would mean the
+    # failure was swallowed without degrading anywhere.
+    if fired and mode == "raise" and site != "bench.cache":
+        assert len(runtime.recovery) >= 1
+
+
+@pytest.mark.parametrize("name", CHEAP_BENCHMARKS)
+def test_first_hit_raise_degrades_everything(name):
+    # nth=1 persistent on the compile driver: no method ever compiles,
+    # the whole benchmark runs at the interpreter tier, and the answer
+    # still verifies.
+    plan = FaultPlan(site="compiler.engine", mode="raise", nth=1, persistent=True)
+    benchmark, runtime, answer, fired = run_with_plan(name, plan)
+    assert answer == benchmark.expected
+    assert fired
+    assert runtime.recovery.degradations_to("interpreter")
+
+
+def test_disarming_leaves_no_residue():
+    # After a chaos run, a clean runtime must behave exactly as if
+    # injection had never been armed: same answer, empty recovery log.
+    plan = FaultPlan(site="compiler.engine", mode="raise", nth=1, persistent=True)
+    run_with_plan("sumTo", plan)
+    assert faults.ENABLED is False
+    benchmark = get_benchmark("sumTo")
+    world = World()
+    world.add_slots(benchmark.setup_source)
+    runtime = Runtime(world, NEW_SELF)
+    assert runtime.run(benchmark.run_source) == benchmark.expected
+    assert len(runtime.recovery) == 0

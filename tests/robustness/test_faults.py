@@ -1,0 +1,161 @@
+"""Unit tests for the seeded fault-injection framework itself."""
+
+import pytest
+
+from repro.objects.errors import InjectedFault
+from repro.robustness import faults
+from repro.robustness.faults import ALL_SITES, MODES, FaultPlan, derived_nth
+
+
+@pytest.fixture(autouse=True)
+def disarmed():
+    """Every test starts and ends with injection disabled."""
+    faults.clear()
+    yield
+    faults.clear()
+
+
+# -- plan construction and parsing ------------------------------------------
+
+
+def test_unknown_site_rejected():
+    with pytest.raises(ValueError, match="unknown fault site"):
+        FaultPlan(site="compiler.nope")
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError, match="unknown fault mode"):
+        FaultPlan(site="compiler.engine", mode="segfault")
+
+
+def test_nth_must_be_positive():
+    with pytest.raises(ValueError, match="1-based"):
+        FaultPlan(site="compiler.engine", nth=0)
+
+
+def test_from_spec_full_form():
+    plan = FaultPlan.from_spec("vm.codegen:corrupt:3")
+    assert (plan.site, plan.mode, plan.nth, plan.persistent) == (
+        "vm.codegen", "corrupt", 3, False
+    )
+
+
+def test_from_spec_persistent_suffix():
+    plan = FaultPlan.from_spec("compiler.loops:raise:2+")
+    assert plan.persistent and plan.nth == 2
+
+
+def test_from_spec_defaults_derive_nth_from_seed():
+    a = FaultPlan.from_spec("compiler.engine", seed=7)
+    b = FaultPlan.from_spec("compiler.engine", seed=7)
+    assert a == b  # deterministic
+    assert a.mode == "raise"
+    assert a.nth == derived_nth("compiler.engine", 7)
+
+
+def test_derived_nth_is_deterministic_and_bounded():
+    for site in ALL_SITES:
+        for seed in range(16):
+            nth = derived_nth(site, seed)
+            assert nth == derived_nth(site, seed)
+            assert 1 <= nth <= 8
+    # different (site, seed) pairs do spread over the span
+    values = {derived_nth(site, seed) for site in ALL_SITES for seed in range(16)}
+    assert len(values) > 1
+
+
+def test_duplicate_site_plans_rejected():
+    with pytest.raises(ValueError, match="duplicate plan"):
+        faults.install([
+            FaultPlan(site="compiler.engine"),
+            FaultPlan(site="compiler.engine", mode="corrupt"),
+        ])
+
+
+# -- arming, firing, and the journal ----------------------------------------
+
+
+def test_disabled_is_inert():
+    assert faults.ENABLED is False
+    assert faults.hit("compiler.engine") is False
+    assert faults.fired() == []
+    assert faults.hit_counts() == {}
+
+
+def test_raise_mode_fires_on_the_nth_hit_only():
+    faults.install([FaultPlan(site="compiler.engine", mode="raise", nth=3)])
+    assert faults.ENABLED is True
+    assert faults.hit("compiler.engine") is False
+    assert faults.hit("compiler.engine") is False
+    with pytest.raises(InjectedFault) as info:
+        faults.hit("compiler.engine")
+    assert info.value.site == "compiler.engine"
+    assert info.value.hit == 3
+    # a transient (non-persistent) fault does not re-fire
+    assert faults.hit("compiler.engine") is False
+    assert faults.fired() == [("compiler.engine", 3, "raise")]
+    assert faults.hit_counts() == {"compiler.engine": 4}
+
+
+def test_corrupt_mode_returns_true_instead_of_raising():
+    faults.install([FaultPlan(site="vm.codegen", mode="corrupt", nth=1)])
+    assert faults.hit("vm.codegen") is True
+    assert faults.hit("vm.codegen") is False
+    assert faults.fired() == [("vm.codegen", 1, "corrupt")]
+
+
+def test_persistent_fault_fires_from_nth_onward():
+    faults.install([
+        FaultPlan(site="vm.predecode", mode="corrupt", nth=2, persistent=True)
+    ])
+    assert faults.hit("vm.predecode") is False
+    assert faults.hit("vm.predecode") is True
+    assert faults.hit("vm.predecode") is True
+    assert [hit for _, hit, _ in faults.fired()] == [2, 3]
+
+
+def test_unarmed_site_never_fires():
+    faults.install([FaultPlan(site="compiler.engine")])
+    assert faults.hit("bench.cache") is False
+    assert faults.fired() == []
+
+
+def test_injected_context_manager_disarms_on_exit():
+    with faults.injected(FaultPlan(site="bench.cache", mode="corrupt", nth=1)):
+        assert faults.ENABLED is True
+        assert faults.hit("bench.cache") is True
+    assert faults.ENABLED is False
+    assert faults.fired() == []
+
+
+def test_injected_disarms_even_on_error():
+    with pytest.raises(RuntimeError):
+        with faults.injected(FaultPlan(site="bench.cache")):
+            raise RuntimeError("boom")
+    assert faults.ENABLED is False
+
+
+def test_clear_resets_counters():
+    faults.install([FaultPlan(site="compiler.engine", nth=5)])
+    faults.hit("compiler.engine")
+    faults.clear()
+    faults.install([FaultPlan(site="compiler.engine", nth=5)])
+    assert faults.hit_counts() == {}
+
+
+# -- environment configuration ----------------------------------------------
+
+
+def test_configure_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS", "compiler.engine:raise:2; vm.codegen:corrupt")
+    monkeypatch.setenv("REPRO_FAULT_SEED", "11")
+    faults.configure_from_env()
+    assert faults.ENABLED is True
+    assert faults._STATE.plans["compiler.engine"].nth == 2
+    assert faults._STATE.plans["vm.codegen"].nth == derived_nth("vm.codegen", 11)
+
+
+def test_configure_from_env_noop_without_variable(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    faults.configure_from_env()
+    assert faults.ENABLED is False

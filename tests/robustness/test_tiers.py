@@ -1,0 +1,210 @@
+"""The tiered execution pipeline: degradation, recovery log, interop.
+
+These tests arm deterministic faults against a real Runtime and assert
+the three containment guarantees: the answer is still correct, every
+degradation is recorded, and guest-level errors are never swallowed.
+"""
+
+import pytest
+
+from repro.compiler.config import NEW_SELF
+from repro.compiler.engine import PESSIMISTIC_FALLBACK
+from repro.objects.errors import CompileTimeout, MessageNotUnderstood
+from repro.robustness import faults
+from repro.robustness.faults import FaultPlan
+from repro.robustness.recovery import (
+    TIER_INTERPRETER,
+    TIER_OPTIMIZING,
+    TIER_PESSIMISTIC,
+    RecoveryLog,
+)
+from repro.robustness.tiers import Watchdog, pessimistic_config
+from repro.vm.runtime import Runtime
+from repro.world.bootstrap import World
+
+
+@pytest.fixture(autouse=True)
+def disarmed():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def make_runtime(slots: str) -> Runtime:
+    world = World()
+    world.add_slots(slots)
+    return Runtime(world, NEW_SELF)
+
+
+COUNTER = """
+| counter = (| parent* = traits clonable.
+    sumTo: n = ( | total. i |
+      total: 0.  i: 1.
+      [ i <= n ] whileTrue: [ total: total + i.  i: i + 1 ].
+      total ).
+  |).
+|"""
+
+
+# -- the watchdog -----------------------------------------------------------
+
+
+def test_watchdog_fuel_exhaustion():
+    dog = Watchdog(fuel=512)
+    dog.tick(256)
+    with pytest.raises(CompileTimeout, match="fuel"):
+        dog.tick(256)
+
+
+def test_watchdog_wall_clock():
+    import time
+
+    dog = Watchdog(seconds=1e-9)
+    time.sleep(0.002)
+    with pytest.raises(CompileTimeout, match="wall clock"):
+        dog.tick()
+
+
+def test_watchdog_disabled_by_nonpositive_seconds():
+    dog = Watchdog(seconds=0)
+    for _ in range(10):
+        dog.tick(10_000)  # never raises
+
+
+def test_fuel_starved_compile_degrades_but_answers(monkeypatch):
+    # Fuel so small the optimizing tier's loop analysis trips the
+    # watchdog; the pessimistic tier does less work and still lands.
+    monkeypatch.setenv("REPRO_COMPILE_FUEL", "1")
+    runtime = make_runtime(COUNTER)
+    assert runtime.run("counter sumTo: 100") == 5050
+    assert len(runtime.recovery) >= 1
+    assert all(e.error_kind == "CompileTimeout" for e in runtime.recovery)
+
+
+# -- the ladder -------------------------------------------------------------
+
+
+def test_pessimistic_config_matches_budget_fallback():
+    config = pessimistic_config(NEW_SELF)
+    for key, value in PESSIMISTIC_FALLBACK.items():
+        assert getattr(config, key) == value
+
+
+def test_clean_run_records_nothing():
+    runtime = make_runtime(COUNTER)
+    assert runtime.run("counter sumTo: 10") == 55
+    assert len(runtime.recovery) == 0
+    assert runtime.recovery.summary() == {}
+
+
+def test_transient_fault_degrades_one_tier():
+    runtime = make_runtime(COUNTER)
+    faults.install([FaultPlan(site="compiler.engine", mode="raise", nth=1)])
+    assert runtime.run("counter sumTo: 100") == 5050
+    summary = runtime.recovery.summary()
+    assert summary[f"{TIER_OPTIMIZING}->{TIER_PESSIMISTIC}"] == 1
+    event = runtime.recovery.events[0]
+    assert event.stage in ("compile", "compile-block")
+    assert event.error_kind == "InjectedFault"
+
+
+def test_persistent_fault_degrades_to_interpreter():
+    runtime = make_runtime(COUNTER)
+    faults.install([
+        FaultPlan(site="compiler.engine", mode="raise", nth=1, persistent=True)
+    ])
+    assert runtime.run("counter sumTo: 100") == 5050
+    summary = runtime.recovery.summary()
+    assert summary[f"{TIER_OPTIMIZING}->{TIER_PESSIMISTIC}"] >= 1
+    assert summary[f"{TIER_PESSIMISTIC}->{TIER_INTERPRETER}"] >= 1
+    assert runtime.recovery.degradations_to(TIER_INTERPRETER)
+
+
+def test_corrupt_backend_is_caught_by_integrity_checks():
+    # vm.codegen corruption appends an out-of-range jump; predecode's
+    # branch-target remap must reject it, landing in the next tier.
+    runtime = make_runtime(COUNTER)
+    faults.install([FaultPlan(site="vm.codegen", mode="corrupt", nth=1)])
+    assert runtime.run("counter sumTo: 100") == 5050
+    assert len(runtime.recovery) == 1
+
+
+def test_guest_errors_surface_identically_at_every_tier():
+    source = "| t = (| parent* = traits clonable. boom = ( self zorkle ). |). |"
+    for plans in ([], [FaultPlan(site="compiler.engine", nth=1, persistent=True)]):
+        runtime = make_runtime(source)
+        if plans:
+            faults.install(plans)
+        try:
+            with pytest.raises(MessageNotUnderstood):
+                runtime.run("t boom")
+        finally:
+            faults.clear()
+
+
+def test_mid_run_degradation_keeps_the_answer():
+    # The first compiles succeed; a later one (a callee method compiled
+    # lazily mid-run) degrades.  Compiled frames then call interpreted
+    # methods and vice versa, and the answer must not change.
+    from repro.bench.base import get_benchmark
+
+    benchmark = get_benchmark("towers-oo")
+    world = World()
+    world.add_slots(benchmark.setup_source)
+    runtime = Runtime(world, NEW_SELF)
+    faults.install([
+        FaultPlan(site="compiler.engine", mode="raise", nth=3, persistent=True)
+    ])
+    assert runtime.run(benchmark.run_source) == benchmark.expected
+    assert runtime.recovery.summary()
+
+
+def test_nlr_out_of_an_interpreted_block():
+    # A block containing ^ degrades to the interpreter tier while its
+    # home method stays compiled: the non-local return must unwind VM
+    # frames, not interpreter activations.
+    runtime = make_runtime("""
+| finder = (| parent* = traits clonable.
+    find: n = ( | k |
+      k: 0.
+      [ k < n ] whileTrue: [
+        k: k + 1.
+        (k = 7) ifTrue: [ ^ k * 100 ] ].
+      0 - 1 ).
+  |).
+|""")
+    faults.install([
+        FaultPlan(site="compiler.engine", mode="raise", nth=2, persistent=True)
+    ])
+    assert runtime.run("finder find: 50") == 700
+
+
+def test_recovery_log_is_structured_and_serializable():
+    log = RecoveryLog()
+    log.record("compile", "sumTo:", TIER_OPTIMIZING, TIER_PESSIMISTIC,
+               ValueError("synthetic"))
+    (record,) = log.to_records()
+    assert record == {
+        "stage": "compile",
+        "selector": "sumTo:",
+        "from_tier": TIER_OPTIMIZING,
+        "to_tier": TIER_PESSIMISTIC,
+        "error_kind": "ValueError",
+        "detail": "synthetic",
+    }
+    assert log.summary() == {"optimizing->pessimistic": 1}
+
+
+def test_degradation_is_deterministic():
+    def summary():
+        runtime = make_runtime(COUNTER)
+        faults.install([
+            FaultPlan(site="compiler.engine", mode="raise", nth=2, persistent=True)
+        ])
+        try:
+            answer = runtime.run("counter sumTo: 100")
+        finally:
+            faults.clear()
+        return answer, runtime.recovery.to_records()
+
+    assert summary() == summary()
