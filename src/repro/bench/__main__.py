@@ -9,11 +9,18 @@ Usage::
     python -m repro.bench c           # Appendix C (compile time)
     python -m repro.bench ablation    # feature-ablation table
     python -m repro.bench opt         # compiler-effect counters
+    python -m repro.bench metrics     # unified observability metrics
     python -m repro.bench all         # everything
     python -m repro.bench raw         # the raw measurement matrix
     python -m repro.bench raw --json results.json   # machine-readable
 
 Add ``--no-puzzle`` to skip the (large) puzzle benchmark.
+
+Every invocation that measures something also writes the machine-
+readable ``BENCH_results.json`` (per-benchmark modeled cycles, compile
+stats, cache counters, recovery log, metrics snapshot) — ``--results
+PATH`` moves it, ``--results ''`` suppresses it — and prints any tier
+degradations the measured runs recorded.
 
 Measurements fan out over ``--jobs`` worker processes (default: the
 host CPU count) and are replayed from the on-disk ``.bench_cache/``
@@ -74,8 +81,15 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.bench")
     parser.add_argument(
         "table",
-        choices=["t1", "t2", "a", "b", "c", "ablation", "opt", "raw", "all"],
+        choices=["t1", "t2", "a", "b", "c", "ablation", "opt", "metrics", "raw", "all"],
         help="which of the paper's tables to regenerate",
+    )
+    parser.add_argument(
+        "--results",
+        metavar="PATH",
+        default="BENCH_results.json",
+        help="where to write the machine-readable results "
+        "(default: BENCH_results.json; pass '' to disable)",
     )
     parser.add_argument(
         "--no-puzzle",
@@ -141,11 +155,21 @@ def main(argv=None) -> int:
         out.append(tables.ablation_table(session=session))
     if args.table in ("opt", "all"):
         out.append(tables.optimization_effect_table(session))
+    if args.table == "metrics":
+        out.append(tables.metrics_table(session))
     if args.table == "raw":
         out.append(_raw_matrix(session, include_puzzle))
         if args.json:
             _write_json(session, args.json, include_puzzle)
             out.append(f"(wrote {args.json})")
+    degradations = tables.recovery_summary(session)
+    if degradations:
+        out.append(degradations)
+    if args.results and session._results:
+        from .harness import write_results_json
+
+        write_results_json(session, args.results)
+        out.append(f"(wrote {args.results})")
     print("\n\n".join(out))
     return 0
 

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field, fields
 from typing import Iterable, Optional
 
 from ..objects.errors import SelfError
+from ..obs.metrics import registry_for_runtime
 from ..vm.runtime import Runtime
 from ..world.bootstrap import World
 from . import cache
@@ -62,6 +63,10 @@ class RunResult:
     #: repro.robustness.recovery); nonzero means the modeled numbers
     #: are diagnostic, not comparable
     recovery_events: int = 0
+    #: the full degradation records (RecoveryLog.to_records())
+    recovery: list = field(default_factory=list)
+    #: the unified post-run metrics snapshot (repro.obs.metrics)
+    metrics: dict = field(default_factory=dict)
 
     @property
     def code_kb(self) -> float:
@@ -129,6 +134,8 @@ def run_benchmark(benchmark: Benchmark, system: str) -> RunResult:
         verified=verified,
         compile_stats=runtime.aggregate_compile_stats(),
         recovery_events=len(runtime.recovery),
+        recovery=runtime.recovery.to_records(),
+        metrics=registry_for_runtime(runtime).snapshot(),
     )
 
 
@@ -249,6 +256,32 @@ class Session:
         names = sorted(all_benchmarks())
         systems = systems or list(SYSTEMS)
         return [self.result(name, system) for name in names for system in systems]
+
+
+#: schema identifier written into BENCH_results.json (bump on shape change)
+RESULTS_SCHEMA = "repro-bench-results/1"
+
+
+def results_payload(session: Session) -> dict:
+    """The machine-readable form of every result a session measured."""
+    results = [
+        session._results[key].to_record() for key in sorted(session._results)
+    ]
+    return {
+        "schema": RESULTS_SCHEMA,
+        "systems": list(SYSTEMS),
+        "results": results,
+    }
+
+
+def write_results_json(session: Session, path: str) -> dict:
+    """Dump the session's measurements as ``BENCH_results.json``."""
+    import json
+
+    payload = results_payload(session)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, default=repr)
+    return payload
 
 
 #: the process-wide session shared by tables, tests, and benchmarks

@@ -239,6 +239,82 @@ def optimization_effect_table(
     return "\n".join(lines)
 
 
+def metrics_table(
+    session: Optional[Session] = None,
+    benchmark_names: Optional[list[str]] = None,
+    systems: Optional[tuple[str, ...]] = None,
+    prefixes: tuple[str, ...] = ("vm.", "ic.", "dispatch.", "tiers."),
+) -> str:
+    """Per-benchmark unified metrics (the observability registry view).
+
+    Renders the non-compiler namespaces by default — ``compiler.*`` is
+    already covered by :func:`optimization_effect_table` — one block per
+    benchmark, one column per system.
+    """
+    session = session or GLOBAL_SESSION
+    if benchmark_names is None:
+        benchmark_names = ["sumTo", "sieve", "queens", "richards"]
+    if systems is None:
+        systems = ("st80", "oldself90", "newself")
+    lines = ["Unified metrics (repro.obs registry snapshot per run)"]
+    for name in benchmark_names:
+        results = {s: session.result(name, s) for s in systems}
+        metric_names = sorted(
+            {
+                key
+                for result in results.values()
+                for key in result.metrics
+                if key.startswith(prefixes)
+            }
+        )
+        lines.append("")
+        lines.append(f"{name}:")
+        lines.append(
+            f"  {'metric':32}"
+            + "".join(f"{SYSTEM_LABELS[s]:>14}" for s in systems)
+        )
+        for metric in metric_names:
+            cells = []
+            for system in systems:
+                value = results[system].metrics.get(metric, 0)
+                if isinstance(value, dict):
+                    value = value.get("sum", 0)
+                if isinstance(value, float):
+                    cells.append(f"{value:>14.4f}")
+                else:
+                    cells.append(f"{value:>14}")
+            lines.append(f"  {metric:32}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def recovery_summary(session: Optional[Session] = None) -> str:
+    """Tier degradations across every measured run ("" when clean).
+
+    Surfaced by the bench CLI so a run that silently degraded to a
+    slower tier (and is therefore not comparable) is impossible to miss.
+    """
+    session = session or GLOBAL_SESSION
+    lines = []
+    for key in sorted(session._results):
+        result = session._results[key]
+        if not result.recovery and not result.recovery_events:
+            continue
+        name, system = key
+        lines.append(
+            f"{name} under {SYSTEM_LABELS.get(system, system)}: "
+            f"{result.recovery_events} tier degradation(s)"
+        )
+        for event in result.recovery:
+            lines.append(
+                f"  {event.get('stage')} {event.get('selector')!r}: "
+                f"{event.get('from_tier')} -> {event.get('to_tier')} "
+                f"({event.get('error_kind')}: {event.get('detail')})"
+            )
+    if not lines:
+        return ""
+    return "\n".join(["Tier degradations (modeled numbers are diagnostic):"] + lines)
+
+
 # ---------------------------------------------------------------------------
 # Ablations
 # ---------------------------------------------------------------------------

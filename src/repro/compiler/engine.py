@@ -37,6 +37,7 @@ from ..lang.ast_nodes import (
     SendNode as AstSendNode,
 )
 from ..objects.errors import AmbiguousLookup, CompilerError
+from ..obs.trace import NULL_TRACER
 from ..robustness import faults
 from ..objects.maps import ASSIGNMENT, CONSTANT, DATA
 from ..objects.model import SelfMethod, block_value_selector
@@ -106,6 +107,7 @@ def compile_once(
     block_template: Optional[BlockTemplate] = None,
     annotations=None,
     watchdog=None,
+    tracer=None,
 ) -> CompiledGraph:
     """One compilation attempt under exactly ``config`` — no fallback.
 
@@ -114,7 +116,7 @@ def compile_once(
     """
     compiler = MethodCompiler(
         universe, config, code, receiver_map, selector, is_block,
-        block_template, annotations, watchdog=watchdog,
+        block_template, annotations, watchdog=watchdog, tracer=tracer,
     )
     return compiler.compile()
 
@@ -129,6 +131,7 @@ def compile_code(
     block_template: Optional[BlockTemplate] = None,
     annotations=None,
     watchdog=None,
+    tracer=None,
 ) -> CompiledGraph:
     """Compile ``code`` customized for ``receiver_map`` under ``config``.
 
@@ -139,12 +142,12 @@ def compile_code(
     try:
         return compile_once(
             universe, config, code, receiver_map, selector, is_block,
-            block_template, annotations, watchdog,
+            block_template, annotations, watchdog, tracer,
         )
     except BudgetExhausted:
         return compile_once(
             universe, config.but(**PESSIMISTIC_FALLBACK), code, receiver_map,
-            selector, is_block, block_template, annotations, watchdog,
+            selector, is_block, block_template, annotations, watchdog, tracer,
         )
 
 
@@ -162,6 +165,7 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
         block_template: Optional[BlockTemplate] = None,
         annotations=None,
         watchdog=None,
+        tracer=None,
     ) -> None:
         self.universe = universe
         self.config = config
@@ -172,6 +176,7 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
         self.block_template = block_template
         self.annotations = annotations
         self.watchdog = watchdog
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
         self.start = StartNode()
         self._temp_counter = 0
@@ -186,6 +191,10 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
         #: has not finished compiling): inlined bodies prune statement
         #: temps, and these must survive that pruning
         self._pinned: list[str] = []
+        #: tracing only: why the send being compiled fell through to a
+        #: dynamic send (set where the decision is made, consumed by
+        #: emit_dynamic_send; never read when tracing is disabled)
+        self._dyn_reason: Optional[str] = None
         self.stats = {
             "inlined_sends": 0,
             "dynamic_sends": 0,
@@ -216,6 +225,19 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
     def fresh_temp(self) -> str:
         self._temp_counter += 1
         return f"%t{self._temp_counter}"
+
+    def bump(self, key: str, n: int = 1, **attrs) -> None:
+        """Increment an effort/effect counter, mirrored into the trace.
+
+        Every ``stats`` increment goes through here, so an enabled
+        tracer sees one event per counted decision (carrying the *why*
+        in ``attrs``) and the trace totals are, by construction, the
+        same numbers ``compile_stats`` reports.  Disabled, this is one
+        dict update and one branch.
+        """
+        self.stats[key] += n
+        if self.tracer.enabled:
+            self.tracer.event(key, n=n, **attrs)
 
     def count_node(self, node: IRNode) -> None:
         self._nodes_created += 1
@@ -279,7 +301,10 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
             # longer be routed (it would unwind the whole physical
             # frame).  Count it so tests can assert the benchmarks never
             # rely on this (see DESIGN.md, known limitations).
-            self.stats["nlr_unsafe_materializations"] += 1
+            self.bump(
+                "nlr_unsafe_materializations",
+                block=closure.block.block_id,
+            )
             if self.config.forbid_unsafe_nlr:
                 raise CompilerError(
                     "a block containing ^ escapes its inlined home method "
@@ -655,6 +680,8 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
         scope: InlineScope,
         result_var: str,
     ) -> list[Front]:
+        if self.tracer.enabled:
+            self._dyn_reason = None
         if selector.startswith("_"):
             return self.expand_primitive(
                 front, selector, recv_var, arg_vars, scope, result_var
@@ -735,7 +762,7 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
             # not be routed.  Fall back to a runtime invocation.
             if block_has_nlr(closure.block):
                 return None
-        self.stats["inlined_blocks"] += 1
+        self.bump("inlined_blocks", block=closure.block.block_id)
         block_scope = InlineScope(
             closure.block,
             "block",
@@ -776,11 +803,17 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
         try:
             found = lookup_in_map(self.universe, receiver_map, selector)
         except AmbiguousLookup:
+            if self.tracer.enabled:
+                self._dyn_reason = "ambiguous lookup (multiple parents define the slot)"
             return None
         if found is None:
             # Blocks answer the value family natively.
             if receiver_map.kind == "block" and selector.startswith("value"):
+                if self.tracer.enabled:
+                    self._dyn_reason = "block value send left to the runtime"
                 return None
+            if self.tracer.enabled:
+                self._dyn_reason = "no matching slot found at compile time"
             return None
         slot = found.slot
         if slot.kind == CONSTANT:
@@ -788,13 +821,13 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
             if isinstance(value, SelfMethod):
                 if self.may_inline_method(value, selector, scope, front):
                     return self.inline_method(
-                        front, value, recv_var, arg_vars, scope, result_var
+                        front, value, selector, recv_var, arg_vars, scope, result_var
                     )
                 return None  # compiled as a (monomorphic) send
             self.emit(front, ConstNode(result_var, value))
             front.bind(result_var, type_of_constant(value, self.universe))
             front.bind_closure(result_var, None)
-            self.stats["inlined_sends"] += 1
+            self.bump("inlined_sends", selector=selector, kind="constant-slot")
             return [front]
         if slot.kind == DATA:
             holder_var = recv_var
@@ -807,7 +840,7 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
             )
             front.bind(result_var, self._slot_type(receiver_map, slot.name))
             front.bind_closure(result_var, None)
-            self.stats["inlined_sends"] += 1
+            self.bump("inlined_sends", selector=selector, kind="data-slot")
             return [front]
         if slot.kind == ASSIGNMENT:
             value_var = arg_vars[0]
@@ -823,7 +856,7 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
             # Assignment answers the receiver.
             self.emit(front, MoveNode(result_var, recv_var))
             front.copy_binding(result_var, recv_var)
-            self.stats["inlined_sends"] += 1
+            self.bump("inlined_sends", selector=selector, kind="assignment-slot")
             return [front]
         return None
 
@@ -848,30 +881,55 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
         config = self.config
         if not config.inline_methods:
             if not (config.st80_macros and selector in ST80_MACRO_SELECTORS):
-                return False
+                return self._refuse_inline(selector, "method inlining disabled")
         weight = ast_weight(method.code)
         if scope.depth >= config.inline_depth_limit and weight > self.TINY_METHOD_WEIGHT:
-            return False
+            return self._refuse_inline(
+                selector,
+                f"inline depth limit ({config.inline_depth_limit}) reached",
+                weight=weight,
+                depth=scope.depth,
+            )
         if weight > config.inline_size_limit:
-            return False
+            return self._refuse_inline(
+                selector,
+                f"method too heavy ({weight} > size limit {config.inline_size_limit})",
+                weight=weight,
+            )
         occurrences = scope.occurrences_on_stack(id(method.code))
         if weight <= self.TINY_METHOD_WEIGHT:
             # Tiny structural methods (ifTrue:False:, isNil, not, ...)
             # legitimately nest; only true runaway recursion is cut off.
-            return occurrences < 4
-        return occurrences == 0
+            if occurrences < 4:
+                return True
+            return self._refuse_inline(
+                selector, "runaway recursion cut off", occurrences=occurrences
+            )
+        if occurrences == 0:
+            return True
+        return self._refuse_inline(
+            selector, "recursive send (already on the inline stack)"
+        )
+
+    def _refuse_inline(self, selector: str, reason: str, **attrs) -> bool:
+        """Record why a method was not inlined; always returns False."""
+        if self.tracer.enabled:
+            self.tracer.event("inline-refused", selector=selector, reason=reason, **attrs)
+            self._dyn_reason = f"inlining refused: {reason}"
+        return False
 
     def inline_method(
         self,
         front: Front,
         method: SelfMethod,
+        selector: str,
         recv_var: str,
         arg_vars: list[str],
         scope: InlineScope,
         result_var: str,
     ) -> list[Front]:
         """Message inlining: replace the send with the method body."""
-        self.stats["inlined_sends"] += 1
+        self.bump("inlined_sends", selector=selector, kind="inlined-method")
         method_scope = InlineScope(
             method.code,
             "method",
@@ -956,7 +1014,7 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
                 )
             else:
                 self.use_value(current, recv_var)
-                self.stats["type_tests"] += 1
+                self.bump("type_tests", selector=selector, why="static union dispatch")
                 yes, current = self.emit_branch(
                     current,
                     TypeTestNode(recv_var, member_map),
@@ -999,16 +1057,27 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
         if self.config.static_types:
             # Trusted prediction: assume the declared type, no test —
             # the compile-time equivalent of a C type declaration.
-            self.stats["type_tests_elided"] += 1
+            self.bump(
+                "type_tests_elided",
+                selector=selector,
+                why="trusted static type prediction",
+            )
             front.refine(recv_var, refine_to_map(receiver_type, predicted, universe))
             return self.send_one(front, selector, recv_var, arg_vars, scope, result_var)
         self.use_value(front, recv_var)
-        self.stats["type_tests"] += 1
+        self.bump("type_tests", selector=selector, why=f"predicted {kind} receiver")
         yes, no = self.emit_branch(front, TypeTestNode(recv_var, predicted))
         yes.refine(recv_var, refine_to_map(receiver_type, predicted, universe))
         no.refine(recv_var, exclude_map(receiver_type, predicted, universe))
         success = self.send_one(yes, selector, recv_var, arg_vars, scope, result_var)
-        failure = self.emit_dynamic_send(no, selector, recv_var, arg_vars, result_var)
+        failure = self.emit_dynamic_send(
+            no,
+            selector,
+            recv_var,
+            arg_vars,
+            result_var,
+            reason="receiver failed the predicted type test",
+        )
         return self.drop_dead(success + failure)
 
     def _predict_boolean(
@@ -1032,7 +1101,7 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
             # A C conditional: one flag test; the other branch is simply
             # assumed to be the other boolean.
             self.use_value(front, recv_var)
-            self.stats["type_tests"] += 1
+            self.bump("type_tests", selector=selector, why="boolean flag test (static)")
             is_true, is_false = self.emit_branch(
                 front, TypeTestNode(recv_var, true_map), uncommon_false=False
             )
@@ -1042,7 +1111,9 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
             out += self.send_one(is_false, selector, recv_var, arg_vars, scope, result_var)
             return self.drop_dead(out)
         self.use_value(front, recv_var)
-        self.stats["type_tests"] += 2
+        self.bump(
+            "type_tests", n=2, selector=selector, why="boolean protocol true/false tests"
+        )
         is_true, not_true = self.emit_branch(
             front, TypeTestNode(recv_var, true_map), uncommon_false=False
         )
@@ -1066,8 +1137,12 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
         recv_var: str,
         arg_vars: list[str],
         result_var: str,
+        reason: Optional[str] = None,
     ) -> list[Front]:
-        self.stats["dynamic_sends"] += 1
+        if self.tracer.enabled:
+            reason = reason or self._dyn_reason or "receiver type unknown at compile time"
+            self._dyn_reason = None
+        self.bump("dynamic_sends", selector=selector, reason=reason)
         self.use_value(front, recv_var)
         for arg_var in arg_vars:
             self.use_value(front, arg_var)

@@ -169,6 +169,22 @@ def merge_group(engine, fronts: list[Front]) -> Front:
     merged_types: dict[str, SelfType] = {}
     for var in shared_vars:
         merged_types[var] = merge_bindings([f.types[var] for f in fronts])
+    tracer = getattr(engine, "tracer", None)
+    if tracer is not None and tracer.enabled:
+        from ..types.lattice import MergeType
+
+        diluted = sorted(
+            var
+            for var, t in merged_types.items()
+            if isinstance(t, MergeType)
+            and not any(isinstance(f.types[var], MergeType) for f in fronts)
+        )
+        tracer.event(
+            "merge",
+            arity=len(fronts),
+            diluted_vars=", ".join(diluted),
+            diluted=len(diluted),
+        )
     merged_closures: dict[str, BlockClosure] = {}
     first = fronts[0].closures
     for var, closure in first.items():
@@ -262,9 +278,18 @@ def regroup(engine, fronts: list[Front], at_consumer: bool = True) -> list[Front
     if common and len(uncommon) > 1:
         uncommon = [merge_group(engine, uncommon)]
     merged = common + uncommon
+    over_budget = len(merged) > max(1, config.max_fronts)
     while len(merged) > max(1, config.max_fronts):
         # Over budget: fold the two most similar (here: last two) groups.
         tail = merged.pop()
         head = merged.pop()
         merged.append(merge_group(engine, [head, tail]))
+    tracer = getattr(engine, "tracer", None)
+    if over_budget and tracer is not None and tracer.enabled:
+        tracer.event(
+            "split-folded",
+            groups=len(groups),
+            kept=len(merged),
+            max_fronts=config.max_fronts,
+        )
     return merged

@@ -96,11 +96,12 @@ class LoopCompilationMixin:
             return self._compile_pessimistic_loop(
                 front, cond, body, want_true, scope, loop_id, result_var,
                 base_types, base_closures, base_mat,
+                reason="iterative analysis disabled",
             )
 
         snapshots = self._snapshot_sinks()
-        for _ in range(self.config.max_loop_iterations):
-            self.stats["loop_analysis_iterations"] += 1
+        for round_no in range(1, self.config.max_loop_iterations + 1):
+            self.bump("loop_analysis_iterations", loop_id=loop_id, round=round_no)
             if self.watchdog is not None:
                 self.watchdog.tick()
             if faults.ENABLED and faults.hit(faults.SITE_COMPILER_LOOPS):
@@ -118,7 +119,19 @@ class LoopCompilationMixin:
                 entry_version = self._find_compatible_version(versions, front)
                 if entry_version is not None:
                     front.node.set_successor(front.port, entry_version.head_node)
-                    self.stats["loop_versions"] += len(versions)
+                    self.bump("loop_versions", n=len(versions), loop_id=loop_id)
+                    if self.tracer.enabled and len(versions) > 1:
+                        split_vars = sorted(
+                            var
+                            for var in versions[0].types
+                            if versions[0].types[var] != versions[-1].types[var]
+                        )
+                        self.tracer.event(
+                            "loop-split",
+                            loop_id=loop_id,
+                            versions=len(versions),
+                            split_vars=", ".join(split_vars),
+                        )
                     return self._finish_exits(exits, result_var)
                 unmatched = [front]
             progressed = False
@@ -129,6 +142,16 @@ class LoopCompilationMixin:
                         new_base[var], tail.get_type(var), self.universe
                     )
                     if widened != new_base[var]:
+                        if self.tracer.enabled:
+                            self.tracer.event(
+                                "loop-widen",
+                                loop_id=loop_id,
+                                var=var,
+                                **{
+                                    "from": str(new_base[var]),
+                                    "to": str(widened),
+                                },
+                            )
                         new_base[var] = widened
                         progressed = True
                 base_mat = base_mat & tail.materialized
@@ -140,6 +163,7 @@ class LoopCompilationMixin:
         return self._compile_pessimistic_loop(
             front, cond, body, want_true, scope, loop_id, result_var,
             base_types, base_closures, base_mat,
+            reason="no fixed point within the iteration budget",
         )
 
     # ------------------------------------------------------------------
@@ -249,7 +273,12 @@ class LoopCompilationMixin:
                 (body_fronts if decided == want_true else exit_fronts).append(f)
                 continue
             self.use_value(f, cond_var)
-            self.stats["type_tests"] += 2
+            self.bump(
+                "type_tests",
+                n=2,
+                selector="whileTrue:" if want_true else "whileFalse:",
+                why="loop condition boolean check",
+            )
             is_true, not_true = self.emit_branch(
                 f, TypeTestNode(cond_var, universe.true_map), uncommon_false=False
             )
@@ -323,7 +352,10 @@ class LoopCompilationMixin:
         base_types: dict[str, SelfType],
         base_closures: dict,
         base_mat: frozenset,
+        reason: str = "pessimistic analysis requested",
     ) -> list[Front]:
+        if self.tracer.enabled:
+            self.tracer.event("loop-pessimistic", loop_id=loop_id, reason=reason)
         assigned = self._loop_variables(cond, body, base_closures, writes_only=True)
         assigned |= set(self.escaping)
         head_types = dict(base_types)
@@ -344,7 +376,7 @@ class LoopCompilationMixin:
                 # Head bindings contain every possible tail by
                 # construction; connect unconditionally.
                 tail.node.set_successor(tail.port, head)
-        self.stats["loop_versions"] += 1
+        self.bump("loop_versions", loop_id=loop_id, pessimistic=True)
         return self._finish_exits(exits, result_var)
 
     # ------------------------------------------------------------------

@@ -105,13 +105,19 @@ class PrimitiveExpansionMixin:
         if primitive is None:
             # Unknown primitive: a runtime error; compile a dynamic send
             # so behaviour matches the interpreter.
-            return self.emit_dynamic_send(front, selector, recv_var, arg_vars, result_var)
+            return self.emit_dynamic_send(
+                front, selector, recv_var, arg_vars, result_var,
+                reason="unknown primitive",
+            )
         fail_var: Optional[str] = None
         if selector.endswith("IfFail:") and selector != primitive.selector:
             fail_var = arg_vars[-1]
             arg_vars = arg_vars[:-1]
         if len(arg_vars) != primitive.arity:
-            return self.emit_dynamic_send(front, selector, recv_var, arg_vars, result_var)
+            return self.emit_dynamic_send(
+                front, selector, recv_var, arg_vars, result_var,
+                reason="primitive arity mismatch",
+            )
 
         name = primitive.selector
         folded = self._try_constant_fold(
@@ -165,7 +171,7 @@ class PrimitiveExpansionMixin:
             value = primitive.fn(self.universe, values[0], values[1:])
         except PrimFailSignal:
             return None  # compile the full expansion; failure is real
-        self.stats["constant_folds"] += 1
+        self.bump("constant_folds", prim=primitive.selector, kind="pure-primitive")
         self.emit(front, ConstNode(result_var, value))
         front.bind(result_var, type_of_constant(value, self.universe))
         front.bind_closure(result_var, None)
@@ -191,18 +197,18 @@ class PrimitiveExpansionMixin:
         """
         t = front.get_type(var)
         if self.config.static_types:
-            self.stats["type_tests_elided"] += 1
+            self.bump("type_tests_elided", why="trusted static types")
             front.refine(var, refine_to_map(t, map, self.universe))
             return front
         target = MapType(map)
         if contains(target, t):
-            self.stats["type_tests_elided"] += 1
+            self.bump("type_tests_elided", why="proved by type analysis")
             return front
         if disjoint(t, target):
             fail_fronts.append((front, code))
             return None
         self.use_value(front, var)
-        self.stats["type_tests"] += 1
+        self.bump("type_tests", why="primitive operand class check")
         yes, no = self.emit_branch(front, TypeTestNode(var, map))
         yes.refine(var, refine_to_map(t, map, self.universe))
         no.refine(var, exclude_map(t, map, self.universe))
@@ -246,7 +252,7 @@ class PrimitiveExpansionMixin:
             use_ranges = self.config.range_analysis
             checked_away = (use_ranges and safe and zero_ok) or self.config.static_types
             if checked_away:
-                self.stats["overflow_checks_elided"] += 1
+                self.bump("overflow_checks_elided", prim=name)
                 self.emit(ok, ArithNode(op, result_var, recv_var, arg_var))
             else:
                 err_var = self.fresh_temp()
@@ -305,7 +311,7 @@ class PrimitiveExpansionMixin:
                 op, ok.get_type(recv_var), ok.get_type(arg_var), universe
             )
             if decided is not None:
-                self.stats["constant_folds"] += 1
+                self.bump("constant_folds", kind="range-decided-compare", op=op)
                 value = universe.boolean(decided)
                 self.emit(ok, ConstNode(result_var, value))
                 ok.bind(result_var, ValueType(value, universe.map_of(value)))
@@ -361,7 +367,7 @@ class PrimitiveExpansionMixin:
                 and index_interval[1] < length
             )
             if in_bounds or self.config.static_types:
-                self.stats["bounds_checks_elided"] += 1
+                self.bump("bounds_checks_elided")
             else:
                 ok, oob = self.emit_branch(ok, BoundsCheckNode(recv_var, index_var))
                 fail_fronts.append((oob, OUT_OF_BOUNDS))
@@ -404,7 +410,7 @@ class PrimitiveExpansionMixin:
         if ok is not None:
             length = vector_length(ok.get_type(recv_var))
             if length is not None:
-                self.stats["constant_folds"] += 1
+                self.bump("constant_folds", kind="known-vector-size")
                 self.emit(ok, ConstNode(result_var, length))
                 ok.bind(result_var, IntRangeType(length, length))
             else:
@@ -431,7 +437,7 @@ class PrimitiveExpansionMixin:
         rt = front.get_type(recv_var)
         at = front.get_type(arg_var)
         if disjoint(rt, at):
-            self.stats["constant_folds"] += 1
+            self.bump("constant_folds", kind="disjoint-identity", prim=name)
             value = universe.boolean(not want_equal)
             self.emit(front, ConstNode(result_var, value))
             front.bind(result_var, ValueType(value, universe.map_of(value)))

@@ -1,0 +1,55 @@
+"""Unified observability: tracing, metrics, exporters, narratives.
+
+The paper's evaluation is an exercise in counting — type tests
+executed, sends left dynamic, loop-analysis rounds until fixed point,
+code-size blowup from splitting.  This package is the one place those
+counts (and the *decisions* behind them) are recorded:
+
+* :mod:`.trace` — hierarchical compilation spans and instant events,
+  recorded by a :class:`Tracer` with near-zero overhead when disabled
+  (the default is the :data:`NULL_TRACER`, whose every operation is a
+  no-op).
+* :mod:`.metrics` — named ``Counter``/``Gauge``/``Histogram`` objects
+  in a :class:`MetricsRegistry` with a snapshot/diff API, plus
+  collectors that unify the runtime's and compiler's raw counters
+  under stable metric names.
+* :mod:`.export` — JSON-lines dump, Chrome ``chrome://tracing``
+  trace-event output, and a structural schema check for both.
+* :mod:`.narrate` — the human-readable "why was this send not inlined
+  / this test not elided" story, reconstructed from a trace.
+
+Nothing here touches the modeled measurements: tracing on or off, the
+cycle/instruction/code-byte numbers are bit-identical (goldens in
+``tests/vm/test_golden_determinism.py`` enforce this).
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, registry_for_runtime
+from .trace import NULL_TRACER, NullTracer, Span, Tracer
+from .export import (
+    chrome_trace,
+    check_schema,
+    to_jsonl_records,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .narrate import narrate
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry_for_runtime",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "check_schema",
+    "to_jsonl_records",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "narrate",
+]

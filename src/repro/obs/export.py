@@ -1,0 +1,277 @@
+"""Trace exporters: JSON-lines, Chrome trace-event format, schema check.
+
+Two serializations of one :class:`~repro.obs.trace.Tracer`:
+
+* **JSON lines** — one object per span or event, depth-first, carrying
+  ``seq``/``depth`` so the hierarchy reconstructs without parsing state.
+  The format a script greps or loads into pandas.
+* **Chrome trace-event** — the ``chrome://tracing`` / Perfetto JSON
+  format: spans become complete (``"ph": "X"``) events with ``ts``/
+  ``dur`` in microseconds, instant events become ``"ph": "i"``.  Load
+  the file in ``chrome://tracing`` to see the compile pipeline laid
+  out on a timeline.
+
+Plus :func:`check_schema`, a small JSON-Schema-subset validator (the
+container has no ``jsonschema``; the subset here — type / required /
+properties / items / enum / minimum — covers everything the trace and
+results schemas use), and the two schemas themselves.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Union
+
+from .trace import Tracer
+
+# ---------------------------------------------------------------------------
+# JSON lines
+# ---------------------------------------------------------------------------
+
+
+def _clean_attrs(attrs: dict) -> dict:
+    """Attributes must serialize: non-primitive values become repr()."""
+    out = {}
+    for key, value in attrs.items():
+        if isinstance(value, (int, float, str, bool, type(None))):
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out
+
+
+def to_jsonl_records(tracer: Tracer) -> list[dict]:
+    """Every span and event as one flat JSON-ready record each."""
+    records: list[dict] = []
+    for span, depth in tracer.walk():
+        records.append(
+            {
+                "type": "span",
+                "name": span.name,
+                "cat": span.category,
+                "seq": span.seq,
+                "depth": depth,
+                "ts_us": round(span.start_us, 3),
+                "dur_us": round(span.dur_us, 3),
+                "attrs": _clean_attrs(span.attrs),
+            }
+        )
+        for event in span.events:
+            records.append(
+                {
+                    "type": "event",
+                    "name": event.name,
+                    "cat": event.category,
+                    "seq": event.seq,
+                    "depth": depth + 1,
+                    "ts_us": round(event.ts_us, 3),
+                    "attrs": _clean_attrs(event.attrs),
+                }
+            )
+    for event in tracer.orphan_events:
+        records.append(
+            {
+                "type": "event",
+                "name": event.name,
+                "cat": event.category,
+                "seq": event.seq,
+                "depth": 0,
+                "ts_us": round(event.ts_us, 3),
+                "attrs": _clean_attrs(event.attrs),
+            }
+        )
+    records.sort(key=lambda r: r["seq"])
+    return records
+
+
+def write_jsonl(tracer: Tracer, target: Union[str, IO[str]]) -> None:
+    records = to_jsonl_records(tracer)
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+    else:
+        for record in records:
+            target.write(json.dumps(record) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event format
+# ---------------------------------------------------------------------------
+
+#: fixed ids: one simulated process, one thread — the pipeline is serial
+_PID = 1
+_TID = 1
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """The trace as a ``chrome://tracing`` JSON object."""
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _TID,
+            "ts": 0,
+            "args": {"name": "repro compile+run pipeline"},
+        }
+    ]
+    base = None
+    for span, _ in tracer.walk():
+        if base is None or span.start_us < base:
+            base = span.start_us
+    for event in tracer.orphan_events:
+        if base is None or event.ts_us < base:
+            base = event.ts_us
+    base = base or 0.0
+
+    for span, _ in tracer.walk():
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": round(span.start_us - base, 3),
+                "dur": round(span.dur_us, 3),
+                "pid": _PID,
+                "tid": _TID,
+                "args": dict(_clean_attrs(span.attrs), seq=span.seq),
+            }
+        )
+        for ev in span.events:
+            events.append(
+                {
+                    "name": ev.name,
+                    "cat": ev.category,
+                    "ph": "i",
+                    "ts": round(ev.ts_us - base, 3),
+                    "pid": _PID,
+                    "tid": _TID,
+                    "s": "t",
+                    "args": dict(_clean_attrs(ev.attrs), seq=ev.seq),
+                }
+            )
+    for ev in tracer.orphan_events:
+        events.append(
+            {
+                "name": ev.name,
+                "cat": ev.category,
+                "ph": "i",
+                "ts": round(ev.ts_us - base, 3),
+                "pid": _PID,
+                "tid": _TID,
+                "s": "t",
+                "args": dict(_clean_attrs(ev.attrs), seq=ev.seq),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(tracer), handle, indent=1)
+
+
+# ---------------------------------------------------------------------------
+# Schema checking (no external jsonschema dependency)
+# ---------------------------------------------------------------------------
+
+
+def check_schema(instance, schema: dict, path: str = "$") -> list[str]:
+    """Validate ``instance`` against a JSON-Schema subset.
+
+    Supports: ``type`` (string or list), ``required``, ``properties``,
+    ``items``, ``enum``, ``minimum``.  Returns a list of problem
+    strings — empty means valid.
+    """
+    problems: list[str] = []
+    expected = schema.get("type")
+    if expected is not None:
+        types = expected if isinstance(expected, list) else [expected]
+        checks = {
+            "object": lambda v: isinstance(v, dict),
+            "array": lambda v: isinstance(v, list),
+            "string": lambda v: isinstance(v, str),
+            "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+            "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+            "boolean": lambda v: isinstance(v, bool),
+            "null": lambda v: v is None,
+        }
+        if not any(checks[t](instance) for t in types):
+            return [f"{path}: expected {expected}, got {type(instance).__name__}"]
+    if "enum" in schema and instance not in schema["enum"]:
+        problems.append(f"{path}: {instance!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(instance, (int, float)):
+        if instance < schema["minimum"]:
+            problems.append(f"{path}: {instance} < minimum {schema['minimum']}")
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                problems.append(f"{path}: missing required key {name!r}")
+        for name, subschema in schema.get("properties", {}).items():
+            if name in instance:
+                problems.extend(check_schema(instance[name], subschema, f"{path}.{name}"))
+    if isinstance(instance, list) and "items" in schema:
+        for index, item in enumerate(instance):
+            problems.extend(check_schema(item, schema["items"], f"{path}[{index}]"))
+    return problems
+
+
+#: structural schema for the Chrome trace-event export
+CHROME_TRACE_SCHEMA = {
+    "type": "object",
+    "required": ["traceEvents"],
+    "properties": {
+        "traceEvents": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "ph", "ts", "pid", "tid"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "ph": {"type": "string", "enum": ["X", "i", "B", "E", "M"]},
+                    "ts": {"type": "number", "minimum": 0},
+                    "dur": {"type": "number", "minimum": 0},
+                    "pid": {"type": "integer"},
+                    "tid": {"type": "integer"},
+                    "args": {"type": "object"},
+                },
+            },
+        },
+    },
+}
+
+#: schema for one JSON-lines record
+JSONL_RECORD_SCHEMA = {
+    "type": "object",
+    "required": ["type", "name", "cat", "seq", "depth", "ts_us"],
+    "properties": {
+        "type": {"type": "string", "enum": ["span", "event"]},
+        "name": {"type": "string"},
+        "cat": {"type": "string"},
+        "seq": {"type": "integer", "minimum": 1},
+        "depth": {"type": "integer", "minimum": 0},
+        "ts_us": {"type": "number"},
+        "dur_us": {"type": "number", "minimum": 0},
+        "attrs": {"type": "object"},
+    },
+}
+
+
+def validate_chrome_trace(obj: dict) -> list[str]:
+    """Structural problems in a Chrome trace object ([] when loadable).
+
+    Beyond the schema: every complete event needs a duration, and the
+    trace must contain at least one non-metadata event (an empty trace
+    loads as a blank screen, which always means a wiring bug here).
+    """
+    problems = check_schema(obj, CHROME_TRACE_SCHEMA)
+    if problems:
+        return problems
+    real = [e for e in obj["traceEvents"] if e["ph"] != "M"]
+    if not real:
+        problems.append("$.traceEvents: no span or event entries")
+    for index, event in enumerate(obj["traceEvents"]):
+        if event["ph"] == "X" and "dur" not in event:
+            problems.append(f"$.traceEvents[{index}]: complete event without dur")
+    return problems

@@ -1,0 +1,137 @@
+"""Reconstruct the compiler's decisions as a human-readable story.
+
+The trace records *what happened and why* at every decision point —
+``dynamic_sends`` events carry the reason the send could not be
+inlined, ``inline-refused`` events carry which budget refused it,
+``type_tests`` events say which prediction inserted the test, loop
+events tell the iterate/widen/split story.  :func:`narrate` folds that
+back into the prose a compiler developer would write while stepping
+through the same compile: "this send stayed dynamic because the
+receiver type was unknown; this test was elided because analysis
+proved the range".
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+
+from .trace import Span, Tracer
+
+
+def _tally(events, *attr_names) -> TallyCounter:
+    """Count events by the tuple of the given attribute values."""
+    tally: TallyCounter = TallyCounter()
+    for event in events:
+        key = tuple(str(event.attrs.get(a, "?")) for a in attr_names)
+        tally[key] += int(event.attrs.get("n", 1))
+    return tally
+
+
+def _span_events(span: Span) -> list:
+    """Every event under a span, nested children included."""
+    events = list(span.events)
+    for child in span.children:
+        events.extend(_span_events(child))
+    return events
+
+
+def _narrate_compile(span: Span) -> list[str]:
+    attrs = span.attrs
+    header = (
+        f"compiled {attrs.get('selector', '?')!r}"
+        f" for {attrs.get('receiver', '?')}"
+        f" [{attrs.get('config', '?')} / tier {attrs.get('tier', '?')}]"
+    )
+    if attrs.get("outcome") not in (None, "ok"):
+        header += f" -> {attrs['outcome']}"
+    lines = [header]
+    events = _span_events(span)
+    by_name: dict[str, list] = {}
+    for event in events:
+        by_name.setdefault(event.name, []).append(event)
+
+    def total(name: str) -> int:
+        return sum(int(e.attrs.get("n", 1)) for e in by_name.get(name, ()))
+
+    inlined = total("inlined_sends")
+    dynamic = total("dynamic_sends")
+    if inlined or dynamic:
+        lines.append(f"  sends: {inlined} inlined, {dynamic} left dynamic")
+    for (selector, reason), count in sorted(
+        _tally(by_name.get("dynamic_sends", ()), "selector", "reason").items()
+    ):
+        suffix = f" (x{count})" if count > 1 else ""
+        lines.append(f"    dynamic {selector!r}: {reason}{suffix}")
+    for (selector, reason), count in sorted(
+        _tally(by_name.get("inline-refused", ()), "selector", "reason").items()
+    ):
+        suffix = f" (x{count})" if count > 1 else ""
+        lines.append(f"    not inlined {selector!r}: {reason}{suffix}")
+
+    tests = total("type_tests")
+    elided = total("type_tests_elided")
+    checks_gone = total("overflow_checks_elided") + total("bounds_checks_elided")
+    if tests or elided or checks_gone:
+        lines.append(
+            f"  checks: {tests} type tests emitted, {elided} elided, "
+            f"{checks_gone} overflow/bounds checks elided"
+        )
+    for (selector, why), count in sorted(
+        _tally(by_name.get("type_tests", ()), "selector", "why").items()
+    ):
+        suffix = f" (x{count})" if count > 1 else ""
+        lines.append(f"    test before {selector!r}: {why}{suffix}")
+
+    for event in by_name.get("loop_analysis_iterations", ()):
+        lines.append(
+            f"  loop L{event.attrs.get('loop_id')}: analysis round "
+            f"{event.attrs.get('round')}"
+        )
+    for event in by_name.get("loop-widen", ()):
+        lines.append(
+            f"    widened {event.attrs.get('var')}: "
+            f"{event.attrs.get('from')} -> {event.attrs.get('to')}"
+        )
+    for event in by_name.get("loop-split", ()):
+        lines.append(
+            f"  loop L{event.attrs.get('loop_id')}: split into "
+            f"{event.attrs.get('versions')} versions "
+            f"(specialized on {event.attrs.get('split_vars', '?')})"
+        )
+    for event in by_name.get("loop-pessimistic", ()):
+        lines.append(
+            f"  loop L{event.attrs.get('loop_id')}: pessimistic single "
+            f"version ({event.attrs.get('reason')})"
+        )
+    for event in by_name.get("split-folded", ()):
+        lines.append(
+            f"  splitting: folded {event.attrs.get('groups')} front groups "
+            f"into {event.attrs.get('kept')} (front budget "
+            f"{event.attrs.get('max_fronts')})"
+        )
+    for event in by_name.get("tier-degrade", ()):
+        lines.append(
+            f"  DEGRADED {event.attrs.get('from_tier')} -> "
+            f"{event.attrs.get('to_tier')}: {event.attrs.get('error')}"
+        )
+    return lines
+
+
+def narrate(tracer: Tracer, max_compiles: int = 50) -> str:
+    """The whole trace as a story, one paragraph per compiled body."""
+    lines = ["trace narrative", "==============="]
+    compiles = tracer.spans_named("compile")
+    shown = compiles[:max_compiles]
+    for span in shown:
+        lines.append("")
+        lines.extend(_narrate_compile(span))
+    if len(compiles) > len(shown):
+        lines.append("")
+        lines.append(f"... and {len(compiles) - len(shown)} more compiles")
+    degradations = tracer.events_named("tier-degrade")
+    lines.append("")
+    lines.append(
+        f"{len(compiles)} compilation attempts, "
+        f"{len(degradations)} tier degradations"
+    )
+    return "\n".join(lines)

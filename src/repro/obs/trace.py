@@ -1,0 +1,233 @@
+"""Hierarchical spans and instant events for the compile/run pipeline.
+
+A :class:`Tracer` records a tree of :class:`Span` objects (one per
+bracketed phase: a tier attempt, the type-analysis pass, codegen, …)
+and flat instant events hung off the innermost open span (one per
+point decision: a send inlined, a type test emitted, a loop-analysis
+round, a tier degradation).
+
+Design constraints, in order:
+
+1. **Disabled is free.**  The default tracer everywhere is
+   :data:`NULL_TRACER`; every call on it is a constant no-op, and hot
+   call sites additionally guard with ``if tracer.enabled:`` so no
+   attribute dict is ever built.  The modeled measurements (cycles,
+   instructions, code bytes) never flow through the tracer at all, so
+   they are bit-identical with tracing on or off.
+2. **Deterministic ordering.**  Every span and event carries a
+   monotonically increasing ``seq`` number; tests assert on structure
+   and totals, never on wall-clock timestamps.
+3. **Wall time is diagnostic.**  Spans also record host-clock start
+   and duration (microseconds) so the Chrome trace-event export lays
+   out a real timeline; two runs of the same workload produce the same
+   *shape* with different timings.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterator, Optional
+
+#: span/event categories (the Chrome export's ``cat`` field)
+CAT_COMPILE = "compile"
+CAT_RUNTIME = "runtime"
+CAT_ROBUSTNESS = "robustness"
+
+
+class Span:
+    """One bracketed phase: a name, attributes, children, and events."""
+
+    __slots__ = (
+        "name", "category", "attrs", "seq", "start_us", "dur_us",
+        "children", "events", "parent",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        attrs: dict,
+        seq: int,
+        start_us: float,
+        parent: Optional["Span"],
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.attrs = attrs
+        self.seq = seq
+        self.start_us = start_us
+        self.dur_us = 0.0
+        self.children: list[Span] = []
+        self.events: list[Event] = []
+        self.parent = parent
+
+    def set(self, **attrs) -> "Span":
+        """Attach (or overwrite) attributes while the span is open."""
+        self.attrs.update(attrs)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<span {self.name!r} #{self.seq} {self.attrs}>"
+
+
+class Event:
+    """One instant decision point inside a span."""
+
+    __slots__ = ("name", "category", "attrs", "seq", "ts_us")
+
+    def __init__(
+        self, name: str, category: str, attrs: dict, seq: int, ts_us: float
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.attrs = attrs
+        self.seq = seq
+        self.ts_us = ts_us
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<event {self.name!r} #{self.seq} {self.attrs}>"
+
+
+class _SpanHandle:
+    """Context manager closing one span (re-entrant tracers need one
+    handle per ``span()`` call, so the handle is separate from Span)."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def set(self, **attrs) -> "_SpanHandle":
+        self.span.set(**attrs)
+        return self
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._close(self.span)
+
+
+class _NullSpanHandle:
+    """The do-nothing span handle the :class:`NullTracer` hands out."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "_NullSpanHandle":
+        return self
+
+    def __enter__(self) -> "_NullSpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN_HANDLE = _NullSpanHandle()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a constant no-op.
+
+    Call sites that would build an attribute dict should still guard
+    with ``if tracer.enabled:`` — that keeps the disabled cost at one
+    attribute load and one branch.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, category: str = CAT_COMPILE, **attrs):
+        return _NULL_SPAN_HANDLE
+
+    def event(self, name: str, category: str = CAT_COMPILE, **attrs) -> None:
+        return None
+
+
+#: the process-wide disabled tracer (stateless, safe to share)
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """An enabled tracer: records spans and events for later export."""
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        #: microsecond clock; injectable for deterministic tests
+        self._clock = clock or (lambda: time.perf_counter_ns() / 1000.0)
+        self.roots: list[Span] = []
+        #: events emitted outside any open span
+        self.orphan_events: list[Event] = []
+        self._stack: list[Span] = []
+        self._seq = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def span(self, name: str, category: str = CAT_COMPILE, **attrs) -> _SpanHandle:
+        parent = self._stack[-1] if self._stack else None
+        span = Span(name, category, attrs, self._next_seq(), self._clock(), parent)
+        if parent is None:
+            self.roots.append(span)
+        else:
+            parent.children.append(span)
+        self._stack.append(span)
+        return _SpanHandle(self, span)
+
+    def _close(self, span: Span) -> None:
+        span.dur_us = max(0.0, self._clock() - span.start_us)
+        # Close any children left open by an exception unwinding past
+        # their handles, then the span itself.
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+
+    def event(self, name: str, category: str = CAT_COMPILE, **attrs) -> Event:
+        event = Event(name, category, attrs, self._next_seq(), self._clock())
+        if self._stack:
+            self._stack[-1].events.append(event)
+        else:
+            self.orphan_events.append(event)
+        return event
+
+    # -- reading -----------------------------------------------------------
+
+    def walk(self) -> Iterator[tuple[Span, int]]:
+        """Every recorded span, depth-first, with its nesting depth."""
+        stack: list[tuple[Span, int]] = [(s, 0) for s in reversed(self.roots)]
+        while stack:
+            span, depth = stack.pop()
+            yield span, depth
+            for child in reversed(span.children):
+                stack.append((child, depth + 1))
+
+    def all_events(self) -> Iterator[Event]:
+        """Every instant event, in recording (seq) order."""
+        events = list(self.orphan_events)
+        for span, _ in self.walk():
+            events.extend(span.events)
+        return iter(sorted(events, key=lambda e: e.seq))
+
+    def events_named(self, name: str) -> list[Event]:
+        return [e for e in self.all_events() if e.name == name]
+
+    def total(self, event_name: str, attr: str = "n") -> int:
+        """Sum an integer attribute over every event with that name.
+
+        Stat-counter events carry their increment in ``n`` (default 1),
+        so ``tracer.total('type_tests')`` equals the compiler's
+        ``stats['type_tests']`` counter summed over every compile the
+        tracer observed — the acceptance check of this subsystem.
+        """
+        return sum(int(e.attrs.get(attr, 1)) for e in self.events_named(event_name))
+
+    def spans_named(self, name: str) -> list[Span]:
+        return [span for span, _ in self.walk() if span.name == name]

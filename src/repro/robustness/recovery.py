@@ -45,10 +45,19 @@ class RecoveryEvent:
 
 
 class RecoveryLog:
-    """Append-only log of degradations, owned by one Runtime."""
+    """Append-only log of degradations, owned by one Runtime.
 
-    def __init__(self) -> None:
+    With a tracer attached, every degradation is mirrored as a
+    ``tier-degrade`` trace event; the log itself stays deterministic.
+    """
+
+    def __init__(self, tracer=None) -> None:
         self.events: list[RecoveryEvent] = []
+        if tracer is None:
+            from ..obs.trace import NULL_TRACER
+
+            tracer = NULL_TRACER
+        self.tracer = tracer
 
     def record(
         self,
@@ -67,6 +76,18 @@ class RecoveryLog:
             detail=str(error),
         )
         self.events.append(event)
+        if self.tracer.enabled:
+            from ..obs.trace import CAT_ROBUSTNESS
+
+            self.tracer.event(
+                "tier-degrade",
+                category=CAT_ROBUSTNESS,
+                stage=stage,
+                selector=selector,
+                from_tier=from_tier,
+                to_tier=to_tier,
+                error=f"{event.error_kind}: {event.detail}",
+            )
         return event
 
     def __len__(self) -> int:

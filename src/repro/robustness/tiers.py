@@ -141,25 +141,44 @@ def compile_with_tiers(
     propagate unchanged.
     """
     stage = "compile-block" if is_block else "compile"
+    tracer = getattr(runtime, "tracer", None)
+    if tracer is None:
+        from ..obs.trace import NULL_TRACER
+
+        tracer = NULL_TRACER
     ladder = (
         (TIER_OPTIMIZING, runtime.config, TIER_PESSIMISTIC),
         (TIER_PESSIMISTIC, pessimistic_config(runtime.config), TIER_INTERPRETER),
     )
     for tier, config, next_tier in ladder:
-        try:
-            graph = compile_once(
-                runtime.universe, config, code_node, receiver_map,
-                selector=selector, is_block=is_block,
-                block_template=block_template, annotations=runtime.annotations,
-                watchdog=default_watchdog(),
-            )
-            return generate(graph, runtime.model)
-        except SelfError:
-            raise  # a guest bug surfaces identically at every tier
-        except BudgetExhausted as error:
-            runtime.recovery.record(stage, selector, tier, next_tier, error)
-        except Exception as error:  # noqa: BLE001 — the containment boundary
-            runtime.recovery.record(stage, selector, tier, next_tier, error)
+        with tracer.span(
+            "compile",
+            selector=selector,
+            receiver=getattr(receiver_map, "name", "?"),
+            config=config.name,
+            tier=tier,
+            is_block=is_block,
+        ) as compile_span:
+            try:
+                graph = compile_once(
+                    runtime.universe, config, code_node, receiver_map,
+                    selector=selector, is_block=is_block,
+                    block_template=block_template, annotations=runtime.annotations,
+                    watchdog=default_watchdog(),
+                    tracer=tracer,
+                )
+                with tracer.span("codegen", nodes=graph.stats.total):
+                    compiled = generate(graph, runtime.model)
+                compile_span.set(outcome="ok", code_bytes=compiled.size_bytes)
+                return compiled
+            except SelfError:
+                raise  # a guest bug surfaces identically at every tier
+            except BudgetExhausted as error:
+                compile_span.set(outcome=f"degraded to {next_tier}")
+                runtime.recovery.record(stage, selector, tier, next_tier, error)
+            except Exception as error:  # noqa: BLE001 — the containment boundary
+                compile_span.set(outcome=f"degraded to {next_tier}")
+                runtime.recovery.record(stage, selector, tier, next_tier, error)
     return InterpretedCode(code_node, selector, is_block)
 
 

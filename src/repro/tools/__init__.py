@@ -1,5 +1,6 @@
 """Developer tooling built on the public API."""
 
 from .report import method_report
+from .trace import main as trace_main
 
-__all__ = ["method_report"]
+__all__ = ["method_report", "trace_main"]

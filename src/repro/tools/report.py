@@ -4,6 +4,9 @@
 renders a side-by-side summary: node mix, loop versions and their hot
 paths, and the compiler's effort counters — the view a compiler
 developer wants when asking "what did each system do with this code?".
+The numbers come through the unified metrics registry
+(:func:`repro.obs.metrics.collect_graph`), so the report and the bench
+metrics table read the same names.
 
 Usage::
 
@@ -19,6 +22,7 @@ from ..compiler import NEW_SELF, OLD_SELF_90, ST80, STATIC_C, CompilerConfig, co
 from ..compiler.result import CompiledGraph
 from ..ir.analysis import summarize_loops
 from ..objects.model import SelfMethod
+from ..obs.metrics import MetricsRegistry, collect_graph
 from ..world.bootstrap import World
 from ..world.lookup import lookup_slot
 
@@ -55,6 +59,13 @@ def compile_for_report(
     )
 
 
+def registry_for_graph(graph: CompiledGraph) -> MetricsRegistry:
+    """One compiled graph's stats as a metrics registry."""
+    registry = MetricsRegistry()
+    collect_graph(registry, graph)
+    return registry
+
+
 def method_report(
     world: World,
     selector: str,
@@ -66,23 +77,26 @@ def method_report(
         (config, compile_for_report(world, selector, config, holder_name))
         for config in configs
     ]
+    registries = [registry_for_graph(g) for _, g in graphs]
     lines = [f"method report: {selector!r}"]
     header = f"  {'':16}" + "".join(f"{c.name:>14}" for c, _ in graphs)
     lines.append(header)
     lines.append(
         f"  {'total nodes':16}"
-        + "".join(f"{g.stats.total:>14}" for _, g in graphs)
+        + "".join(f"{r.get('graph.nodes.total'):>14}" for r in registries)
     )
     for key, label in _NODE_COLUMNS:
         lines.append(
             f"  {label:16}"
-            + "".join(f"{g.stats.counts.get(key, 0):>14}" for _, g in graphs)
+            + "".join(
+                f"{r.get(f'graph.nodes.{key}') or 0:>14}" for r in registries
+            )
         )
     lines.append(
         f"  {'loop analysis':16}"
         + "".join(
-            f"{g.compile_stats.get('loop_analysis_iterations', 0):>13}x"
-            for _, g in graphs
+            f"{r.get('compiler.loop_analysis_iterations') or 0:>13}x"
+            for r in registries
         )
     )
     lines.append("")

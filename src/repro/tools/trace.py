@@ -1,0 +1,146 @@
+"""Trace one program through the compile+run pipeline.
+
+Usage::
+
+    python -m repro.tools.trace richards
+    python -m repro.tools.trace examples/guest/linkedlist.self \
+        --run "| l | l: linkedList clone initialize. l addLast: 3. l sum"
+    python -m repro.tools.trace sumTo --system oldself90 \
+        --chrome trace.json --jsonl trace.jsonl --check
+
+The positional argument is a benchmark name (see ``repro.bench.base``)
+or a path to a ``.self`` source file of slot declarations.  The program
+is compiled and run with tracing **enabled**; the tool then
+
+* prints the human-readable narrative ("why was this send not inlined /
+  this test not elided") reconstructed from the trace,
+* prints the unified metrics table for the run,
+* writes the Chrome trace-event export (``--chrome``, default
+  ``trace.json``; load it in ``chrome://tracing``), and
+* optionally writes the JSON-lines export (``--jsonl``) and validates
+  the Chrome export structurally (``--check``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from ..bench.base import SYSTEMS
+from ..obs.export import (
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from ..obs.metrics import registry_for_runtime
+from ..obs.narrate import narrate
+from ..obs.trace import Tracer
+from ..vm.runtime import Runtime
+from ..world.bootstrap import World
+
+
+def _load_program(target: str, run: str | None) -> tuple[World, str, str]:
+    """Resolve the positional target to (world, run-source, label)."""
+    if os.path.exists(target):
+        world = World()
+        world.add_slots_from(target)
+        if run is None:
+            raise SystemExit(
+                f"{target} is a source file: pass --run EXPR to say what to execute"
+            )
+        return world, run, os.path.basename(target)
+    from ..bench.base import all_benchmarks, get_benchmark
+
+    try:
+        benchmark = get_benchmark(target)
+    except KeyError:
+        raise SystemExit(
+            f"{target!r} is neither a file nor a benchmark "
+            f"(benchmarks: {', '.join(sorted(all_benchmarks()))})"
+        ) from None
+    world = World()
+    world.add_slots(benchmark.setup_source)
+    return world, run if run is not None else benchmark.run_source, benchmark.name
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.tools.trace")
+    parser.add_argument(
+        "program",
+        help="benchmark name (e.g. richards) or path to a .self file",
+    )
+    parser.add_argument(
+        "--run",
+        metavar="EXPR",
+        default=None,
+        help="the do-it to execute (required for a .self file; "
+        "overrides the benchmark's run source)",
+    )
+    parser.add_argument(
+        "--system",
+        default="newself",
+        choices=sorted(SYSTEMS),
+        help="compiler configuration to trace under (default: newself)",
+    )
+    parser.add_argument(
+        "--chrome",
+        metavar="PATH",
+        default="trace.json",
+        help="Chrome trace-event output path (default: trace.json; '' disables)",
+    )
+    parser.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        default=None,
+        help="also write the flat JSON-lines trace to PATH",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the Chrome export against the trace schema",
+    )
+    parser.add_argument(
+        "--max-compiles",
+        type=int,
+        default=50,
+        metavar="N",
+        help="narrative length bound: paragraphs for the first N compiles",
+    )
+    args = parser.parse_args(argv)
+
+    world, run_source, label = _load_program(args.program, args.run)
+    tracer = Tracer()
+    runtime = Runtime(world, SYSTEMS[args.system], tracer=tracer)
+    answer = runtime.run(run_source)
+
+    print(f"{label} under {args.system}: answer = {runtime.universe.print_string(answer)}")
+    print(
+        f"modeled: {runtime.cycles} cycles, {runtime.instructions} instructions, "
+        f"{runtime.code_bytes} code bytes, {runtime.methods_compiled} bodies compiled"
+    )
+    print()
+    print(narrate(tracer, max_compiles=args.max_compiles))
+    print()
+    print(registry_for_runtime(runtime).render(title=f"metrics ({label} / {args.system})"))
+
+    if args.chrome:
+        write_chrome_trace(tracer, args.chrome)
+        print(f"\nwrote {args.chrome} (load in chrome://tracing)")
+    if args.jsonl:
+        write_jsonl(tracer, args.jsonl)
+        print(f"wrote {args.jsonl}")
+    if args.check:
+        problems = validate_chrome_trace(chrome_trace(tracer))
+        if problems:
+            print("trace schema check FAILED:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print("trace schema check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -783,6 +783,24 @@ def predecode(insns, consts, ic_sites, model):
     return out
 
 
+def superinstruction_stats(threaded) -> dict:
+    """Fusion accounting for one predecoded stream.
+
+    ``slots`` counts threaded tuples; a slot whose architectural
+    instruction count (``insn[2]``) exceeds one is a fused
+    superinstruction, and each extra counted instruction is one slot
+    the fusion absorbed.
+    """
+    fused = 0
+    absorbed = 0
+    for insn in threaded:
+        count = insn[2]
+        if count > 1:
+            fused += 1
+            absorbed += count - 1
+    return {"slots": len(threaded), "fused": fused, "absorbed": absorbed}
+
+
 def disassemble_threaded(threaded) -> str:
     """Human-readable listing of a predecoded stream (debugging aid)."""
     lines = []

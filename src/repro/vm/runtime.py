@@ -75,6 +75,7 @@ class Runtime:
         model: Optional[CostModel] = None,
         annotations: Optional[StaticAnnotations] = None,
         use_polymorphic_caches: bool = False,
+        tracer=None,
     ) -> None:
         self.world = world
         self.universe = world.universe
@@ -114,8 +115,15 @@ class Runtime:
         #: in-flight non-local return: (target frame, value, resume pc)
         self._nlr = None
 
+        #: observability: NULL_TRACER unless a real tracer is injected —
+        #: the dispatch loop itself never touches it, so the modeled
+        #: measurements are bit-identical with tracing on or off
+        from ..obs.trace import NULL_TRACER
+
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
         #: structured log of tier degradations (robustness subsystem)
-        self.recovery = RecoveryLog()
+        self.recovery = RecoveryLog(tracer=self.tracer)
         self._tier_interpreter: Optional[TierInterpreter] = None
 
     @property
@@ -131,7 +139,11 @@ class Runtime:
 
     def run(self, source: str, receiver=None):
         """Parse a do-it, compile it, and execute it to a value."""
-        doit = parse_doit(source)
+        if self.tracer.enabled:
+            with self.tracer.span("parse", chars=len(source)):
+                doit = parse_doit(source)
+        else:
+            doit = parse_doit(source)
         return self.run_doit(doit, receiver)
 
     def run_doit(self, doit: MethodNode, receiver=None):
@@ -170,18 +182,55 @@ class Runtime:
     def compiled_code_bytes(self) -> int:
         return self.code_bytes
 
+    def iter_compiled_codes(self):
+        """Every distinct compiled body (methods, then blocks), once each.
+
+        Both code caches are keyed by (identity, receiver map), so one
+        body recompiled per map appears under several keys — but each
+        entry holds a distinct Code.  The identity-dedup guards the
+        aggregators against any future sharing between the two caches
+        (and is what keeps aggregate totals honest by construction).
+        """
+        seen: set[int] = set()
+        for _, code in self._method_code.values():
+            if id(code) not in seen:
+                seen.add(id(code))
+                yield code
+        for code in self._block_code.values():
+            if id(code) not in seen:
+                seen.add(id(code))
+                yield code
+
     def aggregate_compile_stats(self) -> dict:
         """Sum the compiler's effort/effect counters over every body
         this runtime compiled (methods and blocks) — the evidence for
         "how many sends were inlined, how many checks deleted"."""
         totals: dict = {}
-        for _, code in self._method_code.values():
+        for code in self.iter_compiled_codes():
             # Interpreter-tier bodies have no compiled stats to count.
             for key, value in getattr(code, "compile_stats", {}).items():
                 totals[key] = totals.get(key, 0) + value
-        for code in self._block_code.values():
-            for key, value in getattr(code, "compile_stats", {}).items():
-                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def aggregate_dispatch_stats(self) -> dict:
+        """Predecode/superinstruction accounting over every compiled body."""
+        from .dispatch import superinstruction_stats
+
+        totals = {
+            "compiled_bodies": 0,
+            "threaded_slots": 0,
+            "superinstructions_fused": 0,
+            "instructions_absorbed": 0,
+        }
+        for code in self.iter_compiled_codes():
+            threaded = getattr(code, "threaded", None)
+            if threaded is None:
+                continue
+            stats = superinstruction_stats(threaded)
+            totals["compiled_bodies"] += 1
+            totals["threaded_slots"] += stats["slots"]
+            totals["superinstructions_fused"] += stats["fused"]
+            totals["instructions_absorbed"] += stats["absorbed"]
         return totals
 
     # ------------------------------------------------------------------

@@ -24,6 +24,7 @@ def stubbed(monkeypatch):
     monkeypatch.setattr(tables, "appendix_c_compile_time", stub("c"))
     monkeypatch.setattr(tables, "ablation_table", stub("ablation"))
     monkeypatch.setattr(tables, "optimization_effect_table", stub("opt"))
+    monkeypatch.setattr(tables, "metrics_table", stub("metrics"))
     # The CLI eagerly measures everything its tables will read; these
     # tests only exercise argument plumbing, so skip the measuring.
     monkeypatch.setattr(Session, "prefetch", lambda self, pairs=None: None)
@@ -79,6 +80,78 @@ def test_no_cache_flag_reaches_the_session(stubbed, monkeypatch):
 def test_nonpositive_jobs_rejected(stubbed):
     with pytest.raises(SystemExit):
         cli.main(["t1", "--jobs", "0"])
+
+
+def test_metrics_table_choice(stubbed, capsys):
+    assert cli.main(["metrics"]) == 0
+    assert [c[0] for c in stubbed] == ["metrics"]
+    assert "<metrics>" in capsys.readouterr().out
+
+
+def _fake_result(**overrides):
+    from repro.bench.harness import RunResult
+
+    result = RunResult(
+        benchmark="sumTo", system="newself", answer=50005000, cycles=100,
+        code_bytes=64, compile_seconds=0.1, instructions=90, send_hits=1,
+        send_misses=2, send_megamorphic=0, methods_compiled=1,
+        wall_seconds=0.2, verified=True,
+        metrics={"vm.cycles": 100},
+    )
+    for key, value in overrides.items():
+        setattr(result, key, value)
+    return result
+
+
+def _measure_one(monkeypatch, result):
+    def prefetch(self, pairs=None):
+        self._results[(result.benchmark, result.system)] = result
+
+    monkeypatch.setattr(Session, "prefetch", prefetch)
+
+
+def test_results_json_written_when_something_was_measured(
+    stubbed, monkeypatch, tmp_path, capsys
+):
+    import json
+
+    _measure_one(monkeypatch, _fake_result())
+    path = tmp_path / "out.json"
+    assert cli.main(["t1", "--results", str(path)]) == 0
+    assert f"(wrote {path})" in capsys.readouterr().out
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == "repro-bench-results/1"
+    assert [r["benchmark"] for r in payload["results"]] == ["sumTo"]
+    assert payload["results"][0]["metrics"] == {"vm.cycles": 100}
+
+
+def test_results_json_suppressed_by_empty_flag(
+    stubbed, monkeypatch, tmp_path, capsys
+):
+    _measure_one(monkeypatch, _fake_result())
+    monkeypatch.chdir(tmp_path)
+    assert cli.main(["t1", "--results", ""]) == 0
+    assert "(wrote" not in capsys.readouterr().out
+    assert not (tmp_path / "BENCH_results.json").exists()
+
+
+def test_recovery_summary_surfaces_degraded_runs(
+    stubbed, monkeypatch, tmp_path, capsys
+):
+    degraded = _fake_result(
+        recovery_events=1,
+        recovery=[{
+            "stage": "compile", "selector": "run", "from_tier": "optimizing",
+            "to_tier": "pessimistic", "error_kind": "InjectedFault",
+            "detail": "",
+        }],
+    )
+    _measure_one(monkeypatch, degraded)
+    monkeypatch.chdir(tmp_path)
+    assert cli.main(["t1", "--results", ""]) == 0
+    out = capsys.readouterr().out
+    assert "Tier degradations" in out
+    assert "optimizing -> pessimistic" in out
 
 
 def test_prefetch_pairs_cover_the_matrix(stubbed):

@@ -1,0 +1,79 @@
+"""The machine-readable BENCH_results.json payload."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import (
+    RESULTS_SCHEMA,
+    Session,
+    results_payload,
+    write_results_json,
+)
+from repro.obs.export import check_schema
+
+#: structural expectations for one result record
+RECORD_SCHEMA = {
+    "type": "object",
+    "required": [
+        "benchmark", "system", "cycles", "code_bytes", "compile_seconds",
+        "instructions", "compile_stats", "recovery", "metrics", "failed",
+    ],
+    "properties": {
+        "benchmark": {"type": "string"},
+        "system": {"type": "string"},
+        "cycles": {"type": "integer", "minimum": 0},
+        "code_bytes": {"type": "integer", "minimum": 0},
+        "compile_seconds": {"type": "number", "minimum": 0},
+        "instructions": {"type": "integer", "minimum": 0},
+        "compile_stats": {"type": "object"},
+        "recovery": {"type": "array"},
+        "metrics": {"type": "object"},
+        "failed": {"type": "boolean"},
+    },
+}
+
+PAYLOAD_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "systems", "results"],
+    "properties": {
+        "schema": {"type": "string", "enum": [RESULTS_SCHEMA]},
+        "systems": {"type": "array", "items": {"type": "string"}},
+        "results": {"type": "array", "items": RECORD_SCHEMA},
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def session():
+    session = Session(jobs=1)
+    session.prefetch([("sumTo", "newself"), ("sumTo", "st80")])
+    return session
+
+
+def test_payload_structure(session):
+    payload = results_payload(session)
+    assert check_schema(payload, PAYLOAD_SCHEMA) == []
+    assert len(payload["results"]) == 2
+    # deterministic order: sorted by (benchmark, system)
+    assert [(r["benchmark"], r["system"]) for r in payload["results"]] == [
+        ("sumTo", "newself"), ("sumTo", "st80"),
+    ]
+
+
+def test_records_carry_the_unified_metrics(session):
+    payload = results_payload(session)
+    for record in payload["results"]:
+        assert record["metrics"]["vm.cycles"] == record["cycles"]
+        assert record["metrics"]["compiler.inlined_sends"] == (
+            record["compile_stats"]["inlined_sends"]
+        )
+        assert record["metrics"]["tiers.degradations"] == len(record["recovery"])
+
+
+def test_write_results_json_round_trips(session, tmp_path):
+    path = tmp_path / "BENCH_results.json"
+    written = write_results_json(session, str(path))
+    loaded = json.loads(path.read_text())
+    assert loaded == json.loads(json.dumps(written, default=repr))
+    assert check_schema(loaded, PAYLOAD_SCHEMA) == []

@@ -1,0 +1,164 @@
+"""Exporter tests: JSON lines, Chrome trace-event format, schema check."""
+
+import io
+import json
+
+from repro.obs.export import (
+    CHROME_TRACE_SCHEMA,
+    JSONL_RECORD_SCHEMA,
+    check_schema,
+    chrome_trace,
+    to_jsonl_records,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.trace import Tracer
+
+from .test_tracer import fake_clock
+
+
+def sample_tracer() -> Tracer:
+    tracer = Tracer(clock=fake_clock())
+    with tracer.span("compile", selector="sumTo:", tier="optimizing") as h:
+        tracer.event("inlined_sends", selector="+", kind="inlined-method")
+        with tracer.span("codegen", nodes=12):
+            pass
+        h.set(outcome="ok", code_bytes=64)
+    tracer.event("loose")
+    return tracer
+
+
+# -- JSON lines -------------------------------------------------------------
+
+
+def test_jsonl_records_validate_and_order_by_seq():
+    records = to_jsonl_records(sample_tracer())
+    assert [r["seq"] for r in records] == sorted(r["seq"] for r in records)
+    for record in records:
+        assert check_schema(record, JSONL_RECORD_SCHEMA) == []
+    kinds = [(r["type"], r["name"]) for r in records]
+    assert ("span", "compile") in kinds
+    assert ("span", "codegen") in kinds
+    assert ("event", "inlined_sends") in kinds
+    assert ("event", "loose") in kinds
+
+
+def test_jsonl_depth_reconstructs_the_hierarchy():
+    by_name = {r["name"]: r for r in to_jsonl_records(sample_tracer())}
+    assert by_name["compile"]["depth"] == 0
+    assert by_name["codegen"]["depth"] == 1
+    assert by_name["inlined_sends"]["depth"] == 1  # event inside compile
+    assert by_name["loose"]["depth"] == 0          # orphan event
+
+
+def test_jsonl_non_primitive_attrs_become_repr():
+    tracer = Tracer(clock=fake_clock())
+    tracer.event("e", value={"nested": 1})
+    (record,) = to_jsonl_records(tracer)
+    assert record["attrs"]["value"] == repr({"nested": 1})
+
+
+def test_write_jsonl_to_stream_and_file(tmp_path):
+    tracer = sample_tracer()
+    buffer = io.StringIO()
+    write_jsonl(tracer, buffer)
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(tracer, str(path))
+    lines = buffer.getvalue().splitlines()
+    assert lines == path.read_text().splitlines()
+    parsed = [json.loads(line) for line in lines]
+    assert len(parsed) == len(to_jsonl_records(tracer))
+
+
+# -- Chrome trace-event format ----------------------------------------------
+
+
+def test_chrome_trace_validates_structurally():
+    obj = chrome_trace(sample_tracer())
+    assert validate_chrome_trace(obj) == []
+    assert check_schema(obj, CHROME_TRACE_SCHEMA) == []
+
+
+def test_chrome_trace_rebases_timestamps_to_zero():
+    obj = chrome_trace(sample_tracer())
+    real = [e for e in obj["traceEvents"] if e["ph"] != "M"]
+    assert min(e["ts"] for e in real) == 0
+    assert all(e["ts"] >= 0 for e in real)
+
+
+def test_chrome_trace_spans_are_complete_events_with_dur():
+    obj = chrome_trace(sample_tracer())
+    xs = [e for e in obj["traceEvents"] if e["ph"] == "X"]
+    assert {e["name"] for e in xs} == {"compile", "codegen"}
+    assert all("dur" in e and e["dur"] >= 0 for e in xs)
+    compile_event = next(e for e in xs if e["name"] == "compile")
+    assert compile_event["args"]["outcome"] == "ok"
+    assert compile_event["args"]["seq"] == 1
+
+
+def test_chrome_trace_starts_with_process_metadata():
+    obj = chrome_trace(sample_tracer())
+    first = obj["traceEvents"][0]
+    assert first["ph"] == "M"
+    assert first["name"] == "process_name"
+
+
+def test_empty_trace_fails_validation():
+    problems = validate_chrome_trace(chrome_trace(Tracer(clock=fake_clock())))
+    assert problems == ["$.traceEvents: no span or event entries"]
+
+
+def test_write_chrome_trace_round_trips(tmp_path):
+    path = tmp_path / "trace.json"
+    write_chrome_trace(sample_tracer(), str(path))
+    obj = json.loads(path.read_text())
+    assert validate_chrome_trace(obj) == []
+
+
+# -- the schema checker itself ----------------------------------------------
+
+
+def test_check_schema_accepts_a_valid_instance():
+    schema = {
+        "type": "object",
+        "required": ["a"],
+        "properties": {"a": {"type": "integer", "minimum": 0}},
+    }
+    assert check_schema({"a": 3}, schema) == []
+
+
+def test_check_schema_reports_type_mismatch_with_path():
+    assert check_schema("x", {"type": "integer"}) == [
+        "$: expected integer, got str"
+    ]
+
+
+def test_check_schema_bool_is_not_an_integer():
+    assert check_schema(True, {"type": "integer"}) != []
+    assert check_schema(True, {"type": "boolean"}) == []
+
+
+def test_check_schema_reports_missing_required():
+    problems = check_schema({}, {"type": "object", "required": ["name"]})
+    assert problems == ["$: missing required key 'name'"]
+
+
+def test_check_schema_enum_and_minimum():
+    assert check_schema("Z", {"enum": ["X", "i"]}) == ["$: 'Z' not in ['X', 'i']"]
+    assert check_schema(-1, {"type": "number", "minimum": 0}) == [
+        "$: -1 < minimum 0"
+    ]
+
+
+def test_check_schema_recurses_into_arrays():
+    schema = {"type": "array", "items": {"type": "integer"}}
+    assert check_schema([1, 2], schema) == []
+    assert check_schema([1, "x"], schema) == ["$[1]: expected integer, got str"]
+
+
+def test_check_schema_union_types():
+    schema = {"type": ["integer", "null"]}
+    assert check_schema(None, schema) == []
+    assert check_schema(5, schema) == []
+    assert check_schema("s", schema) != []

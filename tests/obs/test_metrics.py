@@ -1,0 +1,119 @@
+"""Unit tests for the metrics registry and its collectors."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_compile_stats,
+)
+
+
+def test_counter_increments_and_rejects_decrease():
+    c = Counter("x")
+    c.inc()
+    c.inc(4)
+    assert c.snapshot() == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_sets_any_value():
+    g = Gauge("g")
+    g.set(3.5)
+    assert g.snapshot() == 3.5
+    g.set(-2)
+    assert g.snapshot() == -2
+
+
+def test_histogram_tracks_count_sum_min_max():
+    h = Histogram("h")
+    assert h.snapshot() == {"count": 0, "sum": 0, "min": None, "max": None}
+    for v in (4, 1, 7):
+        h.observe(v)
+    assert h.snapshot() == {"count": 3, "sum": 12, "min": 1, "max": 7}
+
+
+def test_registry_get_or_create_returns_the_same_object():
+    r = MetricsRegistry()
+    assert r.counter("a") is r.counter("a")
+    assert r.gauge("b") is r.gauge("b")
+    assert r.histogram("c") is r.histogram("c")
+
+
+def test_registry_rejects_type_conflicts():
+    r = MetricsRegistry()
+    r.counter("a")
+    with pytest.raises(TypeError, match="already registered"):
+        r.gauge("a")
+
+
+def test_names_are_sorted_and_get_handles_absence():
+    r = MetricsRegistry()
+    r.counter("z.late").inc(1)
+    r.counter("a.early").inc(2)
+    assert r.names() == ["a.early", "z.late"]
+    assert r.get("a.early") == 2
+    assert r.get("missing") is None
+
+
+def test_snapshot_is_json_ready_and_sorted():
+    r = MetricsRegistry()
+    r.counter("b").inc(2)
+    r.gauge("a").set(1.5)
+    r.histogram("c").observe(3)
+    snap = r.snapshot()
+    assert list(snap) == ["a", "b", "c"]
+    assert snap["a"] == 1.5
+    assert snap["b"] == 2
+    assert snap["c"] == {"count": 1, "sum": 3, "min": 3, "max": 3}
+    import json
+
+    json.dumps(snap)  # must not raise
+
+
+def test_diff_subtracts_numeric_metrics():
+    before = {"a": 3, "b": 1.5}
+    after = {"a": 10, "b": 2.0, "new": 4}
+    assert MetricsRegistry.diff(before, after) == {
+        "a": 7, "b": 0.5, "new": 4,
+    }
+
+
+def test_diff_handles_histogram_snapshots():
+    before = {"h": {"count": 2, "sum": 10, "min": 1, "max": 9}}
+    after = {"h": {"count": 5, "sum": 25, "min": 0, "max": 9}}
+    assert MetricsRegistry.diff(before, after) == {"h": {"count": 3, "sum": 15}}
+
+
+def test_diff_counts_from_zero_when_absent_before():
+    after = {"h": {"count": 2, "sum": 6, "min": 2, "max": 4}, "c": 7}
+    assert MetricsRegistry.diff({}, after) == {"h": {"count": 2, "sum": 6}, "c": 7}
+
+
+def test_render_formats_every_metric_kind():
+    r = MetricsRegistry()
+    r.counter("compiler.type_tests").inc(3)
+    r.gauge("vm.compile_seconds").set(0.25)
+    r.histogram("rounds").observe(2)
+    text = r.render(title="demo")
+    assert text.splitlines()[0] == "demo"
+    assert "compiler.type_tests" in text
+    assert "0.250000" in text
+    assert "n=1 sum=2 min=2 max=2" in text
+
+
+def test_collect_compile_stats_prefixes_with_compiler():
+    r = MetricsRegistry()
+    collect_compile_stats(r, {"type_tests": 4, "inlined_sends": 9})
+    assert r.get("compiler.type_tests") == 4
+    assert r.get("compiler.inlined_sends") == 9
+
+
+def test_collect_compile_stats_accumulates_across_calls():
+    r = MetricsRegistry()
+    collect_compile_stats(r, {"type_tests": 4})
+    collect_compile_stats(r, {"type_tests": 2})
+    assert r.get("compiler.type_tests") == 6

@@ -1,0 +1,209 @@
+"""End-to-end tracing: real programs through the compile+run pipeline.
+
+These are the subsystem's acceptance tests: trace totals must equal the
+compiler's own stats counters (they share one funnel), and tracing must
+be invisible to every modeled measurement.
+"""
+
+import re
+
+import pytest
+
+from repro.bench.base import SYSTEMS, get_benchmark
+from repro.obs.export import chrome_trace, validate_chrome_trace
+from repro.obs.metrics import registry_for_runtime
+from repro.obs.narrate import narrate
+from repro.obs.trace import CAT_ROBUSTNESS, Tracer
+from repro.robustness import faults
+from repro.robustness.faults import FaultPlan
+from repro.vm.runtime import Runtime
+from repro.world.bootstrap import World
+
+
+@pytest.fixture(autouse=True)
+def disarmed():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def traced_run(benchmark_name: str, system: str = "newself"):
+    benchmark = get_benchmark(benchmark_name)
+    world = World()
+    world.add_slots(benchmark.setup_source)
+    tracer = Tracer()
+    runtime = Runtime(world, SYSTEMS[system], tracer=tracer)
+    answer = runtime.run(benchmark.run_source)
+    assert benchmark.expected is None or answer == benchmark.expected
+    return runtime, tracer
+
+
+#: every stat counter that is mirrored through the bump() funnel
+FUNNELED_STATS = (
+    "inlined_sends",
+    "dynamic_sends",
+    "type_tests",
+    "type_tests_elided",
+    "constant_folds",
+    "overflow_checks_elided",
+    "bounds_checks_elided",
+    "loop_analysis_iterations",
+    "loop_versions",
+    "inlined_blocks",
+    "nlr_unsafe_materializations",
+)
+
+
+def test_richards_trace_totals_equal_compiler_stats():
+    # The acceptance check: on the paper's flagship benchmark, the sum
+    # of traced type-test / inlined-send events equals the compiler's
+    # own stats counters, for every funneled stat.
+    runtime, tracer = traced_run("richards")
+    stats = runtime.aggregate_compile_stats()
+    for key in FUNNELED_STATS:
+        assert tracer.total(key) == stats.get(key, 0), key
+    # and the trace is non-trivial: richards inlines a lot
+    assert tracer.total("inlined_sends") > 1000
+    assert tracer.total("type_tests") > 100
+
+
+@pytest.mark.parametrize("system", ["st80", "oldself90", "newself"])
+def test_trace_totals_equal_stats_across_systems(system):
+    runtime, tracer = traced_run("sumTo", system)
+    stats = runtime.aggregate_compile_stats()
+    for key in FUNNELED_STATS:
+        assert tracer.total(key) == stats.get(key, 0), (system, key)
+
+
+def test_tracing_does_not_change_modeled_measurements():
+    # Tracing enabled vs. disabled must be bit-identical on every
+    # modeled quantity — the zero-overhead guarantee.
+    benchmark = get_benchmark("sumTo")
+
+    def run(tracer):
+        world = World()
+        world.add_slots(benchmark.setup_source)
+        runtime = Runtime(world, SYSTEMS["newself"], tracer=tracer)
+        runtime.run(benchmark.run_source)
+        return (
+            runtime.cycles,
+            runtime.instructions,
+            runtime.code_bytes,
+            runtime.methods_compiled,
+            runtime.send_hits,
+            runtime.send_misses,
+            runtime.aggregate_compile_stats(),
+        )
+
+    assert run(None) == run(Tracer())
+
+
+def test_compile_spans_carry_the_pipeline_structure():
+    runtime, tracer = traced_run("sumTo")
+    compiles = tracer.spans_named("compile")
+    assert compiles, "no compile spans recorded"
+    for span in compiles:
+        assert span.attrs["config"] == "new SELF"
+        assert span.attrs["tier"] == "optimizing"
+        assert span.attrs["outcome"] == "ok"
+        assert span.attrs["code_bytes"] > 0
+        assert "selector" in span.attrs and "receiver" in span.attrs
+    # codegen nests inside its compile attempt
+    codegens = tracer.spans_named("codegen")
+    assert codegens
+    assert all(c.parent is not None and c.parent.name == "compile" for c in codegens)
+    assert all(c.attrs["nodes"] > 0 for c in codegens)
+
+
+def test_parse_span_is_recorded():
+    _, tracer = traced_run("sumTo")
+    (parse,) = tracer.spans_named("parse")
+    assert parse.attrs["chars"] > 0
+
+
+def test_dynamic_send_events_always_carry_a_reason():
+    _, tracer = traced_run("richards")
+    events = tracer.events_named("dynamic_sends")
+    assert events
+    for event in events:
+        assert event.attrs.get("reason"), event.attrs
+        assert event.attrs.get("selector")
+
+
+def test_loop_analysis_rounds_are_traced_in_order():
+    _, tracer = traced_run("sumTo")
+    rounds = tracer.events_named("loop_analysis_iterations")
+    assert rounds
+    per_loop: dict = {}
+    for event in rounds:
+        per_loop.setdefault(event.attrs["loop_id"], []).append(event.attrs["round"])
+    for loop_id, seen in per_loop.items():
+        assert seen == list(range(1, len(seen) + 1)), (loop_id, seen)
+
+
+def test_loop_split_event_names_the_specializing_variables():
+    _, tracer = traced_run("sumTo")
+    splits = tracer.events_named("loop-split")
+    assert splits, "sumTo's loop should split under new SELF"
+    for event in splits:
+        assert event.attrs["versions"] > 1
+        assert isinstance(event.attrs["split_vars"], str)
+
+
+def test_chrome_export_of_a_real_run_validates():
+    _, tracer = traced_run("sumTo")
+    assert validate_chrome_trace(chrome_trace(tracer)) == []
+
+
+def test_tier_degradation_emits_a_robustness_event():
+    world = World()
+    world.add_slots(get_benchmark("sumTo").setup_source)
+    tracer = Tracer()
+    runtime = Runtime(world, SYSTEMS["newself"], tracer=tracer)
+    faults.install([FaultPlan(site="compiler.engine", mode="raise", nth=1)])
+    runtime.run(get_benchmark("sumTo").run_source)
+    assert len(runtime.recovery) >= 1
+    degrades = tracer.events_named("tier-degrade")
+    assert len(degrades) == len(runtime.recovery)
+    for event in degrades:
+        assert event.category == CAT_ROBUSTNESS
+        assert event.attrs["from_tier"] == "optimizing"
+        assert event.attrs["to_tier"] == "pessimistic"
+        assert "InjectedFault" in event.attrs["error"]
+    # the failed ladder attempt's span records the degradation outcome
+    outcomes = [s.attrs.get("outcome") for s in tracer.spans_named("compile")]
+    assert "degraded to pessimistic" in outcomes
+
+
+def test_narrative_explains_the_compile_decisions():
+    _, tracer = traced_run("sumTo")
+    text = narrate(tracer)
+    assert "compiled '<doit>' for lobby" in text
+    assert "new SELF" in text
+    assert "inlined" in text and "dynamic" in text
+    assert re.search(r"loop L\d+: analysis round 1", text)
+    assert "split into" in text
+    assert "type tests emitted" in text
+
+
+def test_narrative_bounds_its_length():
+    _, tracer = traced_run("richards")
+    full = narrate(tracer)
+    bounded = narrate(tracer, max_compiles=2)
+    assert len(bounded) < len(full)
+    assert "more compiles" in bounded
+
+
+def test_metrics_registry_matches_runtime_counters():
+    runtime, tracer = traced_run("sumTo")
+    registry = registry_for_runtime(runtime)
+    assert registry.get("vm.cycles") == runtime.cycles
+    assert registry.get("vm.instructions") == runtime.instructions
+    assert registry.get("vm.code_bytes") == runtime.code_bytes
+    assert registry.get("ic.hits") == runtime.send_hits
+    stats = runtime.aggregate_compile_stats()
+    assert registry.get("compiler.type_tests") == stats.get("type_tests", 0)
+    assert registry.get("tiers.degradations") == 0
+    # the dispatch namespace reflects the predecoded code actually built
+    assert registry.get("dispatch.compiled_bodies") == runtime.methods_compiled
+    assert registry.get("dispatch.threaded_slots") > 0

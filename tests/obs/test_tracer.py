@@ -1,0 +1,181 @@
+"""Unit tests for the tracer core: spans, events, ordering, null path."""
+
+import pytest
+
+from repro.obs.trace import (
+    CAT_COMPILE,
+    CAT_ROBUSTNESS,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+)
+
+
+def fake_clock(step=10.0):
+    """A deterministic microsecond clock advancing by ``step`` per read."""
+    state = {"now": 0.0}
+
+    def clock():
+        state["now"] += step
+        return state["now"]
+
+    return clock
+
+
+def test_span_nesting_builds_a_tree():
+    tracer = Tracer(clock=fake_clock())
+    with tracer.span("compile", selector="run"):
+        with tracer.span("analysis"):
+            pass
+        with tracer.span("codegen"):
+            pass
+    assert len(tracer.roots) == 1
+    root = tracer.roots[0]
+    assert root.name == "compile"
+    assert [c.name for c in root.children] == ["analysis", "codegen"]
+    assert all(c.parent is root for c in root.children)
+
+
+def test_walk_reports_depth_first_with_depths():
+    tracer = Tracer(clock=fake_clock())
+    with tracer.span("a"):
+        with tracer.span("b"):
+            with tracer.span("c"):
+                pass
+    with tracer.span("d"):
+        pass
+    assert [(s.name, d) for s, d in tracer.walk()] == [
+        ("a", 0), ("b", 1), ("c", 2), ("d", 0),
+    ]
+
+
+def test_events_attach_to_the_innermost_open_span():
+    tracer = Tracer(clock=fake_clock())
+    with tracer.span("outer"):
+        tracer.event("on-outer")
+        with tracer.span("inner"):
+            tracer.event("on-inner")
+    outer = tracer.roots[0]
+    assert [e.name for e in outer.events] == ["on-outer"]
+    assert [e.name for e in outer.children[0].events] == ["on-inner"]
+
+
+def test_events_outside_any_span_are_orphans():
+    tracer = Tracer(clock=fake_clock())
+    tracer.event("loose", n=3)
+    assert [e.name for e in tracer.orphan_events] == ["loose"]
+    assert tracer.total("loose") == 3
+
+
+def test_seq_numbers_are_unique_and_follow_recording_order():
+    tracer = Tracer(clock=fake_clock())
+    with tracer.span("a"):        # seq 1
+        tracer.event("e1")        # seq 2
+        with tracer.span("b"):    # seq 3
+            tracer.event("e2")    # seq 4
+    seqs = [s.seq for s, _ in tracer.walk()] + [e.seq for e in tracer.all_events()]
+    assert sorted(seqs) == [1, 2, 3, 4]
+    assert [e.seq for e in tracer.all_events()] == [2, 4]
+
+
+def test_total_sums_the_n_attribute_defaulting_to_one():
+    tracer = Tracer(clock=fake_clock())
+    tracer.event("type_tests")          # implicit n=1
+    tracer.event("type_tests", n=2)
+    tracer.event("other", n=99)
+    assert tracer.total("type_tests") == 3
+    assert tracer.total("other") == 99
+    assert tracer.total("absent") == 0
+
+
+def test_total_can_sum_a_different_attribute():
+    tracer = Tracer(clock=fake_clock())
+    tracer.event("loop_versions", n=2, loop_id=1)
+    tracer.event("loop_versions", n=3, loop_id=2)
+    assert tracer.total("loop_versions") == 5
+    assert tracer.total("loop_versions", attr="loop_id") == 3
+
+
+def test_events_named_and_spans_named():
+    tracer = Tracer(clock=fake_clock())
+    with tracer.span("compile", selector="a"):
+        tracer.event("merge", arity=2)
+    with tracer.span("compile", selector="b"):
+        pass
+    assert [s.attrs["selector"] for s in tracer.spans_named("compile")] == ["a", "b"]
+    assert len(tracer.events_named("merge")) == 1
+    assert tracer.events_named("nope") == []
+
+
+def test_handle_set_updates_attrs_while_open():
+    tracer = Tracer(clock=fake_clock())
+    with tracer.span("compile", tier="optimizing") as handle:
+        handle.set(outcome="ok", code_bytes=128)
+    span = tracer.roots[0]
+    assert span.attrs["outcome"] == "ok"
+    assert span.attrs["code_bytes"] == 128
+    assert span.attrs["tier"] == "optimizing"
+
+
+def test_exception_closes_the_span_and_records_the_error():
+    tracer = Tracer(clock=fake_clock())
+    with pytest.raises(ValueError):
+        with tracer.span("compile"):
+            raise ValueError("boom")
+    span = tracer.roots[0]
+    assert span.attrs["error"] == "ValueError"
+    assert tracer._stack == []
+    assert span.dur_us > 0
+
+
+def test_exception_unwinding_closes_orphaned_children():
+    # An exception that escapes past an inner handle must not leave the
+    # inner span on the stack when the outer handle closes.
+    tracer = Tracer(clock=fake_clock())
+    with pytest.raises(RuntimeError):
+        with tracer.span("outer"):
+            inner = tracer.span("inner")  # never exited explicitly
+            assert inner is not None
+            raise RuntimeError
+    assert tracer._stack == []
+    with tracer.span("next"):
+        pass
+    assert [s.name for s in tracer.roots] == ["outer", "next"]
+
+
+def test_durations_come_from_the_injected_clock():
+    tracer = Tracer(clock=fake_clock(step=7.0))
+    with tracer.span("a"):
+        pass
+    # open reads the clock once, close once more: dur == one step
+    assert tracer.roots[0].dur_us == pytest.approx(7.0)
+
+
+def test_categories_default_and_override():
+    tracer = Tracer(clock=fake_clock())
+    with tracer.span("compile"):
+        tracer.event("tier-degrade", category=CAT_ROBUSTNESS)
+    assert tracer.roots[0].category == CAT_COMPILE
+    assert tracer.roots[0].events[0].category == CAT_ROBUSTNESS
+
+
+# -- the disabled path ------------------------------------------------------
+
+
+def test_null_tracer_is_disabled_and_inert():
+    assert NULL_TRACER.enabled is False
+    assert isinstance(NULL_TRACER, NullTracer)
+    with NULL_TRACER.span("compile", selector="x") as handle:
+        handle.set(outcome="ok")
+    assert NULL_TRACER.event("anything", n=5) is None
+
+
+def test_null_tracer_handle_is_shared_and_stateless():
+    a = NULL_TRACER.span("a")
+    b = NULL_TRACER.span("b")
+    assert a is b
+    assert a.set(x=1) is a
+
+
+def test_enabled_tracer_reports_enabled():
+    assert Tracer().enabled is True

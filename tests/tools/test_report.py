@@ -1,0 +1,73 @@
+"""The per-method report and its metrics-registry backing."""
+
+import pytest
+
+from repro.compiler import NEW_SELF, ST80
+from repro.tools.report import compile_for_report, method_report, registry_for_graph
+from repro.world import World
+
+TRIANGLE = """|
+  triangleNumber: n = ( | sum <- 0. i <- 1 |
+    [ i < n ] whileTrue: [ sum: sum + i. i: i + 1 ].
+    sum ).
+|"""
+
+
+@pytest.fixture(scope="module")
+def world():
+    world = World()
+    world.add_slots(TRIANGLE)
+    return world
+
+
+def test_registry_for_graph_mirrors_the_graph_stats(world):
+    graph = compile_for_report(world, "triangleNumber:", NEW_SELF)
+    registry = registry_for_graph(graph)
+    assert registry.get("graph.nodes.total") == graph.stats.total
+    for kind, count in graph.stats.counts.items():
+        assert registry.get(f"graph.nodes.{kind}") == count
+    for key, value in graph.compile_stats.items():
+        assert registry.get(f"compiler.{key}") == value
+
+
+def test_method_report_renders_all_configs(world):
+    text = method_report(world, "triangleNumber:")
+    assert text.splitlines()[0] == "method report: 'triangleNumber:'"
+    for name in ("ST-80", "old SELF-90", "new SELF", "optimized C"):
+        assert name in text
+    assert "total nodes" in text
+    assert "loop analysis" in text
+    # new SELF splits the loop, so a versions section must appear
+    assert "new SELF loop versions:" in text
+    assert "common-case" in text
+
+
+def test_method_report_numbers_come_from_the_registry(world):
+    graph = compile_for_report(world, "triangleNumber:", NEW_SELF)
+    registry = registry_for_graph(graph)
+    text = method_report(world, "triangleNumber:", configs=(NEW_SELF,))
+    nodes_row = next(l for l in text.splitlines() if "total nodes" in l)
+    assert str(registry.get("graph.nodes.total")) in nodes_row
+    loops_row = next(l for l in text.splitlines() if "loop analysis" in l)
+    assert f"{registry.get('compiler.loop_analysis_iterations')}x" in loops_row
+
+
+def test_method_report_distinguishes_configs(world):
+    # ST-80 does no iterative type analysis; new SELF does — the report
+    # must show different effort columns.
+    st80 = registry_for_graph(compile_for_report(world, "triangleNumber:", ST80))
+    new = registry_for_graph(compile_for_report(world, "triangleNumber:", NEW_SELF))
+    assert (st80.get("compiler.loop_analysis_iterations") or 0) == 0
+    assert new.get("compiler.loop_analysis_iterations") > 0
+
+
+def test_method_report_rejects_unknown_selector(world):
+    with pytest.raises(KeyError):
+        method_report(world, "noSuchMethod:")
+
+
+def test_method_report_rejects_non_method_slot():
+    world = World()
+    world.add_slots("| dataSlot = 42. |")
+    with pytest.raises(TypeError):
+        method_report(world, "dataSlot")

@@ -1,0 +1,71 @@
+"""End-to-end tests for ``python -m repro.tools.trace``."""
+
+import json
+
+import pytest
+
+from repro.obs.export import JSONL_RECORD_SCHEMA, check_schema, validate_chrome_trace
+from repro.tools.trace import main
+
+
+def test_benchmark_trace_end_to_end(tmp_path, capsys):
+    chrome = tmp_path / "trace.json"
+    jsonl = tmp_path / "trace.jsonl"
+    code = main([
+        "sumTo", "--chrome", str(chrome), "--jsonl", str(jsonl), "--check",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "sumTo under newself: answer = 50005000" in out
+    assert "trace narrative" in out
+    assert "metrics (sumTo / newself)" in out
+    assert "compiler.inlined_sends" in out
+    assert "trace schema check: OK" in out
+
+    assert validate_chrome_trace(json.loads(chrome.read_text())) == []
+    records = [json.loads(line) for line in jsonl.read_text().splitlines()]
+    assert records
+    for record in records:
+        assert check_schema(record, JSONL_RECORD_SCHEMA) == []
+
+
+def test_source_file_trace_with_run_expression(tmp_path, capsys):
+    source = tmp_path / "tri.self"
+    source.write_text(
+        "|\n"
+        "  triangle: n = ( | sum <- 0. i <- 1 |\n"
+        "    [ i < n ] whileTrue: [ sum: sum + i. i: i + 1 ].\n"
+        "    sum ).\n"
+        "|\n"
+    )
+    code = main([str(source), "--run", "triangle: 101", "--chrome", ""])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "tri.self under newself: answer = 5050" in out
+    assert "trace narrative" in out
+
+
+def test_source_file_without_run_expression_is_an_error(tmp_path):
+    source = tmp_path / "empty.self"
+    source.write_text("| x = 1. |\n")
+    with pytest.raises(SystemExit, match="pass --run"):
+        main([str(source), "--chrome", ""])
+
+
+def test_unknown_program_lists_the_benchmarks(tmp_path):
+    with pytest.raises(SystemExit, match="richards"):
+        main(["noSuchBenchmark", "--chrome", ""])
+
+
+def test_system_flag_selects_the_configuration(capsys):
+    assert main(["sumTo", "--system", "st80", "--chrome", ""]) == 0
+    out = capsys.readouterr().out
+    assert "sumTo under st80" in out
+    assert "ST-80" in out  # the narrative names the config
+
+
+def test_chrome_output_defaults_can_be_disabled(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["sumTo", "--chrome", ""]) == 0
+    assert not (tmp_path / "trace.json").exists()
+    assert "wrote" not in capsys.readouterr().out
