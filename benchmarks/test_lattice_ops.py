@@ -1,0 +1,119 @@
+"""Microbenchmarks for the hot lattice operations.
+
+The compile path spends most of its type-analysis time in
+``make_union`` / ``make_merge`` / ``make_difference`` and interval
+arithmetic; these time them over representative populations (the type
+mixes iterative analysis actually builds: map types, small ranges,
+constants, two-to-four-way unions) so a lattice regression shows up
+without running whole-program compiles.
+"""
+
+import pytest
+
+from repro.types.lattice import (
+    MapType,
+    clear_caches,
+    make_difference,
+    make_int_range,
+    make_merge,
+    make_union,
+)
+from repro.types import intervals
+from repro.world import World
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World()
+
+
+@pytest.fixture(scope="module")
+def population(world):
+    """A representative mix of lattice values (as analysis produces)."""
+    u = world.universe
+    maps = [
+        MapType(u.smallint_map),
+        MapType(u.float_map),
+        MapType(u.string_map),
+        MapType(u.vector_map),
+        MapType(u.true_map),
+        MapType(u.false_map),
+        MapType(u.nil_map),
+        MapType(u.map_of(world.lobby)),
+    ]
+    ranges = [
+        make_int_range(0, 0),
+        make_int_range(1, 1),
+        make_int_range(0, 999),
+        make_int_range(1, 1000),
+        make_int_range(-5, 5),
+    ]
+    unions = [
+        make_union([maps[0], maps[1]]),
+        make_union([maps[4], maps[5]]),
+        make_union([ranges[2], maps[1]]),
+        make_union([maps[0], maps[1], maps[2], maps[3]]),
+    ]
+    return maps + ranges + unions
+
+
+def test_union_throughput(benchmark, population):
+    def unite():
+        total = 0
+        for a in population:
+            for b in population:
+                total += id(make_union([a, b]))
+        return total
+
+    assert benchmark(unite)
+
+
+def test_merge_throughput(benchmark, population):
+    def merge_all():
+        total = 0
+        for a in population:
+            for b in population:
+                total += id(make_merge([a, b]))
+        return total
+
+    assert benchmark(merge_all)
+
+
+def test_difference_throughput(benchmark, population):
+    def diff_all():
+        total = 0
+        for a in population:
+            for b in population:
+                total += id(make_difference(a, b))
+        return total
+
+    assert benchmark(diff_all)
+
+
+def test_interval_arithmetic_throughput(benchmark):
+    ivals = [(0, 0), (1, 1000), (-64, 64), (0, 2**29)]
+
+    def arith():
+        total = 0
+        for a in ivals:
+            for b in ivals:
+                total += id(intervals.add(a, b))
+                total += id(intervals.mul(a, b))
+        return total
+
+    assert benchmark(arith)
+
+
+def test_union_cold_vs_interned(benchmark, population):
+    """Interning makes repeated identical unions nearly free; keep the
+    cold path honest too by clearing the tables each round."""
+
+    def cold():
+        clear_caches()
+        total = 0
+        for a in population:
+            for b in population:
+                total += id(make_union([a, b]))
+        return total
+
+    assert benchmark(cold)

@@ -1,0 +1,212 @@
+"""Compile-path throughput benchmark → ``BENCH_compile.json``.
+
+Measures what the compile-path overhaul bought, in the same spirit as
+``BENCH_results.json``: a small machine-readable artifact CI uploads so
+future PRs have a perf trajectory to regress against.
+
+Three measurements:
+
+* **direct** — raw ``compile_code`` throughput (graphs per second) on
+  the triangle-number workload, the same compile
+  ``benchmarks/test_compiler_throughput.py`` times.  This is the number
+  the interning/slotting work speeds up.
+* **cache cold / cache warm** — a full ``Runtime.run`` with
+  ``REPRO_CODE_CACHE`` pointed at a directory, twice.  The cold run
+  misses and stores; the warm run must hit with **zero** optimizing
+  recompiles (``--assert-warm`` turns that into an exit code for CI).
+
+Usage::
+
+    python -m repro.bench.compile_bench --json BENCH_compile.json
+    python -m repro.bench.compile_bench --assert-warm   # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from typing import Optional
+
+#: schema identifier written into BENCH_compile.json (bump on shape change)
+COMPILE_SCHEMA = "repro-bench-compile/1"
+
+TRIANGLE = (
+    "| sum <- 0. i <- 1. n <- 1000 | "
+    "[ i < n ] whileTrue: [ sum: sum + i. i: i + 1 ]. sum"
+)
+
+
+def measure_direct(config_name: str = "newself", repeats: int = 40) -> dict:
+    """Raw compile_code throughput (no runtime, no caches in the way)."""
+    from ..compiler.engine import compile_code
+    from ..lang.parser import parse_doit
+    from ..world.bootstrap import World
+    from .base import SYSTEMS
+
+    config = SYSTEMS[config_name]
+    world = World()
+    doit = parse_doit(TRIANGLE)
+    lobby_map = world.universe.map_of(world.lobby)
+    for _ in range(3):  # warm the intern tables and memos
+        compile_code(world.universe, config, doit, lobby_map, "<doit>")
+    start = time.perf_counter()
+    for _ in range(repeats):
+        compile_code(world.universe, config, doit, lobby_map, "<doit>")
+    elapsed = time.perf_counter() - start
+    return {
+        "config": config.name,
+        "repeats": repeats,
+        "seconds": elapsed,
+        "compiles_per_second": repeats / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def measure_cached_run(cache_dir: Optional[str], config_name: str = "newself") -> dict:
+    """One full Runtime.run with the code cache pointed at ``cache_dir``.
+
+    ``cache_dir=None`` runs with the cache disabled (the baseline mode).
+    """
+    from ..vm.runtime import Runtime
+    from ..world.bootstrap import World
+    from .base import SYSTEMS
+
+    previous = os.environ.get("REPRO_CODE_CACHE")
+    os.environ["REPRO_CODE_CACHE"] = cache_dir or ""
+    try:
+        world = World()
+        runtime = Runtime(world, SYSTEMS[config_name])
+        start = time.perf_counter()
+        result = runtime.run(TRIANGLE)
+        elapsed = time.perf_counter() - start
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_CODE_CACHE", None)
+        else:
+            os.environ["REPRO_CODE_CACHE"] = previous
+    assert result == 499500, f"triangle workload returned {result!r}"
+    return {
+        "config": config_name,
+        "seconds": elapsed,
+        "codecache": dict(runtime.code_cache.stats)
+        if runtime.code_cache is not None
+        else None,
+        "sharing": {"hits": runtime.share_hits, "stores": runtime.share_stores},
+        "methods_compiled": runtime.methods_compiled,
+    }
+
+
+def run_benchmark(
+    repeats: int = 40,
+    cache_dir: Optional[str] = None,
+    baseline_compiles_per_second: Optional[float] = None,
+) -> dict:
+    """All three measurements as one JSON-ready payload.
+
+    ``baseline_compiles_per_second`` is a previously recorded direct
+    throughput (e.g. the pre-overhaul seed); when given, the payload
+    records it plus the resulting speedup factor.
+    """
+    owned_tmp = None
+    if cache_dir is None:
+        owned_tmp = tempfile.TemporaryDirectory(prefix="repro-codecache-")
+        cache_dir = owned_tmp.name
+    try:
+        payload = {
+            "schema": COMPILE_SCHEMA,
+            "workload": "triangle",
+            "direct": measure_direct(repeats=repeats),
+            "cache_off": measure_cached_run(None),
+            "cache_cold": measure_cached_run(cache_dir),
+            "cache_warm": measure_cached_run(cache_dir),
+        }
+    finally:
+        if owned_tmp is not None:
+            owned_tmp.cleanup()
+    if baseline_compiles_per_second:
+        now = payload["direct"]["compiles_per_second"]
+        payload["baseline"] = {
+            "compiles_per_second": baseline_compiles_per_second,
+            "speedup": now / baseline_compiles_per_second,
+        }
+    return payload
+
+
+def warm_run_is_clean(payload: dict) -> bool:
+    """True when the warm run recompiled nothing at the optimizing tier."""
+    stats = payload["cache_warm"]["codecache"]
+    return (
+        stats is not None
+        and stats["misses"] == 0
+        and stats["stores"] == 0
+        and stats["uncacheable"] == 0
+        and stats["corrupt"] == 0
+        and stats["hits"] > 0
+    )
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.compile_bench",
+        description="Measure compile-path throughput and code-cache behavior.",
+    )
+    parser.add_argument(
+        "--json",
+        default="BENCH_compile.json",
+        help="output path (default: BENCH_compile.json; '' to disable)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=40, help="direct-compile repetitions"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="code-cache directory (default: a fresh temp dir)",
+    )
+    parser.add_argument(
+        "--assert-warm",
+        action="store_true",
+        help="exit 1 unless the warm-cache run performed zero recompiles",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=float,
+        default=None,
+        help="previously recorded compiles/s to compute a speedup against",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(
+        repeats=args.repeats,
+        cache_dir=args.cache_dir,
+        baseline_compiles_per_second=args.baseline,
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+
+    direct = payload["direct"]
+    warm = payload["cache_warm"]
+    print(
+        f"direct: {direct['compiles_per_second']:.1f} compiles/s "
+        f"({direct['repeats']} reps, config {direct['config']!r})"
+    )
+    if "baseline" in payload:
+        base = payload["baseline"]
+        print(
+            f"baseline: {base['compiles_per_second']:.1f} compiles/s "
+            f"-> {base['speedup']:.2f}x"
+        )
+    print(f"cache cold: {payload['cache_cold']['codecache']}")
+    print(f"cache warm: {warm['codecache']}")
+    if args.assert_warm and not warm_run_is_clean(payload):
+        print("FAIL: warm-cache run recompiled at the optimizing tier", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

@@ -1,0 +1,433 @@
+"""Persistent cross-run compiled-code cache.
+
+The third caching layer (after lattice interning and in-process code
+sharing): finished optimizing-tier method bodies are serialized to disk
+keyed by everything that determines the compile's output —
+
+* a structural fingerprint of the method AST (block ids excluded: they
+  are per-process parse counters),
+* a structural *shape signature* of the receiver map, recursing through
+  constant parents (so the reachable lookup world, including method
+  bodies found there, is part of the key),
+* the shape signatures of the well-known maps (small int, float,
+  string, vector, booleans, nil) — compile-time dispatch on predicted
+  receivers consults their corelib protocols,
+* the compiler configuration and cost-model name,
+* a cache format version.
+
+A warm cache therefore performs **zero optimizing recompiles** for
+unchanged sources/worlds, while any change to a method, a prototype
+shape, or the corelib changes the key and misses — there is no explicit
+invalidation protocol to get wrong.
+
+What is *not* cacheable (counted, silently compiled fresh): block
+bodies (their templates capture per-run environments), annotated
+compiles, bodies embedding arbitrary guest objects or block literals in
+their constant pools, and anything whose receiver world reaches a value
+the signature cannot describe structurally.
+
+Loads are corruption-safe by construction: any parse/shape/version
+problem counts as ``corrupt`` and falls back to a fresh compile.
+``REPRO_CODE_CACHE`` points at the cache directory; empty or ``0``
+disables the layer entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from hashlib import sha256
+from typing import Optional
+
+from ..ir.graph import GraphStats
+from ..lang.ast_nodes import (
+    BlockNode,
+    LiteralNode,
+    MethodNode,
+    ReturnNode,
+    SelfNode,
+    SendNode,
+)
+from ..objects.maps import Map
+from ..objects.model import BigInt, SelfMethod, SelfObject, SelfVector
+from ..vm.code import Code, InlineCacheSite
+
+#: bump when the on-disk format or anything feeding the key changes
+CACHE_VERSION = 1
+
+#: universe attributes whose maps compile-time dispatch may consult
+#: without the receiver map's parent chain reaching them
+WELL_KNOWN_ATTRS = (
+    "smallint_map",
+    "bigint_map",
+    "float_map",
+    "string_map",
+    "vector_map",
+    "nil_map",
+    "true_map",
+    "false_map",
+)
+
+
+class Uncacheable(Exception):
+    """This compile cannot be keyed or serialized structurally."""
+
+
+def cache_from_env() -> Optional["CodeCache"]:
+    """The process-wide cache configured by ``REPRO_CODE_CACHE``."""
+    path = os.environ.get("REPRO_CODE_CACHE", "")
+    if not path or path == "0":
+        return None
+    return CodeCache(path)
+
+
+# ---------------------------------------------------------------------------
+# Structural fingerprints (the key)
+# ---------------------------------------------------------------------------
+
+
+def ast_fingerprint(node) -> list:
+    """A structural, position- and block-id-free description of an AST."""
+    t = type(node)
+    if t is LiteralNode:
+        value = node.value
+        return ["lit", type(value).__name__, value]
+    if t is SelfNode:
+        return ["self"]
+    if t is SendNode:
+        return [
+            "send",
+            node.selector,
+            None if node.receiver is None else ast_fingerprint(node.receiver),
+            [ast_fingerprint(a) for a in node.arguments],
+        ]
+    if t is ReturnNode:
+        return ["ret", ast_fingerprint(node.expression)]
+    if t is BlockNode or t is MethodNode:
+        return [
+            "block" if t is BlockNode else "method",
+            list(node.argument_names),
+            list(node.local_names),
+            [
+                [name, None if init is None else ast_fingerprint(init)]
+                for name, init in sorted(node.local_inits.items())
+            ],
+            [ast_fingerprint(s) for s in node.statements],
+        ]
+    raise Uncacheable(f"unfingerprintable AST node {t.__name__}")
+
+
+def _value_signature(value, universe, seen: dict) -> list:
+    """Structural signature of a constant-slot value (key component)."""
+    if value is None:
+        return ["none"]
+    t = type(value)
+    if t is int:
+        return ["int", value]
+    if t is BigInt:
+        return ["big", str(value.value)]
+    if t is float:
+        return ["float", value]
+    if t is str:
+        return ["str", value]
+    if value is universe.nil_object:
+        return ["nil"]
+    if value is universe.true_object:
+        return ["true"]
+    if value is universe.false_object:
+        return ["false"]
+    if t is SelfMethod:
+        return ["method", ast_fingerprint(value.code)]
+    if t is SelfObject:
+        return ["obj", map_signature(universe.map_of(value), universe, seen)]
+    if t is SelfVector:
+        # Type analysis sees a vector constant as (map, length); element
+        # values never feed a compile-time decision.
+        return ["vector", value.size]
+    raise Uncacheable(f"unsignable constant {t.__name__}")
+
+
+def map_signature(map: Map, universe, seen: Optional[dict] = None) -> list:
+    """Structural shape signature of a map and its reachable lookup world.
+
+    Everything compile-time lookup could consult from this map is
+    described by structure, never by per-run identity: slot layout, and
+    — through constant parents and method-holding slots — the shapes and
+    method ASTs of the inherited world.
+    """
+    if seen is None:
+        seen = {}
+    token = seen.get(id(map))
+    if token is not None:
+        return ["cyc", token]
+    seen[id(map)] = len(seen)
+    sig: list = ["map", map.kind, map.data_size]
+    slots = []
+    for name in sorted(map.slots):
+        slot = map.slots[name]
+        entry: list = [name, slot.kind, slot.offset, slot.is_parent]
+        if slot.kind == "constant":
+            entry.append(_value_signature(slot.value, universe, seen))
+        slots.append(entry)
+    sig.append(slots)
+    return sig
+
+
+def compile_key(universe, config, model, code_node, receiver_map) -> str:
+    """The cache key for one (source, receiver shape, config) compile.
+
+    Raises :class:`Uncacheable` when any component resists structural
+    description.
+    """
+    from dataclasses import asdict
+
+    seen: dict = {}
+    payload = [
+        CACHE_VERSION,
+        sorted(asdict(config).items()),
+        getattr(model, "name", type(model).__name__),
+        ast_fingerprint(code_node),
+        map_signature(receiver_map, universe, seen),
+        [
+            [attr, map_signature(getattr(universe, attr), universe, seen)]
+            for attr in WELL_KNOWN_ATTRS
+        ],
+    ]
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Instruction/constant serialization
+# ---------------------------------------------------------------------------
+
+
+def _wk_attr_of(map: Map, universe) -> Optional[str]:
+    for attr in WELL_KNOWN_ATTRS:
+        if getattr(universe, attr, None) is map:
+            return attr
+    return None
+
+
+def _encode_operand(x, universe, receiver_map):
+    if x is None or type(x) is int or type(x) is str:
+        return x
+    if type(x) is tuple:  # register tuples (send/primcall argument lists)
+        return ["regs", list(x)]
+    if isinstance(x, Map):
+        attr = _wk_attr_of(x, universe)
+        if attr is not None:
+            return ["wk", attr]
+        if x is receiver_map:
+            return ["recv"]
+        raise Uncacheable(f"instruction references non-well-known map {x.name}")
+    selector = getattr(x, "selector", None)
+    if selector is not None and getattr(x, "fn", None) is not None:
+        return ["prim", selector]  # a registry primitive
+    raise Uncacheable(f"unserializable operand {type(x).__name__}")
+
+
+def _decode_operand(x, universe, receiver_map):
+    if not isinstance(x, list):
+        return x
+    tag = x[0]
+    if tag == "regs":
+        return tuple(x[1])
+    if tag == "wk":
+        return getattr(universe, x[1])
+    if tag == "recv":
+        return receiver_map
+    if tag == "prim":
+        from ..primitives.registry import lookup_primitive
+
+        primitive = lookup_primitive(x[1])
+        if primitive is None:
+            raise Uncacheable(f"unknown primitive {x[1]!r}")
+        return primitive
+    raise Uncacheable(f"bad operand tag {tag!r}")
+
+
+def _encode_const(value, universe):
+    t = type(value)
+    if t is int:
+        return ["i", value]
+    if t is BigInt:
+        return ["I", str(value.value)]
+    if t is float:
+        return ["f", value]
+    if t is str:
+        return ["s", value]
+    if value is universe.nil_object:
+        return ["nil"]
+    if value is universe.true_object:
+        return ["true"]
+    if value is universe.false_object:
+        return ["false"]
+    raise Uncacheable(f"unserializable constant {t.__name__}")
+
+
+def _decode_const(entry, universe):
+    tag = entry[0]
+    if tag == "i":
+        return entry[1]
+    if tag == "I":
+        return BigInt(int(entry[1]))
+    if tag == "f":
+        return entry[1]
+    if tag == "s":
+        return entry[1]
+    if tag == "nil":
+        return universe.nil_object
+    if tag == "true":
+        return universe.true_object
+    if tag == "false":
+        return universe.false_object
+    raise Uncacheable(f"bad constant tag {tag!r}")
+
+
+def serialize_code(code: Code, universe, receiver_map) -> dict:
+    """A JSON-safe description of a compiled method body."""
+    return {
+        "version": CACHE_VERSION,
+        "name": code.name,
+        "insns": [
+            [_encode_operand(x, universe, receiver_map) for x in insn]
+            for insn in code.insns
+        ],
+        "consts": [_encode_const(v, universe) for v in code.consts],
+        "reg_count": code.reg_count,
+        "self_reg": code.self_reg,
+        "arg_regs": list(code.arg_regs),
+        "env_keys": sorted(code.env_keys),
+        "ic_selectors": [site.selector for site in code.ic_sites],
+        "size_bytes": code.size_bytes,
+        "is_block": code.is_block,
+        "graph_counts": dict(code.graph_stats.counts)
+        if code.graph_stats is not None
+        else None,
+        "graph_loop_versions": {
+            str(k): v for k, v in code.graph_stats.loop_versions.items()
+        }
+        if code.graph_stats is not None
+        else None,
+        "compile_stats": dict(code.compile_stats),
+        "config_name": code.config_name,
+        "map_dependent": code.map_dependent,
+    }
+
+
+def deserialize_code(payload: dict, universe, receiver_map, model) -> Code:
+    """Rebuild a :class:`Code` (fresh IC sites, re-predecoded)."""
+    from ..vm.dispatch import predecode
+
+    if payload.get("version") != CACHE_VERSION:
+        raise Uncacheable("cache format version mismatch")
+    insns = [
+        tuple(_decode_operand(x, universe, receiver_map) for x in insn)
+        for insn in payload["insns"]
+    ]
+    consts = [_decode_const(entry, universe) for entry in payload["consts"]]
+    ic_sites = [InlineCacheSite(s) for s in payload["ic_selectors"]]
+    graph_stats = None
+    if payload["graph_counts"] is not None:
+        graph_stats = GraphStats.from_parts(
+            payload["graph_counts"], payload["graph_loop_versions"]
+        )
+    return Code(
+        name=payload["name"],
+        insns=insns,
+        consts=consts,
+        reg_count=payload["reg_count"],
+        self_reg=payload["self_reg"],
+        arg_regs=tuple(payload["arg_regs"]),
+        env_keys=frozenset(payload["env_keys"]),
+        ic_sites=ic_sites,
+        size_bytes=payload["size_bytes"],
+        is_block=payload["is_block"],
+        graph_stats=graph_stats,
+        compile_stats=payload["compile_stats"],
+        config_name=payload["config_name"],
+        threaded=predecode(insns, consts, ic_sites, model),
+        map_dependent=payload["map_dependent"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# The cache
+# ---------------------------------------------------------------------------
+
+
+class CodeCache:
+    """One on-disk cache directory of serialized compiles.
+
+    Load/store never raise: every failure mode degrades to "compile it
+    fresh" and increments the matching counter, which ``obs.metrics``
+    files as ``compiler.codecache.*``.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.stats = {
+            "hits": 0,
+            "misses": 0,
+            "stores": 0,
+            "uncacheable": 0,
+            "corrupt": 0,
+        }
+
+    def _file_for(self, key: str) -> str:
+        return os.path.join(self.path, f"{key}.json")
+
+    def load(
+        self, universe, config, model, code_node, receiver_map, selector: str
+    ) -> Optional[Code]:
+        try:
+            key = compile_key(universe, config, model, code_node, receiver_map)
+        except Uncacheable:
+            self.stats["uncacheable"] += 1
+            return None
+        try:
+            with open(self._file_for(key), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            self.stats["misses"] += 1
+            return None
+        except (OSError, ValueError):
+            self.stats["corrupt"] += 1
+            return None
+        try:
+            code = deserialize_code(payload, universe, receiver_map, model)
+        except (Uncacheable, KeyError, TypeError, IndexError, ValueError):
+            self.stats["corrupt"] += 1
+            return None
+        self.stats["hits"] += 1
+        return code
+
+    def store(self, universe, config, model, code_node, receiver_map, code: Code) -> None:
+        try:
+            key = compile_key(universe, config, model, code_node, receiver_map)
+            payload = serialize_code(code, universe, receiver_map)
+        except Uncacheable:
+            self.stats["uncacheable"] += 1
+            return
+        try:
+            os.makedirs(self.path, exist_ok=True)
+            # Atomic publish: a concurrent reader sees either nothing or
+            # a complete file, never a torn write.
+            fd, tmp_path = tempfile.mkstemp(
+                dir=self.path, prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, separators=(",", ":"))
+                os.replace(tmp_path, self._file_for(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return  # a read-only or full disk never breaks compilation
+        self.stats["stores"] += 1

@@ -66,6 +66,7 @@ from ..types.lattice import (
     as_map,
     contains,
     disjoint,
+    mentions_map,
     type_of_constant,
 )
 from ..types.ops import exclude_map, refine_to_map
@@ -195,6 +196,14 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
         #: dynamic send (set where the decision is made, consumed by
         #: emit_dynamic_send; never read when tracing is disabled)
         self._dyn_reason: Optional[str] = None
+        #: customization taint: set as soon as any compile-time decision
+        #: consults the receiver map (compile-time lookup on it, a type
+        #: that mentions it flowing into a send or a binding, static
+        #: argument annotations).  When it stays False the finished code
+        #: is receiver-map independent and the runtime may share it
+        #: across maps (see vm/runtime.py).  Annotated compiles are
+        #: map-dependent from the start: annotations key on the map.
+        self.map_dependent = annotations is not None
         self.stats = {
             "inlined_sends": 0,
             "dynamic_sends": 0,
@@ -275,8 +284,22 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
         front.node = node
         front.port = 0
 
+    def _taint_if_mentions(self, t: SelfType) -> None:
+        """Taint the compile when a consulted type mentions the receiver map."""
+        if not self.map_dependent and mentions_map(t, self.receiver_map):
+            self.map_dependent = True
+
     def emit_branch(self, front: Front, node: IRNode, uncommon_false: bool = True):
         """Append a two-way node; returns (true_front, false_front)."""
+        # Belt and braces for the sharing taint: a run-time test against
+        # the receiver map itself is map-dependent no matter how the map
+        # got there.
+        if (
+            not self.map_dependent
+            and node.__class__ is TypeTestNode
+            and node.map is self.receiver_map
+        ):
+            self.map_dependent = True
         self.count_node(node)
         front.node.set_successor(front.port, node)
         false_front = front.split(node, 1, uncommon=front.uncommon or uncommon_false)
@@ -402,6 +425,7 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
             dict(self.escaping),
             self.is_block,
             compile_stats=dict(self.stats),
+            map_dependent=self.map_dependent,
         )
 
     def _initial_self_type(self) -> SelfType:
@@ -615,6 +639,10 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
         self.emit(front, MoveNode(flat, value_var))
         if self.config.type_analysis:
             front.copy_binding(flat, value_var)
+            # `x: self` smuggles the receiver-map type into a named
+            # local; later decisions reading it must count as
+            # map-dependent even if no send ever consults it directly.
+            self._taint_if_mentions(front.types[flat])
         else:
             front.bind(flat, UNKNOWN)
             front.bind_closure(flat, front.get_closure(value_var))
@@ -682,6 +710,18 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
     ) -> list[Front]:
         if self.tracer.enabled:
             self._dyn_reason = None
+        if not self.map_dependent:
+            # Every compile-time decision about this send keys off the
+            # operand types; if none of them mention the receiver map,
+            # the decisions are identical for every receiver map.
+            rmap = self.receiver_map
+            if mentions_map(front.get_type(recv_var), rmap):
+                self.map_dependent = True
+            else:
+                for arg_var in arg_vars:
+                    if mentions_map(front.get_type(arg_var), rmap):
+                        self.map_dependent = True
+                        break
         if selector.startswith("_"):
             return self.expand_primitive(
                 front, selector, recv_var, arg_vars, scope, result_var
@@ -783,6 +823,7 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
         for f in fronts:
             self.emit(f, MoveNode(result_var, var))
             f.copy_binding(result_var, var)
+            self._taint_if_mentions(f.types[result_var])
             if var in f.materialized:
                 f.materialized = f.materialized | {result_var}
         return fronts
@@ -800,6 +841,10 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
         result_var: str,
     ) -> Optional[list[Front]]:
         """Compile-time lookup + slot dispatch (paper, section 3.2.2)."""
+        if receiver_map is self.receiver_map:
+            # Compile-time lookup in the customized map: the decision
+            # (which slot, which method body) is a property of the map.
+            self.map_dependent = True
         try:
             found = lookup_in_map(self.universe, receiver_map, selector)
         except AmbiguousLookup:
@@ -954,12 +999,14 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
             for f in fronts:
                 self.emit(f, MoveNode(result_var, var))
                 f.copy_binding(result_var, var)
+                self._taint_if_mentions(f.types[result_var])
                 if var in f.materialized:
                     f.materialized = f.materialized | {result_var}
                 joined.append(f)
             for f, sink_var in method_scope.return_sinks:
                 self.emit(f, MoveNode(result_var, sink_var))
                 f.copy_binding(result_var, sink_var)
+                self._taint_if_mentions(f.types[result_var])
                 if sink_var in f.materialized:
                     f.materialized = f.materialized | {result_var}
                 joined.append(f)

@@ -23,7 +23,15 @@ from typing import Optional
 import itertools
 
 from ..ir.nodes import IRNode, MergeNode
-from ..types.lattice import EMPTY, UNKNOWN, SelfType, as_map, is_boolean_constant
+from ..types.lattice import (
+    EMPTY,
+    INTERN_LIMIT,
+    UNKNOWN,
+    SelfType,
+    as_map,
+    is_boolean_constant,
+    register_memo_table,
+)
 from ..types.ops import merge_bindings
 from .scopes import BlockClosure
 
@@ -115,7 +123,10 @@ class Front:
     @property
     def dead(self) -> bool:
         """A front becomes dead when a binding is provably EMPTY."""
-        return any(t is EMPTY for t in self.types.values())
+        for t in self.types.values():
+            if t is EMPTY:
+                return True
+        return False
 
     def split(self, node: IRNode, port: int, uncommon: Optional[bool] = None) -> "Front":
         """A copy of this front hanging off another port."""
@@ -137,20 +148,14 @@ class Front:
         method's receiver usually sits in a temporary — dropping its
         binding would degrade all later self sends to dynamic).
         """
-        def droppable(v: str) -> bool:
-            return (
-                v.startswith("%")
-                and v != keep
-                and v != "%self"
-                and v not in protected
-            )
-
-        for var in [v for v in self.types if droppable(v)]:
-            del self.types[var]
-        for var in [v for v in self.closures if droppable(v)]:
-            del self.closures[var]
-        for var in [v for v in self.value_ids if droppable(v)]:
-            del self.value_ids[var]
+        for table in (self.types, self.closures, self.value_ids):
+            doomed = [
+                v
+                for v in table
+                if v[0] == "%" and v != keep and v != "%self" and v not in protected
+            ]
+            for var in doomed:
+                del table[var]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flag = " uncommon" if self.uncommon else ""
@@ -219,6 +224,12 @@ def merge_group(engine, fronts: list[Front]) -> Front:
     )
 
 
+#: (type, universe) -> its class-signature contribution.  Hot because
+#: regroup recomputes every front's signature at every join; with the
+#: lattice interned the same type objects recur constantly.
+_SIG_PART_MEMO = register_memo_table("class_signature_part", {})
+
+
 def class_signature(front: Front, universe) -> tuple:
     """The key extended splitting groups fronts by.
 
@@ -230,11 +241,19 @@ def class_signature(front: Front, universe) -> tuple:
     exists to preserve *class* information for inlining.
     """
     parts = []
+    memo = _SIG_PART_MEMO
     for var in sorted(front.types):
         t = front.types[var]
-        map_ = as_map(t, universe)
-        boolean = is_boolean_constant(t, universe)
-        parts.append((var, None if map_ is None else map_.map_id, boolean))
+        key = (t, universe)
+        part = memo.get(key)
+        if part is None:
+            map_ = as_map(t, universe)
+            boolean = is_boolean_constant(t, universe)
+            part = (None if map_ is None else map_.map_id, boolean)
+            if len(memo) >= INTERN_LIMIT:
+                memo.clear()
+            memo[key] = part
+        parts.append((var, part[0], part[1]))
     closure_parts = tuple(
         (var, closure.block.block_id, closure.scope.scope_id)
         for var, closure in sorted(front.closures.items())

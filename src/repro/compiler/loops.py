@@ -138,8 +138,16 @@ class LoopCompilationMixin:
             new_base = dict(base_types)
             for tail in unmatched:
                 for var in base_types:
+                    head_type = new_base[var]
+                    tail_type = tail.get_type(var)
+                    if head_type is not tail_type:
+                        # Widening decisions over receiver-map-mentioning
+                        # types are map-dependent (sharing taint); a
+                        # self-equal pair is isomorphic across maps.
+                        self._taint_if_mentions(head_type)
+                        self._taint_if_mentions(tail_type)
                     widened = widen_for_loop_head(
-                        new_base[var], tail.get_type(var), self.universe
+                        head_type, tail_type, self.universe
                     )
                     if widened != new_base[var]:
                         if self.tracer.enabled:

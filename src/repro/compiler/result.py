@@ -47,6 +47,9 @@ class CompiledGraph:
             the block's value; ``^`` becomes a non-local return).
         stats: node-count statistics (sends, type tests, ...).
         compile_stats: compiler effort counters (see MethodCompiler).
+        map_dependent: customization taint — False only when the compiler
+            proved no decision consulted the receiver map, so the code is
+            shareable across maps (defaults to True: unshareable).
     """
 
     __slots__ = (
@@ -60,6 +63,7 @@ class CompiledGraph:
         "is_block",
         "stats",
         "compile_stats",
+        "map_dependent",
     )
 
     def __init__(
@@ -73,6 +77,7 @@ class CompiledGraph:
         escaping: dict[str, str],
         is_block: bool,
         compile_stats: Optional[dict] = None,
+        map_dependent: bool = True,
     ) -> None:
         self.start = start
         self.selector = selector
@@ -84,6 +89,7 @@ class CompiledGraph:
         self.is_block = is_block
         self.stats = GraphStats(start)
         self.compile_stats = compile_stats or {}
+        self.map_dependent = map_dependent
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -58,6 +58,8 @@ class GraphStats:
     "the common-case loop version contains zero type tests").
     """
 
+    __slots__ = ("counts", "loop_versions")
+
     def __init__(self, start: IRNode) -> None:
         self.counts: Counter = Counter()
         self.loop_versions: Counter = Counter()
@@ -65,6 +67,16 @@ class GraphStats:
             self.counts[type(node).__name__] += 1
             if isinstance(node, LoopHeadNode):
                 self.loop_versions[node.loop_id] += 1
+
+    @classmethod
+    def from_parts(cls, counts: dict, loop_versions: dict) -> "GraphStats":
+        """Rebuild stats from serialized counters (on-disk code cache)."""
+        stats = cls.__new__(cls)
+        stats.counts = Counter(counts)
+        stats.loop_versions = Counter(
+            {int(k): v for k, v in loop_versions.items()}
+        )
+        return stats
 
     @property
     def sends(self) -> int:

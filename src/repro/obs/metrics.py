@@ -196,6 +196,12 @@ def collect_runtime(registry: MetricsRegistry, runtime) -> None:
     registry.counter("ic.misses").inc(runtime.send_misses)
     registry.counter("ic.megamorphic").inc(runtime.send_megamorphic)
     registry.counter("ic.pic_hits").inc(runtime.send_pic_hits)
+    registry.counter("compiler.sharing.hits").inc(runtime.share_hits)
+    registry.counter("compiler.sharing.stores").inc(runtime.share_stores)
+    code_cache = getattr(runtime, "code_cache", None)
+    if code_cache is not None:
+        for key, value in sorted(code_cache.stats.items()):
+            registry.counter(f"compiler.codecache.{key}").inc(value)
     collect_compile_stats(registry, runtime.aggregate_compile_stats())
     for key, value in sorted(runtime.aggregate_dispatch_stats().items()):
         registry.counter(f"dispatch.{key}").inc(value)

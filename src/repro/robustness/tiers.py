@@ -146,6 +146,26 @@ def compile_with_tiers(
         from ..obs.trace import NULL_TRACER
 
         tracer = NULL_TRACER
+    from . import faults
+
+    # The persistent cross-run cache fronts the whole ladder: a hit is a
+    # finished optimizing-tier body.  Blocks (per-run templates),
+    # annotated compiles, and fault-injection runs bypass the cache so
+    # modeled behavior is unchanged in every mode the goldens cover.
+    cache = getattr(runtime, "code_cache", None)
+    cacheable = (
+        cache is not None
+        and not is_block
+        and runtime.annotations is None
+        and not faults.ENABLED
+    )
+    if cacheable:
+        cached = cache.load(
+            runtime.universe, runtime.config, runtime.model,
+            code_node, receiver_map, selector,
+        )
+        if cached is not None:
+            return cached
     ladder = (
         (TIER_OPTIMIZING, runtime.config, TIER_PESSIMISTIC),
         (TIER_PESSIMISTIC, pessimistic_config(runtime.config), TIER_INTERPRETER),
@@ -170,6 +190,11 @@ def compile_with_tiers(
                 with tracer.span("codegen", nodes=graph.stats.total):
                     compiled = generate(graph, runtime.model)
                 compile_span.set(outcome="ok", code_bytes=compiled.size_bytes)
+                if cacheable and tier == TIER_OPTIMIZING:
+                    cache.store(
+                        runtime.universe, runtime.config, runtime.model,
+                        code_node, receiver_map, compiled,
+                    )
                 return compiled
             except SelfError:
                 raise  # a guest bug surfaces identically at every tier

@@ -22,6 +22,44 @@ Interval = tuple[int, int]
 FULL: Interval = (SMALLINT_MIN, SMALLINT_MAX)
 
 
+# -- memoization -------------------------------------------------------------
+
+#: Bound on each per-function memo table; a full table is cleared
+#: wholesale (every function here is pure, so a miss just recomputes).
+MEMO_LIMIT = 4096
+
+_MISSING = object()
+_MEMO_TABLES: list[dict] = []
+
+
+def clear_memos() -> None:
+    """Drop every interval-op memo table (memory/test hook)."""
+    for table in _MEMO_TABLES:
+        table.clear()
+
+
+def _memoized(fn):
+    """Bounded memoization for a pure function of hashable arguments."""
+    import functools
+
+    table: dict = {}
+    _MEMO_TABLES.append(table)
+
+    @functools.wraps(fn)
+    def wrapper(*args):
+        cached = table.get(args, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        result = fn(*args)
+        if len(table) >= MEMO_LIMIT:
+            table.clear()
+        table[args] = result
+        return result
+
+    wrapper.memo_table = table
+    return wrapper
+
+
 def make(lo: int, hi: int) -> Optional[Interval]:
     """An interval clamped to the small-int range; None when empty."""
     lo = max(lo, SMALLINT_MIN)
@@ -58,6 +96,7 @@ def overlaps(a: Interval, b: Interval) -> bool:
 # -- arithmetic -------------------------------------------------------------
 
 
+@_memoized
 def add(a: Interval, b: Interval) -> tuple[Interval, bool]:
     """Result interval of x + y and whether overflow is *impossible*.
 
@@ -72,6 +111,7 @@ def add(a: Interval, b: Interval) -> tuple[Interval, bool]:
     return clamped, safe
 
 
+@_memoized
 def sub(a: Interval, b: Interval) -> tuple[Interval, bool]:
     lo = a[0] - b[1]
     hi = a[1] - b[0]
@@ -80,6 +120,7 @@ def sub(a: Interval, b: Interval) -> tuple[Interval, bool]:
     return clamped, safe
 
 
+@_memoized
 def mul(a: Interval, b: Interval) -> tuple[Interval, bool]:
     products = (a[0] * b[0], a[0] * b[1], a[1] * b[0], a[1] * b[1])
     lo = min(products)
@@ -89,6 +130,7 @@ def mul(a: Interval, b: Interval) -> tuple[Interval, bool]:
     return clamped, safe
 
 
+@_memoized
 def floordiv(a: Interval, b: Interval) -> tuple[Interval, bool, bool]:
     """Result interval of x // y (floor division).
 
@@ -125,6 +167,7 @@ def _floordiv_host(x: int, y: int) -> int:
     return x // y
 
 
+@_memoized
 def floormod(a: Interval, b: Interval) -> tuple[Interval, bool, bool]:
     """Result interval of x % y (sign follows the divisor).
 
@@ -173,6 +216,7 @@ def compare_eq(a: Interval, b: Interval) -> Optional[bool]:
     return None
 
 
+@_memoized
 def refine_lt(a: Interval, b: Interval) -> tuple[Optional[Interval], Optional[Interval]]:
     """Refined (a, b) on the *true* branch of ``a < b``.
 
@@ -185,6 +229,7 @@ def refine_lt(a: Interval, b: Interval) -> tuple[Optional[Interval], Optional[In
     return new_a, new_b
 
 
+@_memoized
 def refine_ge(a: Interval, b: Interval) -> tuple[Optional[Interval], Optional[Interval]]:
     """Refined (a, b) on the *false* branch of ``a < b`` (i.e. a >= b)."""
     new_a = make(max(a[0], b[0]), a[1])
@@ -192,18 +237,21 @@ def refine_ge(a: Interval, b: Interval) -> tuple[Optional[Interval], Optional[In
     return new_a, new_b
 
 
+@_memoized
 def refine_le(a: Interval, b: Interval) -> tuple[Optional[Interval], Optional[Interval]]:
     new_a = make(a[0], min(a[1], b[1]))
     new_b = make(max(b[0], a[0]), b[1])
     return new_a, new_b
 
 
+@_memoized
 def refine_gt(a: Interval, b: Interval) -> tuple[Optional[Interval], Optional[Interval]]:
     new_a = make(max(a[0], b[0] + 1), a[1])
     new_b = make(b[0], min(b[1], a[1] - 1))
     return new_a, new_b
 
 
+@_memoized
 def refine_eq(a: Interval, b: Interval) -> tuple[Optional[Interval], Optional[Interval]]:
     both = intersect(a, b)
     return both, both

@@ -29,6 +29,15 @@ All types are immutable and hashable.  Soundness contract: every
 operation may *lose* precision but never *invent* it — ``contains`` only
 answers True when provable, refinements always denote supersets of the
 exact result set.
+
+Types are **hash-consed**: each concrete class interns its instances in
+a bounded table keyed by the same components its ``__eq__`` compares, so
+equal types constructed through the same table epoch are the *same*
+object and ``==`` degrades to ``is`` on the hot paths.  Equality stays
+structural (identity is only a fast path), so clearing a full table can
+never change an answer — it only costs re-allocations.  The tables hold
+strong references, which keeps every ``id(...)``-derived key valid for
+the lifetime of its entry.
 """
 
 from __future__ import annotations
@@ -38,6 +47,53 @@ from typing import Iterable, Optional, Sequence
 from ..objects.maps import Map
 from ..objects.model import BigInt, SelfBlock, SelfObject, SelfVector, fits_smallint
 from . import intervals
+
+
+# ---------------------------------------------------------------------------
+# Interning / memoization machinery
+# ---------------------------------------------------------------------------
+
+#: Bound on every intern and memo table in the type system.  A table
+#: that reaches the limit is cleared wholesale — correctness never
+#: depends on a hit.
+INTERN_LIMIT = 4096
+
+_MISSING = object()
+
+_INTERN_TABLES: dict[str, dict] = {}
+_MEMO_TABLES: dict[str, dict] = {}
+
+
+def _intern_table(name: str) -> dict:
+    table: dict = {}
+    _INTERN_TABLES[name] = table
+    return table
+
+
+def register_memo_table(name: str, table: dict) -> dict:
+    """Register a memo table so tests can clear and size-check it."""
+    _MEMO_TABLES[name] = table
+    return table
+
+
+def clear_caches() -> None:
+    """Drop every intern and memo table (type-system wide).
+
+    Purely a memory/test hook: subsequent queries recompute and repopulate.
+    """
+    for table in _INTERN_TABLES.values():
+        table.clear()
+    for table in _MEMO_TABLES.values():
+        table.clear()
+    intervals.clear_memos()
+
+
+def cache_sizes() -> dict[str, int]:
+    """Current entry counts of every intern/memo table (for tests)."""
+    sizes = {name: len(table) for name, table in _INTERN_TABLES.items()}
+    for name, table in _MEMO_TABLES.items():
+        sizes[f"memo:{name}"] = len(table)
+    return sizes
 
 
 class SelfType:
@@ -89,34 +145,60 @@ UNKNOWN = UnknownType()
 EMPTY = EmptyType()
 
 
+_MAP_TYPES = _intern_table("MapType")
+
+
 class MapType(SelfType):
     """All values sharing one map — the paper's *class type*."""
 
-    __slots__ = ("map",)
+    __slots__ = ("map", "_hash")
 
-    def __init__(self, map: Map) -> None:
+    def __new__(cls, map: Map) -> "MapType":
+        key = id(map)
+        cached = _MAP_TYPES.get(key)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
         self.map = map
+        self._hash = hash(("MapType", key))
+        if len(_MAP_TYPES) >= INTERN_LIMIT:
+            _MAP_TYPES.clear()
+        _MAP_TYPES[key] = self
+        return self
 
     def __eq__(self, other) -> bool:
-        return isinstance(other, MapType) and other.map is self.map
+        return self is other or (isinstance(other, MapType) and other.map is self.map)
 
     def __hash__(self) -> int:
-        return hash(("MapType", id(self.map)))
+        return self._hash
 
     def __repr__(self) -> str:
         return self.map.name
 
 
+_INT_RANGES = _intern_table("IntRangeType")
+
+
 class IntRangeType(SelfType):
     """A contiguous, non-full range of small integers (inclusive)."""
 
-    __slots__ = ("lo", "hi")
+    __slots__ = ("lo", "hi", "_hash")
 
-    def __init__(self, lo: int, hi: int) -> None:
+    def __new__(cls, lo: int, hi: int) -> "IntRangeType":
         if lo > hi:
             raise ValueError("empty integer range")
+        key = (lo, hi)
+        cached = _INT_RANGES.get(key)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
         self.lo = lo
         self.hi = hi
+        self._hash = hash(("IntRangeType", lo, hi))
+        if len(_INT_RANGES) >= INTERN_LIMIT:
+            _INT_RANGES.clear()
+        _INT_RANGES[key] = self
+        return self
 
     @property
     def interval(self) -> intervals.Interval:
@@ -131,15 +213,21 @@ class IntRangeType(SelfType):
         return self.lo
 
     def __eq__(self, other) -> bool:
-        return isinstance(other, IntRangeType) and (other.lo, other.hi) == (self.lo, self.hi)
+        return self is other or (
+            isinstance(other, IntRangeType)
+            and (other.lo, other.hi) == (self.lo, self.hi)
+        )
 
     def __hash__(self) -> int:
-        return hash(("IntRangeType", self.lo, self.hi))
+        return self._hash
 
     def __repr__(self) -> str:
         if self.lo == self.hi:
             return f"int={self.lo}"
         return f"int[{self.lo}..{self.hi}]"
+
+
+_VALUE_TYPES = _intern_table("ValueType")
 
 
 class ValueType(SelfType):
@@ -152,11 +240,26 @@ class ValueType(SelfType):
     :func:`type_of_constant`.
     """
 
-    __slots__ = ("value", "map")
+    __slots__ = ("value", "map", "_vkey", "_hash")
 
-    def __init__(self, value, map: Map) -> None:
+    def __new__(cls, value, map: Map) -> "ValueType":
+        if isinstance(value, (SelfObject, SelfVector, SelfBlock)):
+            vkey = ("id", id(value))
+        else:
+            vkey = ("val", type(value).__name__, value)
+        key = (vkey, id(map))
+        cached = _VALUE_TYPES.get(key)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
         self.value = value
         self.map = map
+        self._vkey = vkey
+        self._hash = hash(("ValueType",) + vkey)
+        if len(_VALUE_TYPES) >= INTERN_LIMIT:
+            _VALUE_TYPES.clear()
+        _VALUE_TYPES[key] = self
+        return self
 
     def is_constant(self) -> bool:
         return True
@@ -165,19 +268,21 @@ class ValueType(SelfType):
         return self.value
 
     def _key(self):
-        value = self.value
-        if isinstance(value, (SelfObject, SelfVector, SelfBlock)):
-            return ("id", id(value))
-        return ("val", type(value).__name__, value)
+        return self._vkey
 
     def __eq__(self, other) -> bool:
-        return isinstance(other, ValueType) and other._key() == self._key()
+        return self is other or (
+            isinstance(other, ValueType) and other._vkey == self._vkey
+        )
 
     def __hash__(self) -> int:
-        return hash(("ValueType",) + self._key())
+        return self._hash
 
     def __repr__(self) -> str:
         return f"val:{self.map.name}"
+
+
+_VECTOR_TYPES = _intern_table("VectorType")
 
 
 class VectorType(SelfType):
@@ -188,21 +293,31 @@ class VectorType(SelfType):
     atAllPut benchmarks where the vector is created with a constant size.
     """
 
-    __slots__ = ("map", "length")
+    __slots__ = ("map", "length", "_hash")
 
-    def __init__(self, map: Map, length: Optional[int] = None) -> None:
+    def __new__(cls, map: Map, length: Optional[int] = None) -> "VectorType":
+        key = (id(map), length)
+        cached = _VECTOR_TYPES.get(key)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
         self.map = map
         self.length = length
+        self._hash = hash(("VectorType", id(map), length))
+        if len(_VECTOR_TYPES) >= INTERN_LIMIT:
+            _VECTOR_TYPES.clear()
+        _VECTOR_TYPES[key] = self
+        return self
 
     def __eq__(self, other) -> bool:
-        return (
+        return self is other or (
             isinstance(other, VectorType)
             and other.map is self.map
             and other.length == self.length
         )
 
     def __hash__(self) -> int:
-        return hash(("VectorType", id(self.map), self.length))
+        return self._hash
 
     def __repr__(self) -> str:
         if self.length is None:
@@ -210,46 +325,76 @@ class VectorType(SelfType):
         return f"vector[{self.length}]"
 
 
+_UNION_TYPES = _intern_table("UnionType")
+
+
 class UnionType(SelfType):
     """Set union of several types (flattened, deduplicated, unordered)."""
 
-    __slots__ = ("members",)
+    __slots__ = ("members", "_hash")
 
-    def __init__(self, members: frozenset) -> None:
+    def __new__(cls, members: frozenset) -> "UnionType":
+        cached = _UNION_TYPES.get(members)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
         self.members = members
+        self._hash = hash(("UnionType", members))
+        if len(_UNION_TYPES) >= INTERN_LIMIT:
+            _UNION_TYPES.clear()
+        _UNION_TYPES[members] = self
+        return self
 
     def __eq__(self, other) -> bool:
-        return isinstance(other, UnionType) and other.members == self.members
+        return self is other or (
+            isinstance(other, UnionType) and other.members == self.members
+        )
 
     def __hash__(self) -> int:
-        return hash(("UnionType", self.members))
+        return self._hash
 
     def __repr__(self) -> str:
         inner = " | ".join(sorted(repr(m) for m in self.members))
         return f"({inner})"
 
 
+_DIFFERENCE_TYPES = _intern_table("DifferenceType")
+
+
 class DifferenceType(SelfType):
     """``base`` minus ``removed`` — the failure branch of a type test."""
 
-    __slots__ = ("base", "removed")
+    __slots__ = ("base", "removed", "_hash")
 
-    def __init__(self, base: SelfType, removed: SelfType) -> None:
+    def __new__(cls, base: SelfType, removed: SelfType) -> "DifferenceType":
+        key = (base, removed)
+        cached = _DIFFERENCE_TYPES.get(key)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
         self.base = base
         self.removed = removed
+        self._hash = hash(("DifferenceType", base, removed))
+        if len(_DIFFERENCE_TYPES) >= INTERN_LIMIT:
+            _DIFFERENCE_TYPES.clear()
+        _DIFFERENCE_TYPES[key] = self
+        return self
 
     def __eq__(self, other) -> bool:
-        return (
+        return self is other or (
             isinstance(other, DifferenceType)
             and other.base == self.base
             and other.removed == self.removed
         )
 
     def __hash__(self) -> int:
-        return hash(("DifferenceType", self.base, self.removed))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"({self.base!r} - {self.removed!r})"
+
+
+_MERGE_TYPES = _intern_table("MergeType")
 
 
 class MergeType(SelfType):
@@ -262,16 +407,28 @@ class MergeType(SelfType):
     branch.  Constituents are kept in arrival order, deduplicated.
     """
 
-    __slots__ = ("constituents",)
+    __slots__ = ("constituents", "_hash")
 
-    def __init__(self, constituents: tuple) -> None:
+    def __new__(cls, constituents: tuple) -> "MergeType":
+        cached = _MERGE_TYPES.get(constituents)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
         self.constituents = constituents
+        self._hash = hash(("MergeType", constituents))
+        if len(_MERGE_TYPES) >= INTERN_LIMIT:
+            _MERGE_TYPES.clear()
+        _MERGE_TYPES[constituents] = self
+        return self
 
     def __eq__(self, other) -> bool:
-        return isinstance(other, MergeType) and other.constituents == self.constituents
+        return self is other or (
+            isinstance(other, MergeType)
+            and other.constituents == self.constituents
+        )
 
     def __hash__(self) -> int:
-        return hash(("MergeType", self.constituents))
+        return self._hash
 
     def __repr__(self) -> str:
         inner = " ∨ ".join(repr(c) for c in self.constituents)
@@ -306,28 +463,44 @@ def type_of_constant(value, universe) -> SelfType:
     return ValueType(value, universe.map_of(value))
 
 
+_UNION_MEMO = register_memo_table("make_union", {})
+
+
 def make_union(members: Iterable[SelfType]) -> SelfType:
     """Set union with flattening and canonicalization."""
+    members = tuple(members)
+    cached = _UNION_MEMO.get(members, _MISSING)
+    if cached is not _MISSING:
+        return cached
     flat: set = set()
+    result = _MISSING
     for member in members:
         if member is EMPTY:
             continue
         if member is UNKNOWN:
-            return UNKNOWN
+            result = UNKNOWN
+            break
         if isinstance(member, (UnionType,)):
             flat.update(member.members)
         elif isinstance(member, MergeType):
             flat.update(member.constituents)
         else:
             flat.add(member)
-    if not flat:
-        return EMPTY
-    flat = _absorb(flat)
-    if len(flat) == 1:
-        return next(iter(flat))
-    if UNKNOWN in flat:
-        return UNKNOWN
-    return UnionType(frozenset(flat))
+    if result is _MISSING:
+        if not flat:
+            result = EMPTY
+        else:
+            flat = _absorb(flat)
+            if len(flat) == 1:
+                result = next(iter(flat))
+            elif UNKNOWN in flat:
+                result = UNKNOWN
+            else:
+                result = UnionType(frozenset(flat))
+    if len(_UNION_MEMO) >= INTERN_LIMIT:
+        _UNION_MEMO.clear()
+    _UNION_MEMO[members] = result
+    return result
 
 
 def _absorb(members: set) -> set:
@@ -348,8 +521,15 @@ def _absorb(members: set) -> set:
     return out
 
 
+_MERGE_MEMO = register_memo_table("make_merge", {})
+
+
 def make_merge(constituents: Sequence[SelfType]) -> SelfType:
     """A merge type from incoming branch types (paper, section 4)."""
+    constituents = tuple(constituents)
+    cached = _MERGE_MEMO.get(constituents, _MISSING)
+    if cached is not _MISSING:
+        return cached
     seen: list[SelfType] = []
     for constituent in constituents:
         if constituent is EMPTY:
@@ -361,14 +541,34 @@ def make_merge(constituents: Sequence[SelfType]) -> SelfType:
         elif constituent not in seen:
             seen.append(constituent)
     if not seen:
-        return EMPTY
-    if len(seen) == 1:
-        return seen[0]
-    return MergeType(tuple(seen))
+        result = EMPTY
+    elif len(seen) == 1:
+        result = seen[0]
+    else:
+        result = MergeType(tuple(seen))
+    if len(_MERGE_MEMO) >= INTERN_LIMIT:
+        _MERGE_MEMO.clear()
+    _MERGE_MEMO[constituents] = result
+    return result
+
+
+_DIFFERENCE_MEMO = register_memo_table("make_difference", {})
 
 
 def make_difference(base: SelfType, removed: SelfType) -> SelfType:
     """``base - removed`` with cheap canonicalizations."""
+    key = (base, removed)
+    cached = _DIFFERENCE_MEMO.get(key, _MISSING)
+    if cached is not _MISSING:
+        return cached
+    result = _make_difference(base, removed)
+    if len(_DIFFERENCE_MEMO) >= INTERN_LIMIT:
+        _DIFFERENCE_MEMO.clear()
+    _DIFFERENCE_MEMO[key] = result
+    return result
+
+
+def _make_difference(base: SelfType, removed: SelfType) -> SelfType:
     if base is EMPTY or contains(removed, base):
         return EMPTY
     if disjoint(base, removed):
@@ -398,45 +598,74 @@ def make_difference(base: SelfType, removed: SelfType) -> SelfType:
 # ---------------------------------------------------------------------------
 
 
+_AS_MAP_MEMO = register_memo_table("as_map", {})
+
+
 def as_map(t: SelfType, universe) -> Optional[Map]:
     """The single map all values of ``t`` share, if provable.
 
     This is the key query for message inlining: a non-None answer means
     compile-time lookup is possible (paper, section 3.2.2).
     """
-    if isinstance(t, MapType):
+    tt = t.__class__
+    if tt is MapType or tt is ValueType or tt is VectorType:
         return t.map
-    if isinstance(t, IntRangeType):
+    if tt is IntRangeType:
         return universe.smallint_map
-    if isinstance(t, (ValueType, VectorType)):
-        return t.map
-    if isinstance(t, (UnionType, MergeType)):
-        members = t.members if isinstance(t, UnionType) else t.constituents
-        maps = {as_map(m, universe) for m in members}
-        if len(maps) == 1 and None not in maps:
-            return maps.pop()
-        return None
-    if isinstance(t, DifferenceType):
+    if tt is UnionType or tt is MergeType:
+        key = (t, universe)
+        cached = _AS_MAP_MEMO.get(key, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        members = t.members if tt is UnionType else t.constituents
+        result: Optional[Map] = None
+        for member in members:
+            inner = as_map(member, universe)
+            if inner is None:
+                result = None
+                break
+            if result is None:
+                result = inner
+            elif inner is not result:
+                result = None
+                break
+        if len(_AS_MAP_MEMO) >= INTERN_LIMIT:
+            _AS_MAP_MEMO.clear()
+        _AS_MAP_MEMO[key] = result
+        return result
+    if tt is DifferenceType:
         return as_map(t.base, universe)
     return None
 
 
+_INT_INTERVAL_MEMO = register_memo_table("int_interval", {})
+
+
 def int_interval(t: SelfType, universe) -> Optional[intervals.Interval]:
     """The value interval if ``t`` is provably all small integers."""
-    if isinstance(t, IntRangeType):
-        return t.interval
-    if isinstance(t, MapType) and t.map is universe.smallint_map:
-        return intervals.FULL
-    if isinstance(t, (UnionType, MergeType)):
-        members = t.members if isinstance(t, UnionType) else t.constituents
+    tt = t.__class__
+    if tt is IntRangeType:
+        return (t.lo, t.hi)
+    if tt is MapType:
+        return intervals.FULL if t.map is universe.smallint_map else None
+    if tt is UnionType or tt is MergeType:
+        key = (t, universe)
+        cached = _INT_INTERVAL_MEMO.get(key, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        members = t.members if tt is UnionType else t.constituents
         result: Optional[intervals.Interval] = None
         for member in members:
             inner = int_interval(member, universe)
             if inner is None:
-                return None
+                result = None
+                break
             result = inner if result is None else intervals.hull(result, inner)
+        if len(_INT_INTERVAL_MEMO) >= INTERN_LIMIT:
+            _INT_INTERVAL_MEMO.clear()
+        _INT_INTERVAL_MEMO[key] = result
         return result
-    if isinstance(t, DifferenceType):
+    if tt is DifferenceType:
         base = int_interval(t.base, universe)
         if base is None:
             return None
@@ -453,7 +682,7 @@ def int_interval(t: SelfType, universe) -> Optional[intervals.Interval]:
 
 def is_boolean_constant(t: SelfType, universe) -> Optional[bool]:
     """True/False if ``t`` is exactly the true/false singleton, else None."""
-    if isinstance(t, ValueType):
+    if t.__class__ is ValueType:
         if t.value is universe.true_object:
             return True
         if t.value is universe.false_object:
@@ -461,12 +690,27 @@ def is_boolean_constant(t: SelfType, universe) -> Optional[bool]:
     return None
 
 
+_CONTAINS_MEMO = register_memo_table("contains", {})
+
+
 def contains(a: SelfType, b: SelfType) -> bool:
     """Conservative superset test: True only when ``a ⊇ b`` is provable."""
-    if a is UNKNOWN or b is EMPTY:
+    if a is b or a is UNKNOWN or b is EMPTY:
         return True
     if a is EMPTY:
         return False
+    key = (a, b)
+    cached = _CONTAINS_MEMO.get(key)
+    if cached is not None:
+        return cached is True
+    result = _contains(a, b)
+    if len(_CONTAINS_MEMO) >= INTERN_LIMIT:
+        _CONTAINS_MEMO.clear()
+    _CONTAINS_MEMO[key] = result
+    return result
+
+
+def _contains(a: SelfType, b: SelfType) -> bool:
     if a == b:
         return True
     if isinstance(b, (UnionType, MergeType)):
@@ -516,12 +760,27 @@ def contains(a: SelfType, b: SelfType) -> bool:
     return False
 
 
+_DISJOINT_MEMO = register_memo_table("disjoint", {})
+
+
 def disjoint(a: SelfType, b: SelfType) -> bool:
     """Conservative emptiness of ``a ∩ b``: True only when provable."""
     if a is EMPTY or b is EMPTY:
         return True
     if a is UNKNOWN or b is UNKNOWN:
         return False
+    key = (a, b)
+    cached = _DISJOINT_MEMO.get(key)
+    if cached is not None:
+        return cached is True
+    result = _disjoint(a, b)
+    if len(_DISJOINT_MEMO) >= INTERN_LIMIT:
+        _DISJOINT_MEMO.clear()
+    _DISJOINT_MEMO[key] = result
+    return result
+
+
+def _disjoint(a: SelfType, b: SelfType) -> bool:
     if isinstance(a, (UnionType, MergeType)):
         members = a.members if isinstance(a, UnionType) else a.constituents
         return all(disjoint(member, b) for member in members)
@@ -555,6 +814,26 @@ def _own_map(t: SelfType) -> Optional[Map]:
     if isinstance(t, (MapType, ValueType, VectorType)):
         return t.map
     return None
+
+
+def mentions_map(t: SelfType, map: Map) -> bool:
+    """Whether ``t`` structurally references ``map``.
+
+    This is the query behind the compiler's customization taint flag: a
+    compile whose decisions only ever consumed types that do *not*
+    mention the receiver map is isomorphic across receiver maps, so its
+    code can be shared (see ``MethodCompiler.map_dependent``).
+    """
+    tt = t.__class__
+    if tt is MapType or tt is ValueType or tt is VectorType:
+        return t.map is map
+    if tt is UnionType:
+        return any(mentions_map(m, map) for m in t.members)
+    if tt is MergeType:
+        return any(mentions_map(c, map) for c in t.constituents)
+    if tt is DifferenceType:
+        return mentions_map(t.base, map) or mentions_map(t.removed, map)
+    return False
 
 
 def vector_length(t: SelfType) -> Optional[int]:

@@ -20,6 +20,7 @@ from ..objects.maps import Map
 from . import intervals
 from .lattice import (
     EMPTY,
+    INTERN_LIMIT,
     UNKNOWN,
     DifferenceType,
     IntRangeType,
@@ -34,7 +35,14 @@ from .lattice import (
     make_difference,
     make_merge,
     make_union,
+    register_memo_table,
 )
+
+_MISSING = object()
+
+#: ``refine_to_map`` only consults the tested map (identity and kind),
+#: never the universe, so ``(type, map)`` fully determines the result.
+_REFINE_MEMO = register_memo_table("refine_to_map", {})
 
 
 def refine_to_map(t: SelfType, map: Map, universe) -> SelfType:
@@ -45,6 +53,18 @@ def refine_to_map(t: SelfType, map: Map, universe) -> SelfType:
     ``int[0..5]`` (the unknown constituent contributes the full class).
     Returns EMPTY when the branch is unreachable.
     """
+    key = (t, map)
+    cached = _REFINE_MEMO.get(key, _MISSING)
+    if cached is not _MISSING:
+        return cached
+    result = _refine_to_map(t, map, universe)
+    if len(_REFINE_MEMO) >= INTERN_LIMIT:
+        _REFINE_MEMO.clear()
+    _REFINE_MEMO[key] = result
+    return result
+
+
+def _refine_to_map(t: SelfType, map: Map, universe) -> SelfType:
     map_type = MapType(map)
     if contains(map_type, t):
         return t
@@ -75,12 +95,31 @@ def exclude_map(t: SelfType, map: Map, universe) -> SelfType:
 def merge_bindings(incoming: list[SelfType]) -> SelfType:
     """Combine bindings at an ordinary merge node (paper, section 4)."""
     first = incoming[0]
-    if all(t == first for t in incoming[1:]):
-        return first
-    return make_merge(incoming)
+    for t in incoming[1:]:
+        if t is not first and t != first:
+            return make_merge(incoming)
+    return first
+
+
+#: Widening consults the universe (its small-int map, value singletons),
+#: so the memo key carries the universe — results never leak between
+#: isolated guest worlds built in one process.
+_WIDEN_MEMO = register_memo_table("widen_for_loop_head", {})
 
 
 def widen_for_loop_head(head: SelfType, tail: SelfType, universe) -> SelfType:
+    key = (head, tail, universe)
+    cached = _WIDEN_MEMO.get(key, _MISSING)
+    if cached is not _MISSING:
+        return cached
+    result = _widen_for_loop_head(head, tail, universe)
+    if len(_WIDEN_MEMO) >= INTERN_LIMIT:
+        _WIDEN_MEMO.clear()
+    _WIDEN_MEMO[key] = result
+    return result
+
+
+def _widen_for_loop_head(head: SelfType, tail: SelfType, universe) -> SelfType:
     """The loop-head generalization rule (paper, section 5.1).
 
     If the head and tail bindings are different value/subrange types
@@ -149,7 +188,22 @@ def _generalized(t: SelfType, universe) -> SelfType:
     return t
 
 
+_LOOP_COMPATIBLE_MEMO = register_memo_table("loop_compatible", {})
+
+
 def loop_compatible(head: SelfType, tail: SelfType, universe) -> bool:
+    key = (head, tail, universe)
+    cached = _LOOP_COMPATIBLE_MEMO.get(key)
+    if cached is not None:
+        return cached is True
+    result = _loop_compatible(head, tail, universe)
+    if len(_LOOP_COMPATIBLE_MEMO) >= INTERN_LIMIT:
+        _LOOP_COMPATIBLE_MEMO.clear()
+    _LOOP_COMPATIBLE_MEMO[key] = result
+    return result
+
+
+def _loop_compatible(head: SelfType, tail: SelfType, universe) -> bool:
     """The paper's loop head/tail compatibility predicate (section 5.2).
 
     The head binding must contain the tail binding *and* must not

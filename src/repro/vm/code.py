@@ -59,6 +59,7 @@ class Code:
         "graph_stats",
         "compile_stats",
         "config_name",
+        "map_dependent",
     )
 
     def __init__(
@@ -77,6 +78,7 @@ class Code:
         compile_stats=None,
         config_name: str = "",
         threaded=None,
+        map_dependent: bool = True,
     ) -> None:
         self.name = name
         self.insns = insns
@@ -95,6 +97,10 @@ class Code:
         self.graph_stats = graph_stats
         self.compile_stats = compile_stats or {}
         self.config_name = config_name
+        #: customization taint from the compiler: False only when no
+        #: compile-time decision consulted the receiver map, so this
+        #: body may be shared (cloned) across receiver maps.
+        self.map_dependent = map_dependent
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -140,6 +140,7 @@ class _Codegen:
             compile_stats=self.graph.compile_stats,
             config_name=self.graph.config_name,
             threaded=threaded,
+            map_dependent=self.graph.map_dependent,
         )
 
     def _layout_order(self) -> list[ir.IRNode]:

@@ -24,10 +24,12 @@ fusion is invisible to it by construction.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Optional, Sequence
 
 from ..compiler.annotations import StaticAnnotations
+from ..compiler.codecache import cache_from_env
 from ..compiler.config import CompilerConfig
 from ..interp.interpreter import _NonLocalReturn
 from ..lang.ast_nodes import MethodNode
@@ -56,13 +58,42 @@ from ..robustness.tiers import (
 )
 from ..world.bootstrap import World
 from ..world.lookup import lookup_slot
-from .code import Code
+from .code import Code, InlineCacheSite
 from .cost import PRIMITIVE_WORK_CYCLES, CostModel, model_for
-from .dispatch import NLR_SIGNAL
+from .dispatch import NLR_SIGNAL, predecode
 from .frame import Frame, NonLocalUnwind
 
 #: backwards-compatible aliases (Frame used to be defined here)
 _NonLocalUnwind = NonLocalUnwind
+
+
+def _clone_shared_code(code: Code, model: CostModel) -> Code:
+    """A per-map clone of a receiver-map-independent compiled body.
+
+    The instruction stream, constants, stats, and sizing are shared by
+    reference (all immutable after codegen); inline-cache sites carry
+    per-map runtime state and are rebuilt fresh, then the threaded
+    stream is re-predecoded against them.  The clone is a distinct Code
+    so per-map accounting (size, IC behavior) stays exact.
+    """
+    ic_sites = [InlineCacheSite(site.selector) for site in code.ic_sites]
+    return Code(
+        name=code.name,
+        insns=code.insns,
+        consts=code.consts,
+        reg_count=code.reg_count,
+        self_reg=code.self_reg,
+        arg_regs=code.arg_regs,
+        env_keys=code.env_keys,
+        ic_sites=ic_sites,
+        size_bytes=code.size_bytes,
+        is_block=code.is_block,
+        graph_stats=code.graph_stats,
+        compile_stats=code.compile_stats,
+        config_name=code.config_name,
+        threaded=predecode(code.insns, code.consts, ic_sites, model),
+        map_dependent=code.map_dependent,
+    )
 
 
 class Runtime:
@@ -91,8 +122,24 @@ class Runtime:
         #: node is stored to keep it alive: the key uses ``id()``, which
         #: the host may reuse once the node is collected.
         self._method_code: dict[tuple[int, int], tuple[object, Code]] = {}
-        #: (block id, receiver map id or 0) -> Code
-        self._block_code: dict[tuple[int, int], Code] = {}
+        #: (block id, receiver map id or 0) -> (code node, Code); the
+        #: node is pinned in the value for the same id-reuse reason
+        self._block_code: dict[tuple[int, int], tuple[object, Code]] = {}
+        #: method identity -> (AST node, canonical non-customized Code):
+        #: compiles whose taint flag proved independence from the
+        #: receiver map; other maps get a cheap clone instead of a
+        #: recompile (``REPRO_SHARE_CODE=0`` disables)
+        self._shared_method_code: dict[int, tuple[object, Code]] = {}
+        self._share_enabled = (
+            os.environ.get("REPRO_SHARE_CODE", "1") != "0" and config.customize
+        )
+        #: customization-aware sharing accounting (host-speed only; the
+        #: modeled measurements are identical with sharing on or off)
+        self.share_hits = 0
+        self.share_stores = 0
+        #: persistent cross-run code cache (None unless REPRO_CODE_CACHE
+        #: points somewhere); stats live on the cache object
+        self.code_cache = cache_from_env()
         #: block literal id -> BlockTemplate (captured at MAKE_BLOCK)
         self._block_templates: dict[int, object] = {}
         #: bound once: the dispatch handlers' map lookup
@@ -196,7 +243,7 @@ class Runtime:
             if id(code) not in seen:
                 seen.add(id(code))
                 yield code
-        for code in self._block_code.values():
+        for _, code in self._block_code.values():
             if id(code) not in seen:
                 seen.add(id(code))
                 yield code
@@ -242,13 +289,39 @@ class Runtime:
 
         Returns a :class:`Code`, or an :class:`InterpretedCode` marker
         when compilation degraded all the way to the interpreter tier.
+
+        Customization-aware sharing: a previous compile of this body
+        whose taint flag proved it never consulted its receiver map
+        is *cloned* for the new map (fresh inline caches, re-predecode)
+        instead of recompiled.  Every modeled number — size, cycles,
+        compile counters — is identical to a fresh compile by
+        construction, so sharing buys host seconds only.
         """
         key_map = receiver_map.map_id if self.config.customize else 0
         key = (id(code_node), key_map)
         cached = self._method_code.get(key)
         if cached is not None:
             return cached[1]
+        from ..robustness import faults
+
+        sharable_map = (
+            self._share_enabled
+            and receiver_map.kind == "object"
+            and not faults.ENABLED
+        )
+        if sharable_map:
+            entry = self._shared_method_code.get(id(code_node))
+            if entry is not None and entry[0] is code_node:
+                started = time.perf_counter()
+                compiled = _clone_shared_code(entry[1], self.model)
+                self.compile_seconds += time.perf_counter() - started
+                self._method_code[key] = (code_node, compiled)
+                self.code_bytes += compiled.size_bytes
+                self.methods_compiled += 1
+                self.share_hits += 1
+                return compiled
         started = time.perf_counter()
+        recovery_before = len(self.recovery.events)
         compiled = compile_with_tiers(
             self, code_node, receiver_map, selector=selector
         )
@@ -257,6 +330,15 @@ class Runtime:
         if isinstance(compiled, Code):
             self.code_bytes += compiled.size_bytes
             self.methods_compiled += 1
+            if (
+                sharable_map
+                and not compiled.map_dependent
+                and len(self.recovery.events) == recovery_before
+            ):
+                # Untainted, compiled at the intended tier (no recovery
+                # events fired): canonical copy for every later map.
+                self._shared_method_code[id(code_node)] = (code_node, compiled)
+                self.share_stores += 1
         return compiled
 
     def _compile_block(self, block: SelfBlock, receiver_map):
@@ -264,7 +346,7 @@ class Runtime:
         key = (block.code.block_id, key_map)
         cached = self._block_code.get(key)
         if cached is not None:
-            return cached
+            return cached[1]
         template = self._block_templates.get(block.code.block_id)
         started = time.perf_counter()
         compiled = compile_with_tiers(
@@ -273,7 +355,7 @@ class Runtime:
             block_template=template,
         )
         self.compile_seconds += time.perf_counter() - started
-        self._block_code[key] = compiled
+        self._block_code[key] = (block.code, compiled)
         if isinstance(compiled, Code):
             self.code_bytes += compiled.size_bytes
             self.methods_compiled += 1

@@ -28,15 +28,20 @@ from .universe import Universe
 
 LookupResult = Optional[tuple[object, Slot]]
 
+#: sentinel distinguishing "never looked up" from a cached negative
+#: result, so the hot path costs one dict probe instead of two
+_MISS = object()
+
 
 def lookup_slot(universe: Universe, receiver, selector: str) -> LookupResult:
     """Find ``selector`` in ``receiver`` or its parents; None if absent."""
     receiver_map = universe.map_of(receiver)
+    cache = receiver_map._lookup_cache
     if receiver_map._cache_epoch != universe.lookup_epoch:
-        receiver_map._lookup_cache.clear()
+        cache.clear()
         receiver_map._cache_epoch = universe.lookup_epoch
-    cached = receiver_map._lookup_cache.get(selector)
-    if cached is not None or selector in receiver_map._lookup_cache:
+    cached = cache.get(selector, _MISS)
+    if cached is not _MISS:
         if cached is None:
             return None
         holder, slot = cached
@@ -48,13 +53,13 @@ def lookup_slot(universe: Universe, receiver, selector: str) -> LookupResult:
 
     result = _search(universe, receiver, selector)
     if result is None:
-        receiver_map._lookup_cache[selector] = None
+        cache[selector] = None
         return None
     holder, slot = result
     if holder is receiver:
-        receiver_map._lookup_cache[selector] = (_SELF_HOLDER, slot)
+        cache[selector] = (_SELF_HOLDER, slot)
     else:
-        receiver_map._lookup_cache[selector] = (holder, slot)
+        cache[selector] = (holder, slot)
     return holder, slot
 
 

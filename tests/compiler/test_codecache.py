@@ -1,0 +1,162 @@
+"""The persistent cross-run code cache: round trips, keys, corruption.
+
+The cache must be invisible to everything the goldens measure: a load
+produces a Code whose execution is bit-identical to a fresh compile's,
+a corrupt or stale file silently degrades to a fresh compile (counted),
+and anything the structural key cannot describe is refused rather than
+guessed at.
+"""
+
+import json
+
+from repro.compiler import NEW_SELF
+from repro.compiler.codecache import CodeCache, cache_from_env
+from repro.obs.metrics import registry_for_runtime
+from repro.vm import Runtime
+from repro.world import World
+
+TRIANGLE = (
+    "| sum <- 0. i <- 1. n <- 1000 | "
+    "[ i < n ] whileTrue: [ sum: sum + i. i: i + 1 ]. sum"
+)
+
+
+def run_triangle(monkeypatch, cache_dir):
+    monkeypatch.setenv("REPRO_CODE_CACHE", str(cache_dir) if cache_dir else "")
+    runtime = Runtime(World(), NEW_SELF)
+    result = runtime.run(TRIANGLE)
+    return result, runtime
+
+
+def test_cache_from_env_disabled(monkeypatch):
+    monkeypatch.delenv("REPRO_CODE_CACHE", raising=False)
+    assert cache_from_env() is None
+    monkeypatch.setenv("REPRO_CODE_CACHE", "")
+    assert cache_from_env() is None
+    monkeypatch.setenv("REPRO_CODE_CACHE", "0")
+    assert cache_from_env() is None
+    monkeypatch.setenv("REPRO_CODE_CACHE", "/tmp/somewhere")
+    cache = cache_from_env()
+    assert isinstance(cache, CodeCache)
+    assert cache.path == "/tmp/somewhere"
+
+
+def test_cold_then_warm_round_trip(monkeypatch, tmp_path):
+    result_cold, rt_cold = run_triangle(monkeypatch, tmp_path)
+    assert result_cold == 499500
+    assert rt_cold.code_cache.stats == {
+        "hits": 0, "misses": 1, "stores": 1, "uncacheable": 0, "corrupt": 0,
+    }
+    assert len(list(tmp_path.glob("*.json"))) == 1
+
+    result_warm, rt_warm = run_triangle(monkeypatch, tmp_path)
+    assert result_warm == 499500
+    assert rt_warm.code_cache.stats == {
+        "hits": 1, "misses": 0, "stores": 0, "uncacheable": 0, "corrupt": 0,
+    }
+
+
+def test_loaded_code_is_bit_identical(monkeypatch, tmp_path):
+    def measurements(cache_dir):
+        result, runtime = run_triangle(monkeypatch, cache_dir)
+        return (
+            result,
+            runtime.cycles,
+            runtime.instructions,
+            runtime.code_bytes,
+            runtime.methods_compiled,
+        )
+
+    baseline = measurements(None)
+    cold = measurements(tmp_path)
+    warm = measurements(tmp_path)
+    assert baseline == cold == warm
+
+
+def test_corrupt_file_degrades_to_fresh_compile(monkeypatch, tmp_path):
+    run_triangle(monkeypatch, tmp_path)
+    (entry,) = tmp_path.glob("*.json")
+    entry.write_text("{ this is not json", encoding="utf-8")
+
+    result, runtime = run_triangle(monkeypatch, tmp_path)
+    assert result == 499500
+    stats = runtime.code_cache.stats
+    assert stats["corrupt"] == 1
+    assert stats["hits"] == 0
+    assert stats["stores"] == 1  # the fresh compile repopulated the entry
+
+    # ...and the repopulated entry hits again.
+    _, rt_again = run_triangle(monkeypatch, tmp_path)
+    assert rt_again.code_cache.stats["hits"] == 1
+
+
+def test_truncated_payload_degrades_to_fresh_compile(monkeypatch, tmp_path):
+    run_triangle(monkeypatch, tmp_path)
+    (entry,) = tmp_path.glob("*.json")
+    payload = json.loads(entry.read_text(encoding="utf-8"))
+    del payload["consts"]  # valid JSON, invalid shape
+    entry.write_text(json.dumps(payload), encoding="utf-8")
+
+    result, runtime = run_triangle(monkeypatch, tmp_path)
+    assert result == 499500
+    assert runtime.code_cache.stats["corrupt"] == 1
+
+
+def test_version_mismatch_counts_as_corrupt(monkeypatch, tmp_path):
+    run_triangle(monkeypatch, tmp_path)
+    (entry,) = tmp_path.glob("*.json")
+    payload = json.loads(entry.read_text(encoding="utf-8"))
+    payload["version"] = -1
+    entry.write_text(json.dumps(payload), encoding="utf-8")
+
+    result, runtime = run_triangle(monkeypatch, tmp_path)
+    assert result == 499500
+    assert runtime.code_cache.stats["corrupt"] == 1
+
+
+def test_world_shape_change_changes_the_key(monkeypatch, tmp_path):
+    """No explicit invalidation: a different lookup world is a miss."""
+    monkeypatch.setenv("REPRO_CODE_CACHE", str(tmp_path))
+    world = World()
+    Runtime(world, NEW_SELF).run(TRIANGLE)
+
+    changed = World()
+    changed.add_slots("| triangleExtra = ( 42 ) |")
+    runtime = Runtime(changed, NEW_SELF)
+    assert runtime.run(TRIANGLE) == 499500
+    stats = runtime.code_cache.stats
+    assert stats["hits"] == 0
+    assert stats["misses"] == 1
+    assert len(list(tmp_path.glob("*.json"))) == 2
+
+
+def test_block_carrying_doit_is_uncacheable(monkeypatch, tmp_path):
+    """A body whose constants include a live block template is refused."""
+    monkeypatch.setenv("REPRO_CODE_CACHE", str(tmp_path))
+    runtime = Runtime(World(), NEW_SELF)
+    source = (
+        "| v | v: (vector copySize: 1). v at: 0 Put: [ 3 ]. (v at: 0) value"
+    )
+    assert runtime.run(source) == 3
+    stats = runtime.code_cache.stats
+    assert stats["uncacheable"] >= 1
+    assert stats["stores"] == 0
+    assert list(tmp_path.glob("*.json")) == []
+
+
+def test_codecache_counters_surface_in_metrics(monkeypatch, tmp_path):
+    _, runtime = run_triangle(monkeypatch, tmp_path)
+    registry = registry_for_runtime(runtime)
+    assert registry.get("compiler.codecache.misses") == 1
+    assert registry.get("compiler.codecache.stores") == 1
+    assert registry.get("compiler.codecache.hits") == 0
+    assert registry.get("compiler.sharing.stores") is not None
+
+
+def test_store_survives_unwritable_directory(monkeypatch, tmp_path):
+    blocked = tmp_path / "file-not-dir"
+    blocked.write_text("occupied", encoding="utf-8")
+    monkeypatch.setenv("REPRO_CODE_CACHE", str(blocked))
+    runtime = Runtime(World(), NEW_SELF)
+    assert runtime.run(TRIANGLE) == 499500  # store fails silently
+    assert runtime.code_cache.stats["hits"] == 0

@@ -1,0 +1,130 @@
+"""Interning and memo-table invariants for the hash-consed lattice.
+
+The compile path relies on two properties:
+
+* **hash-consing** — structurally equal lattice values are the *same
+  object*, so the hot-path ``==`` degrades to ``is`` and dict keys
+  hash once; and
+* **boundedness** — every intern/memo table is capped (cleared
+  wholesale at the limit), so adversarial compile workloads cannot grow
+  memory without bound, and correctness never depends on a hit.
+"""
+
+import pytest
+
+from repro.types import intervals
+from repro.types.lattice import (
+    INTERN_LIMIT,
+    MapType,
+    ValueType,
+    cache_sizes,
+    clear_caches,
+    make_difference,
+    make_int_range,
+    make_merge,
+    make_union,
+)
+from repro.world import World
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World()
+
+
+@pytest.fixture(autouse=True)
+def fresh_tables():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+# ---------------------------------------------------------------------------
+# Hash-consing: equal values are identical objects
+# ---------------------------------------------------------------------------
+
+
+def test_map_types_are_interned(world):
+    u = world.universe
+    assert MapType(u.smallint_map) is MapType(u.smallint_map)
+    assert MapType(u.smallint_map) is not MapType(u.float_map)
+
+
+def test_int_ranges_are_interned():
+    assert make_int_range(1, 10) is make_int_range(1, 10)
+    assert make_int_range(1, 10) is not make_int_range(1, 11)
+
+
+def test_value_types_are_interned(world):
+    u = world.universe
+    assert ValueType(1.5, u.float_map) is ValueType(1.5, u.float_map)
+    assert ValueType("a", u.string_map) is ValueType("a", u.string_map)
+
+
+def test_unions_are_interned_order_insensitively(world):
+    u = world.universe
+    a = MapType(u.smallint_map)
+    b = MapType(u.float_map)
+    c = MapType(u.string_map)
+    assert make_union([a, b, c]) is make_union([c, a, b])
+    assert make_union([a, b]) is make_union([b, a, b])
+
+
+def test_differences_and_merges_are_interned(world):
+    u = world.universe
+    a = make_union([MapType(u.smallint_map), MapType(u.float_map)])
+    b = MapType(u.float_map)
+    assert make_difference(a, b) is make_difference(a, b)
+    assert make_merge([a, b]) is make_merge([a, b])
+
+
+def test_interning_survives_a_clear(world):
+    """Clearing tables must only cost speed, never change equality."""
+    u = world.universe
+    before = make_union([MapType(u.smallint_map), MapType(u.float_map)])
+    clear_caches()
+    after = make_union([MapType(u.smallint_map), MapType(u.float_map)])
+    assert before == after  # distinct objects now, still equal values
+
+
+# ---------------------------------------------------------------------------
+# Boundedness under adversarial workloads
+# ---------------------------------------------------------------------------
+
+
+def test_intern_tables_stay_bounded_under_adversarial_ranges():
+    for lo in range(3 * INTERN_LIMIT):
+        make_int_range(lo, lo + 1)
+    for name, size in cache_sizes().items():
+        assert size <= INTERN_LIMIT, f"{name} grew past the cap: {size}"
+
+
+def test_union_memo_stays_bounded(world):
+    u = world.universe
+    smallint = MapType(u.smallint_map)
+    for lo in range(2 * INTERN_LIMIT):
+        make_union([smallint, make_int_range(lo, lo)])
+    for name, size in cache_sizes().items():
+        assert size <= INTERN_LIMIT, f"{name} grew past the cap: {size}"
+
+
+def test_interval_memos_stay_bounded():
+    for lo in range(3 * intervals.MEMO_LIMIT):
+        intervals.add((lo, lo + 1), (0, 1))
+    assert len(intervals.add.memo_table) <= intervals.MEMO_LIMIT
+
+
+def test_interval_memo_results_match_recomputation():
+    args = ((3, 40), (-7, 9))
+    memoized = intervals.add(*args)
+    intervals.clear_memos()
+    assert intervals.add(*args) == memoized
+
+
+def test_clear_caches_resets_every_table():
+    make_int_range(1, 2)
+    make_union([make_int_range(1, 2), make_int_range(4, 5)])
+    intervals.add((1, 2), (3, 4))
+    clear_caches()
+    assert all(size == 0 for size in cache_sizes().values())
+    assert len(intervals.add.memo_table) == 0

@@ -74,7 +74,7 @@ def test_iter_compiled_codes_yields_each_body_once():
     # even if one code ended up in both caches, it must not be counted
     # twice: simulate the sharing and re-aggregate
     (first, *_rest) = codes
-    runtime._block_code["shared-alias"] = first
+    runtime._block_code["shared-alias"] = (object(), first)
     assert len(list(runtime.iter_compiled_codes())) == len(codes)
 
 

@@ -1,0 +1,95 @@
+"""Customization-aware code sharing across receiver maps.
+
+Customized compilation keys compiled bodies on (method, receiver map).
+When the compiler's taint flag proves a compile never consulted the
+receiver map, the runtime shares one body across maps (cloned with
+fresh inline caches); a map-dependent compile must stay per-map.
+
+These tests pin both sides with one shared trait holding both kinds of
+method, plus the accounting (``share_stores``/``share_hits``) and the
+modeled-measurement invariance of the sharing fast path.
+"""
+
+import pytest
+
+from repro.compiler import NEW_SELF
+from repro.vm import Runtime
+from repro.world import World
+
+SHARED_TRAITS = """|
+sharedArith = (| parent* = traits clonable.
+  double: x = ( x + x ).
+  describe = ( kindTag ) |).
+pA = (| parent* = sharedArith. kindTag = ( 1 ) |).
+pB = (| parent* = sharedArith. kindTag = ( 2 ) |).
+|"""
+
+
+@pytest.fixture()
+def setup():
+    world = World()
+    world.add_slots(SHARED_TRAITS)
+    runtime = Runtime(world, NEW_SELF)
+    a = world.get_global("pA")
+    b = world.get_global("pB")
+    return world, runtime, a, b
+
+
+def test_map_independent_method_is_shared(setup):
+    _, runtime, a, b = setup
+    assert runtime.call(a, "double:", [5]) == 10
+    assert runtime.share_stores == 1  # first compile proved sharable
+    assert runtime.share_hits == 0
+    assert runtime.call(b, "double:", [7]) == 14
+    assert runtime.share_hits == 1  # second map reused the body
+
+
+def test_map_dependent_method_is_not_shared(setup):
+    _, runtime, a, b = setup
+    # `describe` sends to self, so its inlining depends on the receiver
+    # map — sharing it would return pA's constant from pB.
+    assert runtime.call(a, "describe") == 1
+    hits_before = runtime.share_hits
+    assert runtime.call(b, "describe") == 2
+    assert runtime.share_hits == hits_before
+
+
+def test_shared_bodies_have_private_inline_caches(setup):
+    _, runtime, a, b = setup
+    runtime.call(a, "double:", [5])
+    runtime.call(b, "double:", [7])
+    map_a = runtime.universe.map_of(a).map_id
+    map_b = runtime.universe.map_of(b).map_id
+    code_a = next(
+        c for ((_, map_id), (_, c)) in runtime._method_code.items()
+        if map_id == map_a and "double:" in c.name
+    )
+    code_b = next(
+        c for ((_, map_id), (_, c)) in runtime._method_code.items()
+        if map_id == map_b and "double:" in c.name
+    )
+    assert code_a is not code_b
+    assert code_a.insns is code_b.insns  # the body is shared...
+    for site_a, site_b in zip(code_a.ic_sites, code_b.ic_sites):
+        assert site_a is not site_b  # ...the caches are not
+
+
+def test_modeled_measurements_identical_with_sharing_off(monkeypatch):
+    def measure():
+        world = World()
+        world.add_slots(SHARED_TRAITS)
+        runtime = Runtime(world, NEW_SELF)
+        runtime.call(world.get_global("pA"), "double:", [5])
+        runtime.call(world.get_global("pB"), "double:", [7])
+        return (
+            runtime.cycles,
+            runtime.instructions,
+            runtime.code_bytes,
+            runtime.methods_compiled,
+        )
+
+    monkeypatch.setenv("REPRO_SHARE_CODE", "1")
+    with_sharing = measure()
+    monkeypatch.setenv("REPRO_SHARE_CODE", "0")
+    without_sharing = measure()
+    assert with_sharing == without_sharing
