@@ -54,9 +54,22 @@ def lookup_in_map(
     and lets the runtime raise).  Raises :class:`AmbiguousLookup` for
     genuinely ambiguous programs, like the runtime lookup does.
     """
+    # Dependency recording: the compiled decision assumes the layout of
+    # every map this search consults (a slot added to any of them could
+    # shadow or supply the result) and, for a constant-slot find, the
+    # slot's value (the compiler inlines methods and folds constants).
+    tracker = universe.deps.active
+
+    def _found(holder_obj, holder_map, slot: Slot) -> CompileTimeLookup:
+        if tracker is not None and slot.kind == "constant":
+            tracker.constant_slot(holder_map, slot.name)
+        return CompileTimeLookup(slot, holder_obj)
+
+    if tracker is not None:
+        tracker.map_shape(receiver_map)
     own = receiver_map.own_slot(selector)
     if own is not None:
-        return CompileTimeLookup(own, None)
+        return _found(None, receiver_map, own)
 
     visited: set[int] = {id(receiver_map)}
     frontier: list[object] = []
@@ -71,6 +84,8 @@ def lookup_in_map(
             if id(obj_map) in visited and obj_map.own_slot(selector) is None:
                 continue
             visited.add(id(obj_map))
+            if tracker is not None:
+                tracker.map_shape(obj_map)
             slot = obj_map.own_slot(selector)
             if slot is not None:
                 matches.append((obj, slot))
@@ -85,6 +100,6 @@ def lookup_in_map(
             if len(matches) > 1 and any(m[0] is not matches[0][0] for m in matches[1:]):
                 raise AmbiguousLookup(selector)
             holder, slot = matches[0]
-            return CompileTimeLookup(slot, holder)
+            return _found(holder, universe.map_of(holder), slot)
         frontier = next_frontier
     return None

@@ -54,7 +54,8 @@ from ..objects.model import BigInt, SelfMethod, SelfObject, SelfVector
 from ..vm.code import Code, InlineCacheSite
 
 #: bump when the on-disk format or anything feeding the key changes
-CACHE_VERSION = 1
+#: (2: sha256 integrity envelope around the payload)
+CACHE_VERSION = 2
 
 #: universe attributes whose maps compile-time dispatch may consult
 #: without the receiver map's parent chain reaching them
@@ -118,7 +119,7 @@ def ast_fingerprint(node) -> list:
     raise Uncacheable(f"unfingerprintable AST node {t.__name__}")
 
 
-def _value_signature(value, universe, seen: dict) -> list:
+def _value_signature(value, universe, seen: dict, deps: Optional[set] = None) -> list:
     """Structural signature of a constant-slot value (key component)."""
     if value is None:
         return ["none"]
@@ -140,7 +141,7 @@ def _value_signature(value, universe, seen: dict) -> list:
     if t is SelfMethod:
         return ["method", ast_fingerprint(value.code)]
     if t is SelfObject:
-        return ["obj", map_signature(universe.map_of(value), universe, seen)]
+        return ["obj", map_signature(universe.map_of(value), universe, seen, deps)]
     if t is SelfVector:
         # Type analysis sees a vector constant as (map, length); element
         # values never feed a compile-time decision.
@@ -148,13 +149,20 @@ def _value_signature(value, universe, seen: dict) -> list:
     raise Uncacheable(f"unsignable constant {t.__name__}")
 
 
-def map_signature(map: Map, universe, seen: Optional[dict] = None) -> list:
+def map_signature(
+    map: Map, universe, seen: Optional[dict] = None, deps: Optional[set] = None
+) -> list:
     """Structural shape signature of a map and its reachable lookup world.
 
     Everything compile-time lookup could consult from this map is
     described by structure, never by per-run identity: slot layout, and
     — through constant parents and method-holding slots — the shapes and
     method ASTs of the inherited world.
+
+    When ``deps`` is given, every visited map's shape key and every
+    visited constant slot's const key are collected into it — the
+    conservative dependency set of a cache *hit*, whose compile was
+    never observed consulting the world.
     """
     if seen is None:
         seen = {}
@@ -162,37 +170,46 @@ def map_signature(map: Map, universe, seen: Optional[dict] = None) -> list:
     if token is not None:
         return ["cyc", token]
     seen[id(map)] = len(seen)
+    if deps is not None:
+        deps.add(("shape", map.map_id))
     sig: list = ["map", map.kind, map.data_size]
     slots = []
     for name in sorted(map.slots):
         slot = map.slots[name]
         entry: list = [name, slot.kind, slot.offset, slot.is_parent]
         if slot.kind == "constant":
-            entry.append(_value_signature(slot.value, universe, seen))
+            if deps is not None:
+                deps.add(("const", map.map_id, name))
+            entry.append(_value_signature(slot.value, universe, seen, deps))
         slots.append(entry)
     sig.append(slots)
     return sig
 
 
-def compile_key(universe, config, model, code_node, receiver_map) -> str:
+def compile_key(
+    universe, config, model, code_node, receiver_map, deps: Optional[set] = None
+) -> str:
     """The cache key for one (source, receiver shape, config) compile.
 
     Raises :class:`Uncacheable` when any component resists structural
-    description.
+    description.  ``deps`` (optional) collects the structural
+    dependency keys of everything the key describes.
     """
     from dataclasses import asdict
 
     seen: dict = {}
+    wk_sigs = []
+    for attr in WELL_KNOWN_ATTRS:
+        if deps is not None:
+            deps.add(("wk", attr))
+        wk_sigs.append([attr, map_signature(getattr(universe, attr), universe, seen, deps)])
     payload = [
         CACHE_VERSION,
         sorted(asdict(config).items()),
         getattr(model, "name", type(model).__name__),
         ast_fingerprint(code_node),
-        map_signature(receiver_map, universe, seen),
-        [
-            [attr, map_signature(getattr(universe, attr), universe, seen)]
-            for attr in WELL_KNOWN_ATTRS
-        ],
+        map_signature(receiver_map, universe, seen, deps),
+        wk_sigs,
     ]
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return sha256(blob.encode("utf-8")).hexdigest()
@@ -361,19 +378,37 @@ def deserialize_code(payload: dict, universe, receiver_map, model) -> Code:
 class CodeCache:
     """One on-disk cache directory of serialized compiles.
 
-    Load/store never raise: every failure mode degrades to "compile it
-    fresh" and increments the matching counter, which ``obs.metrics``
-    files as ``compiler.codecache.*``.
+    Load/store never raise on I/O or format problems: every failure
+    mode degrades to "compile it fresh" and increments the matching
+    counter, which ``obs.metrics`` files as ``compiler.codecache.*``.
+    (Injected faults — :data:`~repro.robustness.faults.SITE_CODECACHE_LOAD`
+    / ``_STORE`` in raise mode — *do* propagate: the tier ladder is the
+    containment boundary and records the recovery event.)
+
+    Each entry is a sha256-sealed envelope ``{v, sha256, body}``; a
+    load whose recomputed digest disagrees is rejected and counted as
+    ``corrupt_rejected`` (a torn or tampered file, or a corrupt-mode
+    fault planted at the store site).  ``limit`` (default from
+    ``REPRO_CODE_CACHE_LIMIT``; 0 = unbounded) caps the entry count
+    with least-recently-used eviction — loads refresh an entry's mtime,
+    stores evict the stalest entries beyond the cap.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, limit: Optional[int] = None) -> None:
         self.path = path
+        if limit is None:
+            raw = os.environ.get("REPRO_CODE_CACHE_LIMIT", "")
+            limit = int(raw) if raw.strip() else 0
+        self.limit = max(0, limit)
         self.stats = {
             "hits": 0,
             "misses": 0,
             "stores": 0,
             "uncacheable": 0,
             "corrupt": 0,
+            "corrupt_rejected": 0,
+            "evictions": 0,
+            "invalidated": 0,
         }
 
     def _file_for(self, key: str) -> str:
@@ -382,35 +417,74 @@ class CodeCache:
     def load(
         self, universe, config, model, code_node, receiver_map, selector: str
     ) -> Optional[Code]:
+        from ..robustness import faults
+
+        deps: set = set()
         try:
-            key = compile_key(universe, config, model, code_node, receiver_map)
+            key = compile_key(
+                universe, config, model, code_node, receiver_map, deps=deps
+            )
         except Uncacheable:
             self.stats["uncacheable"] += 1
             return None
         try:
             with open(self._file_for(key), "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
+                raw = handle.read()
         except FileNotFoundError:
             self.stats["misses"] += 1
             return None
-        except (OSError, ValueError):
+        except OSError:
             self.stats["corrupt"] += 1
             return None
+        if faults.ENABLED and faults.hit(faults.SITE_CODECACHE_LOAD):
+            # Corrupt mode: the bytes went bad between disk and parser.
+            raw = raw[: len(raw) // 2]
         try:
+            envelope = json.loads(raw)
+            body = envelope["body"]
+            digest = envelope["sha256"]
+        except (ValueError, KeyError, TypeError):
+            self.stats["corrupt"] += 1
+            return None
+        if (
+            not isinstance(body, str)
+            or sha256(body.encode("utf-8")).hexdigest() != digest
+        ):
+            self.stats["corrupt_rejected"] += 1
+            return None
+        try:
+            payload = json.loads(body)
             code = deserialize_code(payload, universe, receiver_map, model)
         except (Uncacheable, KeyError, TypeError, IndexError, ValueError):
             self.stats["corrupt"] += 1
             return None
+        try:
+            os.utime(self._file_for(key))  # LRU recency
+        except OSError:
+            pass
         self.stats["hits"] += 1
+        # The hit skipped compilation, so its dependency set is derived
+        # from the structural walk the key itself performed.
+        code.dep_keys = frozenset(deps)
+        code.disk_key = key
         return code
 
     def store(self, universe, config, model, code_node, receiver_map, code: Code) -> None:
+        from ..robustness import faults
+
         try:
             key = compile_key(universe, config, model, code_node, receiver_map)
             payload = serialize_code(code, universe, receiver_map)
         except Uncacheable:
             self.stats["uncacheable"] += 1
             return
+        body = json.dumps(payload, separators=(",", ":"))
+        digest = sha256(body.encode("utf-8")).hexdigest()
+        if faults.ENABLED and faults.hit(faults.SITE_CODECACHE_STORE):
+            # Corrupt mode: a wild write lands in the payload after the
+            # digest was computed — a later load must reject the entry.
+            body = body[: max(0, len(body) - 7)] + "corrupt"
+        envelope = {"v": CACHE_VERSION, "sha256": digest, "body": body}
         try:
             os.makedirs(self.path, exist_ok=True)
             # Atomic publish: a concurrent reader sees either nothing or
@@ -420,7 +494,7 @@ class CodeCache:
             )
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(payload, handle, separators=(",", ":"))
+                    json.dump(envelope, handle, separators=(",", ":"))
                 os.replace(tmp_path, self._file_for(key))
             except BaseException:
                 try:
@@ -431,3 +505,37 @@ class CodeCache:
         except OSError:
             return  # a read-only or full disk never breaks compilation
         self.stats["stores"] += 1
+        code.disk_key = key
+        self._enforce_limit()
+
+    def evict(self, key: str) -> bool:
+        """Dependency-driven eviction: delete one entry by key."""
+        try:
+            os.unlink(self._file_for(key))
+        except OSError:
+            return False
+        self.stats["invalidated"] += 1
+        return True
+
+    def _enforce_limit(self) -> None:
+        """Drop least-recently-used entries beyond ``limit``."""
+        if self.limit <= 0:
+            return
+        try:
+            entries = [
+                (entry.stat().st_mtime, entry.path)
+                for entry in os.scandir(self.path)
+                if entry.name.endswith(".json") and not entry.name.startswith(".")
+            ]
+        except OSError:
+            return
+        excess = len(entries) - self.limit
+        if excess <= 0:
+            return
+        entries.sort()
+        for _, stale_path in entries[:excess]:
+            try:
+                os.unlink(stale_path)
+                self.stats["evictions"] += 1
+            except OSError:
+                pass

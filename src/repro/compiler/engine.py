@@ -1098,7 +1098,14 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
             return self._predict_boolean(
                 front, selector, recv_var, arg_vars, scope, result_var, receiver_type
             )
-        predicted = universe.smallint_map if kind == "int" else universe.vector_map
+        if kind == "int":
+            predicted, wk_attr = universe.smallint_map, "smallint_map"
+        else:
+            predicted, wk_attr = universe.vector_map, "vector_map"
+        tracker = universe.deps.active
+        if tracker is not None:
+            # The emitted test bakes in this well-known map's identity.
+            tracker.well_known(wk_attr, predicted)
         if disjoint(receiver_type, MapType(predicted)):
             return None
         if self.config.static_types:
@@ -1140,6 +1147,10 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
         universe = self.universe
         true_map = universe.true_map
         false_map = universe.false_map
+        tracker = universe.deps.active
+        if tracker is not None:
+            tracker.well_known("true_map", true_map)
+            tracker.well_known("false_map", false_map)
         if disjoint(receiver_type, MapType(true_map)) and disjoint(
             receiver_type, MapType(false_map)
         ):

@@ -164,11 +164,40 @@ class Map:
         return Map(name, slots, kind=kind)
 
     def with_added_slots(self, new_slots: Iterable[Slot], name: str = "") -> "Map":
-        """Return a fresh map extending this one (bootstrap-time only)."""
+        """Return a fresh map extending this one (same-name slots replace)."""
         merged: dict[str, Slot] = dict(self.slots)
         for slot in new_slots:
             merged[slot.name] = slot
         return Map(name or self.name, merged.values(), kind=self.kind)
+
+    def with_removed_slot(self, name: str) -> "Map":
+        """Return a fresh map without ``name``.
+
+        Removing a data slot removes its assignment twin (``name:``) as
+        well; remaining data offsets are kept as-is (holes are fine —
+        ``data_size`` stays the maximum used offset + 1, and clones keep
+        their storage vectors untouched).
+        """
+        if name not in self.slots:
+            raise KeyError(name)
+        removed = self.slots[name]
+        remaining = dict(self.slots)
+        del remaining[name]
+        if removed.kind == DATA:
+            remaining.pop(name + ":", None)
+        elif removed.kind == ASSIGNMENT:
+            remaining.pop(name[:-1], None)
+        return Map(self.name, remaining.values(), kind=self.kind)
+
+    def with_replaced_constant(self, name: str, value: object) -> "Map":
+        """Return a fresh map with constant slot ``name`` holding ``value``."""
+        existing = self.slots.get(name)
+        if existing is None or existing.kind != CONSTANT:
+            raise KeyError(f"no constant slot {name!r}")
+        replacement = Slot(name, CONSTANT, value=value, is_parent=existing.is_parent)
+        merged = dict(self.slots)
+        merged[name] = replacement
+        return Map(self.name, merged.values(), kind=self.kind)
 
     # -- queries -------------------------------------------------------------
 

@@ -12,7 +12,8 @@ host overhead.  The registry therefore plays two roles:
   produces the unified view: ``compiler.*`` effort/effect stats,
   ``vm.*`` execution measurements, ``ic.*`` inline-cache accounting,
   ``dispatch.*`` predecode/superinstruction counts, ``tiers.*``
-  degradations, and ``faults.*`` injection hits.
+  degradations, ``invalidation.*`` dependency/invalidation accounting,
+  and ``faults.*`` injection hits.
 
 Snapshots are plain dicts of primitives (JSON-ready); ``diff`` gives
 the delta between two snapshots, which is how a benchmark isolates the
@@ -207,7 +208,15 @@ def collect_runtime(registry: MetricsRegistry, runtime) -> None:
         registry.counter(f"dispatch.{key}").inc(value)
     for key, value in sorted(runtime.recovery.summary().items()):
         registry.counter(f"tiers.{key}").inc(value)
-    registry.counter("tiers.degradations").inc(len(runtime.recovery))
+    # The ring may have wrapped: `total` stays exact, `dropped` says how
+    # many events the per-edge summary above is missing.
+    registry.counter("tiers.degradations").inc(runtime.recovery.total)
+    registry.counter("tiers.dropped").inc(runtime.recovery.dropped)
+    for key, value in sorted(runtime.universe.deps.stats.items()):
+        registry.counter(f"invalidation.{key}").inc(value)
+    registry.gauge("invalidation.edges_live").set(
+        runtime.universe.deps.edge_count()
+    )
 
 
 def collect_graph(registry: MetricsRegistry, graph) -> None:

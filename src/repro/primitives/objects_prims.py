@@ -69,6 +69,76 @@ def _string_concat(universe, receiver, args):
     return receiver + args[0]
 
 
+# -- world mutation ---------------------------------------------------------
+#
+# These route through the universe's mutation API (world/universe.py),
+# so each one builds a new map, swaps it in, and fires dependency-
+# tracked invalidation.  They exist so guest programs — and the chaos
+# and mutation-stress suites — can mutate the world *mid-run*, while
+# optimized code compiled against the old world is still cached (and
+# possibly live on the frame stack).
+
+
+def _slot_name(universe, value) -> str:
+    if not isinstance(value, str):
+        raise PrimFailSignal(BAD_TYPE)
+    return value
+
+
+def _add_slot(universe, receiver, args):
+    if not isinstance(receiver, SelfObject):
+        raise PrimFailSignal(BAD_TYPE)
+    universe.add_slot(receiver, _slot_name(universe, args[0]), args[1])
+    return receiver
+
+
+def _add_data_slot(universe, receiver, args):
+    if not isinstance(receiver, SelfObject):
+        raise PrimFailSignal(BAD_TYPE)
+    universe.add_slot(
+        receiver, _slot_name(universe, args[0]), args[1], data=True
+    )
+    return receiver
+
+
+def _add_parent_slot(universe, receiver, args):
+    if not isinstance(receiver, SelfObject):
+        raise PrimFailSignal(BAD_TYPE)
+    universe.add_slot(
+        receiver, _slot_name(universe, args[0]), args[1], is_parent=True
+    )
+    return receiver
+
+
+def _remove_slot(universe, receiver, args):
+    if not isinstance(receiver, SelfObject):
+        raise PrimFailSignal(BAD_TYPE)
+    name = _slot_name(universe, args[0])
+    try:
+        universe.remove_slot(receiver, name)
+    except KeyError:
+        raise GuestError(f"no slot named {name!r} to remove")
+    return receiver
+
+
+def _set_slot(universe, receiver, args):
+    if not isinstance(receiver, SelfObject):
+        raise PrimFailSignal(BAD_TYPE)
+    name = _slot_name(universe, args[0])
+    try:
+        universe.set_constant_slot(receiver, name, args[1])
+    except KeyError:
+        raise GuestError(f"no constant slot named {name!r}")
+    return receiver
+
+
+def _reclassify(universe, receiver, args):
+    if not isinstance(receiver, SelfObject) or not isinstance(args[0], SelfObject):
+        raise PrimFailSignal(BAD_TYPE)
+    universe.reclassify(receiver, args[0])
+    return receiver
+
+
 def _register_all() -> None:
     register(Primitive("_Clone", _clone, arity=0, can_fail=False,
                        pure=False, result_kind="receiver"))
@@ -88,6 +158,19 @@ def _register_all() -> None:
                        pure=True, result_kind="smallInt"))
     register(Primitive("_StringConcat:", _string_concat, arity=1, can_fail=True,
                        pure=True, result_kind="string"))
+    # World mutation: impure, never constant-folded, invalidation-firing.
+    register(Primitive("_AddSlot:Value:", _add_slot, arity=2, can_fail=True,
+                       pure=False, result_kind="receiver"))
+    register(Primitive("_AddDataSlot:Value:", _add_data_slot, arity=2,
+                       can_fail=True, pure=False, result_kind="receiver"))
+    register(Primitive("_AddParentSlot:Value:", _add_parent_slot, arity=2,
+                       can_fail=True, pure=False, result_kind="receiver"))
+    register(Primitive("_RemoveSlot:", _remove_slot, arity=1, can_fail=True,
+                       pure=False, result_kind="receiver"))
+    register(Primitive("_SetSlot:Value:", _set_slot, arity=2, can_fail=True,
+                       pure=False, result_kind="receiver"))
+    register(Primitive("_Reclassify:", _reclassify, arity=1, can_fail=True,
+                       pure=False, result_kind="receiver"))
 
 
 _register_all()

@@ -51,6 +51,13 @@ SITE_COMPILER_LOOPS = "compiler.loops"
 SITE_VM_CODEGEN = "vm.codegen"
 SITE_VM_PREDECODE = "vm.predecode"
 SITE_BENCH_CACHE = "bench.cache"
+#: the PR 4 caching layers: persistent code cache (read/write seams)
+#: and the cross-map share-clone path.  Raise-mode fires degrade to a
+#: fresh compile (recorded in the recovery log); corrupt-mode fires are
+#: caught by the layers' own integrity checks.
+SITE_CODECACHE_LOAD = "compiler.codecache.load"
+SITE_CODECACHE_STORE = "compiler.codecache.store"
+SITE_VM_SHARING = "vm.sharing.clone"
 
 #: every site planted in the source tree (the chaos matrix iterates this)
 ALL_SITES = (
@@ -59,6 +66,9 @@ ALL_SITES = (
     SITE_VM_CODEGEN,
     SITE_VM_PREDECODE,
     SITE_BENCH_CACHE,
+    SITE_CODECACHE_LOAD,
+    SITE_CODECACHE_STORE,
+    SITE_VM_SHARING,
 )
 
 MODES = ("raise", "corrupt")

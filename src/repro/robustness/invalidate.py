@@ -1,0 +1,184 @@
+"""Invalidation: retire everything a world mutation falsified.
+
+:func:`fire` is the single entry point, called by the universe's
+mutation API (:meth:`~repro.world.universe.Universe.apply_map_change`)
+with the dependency keys the mutation broke.  The protocol, in order:
+
+1. **Collect** every registered target depending on any fired key.
+2. **Epoch bump** — ``universe.lookup_epoch`` invalidates every per-map
+   runtime lookup cache lazily (they compare epochs on next probe).
+3. **Inline-cache flush** — every IC site of every compiled body in
+   every registered runtime is cleared *in place*.  Predecoded threaded
+   streams reference their :class:`~repro.vm.code.InlineCacheSite`
+   objects directly, so the flush reaches code currently executing in
+   live frames without re-predecoding: the very next send through any
+   site re-resolves against the mutated world.  (Wholesale, not
+   per-edge: sound by construction, and mutations are rare events.)
+4. **Code retirement** — each dependent compiled body is marked
+   ``retired``, removed from its runtime's method/block/shared caches
+   (so no *new* activation uses it), and its persistent code-cache
+   entry, if any, is deleted from disk.
+5. **Deopt of in-flight frames** — a retired body may still be running.
+   Full mid-activation deoptimization (mapping a bytecode pc back to an
+   AST activation) is not attempted: the flushed ICs already make every
+   *dynamic* decision in those frames correct, and the frames are
+   allowed to complete.  Their statically inlined/folded remainder is
+   the documented soundness gap (docs/INTERNALS.md §11).  To keep the
+   window bounded, the runtime enters a **deopt storm**: until every
+   affected frame has returned, new compiles take the pessimistic tier
+   (no speculative inlining against the world that just changed) and
+   are marked provisional.
+6. **Transparent reoptimization** — at the runtime's next top-level
+   entry with no live frames, provisional bodies are dropped, ICs are
+   flushed once more, and the storm ends; subsequent sends recompile at
+   the optimizing tier against the settled world
+   (:meth:`Runtime._maybe_reoptimize`).
+
+Every step is host bookkeeping: with zero mutations :func:`fire` never
+runs and all modeled measurements are bit-identical to a build without
+this module.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..world.deps import CodeDependency, LookupCachesDependent
+from .recovery import TIER_OPTIMIZING, TIER_PESSIMISTIC
+
+
+def _flush_ics(runtime) -> int:
+    """Clear every inline-cache site the runtime could ever execute,
+    including sites of already-retired bodies still held by live frames."""
+    flushed = 0
+    for code in runtime.iter_compiled_codes():
+        for site in getattr(code, "ic_sites", ()):
+            site.entries.clear()
+            site.cached_map_id = -1
+            site.cached_action = None
+            flushed += 1
+    for code in runtime._retired_live:
+        for site in getattr(code, "ic_sites", ()):
+            site.entries.clear()
+            site.cached_map_id = -1
+            site.cached_action = None
+            flushed += 1
+    return flushed
+
+
+def _retire_code(runtime, target: CodeDependency, stats: dict) -> bool:
+    """Remove one dependent compiled body from every cache that serves it."""
+    code = target.code
+    code.retired = True
+    retired = False
+    if target.kind == "method":
+        entry = runtime._method_code.get(target.cache_key)
+        if entry is not None and entry[1] is code:
+            del runtime._method_code[target.cache_key]
+            stats["codes_retired"] += 1
+            retired = True
+    elif target.kind == "block":
+        entry = runtime._block_code.get(target.cache_key)
+        if entry is not None and entry[1] is code:
+            del runtime._block_code[target.cache_key]
+            stats["codes_retired"] += 1
+            retired = True
+    elif target.kind == "shared":
+        entry = runtime._shared_method_code.get(target.cache_key)
+        if entry is not None and entry[1] is code:
+            del runtime._shared_method_code[target.cache_key]
+            stats["share_canonical_dropped"] += 1
+            retired = True
+    if target.disk_key and runtime.code_cache is not None:
+        if runtime.code_cache.evict(target.disk_key):
+            stats["codecache_invalidated"] += 1
+    return retired
+
+
+def fire(universe, keys: Iterable[tuple], reason: str = "mutation") -> int:
+    """Invalidate everything depending on ``keys``; returns the number
+    of retired compiled bodies."""
+    registry = universe.deps
+    stats = registry.stats
+    stats["invalidations"] += 1
+    keyset = frozenset(keys)
+    targets = registry.targets_for(keyset)
+
+    # Per-map runtime lookup caches: lazily discarded on next probe.
+    universe.lookup_epoch += 1
+    stats["epoch_bumps"] += 1
+
+    runtimes = list(universe.runtimes)
+    for runtime in runtimes:
+        stats["ic_flushes"] += _flush_ics(runtime)
+
+    retired_before = stats["codes_retired"]
+    code_targets = [t for t in targets if isinstance(t, CodeDependency)]
+    retired_per_runtime: dict[int, int] = {}
+    for target in code_targets:
+        runtime = target.runtime_ref()
+        if runtime is not None and _retire_code(runtime, target, stats):
+            key = id(runtime)
+            retired_per_runtime[key] = retired_per_runtime.get(key, 0) + 1
+        registry.unregister(target)
+    for target in targets:
+        if isinstance(target, LookupCachesDependent):
+            registry.unregister(target)
+
+    # Frames still executing a retired body: let them finish (their
+    # dynamic decisions are correct through the flushed ICs) but force
+    # pessimistic compiles until they do, and remember the bodies so a
+    # *second* mutation can still reach their IC sites.
+    retired_codes = {id(t.code): t for t in code_targets}
+    for runtime in runtimes:
+        live = [
+            frame for frame in runtime.frames
+            if id(frame.code) in retired_codes
+        ]
+        if live:
+            stats["frames_deoptimized"] += len(live)
+            runtime._deopt_storm = True
+            for frame in live:
+                if frame.code not in runtime._retired_live:
+                    runtime._retired_live.append(frame.code)
+        n_retired = retired_per_runtime.get(id(runtime), 0)
+        if live or n_retired:
+            selector = (
+                retired_codes[id(live[0].code)].selector if live
+                else next(
+                    t.selector for t in code_targets
+                    if t.runtime_ref() is runtime
+                )
+            )
+            runtime.recovery.note(
+                stage="invalidate",
+                selector=selector,
+                from_tier=TIER_OPTIMIZING,
+                to_tier=TIER_PESSIMISTIC,
+                error_kind="WorldMutation",
+                detail=(
+                    f"{reason}: {n_retired} compiled body(ies) retired, "
+                    f"{len(live)} live frame(s)"
+                ),
+            )
+        if runtime.tracer.enabled:
+            from ..obs.trace import CAT_ROBUSTNESS
+
+            runtime.tracer.event(
+                "invalidate",
+                category=CAT_ROBUSTNESS,
+                reason=reason,
+                keys=len(keyset),
+                targets=len(targets),
+                live_frames=len(live),
+            )
+
+    retired = stats["codes_retired"] - retired_before
+    if code_targets:
+        # Interned-lattice memo tables are never semantically stale
+        # (pure structural memos), but a retirement wave is a natural
+        # hygiene point to drop memos built for dead compilation units.
+        from ..types.lattice import clear_caches
+
+        clear_caches()
+    return retired

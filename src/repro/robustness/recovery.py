@@ -2,24 +2,36 @@
 
 Every degradation the tiered pipeline performs — optimizing compile
 falling back to a pessimistic compile, a pessimistic compile falling
-back to the AST interpreter — is recorded here instead of propagating
-an exception to the guest program.  The log is deterministic (no
-timestamps, no host state), so two runs of the same workload under the
-same fault plan produce identical logs.
+back to the AST interpreter, a caching layer rejecting an entry and
+recompiling fresh, an invalidation forcing live frames down a tier —
+is recorded here instead of propagating an exception to the guest
+program.  The log is deterministic (no timestamps, no host state), so
+two runs of the same workload under the same fault plan produce
+identical logs.
+
+The log is a **bounded ring**: long-lived serving runtimes under a
+persistent fault would otherwise grow it without limit.  The newest
+``REPRO_RECOVERY_LOG_LIMIT`` events (default 4096) are retained;
+``dropped`` counts evictions and ``total`` counts every event ever
+recorded, so "how many degradations happened" stays exact even after
+the ring wraps.
 
 Schema (one :class:`RecoveryEvent` per degradation)::
 
-    stage       what was being attempted ("compile", "compile-block")
+    stage       what was being attempted ("compile", "compile-block",
+                "codecache-load", "codecache-store", "share-clone",
+                "invalidate", "reoptimize")
     selector    the method or block being compiled
-    from_tier   the tier that failed ("optimizing" | "pessimistic")
+    from_tier   the tier (or layer) that failed
     to_tier     the tier execution degraded to
-                ("pessimistic" | "interpreter")
     error_kind  exception class name, e.g. "InjectedFault"
     detail      str(exception)
 """
 
 from __future__ import annotations
 
+import os
+from collections import deque
 from dataclasses import asdict, dataclass
 from typing import Iterator
 
@@ -29,6 +41,14 @@ TIER_PESSIMISTIC = "pessimistic"
 TIER_INTERPRETER = "interpreter"
 
 TIERS = (TIER_OPTIMIZING, TIER_PESSIMISTIC, TIER_INTERPRETER)
+
+#: default ring capacity (overridable per log or via the environment)
+DEFAULT_LIMIT = 4096
+
+
+def limit_from_env() -> int:
+    raw = os.environ.get("REPRO_RECOVERY_LOG_LIMIT", "")
+    return int(raw) if raw.strip() else DEFAULT_LIMIT
 
 
 @dataclass(frozen=True)
@@ -45,37 +65,47 @@ class RecoveryEvent:
 
 
 class RecoveryLog:
-    """Append-only log of degradations, owned by one Runtime.
+    """Bounded ring of degradations, owned by one Runtime.
 
     With a tracer attached, every degradation is mirrored as a
     ``tier-degrade`` trace event; the log itself stays deterministic.
     """
 
-    def __init__(self, tracer=None) -> None:
-        self.events: list[RecoveryEvent] = []
+    def __init__(self, tracer=None, limit: int = 0) -> None:
+        self.limit = limit if limit > 0 else limit_from_env()
+        self.events: deque[RecoveryEvent] = deque(maxlen=self.limit)
+        #: every event ever recorded (monotonic; unaffected by the ring)
+        self.total = 0
+        #: events evicted from the ring (total - len(events))
+        self.dropped = 0
         if tracer is None:
             from ..obs.trace import NULL_TRACER
 
             tracer = NULL_TRACER
         self.tracer = tracer
 
-    def record(
+    def note(
         self,
         stage: str,
         selector: str,
         from_tier: str,
         to_tier: str,
-        error: BaseException,
+        error_kind: str,
+        detail: str,
     ) -> RecoveryEvent:
+        """Record a degradation from explicit parts (no exception object)."""
         event = RecoveryEvent(
             stage=stage,
             selector=selector,
             from_tier=from_tier,
             to_tier=to_tier,
-            error_kind=type(error).__name__,
-            detail=str(error),
+            error_kind=error_kind,
+            detail=detail,
         )
+        if len(self.events) == self.limit:
+            self.dropped += 1
         self.events.append(event)
+        self.total += 1
         if self.tracer.enabled:
             from ..obs.trace import CAT_ROBUSTNESS
 
@@ -86,9 +116,22 @@ class RecoveryLog:
                 selector=selector,
                 from_tier=from_tier,
                 to_tier=to_tier,
-                error=f"{event.error_kind}: {event.detail}",
+                error=f"{error_kind}: {detail}",
             )
         return event
+
+    def record(
+        self,
+        stage: str,
+        selector: str,
+        from_tier: str,
+        to_tier: str,
+        error: BaseException,
+    ) -> RecoveryEvent:
+        return self.note(
+            stage, selector, from_tier, to_tier,
+            type(error).__name__, str(error),
+        )
 
     def __len__(self) -> int:
         return len(self.events)
@@ -104,7 +147,12 @@ class RecoveryLog:
         return [e.to_record() for e in self.events]
 
     def summary(self) -> dict[str, int]:
-        """Degradation counts keyed by ``from_tier->to_tier``."""
+        """Degradation counts keyed by ``from_tier->to_tier``.
+
+        Computed over the retained ring; after a wrap the per-edge
+        counts cover the newest ``limit`` events (``dropped`` says how
+        many are missing).
+        """
         counts: dict[str, int] = {}
         for event in self.events:
             key = f"{event.from_tier}->{event.to_tier}"

@@ -132,6 +132,7 @@ def compile_with_tiers(
     selector: str,
     is_block: bool = False,
     block_template=None,
+    force_pessimistic: bool = False,
 ):
     """Compile down the tier ladder; never raise an internal error.
 
@@ -139,6 +140,13 @@ def compile_with_tiers(
     pessimistic tier, or an :class:`InterpretedCode` marker when both
     compile tiers failed.  Guest-level :class:`SelfError` exceptions
     propagate unchanged.
+
+    Every world fact the compile consults is collected by a dependency
+    tracker (see :mod:`repro.world.deps`) and attached to the finished
+    body as ``dep_keys``, so a later mutation can retire exactly the
+    code whose assumptions it broke.  ``force_pessimistic`` (a deopt
+    storm is in progress — see :mod:`.invalidate`) skips the optimizing
+    rung and the persistent cache.
     """
     stage = "compile-block" if is_block else "compile"
     tracer = getattr(runtime, "tracer", None)
@@ -146,65 +154,88 @@ def compile_with_tiers(
         from ..obs.trace import NULL_TRACER
 
         tracer = NULL_TRACER
-    from . import faults
 
-    # The persistent cross-run cache fronts the whole ladder: a hit is a
-    # finished optimizing-tier body.  Blocks (per-run templates),
-    # annotated compiles, and fault-injection runs bypass the cache so
-    # modeled behavior is unchanged in every mode the goldens cover.
-    cache = getattr(runtime, "code_cache", None)
-    cacheable = (
-        cache is not None
-        and not is_block
-        and runtime.annotations is None
-        and not faults.ENABLED
-    )
-    if cacheable:
-        cached = cache.load(
-            runtime.universe, runtime.config, runtime.model,
-            code_node, receiver_map, selector,
+    registry = runtime.universe.deps
+    tracker = registry.push_tracker()
+    # Customization itself is an assumption about the receiver's layout.
+    tracker.map_shape(receiver_map)
+    try:
+        # The persistent cross-run cache fronts the whole ladder: a hit
+        # is a finished optimizing-tier body.  Blocks (per-run
+        # templates) and annotated compiles bypass the cache.  A fault
+        # (injected or real) in the load path degrades to a fresh
+        # compile and is recorded — never propagated.
+        cache = getattr(runtime, "code_cache", None)
+        cacheable = (
+            cache is not None
+            and not is_block
+            and runtime.annotations is None
+            and not force_pessimistic
         )
-        if cached is not None:
-            return cached
-    ladder = (
-        (TIER_OPTIMIZING, runtime.config, TIER_PESSIMISTIC),
-        (TIER_PESSIMISTIC, pessimistic_config(runtime.config), TIER_INTERPRETER),
-    )
-    for tier, config, next_tier in ladder:
-        with tracer.span(
-            "compile",
-            selector=selector,
-            receiver=getattr(receiver_map, "name", "?"),
-            config=config.name,
-            tier=tier,
-            is_block=is_block,
-        ) as compile_span:
+        if cacheable:
             try:
-                graph = compile_once(
-                    runtime.universe, config, code_node, receiver_map,
-                    selector=selector, is_block=is_block,
-                    block_template=block_template, annotations=runtime.annotations,
-                    watchdog=default_watchdog(),
-                    tracer=tracer,
+                cached = cache.load(
+                    runtime.universe, runtime.config, runtime.model,
+                    code_node, receiver_map, selector,
                 )
-                with tracer.span("codegen", nodes=graph.stats.total):
-                    compiled = generate(graph, runtime.model)
-                compile_span.set(outcome="ok", code_bytes=compiled.size_bytes)
-                if cacheable and tier == TIER_OPTIMIZING:
-                    cache.store(
-                        runtime.universe, runtime.config, runtime.model,
-                        code_node, receiver_map, compiled,
+            except Exception as error:  # noqa: BLE001 — containment boundary
+                cached = None
+                runtime.recovery.record(
+                    "codecache-load", selector, "codecache", TIER_OPTIMIZING, error
+                )
+            if cached is not None:
+                cached.dep_keys = frozenset(cached.dep_keys | tracker.frozen())
+                return cached
+        ladder = (
+            (TIER_OPTIMIZING, runtime.config, TIER_PESSIMISTIC),
+            (TIER_PESSIMISTIC, pessimistic_config(runtime.config), TIER_INTERPRETER),
+        )
+        if force_pessimistic:
+            ladder = ladder[1:]
+        for tier, config, next_tier in ladder:
+            with tracer.span(
+                "compile",
+                selector=selector,
+                receiver=getattr(receiver_map, "name", "?"),
+                config=config.name,
+                tier=tier,
+                is_block=is_block,
+            ) as compile_span:
+                try:
+                    graph = compile_once(
+                        runtime.universe, config, code_node, receiver_map,
+                        selector=selector, is_block=is_block,
+                        block_template=block_template, annotations=runtime.annotations,
+                        watchdog=default_watchdog(),
+                        tracer=tracer,
                     )
-                return compiled
-            except SelfError:
-                raise  # a guest bug surfaces identically at every tier
-            except BudgetExhausted as error:
-                compile_span.set(outcome=f"degraded to {next_tier}")
-                runtime.recovery.record(stage, selector, tier, next_tier, error)
-            except Exception as error:  # noqa: BLE001 — the containment boundary
-                compile_span.set(outcome=f"degraded to {next_tier}")
-                runtime.recovery.record(stage, selector, tier, next_tier, error)
-    return InterpretedCode(code_node, selector, is_block)
+                    with tracer.span("codegen", nodes=graph.stats.total):
+                        compiled = generate(graph, runtime.model)
+                    compile_span.set(outcome="ok", code_bytes=compiled.size_bytes)
+                    compiled.dep_keys = tracker.frozen()
+                    if cacheable and tier == TIER_OPTIMIZING:
+                        try:
+                            cache.store(
+                                runtime.universe, runtime.config, runtime.model,
+                                code_node, receiver_map, compiled,
+                            )
+                        except Exception as error:  # noqa: BLE001
+                            runtime.recovery.record(
+                                "codecache-store", selector,
+                                "codecache", tier, error,
+                            )
+                    return compiled
+                except SelfError:
+                    raise  # a guest bug surfaces identically at every tier
+                except BudgetExhausted as error:
+                    compile_span.set(outcome=f"degraded to {next_tier}")
+                    runtime.recovery.record(stage, selector, tier, next_tier, error)
+                except Exception as error:  # noqa: BLE001 — the containment boundary
+                    compile_span.set(outcome=f"degraded to {next_tier}")
+                    runtime.recovery.record(stage, selector, tier, next_tier, error)
+        return InterpretedCode(code_node, selector, is_block)
+    finally:
+        registry.pop_tracker()
 
 
 # ---------------------------------------------------------------------------

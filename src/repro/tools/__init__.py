@@ -1,6 +1,7 @@
 """Developer tooling built on the public API."""
 
+from .mutation_stress import main as mutation_stress_main
 from .report import method_report
 from .trace import main as trace_main
 
-__all__ = ["method_report", "trace_main"]
+__all__ = ["method_report", "mutation_stress_main", "trace_main"]

@@ -1,0 +1,158 @@
+"""Mutation-stress driver: seeded world churn, differentially checked.
+
+Generates a deterministic stream of world mutations (constant-slot
+rewrites, slot additions/removals, parent-slot grafts) interleaved with
+computation do-its, runs it twice — once on the reference interpreter,
+once on the optimizing VM with code sharing and (optionally) the
+persistent code cache enabled — and verifies every intermediate answer
+agrees.  The point is volume: hundreds of invalidation waves against
+live caches, with the dependency registry, IC flushes, code retirement,
+and deopt storms all firing for real.
+
+Exits nonzero on the first divergence; on success writes a JSON summary
+(invalidation stats, recovery-log totals, per-stage recovery counts)
+for the CI chaos job to upload as an artifact.
+
+Usage::
+
+    python -m repro.tools.mutation_stress --rounds 120 --seed 3 \
+        --code-cache /tmp/ms-cache --summary mutation-stress.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+
+SETUP = """|
+  shape = (| w = 3. h = 4. area = ( w * h ). perim = ( (w + h) * 2 ) |).
+  probe = (| pick = ( 1 ) |).
+  extras = (| bonus = ( 100 ) |).
+|"""
+
+#: computation do-its replayed between mutations (each exercises folds,
+#: inlining, prediction, and dynamic sends over the mutable globals)
+PROBES = (
+    "shape area",
+    "shape perim",
+    "shape area + shape perim",
+    "| s <- 0 | 1 to: 8 Do: [ | :i | s: s + (shape area) ]. s",
+    "| v | v: (vector copySize: 2). v at: 0 Put: shape. (v at: 0) perim",
+    "probe pick",
+)
+
+
+def _mutations(rng: random.Random):
+    """An endless deterministic stream of mutation do-its."""
+    grafted = False
+    while True:
+        roll = rng.randrange(5)
+        if roll == 0:
+            yield f"shape _SetSlot: 'w' Value: {rng.randrange(1, 50)}"
+        elif roll == 1:
+            yield f"shape _SetSlot: 'h' Value: {rng.randrange(1, 50)}"
+        elif roll == 2:
+            yield f"probe _SetSlot: 'pick' Value: {rng.randrange(100)}"
+        elif roll == 3 and not grafted:
+            grafted = True
+            yield "probe _AddParentSlot: 'extra' Value: extras"
+        elif roll == 3:
+            grafted = False
+            yield "probe _RemoveSlot: 'extra'"
+        else:
+            yield f"shape _AddSlot: 'tag' Value: {rng.randrange(100)}"
+
+
+def build_script(rounds: int, seed: int) -> list:
+    rng = random.Random(seed)
+    stream = _mutations(rng)
+    script = []
+    for _ in range(rounds):
+        script.append(next(stream))
+        script.append(PROBES[rng.randrange(len(PROBES))])
+    return script
+
+
+def run_stress(rounds: int, seed: int, code_cache: str = "") -> dict:
+    from ..compiler.config import NEW_SELF
+    from ..vm.runtime import Runtime
+    from ..world.bootstrap import World
+
+    os.environ["REPRO_SHARE_CODE"] = "1"
+    if code_cache:
+        os.environ["REPRO_CODE_CACHE"] = code_cache
+
+    script = build_script(rounds, seed)
+
+    interp_world = World()
+    interp_world.add_slots(SETUP)
+    vm_world = World()
+    vm_world.add_slots(SETUP)
+    runtime = Runtime(vm_world, NEW_SELF)
+
+    divergences = []
+    for index, step in enumerate(script):
+        expected = interp_world.universe.print_string(interp_world.eval(step))
+        got = vm_world.universe.print_string(runtime.run(step))
+        if got != expected:
+            divergences.append(
+                {"step": index, "source": step, "expected": expected, "got": got}
+            )
+            break  # state has forked; later comparisons are noise
+
+    deps = vm_world.universe.deps
+    recovery_stages: dict = {}
+    for event in runtime.recovery:
+        recovery_stages[event.stage] = recovery_stages.get(event.stage, 0) + 1
+    summary = {
+        "rounds": rounds,
+        "seed": seed,
+        "steps": len(script),
+        "divergences": divergences,
+        "invalidation": dict(deps.stats),
+        "dependency_edges_live": deps.edge_count(),
+        "recovery_total": runtime.recovery.total,
+        "recovery_dropped": runtime.recovery.dropped,
+        "recovery_stages": recovery_stages,
+        "code_cache": dict(runtime.code_cache.stats)
+        if runtime.code_cache is not None
+        else None,
+    }
+    return summary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.tools.mutation_stress")
+    parser.add_argument("--rounds", type=int, default=100,
+                        help="mutation/probe round count (default 100)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="PRNG seed for the mutation stream")
+    parser.add_argument("--code-cache", default="",
+                        help="enable the persistent code cache at this path")
+    parser.add_argument("--summary", default="",
+                        help="write the JSON summary to this file")
+    args = parser.parse_args(argv)
+
+    summary = run_stress(args.rounds, args.seed, args.code_cache)
+    rendered = json.dumps(summary, indent=2, sort_keys=True)
+    if args.summary:
+        with open(args.summary, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    print(rendered)
+    if summary["divergences"]:
+        print("MUTATION STRESS: DIVERGED", file=sys.stderr)
+        return 1
+    print(
+        f"mutation stress: {summary['steps']} steps, "
+        f"{summary['invalidation']['invalidations']} invalidation waves, "
+        f"{summary['invalidation']['codes_retired']} bodies retired, "
+        "0 divergences"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

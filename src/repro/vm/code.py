@@ -60,6 +60,9 @@ class Code:
         "compile_stats",
         "config_name",
         "map_dependent",
+        "dep_keys",
+        "disk_key",
+        "retired",
     )
 
     def __init__(
@@ -101,6 +104,15 @@ class Code:
         #: compile-time decision consulted the receiver map, so this
         #: body may be shared (cloned) across receiver maps.
         self.map_dependent = map_dependent
+        #: world facts this compile assumed (frozenset of dependency
+        #: keys, filled by compile_with_tiers); None until compiled
+        self.dep_keys = None
+        #: persistent code-cache key when this body was loaded from or
+        #: stored to disk (for dependency-driven eviction)
+        self.disk_key = None
+        #: set by invalidation: this body's assumptions were broken and
+        #: it has been removed from the caches that served it
+        self.retired = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

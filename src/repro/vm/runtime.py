@@ -47,7 +47,11 @@ from ..objects.model import (
     block_value_selector,
 )
 from ..primitives.registry import PrimFailSignal
-from ..robustness.recovery import RecoveryLog
+from ..robustness.recovery import (
+    RecoveryLog,
+    TIER_OPTIMIZING,
+    TIER_PESSIMISTIC,
+)
 from ..robustness.tiers import (
     InterpretedCode,
     TierInterpreter,
@@ -173,6 +177,19 @@ class Runtime:
         self.recovery = RecoveryLog(tracer=self.tracer)
         self._tier_interpreter: Optional[TierInterpreter] = None
 
+        # -- invalidation / deoptimization state --------------------------
+        #: a mutation retired code with live frames: until they return,
+        #: new compiles take the pessimistic tier and are provisional
+        self._deopt_storm = False
+        #: retired bodies still referenced by live frames — kept so a
+        #: *second* mutation can still flush their inline caches
+        self._retired_live: list[Code] = []
+        #: cache keys compiled during a storm ("m"/"b", key) — dropped
+        #: at the next quiet top-level entry so they reoptimize
+        self._provisional_keys: set[tuple] = set()
+        #: the dependency registry invalidates through this registration
+        self.universe.runtimes.add(self)
+
     @property
     def tier_interpreter(self) -> TierInterpreter:
         """The interpreter-tier evaluator, created on first degradation."""
@@ -194,6 +211,7 @@ class Runtime:
         return self.run_doit(doit, receiver)
 
     def run_doit(self, doit: MethodNode, receiver=None):
+        self._maybe_reoptimize()
         if receiver is None:
             receiver = self.world.lobby
         code = self._compile_method(doit, self.universe.map_of(receiver), "<doit>")
@@ -208,6 +226,7 @@ class Runtime:
 
     def call(self, receiver, selector: str, args: Sequence = ()):
         """Perform one dynamically-bound send from the outside."""
+        self._maybe_reoptimize()
         previous = self.universe.evaluator
         self.universe.evaluator = self
         try:
@@ -307,38 +326,72 @@ class Runtime:
         sharable_map = (
             self._share_enabled
             and receiver_map.kind == "object"
-            and not faults.ENABLED
+            and not self._deopt_storm
         )
         if sharable_map:
             entry = self._shared_method_code.get(id(code_node))
             if entry is not None and entry[0] is code_node:
+                canonical = entry[1]
                 started = time.perf_counter()
-                compiled = _clone_shared_code(entry[1], self.model)
-                self.compile_seconds += time.perf_counter() - started
-                self._method_code[key] = (code_node, compiled)
-                self.code_bytes += compiled.size_bytes
-                self.methods_compiled += 1
-                self.share_hits += 1
-                return compiled
+                try:
+                    compiled = _clone_shared_code(canonical, self.model)
+                    if faults.ENABLED and faults.hit(faults.SITE_VM_SHARING):
+                        # Corrupt mode: a wild write truncated the
+                        # clone's threaded stream mid-flight.
+                        compiled.threaded = compiled.threaded[
+                            : len(compiled.threaded) // 2
+                        ]
+                    if len(compiled.threaded) != len(canonical.threaded):
+                        raise RuntimeError(
+                            "shared-code clone failed the integrity check"
+                        )
+                except Exception as error:  # noqa: BLE001 — degrade to compile
+                    self.compile_seconds += time.perf_counter() - started
+                    self.recovery.record(
+                        "share-clone", selector, "sharing", TIER_OPTIMIZING, error
+                    )
+                else:
+                    self.compile_seconds += time.perf_counter() - started
+                    compiled.dep_keys = frozenset(
+                        (canonical.dep_keys or frozenset())
+                        | {("shape", receiver_map.map_id)}
+                    )
+                    self._method_code[key] = (code_node, compiled)
+                    self._register_code_dependency(
+                        "method", key, compiled, code_node, selector
+                    )
+                    self.code_bytes += compiled.size_bytes
+                    self.methods_compiled += 1
+                    self.share_hits += 1
+                    return compiled
         started = time.perf_counter()
-        recovery_before = len(self.recovery.events)
+        recovery_before = self.recovery.total
         compiled = compile_with_tiers(
-            self, code_node, receiver_map, selector=selector
+            self, code_node, receiver_map, selector=selector,
+            force_pessimistic=self._deopt_storm,
         )
         self.compile_seconds += time.perf_counter() - started
         self._method_code[key] = (code_node, compiled)
+        if self._deopt_storm:
+            self._provisional_keys.add(("m", key))
         if isinstance(compiled, Code):
+            self._register_code_dependency(
+                "method", key, compiled, code_node, selector
+            )
             self.code_bytes += compiled.size_bytes
             self.methods_compiled += 1
             if (
                 sharable_map
                 and not compiled.map_dependent
-                and len(self.recovery.events) == recovery_before
+                and self.recovery.total == recovery_before
             ):
                 # Untainted, compiled at the intended tier (no recovery
                 # events fired): canonical copy for every later map.
                 self._shared_method_code[id(code_node)] = (code_node, compiled)
                 self.share_stores += 1
+                self._register_code_dependency(
+                    "shared", id(code_node), compiled, code_node, selector
+                )
         return compiled
 
     def _compile_block(self, block: SelfBlock, receiver_map):
@@ -349,17 +402,80 @@ class Runtime:
             return cached[1]
         template = self._block_templates.get(block.code.block_id)
         started = time.perf_counter()
+        selector = f"<block#{block.code.block_id}>"
         compiled = compile_with_tiers(
             self, block.code, receiver_map,
-            selector=f"<block#{block.code.block_id}>", is_block=True,
+            selector=selector, is_block=True,
             block_template=template,
+            force_pessimistic=self._deopt_storm,
         )
         self.compile_seconds += time.perf_counter() - started
         self._block_code[key] = (block.code, compiled)
+        if self._deopt_storm:
+            self._provisional_keys.add(("b", key))
         if isinstance(compiled, Code):
+            self._register_code_dependency(
+                "block", key, compiled, block.code, selector
+            )
             self.code_bytes += compiled.size_bytes
             self.methods_compiled += 1
         return compiled
+
+    def _register_code_dependency(
+        self, kind: str, cache_key, code, code_node, selector: str
+    ) -> None:
+        """Register ``code`` against every world assumption it recorded.
+
+        ``dep_keys`` is filled by :func:`compile_with_tiers` (or derived
+        structurally on a persistent-cache hit); a world mutation that
+        fires any of these keys retires the code via
+        :mod:`repro.robustness.invalidate`.
+        """
+        if not isinstance(code, Code) or not code.dep_keys:
+            return
+        from ..world.deps import CodeDependency
+
+        self.universe.deps.register(
+            code.dep_keys,
+            CodeDependency(
+                self, kind, cache_key, code, code_node, selector, code.disk_key
+            ),
+        )
+
+    def _maybe_reoptimize(self) -> None:
+        """End a deopt storm once no affected frames remain live.
+
+        While a storm is on, every new compile is pessimistic and its
+        cache key is *provisional*.  At the next top-level entry with an
+        empty frame stack we drop those provisional bodies and flush the
+        inline caches, so subsequent sends recompile at the optimizing
+        tier against the post-mutation world — transparent
+        reoptimization, without ever reasoning about a half-executed
+        optimized frame.
+        """
+        if not self._deopt_storm or self.frames:
+            return
+        dropped = 0
+        for kind, key in self._provisional_keys:
+            table = self._method_code if kind == "m" else self._block_code
+            if table.pop(key, None) is not None:
+                dropped += 1
+        self._provisional_keys.clear()
+        self._retired_live.clear()
+        self._deopt_storm = False
+        from ..robustness.invalidate import _flush_ics
+
+        stats = self.universe.deps.stats
+        stats["ic_flushes"] += _flush_ics(self)
+        stats["reoptimized"] += 1
+        self.recovery.note(
+            stage="reoptimize",
+            selector="<world>",
+            from_tier=TIER_PESSIMISTIC,
+            to_tier=TIER_OPTIMIZING,
+            error_kind="WorldMutation",
+            detail=f"storm ended: {dropped} provisional bodies dropped",
+        )
 
     # ------------------------------------------------------------------
     # Synchronous call helpers (re-entrant run segments)

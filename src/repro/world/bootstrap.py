@@ -127,6 +127,11 @@ class World:
         universe.true_map = universe.true_object.map
         universe.false_map = universe.false_object.map
 
+        # Bootstrap mutated the world dozens of times against an empty
+        # dependency registry; zero the counters so invalidation metrics
+        # reflect post-boot mutations only.
+        universe.deps.reset_stats()
+
     # -- construction helpers -----------------------------------------------------
 
     def _new_traits(self, name: str, parent: SelfObject) -> SelfObject:
@@ -136,8 +141,9 @@ class World:
 
     def _install_constants(self, target: SelfObject, constants: dict) -> None:
         slots = [Slot(name, "constant", value=value) for name, value in constants.items()]
-        target.map = target.map.with_added_slots(slots)
-        self.universe.lookup_epoch += 1
+        self.universe.apply_map_change(
+            target, target.map.with_added_slots(slots), reason="install_constants"
+        )
 
     # -- public API ------------------------------------------------------------------
 
@@ -179,12 +185,12 @@ class World:
                 name=holder_name,
                 first_data_offset=self.universe.map_of(target).data_size,
             )
-            target.map = self.universe.map_of(target).with_added_slots(slots)
+            new_map = self.universe.map_of(target).with_added_slots(slots)
+            self.universe.apply_map_change(target, new_map, reason="add_slots")
             target.data.extend([None] * (target.map.data_size - len(target.data)))
             for offset, init in data_inits:
                 value = self.universe.nil_object if init is None else eval_expr(init)
                 target.set_data(offset, value)
-            self.universe.lookup_epoch += 1
 
     def add_slots_from(self, path, to: Optional[object] = None) -> None:
         """Load slot declarations from a guest source file (.self)."""

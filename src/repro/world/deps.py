@@ -1,0 +1,263 @@
+"""The dependency registry: compile-time assumptions -> dependent artifacts.
+
+Every layer that caches a decision made against the mutable world — a
+compiled :class:`~repro.vm.code.Code` body, a cross-map share clone, a
+persistent code-cache entry, an inline-cache line, a per-map lookup
+cache — owes its validity to facts about that world.  This module names
+those facts as **dependency keys** and keeps the edges from each key to
+the artifacts that assumed it, so a world mutation
+(:meth:`~repro.world.universe.Universe.add_slot` and friends) can retire
+exactly the artifacts whose assumptions broke.
+
+Dependency kinds (the key tuples):
+
+* ``("shape", map_id)`` — the structural layout of one map: which slots
+  exist, their kinds, offsets, and parent-ness.  Broken by adding or
+  removing a slot, or by reclassifying the object that owned the map.
+  Recorded whenever compile-time or runtime lookup *consults* a map —
+  including misses, since a later shadowing slot changes the result.
+* ``("const", map_id, name)`` — the value held by one constant slot.
+  Broken by :meth:`set_constant_slot`.  Recorded when a lookup actually
+  reads the slot's value (method inlining, constant folding).
+* ``("wk", attr)`` — the identity of a well-known universe map
+  (``smallint_map`` … ``false_map``).  Broken when a mutation replaces
+  the map of one of the singletons backing those attributes.  Recorded
+  by type prediction, which tests against these maps by identity.
+* ``("lookup", map_id, selector)`` — a runtime lookup result cached in
+  an inline-cache line or a per-map lookup cache.  Registered against a
+  per-universe :class:`LookupCachesDependent` so invalidation knows the
+  runtime caches contain a result derived from the mutated map.
+
+Keys are plain tuples, maps are identified by ``map_id`` (maps are
+immutable: a mutation *replaces* an object's map, and the old id is what
+fires).  Registration is pure host bookkeeping on cold paths — it never
+touches the modeled measurements.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Iterable, Optional
+
+# -- key constructors -------------------------------------------------------
+
+DEP_SHAPE = "shape"
+DEP_CONST = "const"
+DEP_WELL_KNOWN = "wk"
+DEP_LOOKUP = "lookup"
+
+
+def shape_key(map) -> tuple:
+    return (DEP_SHAPE, map.map_id)
+
+
+def const_key(map, name: str) -> tuple:
+    return (DEP_CONST, map.map_id, name)
+
+
+def well_known_key(attr: str) -> tuple:
+    return (DEP_WELL_KNOWN, attr)
+
+
+def lookup_key(map, selector: str) -> tuple:
+    return (DEP_LOOKUP, map.map_id, selector)
+
+
+class DepTracker:
+    """Collects the dependency keys of one compilation attempt.
+
+    Installed as ``registry.active`` for the duration of a
+    ``compile_with_tiers`` ladder; the compile-time lookup machinery
+    (:mod:`repro.compiler.clookup`) and the type-prediction paths in the
+    engine record every world fact they consult.  Trackers nest (block
+    compiles triggered while another tracker is active get their own).
+    """
+
+    __slots__ = ("keys",)
+
+    def __init__(self) -> None:
+        self.keys: set[tuple] = set()
+
+    def map_shape(self, map) -> None:
+        self.keys.add((DEP_SHAPE, map.map_id))
+
+    def constant_slot(self, map, name: str) -> None:
+        self.keys.add((DEP_CONST, map.map_id, name))
+
+    def well_known(self, attr: str, map) -> None:
+        self.keys.add((DEP_WELL_KNOWN, attr))
+        self.keys.add((DEP_SHAPE, map.map_id))
+
+    def frozen(self) -> frozenset:
+        return frozenset(self.keys)
+
+
+class CodeDependency:
+    """One compiled body (or share clone, or cache-hit load) and every
+    cache cell that must forget it when an assumption breaks."""
+
+    __slots__ = (
+        "runtime_ref", "kind", "cache_key", "code", "code_node",
+        "selector", "disk_key", "keys",
+    )
+
+    def __init__(
+        self,
+        runtime,
+        kind: str,  # "method" | "block"
+        cache_key: tuple,
+        code,
+        code_node,
+        selector: str,
+        disk_key: Optional[str] = None,
+    ) -> None:
+        self.runtime_ref = weakref.ref(runtime)
+        self.kind = kind
+        self.cache_key = cache_key
+        self.code = code
+        self.code_node = code_node
+        self.selector = selector
+        self.disk_key = disk_key
+        #: filled by the registry at registration time (for unregister)
+        self.keys: frozenset = frozenset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CodeDependency {self.kind} {self.selector!r} {len(self.keys)} keys>"
+
+
+class LookupCachesDependent:
+    """Marker target: the universe's runtime lookup caches (per-map
+    caches and every registered runtime's inline caches) hold a result
+    derived from the keyed map.  One instance per universe."""
+
+    __slots__ = ("keys",)
+
+    def __init__(self) -> None:
+        self.keys: frozenset = frozenset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<LookupCachesDependent>"
+
+
+class DependencyRegistry:
+    """Edges from dependency keys to the artifacts that assumed them.
+
+    Owned by one :class:`~repro.world.universe.Universe`.  ``active`` is
+    the tracker of the compilation currently in flight (or None); the
+    runtime-lookup side registers directly via :meth:`note_lookup`.
+    """
+
+    def __init__(self) -> None:
+        self._edges: dict[tuple, set] = {}
+        #: tracker stack (block compiles can nest inside method compiles)
+        self._trackers: list[DepTracker] = []
+        self.active: Optional[DepTracker] = None
+        self._lookup_target = LookupCachesDependent()
+        #: keys the lookup target is already registered under (dedup)
+        self._lookup_keys: set[tuple] = set()
+        self.stats = {
+            "edges": 0,
+            "targets": 0,
+            "invalidations": 0,
+            "codes_retired": 0,
+            "codecache_invalidated": 0,
+            "share_canonical_dropped": 0,
+            "ic_flushes": 0,
+            "frames_deoptimized": 0,
+            "epoch_bumps": 0,
+            "reoptimized": 0,
+        }
+
+    def reset_stats(self) -> None:
+        """Zero every counter (bootstrap calls this once the world is up)."""
+        for key in self.stats:
+            self.stats[key] = 0
+
+    # -- tracker stack -----------------------------------------------------
+
+    def push_tracker(self) -> DepTracker:
+        tracker = DepTracker()
+        self._trackers.append(tracker)
+        self.active = tracker
+        return tracker
+
+    def pop_tracker(self) -> DepTracker:
+        tracker = self._trackers.pop()
+        self.active = self._trackers[-1] if self._trackers else None
+        return tracker
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, keys: Iterable[tuple], target) -> None:
+        """Register ``target`` under every key in ``keys``."""
+        keyset = frozenset(keys)
+        if not keyset:
+            return
+        target.keys = keyset
+        for key in keyset:
+            bucket = self._edges.get(key)
+            if bucket is None:
+                bucket = set()
+                self._edges[key] = bucket
+            bucket.add(target)
+            self.stats["edges"] += 1
+        self.stats["targets"] += 1
+
+    def note_lookup(self, consulted_maps, found) -> None:
+        """A cold runtime lookup filled a cache line somewhere.
+
+        ``consulted_maps`` are every map the breadth-first search
+        visited; ``found`` is the ``(holder_map, slot)`` pair of the
+        result (or None for a cached miss).  The universe's lookup
+        caches become dependent on all of them.
+        """
+        target = self._lookup_target
+        fresh = []
+        for map in consulted_maps:
+            key = (DEP_SHAPE, map.map_id)
+            if key not in self._lookup_keys:
+                self._lookup_keys.add(key)
+                fresh.append(key)
+        if found is not None:
+            holder_map, slot = found
+            if slot.kind == "constant":
+                key = (DEP_CONST, holder_map.map_id, slot.name)
+                if key not in self._lookup_keys:
+                    self._lookup_keys.add(key)
+                    fresh.append(key)
+        for key in fresh:
+            bucket = self._edges.get(key)
+            if bucket is None:
+                bucket = set()
+                self._edges[key] = bucket
+            bucket.add(target)
+            self.stats["edges"] += 1
+
+    # -- queries -----------------------------------------------------------
+
+    def targets_for(self, keys: Iterable[tuple]) -> set:
+        """Every registered target depending on any of ``keys``."""
+        out: set = set()
+        for key in keys:
+            bucket = self._edges.get(key)
+            if bucket:
+                out.update(bucket)
+        return out
+
+    def unregister(self, target) -> None:
+        """Drop ``target`` from every key it was registered under."""
+        for key in target.keys:
+            bucket = self._edges.get(key)
+            if bucket is not None:
+                bucket.discard(target)
+                if not bucket:
+                    del self._edges[key]
+        if isinstance(target, LookupCachesDependent):
+            self._lookup_keys.clear()
+            target.keys = frozenset()
+
+    def edge_count(self) -> int:
+        return sum(len(bucket) for bucket in self._edges.values())
+
+    def __len__(self) -> int:
+        return len(self._edges)

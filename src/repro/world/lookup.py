@@ -73,9 +73,17 @@ _SELF_HOLDER = _SelfHolderToken()
 
 
 def _search(universe: Universe, receiver, selector: str) -> LookupResult:
-    """Breadth-first search by inheritance depth with ambiguity detection."""
+    """Breadth-first search by inheritance depth with ambiguity detection.
+
+    Cold path only (results are cached per map), so it also registers
+    the universe's lookup caches as dependent on every map it consults
+    — including maps it *missed* in, since a later slot added there
+    would shadow the found one.
+    """
     visited: set[int] = set()
     frontier: list[object] = [receiver]
+    consulted: list[object] = []
+    result: LookupResult = None
     while frontier:
         matches: list[tuple[object, Slot]] = []
         next_frontier: list[object] = []
@@ -84,6 +92,7 @@ def _search(universe: Universe, receiver, selector: str) -> LookupResult:
                 continue
             visited.add(id(obj))
             obj_map = universe.map_of(obj)
+            consulted.append(obj_map)
             slot = obj_map.own_slot(selector)
             if slot is not None:
                 matches.append((obj, slot))
@@ -98,9 +107,14 @@ def _search(universe: Universe, receiver, selector: str) -> LookupResult:
                 first = matches[0]
                 if any(m[0] is not first[0] for m in matches[1:]):
                     raise AmbiguousLookup(selector)
-            return matches[0]
+            result = matches[0]
+            break
         frontier = next_frontier
-    return None
+    found = None
+    if result is not None:
+        found = (universe.map_of(result[0]), result[1])
+    universe.deps.note_lookup(consulted, found)
+    return result
 
 
 def _parent_value(obj, parent_slot: Slot):

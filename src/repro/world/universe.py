@@ -9,11 +9,13 @@ guest output from the printing primitives.
 
 from __future__ import annotations
 
+import weakref
 from typing import Optional
 
 from ..lang.ast_nodes import BlockNode
-from ..objects.maps import Map
+from ..objects.maps import CONSTANT, DATA, ASSIGNMENT, Map, Slot
 from ..objects.model import BigInt, SelfBlock, SelfObject, SelfVector
+from .deps import DependencyRegistry, const_key, shape_key, well_known_key
 
 
 class Universe:
@@ -54,6 +56,14 @@ class Universe:
         #: Bumped whenever slots are added to existing objects so that
         #: per-map lookup caches (filled before the change) are discarded.
         self.lookup_epoch = 0
+
+        #: The dependency registry: compile-time assumptions -> compiled
+        #: artifacts.  Mutation entry points below fire invalidation
+        #: through it (see :mod:`repro.robustness.invalidate`).
+        self.deps = DependencyRegistry()
+        #: Every live Runtime executing against this universe (weak, so
+        #: a discarded runtime doesn't pin its code caches).
+        self.runtimes: "weakref.WeakSet" = weakref.WeakSet()
 
     # -- booleans -------------------------------------------------------------
 
@@ -108,6 +118,110 @@ class Universe:
         for block_id, old in self._block_maps.items():
             rebuilt[block_id] = Map.build(old.name, parents={"parent": traits}, kind="block")
         self._block_maps = rebuilt
+
+    # -- world mutation ---------------------------------------------------------
+    #
+    # The only supported ways to change an already-visible object's
+    # layout or constant slots.  Each builds the replacement map, swaps
+    # it in, and fires dependency-tracked invalidation keyed on the
+    # *old* map (maps are immutable — it is the old map's id that
+    # compiled code assumed).
+
+    #: well-known (map attribute, singleton attribute) pairs whose map
+    #: identity compiled type prediction may have baked in
+    _WELL_KNOWN_SINGLETONS = (
+        ("nil_map", "nil_object"),
+        ("true_map", "true_object"),
+        ("false_map", "false_object"),
+    )
+
+    def add_slot(
+        self,
+        obj,
+        name: str,
+        value=None,
+        *,
+        is_parent: bool = False,
+        data: bool = False,
+    ) -> None:
+        """Add (or replace) one slot on ``obj``, invalidating dependents.
+
+        ``data=True`` adds a mutable data slot (plus its assignment
+        twin) initialized to ``value``; otherwise a constant slot.
+        """
+        old_map = self.map_of(obj)
+        if data:
+            offset = old_map.data_size
+            new_slots = [
+                Slot(name, DATA, offset=offset),
+                Slot(name + ":", ASSIGNMENT, offset=offset),
+            ]
+            new_map = old_map.with_added_slots(new_slots)
+            obj.data.extend([None] * (new_map.data_size - len(obj.data)))
+            obj.set_data(offset, self.nil_object if value is None else value)
+        else:
+            new_map = old_map.with_added_slots(
+                [Slot(name, CONSTANT, value=value, is_parent=is_parent)]
+            )
+        self.apply_map_change(obj, new_map, reason=f"add_slot {name}")
+
+    def remove_slot(self, obj, name: str) -> None:
+        """Remove one slot from ``obj``, invalidating dependents."""
+        old_map = self.map_of(obj)
+        new_map = old_map.with_removed_slot(name)
+        self.apply_map_change(obj, new_map, reason=f"remove_slot {name}")
+
+    def set_constant_slot(self, obj, name: str, value) -> None:
+        """Replace the value of a constant slot, invalidating dependents.
+
+        A non-parent constant fires only its own ``const`` key; a parent
+        slot's value changes the reachable lookup world, so the shape
+        key fires too.
+        """
+        old_map = self.map_of(obj)
+        slot = old_map.own_slot(name)
+        new_map = old_map.with_replaced_constant(name, value)
+        keys = {const_key(old_map, name)}
+        if slot is not None and slot.is_parent:
+            keys.add(shape_key(old_map))
+        self.apply_map_change(
+            obj, new_map, reason=f"set_constant_slot {name}", keys=keys
+        )
+
+    def reclassify(self, obj, prototype) -> None:
+        """Give ``obj`` the map of ``prototype`` (object reclassification).
+
+        The object keeps its data vector, padded with nil to the new
+        layout's size; slots the new map doesn't know about become
+        unreachable.
+        """
+        old_map = self.map_of(obj)
+        new_map = self.map_of(prototype)
+        if len(obj.data) < new_map.data_size:
+            obj.data.extend(
+                [self.nil_object] * (new_map.data_size - len(obj.data))
+            )
+        self.apply_map_change(obj, new_map, reason="reclassify")
+
+    def apply_map_change(self, obj, new_map: Map, reason: str, keys=None) -> None:
+        """Swap ``obj``'s map and fire invalidation for the old one.
+
+        The generic entry every mutation funnels through (bootstrap's
+        ``add_slots`` included).  ``keys`` defaults to the old map's
+        shape key; extra keys (constant slots, well-known identities)
+        are unioned in.
+        """
+        old_map = self.map_of(obj)
+        fire_keys = set(keys) if keys is not None else {shape_key(old_map)}
+        obj.map = new_map
+        for map_attr, obj_attr in self._WELL_KNOWN_SINGLETONS:
+            if obj is getattr(self, obj_attr):
+                setattr(self, map_attr, new_map)
+                fire_keys.add(well_known_key(map_attr))
+                fire_keys.add(shape_key(old_map))
+        from ..robustness.invalidate import fire
+
+        fire(self, fire_keys, reason=reason)
 
     # -- printing ---------------------------------------------------------------
 

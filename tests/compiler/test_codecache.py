@@ -8,9 +8,10 @@ guessed at.
 """
 
 import json
+from hashlib import sha256
 
 from repro.compiler import NEW_SELF
-from repro.compiler.codecache import CodeCache, cache_from_env
+from repro.compiler.codecache import CACHE_VERSION, CodeCache, cache_from_env
 from repro.obs.metrics import registry_for_runtime
 from repro.vm import Runtime
 from repro.world import World
@@ -19,6 +20,32 @@ TRIANGLE = (
     "| sum <- 0. i <- 1. n <- 1000 | "
     "[ i < n ] whileTrue: [ sum: sum + i. i: i + 1 ]. sum"
 )
+
+FRESH_STATS = {
+    "hits": 0, "misses": 0, "stores": 0, "uncacheable": 0, "corrupt": 0,
+    "corrupt_rejected": 0, "evictions": 0, "invalidated": 0,
+}
+
+
+def stats_with(**overrides):
+    return {**FRESH_STATS, **overrides}
+
+
+def read_body(entry) -> dict:
+    """Open an entry's sha256 envelope and decode the inner payload."""
+    envelope = json.loads(entry.read_text(encoding="utf-8"))
+    return json.loads(envelope["body"])
+
+
+def reseal_body(entry, payload: dict) -> None:
+    """Write a *validly sealed* envelope around a (mutated) payload."""
+    body = json.dumps(payload, separators=(",", ":"))
+    envelope = {
+        "v": CACHE_VERSION,
+        "sha256": sha256(body.encode("utf-8")).hexdigest(),
+        "body": body,
+    }
+    entry.write_text(json.dumps(envelope), encoding="utf-8")
 
 
 def run_triangle(monkeypatch, cache_dir):
@@ -44,16 +71,12 @@ def test_cache_from_env_disabled(monkeypatch):
 def test_cold_then_warm_round_trip(monkeypatch, tmp_path):
     result_cold, rt_cold = run_triangle(monkeypatch, tmp_path)
     assert result_cold == 499500
-    assert rt_cold.code_cache.stats == {
-        "hits": 0, "misses": 1, "stores": 1, "uncacheable": 0, "corrupt": 0,
-    }
+    assert rt_cold.code_cache.stats == stats_with(misses=1, stores=1)
     assert len(list(tmp_path.glob("*.json"))) == 1
 
     result_warm, rt_warm = run_triangle(monkeypatch, tmp_path)
     assert result_warm == 499500
-    assert rt_warm.code_cache.stats == {
-        "hits": 1, "misses": 0, "stores": 0, "uncacheable": 0, "corrupt": 0,
-    }
+    assert rt_warm.code_cache.stats == stats_with(hits=1)
 
 
 def test_loaded_code_is_bit_identical(monkeypatch, tmp_path):
@@ -93,9 +116,9 @@ def test_corrupt_file_degrades_to_fresh_compile(monkeypatch, tmp_path):
 def test_truncated_payload_degrades_to_fresh_compile(monkeypatch, tmp_path):
     run_triangle(monkeypatch, tmp_path)
     (entry,) = tmp_path.glob("*.json")
-    payload = json.loads(entry.read_text(encoding="utf-8"))
-    del payload["consts"]  # valid JSON, invalid shape
-    entry.write_text(json.dumps(payload), encoding="utf-8")
+    payload = read_body(entry)
+    del payload["consts"]  # validly sealed envelope, invalid inner shape
+    reseal_body(entry, payload)
 
     result, runtime = run_triangle(monkeypatch, tmp_path)
     assert result == 499500
@@ -105,9 +128,9 @@ def test_truncated_payload_degrades_to_fresh_compile(monkeypatch, tmp_path):
 def test_version_mismatch_counts_as_corrupt(monkeypatch, tmp_path):
     run_triangle(monkeypatch, tmp_path)
     (entry,) = tmp_path.glob("*.json")
-    payload = json.loads(entry.read_text(encoding="utf-8"))
+    payload = read_body(entry)
     payload["version"] = -1
-    entry.write_text(json.dumps(payload), encoding="utf-8")
+    reseal_body(entry, payload)
 
     result, runtime = run_triangle(monkeypatch, tmp_path)
     assert result == 499500
@@ -160,3 +183,67 @@ def test_store_survives_unwritable_directory(monkeypatch, tmp_path):
     runtime = Runtime(World(), NEW_SELF)
     assert runtime.run(TRIANGLE) == 499500  # store fails silently
     assert runtime.code_cache.stats["hits"] == 0
+
+
+def test_tampered_body_rejected_by_sha256(monkeypatch, tmp_path):
+    """A byte flip inside the body that stays valid JSON is still caught:
+    the envelope digest no longer matches."""
+    run_triangle(monkeypatch, tmp_path)
+    (entry,) = tmp_path.glob("*.json")
+    envelope = json.loads(entry.read_text(encoding="utf-8"))
+    envelope["body"] = envelope["body"].replace('"name"', '"nmae"', 1)
+    entry.write_text(json.dumps(envelope), encoding="utf-8")
+
+    result, runtime = run_triangle(monkeypatch, tmp_path)
+    assert result == 499500
+    stats = runtime.code_cache.stats
+    assert stats["corrupt_rejected"] == 1
+    assert stats["hits"] == 0
+    assert stats["stores"] == 1  # the fresh compile repopulated the entry
+
+
+def test_lru_limit_evicts_stalest_entries(tmp_path):
+    import os
+    import time
+
+    cache_dir = tmp_path / "cache"
+    cache_dir.mkdir()
+    for i in range(5):
+        (cache_dir / f"entry-{i}.json").write_text("{}", encoding="utf-8")
+        stamp = time.time() - 1000 + i
+        os.utime(cache_dir / f"entry-{i}.json", (stamp, stamp))
+    cache = CodeCache(str(cache_dir), limit=2)
+    cache._enforce_limit()
+    assert cache.stats["evictions"] == 3
+    survivors = sorted(p.name for p in cache_dir.glob("*.json"))
+    assert survivors == ["entry-3.json", "entry-4.json"]
+
+
+def test_limit_from_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CODE_CACHE_LIMIT", "7")
+    assert CodeCache(str(tmp_path)).limit == 7
+    monkeypatch.delenv("REPRO_CODE_CACHE_LIMIT")
+    assert CodeCache(str(tmp_path)).limit == 0  # unbounded
+    assert CodeCache(str(tmp_path), limit=3).limit == 3
+
+
+def test_store_enforces_limit(monkeypatch, tmp_path):
+    """With limit=1, a second distinct store evicts the first entry."""
+    monkeypatch.setenv("REPRO_CODE_CACHE", str(tmp_path))
+    monkeypatch.setenv("REPRO_CODE_CACHE_LIMIT", "1")
+    runtime = Runtime(World(), NEW_SELF)
+    assert runtime.run(TRIANGLE) == 499500
+    assert runtime.run("| p <- 1 | 1 to: 6 Do: [ | :i | p: p * i ]. p") == 720
+    assert runtime.code_cache.stats["stores"] == 2
+    assert runtime.code_cache.stats["evictions"] >= 1
+    assert len(list(tmp_path.glob("*.json"))) == 1
+
+
+def test_evict_by_key_counts_invalidated(monkeypatch, tmp_path):
+    _, runtime = run_triangle(monkeypatch, tmp_path)
+    (entry,) = tmp_path.glob("*.json")
+    key = entry.name[: -len(".json")]
+    assert runtime.code_cache.evict(key) is True
+    assert runtime.code_cache.stats["invalidated"] == 1
+    assert list(tmp_path.glob("*.json")) == []
+    assert runtime.code_cache.evict(key) is False  # already gone

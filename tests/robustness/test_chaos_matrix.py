@@ -61,6 +61,14 @@ def run_with_plan(name: str, plan: FaultPlan):
     return benchmark, runtime, answer, fired
 
 
+#: sites whose seams only exist when the caching layers are enabled
+CACHE_SITES = (
+    faults.SITE_CODECACHE_LOAD,
+    faults.SITE_CODECACHE_STORE,
+    faults.SITE_VM_SHARING,
+)
+
+
 @pytest.mark.parametrize("seed", _SEEDS)
 @pytest.mark.parametrize("mode", MODES)
 @pytest.mark.parametrize("site", ALL_SITES)
@@ -78,6 +86,36 @@ def test_single_fault_still_answers(name, site, mode, seed):
     # failure was swallowed without degrading anywhere.
     if fired and mode == "raise" and site != "bench.cache":
         assert len(runtime.recovery) >= 1
+
+
+@pytest.mark.parametrize("seed", _SEEDS)
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("site", CACHE_SITES)
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_single_fault_with_layered_caches(
+    name, site, mode, seed, monkeypatch, tmp_path
+):
+    """The widened matrix: code sharing and the persistent code cache
+    are live, so faults planted in those layers actually have a seam to
+    fire at — corruption or failure in any caching layer must degrade
+    to a fresh compile, never change the answer."""
+    monkeypatch.setenv("REPRO_SHARE_CODE", "1")
+    monkeypatch.setenv("REPRO_CODE_CACHE", str(tmp_path))
+    nth = derived_nth(site, seed)
+    plan = FaultPlan(site=site, mode=mode, nth=nth, persistent=True)
+    # Warm pass (unfaulted) so load-site plans find entries on disk.
+    benchmark = get_benchmark(name)
+    world = World()
+    world.add_slots(benchmark.setup_source)
+    Runtime(world, NEW_SELF).run(benchmark.run_source)
+
+    benchmark, runtime, answer, fired = run_with_plan(name, plan)
+    assert answer == benchmark.expected, (
+        f"{name} under {plan} answered {answer!r}, "
+        f"expected {benchmark.expected!r} (recovery: {runtime.recovery.summary()})"
+    )
+    if fired and mode == "raise":
+        assert runtime.recovery.total >= 1
 
 
 @pytest.mark.parametrize("name", CHEAP_BENCHMARKS)

@@ -1,0 +1,288 @@
+"""Dependency-tracked invalidation under world mutation.
+
+The correctness bar: a mutation script executed on the optimizing VM
+(with inline caches, customized compiles, code sharing, and the
+persistent code cache all live) produces the same answers as the
+reference interpreter executing the same script — every compile-time
+decision falsified by a mutation must be retired before the next send
+relies on it.  Mutations here happen *between* top-level do-its; the
+bounded mid-activation staleness window of a live optimized frame is
+exercised separately (``test_mid_activation_mutation_storms``).
+"""
+
+import pytest
+
+from repro.compiler.config import NEW_SELF, OLD_SELF_90, ST80
+from repro.robustness import faults
+from repro.robustness.faults import FaultPlan
+from repro.vm.runtime import Runtime
+from repro.world.bootstrap import World
+
+CONFIGS = (NEW_SELF, OLD_SELF_90, ST80)
+
+SETUP = """|
+  point = (| x = 3. y = 4. sum = ( x + y ). scaled = ( sum * 10 ) |).
+  base = (| speak = ( 'base' ) |).
+  child = (| parent* = base. tag = ( speak , '!' ) |).
+  mixin = (| describe = ( 'mixed-in' ) |).
+  orphan = (| idq = ( 17 ) |).
+|"""
+
+# Each script is a list of steps; ("run", src) results are compared
+# between the interpreter and every VM config, ("slots", global, src)
+# installs new slots on a named global through the mutation API.
+SCRIPTS = {
+    "const-refold": [
+        ("run", "point sum"),
+        ("run", "point scaled"),
+        ("run", "point _SetSlot: 'x' Value: 10"),
+        ("run", "point sum"),
+        ("run", "point scaled"),
+        ("run", "point _SetSlot: 'y' Value: 0 - 4"),
+        ("run", "point sum"),
+        ("run", "point scaled"),
+    ],
+    "shadow-then-unshadow": [
+        ("run", "child tag"),
+        ("run", "child _AddSlot: 'speak' Value: 'kid'"),
+        ("run", "child tag"),
+        ("run", "child _RemoveSlot: 'speak'"),
+        ("run", "child tag"),
+    ],
+    "parent-add-remove": [
+        ("run", "orphan idq"),
+        ("run", "orphan _AddParentSlot: 'mom' Value: mixin"),
+        ("run", "orphan describe"),
+        ("run", "orphan _RemoveSlot: 'mom'"),
+        ("run", "orphan idq"),
+    ],
+    "reclassify": [
+        ("run", "orphan idq"),
+        ("run", "orphan _Reclassify: point"),
+        ("run", "orphan sum"),
+        ("run", "orphan scaled"),
+    ],
+    "method-redefinition": [
+        ("run", "point sum"),
+        ("slots", "point", "| sum = ( x * y ) |"),
+        ("run", "point sum"),
+        ("run", "point scaled"),
+    ],
+    "hot-trait-widening": [
+        # Compile arithmetic against the pristine integer traits, then
+        # widen the traits map (a shape change on a map nearly every
+        # compiled body consulted) and keep computing.
+        ("run", "| s <- 0 | 1 to: 20 Do: [ | :i | s: s + (i * i) ]. s"),
+        ("slots", "traits_integer", "| doubled = ( self + self ) |"),
+        ("run", "5 doubled"),
+        ("run", "| s <- 0 | 1 to: 20 Do: [ | :i | s: s + i doubled ]. s"),
+    ],
+    "data-slot-growth": [
+        ("run", "point sum"),
+        ("run", "point _AddDataSlot: 'z' Value: 9"),
+        ("run", "point z"),
+        ("run", "point z: 11. point z + point sum"),
+    ],
+}
+
+
+def _get_target(world, name):
+    if name == "traits_integer":
+        return world.eval_expression("traits integer")
+    return world.get_global(name)
+
+
+def _replay(script, world, execute):
+    """Run one script's steps; returns the printed result of each run."""
+    results = []
+    for step in SCRIPTS[script]:
+        if step[0] == "run":
+            value = execute(step[1])
+            results.append(world.universe.print_string(value))
+        else:
+            _, name, src = step
+            world.add_slots(src, to=_get_target(world, name))
+    return results
+
+
+@pytest.mark.parametrize("script", sorted(SCRIPTS))
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_mutation_script_matches_interpreter(script, config):
+    interp_world = World()
+    interp_world.add_slots(SETUP)
+    expected = _replay(script, interp_world, interp_world.eval)
+
+    vm_world = World()
+    vm_world.add_slots(SETUP)
+    runtime = Runtime(vm_world, config)
+    got = _replay(script, vm_world, runtime.run)
+
+    assert got == expected, (
+        f"{config.name} diverged from the interpreter on {script!r}: "
+        f"{got} != {expected} "
+        f"(invalidation stats: {vm_world.universe.deps.stats})"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(SCRIPTS))
+def test_mutation_script_with_all_caching_layers(script, monkeypatch, tmp_path):
+    """Same differential, with sharing and the persistent code cache on
+    — run twice so the second pass exercises warm cache loads whose
+    dependency sets are derived structurally at load time."""
+    monkeypatch.setenv("REPRO_SHARE_CODE", "1")
+    monkeypatch.setenv("REPRO_CODE_CACHE", str(tmp_path))
+
+    interp_world = World()
+    interp_world.add_slots(SETUP)
+    expected = _replay(script, interp_world, interp_world.eval)
+
+    for _ in range(2):
+        vm_world = World()
+        vm_world.add_slots(SETUP)
+        runtime = Runtime(vm_world, NEW_SELF)
+        got = _replay(script, vm_world, runtime.run)
+        assert got == expected
+
+
+def test_invalidation_retires_code_and_logs():
+    world = World()
+    world.add_slots(SETUP)
+    runtime = Runtime(world, NEW_SELF)
+    assert runtime.run("point sum") == 7
+    # A body with a dynamic send (unknown receiver type out of a
+    # vector), so the wholesale IC flush has an inline cache site to
+    # clear — a fully folded do-it has none.
+    assert runtime.run(
+        "| v | v: (vector copySize: 2). v at: 0 Put: point. (v at: 0) sum"
+    ) == 7
+    stats = world.universe.deps.stats
+    assert world.universe.deps.edge_count() > 0
+
+    runtime.run("point _SetSlot: 'x' Value: 10")
+    assert runtime.run("point sum") == 14
+    assert stats["codes_retired"] >= 1
+    assert stats["epoch_bumps"] >= 1
+    assert stats["ic_flushes"] >= 1
+    stages = [event.stage for event in runtime.recovery]
+    assert "invalidate" in stages
+    kinds = [event.error_kind for event in runtime.recovery]
+    assert "WorldMutation" in kinds
+
+
+def test_mid_activation_mutation_storms():
+    """A mutation fired while an optimized frame is live on the stack:
+    the runtime enters a deopt storm (pessimistic provisional compiles),
+    then transparently reoptimizes at the next quiet top-level entry."""
+    world = World()
+    world.add_slots(
+        """| counter = (| n = 100.
+             bump = ( self _SetSlot: 'n' Value: n + 1. n ).
+             spin = ( | total <- 0 |
+                      1 to: 5 Do: [ | :i | total: total + self bump ].
+                      total ) |) |"""
+    )
+    runtime = Runtime(world, NEW_SELF)
+    runtime.run("counter spin")
+    assert runtime._deopt_storm is True
+    assert world.universe.deps.stats["frames_deoptimized"] >= 1
+
+    # The next top-level entry finds no live frames: the storm ends,
+    # provisional bodies are dropped, and the event is logged.
+    runtime.run("counter n")
+    assert runtime._deopt_storm is False
+    assert runtime._retired_live == []
+    assert world.universe.deps.stats["reoptimized"] >= 1
+    assert any(event.stage == "reoptimize" for event in runtime.recovery)
+
+    # Post-storm, VM and interpreter reconverge: the settled world
+    # state answers identically from here on (mutations as their own
+    # do-its — a read *after* a mutation in the same activation is the
+    # documented staleness window).
+    n_before = runtime.run("counter n")
+    assert n_before == world.eval("counter n")
+    runtime.run("counter bump")
+    assert runtime.run("counter n") == n_before + 1
+    assert world.eval("counter n") == n_before + 1
+
+
+@pytest.mark.parametrize("mode", faults.MODES)
+@pytest.mark.parametrize(
+    "site",
+    [faults.SITE_CODECACHE_LOAD, faults.SITE_CODECACHE_STORE,
+     faults.SITE_VM_SHARING],
+)
+def test_mutation_script_survives_cache_faults(site, mode, monkeypatch, tmp_path):
+    """Invalidation under injected cache faults: every cache layer may
+    fail or corrupt mid-script and the answers must not change."""
+    monkeypatch.setenv("REPRO_SHARE_CODE", "1")
+    monkeypatch.setenv("REPRO_CODE_CACHE", str(tmp_path))
+
+    interp_world = World()
+    interp_world.add_slots(SETUP)
+    expected = _replay("const-refold", interp_world, interp_world.eval)
+
+    # Warm the cache so load-site faults have entries to chew on.
+    warm_world = World()
+    warm_world.add_slots(SETUP)
+    _replay("const-refold", warm_world, Runtime(warm_world, NEW_SELF).run)
+
+    plan = FaultPlan(site=site, mode=mode, nth=1, persistent=True)
+    faults.install([plan])
+    try:
+        vm_world = World()
+        vm_world.add_slots(SETUP)
+        runtime = Runtime(vm_world, NEW_SELF)
+        got = _replay("const-refold", vm_world, runtime.run)
+        fired = faults.fired()
+    finally:
+        faults.clear()
+
+    assert got == expected, (
+        f"answers changed under {plan}: {got} != {expected} "
+        f"(recovery: {runtime.recovery.summary()})"
+    )
+    if fired and mode == "raise":
+        # A fault that actually fired in a caching layer must be
+        # visible in the recovery log, not silently swallowed.
+        assert runtime.recovery.total >= 1
+
+
+def test_no_mutation_leaves_goldens_untouched():
+    """With zero mutations after setup, dependency recording is pure
+    bookkeeping: no retirement, no recovery events, and bit-identical
+    modeled measurements across fresh identical runs."""
+    source = "| s <- 0 | 1 to: 100 Do: [ | :i | s: s + (i * i) ]. s"
+
+    def measure():
+        world = World()
+        world.add_slots(SETUP)
+        runtime = Runtime(world, NEW_SELF)
+        result = runtime.run(source)
+        return (
+            result, runtime.cycles, runtime.instructions,
+            runtime.code_bytes, runtime.methods_compiled,
+            world.universe.deps.stats["codes_retired"],
+            len(runtime.recovery),
+        )
+
+    first = measure()
+    second = measure()
+    assert first == second
+    assert first[0] == 338350
+    assert first[5] == 0  # nothing retired
+    assert first[6] == 0  # recovery log empty
+
+
+def test_multiple_runtimes_share_one_registry():
+    """Two runtimes over one world: a mutation through either retires
+    dependent code in both."""
+    world = World()
+    world.add_slots(SETUP)
+    rt_a = Runtime(world, NEW_SELF)
+    rt_b = Runtime(world, NEW_SELF)
+    assert rt_a.run("point sum") == 7
+    assert rt_b.run("point sum") == 7
+
+    rt_a.run("point _SetSlot: 'x' Value: 20")
+    assert rt_a.run("point sum") == 24
+    assert rt_b.run("point sum") == 24

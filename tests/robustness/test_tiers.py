@@ -208,3 +208,48 @@ def test_degradation_is_deterministic():
         return answer, runtime.recovery.to_records()
 
     assert summary() == summary()
+
+
+# -- the bounded recovery ring ----------------------------------------------
+
+
+def _note_n(log, n):
+    for i in range(n):
+        log.note("compile", f"sel{i}", TIER_OPTIMIZING, TIER_PESSIMISTIC,
+                 "InjectedFault", f"event {i}")
+
+
+def test_recovery_ring_drops_oldest_beyond_limit():
+    log = RecoveryLog(limit=4)
+    _note_n(log, 10)
+    assert len(log) == 4
+    assert log.total == 10
+    assert log.dropped == 6
+    # The ring keeps the newest events.
+    assert [e.selector for e in log] == ["sel6", "sel7", "sel8", "sel9"]
+    # Per-edge summary covers the retained ring only.
+    assert log.summary() == {"optimizing->pessimistic": 4}
+
+
+def test_recovery_ring_limit_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_RECOVERY_LOG_LIMIT", "2")
+    log = RecoveryLog()
+    assert log.limit == 2
+    _note_n(log, 3)
+    assert (len(log), log.total, log.dropped) == (2, 3, 1)
+    monkeypatch.delenv("REPRO_RECOVERY_LOG_LIMIT")
+    assert RecoveryLog().limit == 4096  # the default
+
+
+def test_recovery_totals_surface_in_metrics():
+    from repro.obs.metrics import registry_for_runtime
+
+    runtime = Runtime(World(), NEW_SELF)
+    runtime.recovery.limit = 2
+    from collections import deque
+
+    runtime.recovery.events = deque(runtime.recovery.events, maxlen=2)
+    _note_n(runtime.recovery, 5)
+    registry = registry_for_runtime(runtime)
+    assert registry.get("tiers.degradations") == 5
+    assert registry.get("tiers.dropped") == 3
