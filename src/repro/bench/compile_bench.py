@@ -58,7 +58,10 @@ def measure_direct(config_name: str = "newself", repeats: int = 40) -> dict:
         compile_code(world.universe, config, doit, lobby_map, "<doit>")
     elapsed = time.perf_counter() - start
     return {
-        "config": config.name,
+        # the registry key ("newself"), not config.name's display label
+        # ("new SELF"): every other cell in this file and BENCH_exec.json
+        # records registry keys, and consumers join on them
+        "config": config_name,
         "repeats": repeats,
         "seconds": elapsed,
         "compiles_per_second": repeats / elapsed if elapsed > 0 else 0.0,

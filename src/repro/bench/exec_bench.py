@@ -1,0 +1,220 @@
+"""Execution (raw wall-clock) throughput benchmark → ``BENCH_exec.json``.
+
+Measures what the translation tier buys in *real seconds* — the one
+number the modeled cost accounting deliberately does not capture.  For
+each workload the same parsed do-it runs twice through identical
+runtimes differing only in ``translate_threshold``:
+
+* **baseline** — threshold 0: every body runs on the predecoded
+  threaded-dispatch stream;
+* **translated** — threshold 1 (configurable): every body is promoted
+  to its specialized host function on first activation.
+
+Methodology notes (they matter):
+
+* modeled counters are compiled out (``REPRO_MODELED_COUNTERS=0``) for
+  both sides — this benchmark is about raw speed, and the accounting
+  instructions would dominate the translated bodies;
+* the do-it is parsed **once** and re-run via ``run_doit``: the method
+  cache keys on the node identity, so warm repeats measure steady-state
+  execution, not re-parsing + re-compiling + re-translating;
+* a few warm-up runs precede timing (IC warm-up, promotion), then the
+  best of N timed repeats is taken on both sides.
+
+Usage::
+
+    python -m repro.bench.exec_bench --json BENCH_exec.json
+    python -m repro.bench.exec_bench --workloads sumTo,towers \
+        --assert-speedup 2.0                                   # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+from typing import Optional
+
+#: schema identifier written into BENCH_exec.json (bump on shape change)
+EXEC_SCHEMA = "repro-bench-exec/1"
+
+#: registry key of the measured system (never the display label)
+EXEC_CONFIG = "newself"
+
+#: default workload set: the t1 send-heavy group plus the two
+#: loop-heavy "small" programs for the upper bound
+DEFAULT_WORKLOADS = (
+    "sumTo", "sieve", "towers", "queens-oo", "tree-oo", "richards",
+)
+
+
+def _timed_run(runtime, doit, warmups: int, best_of: int) -> float:
+    for _ in range(warmups):
+        runtime.run_doit(doit)
+    best = None
+    for _ in range(best_of):
+        start = time.perf_counter()
+        runtime.run_doit(doit)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def measure_workload(
+    name: str,
+    threshold: int = 1,
+    warmups: int = 2,
+    best_of: int = 3,
+) -> dict:
+    """Baseline-vs-translated steady-state seconds for one benchmark."""
+    from ..lang.parser import parse_doit
+    from ..vm.runtime import Runtime
+    from ..world.bootstrap import World
+    from .base import SYSTEMS, get_benchmark
+
+    benchmark = get_benchmark(name)
+    config = SYSTEMS[EXEC_CONFIG]
+    row = {"name": name, "group": benchmark.group}
+    seconds = {}
+    stats = None
+    for label, tier_threshold in (("baseline", 0), ("translated", threshold)):
+        world = World()
+        world.add_slots(benchmark.setup_source)
+        runtime = Runtime(world, config)
+        runtime.translate_threshold = tier_threshold
+        doit = parse_doit(benchmark.run_source)
+        answer = runtime.run_doit(doit)
+        if benchmark.expected is not None and answer != benchmark.expected:
+            raise AssertionError(
+                f"{name} under {label} returned {answer!r}, "
+                f"expected {benchmark.expected!r}"
+            )
+        seconds[label] = _timed_run(
+            runtime, doit, max(warmups, tier_threshold), best_of
+        )
+        if label == "translated":
+            stats = runtime.translate_stats
+    row["baseline_seconds"] = seconds["baseline"]
+    row["translated_seconds"] = seconds["translated"]
+    row["speedup"] = (
+        seconds["baseline"] / seconds["translated"]
+        if seconds["translated"] > 0
+        else 0.0
+    )
+    row["translated_bodies"] = stats["translated"]
+    row["factories_reused"] = stats["reused"]
+    row["emit_seconds"] = stats["emit_seconds"]
+    row["emit_failed"] = stats["emit_failed"]
+    return row
+
+
+def run_benchmark(
+    workloads=DEFAULT_WORKLOADS,
+    threshold: int = 1,
+    warmups: int = 2,
+    best_of: int = 3,
+) -> dict:
+    """Every workload's measurement plus the geometric-mean speedup."""
+    previous = os.environ.get("REPRO_MODELED_COUNTERS")
+    os.environ["REPRO_MODELED_COUNTERS"] = "0"
+    try:
+        rows = [
+            measure_workload(name, threshold, warmups, best_of)
+            for name in workloads
+        ]
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_MODELED_COUNTERS", None)
+        else:
+            os.environ["REPRO_MODELED_COUNTERS"] = previous
+    speedups = [row["speedup"] for row in rows if row["speedup"] > 0]
+    geomean = (
+        math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        if speedups
+        else 0.0
+    )
+    return {
+        "schema": EXEC_SCHEMA,
+        "config": EXEC_CONFIG,
+        "modeled_counters": False,
+        "translate_threshold": threshold,
+        "warmups": warmups,
+        "best_of": best_of,
+        "workloads": rows,
+        "geomean_speedup": geomean,
+    }
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.exec_bench",
+        description=(
+            "Measure raw wall-clock speedup of the translation tier "
+            "over the predecoded threaded-dispatch stream."
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        default="BENCH_exec.json",
+        help="output path (default: BENCH_exec.json; '' to disable)",
+    )
+    parser.add_argument(
+        "--workloads",
+        default=",".join(DEFAULT_WORKLOADS),
+        help="comma-separated benchmark names",
+    )
+    parser.add_argument(
+        "--threshold", type=int, default=1,
+        help="translate threshold for the translated side (default 1)",
+    )
+    parser.add_argument(
+        "--warmups", type=int, default=2, help="unmeasured warm-up runs"
+    )
+    parser.add_argument(
+        "--best-of", type=int, default=3, help="timed repeats (best kept)"
+    )
+    parser.add_argument(
+        "--assert-speedup", type=float, default=None,
+        help="exit 1 unless the geomean speedup reaches this factor",
+    )
+    args = parser.parse_args(argv)
+
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    payload = run_benchmark(
+        workloads=workloads,
+        threshold=args.threshold,
+        warmups=args.warmups,
+        best_of=args.best_of,
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+
+    for row in payload["workloads"]:
+        print(
+            f"{row['name']:12} base={row['baseline_seconds'] * 1e3:9.2f}ms  "
+            f"translated={row['translated_seconds'] * 1e3:9.2f}ms  "
+            f"speedup={row['speedup']:5.2f}x  "
+            f"({row['translated_bodies']} bodies, "
+            f"emit {row['emit_seconds'] * 1e3:.1f}ms)"
+        )
+    print(f"geomean speedup: {payload['geomean_speedup']:.2f}x")
+    if (
+        args.assert_speedup is not None
+        and payload["geomean_speedup"] < args.assert_speedup
+    ):
+        print(
+            f"FAIL: geomean speedup {payload['geomean_speedup']:.2f}x "
+            f"< required {args.assert_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

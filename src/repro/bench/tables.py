@@ -243,7 +243,9 @@ def metrics_table(
     session: Optional[Session] = None,
     benchmark_names: Optional[list[str]] = None,
     systems: Optional[tuple[str, ...]] = None,
-    prefixes: tuple[str, ...] = ("vm.", "ic.", "dispatch.", "tiers."),
+    prefixes: tuple[str, ...] = (
+        "vm.", "ic.", "dispatch.", "tiers.", "translate.",
+    ),
 ) -> str:
     """Per-benchmark unified metrics (the observability registry view).
 

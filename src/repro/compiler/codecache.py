@@ -30,6 +30,14 @@ Loads are corruption-safe by construction: any parse/shape/version
 problem counts as ``corrupt`` and falls back to a fresh compile.
 ``REPRO_CODE_CACHE`` points at the cache directory; empty or ``0``
 disables the layer entirely.
+
+Translation-tier (fourth-tier) output is deliberately **never**
+persisted here: the emitted host source closes over the live universe
+(well-known map identities, attribute classes) and over the exact
+predecoded handler stream, none of which survive a process boundary.
+The cache stores instruction streams only; translated bodies are
+re-emitted per process once a body re-crosses the promotion threshold,
+which ``translate.emit_seconds`` shows to be cheap relative to a miss.
 """
 
 from __future__ import annotations

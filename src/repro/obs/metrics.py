@@ -11,9 +11,10 @@ host overhead.  The registry therefore plays two roles:
   namespace after (or during) a run — :func:`registry_for_runtime`
   produces the unified view: ``compiler.*`` effort/effect stats,
   ``vm.*`` execution measurements, ``ic.*`` inline-cache accounting,
-  ``dispatch.*`` predecode/superinstruction counts, ``tiers.*``
-  degradations, ``invalidation.*`` dependency/invalidation accounting,
-  and ``faults.*`` injection hits.
+  ``dispatch.*`` predecode/superinstruction counts, ``translate.*``
+  translation-tier accounting, ``tiers.*`` degradations,
+  ``invalidation.*`` dependency/invalidation accounting, and
+  ``faults.*`` injection hits.
 
 Snapshots are plain dicts of primitives (JSON-ready); ``diff`` gives
 the delta between two snapshots, which is how a benchmark isolates the
@@ -199,6 +200,12 @@ def collect_runtime(registry: MetricsRegistry, runtime) -> None:
     registry.counter("ic.pic_hits").inc(runtime.send_pic_hits)
     registry.counter("compiler.sharing.hits").inc(runtime.share_hits)
     registry.counter("compiler.sharing.stores").inc(runtime.share_stores)
+    for key, value in sorted(runtime.translate_stats.items()):
+        # emit_seconds is host time (a float), not a monotone count
+        if key == "emit_seconds":
+            registry.gauge("translate.emit_seconds").set(value)
+        else:
+            registry.counter(f"translate.{key}").inc(value)
     code_cache = getattr(runtime, "code_cache", None)
     if code_cache is not None:
         for key, value in sorted(code_cache.stats.items()):

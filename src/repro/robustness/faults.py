@@ -58,6 +58,10 @@ SITE_BENCH_CACHE = "bench.cache"
 SITE_CODECACHE_LOAD = "compiler.codecache.load"
 SITE_CODECACHE_STORE = "compiler.codecache.store"
 SITE_VM_SHARING = "vm.sharing.clone"
+#: the translation tier's emission/compile() seam (vm/translate.py):
+#: raise- and corrupt-mode fires are both contained by marking the body
+#: untranslatable and falling back to the predecoded stream.
+SITE_VM_TRANSLATE = "vm.translate.emit"
 
 #: every site planted in the source tree (the chaos matrix iterates this)
 ALL_SITES = (
@@ -69,6 +73,7 @@ ALL_SITES = (
     SITE_CODECACHE_LOAD,
     SITE_CODECACHE_STORE,
     SITE_VM_SHARING,
+    SITE_VM_TRANSLATE,
 )
 
 MODES = ("raise", "corrupt")

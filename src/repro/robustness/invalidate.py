@@ -70,6 +70,14 @@ def _retire_code(runtime, target: CodeDependency, stats: dict) -> bool:
     """Remove one dependent compiled body from every cache that serves it."""
     code = target.code
     code.retired = True
+    # The translation tier is retired through the same dependency edge:
+    # ``False`` pins the body untranslatable, so live frames fall back
+    # to the (IC-flushed) predecoded stream at their next activation
+    # boundary and the dead body is never re-promoted.  A fresh compile
+    # of the selector gets a fresh Code and earns translation anew.
+    if code.translated:
+        runtime.translate_stats["retired"] += 1
+    code.translated = False
     retired = False
     if target.kind == "method":
         entry = runtime._method_code.get(target.cache_key)

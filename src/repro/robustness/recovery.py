@@ -35,12 +35,17 @@ from collections import deque
 from dataclasses import asdict, dataclass
 from typing import Iterator
 
-#: the tier ladder, fastest first
+#: the tier ladder, fastest first.  "translated" is the raw-speed tier
+#: (vm/translate.py): an optimizing-tier body whose handler stream has
+#: additionally been compiled to one specialized host function; it
+#: degrades back to "optimizing" (the predecoded stream of the same
+#: body) on emission failure or invalidation.
+TIER_TRANSLATED = "translated"
 TIER_OPTIMIZING = "optimizing"
 TIER_PESSIMISTIC = "pessimistic"
 TIER_INTERPRETER = "interpreter"
 
-TIERS = (TIER_OPTIMIZING, TIER_PESSIMISTIC, TIER_INTERPRETER)
+TIERS = (TIER_TRANSLATED, TIER_OPTIMIZING, TIER_PESSIMISTIC, TIER_INTERPRETER)
 
 #: default ring capacity (overridable per log or via the environment)
 DEFAULT_LIMIT = 4096

@@ -12,10 +12,20 @@ Usage::
 
     from repro.tools import method_report
     print(method_report(world, "triangleNumber:"))
+
+As a CLI, the module runs a benchmark workload on a live runtime and
+appends the translation-tier stats (bodies translated, emit seconds,
+fallback entries), so the fourth tier's behavior is inspectable without
+wiring up a bench run::
+
+    python -m repro.tools.report --workload sumTo
+    python -m repro.tools.report frequency --workload richards
 """
 
 from __future__ import annotations
 
+import argparse
+import sys
 from typing import Optional, Sequence
 
 from ..compiler import NEW_SELF, OLD_SELF_90, ST80, STATIC_C, CompilerConfig, compile_code
@@ -118,3 +128,75 @@ def method_report(
                 f"len={summary.length}"
             )
     return "\n".join(lines)
+
+
+def translation_report(runtime) -> str:
+    """The translation tier's accounting for one Runtime, rendered."""
+    stats = runtime.translate_stats
+    lines = [
+        "translation tier:",
+        f"  threshold        {runtime.translate_threshold}"
+        + ("" if runtime.translate_threshold else " (disabled)"),
+        f"  modeled counters {'on' if runtime.modeled_counters else 'off'}",
+        f"  translated       {stats['translated']}",
+        f"  reused           {stats['reused']}",
+        f"  retired          {stats['retired']}",
+        f"  fallback entries {stats['fallback_entries']}",
+        f"  emit failed      {stats['emit_failed']}",
+        f"  emit seconds     {stats['emit_seconds']:.4f}",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.report",
+        description=(
+            "Run a benchmark workload and report per-method compilation "
+            "plus translation-tier stats."
+        ),
+    )
+    parser.add_argument(
+        "selector", nargs="?", default=None,
+        help="optional method selector for a side-by-side compile report",
+    )
+    parser.add_argument(
+        "--holder", default=None,
+        help="global holding the selector (default: the lobby)",
+    )
+    parser.add_argument(
+        "--workload", default="sumTo",
+        help="benchmark to execute for runtime stats (default: sumTo)",
+    )
+    parser.add_argument(
+        "--threshold", type=int, default=None,
+        help="override REPRO_TRANSLATE_THRESHOLD for this run",
+    )
+    args = parser.parse_args(argv)
+
+    from ..bench.base import SYSTEMS, get_benchmark
+    from ..lang.parser import parse_doit
+    from ..vm.runtime import Runtime
+
+    benchmark = get_benchmark(args.workload)
+    world = World()
+    world.add_slots(benchmark.setup_source)
+    runtime = Runtime(world, SYSTEMS["newself"])
+    if args.threshold is not None:
+        runtime.translate_threshold = args.threshold
+    doit = parse_doit(benchmark.run_source)
+    # run enough times to cross the promotion threshold
+    runs = max(2, runtime.translate_threshold + 1)
+    for _ in range(runs):
+        result = runtime.run_doit(doit)
+    print(f"workload {benchmark.name!r} x{runs} -> {result!r}")
+    print()
+    if args.selector:
+        print(method_report(world, args.selector, args.holder))
+        print()
+    print(translation_report(runtime))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

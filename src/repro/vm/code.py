@@ -63,6 +63,8 @@ class Code:
         "dep_keys",
         "disk_key",
         "retired",
+        "translated",
+        "invocations",
     )
 
     def __init__(
@@ -113,6 +115,18 @@ class Code:
         #: set by invalidation: this body's assumptions were broken and
         #: it has been removed from the caches that served it
         self.retired = False
+        #: the translated-tier entry: ``None`` (not yet translated),
+        #: a callable ``fn(vm, frame, regs) -> sentinel`` (the fourth
+        #: tier — see :mod:`.translate`), or ``False`` (translation
+        #: failed or was retired by invalidation; never retry, every
+        #: activation falls back to the predecoded stream).  Labels in
+        #: the translated function are threaded-stream indices, so
+        #: ``frame.pc`` is valid in both representations — the fallback
+        #: PC mapping is the identity.
+        self.translated = None
+        #: fresh activations observed by the dispatch loop (drives
+        #: promotion past ``REPRO_TRANSLATE_THRESHOLD``)
+        self.invocations = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

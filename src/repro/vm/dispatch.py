@@ -240,12 +240,14 @@ def _do_jump(vm, frame, regs, insn, pc):
 def _do_send(vm, frame, regs, insn, pc):
     # insn: (..., dst, selector, recv_reg, arg_regs, site,
     #        hit_cyc, miss_cyc, mega_cyc, pic_cyc, frame_cyc, slot_cyc)
+    #
+    # Split into probe + _send_miss + _send_action so the translation
+    # tier (vm/emit.py) can open-code the monomorphic probe and reuse
+    # the cold halves verbatim instead of duplicating their logic.
     frame.pc = pc
     receiver = regs[insn[5]]
     site = insn[7]
-    receiver_map = vm._map_of(receiver)
-    map_id = receiver_map.map_id
-    if site.cached_map_id == map_id:
+    if site.cached_map_id == vm._map_of(receiver).map_id:
         # Monomorphic inline-cache hit: the fast path of
         # Deutsch–Schiffman caching, which both ST-80 and SELF used.
         site.hits += 1
@@ -253,31 +255,45 @@ def _do_send(vm, frame, regs, insn, pc):
         vm.cycles += insn[8]
         action = site.cached_action
     else:
-        action = site.entries.get(map_id)
-        if action is None:
-            # Cold: full lookup (and possibly a compile).
-            site.misses += 1
-            vm.send_misses += 1
-            vm.cycles += insn[9]
-            action = vm._resolve_send(receiver, receiver_map, insn[4], len(insn[6]))
-            site.entries[map_id] = action
-        elif vm.use_polymorphic_caches:
-            # Extension: a polymorphic inline cache dispatches the
-            # known receiver maps through a stub (§6.1's proposed
-            # fix; PICs in the later literature).
-            site.relinks += 1
-            vm.send_pic_hits += 1
-            vm.cycles += insn[11]
-        else:
-            # The site is polymorphic: the cache keeps relinking.
-            # This is what makes the richards task-dispatch site
-            # expensive (paper, section 6.1).
-            site.relinks += 1
-            vm.send_megamorphic += 1
-            vm.cycles += insn[10]
-        site.cached_map_id = map_id
-        site.cached_action = action
+        action = _send_miss(vm, receiver, site, insn)
+    return _send_action(vm, frame, regs, insn, pc, receiver, action)
 
+
+def _send_miss(vm, receiver, site, insn):
+    """The out-of-line half of SEND: the monomorphic cache missed."""
+    map_id = vm._map_of(receiver).map_id
+    action = site.entries.get(map_id)
+    if action is None:
+        # Cold: full lookup (and possibly a compile).
+        site.misses += 1
+        vm.send_misses += 1
+        vm.cycles += insn[9]
+        action = vm._resolve_send(
+            receiver, vm._map_of(receiver), insn[4], len(insn[6])
+        )
+        site.entries[map_id] = action
+    elif vm.use_polymorphic_caches:
+        # Extension: a polymorphic inline cache dispatches the
+        # known receiver maps through a stub (§6.1's proposed
+        # fix; PICs in the later literature).
+        site.relinks += 1
+        vm.send_pic_hits += 1
+        vm.cycles += insn[11]
+    else:
+        # The site is polymorphic: the cache keeps relinking.
+        # This is what makes the richards task-dispatch site
+        # expensive (paper, section 6.1).
+        site.relinks += 1
+        vm.send_megamorphic += 1
+        vm.cycles += insn[10]
+    site.cached_map_id = map_id
+    site.cached_action = action
+    return action
+
+
+def _send_action(vm, frame, regs, insn, pc, receiver, action):
+    """Perform one resolved send action; returns the next pc (or a
+    negative sentinel when a callee frame was pushed)."""
     kind = action[0]
     if kind == "call":
         vm.cycles += insn[12]

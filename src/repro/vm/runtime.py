@@ -66,6 +66,7 @@ from .code import Code, InlineCacheSite
 from .cost import PRIMITIVE_WORK_CYCLES, CostModel, model_for
 from .dispatch import NLR_SIGNAL, predecode
 from .frame import Frame, NonLocalUnwind
+from .translate import Translator
 
 #: backwards-compatible aliases (Frame used to be defined here)
 _NonLocalUnwind = NonLocalUnwind
@@ -148,6 +149,29 @@ class Runtime:
         self._block_templates: dict[int, object] = {}
         #: bound once: the dispatch handlers' map lookup
         self._map_of = world.universe.map_of
+
+        # -- translation tier (vm/translate.py) ---------------------------
+        #: fresh-activation count at which a body is translated to a
+        #: specialized host function (0 disables the tier)
+        self.translate_threshold = int(
+            os.environ.get("REPRO_TRANSLATE_THRESHOLD", "16") or 0
+        )
+        #: compile modeled-counter accounting into translated bodies
+        #: (default on: goldens stay bit-identical; REPRO_MODELED_COUNTERS=0
+        #: elides all accounting for raw wall-clock runs)
+        self.modeled_counters = (
+            os.environ.get("REPRO_MODELED_COUNTERS", "1") != "0"
+        )
+        self.translator = Translator(self, self.modeled_counters)
+        #: translate.* observability counters (surfaced by obs/metrics.py)
+        self.translate_stats = {
+            "translated": 0,
+            "reused": 0,
+            "retired": 0,
+            "fallback_entries": 0,
+            "emit_failed": 0,
+            "emit_seconds": 0.0,
+        }
 
         # -- measurements ------------------------------------------------
         self.cycles = 0
@@ -585,20 +609,52 @@ class Runtime:
         frames = self.frames
         cycles = 0
         icount = 0
+        threshold = self.translate_threshold
         try:
             while True:
                 frame = frames[-1]
-                insns = frame.code.threaded
+                code = frame.code
                 regs = frame.regs
                 pc = frame.pc
-                # The hot loop: fetch, charge the precomputed modeled
-                # cost, and jump straight to the bound handler.
+                # Tier selection: a hot body runs as one specialized
+                # host function (vm/translate.py).  Promotion counts
+                # fresh activations (pc == 0) only; a deopt storm
+                # suppresses new translations the same way it forces
+                # pessimistic compiles.  ``translated`` is three-state:
+                # None = cold, callable = translated, False = failed or
+                # retired (fall back to the threaded stream forever).
+                fn = code.translated
+                if fn is None and threshold and pc == 0:
+                    count = code.invocations + 1
+                    code.invocations = count
+                    if count >= threshold and not self._deopt_storm:
+                        fn = self.translator.translate(code)
                 try:
-                    while pc >= 0:
-                        insn = insns[pc]
-                        cycles += insn[1]
-                        icount += insn[2]
-                        pc = insn[0](self, frame, regs, insn, pc + 1)
+                    if fn:
+                        # A translated body may *decline* an entry by
+                        # returning a non-negative pc: resume points
+                        # inside a fused leaf have no dispatch label, so
+                        # the rare re-entry there (cold callee, deopt
+                        # fallback, NLR resume) continues this
+                        # activation on the predecoded stream below —
+                        # the identity PC mapping makes that exact.
+                        pc = fn(self, frame, regs)
+                    elif fn is False:
+                        # A retired/untranslatable body: this entry
+                        # fell back to the predecoded stream (the
+                        # identity PC mapping makes any resume
+                        # point valid in both tiers).
+                        self.translate_stats["fallback_entries"] += 1
+                    if pc >= 0:
+                        insns = code.threaded
+                        # The hot loop: fetch, charge the precomputed
+                        # modeled cost, and jump straight to the bound
+                        # handler.
+                        while pc >= 0:
+                            insn = insns[pc]
+                            cycles += insn[1]
+                            icount += insn[2]
+                            pc = insn[0](self, frame, regs, insn, pc + 1)
                 except NonLocalUnwind as unwind:
                     # A nested run segment (or the interpreter tier, via
                     # the bridge) unwound into this segment: pick the
