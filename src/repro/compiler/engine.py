@@ -86,6 +86,20 @@ class BudgetExhausted(Exception):
     with a conservative configuration."""
 
 
+class UnroutableReturn(Exception):
+    """Internal: a block containing ``^`` is about to be materialized
+    while its home method is inlined — at run time that return would
+    unwind the whole physical frame instead of just the (inlined) home
+    activation.  Carries the home method's inline key; the driver
+    retries the same configuration with that method excluded from
+    inlining, which makes the block's home a real frame and the return
+    routable again."""
+
+    def __init__(self, method_key) -> None:
+        super().__init__("a ^-block escapes its inlined home method")
+        self.method_key = method_key
+
+
 #: the conservative configuration every degradation path shares: the
 #: BudgetExhausted retry here and the pessimistic tier in
 #: :mod:`repro.robustness.tiers` must compile identically.
@@ -113,13 +127,32 @@ def compile_once(
     """One compilation attempt under exactly ``config`` — no fallback.
 
     The tiered pipeline calls this so it can observe (and log) every
-    failure, including :class:`BudgetExhausted`, itself.
+    failure, including :class:`BudgetExhausted`, itself.  Internal
+    :class:`UnroutableReturn` restarts under the *same* configuration
+    with the offending method excluded from inlining count as part of
+    this one attempt: they change which sends inline, never the
+    strategy.
     """
-    compiler = MethodCompiler(
-        universe, config, code, receiver_map, selector, is_block,
-        block_template, annotations, watchdog=watchdog, tracer=tracer,
-    )
-    return compiler.compile()
+    no_inline: set = set()
+    while True:
+        compiler = MethodCompiler(
+            universe, config, code, receiver_map, selector, is_block,
+            block_template, annotations, watchdog=watchdog, tracer=tracer,
+            no_inline_keys=frozenset(no_inline),
+        )
+        try:
+            return compiler.compile()
+        except UnroutableReturn as unroutable:
+            if unroutable.method_key in no_inline or len(no_inline) >= 8:
+                # Either the exclusion did not take (a bug) or the
+                # graph is adversarial; give up on this attempt rather
+                # than loop — the caller's containment ladder decides
+                # what happens next.
+                raise CompilerError(
+                    "could not route a non-local return around method "
+                    "inlining"
+                ) from None
+            no_inline.add(unroutable.method_key)
 
 
 def compile_code(
@@ -167,6 +200,7 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
         annotations=None,
         watchdog=None,
         tracer=None,
+        no_inline_keys: frozenset = frozenset(),
     ) -> None:
         self.universe = universe
         self.config = config
@@ -204,6 +238,9 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
         #: across maps (see vm/runtime.py).  Annotated compiles are
         #: map-dependent from the start: annotations key on the map.
         self.map_dependent = annotations is not None
+        #: inline keys excluded after an UnroutableReturn restart: these
+        #: methods hold a ^-block that would otherwise escape inlined
+        self.no_inline_keys = no_inline_keys
         self.stats = {
             "inlined_sends": 0,
             "dynamic_sends": 0,
@@ -215,7 +252,9 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
             "constant_folds": 0,
             "loop_analysis_iterations": 0,
             "loop_versions": 0,
-            "nlr_unsafe_materializations": 0,
+            # seeded with the restarts that got us here: the final graph
+            # reports every hazard that was detected and routed around
+            "nlr_unsafe_materializations": len(no_inline_keys),
         }
 
     # ------------------------------------------------------------------
@@ -320,20 +359,27 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
             return
         if block_has_nlr(closure.block) and closure.scope.home is not self.outer_scope:
             # A ^ in this block targets an *inlined* method; once the
-            # closure escapes to code we cannot see, that return can no
-            # longer be routed (it would unwind the whole physical
-            # frame).  Count it so tests can assert the benchmarks never
-            # rely on this (see DESIGN.md, known limitations).
-            self.bump(
-                "nlr_unsafe_materializations",
-                block=closure.block.block_id,
-            )
+            # closure escapes to code we cannot see, that return cannot
+            # be routed (it would unwind the whole physical frame).
             if self.config.forbid_unsafe_nlr:
                 raise CompilerError(
                     "a block containing ^ escapes its inlined home method "
                     f"(block #{closure.block.block_id}); compile with a "
                     "larger inline budget or restructure the code"
                 )
+            home_key = closure.scope.home.method_key
+            if home_key is not None and home_key not in self.no_inline_keys:
+                # Restart this compile with the home method excluded
+                # from inlining: its frame becomes real and the ^ is
+                # routable again (see compile_once).
+                raise UnroutableReturn(home_key)
+            # Unreachable in practice (the restart removes the inlined
+            # home); kept as the counted last resort so a routing gap
+            # degrades to the documented hazard instead of crashing.
+            self.bump(
+                "nlr_unsafe_materializations",
+                block=closure.block.block_id,
+            )
         template = self.build_block_template(closure)
         node = MakeBlockNode(var, closure.block, self_var=closure.scope.home.self_var)
         node.template = template  # attached for the backend
@@ -927,6 +973,10 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
         if not config.inline_methods:
             if not (config.st80_macros and selector in ST80_MACRO_SELECTORS):
                 return self._refuse_inline(selector, "method inlining disabled")
+        if id(method.code) in self.no_inline_keys:
+            return self._refuse_inline(
+                selector, "a ^-block inside would escape its inlined home"
+            )
         weight = ast_weight(method.code)
         if scope.depth >= config.inline_depth_limit and weight > self.TINY_METHOD_WEIGHT:
             return self._refuse_inline(

@@ -1,0 +1,32 @@
+"""Differential fuzzing subsystem.
+
+Three layers (INTERNALS.md §13):
+
+* :mod:`repro.fuzz.gen` — a seeded, weighted random SELF-program
+  generator (setup objects + probe do-its) with tunable grammar-weight
+  profiles and a size budget;
+* :mod:`repro.fuzz.oracle` — a differential harness running each
+  program on the reference AST interpreter and across the system-config
+  × cache-layer × translation × tier matrix, classifying divergences,
+  crashes, hangs, and recovery-log anomalies;
+* :mod:`repro.fuzz.shrink` — a deterministic delta-debugging reducer
+  producing minimal repro files under ``corpus/``.
+
+CLI: ``python -m repro.tools.fuzz``.
+"""
+
+from .gen import PROFILES, Program, generate  # noqa: F401
+from .oracle import (  # noqa: F401
+    Cell,
+    CellReport,
+    Oracle,
+    ProgramReport,
+    cells_for_program,
+    full_matrix,
+)
+from .shrink import (  # noqa: F401
+    ReproProgram,
+    load_repro,
+    save_repro,
+    shrink,
+)

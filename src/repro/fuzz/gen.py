@@ -1,0 +1,1329 @@
+"""Seeded, weighted random SELF-program generator.
+
+A generated :class:`Program` is a pair of artifacts the differential
+oracle can feed to any evaluator:
+
+* a **setup** slot list (``setup_source``) declaring a handful of
+  prototype objects (data slots, methods, a ``parent*`` link to
+  ``traits clonable`` so method bodies can reach the lobby) plus a few
+  lobby-level recursive/NLR method templates;
+* a sequence of **probe do-its** (``probe_sources``), each a one-line
+  program whose printed answer the oracle compares across systems.
+
+The grammar is weighted: a :class:`Profile` assigns an integer weight
+to every probe kind (arithmetic, floats, strings, vectors, blocks,
+non-local returns, user control structures, method calls, recursion,
+world mutation, reclassification, primitive-failure blocks, bigint
+promotion), so a workload can be tuned from "arithmetic-heavy" to
+"mutation-heavy" without touching the generator.  A **size budget**
+bounds the number of probes and the statement count per probe.
+
+Safety invariants the grammar maintains by construction — these are
+what make "zero divergences expected" a meaningful oracle:
+
+* **termination** — every loop has literal bounds (≤ ``max_loop``,
+  nesting ≤ 2) and every recursive template structurally decreases to
+  a literal base case, so generated programs cannot hang the VM (the
+  compile watchdog separately guards compile-time hangs);
+* **bounded integers** — the generator tracks a conservative magnitude
+  for every integer expression and inserts ``% 9973`` reductions before
+  a product can exceed ``2^27``, so arithmetic stays inside the
+  small-integer range unless the ``bigint`` probe kind deliberately
+  overflows (which marks the program dynamic-only);
+* **mutation at activation boundaries** — world-mutation primitives
+  (``_SetSlot:``/``_AddSlot:``/``_RemoveSlot:``/``_AddParentSlot:``/
+  ``_Reclassify:``) appear only as standalone mutation probes that send
+  no messages to an already-mutated object, because optimized code on
+  the live frame legitimately keeps running until the next activation
+  boundary (INTERNALS.md §11) — a read in the same do-it is *allowed*
+  to see the old world, so comparing it against the interpreter would
+  report false divergences;
+* **static-safety tracking** — probe kinds whose semantics the
+  trusting static config is documented not to preserve (primitive
+  failure on ill-typed operands, bigint promotion, type-changing slot
+  mutation; see DESIGN.md's substitution table) set a dynamic-only
+  feature flag, and the oracle excludes the ``static`` config for such
+  programs exactly as ``tests/integration/test_differential.py`` does.
+
+Determinism: every draw comes from one ``random.Random(seed)``; the
+same ``(seed, profile, size)`` triple always yields byte-identical
+sources.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+#: integer expressions are kept below this magnitude (smallint max is
+#: 2^30 - 1; the slack absorbs additive growth in loop accumulators)
+MAG_LIMIT = 1 << 27
+#: the modulus used to re-bound a product that could overflow
+MOD = 9973
+
+#: features that exclude the trusting ``static`` config from a
+#: program's oracle matrix (guest-visible dynamic-typing semantics);
+#: reclassification is here because it nil-pads the target's data
+#: vector, so later assignable-slot reads can feed ill-typed values to
+#: primitives — exactly the substitution the static config elides
+#: "float" is dynamic-only because the static config trusts integer
+#: type predictions on comparison/arith selectors: a float flowing into
+#: a deep composition the analyzer cannot prove float-typed is exactly
+#: the ill-typed-operand UB the substitution table carves out (simple
+#: literal float snippets survive, but the fuzzer generates compositions)
+DYNAMIC_ONLY_FEATURES = frozenset(
+    {"prim-fail", "bigint", "type-change", "reclassify", "float"}
+)
+
+
+# ---------------------------------------------------------------------------
+# Expression trees
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """One generated expression: interleaved text parts and children.
+
+    ``parts`` has exactly ``len(children) + 1`` strings; rendering
+    alternates them.  Composite expressions are built fully
+    parenthesized so rendering never depends on precedence.  ``mag`` is
+    a conservative bound on the absolute value of integer-sorted
+    expressions (0 for other sorts).
+    """
+
+    __slots__ = ("sort", "parts", "children", "mag", "feature")
+
+    def __init__(
+        self,
+        sort: str,
+        parts: Sequence[str],
+        children: Sequence["Expr"] = (),
+        mag: int = 0,
+        feature: Optional[str] = None,
+    ) -> None:
+        assert len(parts) == len(children) + 1, (parts, children)
+        self.sort = sort
+        self.parts = tuple(parts)
+        self.children = tuple(children)
+        self.mag = mag
+        self.feature = feature
+
+    def render(self) -> str:
+        out = [self.parts[0]]
+        for child, part in zip(self.children, self.parts[1:]):
+            out.append(child.render())
+            out.append(part)
+        return "".join(out)
+
+    def literal_fallback(self) -> Optional["Expr"]:
+        """The simplest same-sort stand-in (None when there isn't one)."""
+        return _SORT_FALLBACKS.get(self.sort)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Expr({self.sort}, {self.render()!r})"
+
+
+def lit(sort: str, text: str, mag: int = 0) -> Expr:
+    return Expr(sort, (text,), (), mag)
+
+
+def int_lit(value: int) -> Expr:
+    if value < 0:
+        return Expr("int", (f"(0 - {-value})",), (), abs(value))
+    return lit("int", str(value), value)
+
+
+_SORT_FALLBACKS = {
+    "int": int_lit(1),
+    "float": lit("float", "1.0"),
+    "bool": lit("bool", "true"),
+    "str": lit("str", "'s'"),
+    "nil": lit("nil", "nil"),
+}
+
+
+def wrap(sort: str, before: str, child: Expr, after: str,
+         mag: int = 0, feature: Optional[str] = None) -> Expr:
+    return Expr(sort, (before, after), (child,), mag, feature)
+
+
+def binop(sort: str, left: Expr, op: str, right: Expr, mag: int) -> Expr:
+    return Expr(sort, ("(", f" {op} ", ")"), (left, right), mag)
+
+
+def keyword(sort: str, recv_text: str, parts: Sequence[str],
+            args: Sequence[Expr], mag: int = 0,
+            feature: Optional[str] = None) -> Expr:
+    """``(recv sel: a1 Sel2: a2)`` with rendered receiver text."""
+    assert len(parts) == len(args)
+    pieces = [f"({recv_text} {parts[0]} "]
+    for part in parts[1:]:
+        pieces.append(f" {part} ")
+    pieces.append(")")
+    return Expr(sort, pieces, args, mag, feature)
+
+
+# ---------------------------------------------------------------------------
+# Probes and setup objects
+# ---------------------------------------------------------------------------
+
+
+class Probe:
+    """One probe do-it: local declarations, statements, a result."""
+
+    __slots__ = ("locals", "stmts", "result", "features", "kind")
+
+    def __init__(
+        self,
+        kind: str,
+        locals_: Sequence[tuple] = (),
+        stmts: Sequence[Expr] = (),
+        result: Optional[Expr] = None,
+        features: Sequence[str] = (),
+    ) -> None:
+        self.kind = kind
+        self.locals = list(locals_)  # (name, init-literal-text or None)
+        self.stmts = list(stmts)
+        self.result = result if result is not None else int_lit(1)
+        self.features = set(features)
+
+    def render(self) -> str:
+        pieces = []
+        if self.locals:
+            decls = ". ".join(
+                f"{name} <- {init}" if init is not None else name
+                for name, init in self.locals
+            )
+            pieces.append(f"| {decls} | ")
+        body = [s.render() for s in self.stmts] + [self.result.render()]
+        pieces.append(". ".join(body))
+        return "".join(pieces)
+
+    def replace(self, stmts=None, result=None) -> "Probe":
+        clone = Probe(self.kind, self.locals, self.stmts, self.result,
+                      self.features)
+        if stmts is not None:
+            clone.stmts = list(stmts)
+        if result is not None:
+            clone.result = result
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Probe({self.kind}, {self.render()!r})"
+
+
+@dataclass
+class SlotSpec:
+    """One slot of a setup object (or of the lobby)."""
+
+    name: str  # "w" for data, "mSel0: a With: b" for methods
+    source: str  # full declaration body, e.g. "3" or "( w * a )"
+    kind: str  # "const" | "assignable" | "method" | "parent"
+    sort: str = "int"
+    mag: int = 0
+
+    def render(self) -> str:
+        if self.kind == "assignable":
+            return f"{self.name} <- {self.source}"
+        if self.kind == "parent":
+            return f"{self.name}* = {self.source}"
+        if self.kind == "method":
+            return f"{self.name} = ( {self.source} )"
+        return f"{self.name} = {self.source}"
+
+
+@dataclass
+class ObjectSpec:
+    """One named prototype object installed on the lobby."""
+
+    name: str
+    slots: list = field(default_factory=list)
+
+    def render(self) -> str:
+        inner = ". ".join(slot.render() for slot in self.slots)
+        return f"{self.name} = (| {inner} |)."
+
+
+@dataclass
+class Program:
+    """A generated program: setup objects + lobby methods + probes."""
+
+    seed: int
+    profile: str
+    size: int
+    objects: list = field(default_factory=list)
+    lobby_methods: list = field(default_factory=list)  # SlotSpec
+    probes: list = field(default_factory=list)
+
+    @property
+    def features(self) -> set:
+        out = set()
+        for probe in self.probes:
+            out |= probe.features
+        return out
+
+    @property
+    def static_safe(self) -> bool:
+        return not (self.features & DYNAMIC_ONLY_FEATURES)
+
+    @property
+    def setup_source(self) -> str:
+        lines = ["|"]
+        for obj in self.objects:
+            lines.append(f"  {obj.render()}")
+        for method in self.lobby_methods:
+            lines.append(f"  {method.render()}.")
+        lines.append("|")
+        return "\n".join(lines)
+
+    @property
+    def probe_sources(self) -> list:
+        return [probe.render() for probe in self.probes]
+
+    @property
+    def pid(self) -> str:
+        digest = hashlib.sha256(
+            "\0".join([self.setup_source] + self.probe_sources).encode()
+        )
+        return digest.hexdigest()[:12]
+
+    def replace(self, probes=None, objects=None, lobby_methods=None) -> "Program":
+        return Program(
+            seed=self.seed,
+            profile=self.profile,
+            size=self.size,
+            objects=list(self.objects if objects is None else objects),
+            lobby_methods=list(
+                self.lobby_methods if lobby_methods is None else lobby_methods
+            ),
+            probes=list(self.probes if probes is None else probes),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Grammar-weight profiles
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Integer weights per probe kind plus structural knobs."""
+
+    name: str
+    weights: dict
+    expr_depth: int = 3
+    max_loop: int = 10
+    max_vector: int = 6
+
+    def weighted_kinds(self) -> tuple:
+        kinds = tuple(k for k, w in self.weights.items() if w > 0)
+        weights = tuple(self.weights[k] for k in kinds)
+        return kinds, weights
+
+
+PROFILES = {
+    "mixed": Profile(
+        name="mixed",
+        weights={
+            "arith": 10, "float": 5, "string": 4, "bool": 5, "vector": 8,
+            "control": 9, "block": 7, "nlr": 6, "method": 9, "recursion": 4,
+            "mutation": 7, "reclassify": 2, "merge": 4,
+            "prim-fail": 2, "bigint": 2,
+        },
+    ),
+    "arith": Profile(
+        name="arith",
+        weights={
+            "arith": 14, "bool": 5, "control": 10, "merge": 3,
+            "block": 4, "method": 5, "recursion": 3, "vector": 4,
+            "string": 2, "nlr": 2,
+            # no mutation, no dynamic-only kinds (floats included):
+            # every program is static-safe, so the static config joins
+            # its matrix
+            "float": 0, "mutation": 0, "reclassify": 0,
+            "prim-fail": 0, "bigint": 0,
+        },
+    ),
+    "mutation": Profile(
+        name="mutation",
+        weights={
+            "mutation": 14, "reclassify": 4, "method": 10, "arith": 5,
+            "vector": 4, "control": 4, "block": 3, "nlr": 3, "merge": 2,
+            "float": 2, "string": 2, "recursion": 2,
+            "prim-fail": 1, "bigint": 1,
+        },
+    ),
+    "control": Profile(
+        name="control",
+        weights={
+            "control": 14, "block": 9, "nlr": 8, "recursion": 6,
+            "arith": 6, "bool": 4, "vector": 5, "method": 6, "merge": 4,
+            "float": 2, "string": 2,
+            "mutation": 0, "reclassify": 0, "prim-fail": 0, "bigint": 0,
+        },
+    ),
+}
+
+
+# ---------------------------------------------------------------------------
+# Object / world model (what the generator believes the world looks like)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Slot:
+    kind: str  # "const" | "assignable" | "method" | "parent"
+    sort: str = "int"
+    mag: int = 0
+    arity: int = 0
+    removable: bool = False  # only generator-added slots may be removed
+
+
+class _ObjModel:
+    """The generator's view of one setup object's current slots."""
+
+    __slots__ = ("name", "slots")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.slots: dict = {}
+
+    def data_slots(self, sort: Optional[str] = None) -> list:
+        return [
+            (n, s) for n, s in sorted(self.slots.items())
+            if s.kind in ("const", "assignable")
+            and (sort is None or s.sort == sort)
+        ]
+
+    def methods(self) -> list:
+        return [
+            (n, s) for n, s in sorted(self.slots.items())
+            if s.kind == "method"
+        ]
+
+    def clone_model(self, name: str) -> "_ObjModel":
+        twin = _ObjModel(name)
+        twin.slots = {k: v for k, v in self.slots.items()}
+        return twin
+
+
+# ---------------------------------------------------------------------------
+# Mutation palette (shared with tools/mutation_stress.py)
+# ---------------------------------------------------------------------------
+
+
+class MutationPalette:
+    """A deterministic stream of world-mutation statements.
+
+    Works over a set of :class:`_ObjModel` views and keeps them in sync
+    with every statement it emits, so later draws only reference slots
+    that actually exist.  ``repro.tools.mutation_stress`` drives this
+    directly; the random generator draws from it for mutation probes.
+    """
+
+    def __init__(self, models: Sequence[_ObjModel], rng: random.Random) -> None:
+        self.models = list(models)
+        self.rng = rng
+        self._fresh = 0
+
+    def _pick(self) -> _ObjModel:
+        return self.models[self.rng.randrange(len(self.models))]
+
+    def _fresh_name(self, stem: str) -> str:
+        self._fresh += 1
+        return f"{stem}{self._fresh}"
+
+    def draw(self, allow_type_change: bool = False) -> tuple:
+        """One mutation statement: ``(source, feature-or-None)``.
+
+        The statement sends no message to the object it mutates beyond
+        the mutation primitive itself, so it is safe to run on a frame
+        compiled against the pre-mutation world (INTERNALS.md §11).
+        """
+        rng = self.rng
+        obj = self._pick()
+        roll = rng.randrange(8)
+        if roll == 0:
+            # rewrite a constant slot (type-preserving unless asked)
+            consts = [(n, s) for n, s in obj.data_slots("int")
+                      if s.kind == "const"]
+            if consts:
+                name, slot = consts[rng.randrange(len(consts))]
+                if allow_type_change and rng.randrange(4) == 0:
+                    slot.sort = "str"
+                    slot.mag = 0
+                    return (f"{obj.name} _SetSlot: '{name}' Value: 'mut'",
+                            "type-change")
+                value = rng.randrange(1, 50)
+                slot.mag = value
+                return (f"{obj.name} _SetSlot: '{name}' Value: {value}", None)
+        if roll == 1:
+            # graft a parent slot pointing at another object
+            others = [m for m in self.models if m is not obj]
+            grafts = [n for n, s in obj.slots.items() if s.kind == "parent"
+                      and s.removable]
+            if others and not grafts:
+                donor = others[rng.randrange(len(others))]
+                name = self._fresh_name("px")
+                obj.slots[name] = _Slot("parent", sort="obj", removable=True)
+                return (
+                    f"{obj.name} _AddParentSlot: '{name}' Value: {donor.name}",
+                    None,
+                )
+        if roll == 2:
+            # drop a generator-added slot (never a seed slot)
+            added = [n for n, s in sorted(obj.slots.items()) if s.removable]
+            if added:
+                name = added[rng.randrange(len(added))]
+                del obj.slots[name]
+                return (f"{obj.name} _RemoveSlot: '{name}'", None)
+        if roll == 3:
+            value = rng.randrange(100)
+            name = self._fresh_name("dd")
+            obj.slots[name] = _Slot("assignable", "int", value, removable=True)
+            return (f"{obj.name} _AddDataSlot: '{name}' Value: {value}", None)
+        # default: add a fresh constant slot
+        value = rng.randrange(100)
+        name = self._fresh_name("tag")
+        obj.slots[name] = _Slot("const", "int", value, removable=True)
+        return (f"{obj.name} _AddSlot: '{name}' Value: {value}", None)
+
+    def stream(self) -> Iterator[str]:
+        """An endless statement stream (mutation_stress's driver)."""
+        while True:
+            yield self.draw()[0]
+
+
+# ---------------------------------------------------------------------------
+# The generator
+# ---------------------------------------------------------------------------
+
+
+class _Gen:
+    def __init__(self, seed: int, profile: Profile, size: int) -> None:
+        self.rng = random.Random(seed)
+        self.profile = profile
+        self.size = max(2, size)
+        #: profiles with zero float weight stay float-free everywhere
+        #: (floats are dynamic-only: the static config trusts integer
+        #: type predictions), so their programs can be static-safe
+        self.allow_float = profile.weights.get("float", 0) > 0
+        self.models: list = []
+        self.lobby: dict = {}  # selector -> _Slot (lobby methods)
+        self.objects: list = []
+        self.lobby_methods: list = []
+        self.palette: Optional[MutationPalette] = None
+        #: probe-local environment, reset per probe:
+        #: name -> (sort, mag) for locals; vectors map name -> length
+        self.locals: dict = {}
+        self.vectors: dict = {}
+        self.loop_vars: list = []
+        #: features accumulated while generating the current probe's
+        #: expressions (e.g. "float" from any float subexpression)
+        self.feat: set = set()
+
+    # -- setup generation ---------------------------------------------------
+
+    def build_setup(self) -> None:
+        count = 2 + (self.size // 8)
+        for index in range(min(count, 4)):
+            self._build_object(f"ob{chr(ord('a') + index)}")
+        self._build_lobby_methods()
+        self.palette = MutationPalette(self.models, self.rng)
+
+    def _build_object(self, name: str) -> None:
+        rng = self.rng
+        model = _ObjModel(name)
+        slots = [SlotSpec("parent", "traits clonable", "parent")]
+        data_names = []
+        for dslot in range(rng.randrange(2, 4)):
+            sname = f"{'whkqz'[dslot]}{name[-1]}"
+            value = rng.randrange(1, 40)
+            kind = "assignable" if rng.randrange(3) == 0 else "const"
+            slots.append(SlotSpec(sname, str(value), kind, "int", value))
+            model.slots[sname] = _Slot(kind, "int", value)
+            data_names.append(sname)
+        for mslot in range(rng.randrange(1, 3)):
+            sel, spec, slot = self._build_method(name, mslot, data_names, model)
+            slots.append(spec)
+            model.slots[sel] = slot
+        self.objects.append(ObjectSpec(name, slots))
+        self.models.append(model)
+
+    def _build_method(self, obj_name: str, index: int,
+                      data_names: list, model: _ObjModel):
+        """One method slot over the object's own data slots."""
+        rng = self.rng
+        arity = rng.randrange(3)
+        params = ["a", "b"][:arity]
+        # the body may reference own data slots and the params; callers
+        # pass arbitrary bounded expressions, so params carry the worst
+        # case magnitude (forces % reductions on any product over them)
+        env = {p: ("int", MAG_LIMIT) for p in params}
+        for dname in data_names:
+            env[dname] = ("int", model.slots[dname].mag)
+        shape = rng.randrange(4)
+        suffix = f"{obj_name[-1]}{index}"
+        if shape == 0 and arity >= 1:
+            # guard + early (non-local) return
+            limit = rng.randrange(5, 25)
+            body = (f"a < {limit} ifTrue: [ ^ {limit} ]. "
+                    f"{self._method_expr(env)}")
+            sel = f"mg{suffix}: a"
+            return f"mg{suffix}:", SlotSpec(sel, body, "method", "int", 0), \
+                _Slot("method", "int", MAG_LIMIT, arity=1)
+        if shape == 1:
+            # bounded loop accumulation (modular: the accumulator must
+            # not creep toward smallint max over the iterations)
+            top = rng.randrange(3, self.profile.max_loop + 1)
+            loop_env = {k: v for k, v in env.items() if k != "b"}
+            body = (f"| s <- 0 | 1 to: {top} Do: [ | :i | "
+                    f"s: ((s + {self._method_expr(loop_env, extra={'i': ('int', top)})})"
+                    f" % {MOD}) ]. s")
+            sel = f"ml{suffix}" + (": a" if arity >= 1 else "")
+            return sel.split(":")[0] + (":" if arity >= 1 else ""), \
+                SlotSpec(sel, body, "method", "int", 0), \
+                _Slot("method", "int", MAG_LIMIT, arity=1 if arity >= 1 else 0)
+        if shape == 2 and arity == 2:
+            sel = f"mp{suffix}: a With: b"
+            body = self._method_expr(env)
+            return f"mp{suffix}:With:", SlotSpec(sel, body, "method", "int", 0), \
+                _Slot("method", "int", MAG_LIMIT, arity=2)
+        # plain expression over the data slots
+        sel = f"me{suffix}" + (": a" if arity >= 1 else "")
+        body = self._method_expr(env)
+        return sel.split(":")[0] + (":" if arity >= 1 else ""), \
+            SlotSpec(sel, body, "method", "int", 0), \
+            _Slot("method", "int", MAG_LIMIT, arity=1 if arity >= 1 else 0)
+
+    def _method_expr(self, env: dict, extra: Optional[dict] = None) -> str:
+        """A small fully-parenthesized int expression over ``env``."""
+        rng = self.rng
+        names = sorted(env) + sorted(extra or {})
+        pool = {**env, **(extra or {})}
+
+        def term():
+            if names and rng.randrange(3) != 0:
+                return names[rng.randrange(len(names))]
+            return str(rng.randrange(1, 20))
+
+        a, b = term(), term()
+        op = rng.choice(["+", "-", "*", "max:", "min:", "bitAnd:"])
+        expr = f"({a} {op} {b})"
+        if op == "*":
+            mag_a = pool.get(a, ("int", int(a) if a.isdigit() else 99))[1]
+            mag_b = pool.get(b, ("int", int(b) if b.isdigit() else 99))[1]
+            if mag_a * mag_b > MAG_LIMIT:
+                expr = f"({expr} % {MOD})"
+        if rng.randrange(3) == 0:
+            expr = f"({expr} + {term()})"
+        return expr
+
+    def _build_lobby_methods(self) -> None:
+        rng = self.rng
+        templates = rng.sample(
+            ["fib", "sumdown", "evenodd", "find", "sumtil"],
+            k=min(2 + self.size // 12, 4),
+        )
+        for index, kind in enumerate(templates):
+            tag = f"{index}"
+            if kind == "fib":
+                sel = f"fzFib{tag}:"
+                self.lobby_methods.append(SlotSpec(
+                    f"fzFib{tag}: n",
+                    f"n < 2 ifTrue: [ ^ n ]. "
+                    f"(fzFib{tag}: n - 1) + (fzFib{tag}: n - 2)",
+                    "method",
+                ))
+                self.lobby[sel] = _Slot("method", "int", 100, arity=1)
+            elif kind == "sumdown":
+                sel = f"fzSum{tag}:"
+                self.lobby_methods.append(SlotSpec(
+                    f"fzSum{tag}: n",
+                    f"n <= 0 ifTrue: [ ^ 0 ]. n + (fzSum{tag}: n - 1)",
+                    "method",
+                ))
+                self.lobby[sel] = _Slot("method", "int", 500, arity=1)
+            elif kind == "evenodd":
+                self.lobby_methods.append(SlotSpec(
+                    f"fzEven{tag}: n",
+                    f"n = 0 ifTrue: [ ^ true ]. fzOdd{tag}: n - 1",
+                    "method",
+                ))
+                self.lobby_methods.append(SlotSpec(
+                    f"fzOdd{tag}: n",
+                    f"n = 0 ifTrue: [ ^ false ]. fzEven{tag}: n - 1",
+                    "method",
+                ))
+                self.lobby[f"fzEven{tag}:"] = _Slot(
+                    "method", "bool", arity=1)
+            elif kind == "find":
+                limit = rng.randrange(3, 30)
+                self.lobby_methods.append(SlotSpec(
+                    f"fzFind{tag}: v",
+                    f"v do: [ | :e | e > {limit} ifTrue: [ ^ e ] ]. 0 - 1",
+                    "method",
+                ))
+                self.lobby[f"fzFind{tag}:"] = _Slot(
+                    "method", "int", MAG_LIMIT, arity=1)
+            elif kind == "sumtil":
+                cap = rng.randrange(10, 60)
+                self.lobby_methods.append(SlotSpec(
+                    f"fzTil{tag}: n",
+                    f"| s <- 0 | 1 to: {cap} Do: [ | :i | s: s + i. "
+                    f"s > n ifTrue: [ ^ s ] ]. s",
+                    "method",
+                ))
+                self.lobby[f"fzTil{tag}:"] = _Slot(
+                    "method", "int", 2000, arity=1)
+
+    # -- expression generation ----------------------------------------------
+
+    def _int_sources(self) -> list:
+        """(render-text, mag) atoms currently in scope with int sort."""
+        atoms = []
+        for name, (sort, mag) in sorted(self.locals.items()):
+            if sort == "int":
+                atoms.append((name, mag))
+        for name in self.loop_vars:
+            atoms.append((name, self.profile.max_loop))
+        for model in self.models:
+            for sname, slot in model.data_slots("int"):
+                atoms.append((f"({model.name} {sname})", max(slot.mag, 99)))
+        return atoms
+
+    def int_expr(self, depth: int) -> Expr:
+        rng = self.rng
+        if depth <= 0 or rng.randrange(4) == 0:
+            atoms = self._int_sources()
+            if atoms and rng.randrange(2) == 0:
+                text, mag = atoms[rng.randrange(len(atoms))]
+                return lit("int", text, mag)
+            return int_lit(rng.randrange(0, 50))
+        roll = rng.randrange(10)
+        if roll < 4:
+            left = self.int_expr(depth - 1)
+            right = self.int_expr(depth - 1)
+            op = rng.choice(["+", "-", "*", "min:", "max:"])
+            if op == "*":
+                mag = left.mag * right.mag
+                product = binop("int", left, "*", right, mag)
+                if mag > MAG_LIMIT:
+                    return binop("int", product, "%", int_lit(MOD), MOD)
+                return product
+            if op in ("min:", "max:"):
+                return binop("int", left, op, right,
+                             max(left.mag, right.mag))
+            return binop("int", left, op, right, left.mag + right.mag)
+        if roll == 4:
+            # division / modulo by a nonzero literal
+            left = self.int_expr(depth - 1)
+            op = rng.choice(["/", "%"])
+            div = int_lit(rng.randrange(1, 97))
+            mag = left.mag if op == "/" else div.mag
+            return binop("int", left, op, div, mag)
+        if roll == 5:
+            inner = self.int_expr(depth - 1)
+            return wrap("int", "(", inner, " abs)", inner.mag)
+        if roll == 6:
+            cond = self.bool_expr(depth - 1)
+            a = self.int_expr(depth - 1)
+            b = self.int_expr(depth - 1)
+            return Expr(
+                "int",
+                ("(", " ifTrue: [ ", " ] False: [ ", " ])"),
+                (cond, a, b),
+                max(a.mag, b.mag),
+            )
+        if roll == 7:
+            arg = self.int_expr(depth - 1)
+            shift = int_lit(self.rng.randrange(0, 4))
+            return binop("int", arg, "bitShiftRight:", shift, arg.mag)
+        if roll == 8:
+            inner = self.int_expr(depth - 1)
+            factor = int_lit(rng.randrange(1, 9))
+            body = binop("int", lit("int", "x", inner.mag), "+", factor,
+                         inner.mag + factor.mag)
+            return Expr(
+                "int",
+                ("([ | :x | ", " ] value: ", ")"),
+                (body, inner),
+                inner.mag + factor.mag,
+            )
+        call = self._method_call_expr(depth)
+        if call is not None:
+            return call
+        return int_lit(rng.randrange(0, 50))
+
+    def _method_call_expr(self, depth: int) -> Optional[Expr]:
+        """A call to a generated setup-object or lobby method."""
+        rng = self.rng
+        candidates = []
+        for model in self.models:
+            for sel, slot in model.methods():
+                if slot.sort == "int":
+                    candidates.append((model.name, sel, slot))
+        for sel, slot in sorted(self.lobby.items()):
+            if slot.sort == "int" and sel.startswith(("fzFib", "fzSum", "fzTil")):
+                candidates.append(("", sel, slot))
+        if not candidates:
+            return None
+        recv, sel, slot = candidates[rng.randrange(len(candidates))]
+        parts = sel.split(":")[:-1] if ":" in sel else []
+        if recv == "":
+            # lobby recursion templates take one small literal argument
+            arg = int_lit(rng.randrange(0, 10 if "Fib" in sel else 15))
+            return keyword("int", "", [sel.split(":")[0] + ":"], [arg],
+                           mag=MAG_LIMIT)
+        if not parts:
+            return lit("int", f"({recv} {sel})", MAG_LIMIT)
+        arg_exprs = [self.int_expr(max(depth - 2, 0)) for _ in parts]
+        sel_parts = [f"{parts[0]}:"] + [f"{p}:" for p in parts[1:]]
+        return keyword("int", recv, sel_parts, arg_exprs, mag=MAG_LIMIT)
+
+    def bool_expr(self, depth: int) -> Expr:
+        rng = self.rng
+        roll = rng.randrange(8)
+        if roll < 3 or depth <= 0:
+            left = self.int_expr(max(depth - 1, 0))
+            right = self.int_expr(max(depth - 1, 0))
+            op = rng.choice(["<", "<=", ">", ">=", "=", "!="])
+            return binop("bool", left, op, right, 0)
+        if roll == 3:
+            inner = self.int_expr(depth - 1)
+            sel = rng.choice(["even", "odd"])
+            return wrap("bool", "(", inner, f" {sel})")
+        if roll == 4:
+            inner = self.bool_expr(depth - 1)
+            return wrap("bool", "(", inner, " not)")
+        if roll == 5:
+            left = self.bool_expr(depth - 1)
+            right = self.bool_expr(depth - 1)
+            op = rng.choice(["and:", "or:"])
+            return Expr("bool", ("(", f" {op} [ ", " ])"), (left, right))
+        if roll == 6:
+            mid = self.int_expr(depth - 1)
+            lo = int_lit(rng.randrange(0, 10))
+            hi = int_lit(rng.randrange(10, 99))
+            return Expr(
+                "bool", ("(", " between: ", " And: ", ")"), (mid, lo, hi)
+            )
+        if self.allow_float:
+            left = self.float_expr(depth - 1)
+            right = self.float_expr(depth - 1)
+        else:
+            left = self.int_expr(max(depth - 1, 0))
+            right = self.int_expr(max(depth - 1, 0))
+        op = rng.choice(["<", "<=", ">", ">="])
+        return binop("bool", left, op, right, 0)
+
+    def float_expr(self, depth: int) -> Expr:
+        rng = self.rng
+        self.feat.add("float")
+        if depth <= 0 or rng.randrange(3) == 0:
+            for name, (sort, _mag) in sorted(self.locals.items()):
+                if sort == "float" and rng.randrange(2) == 0:
+                    return lit("float", name)
+            return lit("float", f"{rng.randrange(0, 200) / 10:.1f}")
+        roll = rng.randrange(5)
+        if roll < 3:
+            left = self.float_expr(depth - 1)
+            right = self.float_expr(depth - 1)
+            op = rng.choice(["+", "-", "*"])
+            return binop("float", left, op, right, 0)
+        if roll == 3:
+            inner = self.int_expr(depth - 1)
+            return wrap("float", "(", inner, " asFloat)")
+        left = self.float_expr(depth - 1)
+        right = self.float_expr(depth - 1)
+        op = rng.choice(["min:", "max:"])
+        return binop("float", left, op, right, 0)
+
+    def str_expr(self, depth: int) -> Expr:
+        rng = self.rng
+        if depth <= 0 or rng.randrange(3) == 0:
+            text = "".join(
+                rng.choice("abcdefgh") for _ in range(rng.randrange(1, 4))
+            )
+            return lit("str", f"'{text}'")
+        if rng.randrange(2) == 0:
+            left = self.str_expr(depth - 1)
+            right = self.str_expr(depth - 1)
+            return binop("str", left, ",", right, 0)
+        inner = self.int_expr(depth - 1)
+        return wrap("str", "(", inner, " printString)")
+
+    # -- probe kinds ----------------------------------------------------------
+
+    def _reset_probe_env(self) -> None:
+        self.locals = {}
+        self.vectors = {}
+        self.loop_vars = []
+        self.feat = set()
+
+    def probe_arith(self) -> Probe:
+        return Probe("arith", result=self.int_expr(self.profile.expr_depth))
+
+    def probe_float(self) -> Probe:
+        rng = self.rng
+        if rng.randrange(3) == 0:
+            inner = self.float_expr(self.profile.expr_depth - 1)
+            return Probe("float", result=wrap("int", "(", inner, " truncate)"))
+        return Probe("float", result=self.float_expr(self.profile.expr_depth))
+
+    def probe_string(self) -> Probe:
+        return Probe("string", result=self.str_expr(self.profile.expr_depth))
+
+    def probe_bool(self) -> Probe:
+        return Probe("bool", result=self.bool_expr(self.profile.expr_depth))
+
+    def probe_merge(self) -> Probe:
+        """The extended-splitting shape: a merge of two sorts, then a
+        sort-indifferent message over the merged value."""
+        cond = self.bool_expr(1)
+        a = self.int_expr(1)
+        # without floats the merge degenerates to int|int — still a
+        # path merge, just not a sort merge
+        b = self.float_expr(1) if self.allow_float else self.int_expr(1)
+        stmt = Expr(
+            "nil",
+            ("", " ifTrue: [ x: ", " ] False: [ x: ", " ]"),
+            (cond, a, b),
+        )
+        result = lit("int", "(x printString size)")
+        return Probe("merge", locals_=[("x", None)], stmts=[stmt],
+                     result=result)
+
+    def probe_vector(self) -> Probe:
+        rng = self.rng
+        length = rng.randrange(2, self.profile.max_vector + 1)
+        self.locals["s"] = ("int", 0)
+        stmts = [lit("nil", f"v: (vector copySize: {length} FillingWith: 0)")]
+        for index in rng.sample(range(length), k=rng.randrange(1, length + 1)):
+            value = self.int_expr(1)
+            stmts.append(Expr(
+                "nil", (f"v at: {index} Put: ", ""), (value,), 0
+            ))
+        kind = rng.randrange(6)
+        if kind == 0:
+            result = lit("int", "(v sum)", MAG_LIMIT)
+        elif kind == 1:
+            result = lit("int", f"((v at: {rng.randrange(length)}) + v size)",
+                         MAG_LIMIT)
+        elif kind == 2:
+            result = lit("int", "(v reverse sum)", MAG_LIMIT)
+        elif kind == 3:
+            needle = self.int_expr(0)
+            result = Expr("bool", ("(v includes: ", ")"), (needle,))
+        elif kind == 4:
+            body = binop("int", lit("int", "acc", MAG_LIMIT), "+",
+                         lit("int", "e", MAG_LIMIT), MAG_LIMIT)
+            result = Expr(
+                "int",
+                ("(v inject: 0 Into: [ | :acc. :e | ", " ])"),
+                (body,),
+                MAG_LIMIT,
+            )
+        else:
+            stmts.append(lit("nil", "v do: [ | :e | s: s + e ]"))
+            result = lit("int", "s", MAG_LIMIT)
+        return Probe("vector", locals_=[("v", None), ("s", "0")],
+                     stmts=stmts, result=result)
+
+    def probe_control(self) -> Probe:
+        """Loop accumulation over the user control structures.
+
+        Every accumulation is modular (``% 99730``) so the accumulator —
+        which the loop body may itself reference — can never creep
+        toward the small-integer ceiling no matter what the body draws.
+        """
+        rng = self.rng
+        top = rng.randrange(2, self.profile.max_loop + 1)
+        cap = MOD * 10
+        self.locals["s"] = ("int", cap)
+        kind = rng.randrange(5)
+        if kind == 0:
+            self.loop_vars.append("i")
+            body = self.int_expr(1)
+            self.loop_vars.pop()
+            stmt = Expr(
+                "nil",
+                (f"1 to: {top} Do: [ | :i | s: ((s + ", f") % {cap}) ]"),
+                (body,),
+            )
+        elif kind == 1:
+            self.loop_vars.append("i")
+            body = self.int_expr(1)
+            self.loop_vars.pop()
+            step = rng.randrange(1, 4)
+            stmt = Expr(
+                "nil",
+                (f"1 to: {top * 3} By: {step} Do: "
+                 f"[ | :i | s: ((s + ", f") % {cap}) ]"),
+                (body,),
+            )
+        elif kind == 2:
+            self.loop_vars.append("i")
+            body = self.int_expr(1)
+            self.loop_vars.pop()
+            stmt = Expr(
+                "nil",
+                (f"{top} downTo: 1 Do: [ | :i | s: ((s + ", f") % {cap}) ]"),
+                (body,),
+            )
+        elif kind == 3:
+            body = self.int_expr(1)
+            stmt = Expr(
+                "nil",
+                (f"{top} timesRepeat: [ s: ((s + ", f") % {cap}) ]"),
+                (body,),
+            )
+        else:
+            self.locals["n"] = ("int", top)
+            body = self.int_expr(1)
+            stmt = Expr(
+                "nil",
+                ("[ n > 0 ] whileTrue: [ s: ((s + ", f") % {cap}). n: n - 1 ]"),
+                (body,),
+            )
+            return Probe(
+                "control",
+                locals_=[("s", "0"), ("n", str(top))],
+                stmts=[stmt],
+                result=lit("int", "s", cap),
+            )
+        return Probe("control", locals_=[("s", "0")], stmts=[stmt],
+                     result=lit("int", "s", cap))
+
+    def probe_block(self) -> Probe:
+        rng = self.rng
+        kind = rng.randrange(3)
+        if kind == 0:
+            # one block, applied twice with different arguments; the
+            # argument can be any bounded expression, so reduce it
+            # before the product
+            factor = int_lit(rng.randrange(1, 9))
+            body = binop("int", lit("int", f"(x % {MOD})", MOD), "*",
+                         factor, MOD * 8)
+            a1 = self.int_expr(1)
+            a2 = self.int_expr(1)
+            stmt = Expr("nil", ("b: [ | :x | ", " ]"), (body,))
+            result = Expr(
+                "int", ("((b value: ", ") + (b value: ", "))"),
+                (a1, a2), MAG_LIMIT,
+            )
+            return Probe("block", locals_=[("b", None)], stmts=[stmt],
+                         result=result)
+        if kind == 1:
+            # closure capturing a mutable local
+            init = rng.randrange(0, 20)
+            bump = self.int_expr(1)
+            stmt1 = lit("nil", f"b: [ a + {rng.randrange(1, 9)} ]")
+            stmt2 = Expr("nil", ("a: (a + ", ")"), (bump,))
+            return Probe(
+                "block",
+                locals_=[("a", str(init)), ("b", None)],
+                stmts=[stmt1, stmt2],
+                result=lit("int", "(b value)", MAG_LIMIT),
+            )
+        # block-returning-block (the closure-identity shape)
+        n1 = int_lit(rng.randrange(1, 9))
+        n2 = int_lit(rng.randrange(1, 9))
+        stmt = lit("nil", "make: [ | :n | [ n * 10 ] ]")
+        result = Expr(
+            "int",
+            ("(((make value: ", ") value) + ((make value: ", ") value))"),
+            (n1, n2), 200,
+        )
+        return Probe("block", locals_=[("make", None)], stmts=[stmt],
+                     result=result)
+
+    def probe_nlr(self) -> Probe:
+        rng = self.rng
+        finders = [s for s in self.lobby if s.startswith("fzFind")]
+        tils = [s for s in self.lobby if s.startswith("fzTil")]
+        guards = []
+        for model in self.models:
+            for sel, slot in model.methods():
+                if sel.startswith("mg"):
+                    guards.append((model.name, sel))
+        choices = (["find"] if finders else []) + (["til"] if tils else []) \
+            + (["guard"] if guards else [])
+        if not choices:
+            return self.probe_control()
+        kind = rng.choice(choices)
+        if kind == "find":
+            sel = finders[rng.randrange(len(finders))]
+            length = rng.randrange(2, 6)
+            stmts = [lit("nil", f"v: (vector copySize: {length} FillingWith: 0)")]
+            for index in range(length):
+                stmts.append(Expr(
+                    "nil", (f"v at: {index} Put: ", ""),
+                    (self.int_expr(1),),
+                ))
+            result = lit("int", f"({sel.split(':')[0]}: v)", MAG_LIMIT)
+            return Probe("nlr", locals_=[("v", None)], stmts=stmts,
+                         result=result)
+        if kind == "til":
+            sel = tils[rng.randrange(len(tils))]
+            arg = self.int_expr(1)
+            result = keyword("int", "", [sel.split(":")[0] + ":"], [arg],
+                             mag=2000)
+            return Probe("nlr", result=result)
+        recv, sel = guards[rng.randrange(len(guards))]
+        arg = self.int_expr(1)
+        result = keyword("int", recv, [sel], [arg], mag=MAG_LIMIT)
+        return Probe("nlr", result=result)
+
+    def probe_method(self) -> Probe:
+        call = self._method_call_expr(self.profile.expr_depth)
+        if call is None:
+            return self.probe_arith()
+        if self.rng.randrange(3) == 0:
+            extra = self.int_expr(1)
+            call = binop("int", call, "+", extra, MAG_LIMIT)
+        return Probe("method", result=call)
+
+    def probe_recursion(self) -> Probe:
+        rng = self.rng
+        evens = [s for s in self.lobby if s.startswith("fzEven")]
+        if evens and rng.randrange(2) == 0:
+            sel = evens[rng.randrange(len(evens))]
+            arg = int_lit(rng.randrange(0, 16))
+            return Probe("recursion", result=keyword(
+                "bool", "", [sel], [arg]))
+        call = self._method_call_expr(1)
+        if call is None:
+            return self.probe_arith()
+        return Probe("recursion", result=call)
+
+    def probe_mutation(self) -> Probe:
+        """A standalone mutation probe (one to three statements).
+
+        Only mutation statements and a trailing literal appear: sends to
+        an object mutated earlier in the same do-it would legitimately
+        run pre-mutation code until the next activation boundary
+        (INTERNALS.md §11), so the grammar never generates them.
+        """
+        rng = self.rng
+        allow_change = self.profile.weights.get("mutation", 0) >= 10
+        stmts = []
+        features = ["mutation"]
+        for _ in range(rng.randrange(1, 3)):
+            source, feature = self.palette.draw(allow_type_change=allow_change)
+            stmts.append(lit("nil", source))
+            if feature:
+                features.append(feature)
+        final, feature = self.palette.draw(allow_type_change=allow_change)
+        if feature:
+            features.append(feature)
+        return Probe("mutation", stmts=stmts, result=lit("obj", final),
+                     features=features)
+
+    def probe_reclassify(self) -> Probe:
+        rng = self.rng
+        if len(self.models) < 2:
+            return self.probe_mutation()
+        target, proto = rng.sample(self.models, k=2)
+        # the generator's model tracks the slot swap so later probes only
+        # reference slots the reclassified object actually has; the
+        # target keeps its *old* data vector nil-padded, so assignable
+        # slots under the new map hold values of unknown sort — mark
+        # them so the expression pool won't treat them as integers
+        target.slots = {
+            k: (_Slot("assignable", "any") if v.kind == "assignable" else v)
+            for k, v in proto.slots.items()
+        }
+        return Probe(
+            "reclassify",
+            result=lit("obj", f"{target.name} _Reclassify: {proto.name}"),
+            features=["mutation", "reclassify"],
+        )
+
+    def probe_prim_fail(self) -> Probe:
+        """Explicit primitive-failure blocks (dynamic-only)."""
+        rng = self.rng
+        kind = rng.randrange(4)
+        if kind == 0:
+            arg = self.int_expr(1)
+            result = Expr(
+                "str", ("(", " _IntAdd: 'x' IfFail: [ | :e | e ])"), (arg,)
+            )
+        elif kind == 1:
+            arg = self.int_expr(1)
+            result = Expr(
+                "str", ("(", " _IntDiv: 0 IfFail: [ | :e | e ])"), (arg,)
+            )
+        elif kind == 2:
+            fallback = int_lit(rng.randrange(50))
+            arg = self.int_expr(1)
+            result = Expr(
+                "int", ("(", " _IntMul: 'y' IfFail: [ | :e | ", " ])"),
+                (arg, fallback), fallback.mag,
+            )
+        else:
+            result = lit("str", "(3 _IntShl: 'z' IfFail: [ | :e | e ])")
+        return Probe("prim-fail", result=result, features=["prim-fail"])
+
+    def probe_bigint(self) -> Probe:
+        """Overflow promotion and demotion (dynamic-only)."""
+        rng = self.rng
+        base = 1073741823  # smallint max
+        kind = rng.randrange(3)
+        if kind == 0:
+            bump = self.int_expr(1)
+            result = Expr("int", (f"({base} + ", ")"), (bump,))
+        elif kind == 1:
+            bump = int_lit(rng.randrange(1, 99))
+            result = Expr(
+                "int", (f"(({base} + ", f") - {base})"), (bump,), bump.mag
+            )
+        else:
+            factor = rng.randrange(100000, 200000)
+            result = lit("int", f"(({factor} * {factor}) / {factor})", factor)
+        return Probe("bigint", result=result, features=["bigint"])
+
+    KINDS = {
+        "arith": probe_arith,
+        "float": probe_float,
+        "string": probe_string,
+        "bool": probe_bool,
+        "merge": probe_merge,
+        "vector": probe_vector,
+        "control": probe_control,
+        "block": probe_block,
+        "nlr": probe_nlr,
+        "method": probe_method,
+        "recursion": probe_recursion,
+        "mutation": probe_mutation,
+        "reclassify": probe_reclassify,
+        "prim-fail": probe_prim_fail,
+        "bigint": probe_bigint,
+    }
+
+    def build_probes(self) -> list:
+        kinds, weights = self.profile.weighted_kinds()
+        probes = []
+        for _ in range(self.size):
+            self._reset_probe_env()
+            kind = self.rng.choices(kinds, weights=weights, k=1)[0]
+            probe = self.KINDS[kind](self)
+            probe.features |= self.feat
+            probes.append(probe)
+        return probes
+
+
+def generate(seed: int, profile: str = "mixed", size: int = 12) -> Program:
+    """Generate one program from ``(seed, profile, size)``.
+
+    ``size`` is the probe budget; setup complexity scales mildly with
+    it.  The same triple always produces byte-identical sources.
+    """
+    prof = PROFILES[profile] if isinstance(profile, str) else profile
+    gen = _Gen(seed, prof, size)
+    gen.build_setup()
+    probes = gen.build_probes()
+    return Program(
+        seed=seed,
+        profile=prof.name,
+        size=size,
+        objects=gen.objects,
+        lobby_methods=gen.lobby_methods,
+        probes=probes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The mutation-stress kit (tools/mutation_stress.py sources this)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StressKit:
+    """Setup + probe pool + mutation stream for the stress driver."""
+
+    setup_source: str
+    probes: tuple
+    models: tuple
+
+    def mutation_stream(self, rng: random.Random) -> Iterator[str]:
+        """An endless deterministic stream of mutation do-its.
+
+        Fresh model copies per stream: two streams with equal-seeded
+        RNGs yield identical statements.
+        """
+        models = tuple(m.clone_model(m.name) for m in self.models)
+        return MutationPalette(models, rng).stream()
+
+
+def stress_kit() -> StressKit:
+    """The canonical mutation-stress workload, built from the grammar.
+
+    Deterministic (seed 0 everywhere): the same shapes the historical
+    hard-coded ``SETUP``/``PROBES`` literals described — a mutable
+    arithmetic object, a pick-probe object, and a graft donor — now
+    expressed as :class:`ObjectSpec`/:class:`Probe` values so the fuzz
+    generator and the stress driver share one grammar.
+    """
+    shape = ObjectSpec("shape", [
+        SlotSpec("w", "3", "const", "int", 3),
+        SlotSpec("h", "4", "const", "int", 4),
+        SlotSpec("area", "w * h", "method", "int"),
+        SlotSpec("perim", "(w + h) * 2", "method", "int"),
+    ])
+    probe_obj = ObjectSpec("probe", [
+        SlotSpec("pick", "1", "method", "int"),
+    ])
+    extras = ObjectSpec("extras", [
+        SlotSpec("bonus", "100", "method", "int"),
+    ])
+
+    shape_model = _ObjModel("shape")
+    shape_model.slots = {
+        "w": _Slot("const", "int", 3),
+        "h": _Slot("const", "int", 4),
+        "area": _Slot("method", "int", 2500),
+        "perim": _Slot("method", "int", 200),
+    }
+    probe_model = _ObjModel("probe")
+    probe_model.slots = {"pick": _Slot("method", "int", 100)}
+    extras_model = _ObjModel("extras")
+    extras_model.slots = {"bonus": _Slot("method", "int", 100)}
+
+    setup_lines = ["|"]
+    for obj in (shape, probe_obj, extras):
+        setup_lines.append(f"  {obj.render()}")
+    setup_lines.append("|")
+
+    probes = (
+        Probe("method", result=lit("int", "shape area", 2500)),
+        Probe("method", result=lit("int", "shape perim", 200)),
+        Probe("arith", result=binop(
+            "int", lit("int", "shape area", 2500), "+",
+            lit("int", "shape perim", 200), 2700)),
+        Probe(
+            "control",
+            locals_=[("s", "0")],
+            stmts=[Expr("nil",
+                        ("1 to: 8 Do: [ | :i | s: s + ", " ]"),
+                        (lit("int", "(shape area)", 2500),))],
+            result=lit("int", "s", 20000),
+        ),
+        Probe(
+            "vector",
+            locals_=[("v", None)],
+            stmts=[
+                lit("nil", "v: (vector copySize: 2)"),
+                lit("nil", "v at: 0 Put: shape"),
+            ],
+            result=lit("int", "(v at: 0) perim", 200),
+        ),
+        Probe("method", result=lit("int", "probe pick", 100)),
+    )
+    return StressKit(
+        setup_source="\n".join(setup_lines),
+        probes=probes,
+        models=(shape_model, probe_model, extras_model),
+    )

@@ -1,0 +1,422 @@
+"""The differential oracle: reference semantics vs the full matrix.
+
+The reference AST interpreter defines the language; every VM
+configuration, at every tier, under every caching layer, must produce
+the same observable answer for every probe of a generated program.
+The oracle runs one :class:`~repro.fuzz.gen.Program` through the
+reference interpreter once, then replays it in each matrix **cell** and
+compares every intermediate answer:
+
+======================  ====================================================
+axis                    values
+======================  ====================================================
+``config``              ``newself`` / ``oldself`` / ``st80`` / ``static``
+                        (``static`` only for ``Program.static_safe``)
+``share``               code sharing on / off (``REPRO_SHARE_CODE``)
+``cache``               persistent code cache off / cold / warm
+                        (``REPRO_CODE_CACHE``; *warm* runs a populate pass
+                        into a fresh directory, then measures a second
+                        fresh world against the now-populated cache)
+``translate``           translation tier off / forced
+                        (``REPRO_TRANSLATE_THRESHOLD`` 0 / 1)
+``tier``                ``full`` ladder, or ``interp`` — a persistent
+                        raise-mode fault on ``compiler.engine`` degrades
+                        every compile to the tier interpreter, exercising
+                        the whole recovery path
+======================  ====================================================
+
+A cell's outcome is classified as one of:
+
+* ``agree`` — every probe matched the reference;
+* ``divergence`` — some probe's answer differed (guest errors count as
+  answers: both sides must fail with the same error kind);
+* ``crash`` — a host-level or internal error escaped the runtime;
+* ``hang`` — the compile watchdog fired (:class:`CompileTimeout`);
+* ``recovery-anomaly`` — answers matched but the recovery log recorded
+  a degradation whose cause was neither a guest error, the pre-existing
+  ``BudgetExhausted`` safety valve, nor a fault this cell armed itself.
+
+Fault interplay: the oracle saves the ambient
+:func:`repro.robustness.faults.installed_plans`, arms its own plans
+(fresh hit counters per cell, so shrinking re-runs are deterministic),
+and restores the ambient installation afterwards.  The registered
+``fuzz.probe.result`` site sits on the cell-side observation of each
+probe: a corrupt-mode plan perturbs one observed answer (the planted
+divergence the acceptance test shrinks), a raise-mode plan surfaces as
+a crash.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..compiler.config import PRESETS
+from ..objects.errors import CompileTimeout, SelfError
+from ..obs.metrics import MetricsRegistry, collect_runtime
+from ..robustness import faults
+from ..robustness.faults import SITE_FUZZ_PROBE, FaultPlan
+from ..vm.runtime import Runtime
+from ..world.bootstrap import World
+from .gen import Program
+
+#: the baseline cell every program is checked against
+BASELINE = ("newself", True, "off", "off", "full")
+
+CLASSIFICATIONS = (
+    "agree", "divergence", "crash", "hang", "recovery-anomaly",
+)
+
+#: recovery-log error kinds that are expected without any armed fault:
+#: guest errors surface identically at every tier (the ladder does not
+#: contain them, but nested compiles legitimately degrade on them) and
+#: BudgetExhausted is the pre-existing node-budget safety valve.
+_BENIGN_ERROR_KINDS = frozenset({
+    "MessageNotUnderstood", "PrimitiveFailed", "GuestError",
+    "AmbiguousLookup", "WrongBlockArity", "SlotExists",
+    "NonLocalReturnFromDeadActivation", "SelfParseError",
+    "BudgetExhausted",
+})
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One point of the differential matrix."""
+
+    config: str  # a PRESETS key
+    share: bool = True
+    cache: str = "off"  # "off" | "cold" | "warm"
+    translate: str = "off"  # "off" | "forced"
+    tier: str = "full"  # "full" | "interp"
+
+    def __post_init__(self) -> None:
+        if self.config not in PRESETS:
+            raise ValueError(f"unknown config {self.config!r}")
+        if self.cache not in ("off", "cold", "warm"):
+            raise ValueError(f"unknown cache state {self.cache!r}")
+        if self.translate not in ("off", "forced"):
+            raise ValueError(f"unknown translate state {self.translate!r}")
+        if self.tier not in ("full", "interp"):
+            raise ValueError(f"unknown tier {self.tier!r}")
+
+    @property
+    def key(self) -> str:
+        share = "share" if self.share else "noshare"
+        return (f"{self.config}/{share}/cache={self.cache}"
+                f"/translate={self.translate}/{self.tier}")
+
+    @classmethod
+    def from_key(cls, key: str) -> "Cell":
+        """Inverse of :attr:`key`."""
+        try:
+            config, share, cache, translate, tier = key.split("/")
+            return cls(
+                config=config,
+                share=share == "share",
+                cache=cache.split("=", 1)[1],
+                translate=translate.split("=", 1)[1],
+                tier=tier,
+            )
+        except (ValueError, IndexError):
+            raise ValueError(f"malformed cell key {key!r}") from None
+
+
+def full_matrix() -> tuple:
+    """Every cell: 4 configs × 2 share × 3 cache × 2 translate on the
+    full ladder, plus one interpreter-tier cell per config (52 total)."""
+    cells = []
+    for config in ("newself", "oldself", "st80", "static"):
+        for share, cache, translate in itertools.product(
+            (True, False), ("off", "cold", "warm"), ("off", "forced")
+        ):
+            cells.append(Cell(config, share, cache, translate, "full"))
+        cells.append(Cell(config, tier="interp"))
+    return tuple(cells)
+
+
+def cells_for_program(program: Program, index: int,
+                      per_program: int = 3) -> tuple:
+    """The baseline cell plus ``per_program`` round-robin picks.
+
+    Sampling walks the full matrix with stride 1 from an offset derived
+    from ``index``, so a run of N programs covers every cell roughly
+    ``N * per_program / 52`` times while each single program stays
+    cheap.  Cells the program excludes (``static`` for dynamic-only
+    programs) are skipped, not replaced.
+    """
+    matrix = [c for c in full_matrix()
+              if program.static_safe or c.config != "static"]
+    picks = [Cell(*BASELINE)]
+    for step in range(per_program):
+        cell = matrix[(index * per_program + step) % len(matrix)]
+        if cell not in picks:
+            picks.append(cell)
+    return tuple(picks)
+
+
+@dataclass
+class CellReport:
+    """The outcome of one program in one cell."""
+
+    cell: str
+    classification: str
+    probe_index: Optional[int] = None
+    expected: Optional[str] = None
+    observed: Optional[str] = None
+    detail: str = ""
+    recovery_total: int = 0
+    recovery_summary: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.classification == "agree"
+
+    def to_record(self) -> dict:
+        return {
+            "cell": self.cell,
+            "classification": self.classification,
+            "probe_index": self.probe_index,
+            "expected": self.expected,
+            "observed": self.observed,
+            "detail": self.detail,
+            "recovery_total": self.recovery_total,
+            "recovery_summary": dict(self.recovery_summary),
+        }
+
+
+@dataclass
+class ProgramReport:
+    """All cell outcomes for one program."""
+
+    pid: str
+    seed: int
+    profile: str
+    static_safe: bool
+    cells: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(cell.ok for cell in self.cells)
+
+    def failures(self) -> list:
+        return [cell for cell in self.cells if not cell.ok]
+
+    def to_record(self) -> dict:
+        return {
+            "pid": self.pid,
+            "seed": self.seed,
+            "profile": self.profile,
+            "static_safe": self.static_safe,
+            "cells": [cell.to_record() for cell in self.cells],
+        }
+
+
+#: env knobs the oracle pins per cell (everything else is inherited)
+_CELL_ENV = ("REPRO_SHARE_CODE", "REPRO_CODE_CACHE",
+             "REPRO_TRANSLATE_THRESHOLD")
+
+#: the plan that forces the interpreter tier: every optimizing *and*
+#: pessimistic compile hits the engine seam and degrades
+_INTERP_PLAN = FaultPlan("compiler.engine", "raise", nth=1, persistent=True)
+
+
+class Oracle:
+    """Runs programs through the reference and the matrix.
+
+    ``cache_root`` hosts per-cell persistent code cache directories
+    (required for ``cache != "off"`` cells).  ``plans`` are armed —
+    with fresh hit counters — for every measured cell run, which is how
+    the acceptance test plants its deliberate fault.
+    """
+
+    def __init__(self, cache_root: Optional[str] = None,
+                 plans: Sequence[FaultPlan] = ()) -> None:
+        self.cache_root = cache_root
+        self.plans = tuple(plans)
+        #: obs metrics aggregated across every measured cell run
+        self.metrics = MetricsRegistry()
+        self._cache_serial = 0
+
+    # -- reference ----------------------------------------------------------
+
+    def reference_run(self, program: Program) -> list:
+        """The reference interpreter's answer for every probe."""
+        world = World()
+        world.add_slots(program.setup_source)
+        return [
+            self._observe(world, lambda src=src: world.eval(src))
+            for src in program.probe_sources
+        ]
+
+    @staticmethod
+    def _observe(world, thunk) -> str:
+        """One observed answer: a rendered value or a guest error kind."""
+        try:
+            return world.universe.print_string(thunk())
+        except SelfError as err:
+            return f"<guest:{type(err).__name__}>"
+
+    # -- one cell -----------------------------------------------------------
+
+    def _cache_dir(self, program: Program, cell: Cell) -> str:
+        if self.cache_root is None:
+            raise ValueError(
+                f"cell {cell.key} needs a persistent cache directory; "
+                f"construct Oracle(cache_root=...)"
+            )
+        self._cache_serial += 1
+        name = f"{program.pid}-{self._cache_serial}"
+        path = os.path.join(self.cache_root, name)
+        os.makedirs(path, exist_ok=True)
+        return path
+
+    def run_cell(self, program: Program, cell: Cell,
+                 expected: Optional[list] = None) -> CellReport:
+        """Run ``program`` in ``cell`` and classify the outcome."""
+        if expected is None:
+            expected = self.reference_run(program)
+        ambient = faults.installed_plans()
+        saved = {key: os.environ.get(key) for key in _CELL_ENV}
+        os.environ["REPRO_SHARE_CODE"] = "1" if cell.share else "0"
+        os.environ["REPRO_CODE_CACHE"] = (
+            self._cache_dir(program, cell) if cell.cache != "off" else ""
+        )
+        os.environ["REPRO_TRANSLATE_THRESHOLD"] = (
+            "1" if cell.translate == "forced" else "0"
+        )
+        plans = list(self.plans)
+        if cell.tier == "interp":
+            plans.append(_INTERP_PLAN)
+        try:
+            if cell.cache == "warm":
+                # populate pass: same env (same cache dir), no faults,
+                # results discarded — only the disk state matters
+                faults.clear()
+                self._execute(program, cell)
+            if plans:
+                faults.install(plans)  # fresh hit counters every cell
+            else:
+                faults.clear()
+            return self._measure(program, cell, expected)
+        finally:
+            for key, value in saved.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+            if ambient:
+                faults.install(ambient)
+            else:
+                faults.clear()
+
+    def _execute(self, program: Program, cell: Cell):
+        """Build a world+runtime under the current env and run through."""
+        world = World()
+        world.add_slots(program.setup_source)
+        runtime = Runtime(world, PRESETS[cell.config])
+        for src in program.probe_sources:
+            self._observe(world, lambda src=src: runtime.run(src))
+        return runtime
+
+    def _measure(self, program: Program, cell: Cell,
+                 expected: list) -> CellReport:
+        armed = faults.ENABLED
+        try:
+            world = World()
+            world.add_slots(program.setup_source)
+            runtime = Runtime(world, PRESETS[cell.config])
+        except CompileTimeout as err:
+            return CellReport(cell.key, "hang", detail=str(err))
+        except Exception as err:  # setup must never fail
+            return CellReport(
+                cell.key, "crash",
+                detail=f"setup: {type(err).__name__}: {err}",
+            )
+        report = CellReport(cell.key, "agree")
+        for index, src in enumerate(program.probe_sources):
+            try:
+                observed = self._observe(
+                    world, lambda src=src: runtime.run(src)
+                )
+                if faults.ENABLED and faults.hit(SITE_FUZZ_PROBE):
+                    # the planted corruption: a wild write to the
+                    # observed answer, which the comparison must catch
+                    observed = observed + "?!"
+            except CompileTimeout as err:
+                report = CellReport(
+                    cell.key, "hang", probe_index=index, detail=str(err),
+                )
+                break
+            except Exception as err:
+                # InjectedFault raised at the probe seam, an internal
+                # ReproInternalError that escaped containment, or a raw
+                # host error (AttributeError, RecursionError, ...)
+                report = CellReport(
+                    cell.key, "crash", probe_index=index,
+                    detail=f"{type(err).__name__}: {err}",
+                )
+                break
+            if observed != expected[index]:
+                report = CellReport(
+                    cell.key, "divergence", probe_index=index,
+                    expected=expected[index], observed=observed,
+                )
+                break
+        collect_runtime(self.metrics, runtime)
+        report.recovery_total = runtime.recovery.total
+        report.recovery_summary = runtime.recovery.summary()
+        if report.classification == "agree":
+            anomaly = self._recovery_anomaly(runtime, armed)
+            if anomaly is not None:
+                report.classification = "recovery-anomaly"
+                report.detail = anomaly
+        return report
+
+    @staticmethod
+    def _recovery_anomaly(runtime, faults_armed: bool) -> Optional[str]:
+        """The first unexplained degradation in the recovery log."""
+        for event in runtime.recovery:
+            if event.error_kind in _BENIGN_ERROR_KINDS:
+                continue
+            if event.error_kind == "InjectedFault" and faults_armed:
+                continue
+            if event.stage == "reoptimize":
+                # promotions back up the ladder after a deopt storm are
+                # policy, not failure
+                continue
+            if event.stage == "invalidate" and event.error_kind == "WorldMutation":
+                # dependency-tracked invalidation doing its job when a
+                # probe mutates the world — expected, not a degradation
+                continue
+            return (f"{event.stage} {event.selector}: "
+                    f"{event.from_tier}->{event.to_tier} "
+                    f"{event.error_kind}: {event.detail}")
+        return None
+
+    # -- whole programs -----------------------------------------------------
+
+    def run_program(self, program: Program,
+                    cells: Optional[Sequence[Cell]] = None,
+                    index: int = 0, per_program: int = 3) -> ProgramReport:
+        """Reference once, then each cell (sampled unless given)."""
+        if cells is None:
+            cells = cells_for_program(program, index, per_program)
+        report = ProgramReport(
+            pid=program.pid, seed=program.seed, profile=program.profile,
+            static_safe=program.static_safe,
+        )
+        try:
+            expected = self.reference_run(program)
+        except Exception as err:
+            report.cells.append(CellReport(
+                "reference", "crash",
+                detail=f"{type(err).__name__}: {err}",
+            ))
+            return report
+        for cell in cells:
+            if cell.config == "static" and not program.static_safe:
+                continue
+            report.cells.append(self.run_cell(program, cell, expected))
+        return report

@@ -1,0 +1,317 @@
+"""Deterministic delta-debugging reduction of failing programs.
+
+Given a program and the matrix cell where the oracle classified it as
+failing, :func:`shrink` greedily removes and simplifies parts of the
+program, re-running the failing cell after every candidate edit and
+keeping the edit only when the failure *category* is preserved (for
+crashes, the leading error class in the detail must also match, so a
+reduction cannot slide from one bug to an unrelated one).  Passes, to
+a fixpoint:
+
+1. **drop probes** — try keeping only the prefix up to the failing
+   probe, then dropping each remaining probe;
+2. **drop statements** — inside each surviving probe;
+3. **drop setup** — each lobby method, each whole object, then each
+   individual non-parent slot of surviving objects;
+4. **simplify expressions** — replace a probe's result with any
+   same-sort child or its literal fallback, repeatedly, walking
+   composites down to atoms.
+
+Everything is deterministic: the oracle re-arms its fault plans with
+fresh hit counters per run, so a planted fault fires at the same probe
+every time and the predicate is stable.
+
+Shrunken repros are written to a ``corpus/`` directory as JSON
+(schema ``repro-fuzz-repro/1``) holding the rendered sources, the cell,
+the classification, and any fault-plan specs — everything
+``python -m repro.tools.fuzz --replay`` (and the permanent regression
+suite in ``tests/fuzz/test_corpus.py``) needs to re-run them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..robustness.faults import FaultPlan
+from .gen import ObjectSpec, Probe, Program
+from .oracle import Cell, CellReport, Oracle
+
+SCHEMA = "repro-fuzz-repro/1"
+
+
+# ---------------------------------------------------------------------------
+# The failure signature a reduction must preserve
+# ---------------------------------------------------------------------------
+
+
+def _signature(report: CellReport) -> Tuple[str, str]:
+    """(classification, error-class) — the invariant under reduction."""
+    if report.classification == "crash":
+        return ("crash", report.detail.split(":", 1)[0])
+    return (report.classification, "")
+
+
+class _Predicate:
+    """Re-runs the failing cell and checks the signature survives."""
+
+    def __init__(self, oracle: Oracle, cell: Cell,
+                 signature: Tuple[str, str]) -> None:
+        self.oracle = oracle
+        self.cell = cell
+        self.signature = signature
+        self.runs = 0
+        self.last_report: Optional[CellReport] = None
+
+    def still_fails(self, program) -> bool:
+        self.runs += 1
+        try:
+            report = self.oracle.run_cell(program, self.cell)
+        except Exception:
+            # a candidate that breaks the harness itself is never kept
+            return False
+        if _signature(report) == self.signature:
+            self.last_report = report
+            return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Reduction passes
+# ---------------------------------------------------------------------------
+
+
+def _drop_probes(program: Program, pred: _Predicate) -> Program:
+    # first try truncating to the failing probe (huge win when the
+    # failure is at probe k of n)
+    if pred.last_report is not None and pred.last_report.probe_index is not None:
+        upto = pred.last_report.probe_index + 1
+        if upto < len(program.probes):
+            candidate = program.replace(probes=program.probes[:upto])
+            if pred.still_fails(candidate):
+                program = candidate
+    index = len(program.probes) - 1
+    while index >= 0 and len(program.probes) > 1:
+        candidate = program.replace(
+            probes=program.probes[:index] + program.probes[index + 1:]
+        )
+        if pred.still_fails(candidate):
+            program = candidate
+        index -= 1
+    return program
+
+
+def _drop_statements(program: Program, pred: _Predicate) -> Program:
+    for pindex, probe in enumerate(list(program.probes)):
+        sindex = len(probe.stmts) - 1
+        while sindex >= 0:
+            probe = program.probes[pindex]
+            trimmed = probe.replace(
+                stmts=probe.stmts[:sindex] + probe.stmts[sindex + 1:]
+            )
+            candidate = program.replace(
+                probes=program.probes[:pindex] + [trimmed]
+                + program.probes[pindex + 1:]
+            )
+            if pred.still_fails(candidate):
+                program = candidate
+            sindex -= 1
+    return program
+
+
+def _drop_setup(program: Program, pred: _Predicate) -> Program:
+    index = len(program.lobby_methods) - 1
+    while index >= 0:
+        candidate = program.replace(
+            lobby_methods=program.lobby_methods[:index]
+            + program.lobby_methods[index + 1:]
+        )
+        if pred.still_fails(candidate):
+            program = candidate
+        index -= 1
+    index = len(program.objects) - 1
+    while index >= 0:
+        candidate = program.replace(
+            objects=program.objects[:index] + program.objects[index + 1:]
+        )
+        if pred.still_fails(candidate):
+            program = candidate
+        index -= 1
+    # individual slots of surviving objects (parent* stays: method
+    # bodies need the lobby)
+    for oindex, obj in enumerate(list(program.objects)):
+        sindex = len(obj.slots) - 1
+        while sindex >= 0:
+            obj = program.objects[oindex]
+            slot = obj.slots[sindex]
+            if slot.kind != "parent":
+                trimmed = ObjectSpec(
+                    obj.name, obj.slots[:sindex] + obj.slots[sindex + 1:]
+                )
+                candidate = program.replace(
+                    objects=program.objects[:oindex] + [trimmed]
+                    + program.objects[oindex + 1:]
+                )
+                if pred.still_fails(candidate):
+                    program = candidate
+            sindex -= 1
+    return program
+
+
+def _result_candidates(probe: Probe):
+    expr = probe.result
+    for child in expr.children:
+        if child.sort == expr.sort:
+            yield child
+    fallback = expr.literal_fallback()
+    if fallback is not None and fallback.render() != expr.render():
+        yield fallback
+
+
+def _simplify_results(program: Program, pred: _Predicate) -> Program:
+    for pindex in range(len(program.probes)):
+        progress = True
+        while progress:
+            progress = False
+            probe = program.probes[pindex]
+            for replacement in _result_candidates(probe):
+                candidate = program.replace(
+                    probes=program.probes[:pindex]
+                    + [probe.replace(result=replacement)]
+                    + program.probes[pindex + 1:]
+                )
+                if pred.still_fails(candidate):
+                    program = candidate
+                    progress = True
+                    break
+    return program
+
+
+def _weight(program: Program) -> tuple:
+    return (
+        len(program.probes),
+        sum(len(p.stmts) for p in program.probes),
+        sum(len(o.slots) for o in program.objects)
+        + len(program.lobby_methods),
+        sum(len(s) for s in program.probe_sources),
+    )
+
+
+def shrink(program: Program, cell: Cell, oracle: Oracle,
+           report: Optional[CellReport] = None,
+           max_rounds: int = 4) -> Tuple[Program, CellReport, int]:
+    """Reduce ``program`` while ``cell`` keeps failing the same way.
+
+    Returns ``(shrunk, final_report, predicate_runs)``.  ``oracle``
+    must be the instance that produced the failure (its fault plans are
+    part of the failure's identity).  Raises ``ValueError`` if the
+    program does not actually fail in ``cell``.
+    """
+    if report is None:
+        report = oracle.run_cell(program, cell)
+    if report.ok:
+        raise ValueError(
+            f"nothing to shrink: {cell.key} classified the program as agree"
+        )
+    pred = _Predicate(oracle, cell, _signature(report))
+    pred.last_report = report
+    for _ in range(max_rounds):
+        before = _weight(program)
+        program = _drop_probes(program, pred)
+        program = _drop_statements(program, pred)
+        program = _drop_setup(program, pred)
+        program = _simplify_results(program, pred)
+        if _weight(program) == before:
+            break
+    final = pred.last_report if pred.last_report is not None else report
+    return program, final, pred.runs
+
+
+# ---------------------------------------------------------------------------
+# Corpus files
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReproProgram:
+    """A corpus repro reloaded from rendered sources.
+
+    Duck-types the slice of :class:`~repro.fuzz.gen.Program` the oracle
+    consumes (``setup_source`` / ``probe_sources`` / ``static_safe`` /
+    ``pid``), so checked-in repros replay without regenerating.
+    """
+
+    setup_source: str
+    probe_sources: list
+    static_safe: bool
+    seed: int = 0
+    profile: str = "corpus"
+
+    @property
+    def pid(self) -> str:
+        digest = hashlib.sha256(
+            "\0".join([self.setup_source] + list(self.probe_sources)).encode()
+        )
+        return digest.hexdigest()[:12]
+
+
+def plan_spec(plan: FaultPlan) -> str:
+    return (f"{plan.site}:{plan.mode}:{plan.nth}"
+            f"{'+' if plan.persistent else ''}")
+
+
+def save_repro(program, cell: Cell, report: CellReport, corpus_dir: str,
+               plans: Sequence[FaultPlan] = (),
+               note: str = "") -> str:
+    """Write one repro JSON under ``corpus_dir``; returns the path."""
+    record = {
+        "schema": SCHEMA,
+        "id": program.pid,
+        "note": note,
+        "seed": getattr(program, "seed", 0),
+        "profile": getattr(program, "profile", "corpus"),
+        "static_safe": program.static_safe,
+        "setup": program.setup_source,
+        "probes": list(program.probe_sources),
+        "cell": {
+            "config": cell.config,
+            "share": cell.share,
+            "cache": cell.cache,
+            "translate": cell.translate,
+            "tier": cell.tier,
+        },
+        "classification": report.classification,
+        "probe_index": report.probe_index,
+        "expected": report.expected,
+        "observed": report.observed,
+        "detail": report.detail,
+        "plans": [plan_spec(p) for p in plans],
+    }
+    os.makedirs(corpus_dir, exist_ok=True)
+    path = os.path.join(corpus_dir, f"{program.pid}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_repro(path: str) -> Tuple[ReproProgram, Cell, dict]:
+    """Read one repro JSON back: (program, cell, full record)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        record = json.load(handle)
+    if record.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: unknown repro schema {record.get('schema')!r}"
+        )
+    program = ReproProgram(
+        setup_source=record["setup"],
+        probe_sources=list(record["probes"]),
+        static_safe=bool(record.get("static_safe", False)),
+        seed=int(record.get("seed", 0)),
+        profile=record.get("profile", "corpus"),
+    )
+    cell = Cell(**record["cell"])
+    return program, cell, record

@@ -62,6 +62,13 @@ SITE_VM_SHARING = "vm.sharing.clone"
 #: raise- and corrupt-mode fires are both contained by marking the body
 #: untranslatable and falling back to the predecoded stream.
 SITE_VM_TRANSLATE = "vm.translate.emit"
+#: the differential-fuzzing oracle's answer-observation seam
+#: (fuzz/oracle.py): a corrupt-mode fire perturbs the observed answer of
+#: one probe — the one fault in the registry that is *supposed* to
+#: produce a divergence, so the oracle's detection and the shrinker can
+#: be exercised end to end.  Benchmarks never reach this site, so chaos
+#: cells that arm it simply never fire.
+SITE_FUZZ_PROBE = "fuzz.probe.result"
 
 #: every site planted in the source tree (the chaos matrix iterates this)
 ALL_SITES = (
@@ -74,6 +81,7 @@ ALL_SITES = (
     SITE_CODECACHE_STORE,
     SITE_VM_SHARING,
     SITE_VM_TRANSLATE,
+    SITE_FUZZ_PROBE,
 )
 
 MODES = ("raise", "corrupt")
@@ -110,9 +118,22 @@ class FaultPlan:
         When ``nth`` is omitted it is derived deterministically from
         ``seed`` (default seed 0), so a CI seed sweep probes different
         hit positions without spelling them out.
+
+        Malformed specs raise :class:`ValueError` naming the offending
+        spec and what was wrong with it — a CI matrix entry with a typo
+        must fail loudly at arm time, not silently arm nothing.
         """
+        if not spec or not spec.strip():
+            raise ValueError("empty fault spec")
         parts = [p.strip() for p in spec.strip().split(":")]
+        if len(parts) > 3:
+            raise ValueError(
+                f"malformed fault spec {spec!r}: expected site[:mode][:nth[+]],"
+                f" got {len(parts)} ':'-separated fields"
+            )
         site = parts[0]
+        if not site:
+            raise ValueError(f"malformed fault spec {spec!r}: empty site")
         mode = parts[1] if len(parts) > 1 and parts[1] else "raise"
         persistent = False
         if len(parts) > 2 and parts[2]:
@@ -120,7 +141,18 @@ class FaultPlan:
             if raw.endswith("+"):
                 persistent = True
                 raw = raw[:-1]
-            nth = int(raw)
+            try:
+                nth = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"malformed fault spec {spec!r}: nth must be an integer"
+                    f" (optionally suffixed '+'), got {parts[2]!r}"
+                ) from None
+            if nth < 1:
+                raise ValueError(
+                    f"malformed fault spec {spec!r}: nth is 1-based and"
+                    f" must be >= 1, got {nth}"
+                )
         else:
             nth = derived_nth(site, 0 if seed is None else seed)
         return cls(site=site, mode=mode, nth=nth, persistent=persistent)
@@ -168,6 +200,16 @@ def clear() -> None:
 def fired() -> list[tuple[str, int, str]]:
     """The journal of faults that actually fired since :func:`install`."""
     return list(_STATE.fired) if _STATE is not None else []
+
+
+def installed_plans() -> tuple[FaultPlan, ...]:
+    """The currently armed plans (empty when injection is disarmed).
+
+    Lets a harness (the fuzz oracle) save the ambient installation,
+    re-arm plans with fresh hit counters around each deterministic run,
+    and restore the ambient state afterwards.
+    """
+    return tuple(_STATE.plans.values()) if _STATE is not None else ()
 
 
 def hit_counts() -> dict[str, int]:

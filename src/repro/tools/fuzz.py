@@ -1,0 +1,243 @@
+"""Differential fuzzing CLI: generate, cross-check, shrink, replay.
+
+Drives the :mod:`repro.fuzz` subsystem from the command line.  Two
+modes:
+
+**Fuzz** (the default) — generate seeded programs round-robin over the
+grammar profiles, run each through the reference interpreter and a
+sampled slice of the config × cache × translation × tier matrix, and
+classify every cell.  Any failing cell is delta-debugged down to a
+minimal repro and written to the corpus directory.  A JSON summary
+(per-config cell counts, classification histogram, cell-coverage map,
+obs-registry metrics) is printed and optionally written to a file for
+CI to upload.  Exits nonzero if any cell failed.
+
+**Replay** (``--replay PATH``) — re-run checked-in repro files (or a
+whole corpus directory), re-arming any recorded fault plans, and verify
+each reproduces its recorded classification in its recorded cell.
+
+Usage::
+
+    python -m repro.tools.fuzz --seed 0 --max-programs 300 \
+        --max-seconds 240 --summary fuzz-summary.json --corpus corpus
+    python -m repro.tools.fuzz --plant "fuzz.probe.result:corrupt:3" \
+        --max-programs 1 --corpus /tmp/repros
+    python -m repro.tools.fuzz --replay corpus
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+SUMMARY_SCHEMA = "repro-fuzz-summary/1"
+
+DEFAULT_PROFILES = ("mixed", "arith", "mutation", "control")
+
+
+def _parse_plans(spec: str):
+    from ..robustness.faults import FaultPlan
+
+    plans = []
+    for chunk in spec.split(";"):
+        chunk = chunk.strip()
+        if chunk:
+            plans.append(FaultPlan.from_spec(chunk))
+    return tuple(plans)
+
+
+def run_fuzz(args) -> int:
+    from ..fuzz import Oracle, generate
+
+    plans = _parse_plans(args.plant) if args.plant else ()
+    profiles = [p.strip() for p in args.profiles.split(",") if p.strip()]
+
+    started = time.monotonic()
+    deadline = started + args.max_seconds if args.max_seconds else None
+    truncated = False
+
+    classifications: dict = {}
+    config_cells: dict = {}
+    cell_coverage: dict = {}
+    failures = []
+    repro_paths = []
+    programs = 0
+    probes = 0
+    cells = 0
+
+    with tempfile.TemporaryDirectory(prefix="fuzz-cache-") as cache_root:
+        oracle = Oracle(cache_root=args.cache_root or cache_root,
+                        plans=plans)
+        for index in range(args.max_programs):
+            if deadline is not None and time.monotonic() >= deadline:
+                truncated = True
+                break
+            program = generate(
+                args.seed + index, profiles[index % len(profiles)],
+                size=args.size,
+            )
+            report = oracle.run_program(
+                program, index=index, per_program=args.per_program,
+            )
+            programs += 1
+            probes += len(program.probe_sources)
+            for cell_report in report.cells:
+                cells += 1
+                kind = cell_report.classification
+                classifications[kind] = classifications.get(kind, 0) + 1
+                config = cell_report.cell.split("/", 1)[0]
+                per = config_cells.setdefault(config, {})
+                per[kind] = per.get(kind, 0) + 1
+                cell_coverage[cell_report.cell] = (
+                    cell_coverage.get(cell_report.cell, 0) + 1
+                )
+            if not report.ok:
+                failures.append(report.to_record())
+                repro_paths.extend(
+                    _shrink_failures(oracle, program, report, args, plans)
+                )
+
+    summary = {
+        "schema": SUMMARY_SCHEMA,
+        "seed": args.seed,
+        "profiles": profiles,
+        "size": args.size,
+        "per_program": args.per_program,
+        "programs": programs,
+        "probes": probes,
+        "cells": cells,
+        "elapsed_seconds": round(time.monotonic() - started, 3),
+        "truncated": truncated,
+        "classifications": classifications,
+        "config_cells": config_cells,
+        "cell_coverage": cell_coverage,
+        "failures": failures,
+        "repros": repro_paths,
+        "planted": [args.plant] if args.plant else [],
+        "metrics": oracle.metrics.snapshot(),
+    }
+    rendered = json.dumps(summary, indent=2, sort_keys=True)
+    if args.summary:
+        with open(args.summary, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    print(rendered)
+    if failures:
+        print(f"FUZZ: {len(failures)} failing program(s); "
+              f"repros: {', '.join(repro_paths) or 'none written'}",
+              file=sys.stderr)
+        return 1
+    print(f"fuzz: {programs} programs, {probes} probes, {cells} cells, "
+          f"0 failures ({summary['elapsed_seconds']}s"
+          f"{', truncated' if truncated else ''})")
+    return 0
+
+
+def _shrink_failures(oracle, program, report, args, plans) -> list:
+    """Shrink the first failing cell of a program; write the repro."""
+    from ..fuzz import Cell, shrink
+    from ..fuzz.shrink import save_repro
+
+    paths = []
+    failing = report.failures()[0]
+    if failing.cell == "reference":
+        return paths  # nothing to bisect: the reference itself crashed
+    cell = Cell.from_key(failing.cell)
+    try:
+        shrunk, final, runs = shrink(program, cell, oracle, failing)
+    except Exception as err:  # a shrink bug must not eat the finding
+        print(f"shrink failed for {program.pid}: "
+              f"{type(err).__name__}: {err}", file=sys.stderr)
+        shrunk, final, runs = program, failing, 0
+    note = (f"seed={program.seed} profile={program.profile} "
+            f"shrunk in {runs} predicate runs")
+    paths.append(save_repro(
+        shrunk, cell, final, args.corpus, plans=plans, note=note,
+    ))
+    return paths
+
+
+def run_replay(args) -> int:
+    from ..fuzz import Oracle
+    from ..fuzz.shrink import load_repro
+    from ..robustness.faults import FaultPlan
+
+    paths = []
+    for entry in args.replay:
+        if os.path.isdir(entry):
+            paths.extend(
+                os.path.join(entry, name)
+                for name in sorted(os.listdir(entry))
+                if name.endswith(".json")
+            )
+        else:
+            paths.append(entry)
+    if not paths:
+        print("replay: no repro files found", file=sys.stderr)
+        return 1
+
+    mismatches = 0
+    with tempfile.TemporaryDirectory(prefix="fuzz-replay-") as cache_root:
+        for path in paths:
+            program, cell, record = load_repro(path)
+            plans = tuple(
+                FaultPlan.from_spec(spec) for spec in record.get("plans", ())
+            )
+            oracle = Oracle(cache_root=cache_root, plans=plans)
+            report = oracle.run_cell(program, cell)
+            want = record["classification"]
+            status = "ok" if report.classification == want else "MISMATCH"
+            if status != "ok":
+                mismatches += 1
+            print(f"{status}: {os.path.basename(path)} [{cell.key}] "
+                  f"recorded={want} observed={report.classification}"
+                  + (f" ({report.detail})" if report.detail else ""))
+    if mismatches:
+        print(f"REPLAY: {mismatches}/{len(paths)} repro(s) no longer "
+              f"reproduce their recorded classification", file=sys.stderr)
+        return 1
+    print(f"replay: {len(paths)} repro(s) reproduced")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.tools.fuzz")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed; program i uses seed+i")
+    parser.add_argument("--max-programs", type=int, default=100,
+                        help="program budget (default 100)")
+    parser.add_argument("--max-seconds", type=float, default=0,
+                        help="wall-clock bound; 0 means unbounded")
+    parser.add_argument("--profiles", default=",".join(DEFAULT_PROFILES),
+                        help="comma-separated grammar-weight profiles")
+    parser.add_argument("--size", type=int, default=12,
+                        help="probe budget per program (default 12)")
+    parser.add_argument("--per-program", type=int, default=3,
+                        help="sampled matrix cells per program, beyond "
+                             "the baseline (default 3)")
+    parser.add_argument("--cache-root", default="",
+                        help="directory for per-cell code caches "
+                             "(default: a private temp dir)")
+    parser.add_argument("--corpus", default="corpus",
+                        help="where shrunken repros are written")
+    parser.add_argument("--summary", default="",
+                        help="write the JSON summary to this file")
+    parser.add_argument("--plant", default="",
+                        help="fault-plan spec(s) to arm in every cell, "
+                             "';'-separated (site[:mode][:nth[+]])")
+    parser.add_argument("--replay", nargs="+", default=None,
+                        metavar="PATH",
+                        help="replay repro file(s)/corpus dir(s) instead "
+                             "of fuzzing")
+    args = parser.parse_args(argv)
+
+    if args.replay:
+        return run_replay(args)
+    return run_fuzz(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,44 +26,24 @@ import json
 import os
 import random
 import sys
+import time
 
-SETUP = """|
-  shape = (| w = 3. h = 4. area = ( w * h ). perim = ( (w + h) * 2 ) |).
-  probe = (| pick = ( 1 ) |).
-  extras = (| bonus = ( 100 ) |).
-|"""
+from ..fuzz.gen import stress_kit
+
+#: the canonical workload, built from the shared fuzz grammar
+#: (``repro.fuzz.gen.stress_kit``) instead of hard-coded literals
+_KIT = stress_kit()
+
+SETUP = _KIT.setup_source
 
 #: computation do-its replayed between mutations (each exercises folds,
 #: inlining, prediction, and dynamic sends over the mutable globals)
-PROBES = (
-    "shape area",
-    "shape perim",
-    "shape area + shape perim",
-    "| s <- 0 | 1 to: 8 Do: [ | :i | s: s + (shape area) ]. s",
-    "| v | v: (vector copySize: 2). v at: 0 Put: shape. (v at: 0) perim",
-    "probe pick",
-)
+PROBES = tuple(probe.render() for probe in _KIT.probes)
 
 
 def _mutations(rng: random.Random):
     """An endless deterministic stream of mutation do-its."""
-    grafted = False
-    while True:
-        roll = rng.randrange(5)
-        if roll == 0:
-            yield f"shape _SetSlot: 'w' Value: {rng.randrange(1, 50)}"
-        elif roll == 1:
-            yield f"shape _SetSlot: 'h' Value: {rng.randrange(1, 50)}"
-        elif roll == 2:
-            yield f"probe _SetSlot: 'pick' Value: {rng.randrange(100)}"
-        elif roll == 3 and not grafted:
-            grafted = True
-            yield "probe _AddParentSlot: 'extra' Value: extras"
-        elif roll == 3:
-            grafted = False
-            yield "probe _RemoveSlot: 'extra'"
-        else:
-            yield f"shape _AddSlot: 'tag' Value: {rng.randrange(100)}"
+    return _KIT.mutation_stream(rng)
 
 
 def build_script(rounds: int, seed: int) -> list:
@@ -76,7 +56,8 @@ def build_script(rounds: int, seed: int) -> list:
     return script
 
 
-def run_stress(rounds: int, seed: int, code_cache: str = "") -> dict:
+def run_stress(rounds: int, seed: int, code_cache: str = "",
+               max_seconds: float = 0) -> dict:
     from ..compiler.config import NEW_SELF
     from ..vm.runtime import Runtime
     from ..world.bootstrap import World
@@ -93,8 +74,13 @@ def run_stress(rounds: int, seed: int, code_cache: str = "") -> dict:
     vm_world.add_slots(SETUP)
     runtime = Runtime(vm_world, NEW_SELF)
 
+    deadline = time.monotonic() + max_seconds if max_seconds else None
     divergences = []
+    steps_run = 0
     for index, step in enumerate(script):
+        if deadline is not None and time.monotonic() >= deadline:
+            break  # wall-clock bound for CI; whatever ran was checked
+        steps_run += 1
         expected = interp_world.universe.print_string(interp_world.eval(step))
         got = vm_world.universe.print_string(runtime.run(step))
         if got != expected:
@@ -111,6 +97,8 @@ def run_stress(rounds: int, seed: int, code_cache: str = "") -> dict:
         "rounds": rounds,
         "seed": seed,
         "steps": len(script),
+        "steps_run": steps_run,
+        "truncated": steps_run < len(script) and not divergences,
         "divergences": divergences,
         "invalidation": dict(deps.stats),
         "dependency_edges_live": deps.edge_count(),
@@ -132,11 +120,14 @@ def main(argv=None) -> int:
                         help="PRNG seed for the mutation stream")
     parser.add_argument("--code-cache", default="",
                         help="enable the persistent code cache at this path")
+    parser.add_argument("--max-seconds", type=float, default=0,
+                        help="wall-clock bound; 0 means unbounded")
     parser.add_argument("--summary", default="",
                         help="write the JSON summary to this file")
     args = parser.parse_args(argv)
 
-    summary = run_stress(args.rounds, args.seed, args.code_cache)
+    summary = run_stress(args.rounds, args.seed, args.code_cache,
+                         max_seconds=args.max_seconds)
     rendered = json.dumps(summary, indent=2, sort_keys=True)
     if args.summary:
         with open(args.summary, "w", encoding="utf-8") as handle:
@@ -146,7 +137,7 @@ def main(argv=None) -> int:
         print("MUTATION STRESS: DIVERGED", file=sys.stderr)
         return 1
     print(
-        f"mutation stress: {summary['steps']} steps, "
+        f"mutation stress: {summary['steps_run']} steps, "
         f"{summary['invalidation']['invalidations']} invalidation waves, "
         f"{summary['invalidation']['codes_retired']} bodies retired, "
         "0 divergences"

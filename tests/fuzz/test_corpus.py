@@ -1,0 +1,69 @@
+"""Every checked-in repro in ``corpus/`` replays across the matrix.
+
+Two kinds of corpus entries:
+
+* **regression programs** (recorded classification ``agree``, no fault
+  plans) — interesting generated programs that must keep agreeing with
+  the reference in *every* cell of the full config × cache ×
+  translation × tier matrix (static cells only when the program is
+  static-safe);
+* **fault repros** (a failing classification plus recorded plans) —
+  must keep reproducing their recorded classification in their
+  recorded cell with the plans re-armed.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.fuzz import Oracle, full_matrix, load_repro
+from repro.robustness import faults
+from repro.robustness.faults import FaultPlan
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "corpus")
+CORPUS_FILES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+@pytest.fixture(autouse=True)
+def disarmed():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def test_corpus_is_seeded():
+    assert len(CORPUS_FILES) >= 3, (
+        "the corpus must hold at least three interesting programs"
+    )
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[os.path.basename(p) for p in CORPUS_FILES]
+)
+def test_corpus_repro_replays(path, tmp_path):
+    program, cell, record = load_repro(path)
+    plans = tuple(
+        FaultPlan.from_spec(spec) for spec in record.get("plans", ())
+    )
+    oracle = Oracle(cache_root=str(tmp_path), plans=plans)
+
+    if record["classification"] == "agree":
+        # a regression program: the whole matrix must agree
+        expected = oracle.reference_run(program)
+        for matrix_cell in full_matrix():
+            if matrix_cell.config == "static" and not program.static_safe:
+                continue
+            report = oracle.run_cell(program, matrix_cell, expected)
+            assert report.ok, (
+                f"{os.path.basename(path)} in {matrix_cell.key}: "
+                f"{report.to_record()}"
+            )
+    else:
+        # a fault repro: the recorded cell must keep failing identically
+        report = oracle.run_cell(program, cell)
+        assert report.classification == record["classification"], (
+            f"{os.path.basename(path)}: recorded "
+            f"{record['classification']}, observed {report.classification} "
+            f"({report.detail})"
+        )

@@ -1,0 +1,97 @@
+"""The seeded program generator: determinism, budgets, well-formedness."""
+
+import pytest
+
+from repro.fuzz.gen import (
+    DYNAMIC_ONLY_FEATURES,
+    PROFILES,
+    generate,
+    stress_kit,
+)
+from repro.world.bootstrap import World
+
+
+def test_same_seed_same_program():
+    for profile in PROFILES:
+        a = generate(7, profile, size=8)
+        b = generate(7, profile, size=8)
+        assert a.setup_source == b.setup_source
+        assert a.probe_sources == b.probe_sources
+        assert a.pid == b.pid
+
+
+def test_different_seeds_differ():
+    pids = {generate(seed, "mixed", size=8).pid for seed in range(8)}
+    assert len(pids) == 8
+
+
+def test_size_budget_bounds_probe_count():
+    for size in (1, 4, 12):
+        program = generate(3, "mixed", size=size)
+        # the generator floors the budget at 2 probes
+        assert 1 <= len(program.probes) <= max(2, size)
+
+
+def test_unknown_profile_rejected():
+    with pytest.raises(KeyError):
+        generate(0, "nope", size=4)
+
+
+def test_static_safe_tracks_features():
+    saw_safe = saw_unsafe = False
+    for seed in range(24):
+        program = generate(seed, "mixed", size=8)
+        assert program.static_safe == (
+            not (program.features & DYNAMIC_ONLY_FEATURES)
+        )
+        saw_safe |= program.static_safe
+        saw_unsafe |= not program.static_safe
+    assert saw_safe and saw_unsafe
+
+
+def test_arith_profile_is_static_safe():
+    for seed in range(12):
+        assert generate(seed, "arith", size=8).static_safe
+
+
+def test_mutation_profile_mutates():
+    hits = sum(
+        "mutation" in generate(seed, "mutation", size=10).features
+        for seed in range(8)
+    )
+    assert hits >= 6
+
+
+def test_generated_setup_and_probes_parse_and_run():
+    """Every probe of a sample of programs evaluates on the reference."""
+    for seed in range(3):
+        for profile in PROFILES:
+            program = generate(seed, profile, size=6)
+            world = World()
+            world.add_slots(program.setup_source)
+            from repro.objects.errors import SelfError
+            for src in program.probe_sources:
+                try:
+                    world.eval(src)
+                except SelfError:
+                    pass  # guest errors are legal observable answers
+
+
+def test_stress_kit_matches_historical_workload():
+    kit = stress_kit()
+    assert "shape = (| w = 3. h = 4." in kit.setup_source
+    rendered = [probe.render() for probe in kit.probes]
+    assert "shape area" in rendered
+    assert "probe pick" in rendered
+    assert any("vector copySize:" in src for src in rendered)
+
+
+def test_stress_kit_stream_is_deterministic():
+    import random
+
+    kit = stress_kit()
+    a = kit.mutation_stream(random.Random(5))
+    b = kit.mutation_stream(random.Random(5))
+    first = [next(a) for _ in range(20)]
+    assert first == [next(b) for _ in range(20)]
+    assert any("_SetSlot:" in m or "_AddSlot:" in m for m in first)

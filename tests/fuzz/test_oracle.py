@@ -1,0 +1,132 @@
+"""The differential oracle: matrix shape, cell runs, classifications."""
+
+import pytest
+
+from repro.fuzz import Cell, Oracle, cells_for_program, full_matrix, generate
+from repro.robustness import faults
+from repro.robustness.faults import SITE_FUZZ_PROBE, FaultPlan
+
+
+@pytest.fixture(autouse=True)
+def disarmed():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture()
+def oracle(tmp_path):
+    return Oracle(cache_root=str(tmp_path))
+
+
+# -- matrix shape -----------------------------------------------------------
+
+
+def test_full_matrix_is_52_cells():
+    matrix = full_matrix()
+    assert len(matrix) == 52
+    assert len(set(matrix)) == 52
+    configs = {cell.config for cell in matrix}
+    assert configs == {"newself", "oldself", "st80", "static"}
+    assert sum(cell.tier == "interp" for cell in matrix) == 4
+
+
+def test_cell_validation():
+    with pytest.raises(ValueError, match="unknown config"):
+        Cell("selfish")
+    with pytest.raises(ValueError, match="unknown cache state"):
+        Cell("newself", cache="lukewarm")
+    with pytest.raises(ValueError, match="unknown translate state"):
+        Cell("newself", translate="maybe")
+    with pytest.raises(ValueError, match="unknown tier"):
+        Cell("newself", tier="turbo")
+
+
+def test_cell_key_roundtrip():
+    for cell in full_matrix():
+        assert Cell.from_key(cell.key) == cell
+    with pytest.raises(ValueError, match="malformed cell key"):
+        Cell.from_key("newself/share")
+
+
+def test_sampling_skips_static_for_dynamic_only_programs():
+    program = generate(42, "mutation", size=6)  # reclassify et al.
+    assert not program.static_safe
+    for index in range(20):
+        for cell in cells_for_program(program, index):
+            assert cell.config != "static"
+
+
+def test_sampling_covers_the_matrix_over_a_run():
+    program = generate(1, "arith", size=4)  # static-safe: full matrix
+    assert program.static_safe
+    seen = set()
+    for index in range(80):
+        seen.update(cells_for_program(program, index, per_program=3))
+    assert seen >= set(full_matrix())
+
+
+# -- cell runs --------------------------------------------------------------
+
+
+def test_baseline_cell_agrees(oracle):
+    program = generate(3, "mixed", size=5)
+    report = oracle.run_cell(program, Cell("newself"))
+    assert report.ok, report.to_record()
+
+
+def test_interp_tier_cell_agrees_with_recovery_traffic(oracle):
+    program = generate(5, "arith", size=4)
+    report = oracle.run_cell(program, Cell("newself", tier="interp"))
+    assert report.ok, report.to_record()
+    # the whole ladder degraded: the recovery log must show it
+    assert report.recovery_total > 0
+
+
+def test_warm_cache_cell_agrees(oracle):
+    program = generate(4, "mixed", size=4)
+    report = oracle.run_cell(program, Cell("newself", cache="warm"))
+    assert report.ok, report.to_record()
+
+
+def test_cache_cell_without_cache_root_is_an_error():
+    program = generate(4, "arith", size=3)
+    with pytest.raises(ValueError, match="cache directory"):
+        Oracle().run_cell(program, Cell("newself", cache="cold"))
+
+
+def test_planted_corrupt_fault_classified_as_divergence(tmp_path):
+    plan = FaultPlan(SITE_FUZZ_PROBE, "corrupt", nth=2)
+    oracle = Oracle(cache_root=str(tmp_path), plans=(plan,))
+    program = generate(6, "mixed", size=6)
+    report = oracle.run_cell(program, Cell("newself"))
+    assert report.classification == "divergence"
+    assert report.probe_index == 1  # nth=2 fires on the second probe
+    assert report.observed == report.expected + "?!"
+
+
+def test_planted_raise_fault_classified_as_crash(tmp_path):
+    plan = FaultPlan(SITE_FUZZ_PROBE, "raise", nth=1)
+    oracle = Oracle(cache_root=str(tmp_path), plans=(plan,))
+    program = generate(6, "mixed", size=4)
+    report = oracle.run_cell(program, Cell("newself"))
+    assert report.classification == "crash"
+    assert "InjectedFault" in report.detail
+
+
+def test_cell_runs_restore_ambient_fault_plans(oracle):
+    ambient = FaultPlan("compiler.engine", "raise", nth=99)
+    faults.install([ambient])
+    program = generate(7, "arith", size=3)
+    oracle.run_cell(program, Cell("newself"))
+    assert faults.installed_plans() == (ambient,)
+
+
+def test_run_program_samples_and_aggregates(oracle):
+    program = generate(8, "mixed", size=5)
+    report = oracle.run_program(program, index=0, per_program=2)
+    assert report.pid == program.pid
+    assert len(report.cells) >= 2
+    assert report.ok, [c.to_record() for c in report.failures()]
+    record = report.to_record()
+    assert record["cells"][0]["classification"] == "agree"

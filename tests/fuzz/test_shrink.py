@@ -1,0 +1,88 @@
+"""The delta-debugging reducer and the corpus file format."""
+
+import pytest
+
+from repro.fuzz import Cell, Oracle, generate, load_repro, save_repro, shrink
+from repro.fuzz.shrink import ReproProgram, plan_spec
+from repro.robustness import faults
+from repro.robustness.faults import SITE_FUZZ_PROBE, FaultPlan
+
+
+@pytest.fixture(autouse=True)
+def disarmed():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def _planted_oracle(tmp_path, nth=3):
+    plan = FaultPlan(SITE_FUZZ_PROBE, "corrupt", nth=nth)
+    return Oracle(cache_root=str(tmp_path), plans=(plan,)), plan
+
+
+def test_shrink_requires_a_failure(tmp_path):
+    oracle = Oracle(cache_root=str(tmp_path))
+    program = generate(1, "arith", size=4)
+    with pytest.raises(ValueError, match="nothing to shrink"):
+        shrink(program, Cell("newself"), oracle)
+
+
+def test_shrink_reduces_to_the_fault_position(tmp_path):
+    oracle, _ = _planted_oracle(tmp_path, nth=3)
+    program = generate(11, "mixed", size=10)
+    cell = Cell("newself")
+    report = oracle.run_cell(program, cell)
+    assert report.classification == "divergence"
+    shrunk, final, runs = shrink(program, cell, oracle, report)
+    # the nth=3 corruption needs exactly three probes to fire
+    assert len(shrunk.probes) == 3
+    assert final.classification == "divergence"
+    assert runs > 0
+    # and the shrunk program still fails the same way when re-run
+    again = oracle.run_cell(shrunk, cell)
+    assert again.classification == "divergence"
+
+
+def test_shrink_preserves_crash_signature(tmp_path):
+    plan = FaultPlan(SITE_FUZZ_PROBE, "raise", nth=2)
+    oracle = Oracle(cache_root=str(tmp_path), plans=(plan,))
+    program = generate(12, "mixed", size=8)
+    cell = Cell("newself")
+    report = oracle.run_cell(program, cell)
+    assert report.classification == "crash"
+    shrunk, final, _ = shrink(program, cell, oracle, report)
+    assert final.classification == "crash"
+    assert final.detail.split(":", 1)[0] == report.detail.split(":", 1)[0]
+    assert len(shrunk.probes) == 2
+
+
+def test_repro_roundtrip(tmp_path):
+    oracle, plan = _planted_oracle(tmp_path, nth=2)
+    program = generate(13, "mixed", size=6)
+    cell = Cell("newself", share=False, translate="forced")
+    report = oracle.run_cell(program, cell)
+    assert report.classification == "divergence"
+
+    path = save_repro(program, cell, report, str(tmp_path / "corpus"),
+                      plans=(plan,), note="unit-test repro")
+    loaded, loaded_cell, record = load_repro(path)
+    assert isinstance(loaded, ReproProgram)
+    assert loaded.setup_source == program.setup_source
+    assert list(loaded.probe_sources) == list(program.probe_sources)
+    assert loaded_cell == cell
+    assert record["classification"] == "divergence"
+    assert record["plans"] == [plan_spec(plan)]
+
+    # the reloaded program replays to the same classification
+    replay_plans = tuple(
+        FaultPlan.from_spec(spec) for spec in record["plans"]
+    )
+    replay = Oracle(cache_root=str(tmp_path), plans=replay_plans)
+    assert replay.run_cell(loaded, loaded_cell).classification == "divergence"
+
+
+def test_load_repro_rejects_unknown_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"schema": "not-a-repro/9"}')
+    with pytest.raises(ValueError, match="unknown repro schema"):
+        load_repro(str(path))

@@ -159,3 +159,62 @@ def test_configure_from_env_noop_without_variable(monkeypatch):
     monkeypatch.delenv("REPRO_FAULTS", raising=False)
     faults.configure_from_env()
     assert faults.ENABLED is False
+
+
+# -- malformed-spec hardening ------------------------------------------------
+
+
+def test_from_spec_rejects_empty_spec():
+    for spec in ("", "   "):
+        with pytest.raises(ValueError, match="empty fault spec"):
+            FaultPlan.from_spec(spec)
+
+
+def test_from_spec_rejects_too_many_fields():
+    with pytest.raises(ValueError, match="3 ':'-separated fields|4 ':'-separated fields"):
+        FaultPlan.from_spec("compiler.engine:raise:2:oops")
+
+
+def test_from_spec_rejects_empty_site():
+    with pytest.raises(ValueError, match="empty site"):
+        FaultPlan.from_spec(":raise:2")
+
+
+def test_from_spec_rejects_non_integer_nth():
+    with pytest.raises(ValueError, match="nth must be an integer"):
+        FaultPlan.from_spec("compiler.engine:raise:soon")
+
+
+def test_from_spec_rejects_nonpositive_nth():
+    with pytest.raises(ValueError, match="must be >= 1"):
+        FaultPlan.from_spec("compiler.engine:raise:0+")
+    with pytest.raises(ValueError, match="must be >= 1"):
+        FaultPlan.from_spec("compiler.engine:raise:-3")
+
+
+def test_from_spec_error_names_the_offending_spec():
+    with pytest.raises(ValueError, match="corrupt:what"):
+        FaultPlan.from_spec("vm.codegen:corrupt:what")
+
+
+# -- the installed-plans accessor -------------------------------------------
+
+
+def test_installed_plans_reflects_armed_state():
+    assert faults.installed_plans() == ()
+    plans = (
+        FaultPlan(site="compiler.engine", nth=3),
+        FaultPlan(site="vm.codegen", mode="corrupt"),
+    )
+    faults.install(plans)
+    assert set(faults.installed_plans()) == set(plans)
+    faults.clear()
+    assert faults.installed_plans() == ()
+
+
+def test_fuzz_probe_site_is_registered():
+    assert faults.SITE_FUZZ_PROBE in ALL_SITES
+    plan = FaultPlan.from_spec("fuzz.probe.result:corrupt:2")
+    faults.install([plan])
+    assert faults.hit(faults.SITE_FUZZ_PROBE) is False  # 1st hit, nth=2
+    assert faults.hit(faults.SITE_FUZZ_PROBE) is True
