@@ -180,6 +180,12 @@ def main(argv: Optional[list] = None) -> int:
         default=None,
         help="previously recorded compiles/s to compute a speedup against",
     )
+    parser.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        help="append-only perf trajectory "
+        "(default: BENCH_history.jsonl; '' to disable)",
+    )
     args = parser.parse_args(argv)
 
     payload = run_benchmark(
@@ -205,6 +211,14 @@ def main(argv: Optional[list] = None) -> int:
         )
     print(f"cache cold: {payload['cache_cold']['codecache']}")
     print(f"cache warm: {warm['codecache']}")
+    if args.history:
+        from .history import append_history, format_delta
+
+        entry, previous = append_history(
+            args.history, "compile",
+            {"compiles_per_second": direct["compiles_per_second"]},
+        )
+        print(format_delta(entry, previous))
     if args.assert_warm and not warm_run_is_clean(payload):
         print("FAIL: warm-cache run recompiled at the optimizing tier", file=sys.stderr)
         return 1

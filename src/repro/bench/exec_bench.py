@@ -181,6 +181,12 @@ def main(argv: Optional[list] = None) -> int:
         "--assert-speedup", type=float, default=None,
         help="exit 1 unless the geomean speedup reaches this factor",
     )
+    parser.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        help="append-only perf trajectory "
+        "(default: BENCH_history.jsonl; '' to disable)",
+    )
     args = parser.parse_args(argv)
 
     workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
@@ -203,6 +209,14 @@ def main(argv: Optional[list] = None) -> int:
             f"emit {row['emit_seconds'] * 1e3:.1f}ms)"
         )
     print(f"geomean speedup: {payload['geomean_speedup']:.2f}x")
+    if args.history:
+        from .history import append_history, format_delta
+
+        entry, previous = append_history(
+            args.history, "exec",
+            {"geomean_speedup": payload["geomean_speedup"]},
+        )
+        print(format_delta(entry, previous))
     if (
         args.assert_speedup is not None
         and payload["geomean_speedup"] < args.assert_speedup

@@ -105,7 +105,10 @@ class RunResult:
 def run_benchmark(benchmark: Benchmark, system: str) -> RunResult:
     """Execute one benchmark under one system in a fresh world."""
     config = SYSTEMS[system]
-    world = World()
+    # A pinned universe id: worker processes each restart the default
+    # "uN" counter, so letting it float would make the scoped-metrics
+    # keys depend on how the matrix was scheduled.
+    world = World(universe_id="u0")
     world.add_slots(benchmark.setup_source)
     annotations = None
     if benchmark.annotate is not None and config.static_types:
@@ -118,6 +121,13 @@ def run_benchmark(benchmark: Benchmark, system: str) -> RunResult:
     answer = runtime.run(benchmark.run_source)
     wall = time.perf_counter() - started
     verified = benchmark.expected is None or answer == benchmark.expected
+    # REPRO_SCOPED_METRICS=1 keys the snapshot per tenant
+    # ("u0/vm.cycles"); default stays flat for backward compatibility.
+    scope = (
+        runtime.universe.universe_id
+        if os.environ.get("REPRO_SCOPED_METRICS", "0") != "0"
+        else None
+    )
     return RunResult(
         benchmark=benchmark.name,
         system=system,
@@ -135,7 +145,7 @@ def run_benchmark(benchmark: Benchmark, system: str) -> RunResult:
         compile_stats=runtime.aggregate_compile_stats(),
         recovery_events=len(runtime.recovery),
         recovery=runtime.recovery.to_records(),
-        metrics=registry_for_runtime(runtime).snapshot(),
+        metrics=registry_for_runtime(runtime, scope=scope).snapshot(),
     )
 
 

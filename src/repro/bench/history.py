@@ -1,0 +1,121 @@
+"""Bench-run history: an append-only JSONL perf trajectory.
+
+``BENCH_exec.json`` and ``BENCH_compile.json`` are snapshots — each run
+overwrites the last, so the repo never accumulates a trajectory to
+regress against.  This module gives both benchmark CLIs a shared
+append-only log (``BENCH_history.jsonl``, one JSON object per line)
+recording when each run happened, at which commit, and its headline
+number, plus a delta rendered against the previous entry of the same
+kind::
+
+    {"schema": "repro-bench-history/1", "kind": "exec",
+     "timestamp": "2026-08-09T12:00:00", "git_sha": "0b68665",
+     "summary": {"geomean_speedup": 2.41}}
+
+Corrupt or foreign lines are tolerated (skipped) on read so a botched
+merge never bricks the benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from datetime import datetime
+from typing import Optional, Tuple
+
+#: schema identifier stamped into every history line (bump on shape change)
+HISTORY_SCHEMA = "repro-bench-history/1"
+
+
+def git_sha() -> str:
+    """The short commit sha of the working tree, or '' outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return ""
+    return out.stdout.strip() if out.returncode == 0 else ""
+
+
+def read_history(path: str) -> list:
+    """All parseable entries in the history file, oldest first."""
+    if not os.path.exists(path):
+        return []
+    entries = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # tolerate corrupt lines; history is best-effort
+            if isinstance(entry, dict):
+                entries.append(entry)
+    return entries
+
+
+def last_entry(path: str, kind: str) -> Optional[dict]:
+    """The most recent entry of ``kind``, or None."""
+    for entry in reversed(read_history(path)):
+        if entry.get("kind") == kind:
+            return entry
+    return None
+
+
+def append_history(
+    path: str, kind: str, summary: dict
+) -> Tuple[dict, Optional[dict]]:
+    """Append one run to the history; returns (new entry, previous).
+
+    ``previous`` is the last prior entry of the same kind (None on the
+    first run), so callers can print a delta without re-reading.
+    """
+    previous = last_entry(path, kind)
+    entry = {
+        "schema": HISTORY_SCHEMA,
+        "kind": kind,
+        "timestamp": datetime.now().isoformat(timespec="seconds"),
+        "git_sha": git_sha(),
+        "summary": summary,
+    }
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry, previous
+
+
+def format_delta(entry: dict, previous: Optional[dict]) -> str:
+    """A one-line delta vs. the previous same-kind entry.
+
+    Compares every numeric key the two summaries share; first run gets
+    a baseline note instead.
+    """
+    summary = entry.get("summary", {})
+    if previous is None:
+        rendered = ", ".join(
+            f"{key}={value:.3f}" if isinstance(value, float) else f"{key}={value}"
+            for key, value in sorted(summary.items())
+        )
+        return f"history: first {entry.get('kind')} entry ({rendered})"
+    prior = previous.get("summary", {})
+    parts = []
+    for key in sorted(summary):
+        now, then = summary[key], prior.get(key)
+        if not isinstance(now, (int, float)) or not isinstance(then, (int, float)):
+            continue
+        if then:
+            pct = 100.0 * (now - then) / then
+            parts.append(f"{key} {then:.3f} -> {now:.3f} ({pct:+.1f}%)")
+        else:
+            parts.append(f"{key} {then} -> {now}")
+    stamp = previous.get("timestamp", "?")
+    sha = previous.get("git_sha") or "?"
+    detail = "; ".join(parts) if parts else "no comparable numbers"
+    return f"history: vs {sha} at {stamp}: {detail}"

@@ -253,6 +253,8 @@ def metrics_table(
     already covered by :func:`optimization_effect_table` — one block per
     benchmark, one column per system.
     """
+    from ..obs.metrics import split_scoped
+
     session = session or GLOBAL_SESSION
     if benchmark_names is None:
         benchmark_names = ["sumTo", "sieve", "queens", "richards"]
@@ -261,12 +263,15 @@ def metrics_table(
     lines = ["Unified metrics (repro.obs registry snapshot per run)"]
     for name in benchmark_names:
         results = {s: session.result(name, s) for s in systems}
+        # Prefix-match on the base name so per-universe scoped keys
+        # ("u0/vm.cycles", REPRO_SCOPED_METRICS=1) filter and render
+        # like their flat forms; the full scoped key stays the label.
         metric_names = sorted(
             {
                 key
                 for result in results.values()
                 for key in result.metrics
-                if key.startswith(prefixes)
+                if split_scoped(key)[1].startswith(prefixes)
             }
         )
         lines.append("")

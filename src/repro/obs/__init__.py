@@ -14,42 +14,75 @@ counts (and the *decisions* behind them) are recorded:
   collectors that unify the runtime's and compiler's raw counters
   under stable metric names.
 * :mod:`.export` — JSON-lines dump, Chrome ``chrome://tracing``
-  trace-event output, and a structural schema check for both.
+  trace-event output, speedscope/collapsed flamegraph exports of a
+  profile, and a structural schema check for all of them.
 * :mod:`.narrate` — the human-readable "why was this send not inlined
   / this test not elided" story, reconstructed from a trace.
+* :mod:`.profile` / :mod:`.siteprof` — the deterministic
+  activation-tick profiler and the inline-cache lifecycle tracker
+  (per-site state transitions, receiver-map fan-out).
 
-Nothing here touches the modeled measurements: tracing on or off, the
-cycle/instruction/code-byte numbers are bit-identical (goldens in
-``tests/vm/test_golden_determinism.py`` enforce this).
+Nothing here touches the modeled measurements: tracing or profiling on
+or off, the cycle/instruction/code-byte numbers are bit-identical
+(goldens in ``tests/vm/test_golden_determinism.py`` and
+``tests/obs/test_profile.py`` enforce this).
 """
 
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry, registry_for_runtime
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ScopedView,
+    registry_for_runtime,
+    split_scoped,
+)
 from .trace import NULL_TRACER, NullTracer, Span, Tracer
 from .export import (
     chrome_trace,
     check_schema,
+    collapsed_stacks,
+    speedscope_profile,
     to_jsonl_records,
     validate_chrome_trace,
+    validate_speedscope,
     write_chrome_trace,
+    write_collapsed,
     write_jsonl,
+    write_speedscope,
 )
 from .narrate import narrate
+from .profile import PROFILE_SCHEMA, Profiler, profiler_for
+from .siteprof import ICLifecycleTracker, classify_site, collect_sites
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ScopedView",
     "registry_for_runtime",
+    "split_scoped",
     "NULL_TRACER",
     "NullTracer",
     "Span",
     "Tracer",
     "chrome_trace",
     "check_schema",
+    "collapsed_stacks",
+    "speedscope_profile",
     "to_jsonl_records",
     "validate_chrome_trace",
+    "validate_speedscope",
     "write_chrome_trace",
+    "write_collapsed",
     "write_jsonl",
+    "write_speedscope",
     "narrate",
+    "PROFILE_SCHEMA",
+    "Profiler",
+    "profiler_for",
+    "ICLifecycleTracker",
+    "classify_site",
+    "collect_sites",
 ]

@@ -275,3 +275,175 @@ def validate_chrome_trace(obj: dict) -> list[str]:
         if event["ph"] == "X" and "dur" not in event:
             problems.append(f"$.traceEvents[{index}]: complete event without dur")
     return problems
+
+
+# ---------------------------------------------------------------------------
+# Profile exporters: speedscope and collapsed stacks
+# ---------------------------------------------------------------------------
+# Both consume the dict produced by Profiler.snapshot().  The speedscope
+# document carries TWO sampled profiles: the activation-tick stacks
+# (where did execution go, as a flamegraph) and the send sites (one
+# single-frame sample per site, weighted by its send count) — so the
+# "hottest send sites" view of the tools and the export agree on the
+# exact same numbers.
+
+
+def _site_frame_name(row: dict) -> str:
+    return f"{row['owner']}#{row['index']} {row['selector']}"
+
+
+def speedscope_profile(profile: dict, name: str = "repro profile") -> dict:
+    """A speedscope (https://www.speedscope.app) file for a profiler
+    snapshot.  Deterministic: frames and samples preserve the
+    snapshot's own (sorted) order, and weights are tick/send counts,
+    not wall time."""
+    frames: list[dict] = []
+    frame_index: dict[str, int] = {}
+
+    def frame(label: str) -> int:
+        index = frame_index.get(label)
+        if index is None:
+            index = frame_index[label] = len(frames)
+            frames.append({"name": label})
+        return index
+
+    tick_samples = []
+    tick_weights = []
+    for entry in profile.get("stacks", []):
+        tick_samples.append([frame(label) for label in entry["frames"]])
+        tick_weights.append(entry["ticks"])
+    site_samples = []
+    site_weights = []
+    for row in profile.get("sites", []):
+        site_samples.append([frame(_site_frame_name(row))])
+        site_weights.append(row["sends"])
+    total_ticks = sum(tick_weights)
+    total_sends = sum(site_weights)
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "name": name,
+        "exporter": "repro-obs",
+        "shared": {"frames": frames},
+        "profiles": [
+            {
+                "type": "sampled",
+                "name": f"{name}: activation ticks",
+                "unit": "none",
+                "startValue": 0,
+                "endValue": total_ticks,
+                "samples": tick_samples,
+                "weights": tick_weights,
+            },
+            {
+                "type": "sampled",
+                "name": f"{name}: send sites",
+                "unit": "none",
+                "startValue": 0,
+                "endValue": total_sends,
+                "samples": site_samples,
+                "weights": site_weights,
+            },
+        ],
+    }
+
+
+#: structural schema for the speedscope export (subset validator above)
+SPEEDSCOPE_SCHEMA = {
+    "type": "object",
+    "required": ["$schema", "shared", "profiles"],
+    "properties": {
+        "$schema": {"type": "string"},
+        "name": {"type": "string"},
+        "shared": {
+            "type": "object",
+            "required": ["frames"],
+            "properties": {
+                "frames": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "required": ["name"],
+                        "properties": {"name": {"type": "string"}},
+                    },
+                },
+            },
+        },
+        "profiles": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["type", "name", "unit", "samples", "weights"],
+                "properties": {
+                    "type": {"type": "string", "enum": ["sampled", "evented"]},
+                    "name": {"type": "string"},
+                    "unit": {"type": "string"},
+                    "startValue": {"type": "number", "minimum": 0},
+                    "endValue": {"type": "number", "minimum": 0},
+                    "samples": {
+                        "type": "array",
+                        "items": {
+                            "type": "array",
+                            "items": {"type": "integer", "minimum": 0},
+                        },
+                    },
+                    "weights": {
+                        "type": "array",
+                        "items": {"type": "number", "minimum": 0},
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def validate_speedscope(doc: dict) -> list[str]:
+    """Structural problems in a speedscope document ([] when loadable).
+
+    Beyond the schema: every profile's samples/weights arrays must pair
+    up one-to-one, and every sample's frame indices must point into the
+    shared frame table.
+    """
+    problems = check_schema(doc, SPEEDSCOPE_SCHEMA)
+    if problems:
+        return problems
+    n_frames = len(doc["shared"]["frames"])
+    for p, prof in enumerate(doc["profiles"]):
+        if len(prof["samples"]) != len(prof["weights"]):
+            problems.append(
+                f"$.profiles[{p}]: {len(prof['samples'])} samples vs "
+                f"{len(prof['weights'])} weights"
+            )
+        for s, sample in enumerate(prof["samples"]):
+            for index in sample:
+                if index >= n_frames:
+                    problems.append(
+                        f"$.profiles[{p}].samples[{s}]: frame index "
+                        f"{index} outside the shared table ({n_frames})"
+                    )
+    return problems
+
+
+def collapsed_stacks(profile: dict) -> str:
+    """The activation-tick stacks in Brendan Gregg's collapsed format
+    (one ``a;b;c 42`` line per stack — feed to ``flamegraph.pl``)."""
+    lines = [
+        ";".join(entry["frames"]) + f" {entry['ticks']}"
+        for entry in profile.get("stacks", [])
+        if entry["frames"]
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_speedscope(profile: dict, path: str, name: str = "repro profile") -> dict:
+    doc = speedscope_profile(profile, name=name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=1, sort_keys=True)
+    return doc
+
+
+def write_collapsed(profile: dict, path: str) -> str:
+    text = collapsed_stacks(profile)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text

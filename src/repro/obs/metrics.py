@@ -25,6 +25,24 @@ from __future__ import annotations
 
 from typing import Optional
 
+#: separator between a scope (universe id) and a metric's base name in
+#: a scoped key.  Metric names themselves use "." namespacing and never
+#: contain "/", so the split is unambiguous: "u0/vm.cycles" is the
+#: "vm.cycles" counter of tenant "u0".
+SCOPE_SEP = "/"
+
+
+def scoped_name(scope: str, name: str) -> str:
+    return f"{scope}{SCOPE_SEP}{name}"
+
+
+def split_scoped(name: str) -> tuple:
+    """``(scope, base)`` for a scoped key, ``(None, name)`` otherwise."""
+    scope, sep, base = name.partition(SCOPE_SEP)
+    if sep and scope:
+        return scope, base
+    return None, name
+
 
 class Counter:
     """A monotonically increasing count."""
@@ -161,6 +179,15 @@ class MetricsRegistry:
                 out[name] = now - (was or 0)
         return out
 
+    def scoped(self, universe_id: str) -> "ScopedView":
+        """A per-tenant view of this registry: every metric created (or
+        read) through the view lives under ``<universe_id>/<name>``, so
+        one registry can hold several universes' ``vm.*``/``ic.*``/…
+        counters side by side without collisions."""
+        if not universe_id or SCOPE_SEP in universe_id:
+            raise ValueError(f"invalid metric scope {universe_id!r}")
+        return ScopedView(self, universe_id)
+
     def render(self, title: str = "metrics") -> str:
         """A plain-text two-column table of every metric."""
         lines = [title]
@@ -174,6 +201,53 @@ class MetricsRegistry:
                 value = f"{value:.6f}"
             lines.append(f"  {name:40} {value}")
         return "\n".join(lines)
+
+
+class ScopedView:
+    """A :class:`MetricsRegistry` facade that prefixes every name with
+    one tenant's scope.
+
+    Quacks like the registry for everything the collectors use
+    (``counter``/``gauge``/``histogram``/``names``/``get``/
+    ``snapshot``), so :func:`collect_runtime` works unchanged against a
+    view — that is what makes ``registry_for_runtime(rt, scope=...)``
+    a one-line change rather than a parallel collector.
+    """
+
+    __slots__ = ("_registry", "scope")
+
+    def __init__(self, registry: MetricsRegistry, scope: str) -> None:
+        self._registry = registry
+        self.scope = scope
+
+    def counter(self, name: str) -> Counter:
+        return self._registry.counter(scoped_name(self.scope, name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._registry.gauge(scoped_name(self.scope, name))
+
+    def histogram(self, name: str) -> Histogram:
+        return self._registry.histogram(scoped_name(self.scope, name))
+
+    def names(self) -> list[str]:
+        prefix = self.scope + SCOPE_SEP
+        return sorted(
+            name[len(prefix):]
+            for name in self._registry.names()
+            if name.startswith(prefix)
+        )
+
+    def get(self, name: str):
+        return self._registry.get(scoped_name(self.scope, name))
+
+    def snapshot(self) -> dict:
+        """This tenant's metrics only, with the scope prefix stripped."""
+        prefix = self.scope + SCOPE_SEP
+        return {
+            name[len(prefix):]: value
+            for name, value in self._registry.snapshot().items()
+            if name.startswith(prefix)
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -224,6 +298,22 @@ def collect_runtime(registry: MetricsRegistry, runtime) -> None:
     registry.gauge("invalidation.edges_live").set(
         runtime.universe.deps.edge_count()
     )
+    profiler = getattr(runtime, "profiler", None)
+    if profiler is not None:
+        collect_profile(registry, profiler)
+
+
+def collect_profile(registry, profiler) -> None:
+    """File a :class:`~repro.obs.profile.Profiler`'s tick totals under
+    ``profile.*`` (per-tier tick counts included)."""
+    registry.counter("profile.ticks").inc(profiler.ticks)
+    registry.counter("profile.ticks.activation").inc(profiler.activation_ticks)
+    registry.counter("profile.ticks.branch").inc(profiler.branch_ticks)
+    registry.counter("profile.ticks.interp").inc(profiler.interp_ticks)
+    for tier, count in sorted(profiler.tier_ticks.items()):
+        registry.counter(f"profile.tier.{tier}").inc(count)
+    for kind, count in sorted(profiler.ic.events.items()):
+        registry.counter(f"profile.ic_events.{kind}").inc(count)
 
 
 def collect_graph(registry: MetricsRegistry, graph) -> None:
@@ -238,8 +328,17 @@ def collect_graph(registry: MetricsRegistry, graph) -> None:
     collect_compile_stats(registry, graph.compile_stats)
 
 
-def registry_for_runtime(runtime) -> MetricsRegistry:
-    """The unified post-run view of one Runtime's measurements."""
+def registry_for_runtime(
+    runtime, scope: Optional[str] = None
+) -> MetricsRegistry:
+    """The unified post-run view of one Runtime's measurements.
+
+    With ``scope`` (typically ``runtime.universe.universe_id``) the
+    counters are collected through :meth:`MetricsRegistry.scoped`, so
+    the snapshot's keys read ``<scope>/vm.cycles`` etc. — the
+    per-tenant form multi-universe hosts aggregate into one registry.
+    """
     registry = MetricsRegistry()
-    collect_runtime(registry, runtime)
+    target = registry.scoped(scope) if scope is not None else registry
+    collect_runtime(target, runtime)
     return registry

@@ -1,0 +1,243 @@
+"""The deterministic activation-tick profiler.
+
+Wall-clock sampling would make every profile a different profile — the
+numbers here feed goldens, CI artifacts, and the paper-style "where do
+the sends go" tables, so the profiler ticks on *deterministic* events
+instead:
+
+* an **activation tick** for every fresh activation entering the
+  dispatch loop (``pc == 0``) or direct-called by a translated body's
+  trampoline — the modeled analogue of a call-stack sample;
+* a **branch tick** for every taken backward branch (threaded tier:
+  ``next_pc <= current index``; translated tier: the emitter plants the
+  same test at emission time), so loop-heavy bodies weigh what they
+  cost even when they rarely activate;
+* an **interp tick** for every interpreter-tier entry (degraded bodies
+  push no VM frame, so the activation hook cannot see them).
+
+Each tick attributes to the executing code body and its tier
+(translated / optimizing / pessimistic / interpreter), captures the
+current frame stack for the flamegraph exporters
+(:func:`repro.obs.export.speedscope_profile`,
+:func:`repro.obs.export.collapsed_stacks`), and advances the tick clock
+that stamps IC lifecycle transitions (:mod:`.siteprof`).  Tier
+residency over time is kept as a bounded ring of per-window tier
+counts.
+
+Send-site hotness needs no ticks at all: the inline-cache counters the
+VM already maintains (hits / misses / relinks per
+:class:`~repro.vm.code.InlineCacheSite`) *are* the per-site send
+counts, read at snapshot time — including sites of bodies invalidation
+retired mid-run, which the profiler pins (``note_retired``) so their
+counters survive cache eviction.
+
+The contract with the modeled measurements: the profiler never touches
+``vm.cycles`` / ``vm.instructions`` / the IC counters, the hooks in the
+hot paths are emitted (translated tier) or branched-around (threaded
+tier) only when a profiler is installed, and everything it records is
+derived from deterministic counts — so modeled numbers are bit-identical
+with profiling on or off, profiling off costs one ``is not None`` test
+per run segment, and two profiled runs of the same workload serialize
+to byte-identical JSON (:meth:`Profiler.to_json`).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from itertools import chain
+
+from .siteprof import ICLifecycleTracker, collect_sites, fanout_histogram
+
+#: schema identifier for the serialized profile (bump on shape change)
+PROFILE_SCHEMA = "repro-profile/1"
+
+#: activation ticks per tier-residency window (one ring entry each)
+DEFAULT_WINDOW = 1024
+
+#: ring capacity: windows kept (older residency entries fall off)
+DEFAULT_RING = 256
+
+#: frames kept per captured stack (deep recursion truncates at the root)
+DEFAULT_STACK_DEPTH = 32
+
+TIER_NAMES = ("translated", "optimizing", "pessimistic", "interpreter")
+
+
+class Profiler:
+    """Per-runtime deterministic profiler (installed as ``runtime.profiler``).
+
+    Enabling is a construction-time decision (``REPRO_PROFILE=1`` or
+    ``Runtime(..., profile=True)``): the translated-tier tick accounting
+    is compiled into generated code the same way modeled counters are,
+    so a mid-run toggle would leave already-translated bodies silent.
+    """
+
+    __slots__ = (
+        "runtime", "stack_depth", "window",
+        "ticks", "activation_ticks", "branch_ticks", "interp_ticks",
+        "body_ticks", "body_activations", "body_tier", "tier_ticks",
+        "stack_counts", "residency", "_window_counts",
+        "ic", "retired_codes",
+    )
+
+    def __init__(
+        self,
+        runtime,
+        stack_depth: int = DEFAULT_STACK_DEPTH,
+        window: int = DEFAULT_WINDOW,
+        ring_capacity: int = DEFAULT_RING,
+    ) -> None:
+        self.runtime = runtime
+        self.stack_depth = stack_depth
+        self.window = window
+        self.ticks = 0
+        self.activation_ticks = 0
+        self.branch_ticks = 0
+        self.interp_ticks = 0
+        #: code-body name -> ticks attributed (all kinds)
+        self.body_ticks: dict[str, int] = {}
+        #: code-body name -> activation ticks only
+        self.body_activations: dict[str, int] = {}
+        #: code-body name -> tier of its most recent tick
+        self.body_tier: dict[str, str] = {}
+        self.tier_ticks = {name: 0 for name in TIER_NAMES}
+        #: captured frame stacks -> ticks (the flamegraph weights)
+        self.stack_counts: dict[tuple, int] = {}
+        #: tier-residency ring: one entry per completed tick window
+        self.residency: deque = deque(maxlen=ring_capacity)
+        self._window_counts = {name: 0 for name in TIER_NAMES}
+        self.ic = ICLifecycleTracker()
+        #: bodies invalidation retired, pinned so their IC counters stay
+        #: attributable after the runtime's caches dropped them
+        self.retired_codes: dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    # Tick hooks (the only methods hot paths call)
+    # ------------------------------------------------------------------
+
+    def _tick(self, name: str, tier: str) -> None:
+        self.ticks += 1
+        self.tier_ticks[tier] += 1
+        self.body_ticks[name] = self.body_ticks.get(name, 0) + 1
+        self.body_tier[name] = tier
+        window = self._window_counts
+        window[tier] += 1
+        if self.ticks % self.window == 0:
+            self.residency.append({"tick": self.ticks, **window})
+            for key in window:
+                window[key] = 0
+
+    def _capture_stack(self, extra: str = "") -> None:
+        frames = self.runtime.frames
+        stack = tuple(f.code.name for f in frames[-self.stack_depth:])
+        if extra:
+            stack += (extra,)
+        self.stack_counts[stack] = self.stack_counts.get(stack, 0) + 1
+
+    def tick_activation(self, frame) -> None:
+        """A fresh activation entered the dispatch loop (or was
+        direct-called by a translated trampoline).  ``frame`` is already
+        on the runtime's frame stack."""
+        code = frame.code
+        name = code.name
+        tier = "translated" if code.translated else code.tier
+        self.activation_ticks += 1
+        self.body_activations[name] = self.body_activations.get(name, 0) + 1
+        self._tick(name, tier)
+        self._capture_stack()
+
+    def tick_branch(self, frame) -> None:
+        """A taken backward branch in ``frame``'s body."""
+        code = frame.code
+        tier = "translated" if code.translated else code.tier
+        self.branch_ticks += 1
+        self._tick(code.name, tier)
+        self._capture_stack()
+
+    def tick_interp(self, name: str) -> None:
+        """An interpreter-tier entry (no VM frame is pushed for it)."""
+        self.interp_ticks += 1
+        self._tick(name, "interpreter")
+        self._capture_stack(extra=name)
+
+    def note_ic(self, site, kind: str) -> None:
+        """An inline-cache cold-path event (from ``_send_miss``)."""
+        self.ic.note(site, kind, self.ticks)
+
+    def note_retired(self, code) -> None:
+        """Invalidation retired ``code``: pin it so its send-site
+        counters still aggregate into the profile."""
+        if getattr(code, "ic_sites", None):
+            self.retired_codes.setdefault(id(code), code)
+
+    # ------------------------------------------------------------------
+    # Snapshot
+    # ------------------------------------------------------------------
+
+    def _all_codes(self):
+        """Every body whose IC counters belong in the profile, once:
+        the live caches, retired bodies still held by live frames, and
+        retired bodies only the profiler still pins."""
+        seen: set[int] = set()
+        for code in chain(
+            self.runtime.iter_compiled_codes(),
+            self.runtime._retired_live,
+            self.retired_codes.values(),
+        ):
+            if id(code) not in seen:
+                seen.add(id(code))
+                yield code
+
+    def snapshot(self) -> dict:
+        """The whole profile as one JSON-ready dict (deterministic:
+        name-keyed, hottest-first with full tie-breaking, no wall
+        clock)."""
+        bodies = [
+            {
+                "name": name,
+                "ticks": self.body_ticks[name],
+                "activations": self.body_activations.get(name, 0),
+                "tier": self.body_tier[name],
+            }
+            for name in sorted(
+                self.body_ticks, key=lambda n: (-self.body_ticks[n], n)
+            )
+        ]
+        sites = collect_sites(self._all_codes(), self.ic)
+        residency = list(self.residency)
+        if any(self._window_counts.values()):
+            residency.append({"tick": self.ticks, **self._window_counts})
+        stacks = [
+            {"frames": list(stack), "ticks": count}
+            for stack, count in sorted(
+                self.stack_counts.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+        return {
+            "schema": PROFILE_SCHEMA,
+            "window": self.window,
+            "ticks": {
+                "total": self.ticks,
+                "activation": self.activation_ticks,
+                "branch": self.branch_ticks,
+                "interp": self.interp_ticks,
+            },
+            "tiers": dict(self.tier_ticks),
+            "tier_residency": residency,
+            "bodies": bodies,
+            "sites": sites,
+            "fanout_histogram": fanout_histogram(sites),
+            "ic_events": dict(self.ic.events),
+            "stacks": stacks,
+        }
+
+    def to_json(self, indent: int = 1) -> str:
+        """Canonical serialization: two identical runs produce
+        byte-identical output (sorted keys, no timestamps)."""
+        return json.dumps(self.snapshot(), sort_keys=True, indent=indent)
+
+
+def profiler_for(runtime):
+    """The runtime's profiler, or None (profiling off)."""
+    return getattr(runtime, "profiler", None)

@@ -1,0 +1,184 @@
+"""Inline-cache lifecycle telemetry: per-site states and transitions.
+
+The paper's richards anomaly (section 6.1) is a *lifecycle* story: one
+task-dispatch send site drifts from monomorphic through polymorphic to
+a miss-thrashing steady state, and the whole benchmark's profile tips
+over.  The counters on :class:`~repro.vm.code.InlineCacheSite` record
+the totals; this module records the *trajectory*:
+
+* every site's current **state** — ``empty`` → ``monomorphic`` →
+  ``polymorphic(k)`` → ``miss-thrash`` (and back to ``monomorphic``
+  after an invalidation flush cleared its entries);
+* the **transition log** — ``(tick, from, to)`` triples stamped with
+  the profiler's deterministic activation-tick clock, so two runs of
+  the same workload produce byte-identical trajectories;
+* the **receiver-map fan-out** per site and its histogram across sites.
+
+State is *derived* from the site's own counters at every cold-path
+event (the tracker is only consulted from
+:func:`~repro.vm.dispatch._send_miss`, never from the monomorphic hit
+path), so tracking costs nothing on hits and a dictionary probe on
+misses — and nothing at all when profiling is off.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+STATE_EMPTY = "empty"
+STATE_MONOMORPHIC = "monomorphic"
+STATE_THRASH = "miss-thrash"
+
+#: a polymorphic site whose cache keeps relinking is "thrashing" once
+#: it has relinked this many times *and* relinked more than it hit —
+#: the monomorphic cache is doing net-negative work at that point
+THRASH_MIN_RELINKS = 16
+
+
+def polymorphic_state(fanout: int) -> str:
+    return f"polymorphic({fanout})"
+
+
+def classify_site(site) -> str:
+    """The lifecycle state a site's own counters imply right now."""
+    fanout = len(site.entries)
+    if fanout == 0:
+        return STATE_EMPTY
+    if fanout == 1:
+        return STATE_MONOMORPHIC
+    if site.relinks >= THRASH_MIN_RELINKS and site.relinks > site.hits:
+        return STATE_THRASH
+    return polymorphic_state(fanout)
+
+
+class SiteRecord:
+    """One tracked inline-cache site's trajectory.
+
+    Holds a strong reference to the site: the record outlives the code
+    body (retirement drops the body from the runtime's caches, not from
+    here), and the ``id()``-keyed tracker table must never see a reused
+    identity.
+    """
+
+    __slots__ = ("site", "state", "transitions")
+
+    def __init__(self, site) -> None:
+        self.site = site
+        self.state = STATE_EMPTY
+        #: (tick, from_state, to_state) triples, in tick order
+        self.transitions: list[tuple] = []
+
+    def note(self, tick: int) -> None:
+        state = classify_site(self.site)
+        if state != self.state:
+            self.transitions.append((tick, self.state, state))
+            self.state = state
+
+
+class ICLifecycleTracker:
+    """Every profiled site's :class:`SiteRecord`, keyed by identity."""
+
+    __slots__ = ("records", "events")
+
+    def __init__(self) -> None:
+        self.records: dict[int, SiteRecord] = {}
+        #: cold-path events seen, by kind ("miss"/"relink"/"pic")
+        self.events = {"miss": 0, "relink": 0, "pic": 0}
+
+    def note(self, site, kind: str, tick: int) -> None:
+        self.events[kind] += 1
+        record = self.records.get(id(site))
+        if record is None:
+            record = self.records[id(site)] = SiteRecord(site)
+        record.note(tick)
+
+    def record_for(self, site) -> Optional[SiteRecord]:
+        record = self.records.get(id(site))
+        if record is not None and record.site is site:
+            return record
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Aggregation: site objects -> stable, deterministic rows
+# ---------------------------------------------------------------------------
+
+
+def site_key(site) -> tuple:
+    """The stable identity of a send site: (owner body, stream index,
+    selector).  Share clones re-predecode the same body per receiver
+    map, so several live site *objects* aggregate under one key — the
+    paper's numbers are per source-level send site, not per clone."""
+    return (site.owner, site.index, site.selector)
+
+
+def collect_sites(codes, tracker: Optional[ICLifecycleTracker] = None) -> list[dict]:
+    """Aggregate every inline-cache site of ``codes`` into rows.
+
+    Rows are keyed by :func:`site_key` and sorted hottest-first (send
+    count, then key) — a deterministic order, so the serialized profile
+    is byte-identical across runs.  Sites that never dispatched a send
+    are omitted.
+    """
+    rows: dict[tuple, dict] = {}
+    for code in codes:
+        for site in getattr(code, "ic_sites", ()):
+            sends = site.hits + site.misses + site.relinks
+            if sends == 0:
+                continue
+            key = site_key(site)
+            row = rows.get(key)
+            if row is None:
+                row = rows[key] = {
+                    "owner": site.owner,
+                    "index": site.index,
+                    "selector": site.selector,
+                    "sends": 0,
+                    "hits": 0,
+                    "misses": 0,
+                    "relinks": 0,
+                    "fanout": 0,
+                    "state": STATE_EMPTY,
+                    "transitions": [],
+                }
+            row["sends"] += sends
+            row["hits"] += site.hits
+            row["misses"] += site.misses
+            row["relinks"] += site.relinks
+            row["fanout"] = max(row["fanout"], len(site.entries))
+            if tracker is not None:
+                record = tracker.record_for(site)
+                if record is not None:
+                    row["transitions"].extend(
+                        list(t) for t in record.transitions
+                    )
+    out = []
+    for key in sorted(rows, key=lambda k: (-rows[k]["sends"], k)):
+        row = rows[key]
+        row["transitions"].sort()
+        # The aggregate's state derives from the aggregate's counters —
+        # a thrash verdict should not flip because one clone was quiet.
+        fanout = row["fanout"]
+        if fanout == 0:
+            state = STATE_EMPTY
+        elif fanout == 1:
+            state = STATE_MONOMORPHIC
+        elif (
+            row["relinks"] >= THRASH_MIN_RELINKS
+            and row["relinks"] > row["hits"]
+        ):
+            state = STATE_THRASH
+        else:
+            state = polymorphic_state(fanout)
+        row["state"] = state
+        out.append(row)
+    return out
+
+
+def fanout_histogram(site_rows: list[dict]) -> dict:
+    """How many sites saw k distinct receiver maps, for each k."""
+    histogram: dict[str, int] = {}
+    for row in site_rows:
+        key = str(row["fanout"])
+        histogram[key] = histogram.get(key, 0) + 1
+    return {key: histogram[key] for key in sorted(histogram, key=int)}

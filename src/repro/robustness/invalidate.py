@@ -70,6 +70,11 @@ def _retire_code(runtime, target: CodeDependency, stats: dict) -> bool:
     """Remove one dependent compiled body from every cache that serves it."""
     code = target.code
     code.retired = True
+    profiler = getattr(runtime, "profiler", None)
+    if profiler is not None:
+        # Pin the body so its send-site counters stay attributable in
+        # the profile after the caches below drop their references.
+        profiler.note_retired(code)
     # The translation tier is retired through the same dependency edge:
     # ``False`` pins the body untranslatable, so live frames fall back
     # to the (IC-flushed) predecoded stream at their next activation

@@ -213,6 +213,10 @@ def compile_with_tiers(
                         compiled = generate(graph, runtime.model)
                     compile_span.set(outcome="ok", code_bytes=compiled.size_bytes)
                     compiled.dep_keys = tracker.frozen()
+                    # Which rung produced this body — the profiler's
+                    # per-tier attribution reads it (translated bodies
+                    # are recognized by ``code.translated`` instead).
+                    compiled.tier = tier
                     if cacheable and tier == TIER_OPTIMIZING:
                         try:
                             cache.store(
@@ -276,8 +280,13 @@ def _switched(runtime, thunk):
         universe.evaluator = previous
 
 
-def run_interpreted_method(runtime, code_node, receiver, args):
+def run_interpreted_method(runtime, code_node, receiver, args, selector="<interpreted>"):
     """Execute a method body at the interpreter tier."""
+    # Interpreter-tier bodies push no VM frame, so the dispatch loop's
+    # activation hook never sees them — tick here instead.
+    profiler = getattr(runtime, "profiler", None)
+    if profiler is not None:
+        profiler.tick_interp(selector)
     return _switched(
         runtime, lambda interp: interp.invoke_method(receiver, code_node, list(args))
     )
@@ -346,6 +355,9 @@ def run_interpreted_block(runtime, block, args):
         block.captured_self if block.captured_self is not None
         else home_frame.receiver
     )
+    profiler = getattr(runtime, "profiler", None)
+    if profiler is not None:
+        profiler.tick_interp(f"<block#{block.code.block_id}>")
 
     def invoke(interp):
         root = Activation(receiver, block.code, _EnvSlots(runtime, block), None)

@@ -20,6 +20,16 @@ wiring up a bench run::
 
     python -m repro.tools.report --workload sumTo
     python -m repro.tools.report frequency --workload richards
+
+``--profile`` runs the workload on a profiled runtime and appends the
+hot-send-site table and the IC-churn narrative (see
+:mod:`repro.obs.profile`); ``--results BENCH_results.json`` instead
+renders the metrics of a previously written bench-results file —
+including per-universe scoped keys (``u0/vm.cycles``) from
+``REPRO_SCOPED_METRICS=1`` runs::
+
+    python -m repro.tools.report --workload richards --profile
+    python -m repro.tools.report --results BENCH_results.json
 """
 
 from __future__ import annotations
@@ -148,6 +158,99 @@ def translation_report(runtime) -> str:
     return "\n".join(lines)
 
 
+def hot_site_table(profile: dict, top: int = 10) -> str:
+    """The profiler's hottest send sites, rendered (paper-style: send
+    counts are the unit of cost, IC behavior the explanation)."""
+    lines = [
+        "hot send sites:",
+        f"  {'sends':>8} {'hits':>8} {'miss':>6} {'relink':>7} "
+        f"{'fan':>4}  {'state':16} site",
+    ]
+    for row in profile.get("sites", [])[:top]:
+        lines.append(
+            f"  {row['sends']:>8} {row['hits']:>8} {row['misses']:>6} "
+            f"{row['relinks']:>7} {row['fanout']:>4}  {row['state']:16} "
+            f"{row['owner']}#{row['index']} {row['selector']}"
+        )
+    return "\n".join(lines)
+
+
+def ic_churn_narrative(profile: dict, top: int = 5) -> str:
+    """The IC lifecycle story: which sites drifted away from
+    monomorphic, when, and what that churn cost — the section 6.1
+    narrative, reconstructed from the lifecycle transitions."""
+    events = profile.get("ic_events", {})
+    churned = [
+        row for row in profile.get("sites", [])
+        if row.get("transitions") and row["fanout"] > 1
+    ]
+    churned.sort(key=lambda r: (-r["relinks"], -r["sends"]))
+    lines = [
+        "inline-cache churn:",
+        f"  cold-path events: {events.get('miss', 0)} misses, "
+        f"{events.get('relink', 0)} relinks, {events.get('pic', 0)} PIC hits",
+    ]
+    if not churned:
+        lines.append(
+            "  every polymorphic site stayed quiet — no lifecycle "
+            "transitions recorded"
+        )
+        return "\n".join(lines)
+    for row in churned[:top]:
+        site = f"{row['owner']}#{row['index']} {row['selector']}"
+        steps = " -> ".join(
+            f"{to}@t{tick}" for tick, _from, to in row["transitions"]
+        )
+        share = (
+            100.0 * row["relinks"] / row["sends"] if row["sends"] else 0.0
+        )
+        lines.append(
+            f"  {site}: {row['state']} after {steps}; "
+            f"{row['relinks']} relinks over {row['sends']} sends "
+            f"({share:.1f}% took the cold path)"
+        )
+    return "\n".join(lines)
+
+
+def results_report(payload: dict, prefixes: tuple = (
+    "vm.", "ic.", "dispatch.", "tiers.", "translate.", "profile.",
+)) -> str:
+    """Render the metrics of a ``BENCH_results.json`` payload.
+
+    Handles both flat metric names and per-universe scoped keys
+    (``u0/vm.cycles``): keys are grouped by scope, filtered by the base
+    name's prefix, and rendered per (benchmark, system) result.
+    """
+    from ..obs.metrics import split_scoped
+
+    results = payload.get("results", [])
+    lines = [f"bench results ({payload.get('schema', 'unknown schema')}):"]
+    for result in results:
+        label = f"{result.get('benchmark')} under {result.get('system')}"
+        if result.get("failed"):
+            lines.append(f"\n{label}: FAILED {result.get('error', '')}")
+            continue
+        lines.append(f"\n{label}: cycles={result.get('cycles')}")
+        by_scope: dict = {}
+        for key, value in result.get("metrics", {}).items():
+            scope, base = split_scoped(key)
+            if not base.startswith(prefixes):
+                continue
+            by_scope.setdefault(scope, []).append((base, value))
+        for scope in sorted(by_scope, key=lambda s: (s is not None, s)):
+            if scope is not None:
+                lines.append(f"  [universe {scope}]")
+            for base, value in sorted(by_scope[scope]):
+                if isinstance(value, dict):
+                    value = (
+                        f"n={value.get('count')} sum={value.get('sum')}"
+                    )
+                elif isinstance(value, float):
+                    value = f"{value:.4f}"
+                lines.append(f"  {base:36} {value}")
+    return "\n".join(lines)
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.report",
@@ -172,7 +275,25 @@ def main(argv: Optional[list] = None) -> int:
         "--threshold", type=int, default=None,
         help="override REPRO_TRANSLATE_THRESHOLD for this run",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="profile the workload run and append the hot-site table "
+        "and IC-churn narrative",
+    )
+    parser.add_argument(
+        "--results", default=None, metavar="PATH",
+        help="render a BENCH_results.json file instead of running a "
+        "workload (scoped u0/vm.* metric keys supported)",
+    )
     args = parser.parse_args(argv)
+
+    if args.results:
+        import json
+
+        with open(args.results, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        print(results_report(payload))
+        return 0
 
     from ..bench.base import SYSTEMS, get_benchmark
     from ..lang.parser import parse_doit
@@ -181,7 +302,7 @@ def main(argv: Optional[list] = None) -> int:
     benchmark = get_benchmark(args.workload)
     world = World()
     world.add_slots(benchmark.setup_source)
-    runtime = Runtime(world, SYSTEMS["newself"])
+    runtime = Runtime(world, SYSTEMS["newself"], profile=args.profile)
     if args.threshold is not None:
         runtime.translate_threshold = args.threshold
     doit = parse_doit(benchmark.run_source)
@@ -195,6 +316,12 @@ def main(argv: Optional[list] = None) -> int:
         print(method_report(world, args.selector, args.holder))
         print()
     print(translation_report(runtime))
+    if args.profile:
+        profile = runtime.profiler.snapshot()
+        print()
+        print(hot_site_table(profile))
+        print()
+        print(ic_churn_narrative(profile))
     return 0
 
 

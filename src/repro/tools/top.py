@@ -1,0 +1,206 @@
+"""``repro.tools.top`` — a perf-top-style view of a live workload.
+
+Runs a benchmark on a profiled runtime and renders the profiler's view
+of it: the hottest send sites (by send count, the paper's unit of
+cost), the hottest code bodies (by deterministic activation/branch
+ticks), tier occupancy, and the inline-cache lifecycle states — the
+interactive version of the evidence section 6.1 of the paper builds by
+hand for richards.
+
+Live mode re-runs the workload and repaints between iterations::
+
+    python -m repro.tools.top --workload richards
+
+``--once`` runs the workload to its promotion threshold, renders a
+single snapshot, and exits — the scriptable/CI form, optionally
+dumping the raw profile (``--json``), a speedscope file
+(``--speedscope``), and collapsed stacks (``--collapsed``)::
+
+    python -m repro.tools.top --workload richards --once \\
+        --json richards-profile.json \\
+        --speedscope richards.speedscope.json --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional
+
+from ..obs.export import validate_speedscope, write_collapsed, write_speedscope
+
+#: ANSI clear-screen + home, used between live repaints
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def render_top(profile: dict, top: int = 10, title: str = "") -> str:
+    """The perf-top style panel for one profiler snapshot."""
+    lines = []
+    if title:
+        lines.append(title)
+    ticks = profile["ticks"]
+    tiers = profile["tiers"]
+    total = ticks["total"] or 1
+    occupancy = "  ".join(
+        f"{name} {100.0 * tiers.get(name, 0) / total:5.1f}%"
+        for name in ("translated", "optimizing", "pessimistic", "interpreter")
+    )
+    lines.append(
+        f"ticks {ticks['total']} (activation {ticks['activation']}, "
+        f"branch {ticks['branch']}, interp {ticks['interp']})"
+    )
+    lines.append(f"tier occupancy: {occupancy}")
+    events = profile["ic_events"]
+    lines.append(
+        f"ic cold-path events: miss {events.get('miss', 0)}  "
+        f"relink {events.get('relink', 0)}  pic {events.get('pic', 0)}"
+    )
+    fanout = profile["fanout_histogram"]
+    lines.append(
+        "fan-out histogram: "
+        + "  ".join(f"{k} maps x{v}" for k, v in fanout.items())
+    )
+    lines.append("")
+    lines.append(
+        f"  {'sends':>8} {'hits':>8} {'miss':>6} {'relink':>7} "
+        f"{'fan':>4}  {'state':16} site"
+    )
+    for row in profile["sites"][:top]:
+        lines.append(
+            f"  {row['sends']:>8} {row['hits']:>8} {row['misses']:>6} "
+            f"{row['relinks']:>7} {row['fanout']:>4}  {row['state']:16} "
+            f"{row['owner']}#{row['index']} {row['selector']}"
+        )
+    lines.append("")
+    lines.append(f"  {'ticks':>8} {'activ':>8} {'tier':12} body")
+    for body in profile["bodies"][:top]:
+        lines.append(
+            f"  {body['ticks']:>8} {body['activations']:>8} "
+            f"{body['tier']:12} {body['name']}"
+        )
+    return "\n".join(lines)
+
+
+def _build_runtime(workload: str, system: str, threshold: Optional[int]):
+    from ..bench.base import SYSTEMS, get_benchmark
+    from ..vm.runtime import Runtime
+    from ..world.bootstrap import World
+
+    benchmark = get_benchmark(workload)
+    world = World(universe_id="u0")
+    world.add_slots(benchmark.setup_source)
+    runtime = Runtime(world, SYSTEMS[system], profile=True)
+    if threshold is not None:
+        runtime.translate_threshold = threshold
+    return benchmark, runtime
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.top",
+        description="perf-top for the modeled runtime: hottest send "
+        "sites, hottest bodies, tier occupancy, IC lifecycle states.",
+    )
+    parser.add_argument(
+        "--workload", default="richards",
+        help="benchmark to run (default: richards)",
+    )
+    parser.add_argument(
+        "--system", default="newself",
+        help="system configuration (default: newself)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="run to the promotion threshold, print one snapshot, exit",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=0,
+        help="live refreshes before exiting (0 = until interrupted)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=0.0,
+        help="seconds to sleep between live refreshes",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10,
+        help="rows per table (default: 10)",
+    )
+    parser.add_argument(
+        "--threshold", type=int, default=None,
+        help="override REPRO_TRANSLATE_THRESHOLD for this run",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the raw profile snapshot as JSON",
+    )
+    parser.add_argument(
+        "--speedscope", default=None, metavar="PATH",
+        help="write a speedscope flamegraph file",
+    )
+    parser.add_argument(
+        "--collapsed", default=None, metavar="PATH",
+        help="write collapsed stacks (flamegraph.pl input)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="validate the speedscope export; nonzero exit on problems",
+    )
+    args = parser.parse_args(argv)
+
+    benchmark, runtime = _build_runtime(
+        args.workload, args.system, args.threshold
+    )
+    from ..lang.parser import parse_doit
+
+    doit = parse_doit(benchmark.run_source)
+    title = f"repro top — {benchmark.name} under {args.system}"
+
+    if args.once:
+        runs = max(2, runtime.translate_threshold + 1)
+        for _ in range(runs):
+            result = runtime.run_doit(doit)
+        profile = runtime.profiler.snapshot()
+        print(render_top(profile, args.top, f"{title} (x{runs} -> {result!r})"))
+    else:
+        iteration = 0
+        profile = None
+        try:
+            while args.iterations <= 0 or iteration < args.iterations:
+                runtime.run_doit(doit)
+                iteration += 1
+                profile = runtime.profiler.snapshot()
+                sys.stdout.write(_CLEAR)
+                print(render_top(profile, args.top, f"{title} (run {iteration})"))
+                sys.stdout.flush()
+                if args.interval:
+                    time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            pass
+        if profile is None:
+            profile = runtime.profiler.snapshot()
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(runtime.profiler.to_json())
+    problems = []
+    if args.speedscope or args.check:
+        from ..obs.export import speedscope_profile
+
+        doc = (
+            write_speedscope(profile, args.speedscope, name=title)
+            if args.speedscope
+            else speedscope_profile(profile, name=title)
+        )
+        if args.check:
+            problems = validate_speedscope(doc)
+            for problem in problems:
+                print(f"speedscope: {problem}", file=sys.stderr)
+    if args.collapsed:
+        write_collapsed(profile, args.collapsed)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

@@ -16,7 +16,7 @@ class InlineCacheSite:
 
     __slots__ = (
         "selector", "entries", "cached_map_id", "cached_action",
-        "misses", "hits", "relinks",
+        "misses", "hits", "relinks", "owner", "index",
     )
 
     def __init__(self, selector: str) -> None:
@@ -29,6 +29,12 @@ class InlineCacheSite:
         self.misses = 0
         self.hits = 0
         self.relinks = 0
+        #: stable site identity for profiling — the owning body's name
+        #: and this site's position in it, stamped by Code.__init__ so
+        #: share clones (fresh site objects over the same body)
+        #: aggregate under one (owner, index, selector) key
+        self.owner = ""
+        self.index = -1
 
     @property
     def polymorphic(self) -> bool:
@@ -65,6 +71,7 @@ class Code:
         "retired",
         "translated",
         "invocations",
+        "tier",
     )
 
     def __init__(
@@ -97,6 +104,9 @@ class Code:
         self.arg_regs = arg_regs
         self.env_keys = env_keys
         self.ic_sites = ic_sites
+        for position, site in enumerate(ic_sites):
+            site.owner = name
+            site.index = position
         self.size_bytes = size_bytes
         self.is_block = is_block
         self.graph_stats = graph_stats
@@ -127,6 +137,12 @@ class Code:
         #: fresh activations observed by the dispatch loop (drives
         #: promotion past ``REPRO_TRANSLATE_THRESHOLD``)
         self.invocations = 0
+        #: the compile tier that produced this body ("optimizing" or
+        #: "pessimistic", stamped by compile_with_tiers); the profiler
+        #: attributes ticks per tier through it.  A translated body is
+        #: recognized by ``translated`` being a callable, and the
+        #: interpreter tier never builds a Code at all.
+        self.tier = "optimizing"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

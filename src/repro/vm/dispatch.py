@@ -272,6 +272,7 @@ def _send_miss(vm, receiver, site, insn):
             receiver, vm._map_of(receiver), insn[4], len(insn[6])
         )
         site.entries[map_id] = action
+        event = "miss"
     elif vm.use_polymorphic_caches:
         # Extension: a polymorphic inline cache dispatches the
         # known receiver maps through a stub (§6.1's proposed
@@ -279,6 +280,7 @@ def _send_miss(vm, receiver, site, insn):
         site.relinks += 1
         vm.send_pic_hits += 1
         vm.cycles += insn[11]
+        event = "pic"
     else:
         # The site is polymorphic: the cache keeps relinking.
         # This is what makes the richards task-dispatch site
@@ -286,8 +288,16 @@ def _send_miss(vm, receiver, site, insn):
         site.relinks += 1
         vm.send_megamorphic += 1
         vm.cycles += insn[10]
+        event = "relink"
     site.cached_map_id = map_id
     site.cached_action = action
+    # IC lifecycle telemetry rides the cold path only: the monomorphic
+    # hit above never reaches here, and with profiling off this is one
+    # attribute load per miss.  Both tiers share this helper, so the
+    # translated tier needs no lifecycle hooks of its own.
+    profiler = vm.profiler
+    if profiler is not None:
+        profiler.note_ic(site, event)
     return action
 
 

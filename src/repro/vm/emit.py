@@ -213,12 +213,21 @@ class _Ctx:
     __slots__ = (
         "threaded", "counters", "universe", "lines", "depth",
         "paths", "_path_index", "guards", "alias", "live_in",
+        "profiling", "cur",
     )
 
     def __init__(self, threaded, counters: bool, universe=None,
-                 live_in=None) -> None:
+                 live_in=None, profiling: bool = False) -> None:
         self.threaded = threaded
         self.counters = counters
+        #: emit profiler tick hooks (activation ticks at the trampoline,
+        #: branch ticks at backward gotos) — same emission-time gating
+        #: as ``counters``, so profiling off leaves the source untouched
+        self.profiling = profiling
+        #: stream index of the instruction currently being emitted
+        #: (maintained by emit_source's pass 1; a goto to ``<= cur`` is
+        #: a backward branch)
+        self.cur = -1
         #: when provided, type tests against well-known maps lower to
         #: host type checks and object-map probes to attribute loads
         #: (sound: the compile that planted the test recorded the
@@ -332,6 +341,10 @@ class _Ctx:
         # map itself is untouched — the fallthrough emission path
         # continues with its deferrals intact.
         self.flush(self.live_in[target])
+        if self.profiling and 0 <= target <= self.cur:
+            # A taken backward branch: the same deterministic tick the
+            # threaded loop records for ``next_pc <= pc``.
+            self.w("vm.profiler.tick_branch(frame)")
         self.w(f"_l = {target}")
         self.w("continue")
 
@@ -813,6 +826,15 @@ def _send_core(c, insn, resume, base):
     c.depth += 1
     c.w("return -1")
     c.depth -= 1
+    if c.profiling:
+        # The direct call bypasses the outer loop, so its activation
+        # tick is planted here — guarded on pc == 0 exactly like the
+        # loop's own hook, because the depth-cap escalation path can
+        # hand a *suspended* frame back to a shallower trampoline.
+        c.w("if _nf.pc == 0:")
+        c.depth += 1
+        c.w("vm.profiler.tick_activation(_nf)")
+        c.depth -= 1
     c.w("_r = _nfn(vm, _nf, _nf.regs, _d + 1)")
     c.w("if _r == -3:")
     c.depth += 1
@@ -1343,7 +1365,9 @@ def _collect_labels(threaded) -> tuple[set[int], set[int]]:
     return labels, resumes - labels
 
 
-def emit_source(threaded, counters: bool, universe=None) -> tuple:
+def emit_source(
+    threaded, counters: bool, universe=None, profiling: bool = False
+) -> tuple:
     """Generate the factory source for one threaded stream.
 
     Returns ``(source, paths, guards)``: ``source`` defines
@@ -1376,12 +1400,15 @@ def emit_source(threaded, counters: bool, universe=None) -> tuple:
     # dispatch entry carries no alias state, so each block starts with
     # an empty alias map; falling through into the next label flushes
     # whatever is live there.
-    c = _Ctx(threaded, counters, universe, live_in)
+    c = _Ctx(threaded, counters, universe, live_in, profiling=profiling)
     blocks: dict[int, list[str]] = {}
     closed = True
     for i, insn in enumerate(threaded):
         if i in labels:
             if not closed:
+                # Fallthrough into the label: emitted while ``cur`` is
+                # still the previous index, so it reads as the forward
+                # transfer it is (never a branch tick).
                 c.goto(i)
             c.lines = blocks[i] = []
             c.depth = 0
@@ -1396,6 +1423,7 @@ def emit_source(threaded, counters: bool, universe=None) -> tuple:
             raise UnsupportedStream(
                 f"no emitter for handler {insn[0].__name__}"
             )
+        c.cur = i
         c.charge(insn)
         closed = bool(emitter(c, insn, i, i + 1))
     if not closed:

@@ -112,6 +112,7 @@ class Runtime:
         annotations: Optional[StaticAnnotations] = None,
         use_polymorphic_caches: bool = False,
         tracer=None,
+        profile: Optional[bool] = None,
     ) -> None:
         self.world = world
         self.universe = world.universe
@@ -162,7 +163,23 @@ class Runtime:
         self.modeled_counters = (
             os.environ.get("REPRO_MODELED_COUNTERS", "1") != "0"
         )
-        self.translator = Translator(self, self.modeled_counters)
+        #: deterministic activation-tick profiler (obs/profile.py), or
+        #: None — the off state.  Construction-time only, mirroring
+        #: REPRO_MODELED_COUNTERS: translated bodies compile their tick
+        #: hooks in (or out) at emission, so profiling cannot toggle
+        #: mid-run.  Off costs one ``is not None`` test per run segment
+        #: and nothing per instruction.
+        if profile is None:
+            profile = os.environ.get("REPRO_PROFILE", "0") != "0"
+        if profile:
+            from ..obs.profile import Profiler
+
+            self.profiler = Profiler(self)
+        else:
+            self.profiler = None
+        self.translator = Translator(
+            self, self.modeled_counters, profiling=self.profiler is not None
+        )
         #: translate.* observability counters (surfaced by obs/metrics.py)
         self.translate_stats = {
             "translated": 0,
@@ -243,7 +260,9 @@ class Runtime:
         self.universe.evaluator = self
         try:
             if isinstance(code, InterpretedCode):
-                return run_interpreted_method(self, code.code, receiver, ())
+                return run_interpreted_method(
+                    self, code.code, receiver, (), selector=code.selector
+                )
             return self._run_code(code, receiver, (), home=None)
         finally:
             self.universe.evaluator = previous
@@ -480,10 +499,16 @@ class Runtime:
         if not self._deopt_storm or self.frames:
             return
         dropped = 0
+        profiler = self.profiler
         for kind, key in self._provisional_keys:
             table = self._method_code if kind == "m" else self._block_code
-            if table.pop(key, None) is not None:
+            popped = table.pop(key, None)
+            if popped is not None:
                 dropped += 1
+                if profiler is not None:
+                    # Keep the dropped body's send-site counters
+                    # attributable in the profile.
+                    profiler.note_retired(popped[1])
         self._provisional_keys.clear()
         self._retired_live.clear()
         self._deopt_storm = False
@@ -521,7 +546,9 @@ class Runtime:
                     value.code, self.universe.map_of(receiver), selector
                 )
                 if isinstance(code, InterpretedCode):
-                    return run_interpreted_method(self, code.code, receiver, args)
+                    return run_interpreted_method(
+                        self, code.code, receiver, args, selector=selector
+                    )
                 self.cycles += self.model.frame_cycles
                 return self._run_code(code, receiver, args, home=None)
             return value
@@ -606,6 +633,11 @@ class Runtime:
             raise
 
     def _loop(self, base: int):
+        # The whole cost of profiling-off: this single test per run
+        # segment.  The profiled twin below carries the tick hooks so
+        # the hot loop here stays untouched.
+        if self.profiler is not None:
+            return self._loop_profiled(base)
         frames = self.frames
         cycles = 0
         icount = 0
@@ -691,6 +723,82 @@ class Runtime:
             self.cycles += cycles
             self.instructions += icount
 
+    def _loop_profiled(self, base: int):
+        """:meth:`_loop` with the profiler's deterministic tick hooks.
+
+        An exact twin of the hot loop — same tier selection, decline
+        protocol, NLR scan, and modeled accounting — plus an activation
+        tick per fresh entry (``pc == 0``) and a branch tick per taken
+        backward branch (``0 <= next_pc <= current index``).  The hooks
+        only *read* VM state, so cycles/instructions/IC counters are
+        bit-identical to an unprofiled run.  Kept as a separate body so
+        profiling off pays nothing inside :meth:`_loop`.
+        """
+        frames = self.frames
+        prof = self.profiler
+        cycles = 0
+        icount = 0
+        threshold = self.translate_threshold
+        try:
+            while True:
+                frame = frames[-1]
+                code = frame.code
+                regs = frame.regs
+                pc = frame.pc
+                fn = code.translated
+                if fn is None and threshold and pc == 0:
+                    count = code.invocations + 1
+                    code.invocations = count
+                    if count >= threshold and not self._deopt_storm:
+                        fn = self.translator.translate(code)
+                # Tick after tier selection so the activation lands on
+                # the tier that actually runs it (a body promoted on
+                # this very entry counts as translated).
+                if pc == 0:
+                    prof.tick_activation(frame)
+                try:
+                    if fn:
+                        pc = fn(self, frame, regs)
+                    elif fn is False:
+                        self.translate_stats["fallback_entries"] += 1
+                    if pc >= 0:
+                        insns = code.threaded
+                        while pc >= 0:
+                            insn = insns[pc]
+                            cycles += insn[1]
+                            icount += insn[2]
+                            npc = insn[0](self, frame, regs, insn, pc + 1)
+                            if 0 <= npc <= pc:
+                                prof.tick_branch(frame)
+                            pc = npc
+                except NonLocalUnwind as unwind:
+                    self._nlr = (unwind.target, unwind.value, frame.pc)
+                    pc = NLR_SIGNAL
+                if pc != NLR_SIGNAL:
+                    if len(frames) <= base:
+                        return self._ret_value
+                    continue
+                target, value, resume_pc = self._nlr
+                position = -1
+                for index in range(len(frames) - 1, base - 1, -1):
+                    if frames[index] is target:
+                        position = index
+                        break
+                if position < 0:
+                    frame.pc = resume_pc
+                    raise NonLocalUnwind(target, value)
+                for dead in frames[position:]:
+                    dead.alive = False
+                ret_reg = target.ret_reg
+                del frames[position:]
+                if len(frames) <= base:
+                    return value
+                if ret_reg >= 0:
+                    frames[-1].regs[ret_reg] = value
+        finally:
+            self.cycles += cycles
+            self.instructions += icount
+
     # ------------------------------------------------------------------
     # Cold helpers used by the dispatch handlers
     # ------------------------------------------------------------------
@@ -755,7 +863,9 @@ class Runtime:
 
     def _run_interpreted(self, code: InterpretedCode, receiver, args: list):
         """Execute an interpreter-tier method body for the dispatch loop."""
-        return run_interpreted_method(self, code.code, receiver, args)
+        return run_interpreted_method(
+            self, code.code, receiver, args, selector=code.selector
+        )
 
     def _make_block(self, frame: Frame, block_node, template, captured_self):
         self._block_templates.setdefault(block_node.block_id, template)

@@ -68,13 +68,18 @@ class _FactoryEntry:
 class Translator:
     """Per-runtime translation service (owned by ``Runtime``)."""
 
-    __slots__ = ("runtime", "counters", "_factories")
+    __slots__ = ("runtime", "counters", "profiling", "_factories")
 
-    def __init__(self, runtime, counters: bool) -> None:
+    def __init__(self, runtime, counters: bool, profiling: bool = False) -> None:
         self.runtime = runtime
         #: compile modeled-counter accounting into the generated source
         #: (REPRO_MODELED_COUNTERS; off = raw wall-clock mode)
         self.counters = counters
+        #: compile profiler tick hooks into the generated source, the
+        #: same emission-time pattern as ``counters``: with profiling
+        #: off the emitted source is byte-identical to before the
+        #: profiler existed (the zero-overhead-off guarantee)
+        self.profiling = profiling
         self._factories: dict[int, _FactoryEntry] = {}
 
     def translate(self, code) -> Optional[object]:
@@ -134,7 +139,8 @@ class Translator:
             factory, paths = entry.factory, entry.paths
         else:
             source, paths, guards = emit_source(
-                code.threaded, self.counters, self.runtime.universe
+                code.threaded, self.counters, self.runtime.universe,
+                profiling=self.profiling,
             )
             if corrupted:
                 # Injected wild write mid-emission: the source is

@@ -34,8 +34,8 @@ from .universe import Universe
 class World:
     """A complete guest world: universe + lobby + core library."""
 
-    def __init__(self) -> None:
-        self.universe = Universe()
+    def __init__(self, universe_id=None) -> None:
+        self.universe = Universe(universe_id)
         universe = self.universe
 
         # Stage 1: the lobby with the universal constants.

@@ -9,8 +9,12 @@ guest output from the printing primitives.
 
 from __future__ import annotations
 
+import itertools
 import weakref
 from typing import Optional
+
+#: process-wide counter behind the default universe ids ("u0", "u1", …)
+_universe_ids = itertools.count()
 
 from ..lang.ast_nodes import BlockNode
 from ..objects.maps import CONSTANT, DATA, ASSIGNMENT, Map, Slot
@@ -21,7 +25,15 @@ from .deps import DependencyRegistry, const_key, shape_key, well_known_key
 class Universe:
     """Value services shared by the interpreter, compiler, and VM."""
 
-    def __init__(self) -> None:
+    def __init__(self, universe_id: Optional[str] = None) -> None:
+        #: stable tenant identity for scoped metrics
+        #: (:meth:`repro.obs.metrics.MetricsRegistry.scoped`); pass an
+        #: explicit id when the default process-ordered "uN" would not
+        #: be deterministic (e.g. worlds built in worker processes)
+        self.universe_id = (
+            universe_id if universe_id is not None
+            else f"u{next(_universe_ids)}"
+        )
         # Canonical maps for unboxed/special values.  Bootstrap replaces
         # these with versions that carry parent slots to the traits
         # objects; ``map_of`` always consults the current attribute.

@@ -1,0 +1,79 @@
+"""Bench-run history: append-only JSONL trajectory + delta rendering."""
+
+import json
+
+from repro.bench.history import (
+    HISTORY_SCHEMA,
+    append_history,
+    format_delta,
+    last_entry,
+    read_history,
+)
+
+
+def test_append_and_delta(tmp_path):
+    path = str(tmp_path / "BENCH_history.jsonl")
+    first, previous = append_history(path, "exec", {"geomean_speedup": 2.0})
+    assert previous is None
+    assert first["schema"] == HISTORY_SCHEMA
+    assert first["kind"] == "exec"
+    assert "timestamp" in first and "git_sha" in first
+    assert "first exec entry" in format_delta(first, previous)
+
+    second, previous = append_history(path, "exec", {"geomean_speedup": 3.0})
+    assert previous["summary"] == {"geomean_speedup": 2.0}
+    delta = format_delta(second, previous)
+    assert "2.000 -> 3.000" in delta
+    assert "+50.0%" in delta
+
+    entries = read_history(path)
+    assert len(entries) == 2
+    # the file is line-delimited JSON
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            json.loads(line)
+
+
+def test_kinds_are_tracked_independently(tmp_path):
+    path = str(tmp_path / "h.jsonl")
+    append_history(path, "exec", {"geomean_speedup": 2.0})
+    append_history(path, "compile", {"compiles_per_second": 100.0})
+    _entry, previous = append_history(path, "exec", {"geomean_speedup": 2.5})
+    assert previous["kind"] == "exec"
+    assert last_entry(path, "compile")["summary"] == {
+        "compiles_per_second": 100.0
+    }
+
+
+def test_corrupt_lines_are_tolerated(tmp_path):
+    path = str(tmp_path / "h.jsonl")
+    append_history(path, "exec", {"geomean_speedup": 2.0})
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("{not json\n\n[1, 2, 3]\n")
+    entries = read_history(path)
+    assert len(entries) == 1
+    entry, previous = append_history(path, "exec", {"geomean_speedup": 2.2})
+    assert previous["summary"] == {"geomean_speedup": 2.0}
+    assert "+10.0%" in format_delta(entry, previous)
+
+
+def test_missing_file_is_empty_history(tmp_path):
+    path = str(tmp_path / "nope.jsonl")
+    assert read_history(path) == []
+    assert last_entry(path, "exec") is None
+
+
+def test_exec_bench_cli_appends_history(tmp_path, capsys):
+    from repro.bench.exec_bench import main
+
+    path = str(tmp_path / "BENCH_history.jsonl")
+    code = main([
+        "--workloads", "sumTo", "--warmups", "0", "--best-of", "1",
+        "--json", "", "--history", path,
+    ])
+    assert code == 0
+    assert "history: first exec entry" in capsys.readouterr().out
+    entries = read_history(path)
+    assert len(entries) == 1
+    assert entries[0]["kind"] == "exec"
+    assert entries[0]["summary"]["geomean_speedup"] > 0

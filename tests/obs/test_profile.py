@@ -1,0 +1,147 @@
+"""The deterministic profiler: off by default, bit-identical modeled
+numbers with profiling on or off, byte-identical serialization across
+runs, and sane tick accounting."""
+
+import pytest
+
+from repro.bench.base import SYSTEMS, get_benchmark
+from repro.lang.parser import parse_doit
+from repro.obs.profile import Profiler
+from repro.vm.runtime import Runtime
+from repro.world.bootstrap import World
+
+
+def _run(name="towers", profile=False, threshold=None, runs=1, system="newself"):
+    benchmark = get_benchmark(name)
+    world = World(universe_id="u0")
+    world.add_slots(benchmark.setup_source)
+    runtime = Runtime(world, SYSTEMS[system], profile=profile)
+    if threshold is not None:
+        runtime.translate_threshold = threshold
+    doit = parse_doit(benchmark.run_source)
+    for _ in range(runs):
+        result = runtime.run_doit(doit)
+    return runtime, result
+
+
+def _modeled(runtime):
+    return (
+        runtime.cycles,
+        runtime.instructions,
+        runtime.send_hits,
+        runtime.send_misses,
+        runtime.send_megamorphic,
+    )
+
+
+def test_profiler_off_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_PROFILE", raising=False)
+    runtime, _ = _run(profile=None)
+    assert runtime.profiler is None
+
+
+def test_env_var_enables_profiler(monkeypatch):
+    monkeypatch.setenv("REPRO_PROFILE", "1")
+    runtime, _ = _run(profile=None)
+    assert runtime.profiler is not None
+
+
+@pytest.mark.parametrize("threshold", [0, 1])
+def test_modeled_numbers_identical_profiling_on_or_off(threshold):
+    """The acceptance invariant: profiling must not be observable
+    through the modeled measurements, on the threaded tier (threshold
+    0) and the translated tier (threshold 1) alike."""
+    off, answer_off = _run(profile=False, threshold=threshold, runs=2)
+    on, answer_on = _run(profile=True, threshold=threshold, runs=2)
+    assert answer_on == answer_off
+    assert _modeled(on) == _modeled(off)
+
+
+def test_profile_json_byte_identical_across_runs():
+    a, _ = _run(profile=True, threshold=1, runs=2)
+    b, _ = _run(profile=True, threshold=1, runs=2)
+    assert a.profiler.to_json() == b.profiler.to_json()
+
+
+def test_tick_accounting_invariants():
+    runtime, _ = _run(profile=True, threshold=1, runs=2)
+    profile = runtime.profiler.snapshot()
+    ticks = profile["ticks"]
+    assert ticks["total"] > 0
+    assert ticks["total"] == (
+        ticks["activation"] + ticks["branch"] + ticks["interp"]
+    )
+    assert sum(profile["tiers"].values()) == ticks["total"]
+    assert sum(b["ticks"] for b in profile["bodies"]) == ticks["total"]
+    assert sum(s["ticks"] for s in profile["stacks"]) == ticks["total"]
+    assert (
+        sum(b["activations"] for b in profile["bodies"])
+        == ticks["activation"]
+    )
+    # bodies sorted hottest-first
+    body_ticks = [b["ticks"] for b in profile["bodies"]]
+    assert body_ticks == sorted(body_ticks, reverse=True)
+
+
+def test_translated_tier_shows_up_in_occupancy():
+    runtime, _ = _run(profile=True, threshold=1, runs=3)
+    profile = runtime.profiler.snapshot()
+    assert profile["tiers"]["translated"] > 0
+    assert runtime.translate_stats["translated"] > 0
+
+
+def test_sites_match_vm_ic_totals():
+    """The profiler reads the VM's own IC counters: aggregate sends
+    across all sites must equal hits + misses + megamorphic relinks."""
+    runtime, _ = _run(profile=True, threshold=0, runs=2)
+    profile = runtime.profiler.snapshot()
+    total_sends = sum(row["sends"] for row in profile["sites"])
+    assert total_sends == (
+        runtime.send_hits + runtime.send_misses + runtime.send_megamorphic
+    )
+
+
+def test_residency_ring_is_bounded():
+    runtime, _ = _run(profile=False)
+    profiler = Profiler(runtime, window=4, ring_capacity=3)
+    for i in range(100):
+        profiler._tick(f"b{i % 2}", "optimizing")
+    assert len(profiler.residency) == 3
+    # the ring holds the *latest* windows
+    assert [entry["tick"] for entry in profiler.residency] == [92, 96, 100]
+    profile_residency = profiler.snapshot()["tier_residency"]
+    assert len(profile_residency) == 3  # no partial window pending
+
+
+def test_partial_window_appears_in_snapshot():
+    runtime, _ = _run(profile=False)
+    profiler = Profiler(runtime, window=8, ring_capacity=4)
+    for _ in range(10):
+        profiler._tick("b", "pessimistic")
+    residency = profiler.snapshot()["tier_residency"]
+    assert residency[-1]["tick"] == 10
+    assert residency[-1]["pessimistic"] == 2
+
+
+def test_retired_bodies_keep_their_sites_in_the_profile():
+    """Invalidation retires a compiled body; the profiler pins it so
+    its send-site counters still aggregate into the profile."""
+    from repro.robustness.invalidate import fire
+
+    runtime, _ = _run(profile=True, threshold=0, runs=2)
+    before = runtime.profiler.snapshot()
+    victims = [
+        code
+        for code in runtime.iter_compiled_codes()
+        if getattr(code, "ic_sites", None) and getattr(code, "dep_keys", None)
+    ]
+    assert victims, "expected at least one compiled body with IC sites"
+    keys = set()
+    for code in victims:
+        keys.update(code.dep_keys)
+    fire(runtime.universe, keys, reason="test")
+    after = runtime.profiler.snapshot()
+    # IC flush clears entries, but the pinned hit/miss totals survive
+    assert sum(r["sends"] for r in after["sites"]) == sum(
+        r["sends"] for r in before["sites"]
+    )

@@ -1,0 +1,97 @@
+"""Speedscope / collapsed-stack exports of a profiler snapshot."""
+
+import json
+
+from repro.bench.base import SYSTEMS, get_benchmark
+from repro.lang.parser import parse_doit
+from repro.obs.export import (
+    collapsed_stacks,
+    speedscope_profile,
+    validate_speedscope,
+    write_collapsed,
+    write_speedscope,
+)
+from repro.vm.runtime import Runtime
+from repro.world.bootstrap import World
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def profile():
+    benchmark = get_benchmark("towers")
+    world = World(universe_id="u0")
+    world.add_slots(benchmark.setup_source)
+    runtime = Runtime(world, SYSTEMS["newself"], profile=True)
+    runtime.translate_threshold = 1
+    doit = parse_doit(benchmark.run_source)
+    for _ in range(2):
+        runtime.run_doit(doit)
+    return runtime.profiler.snapshot()
+
+
+def test_speedscope_validates_cleanly(profile):
+    doc = speedscope_profile(profile, name="towers")
+    assert validate_speedscope(doc) == []
+    assert doc["$schema"] == "https://www.speedscope.app/file-format-schema.json"
+    # two sampled profiles: activation-tick stacks + send-site weights
+    assert len(doc["profiles"]) == 2
+    assert all(p["type"] == "sampled" for p in doc["profiles"])
+
+
+def test_speedscope_weights_match_profile(profile):
+    doc = speedscope_profile(profile, name="towers")
+    stacks_profile, sites_profile = doc["profiles"]
+    assert sum(stacks_profile["weights"]) == sum(
+        s["ticks"] for s in profile["stacks"]
+    )
+    assert sum(sites_profile["weights"]) == sum(
+        s["sends"] for s in profile["sites"]
+    )
+    n_frames = len(doc["shared"]["frames"])
+    for prof in doc["profiles"]:
+        assert len(prof["samples"]) == len(prof["weights"])
+        for sample in prof["samples"]:
+            assert all(0 <= index < n_frames for index in sample)
+
+
+def test_validate_speedscope_rejects_broken_docs(profile):
+    doc = speedscope_profile(profile, name="towers")
+    no_frames = json.loads(json.dumps(doc))
+    no_frames["shared"]["frames"] = []
+    assert validate_speedscope(no_frames)
+
+    mismatched = json.loads(json.dumps(doc))
+    mismatched["profiles"][0]["weights"] = mismatched["profiles"][0][
+        "weights"
+    ][:-1] or [1, 2]
+    assert validate_speedscope(mismatched)
+
+    not_a_doc = {"hello": "world"}
+    assert validate_speedscope(not_a_doc)
+
+
+def test_collapsed_stack_format(profile):
+    text = collapsed_stacks(profile)
+    assert text.endswith("\n")
+    lines = text.strip().splitlines()
+    assert lines
+    total = 0
+    for line in lines:
+        stack, _, count = line.rpartition(" ")
+        assert stack, f"malformed collapsed line {line!r}"
+        total += int(count)
+    assert total == sum(s["ticks"] for s in profile["stacks"])
+
+
+def test_writers_round_trip(tmp_path, profile):
+    scope_path = tmp_path / "p.speedscope.json"
+    collapsed_path = tmp_path / "p.collapsed.txt"
+    doc = write_speedscope(profile, str(scope_path), name="towers")
+    write_collapsed(profile, str(collapsed_path))
+    reloaded = json.loads(scope_path.read_text(encoding="utf-8"))
+    assert reloaded == doc
+    assert validate_speedscope(reloaded) == []
+    assert collapsed_path.read_text(encoding="utf-8") == collapsed_stacks(
+        profile
+    )

@@ -1,0 +1,93 @@
+"""Per-universe scoped metrics: ScopedView, split_scoped, and the
+harness integration behind REPRO_SCOPED_METRICS."""
+
+import pytest
+
+from repro.bench.base import get_benchmark
+from repro.bench.harness import run_benchmark
+from repro.obs.metrics import (
+    MetricsRegistry,
+    ScopedView,
+    registry_for_runtime,
+    scoped_name,
+    split_scoped,
+)
+from repro.vm.runtime import Runtime
+from repro.world.bootstrap import World
+
+
+def test_split_scoped():
+    assert split_scoped("u0/vm.cycles") == ("u0", "vm.cycles")
+    assert split_scoped("vm.cycles") == (None, "vm.cycles")
+    assert split_scoped("u0/a/b") == ("u0", "a/b")
+    assert scoped_name("u7", "ic.hits") == "u7/ic.hits"
+
+
+def test_scoped_view_prefixes_and_strips():
+    registry = MetricsRegistry()
+    view = registry.scoped("u3")
+    assert isinstance(view, ScopedView)
+    view.counter("vm.cycles").inc(5)
+    view.gauge("vm.depth").set(2)
+    assert registry.get("u3/vm.cycles") == 5
+    assert view.get("vm.cycles") == 5
+    assert view.names() == ["vm.cycles", "vm.depth"]
+    assert view.snapshot() == {"vm.cycles": 5, "vm.depth": 2}
+
+
+def test_two_universes_share_one_registry_without_collisions():
+    registry = MetricsRegistry()
+    registry.scoped("u0").counter("vm.cycles").inc(1)
+    registry.scoped("u1").counter("vm.cycles").inc(2)
+    assert registry.get("u0/vm.cycles") == 1
+    assert registry.get("u1/vm.cycles") == 2
+
+
+@pytest.mark.parametrize("bad", ["", "u0/x"])
+def test_invalid_scopes_rejected(bad):
+    with pytest.raises(ValueError):
+        MetricsRegistry().scoped(bad)
+
+
+def test_universe_id_pinnable_and_defaulted():
+    assert World(universe_id="u0").universe.universe_id == "u0"
+    auto = World().universe.universe_id
+    assert auto.startswith("u") and auto[1:].isdigit()
+
+
+def test_registry_for_runtime_with_scope():
+    world = World(universe_id="u0")
+    runtime = Runtime(world, __import__(
+        "repro.bench.base", fromlist=["SYSTEMS"]
+    ).SYSTEMS["newself"])
+    runtime.run("3 + 4")
+    flat = registry_for_runtime(runtime).snapshot()
+    scoped = registry_for_runtime(runtime, scope="u0").snapshot()
+    assert "vm.cycles" in flat
+    assert "u0/vm.cycles" in scoped
+    assert scoped["u0/vm.cycles"] == flat["vm.cycles"]
+    assert all(key.startswith("u0/") for key in scoped)
+
+
+def test_harness_scoped_metrics_env(monkeypatch):
+    monkeypatch.delenv("REPRO_SCOPED_METRICS", raising=False)
+    flat = run_benchmark(get_benchmark("sumTo"), "newself")
+    assert "vm.cycles" in flat.metrics
+    monkeypatch.setenv("REPRO_SCOPED_METRICS", "1")
+    scoped = run_benchmark(get_benchmark("sumTo"), "newself")
+    assert "u0/vm.cycles" in scoped.metrics
+    assert scoped.metrics["u0/vm.cycles"] == flat.metrics["vm.cycles"]
+
+
+def test_profile_metrics_collected_when_profiling():
+    from repro.bench.base import SYSTEMS
+
+    world = World(universe_id="u0")
+    runtime = Runtime(world, SYSTEMS["newself"], profile=True)
+    runtime.run("| i <- 0 | [ i < 50 ] whileTrue: [ i: i + 1 ]. i")
+    snapshot = registry_for_runtime(runtime).snapshot()
+    assert snapshot["profile.ticks"] > 0
+    assert snapshot["profile.ticks"] == sum(
+        snapshot[f"profile.tier.{tier}"]
+        for tier in ("translated", "optimizing", "pessimistic", "interpreter")
+    )

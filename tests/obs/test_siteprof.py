@@ -1,0 +1,106 @@
+"""IC lifecycle classification, transition logging, and aggregation."""
+
+from repro.obs.siteprof import (
+    STATE_EMPTY,
+    STATE_MONOMORPHIC,
+    STATE_THRASH,
+    THRASH_MIN_RELINKS,
+    ICLifecycleTracker,
+    classify_site,
+    collect_sites,
+    fanout_histogram,
+    polymorphic_state,
+    site_key,
+)
+
+
+class FakeSite:
+    def __init__(self, owner="body", index=0, selector="run",
+                 fanout=0, hits=0, misses=0, relinks=0):
+        self.owner = owner
+        self.index = index
+        self.selector = selector
+        self.entries = {i: None for i in range(fanout)}
+        self.hits = hits
+        self.misses = misses
+        self.relinks = relinks
+
+
+class FakeCode:
+    def __init__(self, sites):
+        self.ic_sites = sites
+
+
+def test_classify_empty_mono_poly():
+    assert classify_site(FakeSite()) == STATE_EMPTY
+    assert classify_site(FakeSite(fanout=1, hits=10)) == STATE_MONOMORPHIC
+    assert classify_site(FakeSite(fanout=3, hits=10)) == polymorphic_state(3)
+
+
+def test_classify_thrash_needs_both_conditions():
+    # enough relinks but more hits than relinks: still polymorphic
+    busy = FakeSite(fanout=2, hits=100, relinks=THRASH_MIN_RELINKS)
+    assert classify_site(busy) == polymorphic_state(2)
+    # few relinks even if they dominate: not thrash yet
+    young = FakeSite(fanout=2, hits=1, relinks=THRASH_MIN_RELINKS - 1)
+    assert classify_site(young) == polymorphic_state(2)
+    # both: thrash
+    churner = FakeSite(fanout=2, hits=5, relinks=THRASH_MIN_RELINKS)
+    assert classify_site(churner) == STATE_THRASH
+
+
+def test_tracker_records_transitions_with_ticks():
+    tracker = ICLifecycleTracker()
+    site = FakeSite(fanout=0)
+    site.entries = {1: None}
+    site.misses = 1
+    tracker.note(site, "miss", tick=10)
+    site.entries[2] = None
+    site.relinks = 1
+    tracker.note(site, "relink", tick=25)
+    record = tracker.record_for(site)
+    assert record.state == polymorphic_state(2)
+    assert record.transitions == [
+        (10, STATE_EMPTY, STATE_MONOMORPHIC),
+        (25, STATE_MONOMORPHIC, polymorphic_state(2)),
+    ]
+    assert tracker.events == {"miss": 1, "relink": 1, "pic": 0}
+
+
+def test_tracker_same_state_is_not_a_transition():
+    tracker = ICLifecycleTracker()
+    site = FakeSite(fanout=1, hits=1, misses=1)
+    tracker.note(site, "miss", tick=1)
+    tracker.note(site, "miss", tick=2)
+    assert len(tracker.record_for(site).transitions) == 1
+
+
+def test_collect_sites_aggregates_clones_under_one_key():
+    # two clone site objects with the same (owner, index, selector)
+    a = FakeSite(owner="m", index=3, selector="foo", fanout=1, hits=10)
+    b = FakeSite(owner="m", index=3, selector="foo", fanout=2,
+                 hits=5, misses=1, relinks=2)
+    quiet = FakeSite(owner="m", index=4, selector="bar")  # zero sends
+    rows = collect_sites([FakeCode([a]), FakeCode([b, quiet])])
+    assert len(rows) == 1
+    row = rows[0]
+    assert (row["owner"], row["index"], row["selector"]) == site_key(a)
+    assert row["sends"] == 18
+    assert row["hits"] == 15
+    assert row["fanout"] == 2
+    assert row["state"] == polymorphic_state(2)
+
+
+def test_collect_sites_sorted_hottest_first_deterministically():
+    hot = FakeSite(owner="a", index=0, selector="x", fanout=1, hits=100)
+    cold = FakeSite(owner="b", index=1, selector="y", fanout=1, hits=1)
+    tied = FakeSite(owner="a", index=1, selector="x", fanout=1, hits=1)
+    rows = collect_sites([FakeCode([cold, hot, tied])])
+    keys = [(r["owner"], r["index"], r["selector"]) for r in rows]
+    assert keys == [("a", 0, "x"), ("a", 1, "x"), ("b", 1, "y")]
+
+
+def test_fanout_histogram():
+    rows = [{"fanout": 1}, {"fanout": 1}, {"fanout": 3}, {"fanout": 10}]
+    assert fanout_histogram(rows) == {"1": 2, "3": 1, "10": 1}
+    assert list(fanout_histogram(rows)) == ["1", "3", "10"]  # numeric order

@@ -1,0 +1,81 @@
+"""Round trip: a scoped-metrics bench run → BENCH_results.json →
+``repro.tools.report --results`` renders the per-universe sections."""
+
+import json
+
+from repro.bench.harness import Session, write_results_json
+from repro.tools.report import main as report_main, results_report
+
+
+def _results_file(tmp_path, monkeypatch, scoped):
+    if scoped:
+        monkeypatch.setenv("REPRO_SCOPED_METRICS", "1")
+    else:
+        monkeypatch.delenv("REPRO_SCOPED_METRICS", raising=False)
+    session = Session()
+    session.result("sumTo", "newself")
+    path = tmp_path / "BENCH_results.json"
+    payload = write_results_json(session, str(path))
+    return path, payload
+
+
+def test_scoped_round_trip(tmp_path, monkeypatch, capsys):
+    path, payload = _results_file(tmp_path, monkeypatch, scoped=True)
+    metrics = payload["results"][0]["metrics"]
+    assert "u0/vm.cycles" in metrics
+
+    assert report_main(["--results", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "sumTo under newself" in out
+    assert "[universe u0]" in out
+    assert "vm.cycles" in out
+
+
+def test_flat_results_still_render(tmp_path, monkeypatch, capsys):
+    path, payload = _results_file(tmp_path, monkeypatch, scoped=False)
+    assert "vm.cycles" in payload["results"][0]["metrics"]
+
+    assert report_main(["--results", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "sumTo under newself" in out
+    assert "[universe" not in out
+    assert "vm.cycles" in out
+
+
+def test_results_report_handles_failed_rows():
+    payload = {
+        "schema": "repro-bench-results/1",
+        "results": [
+            {
+                "benchmark": "bad",
+                "system": "newself",
+                "failed": True,
+                "error": "boom",
+            }
+        ],
+    }
+    text = results_report(payload)
+    assert "bad under newself: FAILED boom" in text
+
+
+def test_results_report_groups_mixed_scopes():
+    payload = {
+        "schema": "repro-bench-results/1",
+        "results": [
+            {
+                "benchmark": "x",
+                "system": "newself",
+                "cycles": 1,
+                "metrics": {
+                    "vm.cycles": 1,
+                    "u0/vm.cycles": 2,
+                    "u1/vm.cycles": 3,
+                    "unrelated.metric": 9,
+                },
+            }
+        ],
+    }
+    text = results_report(payload)
+    assert text.index("vm.cycles") < text.index("[universe u0]")
+    assert text.index("[universe u0]") < text.index("[universe u1]")
+    assert "unrelated.metric" not in text

@@ -1,0 +1,112 @@
+"""``repro.tools.top``: CLI behavior and the acceptance hand-count —
+the top-3 hottest send sites the tool reports on richards must match
+totals counted by hand off the VM's own inline-cache sites, through
+both the JSON profile and the speedscope export."""
+
+import json
+
+import pytest
+
+from repro.tools.top import _build_runtime, main, render_top
+
+
+@pytest.fixture(scope="module")
+def once_outputs(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("top")
+    json_path = tmp / "profile.json"
+    scope_path = tmp / "profile.speedscope.json"
+    collapsed_path = tmp / "profile.collapsed.txt"
+    code = main([
+        "--workload", "richards", "--once", "--threshold", "1",
+        "--json", str(json_path),
+        "--speedscope", str(scope_path),
+        "--collapsed", str(collapsed_path),
+        "--check",
+    ])
+    return code, json_path, scope_path, collapsed_path
+
+
+def test_once_exits_clean_and_writes_artifacts(once_outputs):
+    code, json_path, scope_path, collapsed_path = once_outputs
+    assert code == 0
+    assert json_path.exists() and scope_path.exists()
+    assert collapsed_path.read_text(encoding="utf-8").strip()
+
+
+def _hand_counted_sites(runs=2):
+    """Walk the VM's inline-cache sites by hand and total per send
+    site, independently of the profiler's aggregation code."""
+    from repro.lang.parser import parse_doit
+
+    benchmark, runtime = _build_runtime("richards", "newself", 1)
+    doit = parse_doit(benchmark.run_source)
+    for _ in range(runs):
+        runtime.run_doit(doit)
+    totals = {}
+    seen = set()
+    for code in list(runtime.iter_compiled_codes()) + list(
+        runtime._retired_live
+    ):
+        if id(code) in seen:
+            continue
+        seen.add(id(code))
+        for site in getattr(code, "ic_sites", ()):
+            sends = site.hits + site.misses + site.relinks
+            if sends == 0:
+                continue
+            key = (site.owner, site.index, site.selector)
+            totals[key] = totals.get(key, 0) + sends
+    ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked
+
+
+def test_top3_sites_match_hand_count(once_outputs):
+    _, json_path, scope_path, _ = once_outputs
+    hand = _hand_counted_sites()
+    hand_top3 = [key for key, _sends in hand[:3]]
+
+    profile = json.loads(json_path.read_text(encoding="utf-8"))
+    json_top3 = [
+        (row["owner"], row["index"], row["selector"])
+        for row in profile["sites"][:3]
+    ]
+    assert json_top3 == hand_top3
+    for row, (_key, sends) in zip(profile["sites"][:3], hand[:3]):
+        assert row["sends"] == sends
+
+    # the speedscope send-site profile ranks the same three hottest
+    doc = json.loads(scope_path.read_text(encoding="utf-8"))
+    sites_profile = next(
+        p for p in doc["profiles"] if "send sites" in p["name"]
+    )
+    frames = doc["shared"]["frames"]
+    weighted = sorted(
+        zip(sites_profile["samples"], sites_profile["weights"]),
+        key=lambda sw: -sw[1],
+    )
+    scope_top3 = [frames[sample[0]]["name"] for sample, _w in weighted[:3]]
+    expected = [
+        f"{owner}#{index} {selector}" for owner, index, selector in hand_top3
+    ]
+    assert scope_top3 == expected
+
+
+def test_render_top_mentions_key_sections(once_outputs):
+    _, json_path, _, _ = once_outputs
+    profile = json.loads(json_path.read_text(encoding="utf-8"))
+    text = render_top(profile, top=5, title="t")
+    assert "tier occupancy:" in text
+    assert "ic cold-path events:" in text
+    assert "fan-out histogram:" in text
+
+
+def test_check_flag_fails_on_bad_export(monkeypatch, tmp_path):
+    import repro.tools.top as top_mod
+
+    monkeypatch.setattr(
+        top_mod, "validate_speedscope", lambda doc: ["boom"]
+    )
+    code = main([
+        "--workload", "sumTo", "--once", "--threshold", "1", "--check",
+    ])
+    assert code == 1

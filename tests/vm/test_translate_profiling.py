@@ -1,0 +1,93 @@
+"""Emission-time profiling hooks in the translated tier.
+
+The zero-overhead-off contract at its sharpest point: with profiling
+off the emitter must generate *byte-identical* source to the
+pre-profiler emitter (no dead branches, no dormant hooks), and with
+profiling on the planted tick calls must not perturb any modeled
+measurement."""
+
+from repro.bench.base import SYSTEMS, get_benchmark
+from repro.lang.parser import parse_doit
+from repro.vm.emit import emit_source
+from repro.vm.runtime import Runtime
+from repro.world.bootstrap import World
+
+
+def _compiled_codes(profile=False, name="towers", runs=1):
+    benchmark = get_benchmark(name)
+    world = World(universe_id="u0")
+    world.add_slots(benchmark.setup_source)
+    runtime = Runtime(world, SYSTEMS["newself"], profile=profile)
+    runtime.translate_threshold = 0
+    doit = parse_doit(benchmark.run_source)
+    for _ in range(runs):
+        runtime.run_doit(doit)
+    return runtime, [
+        code
+        for code in runtime.iter_compiled_codes()
+        if getattr(code, "threaded", None)
+    ]
+
+
+def test_profiling_off_emits_byte_identical_source():
+    runtime, codes = _compiled_codes()
+    assert codes
+    for code in codes:
+        default = emit_source(code.threaded, True, runtime.universe)
+        explicit_off = emit_source(
+            code.threaded, True, runtime.universe, profiling=False
+        )
+        assert default[0] == explicit_off[0]
+        assert default[1:] == explicit_off[1:]
+
+
+def test_profiling_on_plants_tick_hooks():
+    runtime, codes = _compiled_codes()
+    sources_on = [
+        emit_source(code.threaded, True, runtime.universe, profiling=True)[0]
+        for code in codes
+    ]
+    assert any("tick_activation" in src for src in sources_on), (
+        "no emitted body direct-calls through a profiled trampoline"
+    )
+    assert any("tick_branch" in src for src in sources_on), (
+        "no emitted body contains a profiled backward branch"
+    )
+    # the activation hook only fires on fresh activations
+    for src in sources_on:
+        if "tick_activation" in src:
+            assert "if _nf.pc == 0:" in src
+
+
+def test_profiling_off_source_has_no_hooks():
+    runtime, codes = _compiled_codes()
+    for code in codes:
+        src = emit_source(code.threaded, True, runtime.universe)[0]
+        assert "tick_activation" not in src
+        assert "tick_branch" not in src
+        assert "profiler" not in src
+
+
+def test_translated_modeled_numbers_survive_profiling():
+    """Run translated with profiling on vs off: identical answers and
+    modeled counters, and the profiler saw translated-tier ticks."""
+    benchmark = get_benchmark("towers")
+
+    def run(profile):
+        world = World(universe_id="u0")
+        world.add_slots(benchmark.setup_source)
+        runtime = Runtime(world, SYSTEMS["newself"], profile=profile)
+        runtime.translate_threshold = 1
+        doit = parse_doit(benchmark.run_source)
+        for _ in range(2):
+            answer = runtime.run_doit(doit)
+        return runtime, answer
+
+    off, answer_off = run(False)
+    on, answer_on = run(True)
+    assert answer_on == answer_off
+    assert (on.cycles, on.instructions, on.send_hits, on.send_misses) == (
+        off.cycles, off.instructions, off.send_hits, off.send_misses,
+    )
+    assert on.translate_stats["translated"] > 0
+    assert on.profiler.tier_ticks["translated"] > 0
