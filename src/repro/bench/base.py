@@ -39,7 +39,7 @@ SYSTEM_LABELS = {
     "static": "optimized C",
 }
 
-GROUPS = ("stanford", "stanford-oo", "small", "richards")
+GROUPS = ("stanford", "stanford-oo", "small", "richards", "poly")
 
 
 class Benchmark:

@@ -9,13 +9,16 @@ Importing this package registers every benchmark:
   the paper),
 * ``small`` — the micro-benchmarks (sieve, sumTo, sumFromTo,
   sumToConst, atAllPut),
-* ``richards`` — the operating-system simulator.
+* ``richards`` — the operating-system simulator,
+* ``poly`` — tunable polymorphic-to-megamorphic dispatch (hostile
+  workloads for the PIC/megamorphic-table ladder).
 """
 
 from . import (  # noqa: F401  (registration side effects)
     bubble,
     intmm,
     perm,
+    poly,
     puzzle,
     queens,
     quick,

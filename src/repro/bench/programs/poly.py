@@ -1,0 +1,114 @@
+"""The ``poly`` group: tunable polymorphic-to-megamorphic dispatch.
+
+Hostile-polymorphism micro-benchmarks for the dispatch ladder
+(mono IC -> bounded PIC -> megamorphic table, docs/INTERNALS.md §15):
+``N`` receiver classes share the selectors ``probe`` (a per-class
+constant slot) and ``probeTwice`` (one method inherited from a common
+parent), and one driver loop sends ``probeTwice`` across a receiver
+vector that cycles through all ``N`` classes.
+
+* ``N = 1`` is the monomorphic baseline — the zero-regression guard.
+* ``N <= 4`` (the default ``REPRO_PIC_DEPTH``) stays inside the PIC.
+* ``N >= 32`` is firmly megamorphic: without the dispatch table every
+  send at the hot site relinks, with it every send is one table probe.
+
+Two receiver mixes:
+
+* **uniform** — slot ``j`` holds class ``j mod N``: every consecutive
+  send sees a different map, the worst case for a monomorphic IC.
+* **skewed** — seven of every eight slots hold class 0, the rest cycle
+  the remaining classes: the common case is mono-IC-friendly while the
+  tail still forces the site megamorphic.
+
+The driver rebuilds the receiver vector each run (cheap next to the
+send loop) so repeated measurement runs are identical.
+"""
+
+from ..base import Benchmark, register
+
+#: receiver-vector length; >= the largest N so every class is hit
+VECTOR_SIZE = 128
+
+#: driver passes over the vector per measured run
+PASSES = 12
+
+#: statement-position ``probe`` sends per receiver slot (results
+#: discarded): keeps the inner loop dominated by dispatch, not by the
+#: arithmetic around it
+PROBES_PER_SLOT = 30
+
+
+def _class_at(slot: int, n: int, skewed: bool) -> int:
+    """Which of the ``n`` classes occupies receiver-vector ``slot``."""
+    if not skewed:
+        return slot % n
+    if slot % 8 != 7:
+        return 0
+    return (slot // 8) % n
+
+
+def _poly_setup(n: int, skewed: bool) -> str:
+    lines = [
+        "|",
+        "  polyParent = (| parent* = traits clonable.",
+        "    probeTwice = ( probe + probe ).",
+        "  |).",
+    ]
+    for i in range(n):
+        lines.append(f"  polyR{i} = (| parent* = polyParent. probe = {i + 1} |).")
+    puts = "\n".join(
+        f"      v at: {j} Put: polyR{_class_at(j, n, skewed)}."
+        for j in range(VECTOR_SIZE)
+    )
+    probes = "\n".join("          r probe." for _ in range(PROBES_PER_SLOT))
+    lines.append(f"""  polyBench = (| parent* = traits clonable.
+    receivers = ( | v |
+      v: (vector copySize: {VECTOR_SIZE}).
+{puts}
+      v ).
+    run = ( | v. sum. pass. i. r |
+      v: receivers.
+      sum: 0.
+      pass: 0.
+      [ pass < {PASSES} ] whileTrue: [
+        i: 0.
+        [ i < {VECTOR_SIZE} ] whileTrue: [
+          r: (v at: i).
+{probes}
+          sum: sum + r probeTwice.
+          i: i + 1 ].
+        pass: pass + 1 ].
+      sum ).
+  |).
+|""")
+    return "\n".join(lines)
+
+
+def _expected(n: int, skewed: bool) -> int:
+    per_pass = sum(
+        2 * (_class_at(j, n, skewed) + 1) for j in range(VECTOR_SIZE)
+    )
+    return PASSES * per_pass
+
+
+def _register(name: str, n: int, skewed: bool) -> None:
+    mix = "skewed" if skewed else "uniform"
+    register(
+        Benchmark(
+            name=name,
+            group="poly",
+            setup_source=_poly_setup(n, skewed),
+            run_source="polyBench run",
+            expected=_expected(n, skewed),
+            scale=(
+                f"{n} receiver classes, {mix} mix, "
+                f"{PASSES}x{VECTOR_SIZE} sends"
+            ),
+        )
+    )
+
+
+for _n in (1, 2, 4, 8, 32, 128):
+    _register(f"poly{_n}", _n, skewed=False)
+for _n in (32, 128):
+    _register(f"poly{_n}-skew", _n, skewed=True)

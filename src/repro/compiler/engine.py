@@ -123,6 +123,8 @@ def compile_once(
     annotations=None,
     watchdog=None,
     tracer=None,
+    fanout=None,
+    pic_depth: int = 4,
 ) -> CompiledGraph:
     """One compilation attempt under exactly ``config`` — no fallback.
 
@@ -139,6 +141,7 @@ def compile_once(
             universe, config, code, receiver_map, selector, is_block,
             block_template, annotations, watchdog=watchdog, tracer=tracer,
             no_inline_keys=frozenset(no_inline),
+            fanout=fanout, pic_depth=pic_depth,
         )
         try:
             return compiler.compile()
@@ -166,6 +169,8 @@ def compile_code(
     annotations=None,
     watchdog=None,
     tracer=None,
+    fanout=None,
+    pic_depth: int = 4,
 ) -> CompiledGraph:
     """Compile ``code`` customized for ``receiver_map`` under ``config``.
 
@@ -177,11 +182,13 @@ def compile_code(
         return compile_once(
             universe, config, code, receiver_map, selector, is_block,
             block_template, annotations, watchdog, tracer,
+            fanout, pic_depth,
         )
     except BudgetExhausted:
         return compile_once(
             universe, config.but(**PESSIMISTIC_FALLBACK), code, receiver_map,
             selector, is_block, block_template, annotations, watchdog, tracer,
+            fanout, pic_depth,
         )
 
 
@@ -201,6 +208,8 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
         watchdog=None,
         tracer=None,
         no_inline_keys: frozenset = frozenset(),
+        fanout=None,
+        pic_depth: int = 4,
     ) -> None:
         self.universe = universe
         self.config = config
@@ -212,6 +221,21 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
         self.annotations = annotations
         self.watchdog = watchdog
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: observed receiver fan-out per selector (from the runtime's
+        #: dispatch ladder), or None when the ladder is off.  A selector
+        #: seen with more receiver maps than the PIC can hold is
+        #: *megamorphic*: splitting and customization against it only
+        #: multiply code copies the dispatch table already handles.
+        self.fanout = fanout
+        self.pic_depth = pic_depth
+        self.refused_customization = (
+            fanout is not None
+            and not is_block
+            and annotations is None
+            and not config.static_types
+            and bool(selector)
+            and fanout.get(selector, 0) > pic_depth
+        )
 
         self.start = StartNode()
         self._temp_counter = 0
@@ -256,6 +280,8 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
             # reports every hazard that was detected and routed around
             "nlr_unsafe_materializations": len(no_inline_keys),
         }
+        if self.refused_customization:
+            self._note_refusal(selector, "customization")
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -286,6 +312,32 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
         self.stats[key] += n
         if self.tracer.enabled:
             self.tracer.event(key, n=n, **attrs)
+
+    def _megamorphic(self, selector: str) -> bool:
+        """Observed receiver fan-out for ``selector`` exceeds what a
+        bounded PIC can absorb — the megamorphic dispatch table is the
+        right tool, not more compiled copies."""
+        return (
+            self.fanout is not None
+            and self.fanout.get(selector, 0) > self.pic_depth
+        )
+
+    def _note_refusal(self, selector: str, kind: str) -> None:
+        # Not pre-seeded in ``stats``: the counter appears in
+        # compile_stats only for compiles that actually refused, so
+        # every existing stats-shape consumer is untouched.
+        self.stats["split_refused_megamorphic"] = (
+            self.stats.get("split_refused_megamorphic", 0) + 1
+        )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "split_refused_megamorphic",
+                n=1,
+                selector=selector,
+                kind=kind,
+                fanout=self.fanout.get(selector, 0),
+                pic_depth=self.pic_depth,
+            )
 
     def count_node(self, node: IRNode) -> None:
         self._nodes_created += 1
@@ -475,6 +527,12 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
         )
 
     def _initial_self_type(self) -> SelfType:
+        if self.refused_customization:
+            # Megamorphic selector: compile one receiver-map-independent
+            # body (self stays UNKNOWN, ``map_dependent`` stays False so
+            # the runtime shares a single canonical copy) instead of one
+            # customized copy per receiver class.
+            return UNKNOWN
         if self.config.customize or self.config.static_types:
             return self._map_or_vector_type(self.receiver_map)
         return UNKNOWN
@@ -796,6 +854,16 @@ class MethodCompiler(PrimitiveExpansionMixin, LoopCompilationMixin):
             )
             if handled is not None:
                 return handled
+
+        if self._megamorphic(selector):
+            # Fan-out already blew past the PIC: splitting or predicting
+            # this send would fork the compiled graph per receiver class
+            # while the dispatch table serves them all at flat cost.
+            self._note_refusal(selector, "split")
+            return self.emit_dynamic_send(
+                front, selector, recv_var, arg_vars, result_var,
+                reason="megamorphic receiver (fan-out beyond PIC depth)",
+            )
 
         if self.config.type_prediction:
             handled = self.try_prediction(

@@ -364,6 +364,21 @@ PROFILES = {
             "mutation": 0, "reclassify": 0, "prim-fail": 0, "bigint": 0,
         },
     ),
+    "poly": Profile(
+        name="poly",
+        weights={
+            # N receiver classes sharing one selector: the "poly" kind
+            # drives a single vector-indexed send site across every
+            # setup object's map, walking the dispatch ladder (mono ->
+            # PIC -> megamorphic table under REPRO_PIC=1); a light
+            # mutation weight mixes in map transitions so ladder flushes
+            # get exercised too
+            "poly": 14, "method": 6, "vector": 4, "control": 4,
+            "arith": 4, "block": 2, "merge": 2, "bool": 2,
+            "recursion": 1, "string": 1, "nlr": 1, "mutation": 2,
+            "float": 0, "reclassify": 0, "prim-fail": 0, "bigint": 0,
+        },
+    ),
 }
 
 
@@ -528,10 +543,37 @@ class _Gen:
 
     def build_setup(self) -> None:
         count = 2 + (self.size // 8)
-        for index in range(min(count, 4)):
+        cap = 4
+        if self.profile.weights.get("poly", 0) > 0:
+            # the dispatch ladder only overflows into the megamorphic
+            # table when the fan-out beats the PIC depth, so the poly
+            # profile builds more receiver prototypes
+            count += 4
+            cap = 8
+        for index in range(min(count, cap)):
             self._build_object(f"ob{chr(ord('a') + index)}")
+        if self.profile.weights.get("poly", 0) > 0:
+            self._add_shared_selector()
         self._build_lobby_methods()
         self.palette = MutationPalette(self.models, self.rng)
+
+    def _add_shared_selector(self) -> None:
+        """Give every setup object the same unary selector with a
+        per-object body, so one send site can fan out across all of
+        their maps."""
+        rng = self.rng
+        for spec, model in zip(self.objects, self.models):
+            data = model.data_slots("int")
+            if data and rng.randrange(2) == 0:
+                name, slot = data[rng.randrange(len(data))]
+                bump = rng.randrange(1, 40)
+                body = f"({name} + {bump})"
+                mag = slot.mag + bump
+            else:
+                mag = rng.randrange(1, 40)
+                body = str(mag)
+            spec.slots.append(SlotSpec("fzTag", body, "method", "int", mag))
+            model.slots["fzTag"] = _Slot("method", "int", mag)
 
     def _build_object(self, name: str) -> None:
         rng = self.rng
@@ -892,7 +934,13 @@ class _Gen:
             ("", " ifTrue: [ x: ", " ] False: [ x: ", " ]"),
             (cond, a, b),
         )
-        result = lit("int", "(x printString size)")
+        # the collapse must not go through a type-predicted selector:
+        # ``size`` on a *statically unknown* merged value compiles to
+        # the trusting vector primitive under the static config, and a
+        # runtime string there is an ill-typed-operand crash the
+        # substitution table does not protect — ``printString`` alone
+        # is prediction-free, so it stays safe in every config
+        result = lit("str", "(x printString)")
         return Probe("merge", locals_=[("x", None)], stmts=[stmt],
                      result=result)
 
@@ -1086,6 +1134,34 @@ class _Gen:
             call = binop("int", call, "+", extra, MAG_LIMIT)
         return Probe("method", result=call)
 
+    def probe_poly(self) -> Probe:
+        """One send site visiting many receiver maps.
+
+        A vector of setup objects is walked in a loop sending the
+        shared ``fzTag`` selector, so the *same* IC site sees a tunable
+        receiver fan-out (2 up to every setup object) — the workload
+        that pushes a site mono -> PIC -> megamorphic table.
+        """
+        rng = self.rng
+        tagged = [m.name for m in self.models if "fzTag" in m.slots]
+        if len(tagged) < 2:
+            return self.probe_method()
+        length = rng.randrange(2, len(tagged) + 1)
+        names = tagged[:length]
+        passes = rng.randrange(3, 7)
+        stmts = [lit(
+            "nil", f"v: (vector copySize: {length} FillingWith: 0)"
+        )]
+        for index, name in enumerate(names):
+            stmts.append(lit("nil", f"v at: {index} Put: {name}"))
+        stmts.append(lit(
+            "nil",
+            f"1 to: {length * passes} Do: [ | :i | "
+            f"s: ((s + ((v at: (i % {length})) fzTag)) % {MOD}) ]",
+        ))
+        return Probe("poly", locals_=[("v", None), ("s", "0")],
+                     stmts=stmts, result=lit("int", "s", MOD))
+
     def probe_recursion(self) -> Probe:
         rng = self.rng
         evens = [s for s in self.lobby if s.startswith("fzEven")]
@@ -1196,6 +1272,7 @@ class _Gen:
         "block": probe_block,
         "nlr": probe_nlr,
         "method": probe_method,
+        "poly": probe_poly,
         "recursion": probe_recursion,
         "mutation": probe_mutation,
         "reclassify": probe_reclassify,

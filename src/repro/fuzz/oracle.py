@@ -90,6 +90,7 @@ class Cell:
     cache: str = "off"  # "off" | "cold" | "warm"
     translate: str = "off"  # "off" | "forced"
     tier: str = "full"  # "full" | "interp"
+    pic: str = "off"  # "off" | "on" (REPRO_PIC dispatch ladder)
 
     def __post_init__(self) -> None:
         if self.config not in PRESETS:
@@ -100,24 +101,39 @@ class Cell:
             raise ValueError(f"unknown translate state {self.translate!r}")
         if self.tier not in ("full", "interp"):
             raise ValueError(f"unknown tier {self.tier!r}")
+        if self.pic not in ("off", "on"):
+            raise ValueError(f"unknown pic state {self.pic!r}")
 
     @property
     def key(self) -> str:
+        """Five "/"-segments, six when the dispatch ladder is on — an
+        old (pre-ladder) five-part key round-trips unchanged."""
         share = "share" if self.share else "noshare"
-        return (f"{self.config}/{share}/cache={self.cache}"
+        base = (f"{self.config}/{share}/cache={self.cache}"
                 f"/translate={self.translate}/{self.tier}")
+        if self.pic == "on":
+            return f"{base}/pic=on"
+        return base
 
     @classmethod
     def from_key(cls, key: str) -> "Cell":
-        """Inverse of :attr:`key`."""
+        """Inverse of :attr:`key` (accepts 5- and 6-part keys)."""
         try:
-            config, share, cache, translate, tier = key.split("/")
+            parts = key.split("/")
+            pic = "off"
+            if len(parts) == 6:
+                prefix, _, value = parts.pop().partition("=")
+                if prefix != "pic" or value not in ("off", "on"):
+                    raise ValueError(key)
+                pic = value
+            config, share, cache, translate, tier = parts
             return cls(
                 config=config,
                 share=share == "share",
                 cache=cache.split("=", 1)[1],
                 translate=translate.split("=", 1)[1],
                 tier=tier,
+                pic=pic,
             )
         except (ValueError, IndexError):
             raise ValueError(f"malformed cell key {key!r}") from None
@@ -125,7 +141,10 @@ class Cell:
 
 def full_matrix() -> tuple:
     """Every cell: 4 configs × 2 share × 3 cache × 2 translate on the
-    full ladder, plus one interpreter-tier cell per config (52 total)."""
+    full ladder, one interpreter-tier cell per config, and two
+    dispatch-ladder (``REPRO_PIC=1``) cells per config — interpreted
+    and translated — pinning PIC/megamorphic-table dispatch to the
+    reference answers (60 total)."""
     cells = []
     for config in ("newself", "oldself", "st80", "static"):
         for share, cache, translate in itertools.product(
@@ -133,6 +152,8 @@ def full_matrix() -> tuple:
         ):
             cells.append(Cell(config, share, cache, translate, "full"))
         cells.append(Cell(config, tier="interp"))
+        cells.append(Cell(config, pic="on"))
+        cells.append(Cell(config, translate="forced", pic="on"))
     return tuple(cells)
 
 
@@ -142,7 +163,7 @@ def cells_for_program(program: Program, index: int,
 
     Sampling walks the full matrix with stride 1 from an offset derived
     from ``index``, so a run of N programs covers every cell roughly
-    ``N * per_program / 52`` times while each single program stays
+    ``N * per_program / 60`` times while each single program stays
     cheap.  Cells the program excludes (``static`` for dynamic-only
     programs) are skipped, not replaced.
     """
@@ -151,6 +172,15 @@ def cells_for_program(program: Program, index: int,
     picks = [Cell(*BASELINE)]
     for step in range(per_program):
         cell = matrix[(index * per_program + step) % len(matrix)]
+        if cell not in picks:
+            picks.append(cell)
+    if program.static_safe:
+        # static cells are only reachable through static-safe programs,
+        # and those come at fixed profile strides — linear striding over
+        # the shared offset provably misses some static cells, so they
+        # get their own round-robin pick
+        static_cells = [c for c in matrix if c.config == "static"]
+        cell = static_cells[index % len(static_cells)]
         if cell not in picks:
             picks.append(cell)
     return tuple(picks)
@@ -215,7 +245,7 @@ class ProgramReport:
 
 #: env knobs the oracle pins per cell (everything else is inherited)
 _CELL_ENV = ("REPRO_SHARE_CODE", "REPRO_CODE_CACHE",
-             "REPRO_TRANSLATE_THRESHOLD")
+             "REPRO_TRANSLATE_THRESHOLD", "REPRO_PIC")
 
 #: the plan that forces the interpreter tier: every optimizing *and*
 #: pessimistic compile hits the engine seam and degrades
@@ -286,6 +316,7 @@ class Oracle:
         os.environ["REPRO_TRANSLATE_THRESHOLD"] = (
             "1" if cell.translate == "forced" else "0"
         )
+        os.environ["REPRO_PIC"] = "1" if cell.pic == "on" else "0"
         plans = list(self.plans)
         if cell.tier == "interp":
             plans.append(_INTERP_PLAN)
@@ -294,7 +325,13 @@ class Oracle:
                 # populate pass: same env (same cache dir), no faults,
                 # results discarded — only the disk state matters
                 faults.clear()
-                self._execute(program, cell)
+                try:
+                    self._execute(program, cell)
+                except Exception:
+                    # a program that crashes in this cell crashes here
+                    # too; let the measured pass classify it instead of
+                    # escaping run_cell unreported
+                    pass
             if plans:
                 faults.install(plans)  # fresh hit counters every cell
             else:

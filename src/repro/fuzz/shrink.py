@@ -282,6 +282,7 @@ def save_repro(program, cell: Cell, report: CellReport, corpus_dir: str,
             "cache": cell.cache,
             "translate": cell.translate,
             "tier": cell.tier,
+            "pic": cell.pic,
         },
         "classification": report.classification,
         "probe_index": report.probe_index,

@@ -113,6 +113,7 @@ class Map:
         "data_size",
         "_parent_slots",
         "_lookup_cache",
+        "_lookup_deps",
         "_cache_epoch",
     )
 
@@ -136,6 +137,11 @@ class Map:
         self.data_size = data_size
         self._parent_slots = tuple(s for s in self.slots.values() if s.is_parent)
         self._lookup_cache: dict[str, object] = {}
+        #: per-selector frozensets of the map ids the lookup consulted
+        #: (receiver map + parents up to the holder), kept in lockstep
+        #: with ``_lookup_cache``; PIC rows record these as their
+        #: invalidation scope
+        self._lookup_deps: dict[str, frozenset] = {}
         self._cache_epoch = -1
 
     # -- construction helpers ------------------------------------------------

@@ -272,6 +272,23 @@ def collect_runtime(registry: MetricsRegistry, runtime) -> None:
     registry.counter("ic.misses").inc(runtime.send_misses)
     registry.counter("ic.megamorphic").inc(runtime.send_megamorphic)
     registry.counter("ic.pic_hits").inc(runtime.send_pic_hits)
+    # Dispatch-ladder state (REPRO_PIC=1; all zero with the ladder off).
+    # The histogram is the ladder-state census across warm sites: 1 for
+    # a monomorphic site, 2..pic_depth for a PIC of that many rows,
+    # pic_depth+1 for a site that overflowed into the megamorphic table.
+    registry.counter("ic.mega_transitions").inc(runtime.mega_transitions)
+    registry.counter("dispatch.mega_table_hits").inc(
+        runtime.mega_table_hits
+    )
+    depth_hist = registry.histogram("ic.pic_depth_histogram")
+    for code in runtime.iter_compiled_codes():
+        for site in getattr(code, "ic_sites", ()):
+            if site.mega is not None:
+                depth_hist.observe(runtime.pic_depth + 1)
+            elif site.pic is not None:
+                depth_hist.observe(len(site.pic))
+            elif site.entries:
+                depth_hist.observe(1)
     registry.counter("compiler.sharing.hits").inc(runtime.share_hits)
     registry.counter("compiler.sharing.stores").inc(runtime.share_stores)
     for key, value in sorted(runtime.translate_stats.items()):

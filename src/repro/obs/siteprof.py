@@ -82,8 +82,9 @@ class ICLifecycleTracker:
 
     def __init__(self) -> None:
         self.records: dict[int, SiteRecord] = {}
-        #: cold-path events seen, by kind ("miss"/"relink"/"pic")
-        self.events = {"miss": 0, "relink": 0, "pic": 0}
+        #: cold-path events seen, by kind ("miss"/"relink"/"pic"/
+        #: "mega" — the last two only when the config models PICs)
+        self.events = {"miss": 0, "relink": 0, "pic": 0, "mega": 0}
 
     def note(self, site, kind: str, tick: int) -> None:
         self.events[kind] += 1
@@ -138,6 +139,8 @@ def collect_sites(codes, tracker: Optional[ICLifecycleTracker] = None) -> list[d
                     "misses": 0,
                     "relinks": 0,
                     "fanout": 0,
+                    "pic_depth": 0,
+                    "mega": False,
                     "state": STATE_EMPTY,
                     "transitions": [],
                 }
@@ -146,6 +149,13 @@ def collect_sites(codes, tracker: Optional[ICLifecycleTracker] = None) -> list[d
             row["misses"] += site.misses
             row["relinks"] += site.relinks
             row["fanout"] = max(row["fanout"], len(site.entries))
+            # Dispatch-ladder state (REPRO_PIC=1): deepest bounded PIC
+            # across the clones, and whether any clone overflowed into
+            # the shared megamorphic table.
+            if site.pic is not None:
+                row["pic_depth"] = max(row["pic_depth"], len(site.pic))
+            if site.mega is not None:
+                row["mega"] = True
             if tracker is not None:
                 record = tracker.record_for(site)
                 if record is not None:

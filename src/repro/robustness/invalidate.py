@@ -47,23 +47,96 @@ from ..world.deps import CodeDependency, LookupCachesDependent
 from .recovery import TIER_OPTIMIZING, TIER_PESSIMISTIC
 
 
-def _flush_ics(runtime) -> int:
+def _row_retained(row, fired_map_ids) -> bool:
+    """A PIC row survives a targeted flush only when its recorded
+    lookup scope is known and disjoint from the fired maps."""
+    rmap, _action, deps = row
+    return (
+        deps is not None
+        and rmap.map_id not in fired_map_ids
+        and not (deps & fired_map_ids)
+    )
+
+
+def _flush_site(site, fired_map_ids) -> None:
+    site.entries.clear()
+    site.cached_map_id = -1
+    site.cached_map = None
+    site.cached_action = None
+    pic = site.pic
+    if pic is not None:
+        if fired_map_ids is None:
+            site.pic = None
+        else:
+            site.pic = [
+                row for row in pic if _row_retained(row, fired_map_ids)
+            ] or None
+    if site.mega is not None and fired_map_ids is None:
+        site.mega = None
+
+
+def _flush_ics(runtime, fired_map_ids=None) -> int:
     """Clear every inline-cache site the runtime could ever execute,
-    including sites of already-retired bodies still held by live frames."""
+    including sites of already-retired bodies still held by live frames.
+
+    ``fired_map_ids`` (a set of map ids every fired dependency key is
+    scoped to) enables *targeted* retention on the dispatch ladder:
+    entry caches still flush wholesale (they are re-seeded per send and
+    resolution results may embed mutated values), but PIC rows and
+    megamorphic-table rows whose recorded lookup scope is disjoint from
+    the fired maps survive — mutating one receiver class must not cost
+    the other N-1 classes their warm dispatch.  ``None`` (a keyless
+    flush, or keys not scoped to maps) drops the whole ladder.
+    """
+    if fired_map_ids is None:
+        runtime.mega_tables.clear()
+        runtime.mega_deps.clear()
+    else:
+        for selector, table in runtime.mega_tables.items():
+            deps = runtime.mega_deps.get(selector, {})
+            for rmap in list(table):
+                row_deps = deps.get(rmap.map_id)
+                if (
+                    row_deps is None
+                    or rmap.map_id in fired_map_ids
+                    or (row_deps & fired_map_ids)
+                ):
+                    del table[rmap]
+                    deps.pop(rmap.map_id, None)
     flushed = 0
     for code in runtime.iter_compiled_codes():
         for site in getattr(code, "ic_sites", ()):
-            site.entries.clear()
-            site.cached_map_id = -1
-            site.cached_action = None
+            _flush_site(site, fired_map_ids)
             flushed += 1
     for code in runtime._retired_live:
         for site in getattr(code, "ic_sites", ()):
-            site.entries.clear()
-            site.cached_map_id = -1
-            site.cached_action = None
+            _flush_site(site, fired_map_ids)
             flushed += 1
     return flushed
+
+
+def _action_dead(action, dead_code_ids: set) -> bool:
+    return action[0] in ("call", "interp") and id(action[1]) in dead_code_ids
+
+
+def _drop_retired_rows(runtime, dead_code_ids: set) -> None:
+    """Second pass after code retirement: a retained PIC/table row must
+    never dispatch a *new* activation into a body this fire retired
+    (retirement runs after the flush, so the flush could not see it)."""
+    for selector, table in runtime.mega_tables.items():
+        deps = runtime.mega_deps.get(selector, {})
+        for rmap, action in list(table.items()):
+            if _action_dead(action, dead_code_ids):
+                del table[rmap]
+                deps.pop(rmap.map_id, None)
+    for code in list(runtime.iter_compiled_codes()) + runtime._retired_live:
+        for site in getattr(code, "ic_sites", ()):
+            pic = site.pic
+            if pic is not None:
+                site.pic = [
+                    row for row in pic
+                    if not _action_dead(row[1], dead_code_ids)
+                ] or None
 
 
 def _retire_code(runtime, target: CodeDependency, stats: dict) -> bool:
@@ -121,9 +194,25 @@ def fire(universe, keys: Iterable[tuple], reason: str = "mutation") -> int:
     universe.lookup_epoch += 1
     stats["epoch_bumps"] += 1
 
+    # Map scope of this fire, for targeted dispatch-ladder retention:
+    # every key kind carries its map id second; any key that is not
+    # map-scoped widens the flush back to wholesale (None).
+    fired_map_ids: object = set()
+    for key in keyset:
+        if (
+            key
+            and key[0] in ("shape", "const", "lookup")
+            and len(key) > 1
+            and isinstance(key[1], int)
+        ):
+            fired_map_ids.add(key[1])
+        else:
+            fired_map_ids = None
+            break
+
     runtimes = list(universe.runtimes)
     for runtime in runtimes:
-        stats["ic_flushes"] += _flush_ics(runtime)
+        stats["ic_flushes"] += _flush_ics(runtime, fired_map_ids)
 
     retired_before = stats["codes_retired"]
     code_targets = [t for t in targets if isinstance(t, CodeDependency)]
@@ -185,6 +274,14 @@ def fire(universe, keys: Iterable[tuple], reason: str = "mutation") -> int:
                 targets=len(targets),
                 live_frames=len(live),
             )
+
+    if code_targets and fired_map_ids is not None:
+        # Retirement ran after the flush: purge retained ladder rows
+        # that would dispatch new activations into a just-retired body.
+        dead_code_ids = {id(t.code) for t in code_targets}
+        for runtime in runtimes:
+            if runtime.pic_enabled:
+                _drop_retired_rows(runtime, dead_code_ids)
 
     retired = stats["codes_retired"] - retired_before
     if code_targets:

@@ -166,11 +166,28 @@ def compile_with_tiers(
         # (injected or real) in the load path degrades to a fresh
         # compile and is recorded — never propagated.
         cache = getattr(runtime, "code_cache", None)
+        # The dispatch ladder's fan-out oracle: with REPRO_PIC on, the
+        # compiler refuses splitting/customization against selectors
+        # whose observed receiver fan-out exceeds the PIC depth.  A
+        # megamorphic-refused body must also skip the persistent cache:
+        # its key does not encode the fan-out observation, so a cached
+        # customized copy (or a cached refusal) could be served under
+        # the opposite regime.
+        pic_fanout = None
+        pic_depth = 4
+        if getattr(runtime, "pic_enabled", False):
+            pic_fanout = runtime.observed_fanout()
+            pic_depth = runtime.pic_depth
+        refused = (
+            pic_fanout is not None
+            and pic_fanout.get(selector, 0) > pic_depth
+        )
         cacheable = (
             cache is not None
             and not is_block
             and runtime.annotations is None
             and not force_pessimistic
+            and not refused
         )
         if cacheable:
             try:
@@ -208,6 +225,7 @@ def compile_with_tiers(
                         block_template=block_template, annotations=runtime.annotations,
                         watchdog=default_watchdog(),
                         tracer=tracer,
+                        fanout=pic_fanout, pic_depth=pic_depth,
                     )
                     with tracer.span("codegen", nodes=graph.stats.total):
                         compiled = generate(graph, runtime.model)

@@ -155,6 +155,14 @@ def translation_report(runtime) -> str:
         f"  emit failed      {stats['emit_failed']}",
         f"  emit seconds     {stats['emit_seconds']:.4f}",
     ]
+    if runtime.pic_enabled:
+        lines.append(
+            f"  dispatch ladder  pic(depth {runtime.pic_depth}), "
+            f"{runtime.mega_transitions} mega transitions, "
+            f"{runtime.mega_table_hits} table hits"
+        )
+    else:
+        lines.append("  dispatch ladder  off (REPRO_PIC=0)")
     return "\n".join(lines)
 
 
@@ -164,12 +172,19 @@ def hot_site_table(profile: dict, top: int = 10) -> str:
     lines = [
         "hot send sites:",
         f"  {'sends':>8} {'hits':>8} {'miss':>6} {'relink':>7} "
-        f"{'fan':>4}  {'state':16} site",
+        f"{'fan':>4}  {'ladder':8} {'state':16} site",
     ]
     for row in profile.get("sites", [])[:top]:
+        if row.get("mega"):
+            ladder = "mega"
+        elif row.get("pic_depth"):
+            ladder = f"pic({row['pic_depth']})"
+        else:
+            ladder = "mono"
         lines.append(
             f"  {row['sends']:>8} {row['hits']:>8} {row['misses']:>6} "
-            f"{row['relinks']:>7} {row['fanout']:>4}  {row['state']:16} "
+            f"{row['relinks']:>7} {row['fanout']:>4}  {ladder:8} "
+            f"{row['state']:16} "
             f"{row['owner']}#{row['index']} {row['selector']}"
         )
     return "\n".join(lines)
@@ -188,7 +203,8 @@ def ic_churn_narrative(profile: dict, top: int = 5) -> str:
     lines = [
         "inline-cache churn:",
         f"  cold-path events: {events.get('miss', 0)} misses, "
-        f"{events.get('relink', 0)} relinks, {events.get('pic', 0)} PIC hits",
+        f"{events.get('relink', 0)} relinks, {events.get('pic', 0)} PIC "
+        f"hits, {events.get('mega', 0)} table hits",
     ]
     if not churned:
         lines.append(

@@ -55,7 +55,8 @@ def render_top(profile: dict, top: int = 10, title: str = "") -> str:
     events = profile["ic_events"]
     lines.append(
         f"ic cold-path events: miss {events.get('miss', 0)}  "
-        f"relink {events.get('relink', 0)}  pic {events.get('pic', 0)}"
+        f"relink {events.get('relink', 0)}  pic {events.get('pic', 0)}  "
+        f"mega {events.get('mega', 0)}"
     )
     fanout = profile["fanout_histogram"]
     lines.append(
@@ -65,12 +66,19 @@ def render_top(profile: dict, top: int = 10, title: str = "") -> str:
     lines.append("")
     lines.append(
         f"  {'sends':>8} {'hits':>8} {'miss':>6} {'relink':>7} "
-        f"{'fan':>4}  {'state':16} site"
+        f"{'fan':>4}  {'ladder':8} {'state':16} site"
     )
     for row in profile["sites"][:top]:
+        if row.get("mega"):
+            ladder = "mega"
+        elif row.get("pic_depth"):
+            ladder = f"pic({row['pic_depth']})"
+        else:
+            ladder = "mono"
         lines.append(
             f"  {row['sends']:>8} {row['hits']:>8} {row['misses']:>6} "
-            f"{row['relinks']:>7} {row['fanout']:>4}  {row['state']:16} "
+            f"{row['relinks']:>7} {row['fanout']:>4}  {ladder:8} "
+            f"{row['state']:16} "
             f"{row['owner']}#{row['index']} {row['selector']}"
         )
     lines.append("")

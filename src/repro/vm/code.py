@@ -15,8 +15,9 @@ class InlineCacheSite:
     """
 
     __slots__ = (
-        "selector", "entries", "cached_map_id", "cached_action",
-        "misses", "hits", "relinks", "owner", "index",
+        "selector", "entries", "cached_map_id", "cached_map",
+        "cached_action", "pic", "mega", "misses", "hits", "relinks",
+        "owner", "index",
     )
 
     def __init__(self, selector: str) -> None:
@@ -25,7 +26,22 @@ class InlineCacheSite:
         self.entries: dict[int, object] = {}
         #: the single inline-cache entry (monomorphic, as in the era)
         self.cached_map_id = -1
+        #: the cached map *object* (``REPRO_PIC=1`` only): the lean
+        #: translated probe compares map identity, skipping the
+        #: ``map_id`` attribute load; maintained alongside
+        #: ``cached_map_id`` on every relink and cleared by every flush
+        self.cached_map = None
         self.cached_action = None
+        #: bounded polymorphic inline cache (``REPRO_PIC=1``): a list of
+        #: ``(map, action, dep_map_ids)`` rows probed linearly (by map
+        #: identity) after the monomorphic entry misses; ``None`` while
+        #: the site is monomorphic or the PIC tier is off
+        self.pic = None
+        #: the megamorphic tier: a per-selector dispatch table shared
+        #: across every overflowed site of the owning runtime
+        #: (``map -> action``, keyed by map identity); ``None`` until
+        #: the PIC overflows
+        self.mega = None
         self.misses = 0
         self.hits = 0
         self.relinks = 0

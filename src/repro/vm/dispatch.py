@@ -247,7 +247,8 @@ def _do_send(vm, frame, regs, insn, pc):
     frame.pc = pc
     receiver = regs[insn[5]]
     site = insn[7]
-    if site.cached_map_id == vm._map_of(receiver).map_id:
+    receiver_map = vm._map_of(receiver)
+    if site.cached_map_id == receiver_map.map_id:
         # Monomorphic inline-cache hit: the fast path of
         # Deutsch–Schiffman caching, which both ST-80 and SELF used.
         site.hits += 1
@@ -255,8 +256,59 @@ def _do_send(vm, frame, regs, insn, pc):
         vm.cycles += insn[8]
         action = site.cached_action
     else:
-        action = _send_miss(vm, receiver, site, insn)
+        # The dispatch ladder (REPRO_PIC=1): bounded PIC probe, then
+        # the per-selector megamorphic table, then the cold half.  Rows
+        # and tables key on map *identity* (cheaper than the map-id
+        # attribute load in the lean translated probe; equivalent,
+        # since map ids are one per Map).  With the ladder off both
+        # tiers are None and this is two loads.
+        action = None
+        pic = site.pic
+        if pic is not None:
+            for row in pic:
+                if row[0] is receiver_map:
+                    action = _pic_hit(
+                        vm, site, insn, receiver_map, row[1], "pic"
+                    )
+                    break
+        elif site.mega is not None:
+            action = site.mega.get(receiver_map)
+            if action is not None:
+                action = _pic_hit(
+                    vm, site, insn, receiver_map, action, "mega"
+                )
+        if action is None:
+            action = _send_miss(vm, receiver, site, insn)
     return _send_action(vm, frame, regs, insn, pc, receiver, action)
+
+
+def _pic_hit(vm, site, insn, receiver_map, action, event):
+    """A bounded-PIC row or megamorphic-table hit.
+
+    The accounting is deliberately identical to ``_send_miss``'s warm
+    (entries-hit) branch: the modeled numbers cannot tell the real
+    dispatch ladder from the modeled relink it replaces, which is what
+    keeps the goldens bit-identical under ``REPRO_PIC=1``.
+    """
+    if event == "mega":
+        vm.mega_table_hits += 1
+    site.relinks += 1
+    if vm.use_polymorphic_caches:
+        vm.send_pic_hits += 1
+        vm.cycles += insn[11]
+    else:
+        vm.send_megamorphic += 1
+        vm.cycles += insn[10]
+        event = "relink"
+    map_id = receiver_map.map_id
+    site.entries[map_id] = action
+    site.cached_map_id = map_id
+    site.cached_map = receiver_map
+    site.cached_action = action
+    profiler = vm.profiler
+    if profiler is not None:
+        profiler.note_ic(site, event)
+    return action
 
 
 def _send_miss(vm, receiver, site, insn):
@@ -289,6 +341,10 @@ def _send_miss(vm, receiver, site, insn):
         vm.send_megamorphic += 1
         vm.cycles += insn[10]
         event = "relink"
+    if vm.pic_enabled:
+        receiver_map = vm._map_of(receiver)
+        _pic_note(vm, site, receiver_map, map_id, action)
+        site.cached_map = receiver_map
     site.cached_map_id = map_id
     site.cached_action = action
     # IC lifecycle telemetry rides the cold path only: the monomorphic
@@ -299,6 +355,51 @@ def _send_miss(vm, receiver, site, insn):
     if profiler is not None:
         profiler.note_ic(site, event)
     return action
+
+
+def _pic_note(vm, site, receiver_map, map_id, action):
+    """Grow the dispatch ladder after a resolve/relink (REPRO_PIC=1).
+
+    A site that turns polymorphic gets a bounded PIC; a PIC that would
+    exceed ``vm.pic_depth`` spills into the runtime's per-selector
+    megamorphic table (shared across every overflowed site, so hostile
+    polymorphism warms it once).  Each row carries the map ids its
+    lookup consulted — targeted invalidation retires exactly those rows.
+    """
+    mega = site.mega
+    if mega is not None:
+        if receiver_map not in mega:
+            mega[receiver_map] = action
+            vm.mega_deps.setdefault(site.selector, {})[map_id] = \
+                vm._dispatch_deps(receiver_map, site.selector, action)
+        return
+    pic = site.pic
+    if pic is None:
+        if len(site.entries) < 2:
+            return  # still monomorphic: the single inline entry suffices
+        site.pic = [(receiver_map, action,
+                     vm._dispatch_deps(receiver_map, site.selector, action))]
+        return
+    for row in pic:
+        if row[0] is receiver_map:
+            return
+    if len(pic) >= vm.pic_depth:
+        if not vm.mega_table_enabled:
+            return  # bounded PIC only: extra maps keep relinking
+        vm.mega_transitions += 1
+        table = vm.mega_tables.setdefault(site.selector, {})
+        deps = vm.mega_deps.setdefault(site.selector, {})
+        for rmap, raction, rdeps in pic:
+            if rmap not in table:
+                table[rmap] = raction
+                deps[rmap.map_id] = rdeps
+        table[receiver_map] = action
+        deps[map_id] = vm._dispatch_deps(receiver_map, site.selector, action)
+        site.mega = table
+        site.pic = None
+        return
+    pic.append((receiver_map, action,
+                vm._dispatch_deps(receiver_map, site.selector, action)))
 
 
 def _send_action(vm, frame, regs, insn, pc, receiver, action):

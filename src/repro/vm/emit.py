@@ -213,17 +213,24 @@ class _Ctx:
     __slots__ = (
         "threaded", "counters", "universe", "lines", "depth",
         "paths", "_path_index", "guards", "alias", "live_in",
-        "profiling", "cur",
+        "profiling", "pic", "cur", "site_locals",
     )
 
     def __init__(self, threaded, counters: bool, universe=None,
-                 live_in=None, profiling: bool = False) -> None:
+                 live_in=None, profiling: bool = False,
+                 pic: bool = False) -> None:
         self.threaded = threaded
         self.counters = counters
         #: emit profiler tick hooks (activation ticks at the trampoline,
         #: branch ticks at backward gotos) — same emission-time gating
         #: as ``counters``, so profiling off leaves the source untouched
         self.profiling = profiling
+        #: open-code the dispatch ladder (PIC probe + megamorphic
+        #: table) in SEND emission.  Only the raw-speed mode takes the
+        #: lean path: with counters or profiling on, sends keep the
+        #: pre-ladder emission (everything cold goes through
+        #: ``_send_miss``) so modeled accounting stays bit-identical
+        self.pic = pic
         #: stream index of the instruction currently being emitted
         #: (maintained by emit_source's pass 1; a goto to ``<= cur`` is
         #: a backward branch)
@@ -247,6 +254,12 @@ class _Ctx:
         #: per-stream-index live register sets (threaded semantics),
         #: consulted when a control transfer forces deferred stores out
         self.live_in = live_in
+        #: lean mode only: IC-site constants bound to function-entry
+        #: locals (``_sN = _K[n]``) so each open-coded ladder probe
+        #: skips the per-send constant-pool subscript.  Maps the
+        #: constant path to the local's name; empty outside lean mode,
+        #: keeping non-lean emission byte-identical to a PIC-off build.
+        self.site_locals: dict[tuple, str] = {}
 
     def guard(self, path: tuple, value) -> None:
         self.guards.append((path, value))
@@ -261,6 +274,13 @@ class _Ctx:
             self.paths.append(path)
             self._path_index[path] = index
         return f"_K[{index}]"
+
+    def site_local(self, path: tuple) -> str:
+        """The entry-hoisted local holding the IC site at ``path``."""
+        expr = self.konst(*path)
+        name = "_s" + expr[3:-1]
+        self.site_locals[path] = name
+        return name
 
     def operand(self, base: tuple, j: int) -> str:
         """An operand expression: inline literal or constant-pool slot."""
@@ -738,78 +758,240 @@ def _send_core(c, insn, resume, base):
     insn_k = c.konst(*base)
     recv_e = c.rd(recv)
     c.flush(c.live_in[resume].union(arg_regs), clear=True)
-    c.w(f"frame.pc = {resume}")
-    c.w(f"_recv = {recv_e}")
-    c.w(f"_site = {c.konst(*(base + (7,)))}")
+    # The dispatch ladder is open-coded only in raw-speed mode: with
+    # counters or profiling on the cold half stays ``_send_miss`` so
+    # the modeled accounting (and the emitted source) is identical to
+    # a PIC-off build.
+    lean = c.pic and not c.counters and not c.profiling
+    if lean:
+        site = c.site_local(base + (7,))
+        c.w(f"_recv = {recv_e}")
+    else:
+        c.w(f"frame.pc = {resume}")
+        c.w(f"_recv = {recv_e}")
+        c.w(f"_site = {c.konst(*(base + (7,)))}")
+        site = "_site"
     # map_of(SelfObject) is exactly ``value.map``; everything else
     # (ints, floats, blocks, vectors, ...) takes the cold call.
     c.w(
         "_rm = _recv.map if _recv.__class__ is _SelfObject "
         "else _map_of(_recv)"
     )
-    c.w("if _site.cached_map_id == _rm.map_id:")
-    c.depth += 1
-    if c.counters:
-        c.w("_site.hits += 1")
-        c.w("vm.send_hits += 1")
-        c.w(f"_cyc += {insn[8]}")
-    c.w("_act = _site.cached_action")
-    c.depth -= 1
-    c.w("else:")
-    c.depth += 1
-    c.w(f"_act = _send_miss(vm, _recv, _site, {insn_k})")
-    c.depth -= 1
-    c.w("if _act[0] == 'call':")
-    c.depth += 1
-    if c.counters:
-        c.w(f"_cyc += {insn[12]}")
-    c.w("_code = _act[1]")
-    # Frame fields spelled out inline (mirrors Frame.__init__): the
-    # constructor call itself is measurable at send-heavy call rates.
-    c.w("_callee = _new_frame(_Frame)")
-    c.w("_callee.code = _code")
-    c.w("_callee.pc = 0")
-    c.w("_callee.regs = _cregs = [None] * _code.reg_count")
-    c.w("_callee.receiver = _recv")
-    c.w("_ek = _code.env_keys")
-    c.w("_callee.env = dict.fromkeys(_ek) if _ek else None")
-    c.w("_callee.env_map = None")
-    c.w("_callee.home = None")
-    c.w(f"_callee.ret_reg = {dst}")
-    c.w("_callee.alive = True")
-    c.w("_cregs[_code.self_reg] = _recv")
-    if arg_regs:
-        c.w("_ar = _code.arg_regs")
-        c.w(f"if len(_ar) == {len(arg_regs)}:")
+
+    def emit_call_body(set_pc):
+        if set_pc:
+            c.w(f"frame.pc = {resume}")
+        if c.counters:
+            c.w(f"_cyc += {insn[12]}")
+        c.w("_code = _act[1]")
+        # Frame fields spelled out inline (mirrors Frame.__init__):
+        # the constructor call itself is measurable at send-heavy
+        # call rates.
+        c.w("_callee = _new_frame(_Frame)")
+        c.w("_callee.code = _code")
+        c.w("_callee.pc = 0")
+        c.w("_callee.regs = _cregs = [None] * _code.reg_count")
+        c.w("_callee.receiver = _recv")
+        c.w("_ek = _code.env_keys")
+        c.w("_callee.env = dict.fromkeys(_ek) if _ek else None")
+        c.w("_callee.env_map = None")
+        c.w("_callee.home = None")
+        c.w(f"_callee.ret_reg = {dst}")
+        c.w("_callee.alive = True")
+        c.w("_cregs[_code.self_reg] = _recv")
+        if arg_regs:
+            c.w("_ar = _code.arg_regs")
+            c.w(f"if len(_ar) == {len(arg_regs)}:")
+            c.depth += 1
+            for j, src in enumerate(arg_regs):
+                c.w(f"_cregs[_ar[{j}]] = regs[{src}]")
+            c.depth -= 1
+            c.w("else:")
+            c.depth += 1
+            srcs = ", ".join(str(src) for src in arg_regs)
+            c.w(f"for _a, _s in zip(_ar, ({srcs},)):")
+            c.depth += 1
+            c.w("_cregs[_a] = regs[_s]")
+            c.depth -= 2
+        c.w("_F.append(_callee)")
+        c.w("_r = -1")
+
+    if lean:
+        # Wall-clock tier.  The hot probes — mono, shared megamorphic
+        # table, bounded PIC — are pure loads and compares: no
+        # accounting, no MRU rotation, and ``frame.pc`` is stored only
+        # on the branches that can actually suspend this frame (a
+        # pushed callee, a generic action, or the ``_send_miss`` cold
+        # call).  The megamorphic table is probed *before* the PIC:
+        # an overflowed site has ``pic = None``, so the table probe is
+        # the common second rung on hostile workloads, while a
+        # still-polymorphic site pays one extra None-test.  Probes
+        # compare map *identity* (``cached_map`` / map-keyed tables),
+        # skipping the ``map_id`` attribute load.  Ladder telemetry
+        # (``mega_table_hits``) is counted by the interpreter tier
+        # only; this path stays bare.
+        #
+        # Translation runs *after* warm-up, so a site that is already
+        # megamorphic at emit time gets table-first emission with the
+        # mono probe and the PIC arm compiled out entirely — the
+        # ladder is one-way (only a wholesale flush nulls ``mega``,
+        # and that path falls back to ``_send_miss``, which re-learns
+        # and re-overflows).  The specialization bakes in this site's
+        # state, so the factory is guarded on the site object: a share
+        # clone with a colder site re-emits instead of reusing.
+        site_obj = extract_constant(c.threaded, base + (7,))
+        if getattr(site_obj, "mega", None) is not None:
+            c.guard(base + (7,), site_obj)
+            c.w(f"_mega = {site}.mega")
+            c.w("if _mega is not None:")
+            c.depth += 1
+            c.w("try:")
+            c.depth += 1
+            c.w("_act = _mega[_rm]")
+            c.depth -= 1
+            c.w("except KeyError:")
+            c.depth += 1
+            c.w(f"frame.pc = {resume}")
+            c.w(f"_act = _send_miss(vm, _recv, {site}, {insn_k})")
+            c.depth -= 2
+            c.w("else:")
+            c.depth += 1
+            c.w(f"frame.pc = {resume}")
+            c.w(f"_act = _send_miss(vm, _recv, {site}, {insn_k})")
+            c.depth -= 1
+        else:
+            c.w(f"if {site}.cached_map is _rm:")
+            c.depth += 1
+            c.w(f"_act = {site}.cached_action")
+            c.depth -= 1
+            c.w("else:")
+            c.depth += 1
+            c.w(f"_mega = {site}.mega")
+            c.w("if _mega is not None:")
+            c.depth += 1
+            # ``try`` is free on the hit path (3.11+ zero-cost
+            # exception ranges); a genuine table miss eats the handler
+            # cost once and comes back installed.
+            c.w("try:")
+            c.depth += 1
+            c.w("_act = _mega[_rm]")
+            c.depth -= 1
+            c.w("except KeyError:")
+            c.depth += 1
+            c.w(f"frame.pc = {resume}")
+            c.w(f"_act = _send_miss(vm, _recv, {site}, {insn_k})")
+            c.depth -= 2
+            c.w("else:")
+            c.depth += 1
+            c.w("_act = None")
+            c.w(f"_pic = {site}.pic")
+            c.w("if _pic is not None:")
+            c.depth += 1
+            c.w("for _row in _pic:")
+            c.depth += 1
+            c.w("if _row[0] is _rm:")
+            c.depth += 1
+            c.w("_act = _row[1]")
+            c.w("break")
+            c.depth -= 3
+            c.w("if _act is None:")
+            c.depth += 1
+            c.w(f"frame.pc = {resume}")
+            c.w(f"_act = _send_miss(vm, _recv, {site}, {insn_k})")
+            c.depth -= 3
+        # Slot-access actions are spelled out so a megamorphic
+        # accessor send never leaves generated code, and the constant
+        # arm is tested first: on dispatch-bound workloads constant
+        # and data slots outnumber method activations.  Slot arms
+        # push no frame, so each falls straight through to the resume
+        # point — no ``_r`` store, no trampoline test; only the call
+        # and generic arms (which can suspend this frame) carry their
+        # own trampoline.  A statement-position send's result register
+        # is dead at the resume point, so the slot arms skip the store
+        # entirely (the callee-return machinery of the 'call' arm and
+        # the generic ``_send_action`` still write it — harmlessly).
+        # (Modeled slot cycles are a counters-mode concern; this tier
+        # measures wall clock only.)
+        dst_live = dst in c.live_in[resume]
+        c.w("if _act[0] == 'const':")
         c.depth += 1
-        for j, src in enumerate(arg_regs):
-            c.w(f"_cregs[_ar[{j}]] = regs[{src}]")
+        if dst_live:
+            c.w(f"regs[{dst}] = _act[1]")
+        else:
+            c.w("pass")
+        c.depth -= 1
+        c.w("elif _act[0] == 'call':")
+        c.depth += 1
+        emit_call_body(set_pc=True)
+        _trampoline(c)
+        c.depth -= 1
+        c.w("elif _act[0] == 'data':")
+        c.depth += 1
+        if dst_live:
+            c.w("_h = _act[1]")
+            c.w(f"regs[{dst}] = (_h if _h is not None else _recv)"
+                ".data[_act[2]]")
+        else:
+            c.w("pass")
+        c.depth -= 1
+        if arg_regs:
+            c.w("elif _act[0] == 'assign':")
+            c.depth += 1
+            c.w("_h = _act[1]")
+            c.w("(_h if _h is not None else _recv)"
+                f".data[_act[2]] = regs[{arg_regs[0]}]")
+            if dst_live:
+                c.w(f"regs[{dst}] = _recv")
+            c.depth -= 1
+        c.w("else:")
+        c.depth += 1
+        c.w(f"frame.pc = {resume}")
+        c.w(
+            f"_r = _send_action(vm, frame, regs, {insn_k}, {resume}, "
+            f"_recv, _act)"
+        )
+        _trampoline(c)
+        c.depth -= 1
+        return
+    else:
+        c.w("if _site.cached_map_id == _rm.map_id:")
+        c.depth += 1
+        if c.counters:
+            c.w("_site.hits += 1")
+            c.w("vm.send_hits += 1")
+            c.w(f"_cyc += {insn[8]}")
+        c.w("_act = _site.cached_action")
         c.depth -= 1
         c.w("else:")
         c.depth += 1
-        srcs = ", ".join(str(src) for src in arg_regs)
-        c.w(f"for _a, _s in zip(_ar, ({srcs},)):")
+        c.w(f"_act = _send_miss(vm, _recv, _site, {insn_k})")
+        c.depth -= 1
+        c.w("if _act[0] == 'call':")
         c.depth += 1
-        c.w("_cregs[_a] = regs[_s]")
-        c.depth -= 2
-    c.w("_F.append(_callee)")
-    c.w("_r = -1")
-    c.depth -= 1
-    c.w("else:")
-    c.depth += 1
-    c.w(
-        f"_r = _send_action(vm, frame, regs, {insn_k}, {resume}, "
-        f"_recv, _act)"
-    )
-    c.depth -= 1
-    # The trampoline.  -1 means "a frame above this one needs to run":
-    # dispatch it directly while it stays translated, until the top of
-    # the stack is this frame again (our callee returned; fall through
-    # to the resume point).  A direct-called frame returns -3 for an
-    # in-flight NLR (propagate to our own caller), -1 to ask for more
-    # dispatch, or a pc >= 0 when it *declined* a fused resume entry —
-    # that pc belongs to the callee's stream, so hand the whole stack
-    # back to the outer loop (-1) rather than interpreting it here.
+        emit_call_body(set_pc=False)
+        c.depth -= 1
+        c.w("else:")
+        c.depth += 1
+        c.w(
+            f"_r = _send_action(vm, frame, regs, {insn_k}, {resume}, "
+            f"_recv, _act)"
+        )
+        c.depth -= 1
+    _trampoline(c)
+
+
+def _trampoline(c):
+    """The direct-dispatch trampoline after a SEND's action arms.
+
+    -1 means "a frame above this one needs to run": dispatch it
+    directly while it stays translated, until the top of the stack is
+    this frame again (our callee returned; fall through to the resume
+    point).  A direct-called frame returns -3 for an in-flight NLR
+    (propagate to our own caller), -1 to ask for more dispatch, or a
+    pc >= 0 when it *declined* a fused resume entry — that pc belongs
+    to the callee's stream, so hand the whole stack back to the outer
+    loop (-1) rather than interpreting it here.
+    """
     c.w("while _r == -1:")
     c.depth += 1
     c.w("if _F[-1] is frame:")
@@ -1366,7 +1548,8 @@ def _collect_labels(threaded) -> tuple[set[int], set[int]]:
 
 
 def emit_source(
-    threaded, counters: bool, universe=None, profiling: bool = False
+    threaded, counters: bool, universe=None, profiling: bool = False,
+    pic: bool = False,
 ) -> tuple:
     """Generate the factory source for one threaded stream.
 
@@ -1400,7 +1583,9 @@ def emit_source(
     # dispatch entry carries no alias state, so each block starts with
     # an empty alias map; falling through into the next label flushes
     # whatever is live there.
-    c = _Ctx(threaded, counters, universe, live_in, profiling=profiling)
+    c = _Ctx(
+        threaded, counters, universe, live_in, profiling=profiling, pic=pic
+    )
     blocks: dict[int, list[str]] = {}
     closed = True
     for i, insn in enumerate(threaded):
@@ -1458,6 +1643,12 @@ def emit_source(
     w(1, "def _translated(vm, frame, regs, _d=0):")
     w(2, "_map_of = vm._map_of")
     w(2, "_F = vm.frames")
+    # Lean-mode IC sites: bound once per activation so every
+    # open-coded ladder probe is a plain local load (empty otherwise).
+    for name in sorted(
+        c.site_locals.values(), key=lambda n: int(n[2:])
+    ):
+        w(2, f"{name} = _K[{name[2:]}]")
     w(2, "_l = frame.pc")
     # Entry pc must head a block: the tree narrows by comparisons only,
     # so an off-label pc must not silently run the wrong block.  A

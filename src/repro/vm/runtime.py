@@ -124,6 +124,25 @@ class Runtime:
         #: stub instead of relinking — the PIC extension.
         self.use_polymorphic_caches = use_polymorphic_caches
 
+        # -- the real dispatch ladder (REPRO_PIC=1) ------------------------
+        #: mono IC -> bounded PIC -> megamorphic table, as a wall-clock
+        #: mechanism: accounting on every rung is identical to the
+        #: modeled relink it replaces, so the modeled numbers are
+        #: bit-identical with the ladder on or off (INTERNALS.md §15)
+        self.pic_enabled = os.environ.get("REPRO_PIC", "0") != "0"
+        self.pic_depth = max(
+            1, int(os.environ.get("REPRO_PIC_DEPTH", "4") or 4)
+        )
+        self.mega_table_enabled = (
+            os.environ.get("REPRO_MEGA_TABLE", "1") != "0"
+        )
+        #: per-selector megamorphic dispatch tables (map_id -> action),
+        #: shared by every overflowed site of this runtime so hostile
+        #: polymorphism warms each selector once, plus the parallel
+        #: invalidation scopes (map_id -> consulted-map frozenset)
+        self.mega_tables: dict[str, dict] = {}
+        self.mega_deps: dict[str, dict] = {}
+
         #: (method identity, map id or 0) -> (AST node, Code).  The AST
         #: node is stored to keep it alive: the key uses ``id()``, which
         #: the host may reuse once the node is collected.
@@ -178,7 +197,9 @@ class Runtime:
         else:
             self.profiler = None
         self.translator = Translator(
-            self, self.modeled_counters, profiling=self.profiler is not None
+            self, self.modeled_counters,
+            profiling=self.profiler is not None,
+            pic=self.pic_enabled,
         )
         #: translate.* observability counters (surfaced by obs/metrics.py)
         self.translate_stats = {
@@ -199,6 +220,11 @@ class Runtime:
         self.send_misses = 0
         self.send_megamorphic = 0
         self.send_pic_hits = 0
+        #: dispatch-ladder telemetry (host-level, never modeled):
+        #: dispatches served by a megamorphic table, and PIC->table
+        #: overflow transitions
+        self.mega_table_hits = 0
+        self.mega_transitions = 0
         self.instructions = 0
 
         self.frames: list[Frame] = []
@@ -286,6 +312,17 @@ class Runtime:
         self.instructions = 0
         self.send_hits = self.send_misses = self.send_megamorphic = 0
         self.send_pic_hits = 0
+        self.mega_table_hits = 0
+        # Per-site IC counters are measurements too: without this,
+        # back-to-back bench reps inherit the previous rep's hot sites
+        # (the cache *contents* — entries, PIC rows, tables — are state,
+        # not measurement, and survive the reset).
+        for code in self.iter_compiled_codes():
+            for site in getattr(code, "ic_sites", ()):
+                site.hits = site.misses = site.relinks = 0
+        for code in self._retired_live:
+            for site in code.ic_sites:
+                site.hits = site.misses = site.relinks = 0
 
     @property
     def compiled_code_bytes(self) -> int:
@@ -342,6 +379,45 @@ class Runtime:
             totals["instructions_absorbed"] += stats["absorbed"]
         return totals
 
+    def observed_fanout(self) -> dict:
+        """Selector -> distinct receiver maps observed at this runtime's
+        IC sites and megamorphic tables — the compiler's refusal oracle:
+        splitting and customization stop past ``pic_depth`` (§6.1's
+        megamorphic sites are not worth specializing against)."""
+        fan: dict[str, set] = {}
+        for code in self.iter_compiled_codes():
+            for site in getattr(code, "ic_sites", ()):
+                if site.entries:
+                    fan.setdefault(site.selector, set()).update(site.entries)
+        for selector, table in self.mega_tables.items():
+            if table:
+                fan.setdefault(selector, set()).update(
+                    rmap.map_id for rmap in table
+                )
+        return {selector: len(ids) for selector, ids in fan.items()}
+
+    def _megamorphic_selector(self, selector: str) -> bool:
+        """The compiler-side refusal gate: ``selector`` has been seen
+        with more receiver maps than the PIC can absorb."""
+        return (
+            self.pic_enabled
+            and bool(selector)
+            and self.observed_fanout().get(selector, 0) > self.pic_depth
+        )
+
+    def _dispatch_deps(self, receiver_map, selector: str, action):
+        """The consulted-map scope of a dispatch-ladder row.
+
+        ``None`` means "retire on any invalidation": prim/block
+        resolutions have no lookup to scope them, and a row whose
+        lookup-cache entry already expired is treated the same way.
+        """
+        if action[0] in ("prim", "block"):
+            return None
+        from ..world.lookup import cached_lookup_deps
+
+        return cached_lookup_deps(self.universe, receiver_map, selector)
+
     # ------------------------------------------------------------------
     # Compilation (the JIT half)
     # ------------------------------------------------------------------
@@ -358,8 +434,21 @@ class Runtime:
         instead of recompiled.  Every modeled number — size, cycles,
         compile counters — is identical to a fresh compile by
         construction, so sharing buys host seconds only.
+
+        Megamorphic customization refusal (REPRO_PIC): once the
+        dispatch ladder has seen more receiver maps for ``selector``
+        than the PIC holds, further customization is refused — the body
+        compiles once, receiver-map independent, under the shared key
+        ``0`` and every subsequent map reuses that one Code (one copy
+        of the modeled bytes, one IC site set, so the hot sites inside
+        it overflow into the megamorphic table instead of splintering
+        per map).
         """
-        key_map = receiver_map.map_id if self.config.customize else 0
+        refused = self._megamorphic_selector(selector)
+        key_map = (
+            receiver_map.map_id
+            if self.config.customize and not refused else 0
+        )
         key = (id(code_node), key_map)
         cached = self._method_code.get(key)
         if cached is not None:

@@ -68,9 +68,12 @@ class _FactoryEntry:
 class Translator:
     """Per-runtime translation service (owned by ``Runtime``)."""
 
-    __slots__ = ("runtime", "counters", "profiling", "_factories")
+    __slots__ = ("runtime", "counters", "profiling", "pic", "_factories")
 
-    def __init__(self, runtime, counters: bool, profiling: bool = False) -> None:
+    def __init__(
+        self, runtime, counters: bool, profiling: bool = False,
+        pic: bool = False,
+    ) -> None:
         self.runtime = runtime
         #: compile modeled-counter accounting into the generated source
         #: (REPRO_MODELED_COUNTERS; off = raw wall-clock mode)
@@ -80,6 +83,10 @@ class Translator:
         #: off the emitted source is byte-identical to before the
         #: profiler existed (the zero-overhead-off guarantee)
         self.profiling = profiling
+        #: open-code the dispatch ladder (PIC probe + megamorphic table)
+        #: in generated sends (REPRO_PIC); off keeps the emission
+        #: byte-identical to a build without the ladder
+        self.pic = pic
         self._factories: dict[int, _FactoryEntry] = {}
 
     def translate(self, code) -> Optional[object]:
@@ -140,7 +147,7 @@ class Translator:
         else:
             source, paths, guards = emit_source(
                 code.threaded, self.counters, self.runtime.universe,
-                profiling=self.profiling,
+                profiling=self.profiling, pic=self.pic,
             )
             if corrupted:
                 # Injected wild write mid-emission: the source is

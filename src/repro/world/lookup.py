@@ -39,6 +39,7 @@ def lookup_slot(universe: Universe, receiver, selector: str) -> LookupResult:
     cache = receiver_map._lookup_cache
     if receiver_map._cache_epoch != universe.lookup_epoch:
         cache.clear()
+        receiver_map._lookup_deps.clear()
         receiver_map._cache_epoch = universe.lookup_epoch
     cached = cache.get(selector, _MISS)
     if cached is not _MISS:
@@ -51,7 +52,8 @@ def lookup_slot(universe: Universe, receiver, selector: str) -> LookupResult:
             return receiver, slot
         return holder, slot
 
-    result = _search(universe, receiver, selector)
+    result, consulted_ids = _search(universe, receiver, selector)
+    receiver_map._lookup_deps[selector] = consulted_ids
     if result is None:
         cache[selector] = None
         return None
@@ -72,13 +74,17 @@ class _SelfHolderToken:
 _SELF_HOLDER = _SelfHolderToken()
 
 
-def _search(universe: Universe, receiver, selector: str) -> LookupResult:
+def _search(
+    universe: Universe, receiver, selector: str
+) -> tuple[LookupResult, frozenset]:
     """Breadth-first search by inheritance depth with ambiguity detection.
 
     Cold path only (results are cached per map), so it also registers
     the universe's lookup caches as dependent on every map it consults
     — including maps it *missed* in, since a later slot added there
-    would shadow the found one.
+    would shadow the found one.  Returns the result together with the
+    consulted map ids, which the caller records as the lookup's
+    invalidation scope (PIC rows retire against it).
     """
     visited: set[int] = set()
     frontier: list[object] = [receiver]
@@ -114,7 +120,18 @@ def _search(universe: Universe, receiver, selector: str) -> LookupResult:
     if result is not None:
         found = (universe.map_of(result[0]), result[1])
     universe.deps.note_lookup(consulted, found)
-    return result
+    return result, frozenset(m.map_id for m in consulted)
+
+
+def cached_lookup_deps(
+    universe: Universe, receiver_map, selector: str
+) -> Optional[frozenset]:
+    """The consulted-map ids of the last lookup of ``selector`` through
+    ``receiver_map``, or None when no current-epoch lookup is cached.
+    """
+    if receiver_map._cache_epoch != universe.lookup_epoch:
+        return None
+    return receiver_map._lookup_deps.get(selector)
 
 
 def _parent_value(obj, parent_slot: Slot):

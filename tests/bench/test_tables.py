@@ -74,7 +74,12 @@ def test_t2_renders_time_and_size_sections(fake_session):
     assert "optimized C" in table
 
 
-def test_appendix_a_lists_every_benchmark(fake_session):
+def test_appendix_a_lists_every_paper_benchmark(fake_session):
     table = appendix_a_speed(fake_session)
-    for name in all_benchmarks():
-        assert name in table
+    for bench in all_benchmarks().values():
+        if bench.group == "poly":
+            # the dispatch-ladder suite is measured by exec_bench
+            # (wall clock, REPRO_PIC on/off), not the paper's tables
+            assert bench.name not in table
+        else:
+            assert bench.name in table

@@ -3,7 +3,7 @@
 1. A seeded sweep of >= 300 generated programs across the full
    config × share × cache × translation × tier matrix produces zero
    divergences, crashes, hangs, or recovery anomalies — and the
-   sampling actually touched every one of the 52 matrix cells.
+   sampling actually touched every one of the 60 matrix cells.
 2. A deliberately planted fault (the same ``FaultPlan`` machinery
    ``REPRO_FAULTS`` parses, on the registered ``fuzz.probe.result``
    site) is detected as a divergence and shrunk to a minimal repro of

@@ -22,13 +22,14 @@ def oracle(tmp_path):
 # -- matrix shape -----------------------------------------------------------
 
 
-def test_full_matrix_is_52_cells():
+def test_full_matrix_is_60_cells():
     matrix = full_matrix()
-    assert len(matrix) == 52
-    assert len(set(matrix)) == 52
+    assert len(matrix) == 60
+    assert len(set(matrix)) == 60
     configs = {cell.config for cell in matrix}
     assert configs == {"newself", "oldself", "st80", "static"}
     assert sum(cell.tier == "interp" for cell in matrix) == 4
+    assert sum(cell.pic == "on" for cell in matrix) == 8
 
 
 def test_cell_validation():
@@ -40,6 +41,8 @@ def test_cell_validation():
         Cell("newself", translate="maybe")
     with pytest.raises(ValueError, match="unknown tier"):
         Cell("newself", tier="turbo")
+    with pytest.raises(ValueError, match="unknown pic state"):
+        Cell("newself", pic="maybe")
 
 
 def test_cell_key_roundtrip():
@@ -47,6 +50,16 @@ def test_cell_key_roundtrip():
         assert Cell.from_key(cell.key) == cell
     with pytest.raises(ValueError, match="malformed cell key"):
         Cell.from_key("newself/share")
+
+
+def test_cell_key_pic_segment_only_when_on():
+    off = Cell("newself")
+    assert "pic" not in off.key  # pre-ladder keys stay stable
+    on = Cell("newself", pic="on")
+    assert on.key.endswith("/pic=on")
+    assert Cell.from_key(on.key) == on
+    with pytest.raises(ValueError, match="malformed cell key"):
+        Cell.from_key(off.key + "/pic=sideways")
 
 
 def test_sampling_skips_static_for_dynamic_only_programs():

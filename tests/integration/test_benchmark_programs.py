@@ -21,6 +21,8 @@ def test_registry_is_complete():
         "bubble", "bubble-oo", "tree", "tree-oo",
         "sieve", "sumTo", "sumFromTo", "sumToConst", "atAllPut",
         "richards",
+        "poly1", "poly2", "poly4", "poly8", "poly32", "poly128",
+        "poly32-skew", "poly128-skew",
     }
 
 
@@ -29,6 +31,7 @@ def test_groups_match_the_paper():
     assert len(benchmarks_in_group("stanford-oo")) == 7  # puzzle not rewritten
     assert len(benchmarks_in_group("small")) == 5
     assert len(benchmarks_in_group("richards")) == 1
+    assert len(benchmarks_in_group("poly")) == 8
 
 
 def test_oo_variants_share_c_baseline():

@@ -24,6 +24,8 @@ class FakeSite:
         self.hits = hits
         self.misses = misses
         self.relinks = relinks
+        self.pic = None
+        self.mega = None
 
 
 class FakeCode:
@@ -64,7 +66,7 @@ def test_tracker_records_transitions_with_ticks():
         (10, STATE_EMPTY, STATE_MONOMORPHIC),
         (25, STATE_MONOMORPHIC, polymorphic_state(2)),
     ]
-    assert tracker.events == {"miss": 1, "relink": 1, "pic": 0}
+    assert tracker.events == {"miss": 1, "relink": 1, "pic": 0, "mega": 0}
 
 
 def test_tracker_same_state_is_not_a_transition():

@@ -286,3 +286,132 @@ def test_multiple_runtimes_share_one_registry():
     rt_a.run("point _SetSlot: 'x' Value: 20")
     assert rt_a.run("point sum") == 24
     assert rt_b.run("point sum") == 24
+
+
+# -- dispatch-ladder retention (REPRO_PIC=1) --------------------------------
+
+POLY_SETUP = """|
+  pa = (| parent* = traits clonable. k <- 3. tag = ( k + 1 ) |).
+  pb = (| parent* = traits clonable. k <- 5. tag = ( k + 2 ) |).
+  pc = (| parent* = traits clonable. k <- 7. tag = ( k + 3 ) |).
+  pd = (| parent* = traits clonable. k <- 11. tag = ( k + 4 ) |).
+  pe = (| parent* = traits clonable. k <- 13. tag = ( k + 5 ) |).
+  pf = (| parent* = traits clonable. k <- 17. tag = ( k + 6 ) |).
+  tagSum: n = ( | v. s <- 0 |
+    v: (vector copySize: 6 FillingWith: 0).
+    v at: 0 Put: pa. v at: 1 Put: pb. v at: 2 Put: pc.
+    v at: 3 Put: pd. v at: 4 Put: pe. v at: 5 Put: pf.
+    1 to: 6 * n Do: [ | :i | s: s + (v at: (i % n)) tag ].
+    s ).
+|"""
+
+TAG_SUM_6 = 6 * (4 + 7 + 10 + 15 + 18 + 23)
+
+
+def _ladder_runtime(monkeypatch, translate=False):
+    monkeypatch.setenv("REPRO_PIC", "1")
+    monkeypatch.setenv("REPRO_SHARE_CODE", "1")
+    world = World()
+    world.add_slots(POLY_SETUP)
+    runtime = Runtime(world, NEW_SELF)
+    if translate:
+        runtime.translate_threshold = 1
+    return world, runtime
+
+
+def _pic_sites(runtime, selector="tag"):
+    return [
+        site
+        for code in runtime.iter_compiled_codes()
+        for site in getattr(code, "ic_sites", ())
+        if site.selector == selector
+        and (site.pic is not None or site.mega is not None)
+    ]
+
+
+def test_targeted_flush_retains_unrelated_mega_rows(monkeypatch):
+    """Mutating one receiver class must not cost the other N-1 their
+    warm megamorphic-table rows."""
+    world, runtime = _ladder_runtime(monkeypatch)
+    assert runtime.run("tagSum: 6") == TAG_SUM_6
+    table = runtime.mega_tables["tag"]
+    assert len(table) == 6
+    old_pc_map = world.universe.map_of(world.get_global("pc"))
+    runtime.run("pc _AddSlot: 'extra' Value: 1")
+    # exactly pc's row was retired; the other five survived the flush
+    assert old_pc_map not in table
+    assert len(table) == 5
+    # and the survivors still dispatch correctly alongside the new map
+    assert runtime.run("tagSum: 6") == TAG_SUM_6
+    assert len(runtime.mega_tables["tag"]) == 6
+
+
+def test_targeted_flush_retains_unrelated_pic_rows(monkeypatch):
+    world, runtime = _ladder_runtime(monkeypatch)
+    assert runtime.run("tagSum: 3") == 6 * (4 + 7 + 10)
+    sites = _pic_sites(runtime)
+    assert sites and all(
+        site.pic is not None and len(site.pic) == 3 for site in sites
+    )
+    old_pc_map = world.universe.map_of(world.get_global("pc"))
+    runtime.run("pc _AddSlot: 'extra' Value: 1")
+    for site in _pic_sites(runtime):
+        rows = {row[0] for row in site.pic}
+        assert old_pc_map not in rows
+        assert len(rows) == 2  # pa and pb kept their rows
+    assert runtime.run("tagSum: 3") == 6 * (4 + 7 + 10)
+
+
+def test_wholesale_flush_drops_the_whole_ladder(monkeypatch):
+    """A keyless flush (no map scope) must not retain anything."""
+    from repro.robustness.invalidate import _flush_ics
+
+    world, runtime = _ladder_runtime(monkeypatch)
+    assert runtime.run("tagSum: 6") == TAG_SUM_6
+    assert runtime.mega_tables["tag"]
+    _flush_ics(runtime, None)
+    assert runtime.mega_tables == {}
+    assert not _pic_sites(runtime)
+    # the ladder relearns from scratch and still answers correctly
+    assert runtime.run("tagSum: 6") == TAG_SUM_6
+    assert len(runtime.mega_tables["tag"]) == 6
+
+
+def test_ladder_retention_with_translated_tier(monkeypatch):
+    """The translated tier dispatches through the same site objects, so
+    targeted retention and re-learning hold there too."""
+    world, runtime = _ladder_runtime(monkeypatch, translate=True)
+    for _ in range(3):  # cross the promotion threshold
+        assert runtime.run("tagSum: 6") == TAG_SUM_6
+    assert runtime.translate_stats["translated"] >= 1
+    table = runtime.mega_tables["tag"]
+    assert len(table) == 6
+    hits_before = runtime.mega_table_hits
+    runtime.run("pc _AddSlot: 'extra' Value: 1")
+    assert len(table) == 5
+    assert runtime.run("tagSum: 6") == TAG_SUM_6
+    assert runtime.mega_table_hits > hits_before
+
+
+def test_ladder_answers_match_interpreter_under_mutation(monkeypatch):
+    """Differential check: the full mutation interplay (overflow, flush,
+    re-learning) never changes an answer."""
+    script = [
+        "tagSum: 6",
+        "pc _AddSlot: 'extra' Value: 1",
+        "tagSum: 6",
+        "pc k: 100. tagSum: 6",
+        "pc _RemoveSlot: 'extra'",
+        "tagSum: 6",
+    ]
+    interp_world = World()
+    interp_world.add_slots(POLY_SETUP)
+    expected = [
+        interp_world.universe.print_string(interp_world.eval(src))
+        for src in script
+    ]
+    world, runtime = _ladder_runtime(monkeypatch)
+    got = [
+        world.universe.print_string(runtime.run(src)) for src in script
+    ]
+    assert got == expected

@@ -1,0 +1,110 @@
+"""Dispatch-ladder emission in the translated tier.
+
+The zero-overhead-off contract, extended to REPRO_PIC: with the ladder
+off the emitter must generate byte-identical source to the pre-ladder
+emitter (no dormant probes, no hoisted site locals), and the lean
+ladder emission (pic on, counters off, profiling off) must not perturb
+any modeled measurement relative to a ladder-off run.
+"""
+
+from repro.bench.base import SYSTEMS, get_benchmark
+from repro.lang.parser import parse_doit
+from repro.vm.emit import emit_source
+from repro.vm.runtime import Runtime
+from repro.world.bootstrap import World
+
+
+def _compiled_codes(name="towers"):
+    benchmark = get_benchmark(name)
+    world = World(universe_id="u0")
+    world.add_slots(benchmark.setup_source)
+    runtime = Runtime(world, SYSTEMS["newself"])
+    runtime.translate_threshold = 0
+    runtime.run_doit(parse_doit(benchmark.run_source))
+    return runtime, [
+        code
+        for code in runtime.iter_compiled_codes()
+        if getattr(code, "threaded", None)
+    ]
+
+
+def test_pic_off_emits_byte_identical_source():
+    runtime, codes = _compiled_codes()
+    assert codes
+    for code in codes:
+        default = emit_source(code.threaded, True, runtime.universe)
+        explicit_off = emit_source(
+            code.threaded, True, runtime.universe, pic=False
+        )
+        assert default[0] == explicit_off[0]
+        assert default[1:] == explicit_off[1:]
+
+
+def test_pic_off_source_has_no_ladder_artifacts():
+    runtime, codes = _compiled_codes()
+    for code in codes:
+        src = emit_source(code.threaded, True, runtime.universe)[0]
+        assert "cached_map " not in src  # only cached_map_id probes
+        assert "_mega" not in src
+        assert ".pic" not in src
+
+
+def test_pic_with_counters_stays_non_lean():
+    """The lean ladder needs modeled counters off: with counters on the
+    emission must stay byte-identical to the ladder-off emitter, so the
+    modeled-counter stream is untouched by construction."""
+    runtime, codes = _compiled_codes()
+    for code in codes:
+        with_pic = emit_source(
+            code.threaded, True, runtime.universe, pic=True
+        )
+        without = emit_source(
+            code.threaded, True, runtime.universe, pic=False
+        )
+        assert with_pic[0] == without[0]
+        assert with_pic[1:] == without[1:]
+
+
+def test_lean_emission_open_codes_the_ladder():
+    runtime, codes = _compiled_codes()
+    sends = [
+        emit_source(code.threaded, False, runtime.universe, pic=True)[0]
+        for code in codes
+    ]
+    ladder = [src for src in sends if "cached_map is" in src]
+    assert ladder, "no emitted body open-codes the ladder probe"
+    for src in ladder:
+        assert "_mega" in src  # megamorphic-table arm present
+        assert "_send_miss" in src  # cold half still out-of-line
+        # the hoisted site locals are bound once, in the prologue
+        assert "_s" in src
+
+
+def test_translated_modeled_counters_identical_with_ladder(monkeypatch):
+    """Towers is monomorphic (no refusal fires), so even through the
+    translated tier the ladder must be invisible to every modeled
+    number."""
+    benchmark = get_benchmark("towers")
+
+    def run(pic):
+        monkeypatch.setenv("REPRO_PIC", pic)
+        world = World(universe_id="u0")
+        world.add_slots(benchmark.setup_source)
+        runtime = Runtime(world, SYSTEMS["newself"])
+        runtime.translate_threshold = 1
+        doit = parse_doit(benchmark.run_source)
+        for _ in range(3):
+            answer = runtime.run_doit(doit)
+        return runtime, answer
+
+    off, answer_off = run("0")
+    on, answer_on = run("1")
+    assert answer_on == answer_off
+    assert on.translate_stats["translated"] > 0
+    assert (
+        on.cycles, on.instructions, on.send_hits, on.send_misses,
+        on.send_megamorphic, on.code_bytes,
+    ) == (
+        off.cycles, off.instructions, off.send_hits, off.send_misses,
+        off.send_megamorphic, off.code_bytes,
+    )
