@@ -547,3 +547,51 @@ class CodeCache:
                 self.stats["evictions"] += 1
             except OSError:
                 pass
+
+
+class ReadOnlyCodeCache:
+    """A tenant's view of a shared persistent cache: loads delegate,
+    writes are swallowed and counted.
+
+    The multi-tenant service shares one on-disk cache across every
+    tenant so compile work is amortized fleet-wide; but per-tenant
+    invalidation (:mod:`repro.robustness.invalidate` calling
+    ``code_cache.evict``) must never delete a disk entry other tenants
+    still dispatch through — a tenant that mutates its world retires
+    *its own* compiled bodies via its own dependency registry, while
+    the shared disk entry stays valid for every world that did not
+    mutate.  Stores are also swallowed: only the zygote owner warms the
+    shared cache, keeping tenant write amplification at zero.
+
+    ``stats`` is per-facade (per tenant), so shed writes are observable
+    without aliasing the underlying cache's counters.
+    """
+
+    __slots__ = ("backing", "stats")
+
+    def __init__(self, backing: CodeCache) -> None:
+        self.backing = backing
+        self.stats = {
+            "hits": 0,
+            "misses": 0,
+            "stores_shed": 0,
+            "evicts_shed": 0,
+        }
+
+    @property
+    def path(self) -> str:
+        return self.backing.path
+
+    def load(self, universe, config, model, code_node, receiver_map, selector):
+        code = self.backing.load(
+            universe, config, model, code_node, receiver_map, selector
+        )
+        self.stats["hits" if code is not None else "misses"] += 1
+        return code
+
+    def store(self, universe, config, model, code_node, receiver_map, code) -> None:
+        self.stats["stores_shed"] += 1
+
+    def evict(self, key: str) -> bool:
+        self.stats["evicts_shed"] += 1
+        return False

@@ -23,6 +23,10 @@ axis                    values
                         raise-mode fault on ``compiler.engine`` degrades
                         every compile to the tier interpreter, exercising
                         the whole recovery path
+``world``               ``fresh`` (cold bootstrap) or ``fork`` — the guest
+                        world is a zygote fork (the serve layer's tenant
+                        admission path), pinning forked-universe execution
+                        to the reference answers
 ======================  ====================================================
 
 A cell's outcome is classified as one of:
@@ -91,6 +95,7 @@ class Cell:
     translate: str = "off"  # "off" | "forced"
     tier: str = "full"  # "full" | "interp"
     pic: str = "off"  # "off" | "on" (REPRO_PIC dispatch ladder)
+    world: str = "fresh"  # "fresh" | "fork" (zygote-forked guest world)
 
     def __post_init__(self) -> None:
         if self.config not in PRESETS:
@@ -103,29 +108,37 @@ class Cell:
             raise ValueError(f"unknown tier {self.tier!r}")
         if self.pic not in ("off", "on"):
             raise ValueError(f"unknown pic state {self.pic!r}")
+        if self.world not in ("fresh", "fork"):
+            raise ValueError(f"unknown world state {self.world!r}")
 
     @property
     def key(self) -> str:
-        """Five "/"-segments, six when the dispatch ladder is on — an
-        old (pre-ladder) five-part key round-trips unchanged."""
+        """Five "/"-segments, plus optional ``pic=on`` / ``world=fork``
+        suffixes — an old (pre-ladder, pre-fork) five-part key
+        round-trips unchanged."""
         share = "share" if self.share else "noshare"
         base = (f"{self.config}/{share}/cache={self.cache}"
                 f"/translate={self.translate}/{self.tier}")
         if self.pic == "on":
-            return f"{base}/pic=on"
+            base = f"{base}/pic=on"
+        if self.world == "fork":
+            base = f"{base}/world=fork"
         return base
 
     @classmethod
     def from_key(cls, key: str) -> "Cell":
-        """Inverse of :attr:`key` (accepts 5- and 6-part keys)."""
+        """Inverse of :attr:`key` (accepts 5-part keys plus suffixes)."""
         try:
             parts = key.split("/")
-            pic = "off"
-            if len(parts) == 6:
+            pic, world = "off", "fresh"
+            while len(parts) > 5:
                 prefix, _, value = parts.pop().partition("=")
-                if prefix != "pic" or value not in ("off", "on"):
+                if prefix == "pic" and value in ("off", "on"):
+                    pic = value
+                elif prefix == "world" and value in ("fresh", "fork"):
+                    world = value
+                else:
                     raise ValueError(key)
-                pic = value
             config, share, cache, translate, tier = parts
             return cls(
                 config=config,
@@ -134,6 +147,7 @@ class Cell:
                 translate=translate.split("=", 1)[1],
                 tier=tier,
                 pic=pic,
+                world=world,
             )
         except (ValueError, IndexError):
             raise ValueError(f"malformed cell key {key!r}") from None
@@ -141,10 +155,11 @@ class Cell:
 
 def full_matrix() -> tuple:
     """Every cell: 4 configs × 2 share × 3 cache × 2 translate on the
-    full ladder, one interpreter-tier cell per config, and two
+    full ladder, one interpreter-tier cell per config, two
     dispatch-ladder (``REPRO_PIC=1``) cells per config — interpreted
     and translated — pinning PIC/megamorphic-table dispatch to the
-    reference answers (60 total)."""
+    reference answers, and one zygote-forked-world cell per config
+    (the serve layer's tenant admission path) (64 total)."""
     cells = []
     for config in ("newself", "oldself", "st80", "static"):
         for share, cache, translate in itertools.product(
@@ -154,6 +169,7 @@ def full_matrix() -> tuple:
         cells.append(Cell(config, tier="interp"))
         cells.append(Cell(config, pic="on"))
         cells.append(Cell(config, translate="forced", pic="on"))
+        cells.append(Cell(config, world="fork"))
     return tuple(cells)
 
 
@@ -163,7 +179,7 @@ def cells_for_program(program: Program, index: int,
 
     Sampling walks the full matrix with stride 1 from an offset derived
     from ``index``, so a run of N programs covers every cell roughly
-    ``N * per_program / 60`` times while each single program stays
+    ``N * per_program / 64`` times while each single program stays
     cheap.  Cells the program excludes (``static`` for dynamic-only
     programs) are skipped, not replaced.
     """
@@ -268,6 +284,18 @@ class Oracle:
         #: obs metrics aggregated across every measured cell run
         self.metrics = MetricsRegistry()
         self._cache_serial = 0
+        #: warm world shared by every ``world=fork`` cell (bootstrapped
+        #: lazily, forked per run — the zygote itself never executes a
+        #: probe, so no cell can pollute another through it)
+        self._zygote: Optional[World] = None
+
+    def _guest_world(self, cell: Cell) -> World:
+        """The world a measured cell runs in (fresh or zygote-forked)."""
+        if cell.world == "fork":
+            if self._zygote is None:
+                self._zygote = World("fuzz-zygote")
+            return self._zygote.fork()
+        return World()
 
     # -- reference ----------------------------------------------------------
 
@@ -350,7 +378,7 @@ class Oracle:
 
     def _execute(self, program: Program, cell: Cell):
         """Build a world+runtime under the current env and run through."""
-        world = World()
+        world = self._guest_world(cell)
         world.add_slots(program.setup_source)
         runtime = Runtime(world, PRESETS[cell.config])
         for src in program.probe_sources:
@@ -361,7 +389,7 @@ class Oracle:
                  expected: list) -> CellReport:
         armed = faults.ENABLED
         try:
-            world = World()
+            world = self._guest_world(cell)
             world.add_slots(program.setup_source)
             runtime = Runtime(world, PRESETS[cell.config])
         except CompileTimeout as err:

@@ -140,6 +140,16 @@ class CompileTimeout(ReproInternalError):
         super().__init__(f"compilation watchdog expired ({reason})")
 
 
+class DeadlineExceeded(ReproInternalError):
+    """An execution budget expired (wall clock or fuel) while guest code
+    was running; the serving supervisor kills the request and resets the
+    tenant runtime's frame stack."""
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
+        super().__init__(f"execution deadline exceeded ({reason})")
+
+
 class InjectedFault(ReproInternalError):
     """A fault deliberately raised by :mod:`repro.robustness.faults`.
 

@@ -205,6 +205,47 @@ class Map:
         merged[name] = replacement
         return Map(self.name, merged.values(), kind=self.kind)
 
+    def forked(self, clone_value, register) -> "Map":
+        """Return this map's twin for a forked universe.
+
+        The twin gets a fresh ``map_id`` (compiled code and inline
+        caches key on map identity, so two universes must never share
+        one) and fresh, empty lookup caches.  ``clone_value`` maps a
+        constant slot value into the forked universe; a :class:`Slot`
+        whose value clones to itself (immutable values: ints, strings,
+        methods) is shared outright.  ``register`` is called with the
+        twin *before* any slot value is cloned so cyclic constant
+        graphs (the lobby names itself) terminate.
+        """
+        twin = Map.__new__(Map)
+        twin.map_id = next(_map_ids)
+        twin.name = self.name
+        twin.kind = self.kind
+        twin.slots = {}
+        twin.data_size = self.data_size
+        twin._parent_slots = ()
+        twin._lookup_cache = {}
+        twin._lookup_deps = {}
+        twin._cache_epoch = -1
+        register(twin)
+        for name, slot in self.slots.items():
+            if slot.kind == CONSTANT:
+                cloned = clone_value(slot.value)
+                if cloned is slot.value:
+                    twin.slots[name] = slot
+                else:
+                    twin.slots[name] = Slot(
+                        name, CONSTANT, value=cloned, is_parent=slot.is_parent
+                    )
+            else:
+                # Data/assignment/argument slots carry only offsets —
+                # immutable descriptors, safely shared across universes.
+                twin.slots[name] = slot
+        twin._parent_slots = tuple(
+            s for s in twin.slots.values() if s.is_parent
+        )
+        return twin
+
     # -- queries -------------------------------------------------------------
 
     def own_slot(self, name: str) -> Optional[Slot]:

@@ -100,6 +100,13 @@ class FaultPlan:
     #: fire on *every* hit from the nth onward (models a persistent
     #: defect rather than a transient one)
     persistent: bool = False
+    #: restrict the plan to one universe: hits outside the scope are
+    #: neither counted nor fired, so the nth-hit position is counted in
+    #: the target tenant's own hit stream and another tenant's traffic
+    #: can never consume (or trip) a fault aimed elsewhere.  The scope
+    #: is selected with :func:`scoped_to`; "" means unscoped (ambient
+    #: behavior, every hit counts).
+    scope: str = ""
 
     def __post_init__(self) -> None:
         if self.site not in ALL_SITES:
@@ -182,6 +189,31 @@ class _FaultState:
 
 _STATE: Optional[_FaultState] = None
 
+#: which universe's execution is currently on the stack (set by the
+#: serving supervisor around each tenant request); "" = no scope active
+_ACTIVE_SCOPE = ""
+
+
+def current_scope() -> str:
+    return _ACTIVE_SCOPE
+
+
+@contextmanager
+def scoped_to(universe_id: str):
+    """Attribute every fault-site hit inside the block to one tenant.
+
+    Scoped plans (``FaultPlan.scope``) only see hits made under a
+    matching scope; unscoped plans are unaffected.  Nests (restores the
+    previous scope on exit) so a supervisor can wrap nested runs.
+    """
+    global _ACTIVE_SCOPE
+    previous = _ACTIVE_SCOPE
+    _ACTIVE_SCOPE = universe_id
+    try:
+        yield
+    finally:
+        _ACTIVE_SCOPE = previous
+
 
 def install(plans: Iterable[FaultPlan]) -> None:
     """Arm the given plans (replacing any previous installation)."""
@@ -239,6 +271,8 @@ def hit(site: str) -> bool:
         return False
     plan = state.plans.get(site)
     if plan is None:
+        return False
+    if plan.scope and plan.scope != _ACTIVE_SCOPE:
         return False
     count = state.counters.get(site, 0) + 1
     state.counters[site] = count

@@ -245,9 +245,12 @@ def fire(universe, keys: Iterable[tuple], reason: str = "mutation") -> int:
                     runtime._retired_live.append(frame.code)
         n_retired = retired_per_runtime.get(id(runtime), 0)
         if live or n_retired:
+            # min(), not next(): target collection order follows the
+            # registry's id-keyed sets, which vary with host address
+            # layout — the recovery log must not.
             selector = (
                 retired_codes[id(live[0].code)].selector if live
-                else next(
+                else min(
                     t.selector for t in code_targets
                     if t.runtime_ref() is runtime
                 )

@@ -76,13 +76,16 @@ class RecoveryLog:
     ``tier-degrade`` trace event; the log itself stays deterministic.
     """
 
-    def __init__(self, tracer=None, limit: int = 0) -> None:
+    def __init__(self, tracer=None, limit: int = 0, scope: str = "") -> None:
         self.limit = limit if limit > 0 else limit_from_env()
         self.events: deque[RecoveryEvent] = deque(maxlen=self.limit)
         #: every event ever recorded (monotonic; unaffected by the ring)
         self.total = 0
         #: events evicted from the ring (total - len(events))
         self.dropped = 0
+        #: the owning universe's id — every record this log emits is
+        #: attributable to exactly one tenant (empty = unscoped)
+        self.scope = scope
         if tracer is None:
             from ..obs.trace import NULL_TRACER
 
@@ -150,6 +153,16 @@ class RecoveryLog:
     def to_records(self) -> list[dict]:
         """JSON-serializable form (for reports and the bench harness)."""
         return [e.to_record() for e in self.events]
+
+    def to_scoped_records(self) -> list[dict]:
+        """Like :meth:`to_records`, with the owning universe stamped on
+        every record — a multi-tenant report can merge logs from many
+        runtimes without losing attribution.  Separate from
+        :meth:`to_records` so single-tenant record streams stay
+        bit-identical across runs regardless of universe numbering."""
+        return [
+            dict(e.to_record(), universe=self.scope) for e in self.events
+        ]
 
     def summary(self) -> dict[str, int]:
         """Degradation counts keyed by ``from_tier->to_tier``.

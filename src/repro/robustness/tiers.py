@@ -106,6 +106,80 @@ def default_watchdog() -> Watchdog:
 
 
 # ---------------------------------------------------------------------------
+# The execution budget (the watchdog, generalized to guest execution)
+# ---------------------------------------------------------------------------
+
+
+class ExecutionBudget:
+    """Wall-clock and modeled-fuel bound on one guest request.
+
+    The serving supervisor installs one of these on a tenant runtime
+    (``runtime.execution_budget``) before a request; the dispatch loop
+    calls :meth:`tick` at every frame switch with the modeled cycles
+    spent so far.  Fuel is checked on every tick; the (comparatively
+    expensive) monotonic-clock read only every ``_STRIDE`` ticks, so an
+    armed budget costs one integer compare per frame switch.
+
+    Granularity caveat: a body that loops without sending (pure
+    primitive arithmetic in one frame) only reaches a checkpoint when
+    it activates or returns — the fuel bound is exact per check, the
+    wall bound is best-effort at frame-switch granularity.
+    """
+
+    __slots__ = ("deadline", "fuel", "_ticks", "interp_spent")
+
+    _STRIDE = 64
+
+    def __init__(
+        self, seconds: Optional[float] = None, fuel: Optional[int] = None
+    ) -> None:
+        self.deadline = (
+            time.monotonic() + seconds if seconds is not None and seconds > 0
+            else None
+        )
+        #: modeled-cycle ceiling for the request (None = unbounded)
+        self.fuel = fuel
+        self._ticks = 0
+        #: fuel charged by interpreter-tier sends (see :meth:`charge`)
+        self.interp_spent = 0
+
+    def tick(self, cycles_spent: int) -> None:
+        from ..objects.errors import DeadlineExceeded
+
+        if self.fuel is not None and cycles_spent > self.fuel:
+            raise DeadlineExceeded(f"fuel ({cycles_spent} > {self.fuel} cycles)")
+        if self.deadline is not None:
+            self._ticks += 1
+            if self._ticks >= self._STRIDE:
+                self._ticks = 0
+                if time.monotonic() > self.deadline:
+                    raise DeadlineExceeded("wall clock")
+
+    def charge(self, toll: int, base_cycles: int) -> None:
+        """Interpreter-tier accounting: the AST tier never advances the
+        runtime's modeled cycle counter, so without this a body fully
+        degraded to the interpreter would burn fuel invisibly.  Each
+        dynamic send pays a flat toll (:data:`INTERP_SEND_FUEL`) on top
+        of whatever VM cycles (``base_cycles``) the request has already
+        spent."""
+        self.interp_spent += toll
+        self.tick(base_cycles + self.interp_spent)
+
+    def expired(self) -> bool:
+        """Non-raising probe (used by the supervisor after a kill)."""
+        return (
+            self.deadline is not None and time.monotonic() > self.deadline
+        )
+
+
+#: fuel charged per interpreter-tier dynamic send.  Deliberately steep
+#: relative to a compiled send: the AST tier also nests host stack
+#: frames per activation, so the budget must bind well before the host
+#: recursion limit does.
+INTERP_SEND_FUEL = 64
+
+
+# ---------------------------------------------------------------------------
 # The ladder
 # ---------------------------------------------------------------------------
 
@@ -278,6 +352,12 @@ class TierInterpreter(Interpreter):
     def __init__(self, runtime) -> None:
         super().__init__(runtime.universe, runtime.world.lobby)
         self.runtime = runtime
+
+    def send(self, receiver, selector, args=()):
+        budget = self.runtime.execution_budget
+        if budget is not None:
+            budget.charge(INTERP_SEND_FUEL, self.runtime.cycles)
+        return super().send(receiver, selector, args)
 
     def call_block(self, block, args):
         if isinstance(block.home, Activation):

@@ -1,0 +1,51 @@
+"""Multi-tenant serving: one warm zygote world, many isolated tenants.
+
+``python -m repro.serve`` hosts a long-running VM service.  The design
+stacks three robustness layers on top of the execution ladder:
+
+* **Zygote fork** (:mod:`.zygote`) — one world is bootstrapped warm,
+  then every tenant is admitted as a cheap memoized fork
+  (:meth:`repro.world.bootstrap.World.fork`) instead of a cold
+  bootstrap.  The persistent code cache is shared read-only across
+  tenants (:class:`repro.compiler.codecache.ReadOnlyCodeCache`), and
+  every map in a fork has a fresh identity, so per-tenant invalidation
+  (:mod:`repro.world.deps`) retires only the mutating tenant's code.
+* **Supervision** (:mod:`.supervisor`) — each request runs under an
+  :class:`repro.robustness.tiers.ExecutionBudget` (wall-clock deadline
+  + modeled-cycle fuel), with retry-with-backoff for transient injected
+  faults and a per-tenant circuit breaker that quarantines a tenant
+  after repeated internal failures.  Re-admission after quarantine
+  discards the suspect universe and forks a fresh one from the zygote.
+* **Graceful degradation** (:mod:`.service`) — admission is a bounded
+  queue that sheds load with a typed response instead of erroring, and
+  sustained depth flips every tenant runtime into overload mode
+  (:meth:`repro.vm.runtime.Runtime.set_degraded`): pessimistic
+  compiles, no sharing, no translation promotion — strictly less
+  compile work per request until the queue drains.
+
+Everything is observable through a ``serve.*`` metrics family plus
+per-tenant :class:`repro.obs.metrics.ScopedView` counters, and every
+tenant's :class:`repro.robustness.recovery.RecoveryLog` is scoped to
+its universe id.  The isolation proof lives in
+``repro.tools.serve_stress``: a clean tenant co-scheduled with a
+fault-injected one produces bit-identical results and modeled counters
+to a solo run.
+"""
+
+from .service import Request, Response, Service, ServiceConfig, Tenant
+from .supervisor import CircuitBreaker, Outcome, Supervisor, SupervisorPolicy
+from .zygote import Zygote, measure_fork_speedup
+
+__all__ = [
+    "CircuitBreaker",
+    "Outcome",
+    "Request",
+    "Response",
+    "Service",
+    "ServiceConfig",
+    "Supervisor",
+    "SupervisorPolicy",
+    "Tenant",
+    "Zygote",
+    "measure_fork_speedup",
+]

@@ -1,0 +1,172 @@
+"""CLI for the multi-tenant service: ``python -m repro.serve``.
+
+Modes:
+
+* ``--demo`` (default when stdin is a TTY) — admit a few tenants, run
+  a sample workload through the full supervision stack, print the
+  metrics snapshot.
+* ``--stdin`` — JSON-lines request loop: each input line is
+  ``{"tenant": "...", "source": "..."}``; each output line is the
+  response record.  A line ``{"cmd": "metrics"}`` emits the snapshot.
+* ``--bench-fork`` — measure zygote-fork vs. cold-bootstrap latency
+  (the ``serve-fork`` bench kind), optionally appending to
+  ``BENCH_history.jsonl`` and asserting a minimum speedup for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .service import Service, ServiceConfig
+from .supervisor import SupervisorPolicy
+from .zygote import measure_fork_speedup
+
+
+def _bench_fork(args: argparse.Namespace) -> int:
+    payload = measure_fork_speedup(boots=args.boots, forks=args.forks)
+    print(
+        "serve-fork: bootstrap {:.2f} ms, fork {:.3f} ms, speedup {:.1f}x"
+        .format(
+            payload["bootstrap_seconds"] * 1e3,
+            payload["fork_seconds"] * 1e3,
+            payload["fork_speedup"],
+        )
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.history:
+        from ..bench.history import append_history, format_delta
+
+        entry, previous = append_history(
+            args.history, "serve-fork",
+            {
+                "fork_speedup": payload["fork_speedup"],
+                "fork_seconds": payload["fork_seconds"],
+                "bootstrap_seconds": payload["bootstrap_seconds"],
+            },
+        )
+        print(format_delta(entry, previous))
+    if (
+        args.assert_fork_speedup is not None
+        and payload["fork_speedup"] < args.assert_fork_speedup
+    ):
+        print(
+            f"FAIL: fork speedup {payload['fork_speedup']:.1f}x below "
+            f"required {args.assert_fork_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _make_service(args: argparse.Namespace) -> Service:
+    return Service(
+        policy=SupervisorPolicy(
+            deadline_s=args.deadline_s,
+            fuel=args.fuel,
+            max_retries=args.max_retries,
+        ),
+        config=ServiceConfig(
+            max_queue_depth=args.max_queue_depth,
+            overload_threshold=args.overload_threshold,
+        ),
+    )
+
+
+def _demo(args: argparse.Namespace) -> int:
+    service = _make_service(args)
+    workload = [
+        ("alice", "3 + 4"),
+        ("bob", "10 * 10 + 1"),
+        ("alice", "3 < 4 ifTrue: [ 111 ] False: [ 222 ]"),
+        ("bob", "3 zork"),
+        ("carol", "1 + 2 + 3 + 4"),
+    ]
+    for tenant, source in workload:
+        response = service.call(tenant, source)
+        print(json.dumps(response.to_record(), sort_keys=True))
+    print(json.dumps(
+        {"metrics": service.metrics_snapshot()}, sort_keys=True
+    ))
+    return 0
+
+
+def _serve_stdin(args: argparse.Namespace) -> int:
+    service = _make_service(args)
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            message = json.loads(line)
+        except json.JSONDecodeError as error:
+            print(json.dumps({"status": "bad-request", "detail": str(error)}))
+            continue
+        if message.get("cmd") == "metrics":
+            print(json.dumps(
+                {"metrics": service.metrics_snapshot()}, sort_keys=True
+            ))
+            continue
+        tenant = message.get("tenant", "default")
+        source = message.get("source", "")
+        response = service.call(tenant, source)
+        print(json.dumps(response.to_record(), sort_keys=True))
+        sys.stdout.flush()
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Multi-tenant zygote VM service",
+    )
+    parser.add_argument(
+        "--bench-fork", action="store_true",
+        help="measure fork-vs-bootstrap latency and exit",
+    )
+    parser.add_argument(
+        "--boots", type=int, default=3,
+        help="cold bootstraps to sample (bench-fork)",
+    )
+    parser.add_argument(
+        "--forks", type=int, default=10,
+        help="zygote forks to sample (bench-fork)",
+    )
+    parser.add_argument(
+        "--history", default="",
+        help="append the bench result to this BENCH_history.jsonl",
+    )
+    parser.add_argument(
+        "--json", default="", help="write the bench payload to this file"
+    )
+    parser.add_argument(
+        "--assert-fork-speedup", type=float, default=None,
+        help="exit nonzero unless fork speedup meets this bound",
+    )
+    parser.add_argument(
+        "--demo", action="store_true", help="run the demo workload"
+    )
+    parser.add_argument(
+        "--stdin", action="store_true",
+        help="serve JSON-lines requests from stdin",
+    )
+    parser.add_argument("--deadline-s", type=float, default=None)
+    parser.add_argument("--fuel", type=int, default=None)
+    parser.add_argument("--max-retries", type=int, default=2)
+    parser.add_argument("--max-queue-depth", type=int, default=64)
+    parser.add_argument("--overload-threshold", type=int, default=32)
+    args = parser.parse_args(argv)
+
+    if args.bench_fork:
+        return _bench_fork(args)
+    if args.stdin:
+        return _serve_stdin(args)
+    return _demo(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

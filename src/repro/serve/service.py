@@ -1,0 +1,353 @@
+"""The multi-tenant service: admission, scheduling, degradation.
+
+One :class:`Service` owns a :class:`~.zygote.Zygote`, a bounded global
+admission queue, and a table of :class:`Tenant` records.  Scheduling is
+deliberately synchronous and FIFO — requests run in exactly the order
+they were admitted — because the tenant-isolation proof
+(``repro.tools.serve_stress``) compares a clean tenant's modeled
+counters bit-for-bit against a solo run, and any nondeterministic
+interleaving would make that comparison meaningless.  Hard isolation
+comes from the VM layers (forked universes, scoped faults, scoped
+recovery logs), not from the scheduler.
+
+Admission control, in order:
+
+1. **Shed** — a full queue (``max_queue_depth``) rejects the request
+   with a typed ``shed`` response instead of queueing or erroring;
+   queue depth stays bounded by construction.
+2. **Overload** — queue depth crossing ``overload_threshold`` flips
+   every tenant runtime into degraded mode
+   (:meth:`Runtime.set_degraded`): pessimistic compiles, sharing off,
+   translation promotion suppressed.  Hysteresis: overload ends only
+   once depth falls to half the threshold, and the runtimes then drop
+   their degraded bodies to reoptimize.
+3. **Quarantine** — the per-tenant circuit breaker (see
+   :mod:`.supervisor`) rejects requests from a tripped tenant with a
+   ``quarantined`` response; re-admission discards the tenant's
+   universe and forks a fresh one from the zygote (same universe id,
+   bumped ``generation``, so metrics keep aggregating per tenant).
+
+Everything lands in one :class:`~repro.obs.metrics.MetricsRegistry`:
+the ``serve.*`` family for service-level counters, and per-tenant
+:class:`ScopedView` families (``<universe-id>/vm.*`` …) collected from
+each runtime on :meth:`Service.metrics_snapshot`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from ..obs.metrics import MetricsRegistry, collect_runtime
+from ..vm.runtime import Runtime
+from .supervisor import (
+    CircuitBreaker,
+    DEADLINE,
+    GUEST_ERROR,
+    OK,
+    Supervisor,
+    SupervisorPolicy,
+)
+from .zygote import Zygote
+
+#: Response.status values beyond the supervisor outcomes
+SHED = "shed"
+QUARANTINED = "quarantined"
+
+
+@dataclass
+class ServiceConfig:
+    """Admission-control knobs."""
+
+    #: admission queue capacity; requests beyond it are shed
+    max_queue_depth: int = 64
+    #: queue depth at which overload mode begins (must be < capacity,
+    #: or the valve could never open before shedding starts)
+    overload_threshold: int = 32
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if not (0 < self.overload_threshold <= self.max_queue_depth):
+            raise ValueError(
+                "overload_threshold must be in 1..max_queue_depth"
+            )
+
+
+@dataclass(frozen=True)
+class Request:
+    """One admitted unit of guest work."""
+
+    request_id: int
+    tenant_id: str
+    source: str
+
+
+@dataclass
+class Response:
+    """What the service says about one request."""
+
+    request_id: int
+    tenant_id: str
+    #: ok | error | deadline | fault | shed | quarantined
+    status: str
+    #: printed form of the result (ok only)
+    value: Optional[str] = None
+    #: guest output captured during the request (ok / error)
+    output: str = ""
+    error_kind: str = ""
+    detail: str = ""
+    retries: int = 0
+    #: which incarnation of the tenant served this (bumps on re-admission)
+    generation: int = 0
+
+    def to_record(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "tenant": self.tenant_id,
+            "status": self.status,
+            "value": self.value,
+            "output": self.output,
+            "error_kind": self.error_kind,
+            "detail": self.detail,
+            "retries": self.retries,
+            "generation": self.generation,
+        }
+
+
+@dataclass
+class Tenant:
+    """One admitted tenant: a forked runtime plus its breaker."""
+
+    tenant_id: str
+    runtime: Runtime
+    breaker: CircuitBreaker
+    #: incremented each time quarantine re-admission replaces the
+    #: universe with a fresh fork.  The universe id stays equal to the
+    #: tenant id across generations so scoped metrics, fault plans, and
+    #: recovery records keep addressing the same tenant.
+    generation: int = 0
+    requests_served: int = 0
+
+    @property
+    def quarantined(self) -> bool:
+        return self.breaker.open
+
+
+class Service:
+    """The long-running multi-tenant host."""
+
+    def __init__(
+        self,
+        zygote: Optional[Zygote] = None,
+        policy: Optional[SupervisorPolicy] = None,
+        config: Optional[ServiceConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tenant_setup: tuple = (),
+    ) -> None:
+        self.zygote = zygote or Zygote()
+        self.policy = policy or SupervisorPolicy()
+        self.config = config or ServiceConfig()
+        self.registry = registry or MetricsRegistry()
+        #: slot-declaration sources applied to every tenant fork (the
+        #: tenant "image"); applied again on quarantine re-admission so
+        #: a re-admitted tenant comes back with its methods intact
+        self.tenant_setup = tuple(tenant_setup)
+        self.supervisor = Supervisor(self.policy)
+        self.tenants: dict[str, Tenant] = {}
+        self.queue: deque[Request] = deque()
+        self.overloaded = False
+        self._request_ids = itertools.count(1)
+
+    # -- tenants ----------------------------------------------------------
+
+    def tenant(self, tenant_id: str) -> Tenant:
+        """The tenant record, forked from the zygote on first contact."""
+        tenant = self.tenants.get(tenant_id)
+        if tenant is None:
+            tenant = Tenant(
+                tenant_id=tenant_id,
+                runtime=self._fork_runtime(tenant_id),
+                breaker=CircuitBreaker(
+                    self.policy.failure_threshold,
+                    self.policy.quarantine_requests,
+                ),
+            )
+            self.tenants[tenant_id] = tenant
+            self.registry.counter("serve.tenants").inc()
+        return tenant
+
+    def _fork_runtime(self, tenant_id: str) -> Runtime:
+        runtime = self.zygote.make_runtime(tenant_id)
+        for source in self.tenant_setup:
+            runtime.world.add_slots(source)
+        self.registry.counter("serve.forks").inc()
+        if self.overloaded:
+            # Born into overload: start degraded like everyone else.
+            runtime.set_degraded(True)
+        return runtime
+
+    def _readmit(self, tenant: Tenant) -> None:
+        """Replace a quarantined tenant's universe with a fresh fork."""
+        old = tenant.runtime
+        old.kill_frames()
+        old.universe.runtimes.discard(old)
+        tenant.runtime = self._fork_runtime(tenant.tenant_id)
+        tenant.generation += 1
+        self.registry.counter("serve.readmissions").inc()
+
+    # -- admission --------------------------------------------------------
+
+    def submit(self, tenant_id: str, source: str) -> Optional[Response]:
+        """Admit one request.
+
+        Returns a ``shed`` response when the queue is full, else None
+        (the request is queued; its response comes from :meth:`drain`
+        or :meth:`run_once`).
+        """
+        metrics = self.registry
+        metrics.counter("serve.requests").inc()
+        request_id = next(self._request_ids)
+        if len(self.queue) >= self.config.max_queue_depth:
+            metrics.counter("serve.shed").inc()
+            return Response(
+                request_id=request_id,
+                tenant_id=tenant_id,
+                status=SHED,
+                detail=(
+                    f"admission queue full "
+                    f"(depth {len(self.queue)})"
+                ),
+            )
+        self.queue.append(Request(request_id, tenant_id, source))
+        self._update_overload()
+        return None
+
+    def _update_overload(self) -> None:
+        depth = len(self.queue)
+        metrics = self.registry
+        metrics.gauge("serve.queue_depth").set(depth)
+        if not self.overloaded and depth >= self.config.overload_threshold:
+            self.overloaded = True
+            metrics.counter("serve.overload_entered").inc()
+            for tenant in self.tenants.values():
+                tenant.runtime.set_degraded(True)
+        elif self.overloaded and depth <= self.config.overload_threshold // 2:
+            self.overloaded = False
+            metrics.counter("serve.overload_exited").inc()
+            for tenant in self.tenants.values():
+                tenant.runtime.set_degraded(False)
+
+    # -- execution --------------------------------------------------------
+
+    def run_once(self) -> Optional[Response]:
+        """Serve the oldest queued request (None when idle)."""
+        if not self.queue:
+            return None
+        request = self.queue.popleft()
+        self._update_overload()
+        return self._process(request)
+
+    def drain(self) -> list[Response]:
+        """Serve everything queued, FIFO."""
+        responses = []
+        while self.queue:
+            response = self.run_once()
+            if response is not None:
+                responses.append(response)
+        return responses
+
+    def call(self, tenant_id: str, source: str) -> Response:
+        """Submit + serve immediately (the simple synchronous API)."""
+        shed = self.submit(tenant_id, source)
+        if shed is not None:
+            return shed
+        response = self.run_once()
+        assert response is not None
+        return response
+
+    def _process(self, request: Request) -> Response:
+        metrics = self.registry
+        tenant = self.tenant(request.tenant_id)
+        gate = tenant.breaker.admit()
+        if gate == CircuitBreaker.REJECT:
+            metrics.counter("serve.quarantine_rejections").inc()
+            return Response(
+                request_id=request.request_id,
+                tenant_id=tenant.tenant_id,
+                status=QUARANTINED,
+                detail=(
+                    f"tenant quarantined "
+                    f"({tenant.breaker.cooldown} admissions remaining)"
+                ),
+                generation=tenant.generation,
+            )
+        if gate == CircuitBreaker.READMIT:
+            self._readmit(tenant)
+        runtime = tenant.runtime
+        outcome = self.supervisor.run(
+            runtime, lambda: runtime.run(request.source)
+        )
+        tenant.requests_served += 1
+        if outcome.retries:
+            metrics.counter("serve.retries").inc(outcome.retries)
+        if outcome.status == OK:
+            tenant.breaker.record_success()
+            metrics.counter("serve.completed").inc()
+            value = runtime.universe.print_string(outcome.value)
+        else:
+            value = None
+            if outcome.status == GUEST_ERROR:
+                # The tenant's own bug: a normal response, never a
+                # breaker strike (bad guest code can't self-quarantine).
+                metrics.counter("serve.guest_errors").inc()
+            else:
+                metrics.counter(
+                    "serve.deadline_exceeded"
+                    if outcome.status == DEADLINE
+                    else "serve.faults"
+                ).inc()
+                if tenant.breaker.record_failure():
+                    metrics.counter("serve.quarantines").inc()
+        return Response(
+            request_id=request.request_id,
+            tenant_id=tenant.tenant_id,
+            status=outcome.status,
+            value=value,
+            output=runtime.universe.take_output(),
+            error_kind=outcome.error_kind,
+            detail=outcome.detail,
+            retries=outcome.retries,
+            generation=tenant.generation,
+        )
+
+    # -- observability ----------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """Service counters plus every tenant's scoped runtime metrics.
+
+        Runtime counters are cumulative, so each snapshot collects them
+        into a *fresh* registry scoped per universe id — repeated
+        snapshots never double-count.  The ``serve.*`` family (owned by
+        this service's registry) is merged in as-is.
+        """
+        per_tenant = MetricsRegistry()
+        for tenant in self.tenants.values():
+            collect_runtime(
+                per_tenant.scoped(tenant.runtime.universe.universe_id),
+                tenant.runtime,
+            )
+        snapshot = self.registry.snapshot()
+        snapshot.update(per_tenant.snapshot())
+        return snapshot
+
+    def recovery_records(self) -> list[dict]:
+        """Every tenant's recovery log, universe-stamped, in tenant order."""
+        records = []
+        for tenant_id in sorted(self.tenants):
+            records.extend(
+                self.tenants[tenant_id].runtime.recovery.to_scoped_records()
+            )
+        return records

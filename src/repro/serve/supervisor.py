@@ -1,0 +1,226 @@
+"""Per-request supervision: deadlines, fuel, retries, circuit breaking.
+
+The supervisor generalizes the PR 2 compile watchdog from "one compile
+may not run away" to "one *request* may not run away": every request
+executes under an :class:`~repro.robustness.tiers.ExecutionBudget`
+(wall-clock deadline + modeled-cycle fuel) checked by the dispatch loop
+at frame-switch granularity.  A blown budget raises
+:class:`~repro.objects.errors.DeadlineExceeded`, which propagates out
+of the loop *without* unwinding the frame stack — the supervisor calls
+:meth:`Runtime.kill_frames` so the tenant runtime is reusable for the
+next request (and any closure that captured a killed activation gets
+``NonLocalReturnFromDeadActivation``, not a wild resume).
+
+Failure taxonomy, coarsest cut first:
+
+* **guest errors** (:class:`~repro.objects.errors.SelfError`) — the
+  tenant's own bug (doesNotUnderstand, primitive failure…).  Returned
+  as an ``error`` outcome; never retried, never counted against the
+  circuit breaker — a tenant cannot quarantine itself by writing bad
+  guest code.
+* **deadlines** (:class:`DeadlineExceeded`) — deterministic given the
+  fuel bound, so retrying is pointless; returned as ``deadline`` and
+  counted as a failure (a tenant that *keeps* blowing its budget is
+  quarantined).
+* **internal faults** (:class:`~repro.objects.errors.ReproInternalError`,
+  notably :class:`InjectedFault` escaping a containment seam) —
+  presumed transient: retried up to ``max_retries`` times with
+  exponential backoff (a transient nth-hit fault does not re-fire, so
+  the retry normally succeeds).  Exhausted retries return ``fault`` and
+  count against the breaker.
+
+The :class:`CircuitBreaker` trips after ``failure_threshold``
+*consecutive* failures; a tripped tenant's requests are rejected for
+the next ``quarantine_requests`` admission attempts (a deterministic
+countdown — no wall clock, so the stress harness can replay it), after
+which the service re-admits the tenant on a **fresh zygote fork**,
+discarding whatever state the faults may have corrupted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..objects.errors import (
+    DeadlineExceeded,
+    ReproInternalError,
+    SelfError,
+)
+from ..robustness import faults
+from ..robustness.tiers import ExecutionBudget
+
+#: Outcome.status values
+OK = "ok"
+GUEST_ERROR = "error"
+DEADLINE = "deadline"
+FAULT = "fault"
+
+
+@dataclass
+class SupervisorPolicy:
+    """Knobs for one service's supervision (shared by all tenants)."""
+
+    #: per-request wall-clock deadline in seconds (None = unbounded)
+    deadline_s: Optional[float] = None
+    #: per-request modeled-cycle fuel (None = unbounded).  Fuel is the
+    #: deterministic budget: the same request blows it at the same
+    #: cycle on every run, which the isolation proof relies on.
+    fuel: Optional[int] = None
+    #: additional attempts after a transient internal fault
+    max_retries: int = 2
+    #: backoff base in seconds (attempt n sleeps base * 2**n); the
+    #: default 0.0 keeps tests and the stress harness instant
+    backoff_base_s: float = 0.0
+    #: consecutive failures before the breaker trips
+    failure_threshold: int = 3
+    #: admission attempts a quarantined tenant sits out before being
+    #: re-admitted on a fresh fork
+    quarantine_requests: int = 2
+
+
+@dataclass
+class Outcome:
+    """What supervised execution of one request produced."""
+
+    status: str
+    value: object = None
+    error_kind: str = ""
+    detail: str = ""
+    retries: int = 0
+    killed_frames: int = 0
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker for one tenant.
+
+    Deliberately clockless: quarantine is measured in *admission
+    attempts*, not seconds, so breaker behavior is bit-reproducible
+    under the chaos seed matrix.
+    """
+
+    __slots__ = (
+        "failure_threshold", "quarantine_requests",
+        "consecutive_failures", "open", "cooldown", "trips",
+    )
+
+    def __init__(
+        self, failure_threshold: int, quarantine_requests: int
+    ) -> None:
+        self.failure_threshold = max(1, failure_threshold)
+        self.quarantine_requests = max(1, quarantine_requests)
+        self.consecutive_failures = 0
+        self.open = False
+        self.cooldown = 0
+        self.trips = 0
+
+    ADMIT = "admit"
+    REJECT = "reject"
+    READMIT = "readmit"
+
+    def admit(self) -> str:
+        """Gate one admission attempt.
+
+        ``admit`` — closed, run normally; ``reject`` — quarantined,
+        shed this request; ``readmit`` — quarantine served, the caller
+        must rebuild the tenant on a fresh fork and then run.
+        """
+        if not self.open:
+            return self.ADMIT
+        if self.cooldown > 0:
+            self.cooldown -= 1
+            return self.REJECT
+        self.open = False
+        return self.READMIT
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+
+    def record_failure(self) -> bool:
+        """Count one failure; returns True when this one trips the
+        breaker (the tenant enters quarantine)."""
+        self.consecutive_failures += 1
+        if self.consecutive_failures < self.failure_threshold:
+            return False
+        self.open = True
+        self.cooldown = self.quarantine_requests
+        self.trips += 1
+        self.consecutive_failures = 0
+        return True
+
+
+class Supervisor:
+    """Runs request thunks against tenant runtimes under the policy."""
+
+    __slots__ = ("policy",)
+
+    def __init__(self, policy: Optional[SupervisorPolicy] = None) -> None:
+        self.policy = policy or SupervisorPolicy()
+
+    def _budget(self, runtime) -> Optional[ExecutionBudget]:
+        policy = self.policy
+        if policy.deadline_s is None and policy.fuel is None:
+            return None
+        # Fuel is an absolute ceiling on runtime.cycles (the loop ticks
+        # with the running total), so arm it relative to where the
+        # tenant's counter stands now.
+        fuel = (
+            runtime.cycles + policy.fuel if policy.fuel is not None else None
+        )
+        return ExecutionBudget(seconds=policy.deadline_s, fuel=fuel)
+
+    def run(self, runtime, thunk: Callable[[], object]) -> Outcome:
+        """Execute ``thunk`` (which drives ``runtime``) supervised.
+
+        Every fault-site hit inside the thunk is attributed to the
+        tenant's universe (:func:`faults.scoped_to`), so scoped fault
+        plans aimed at one tenant can never fire from — or have their
+        nth-hit position consumed by — another tenant's traffic.
+        """
+        policy = self.policy
+        retries = 0
+        while True:
+            runtime.execution_budget = self._budget(runtime)
+            try:
+                with faults.scoped_to(runtime.universe.universe_id):
+                    value = thunk()
+            except DeadlineExceeded as error:
+                killed = runtime.kill_frames()
+                return Outcome(
+                    DEADLINE,
+                    error_kind=type(error).__name__,
+                    detail=str(error),
+                    retries=retries,
+                    killed_frames=killed,
+                )
+            except (ReproInternalError, RecursionError) as error:
+                # RecursionError: guest recursion on the interpreter
+                # tier nests host frames; if it outruns the fuel toll
+                # it is still an internal fault, not a crash.
+                killed = runtime.kill_frames()
+                if retries < policy.max_retries:
+                    if policy.backoff_base_s > 0:
+                        time.sleep(policy.backoff_base_s * (2 ** retries))
+                    retries += 1
+                    continue
+                return Outcome(
+                    FAULT,
+                    error_kind=type(error).__name__,
+                    detail=str(error),
+                    retries=retries,
+                    killed_frames=killed,
+                )
+            except SelfError as error:
+                killed = runtime.kill_frames()
+                return Outcome(
+                    GUEST_ERROR,
+                    error_kind=type(error).__name__,
+                    detail=str(error),
+                    retries=retries,
+                    killed_frames=killed,
+                )
+            else:
+                return Outcome(OK, value=value, retries=retries)
+            finally:
+                runtime.execution_budget = None

@@ -1,0 +1,341 @@
+"""Differential tenant-isolation chaos harness for the serve layer.
+
+The claim under test: a tenant sharing a :class:`~repro.serve.Service`
+with a fault-injected, budget-blowing, quarantine-cycling neighbor
+behaves **bit-identically** to the same tenant served alone.  Three
+runs, one comparison:
+
+1. **solo** — a fresh service hosts only the *clean* tenant, which
+   runs the seeded workload (grammar probes + world mutations from
+   :func:`repro.fuzz.gen.stress_kit`).  Every response and the final
+   modeled counters are recorded.
+2. **mixed** — a fresh service hosts the clean tenant *and* a *faulty*
+   tenant, round-robin interleaved on the same workload.  The faulty
+   tenant additionally runs periodic bursts of a fuel-hog request
+   (deterministic :class:`DeadlineExceeded` failures that trip the
+   circuit breaker, exercise quarantine, and force re-admission on a
+   fresh zygote fork), under seeded fault plans **scoped to its
+   universe** at the compile-pipeline sites.
+3. **mixed again** — same seed, to prove the quarantine machinery
+   itself (trip points, rejection counts, re-admissions, per-request
+   statuses) is deterministic.
+
+Pass criteria (exit 0):
+
+* clean tenant's per-request results in the mixed run == solo run;
+* clean tenant's modeled counters (cycles, instructions, code bytes,
+  compiles, IC hits/misses/megamorphic) == solo run;
+* the zygote world is untouched (lookup epoch unchanged) in both runs;
+* every recovery record carries the right universe stamp, and the
+  clean tenant logged the same degradations as solo;
+* the faulty tenant actually failed, tripped quarantine, and was
+  re-admitted (the run proves something), all bit-identically across
+  the two mixed runs.
+
+On success a JSON summary (quarantine/readmission/recovery counts) is
+written for the CI ``serve-chaos`` job to upload; any violation prints
+the difference and exits nonzero.
+
+Usage::
+
+    python -m repro.tools.serve_stress --seed 3 --requests 60 \
+        --summary serve-stress-3.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+
+from ..fuzz.gen import stress_kit
+from ..robustness import faults
+from ..robustness.faults import FaultPlan, derived_nth
+from ..serve import Service, ServiceConfig, SupervisorPolicy
+
+CLEAN = "clean"
+FAULTY = "faulty"
+
+_KIT = stress_kit()
+SETUP = _KIT.setup_source
+PROBES = tuple(probe.render() for probe in _KIT.probes)
+
+#: the fuel hog: recursion (one activation per step, so the budget's
+#: frame-switch checkpoint fires) whose modeled cycle count dwarfs the
+#: per-request fuel, making the supervisor's DeadlineExceeded
+#: deterministic — fuel is modeled cycles, not wall clock.  A flat
+#: ``whileTrue:`` loop would be inlined into one frame and only reach
+#: a checkpoint on return (the granularity caveat on ExecutionBudget).
+HOG_SETUP = """
+| hog = (| parent* = traits clonable.
+    burn: n = ( n < 1 ifTrue: [ 0 ] False: [ n + (burn: n - 1) ] ). |).
+|"""
+HOG = "hog burn: 3000"
+
+#: per-request modeled-cycle fuel; comfortably above every probe,
+#: comfortably below the hog — including a hog degraded to the
+#: interpreter tier, whose INTERP_SEND_FUEL toll must exhaust this
+#: well before the host recursion limit is anywhere near
+FUEL = 10_000
+
+#: compile-pipeline sites armed against the faulty tenant (raise mode:
+#: the tier ladder contains each fire and logs a recovery event)
+FAULT_SITES = (
+    faults.SITE_COMPILER_ENGINE,
+    faults.SITE_VM_CODEGEN,
+    faults.SITE_VM_PREDECODE,
+)
+
+
+def fault_plans(seed: int) -> list:
+    """Seeded plans, every one scoped to the faulty tenant's universe."""
+    return [
+        FaultPlan(
+            site=site,
+            mode="raise",
+            nth=derived_nth(site, seed),
+            persistent=bool((seed + index) % 2),
+            scope=FAULTY,
+        )
+        for index, site in enumerate(FAULT_SITES)
+    ]
+
+
+def build_workload(requests: int, seed: int) -> list:
+    """Deterministic request stream: probes with mutations mixed in."""
+    rng = random.Random(seed)
+    mutations = _KIT.mutation_stream(rng)
+    sources = []
+    for _ in range(requests):
+        sources.append(PROBES[rng.randrange(len(PROBES))])
+        if rng.random() < 0.25:
+            sources.append(next(mutations))
+    return sources
+
+
+def _response_key(response) -> tuple:
+    return (
+        response.status,
+        response.value,
+        response.output,
+        response.error_kind,
+        response.detail,
+    )
+
+
+def _modeled_counters(runtime) -> dict:
+    return {
+        "cycles": runtime.cycles,
+        "instructions": runtime.instructions,
+        "code_bytes": runtime.code_bytes,
+        "methods_compiled": runtime.methods_compiled,
+        "send_hits": runtime.send_hits,
+        "send_misses": runtime.send_misses,
+        "send_megamorphic": runtime.send_megamorphic,
+    }
+
+
+def _make_service(seed: int) -> Service:
+    return Service(
+        policy=SupervisorPolicy(
+            fuel=FUEL,
+            max_retries=2,
+            backoff_base_s=0.0,
+            failure_threshold=3,
+            quarantine_requests=2,
+        ),
+        config=ServiceConfig(max_queue_depth=64, overload_threshold=32),
+        tenant_setup=(SETUP, HOG_SETUP),
+    )
+
+
+def run_solo(sources: list, seed: int) -> dict:
+    service = _make_service(seed)
+    epoch_before = service.zygote.world.universe.lookup_epoch
+    results = [_response_key(service.call(CLEAN, s)) for s in sources]
+    runtime = service.tenants[CLEAN].runtime
+    return {
+        "results": results,
+        "counters": _modeled_counters(runtime),
+        "recovery": runtime.recovery.to_records(),
+        "zygote_epoch_delta": (
+            service.zygote.world.universe.lookup_epoch - epoch_before
+        ),
+    }
+
+
+def run_mixed(sources: list, seed: int) -> dict:
+    service = _make_service(seed)
+    # Materialize both tenants before arming faults: forks and tenant
+    # setup are admission-time work, not supervised guest execution.
+    service.tenant(CLEAN)
+    service.tenant(FAULTY)
+    epoch_before = service.zygote.world.universe.lookup_epoch
+    ambient = faults.installed_plans()
+    faults.install(fault_plans(seed))
+    clean_results = []
+    faulty_results = []
+    try:
+        for index, source in enumerate(sources):
+            clean_results.append(_response_key(service.call(CLEAN, source)))
+            # Bursts of three consecutive hogs trip the breaker
+            # (failure_threshold=3); everything else mirrors the
+            # clean tenant's stream.
+            faulty_source = HOG if index % 10 in (4, 5, 6) else source
+            faulty_results.append(
+                _response_key(service.call(FAULTY, faulty_source))
+            )
+    finally:
+        faults.install(ambient)
+    clean_runtime = service.tenants[CLEAN].runtime
+    faulty = service.tenants[FAULTY]
+    snapshot = service.metrics_snapshot()
+    return {
+        "results": clean_results,
+        "counters": _modeled_counters(clean_runtime),
+        "recovery": clean_runtime.recovery.to_records(),
+        "zygote_epoch_delta": (
+            service.zygote.world.universe.lookup_epoch - epoch_before
+        ),
+        "faulty_results": faulty_results,
+        "faulty_statuses": [r[0] for r in faulty_results],
+        "faulty_recovery": faulty.runtime.recovery.to_scoped_records(),
+        "clean_recovery_scoped": clean_runtime.recovery.to_scoped_records(),
+        "faulty_generation": faulty.generation,
+        "breaker_trips": faulty.breaker.trips,
+        "serve_metrics": {
+            name: value
+            for name, value in snapshot.items()
+            if name.startswith("serve.")
+        },
+    }
+
+
+def run_stress(requests: int, seed: int) -> dict:
+    sources = build_workload(requests, seed)
+    solo = run_solo(sources, seed)
+    mixed = run_mixed(sources, seed)
+    mixed_again = run_mixed(sources, seed)
+
+    violations = []
+
+    def check(condition: bool, label: str, detail: str = "") -> None:
+        if not condition:
+            violations.append({"check": label, "detail": detail})
+
+    for index, (a, b) in enumerate(zip(solo["results"], mixed["results"])):
+        if a != b:
+            check(
+                False, "clean-results-identical",
+                f"request {index}: solo={a!r} mixed={b!r}",
+            )
+            break
+    check(
+        solo["counters"] == mixed["counters"],
+        "clean-counters-identical",
+        f"solo={solo['counters']} mixed={mixed['counters']}",
+    )
+    if solo["recovery"] != mixed["recovery"]:
+        diff = [
+            f"solo={a!r} mixed={b!r}"
+            for a, b in zip(solo["recovery"], mixed["recovery"])
+            if a != b
+        ]
+        check(
+            False, "clean-recovery-identical",
+            f"solo={len(solo['recovery'])} events, "
+            f"mixed={len(mixed['recovery'])} events; "
+            + "; ".join(diff[:3]),
+        )
+    check(
+        solo["zygote_epoch_delta"] == 0 and mixed["zygote_epoch_delta"] == 0,
+        "zygote-untouched",
+        f"solo delta={solo['zygote_epoch_delta']} "
+        f"mixed delta={mixed['zygote_epoch_delta']}",
+    )
+    check(
+        all(r["universe"] == CLEAN for r in mixed["clean_recovery_scoped"])
+        and all(r["universe"] == FAULTY for r in mixed["faulty_recovery"]),
+        "recovery-scope-stamps",
+    )
+    deadline_failures = mixed["faulty_statuses"].count("deadline")
+    check(
+        deadline_failures > 0,
+        "faulty-tenant-failed",
+        "no deadline failures: the hog never blew its fuel budget",
+    )
+    check(
+        mixed["breaker_trips"] > 0 and mixed["faulty_generation"] > 0,
+        "quarantine-exercised",
+        f"trips={mixed['breaker_trips']} "
+        f"readmissions={mixed['faulty_generation']}",
+    )
+    for key in (
+        "faulty_results", "faulty_generation", "breaker_trips",
+        "serve_metrics", "results", "counters",
+    ):
+        check(
+            mixed[key] == mixed_again[key],
+            "mixed-run-deterministic",
+            f"{key} differs between identically-seeded mixed runs",
+        )
+
+    status_counts: dict = {}
+    for status in mixed["faulty_statuses"]:
+        status_counts[status] = status_counts.get(status, 0) + 1
+    return {
+        "seed": seed,
+        "requests": len(sources),
+        "ok": not violations,
+        "violations": violations,
+        "clean_counters": solo["counters"],
+        "faulty_status_counts": status_counts,
+        "faulty_recovery_events": len(mixed["faulty_recovery"]),
+        "clean_recovery_events": len(mixed["recovery"]),
+        "breaker_trips": mixed["breaker_trips"],
+        "readmissions": mixed["faulty_generation"],
+        "serve_metrics": mixed["serve_metrics"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.serve_stress",
+        description="Differential tenant-isolation chaos harness",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--requests", type=int, default=60,
+        help="probe requests per tenant (mutations ride along)",
+    )
+    parser.add_argument(
+        "--summary", default="", help="write the JSON summary here"
+    )
+    args = parser.parse_args(argv)
+
+    summary = run_stress(args.requests, args.seed)
+    if args.summary:
+        with open(args.summary, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if summary["ok"]:
+        print(
+            "serve-stress seed {}: OK — {} requests, {} quarantine trips, "
+            "{} re-admissions, clean tenant bit-identical".format(
+                summary["seed"], summary["requests"],
+                summary["breaker_trips"], summary["readmissions"],
+            )
+        )
+        return 0
+    print(f"serve-stress seed {summary['seed']}: FAIL", file=sys.stderr)
+    for violation in summary["violations"]:
+        print(
+            f"  {violation['check']}: {violation.get('detail', '')}",
+            file=sys.stderr,
+        )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

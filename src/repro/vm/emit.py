@@ -213,12 +213,12 @@ class _Ctx:
     __slots__ = (
         "threaded", "counters", "universe", "lines", "depth",
         "paths", "_path_index", "guards", "alias", "live_in",
-        "profiling", "pic", "cur", "site_locals",
+        "profiling", "pic", "mru", "cur", "site_locals",
     )
 
     def __init__(self, threaded, counters: bool, universe=None,
                  live_in=None, profiling: bool = False,
-                 pic: bool = False) -> None:
+                 pic: bool = False, mru: bool = True) -> None:
         self.threaded = threaded
         self.counters = counters
         #: emit profiler tick hooks (activation ticks at the trampoline,
@@ -231,6 +231,12 @@ class _Ctx:
         #: pre-ladder emission (everything cold goes through
         #: ``_send_miss``) so modeled accounting stays bit-identical
         self.pic = pic
+        #: MRU promotion in lean sends (REPRO_PIC_MRU): a megamorphic-
+        #: table hit re-installs its row as the site's mono entry, so a
+        #: skewed receiver distribution rides the one-compare mono
+        #: probe between receiver changes instead of hashing the table
+        #: on every send.  Lean mode only; affects no modeled number.
+        self.mru = mru
         #: stream index of the instruction currently being emitted
         #: (maintained by emit_source's pass 1; a goto to ``<= cur`` is
         #: a backward branch)
@@ -842,6 +848,18 @@ def _send_core(c, insn, resume, base):
         site_obj = extract_constant(c.threaded, base + (7,))
         if getattr(site_obj, "mega", None) is not None:
             c.guard(base + (7,), site_obj)
+            if c.mru:
+                # MRU promotion keeps the mono probe even in
+                # table-first emission: the table hit below re-installs
+                # its row here, so a skewed distribution's dominant
+                # receiver pays one identity compare per send and the
+                # table is only consulted when the receiver changes.
+                c.w(f"if {site}.cached_map is _rm:")
+                c.depth += 1
+                c.w(f"_act = {site}.cached_action")
+                c.depth -= 1
+                c.w("else:")
+                c.depth += 1
             c.w(f"_mega = {site}.mega")
             c.w("if _mega is not None:")
             c.depth += 1
@@ -853,12 +871,22 @@ def _send_core(c, insn, resume, base):
             c.depth += 1
             c.w(f"frame.pc = {resume}")
             c.w(f"_act = _send_miss(vm, _recv, {site}, {insn_k})")
-            c.depth -= 2
+            c.depth -= 1
+            if c.mru:
+                c.w("else:")
+                c.depth += 1
+                c.w(f"{site}.cached_map_id = _rm.map_id")
+                c.w(f"{site}.cached_map = _rm")
+                c.w(f"{site}.cached_action = _act")
+                c.depth -= 1
+            c.depth -= 1
             c.w("else:")
             c.depth += 1
             c.w(f"frame.pc = {resume}")
             c.w(f"_act = _send_miss(vm, _recv, {site}, {insn_k})")
             c.depth -= 1
+            if c.mru:
+                c.depth -= 1
         else:
             c.w(f"if {site}.cached_map is _rm:")
             c.depth += 1
@@ -880,7 +908,16 @@ def _send_core(c, insn, resume, base):
             c.depth += 1
             c.w(f"frame.pc = {resume}")
             c.w(f"_act = _send_miss(vm, _recv, {site}, {insn_k})")
-            c.depth -= 2
+            c.depth -= 1
+            if c.mru:
+                # MRU: promote the table hit into the mono entry.
+                c.w("else:")
+                c.depth += 1
+                c.w(f"{site}.cached_map_id = _rm.map_id")
+                c.w(f"{site}.cached_map = _rm")
+                c.w(f"{site}.cached_action = _act")
+                c.depth -= 1
+            c.depth -= 1
             c.w("else:")
             c.depth += 1
             c.w("_act = None")
@@ -1549,7 +1586,7 @@ def _collect_labels(threaded) -> tuple[set[int], set[int]]:
 
 def emit_source(
     threaded, counters: bool, universe=None, profiling: bool = False,
-    pic: bool = False,
+    pic: bool = False, mru: bool = True,
 ) -> tuple:
     """Generate the factory source for one threaded stream.
 
@@ -1584,7 +1621,8 @@ def emit_source(
     # an empty alias map; falling through into the next label flushes
     # whatever is live there.
     c = _Ctx(
-        threaded, counters, universe, live_in, profiling=profiling, pic=pic
+        threaded, counters, universe, live_in, profiling=profiling, pic=pic,
+        mru=mru,
     )
     blocks: dict[int, list[str]] = {}
     closed = True

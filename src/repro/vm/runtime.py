@@ -136,6 +136,13 @@ class Runtime:
         self.mega_table_enabled = (
             os.environ.get("REPRO_MEGA_TABLE", "1") != "0"
         )
+        #: MRU promotion (REPRO_PIC_MRU, default on): a megamorphic-table
+        #: hit in the translated lean path re-installs that row as the
+        #: site's mono entry, so a skewed receiver distribution pays the
+        #: table probe once per dominant-receiver run instead of on
+        #: every send.  The interpreter path has always done this
+        #: (_pic_hit); the knob gates the lean open-coded emission.
+        self.pic_mru = os.environ.get("REPRO_PIC_MRU", "1") != "0"
         #: per-selector megamorphic dispatch tables (map_id -> action),
         #: shared by every overflowed site of this runtime so hostile
         #: polymorphism warms each selector once, plus the parallel
@@ -200,6 +207,7 @@ class Runtime:
             self, self.modeled_counters,
             profiling=self.profiler is not None,
             pic=self.pic_enabled,
+            mru=self.pic_mru,
         )
         #: translate.* observability counters (surfaced by obs/metrics.py)
         self.translate_stats = {
@@ -240,9 +248,26 @@ class Runtime:
 
         self.tracer = tracer if tracer is not None else NULL_TRACER
 
-        #: structured log of tier degradations (robustness subsystem)
-        self.recovery = RecoveryLog(tracer=self.tracer)
+        #: structured log of tier degradations (robustness subsystem);
+        #: scoped to the owning universe so a multi-tenant host can
+        #: attribute every record to exactly one tenant
+        self.recovery = RecoveryLog(
+            tracer=self.tracer, scope=self.universe.universe_id
+        )
         self._tier_interpreter: Optional[TierInterpreter] = None
+
+        # -- serving hooks (repro.serve) -----------------------------------
+        #: per-request wall/fuel bound, installed by the supervisor and
+        #: checked at every frame switch (None = unbounded, one is-None
+        #: test per switch)
+        self.execution_budget = None
+        #: overload mode: new compiles take the pessimistic tier and
+        #: translation promotion is suppressed, trading peak throughput
+        #: for compile latency (see :meth:`set_degraded`)
+        self.degraded = False
+        #: cache keys compiled while degraded — dropped when overload
+        #: ends so the bodies reoptimize at full tier
+        self._degraded_keys: set[tuple] = set()
 
         # -- invalidation / deoptimization state --------------------------
         #: a mutation retired code with live frames: until they return,
@@ -459,6 +484,7 @@ class Runtime:
             self._share_enabled
             and receiver_map.kind == "object"
             and not self._deopt_storm
+            and not self.degraded
         )
         if sharable_map:
             entry = self._shared_method_code.get(id(code_node))
@@ -500,12 +526,14 @@ class Runtime:
         recovery_before = self.recovery.total
         compiled = compile_with_tiers(
             self, code_node, receiver_map, selector=selector,
-            force_pessimistic=self._deopt_storm,
+            force_pessimistic=self._deopt_storm or self.degraded,
         )
         self.compile_seconds += time.perf_counter() - started
         self._method_code[key] = (code_node, compiled)
         if self._deopt_storm:
             self._provisional_keys.add(("m", key))
+        elif self.degraded:
+            self._degraded_keys.add(("m", key))
         if isinstance(compiled, Code):
             self._register_code_dependency(
                 "method", key, compiled, code_node, selector
@@ -539,12 +567,14 @@ class Runtime:
             self, block.code, receiver_map,
             selector=selector, is_block=True,
             block_template=template,
-            force_pessimistic=self._deopt_storm,
+            force_pessimistic=self._deopt_storm or self.degraded,
         )
         self.compile_seconds += time.perf_counter() - started
         self._block_code[key] = (block.code, compiled)
         if self._deopt_storm:
             self._provisional_keys.add(("b", key))
+        elif self.degraded:
+            self._degraded_keys.add(("b", key))
         if isinstance(compiled, Code):
             self._register_code_dependency(
                 "block", key, compiled, block.code, selector
@@ -614,6 +644,68 @@ class Runtime:
             error_kind="WorldMutation",
             detail=f"storm ended: {dropped} provisional bodies dropped",
         )
+
+    # ------------------------------------------------------------------
+    # Serving hooks (repro.serve)
+    # ------------------------------------------------------------------
+
+    def set_degraded(self, flag: bool) -> None:
+        """Enter or leave overload mode (the serve layer's load valve).
+
+        While degraded, new compiles take the pessimistic tier and
+        translation promotion is suppressed — strictly less compile
+        work per request, at the price of slower steady-state code.
+        Leaving overload (called between requests, with no live frames)
+        drops every body compiled under degradation and flushes inline
+        caches, so subsequent sends recompile at the optimizing tier —
+        the same transparent-reoptimization move a deopt storm uses.
+        """
+        if flag == self.degraded:
+            return
+        self.degraded = flag
+        if flag or self.frames:
+            return
+        dropped = 0
+        profiler = self.profiler
+        for kind, key in self._degraded_keys:
+            table = self._method_code if kind == "m" else self._block_code
+            popped = table.pop(key, None)
+            if popped is not None:
+                dropped += 1
+                if profiler is not None:
+                    profiler.note_retired(popped[1])
+        self._degraded_keys.clear()
+        if dropped:
+            from ..robustness.invalidate import _flush_ics
+
+            stats = self.universe.deps.stats
+            stats["ic_flushes"] += _flush_ics(self)
+            self.recovery.note(
+                stage="reoptimize",
+                selector="<world>",
+                from_tier=TIER_PESSIMISTIC,
+                to_tier=TIER_OPTIMIZING,
+                error_kind="Overload",
+                detail=f"overload ended: {dropped} degraded bodies dropped",
+            )
+
+    def kill_frames(self) -> int:
+        """Abandon every live frame after an aborted request.
+
+        A :class:`~repro.objects.errors.DeadlineExceeded` (or any fault
+        the supervisor refuses to retry) propagates out of the dispatch
+        loop without unwinding ``self.frames``; the supervisor calls
+        this before reusing the runtime so the next request starts from
+        a clean stack.  Frames are marked dead first, so any closure
+        that captured one raises NonLocalReturnFromDeadActivation
+        instead of resuming into an abandoned activation.
+        """
+        killed = len(self.frames)
+        for frame in self.frames:
+            frame.alive = False
+        self.frames.clear()
+        self._nlr = None
+        return killed
 
     # ------------------------------------------------------------------
     # Synchronous call helpers (re-entrant run segments)
@@ -731,24 +823,37 @@ class Runtime:
         cycles = 0
         icount = 0
         threshold = self.translate_threshold
+        budget = self.execution_budget
         try:
             while True:
+                # Execution budget (serving): one is-None test per
+                # frame switch when unarmed; armed, a fuel compare plus
+                # a strided wall-clock probe.  A raised DeadlineExceeded
+                # leaves frames on the stack — the supervisor calls
+                # kill_frames before reusing this runtime.
+                if budget is not None:
+                    budget.tick(self.cycles + cycles)
                 frame = frames[-1]
                 code = frame.code
                 regs = frame.regs
                 pc = frame.pc
                 # Tier selection: a hot body runs as one specialized
                 # host function (vm/translate.py).  Promotion counts
-                # fresh activations (pc == 0) only; a deopt storm
-                # suppresses new translations the same way it forces
-                # pessimistic compiles.  ``translated`` is three-state:
-                # None = cold, callable = translated, False = failed or
-                # retired (fall back to the threaded stream forever).
+                # fresh activations (pc == 0) only; a deopt storm (or
+                # serving overload) suppresses new translations the
+                # same way it forces pessimistic compiles.
+                # ``translated`` is three-state: None = cold, callable
+                # = translated, False = failed or retired (fall back to
+                # the threaded stream forever).
                 fn = code.translated
                 if fn is None and threshold and pc == 0:
                     count = code.invocations + 1
                     code.invocations = count
-                    if count >= threshold and not self._deopt_storm:
+                    if (
+                        count >= threshold
+                        and not self._deopt_storm
+                        and not self.degraded
+                    ):
                         fn = self.translator.translate(code)
                 try:
                     if fn:
@@ -828,8 +933,11 @@ class Runtime:
         cycles = 0
         icount = 0
         threshold = self.translate_threshold
+        budget = self.execution_budget
         try:
             while True:
+                if budget is not None:
+                    budget.tick(self.cycles + cycles)
                 frame = frames[-1]
                 code = frame.code
                 regs = frame.regs
@@ -838,7 +946,11 @@ class Runtime:
                 if fn is None and threshold and pc == 0:
                     count = code.invocations + 1
                     code.invocations = count
-                    if count >= threshold and not self._deopt_storm:
+                    if (
+                        count >= threshold
+                        and not self._deopt_storm
+                        and not self.degraded
+                    ):
                         fn = self.translator.translate(code)
                 # Tick after tier selection so the activation lands on
                 # the tier that actually runs it (a body promoted on

@@ -68,11 +68,13 @@ class _FactoryEntry:
 class Translator:
     """Per-runtime translation service (owned by ``Runtime``)."""
 
-    __slots__ = ("runtime", "counters", "profiling", "pic", "_factories")
+    __slots__ = (
+        "runtime", "counters", "profiling", "pic", "mru", "_factories",
+    )
 
     def __init__(
         self, runtime, counters: bool, profiling: bool = False,
-        pic: bool = False,
+        pic: bool = False, mru: bool = True,
     ) -> None:
         self.runtime = runtime
         #: compile modeled-counter accounting into the generated source
@@ -87,6 +89,8 @@ class Translator:
         #: in generated sends (REPRO_PIC); off keeps the emission
         #: byte-identical to a build without the ladder
         self.pic = pic
+        #: MRU promotion in lean sends (REPRO_PIC_MRU; see vm/emit.py)
+        self.mru = mru
         self._factories: dict[int, _FactoryEntry] = {}
 
     def translate(self, code) -> Optional[object]:
@@ -147,7 +151,7 @@ class Translator:
         else:
             source, paths, guards = emit_source(
                 code.threaded, self.counters, self.runtime.universe,
-                profiling=self.profiling, pic=self.pic,
+                profiling=self.profiling, pic=self.pic, mru=self.mru,
             )
             if corrupted:
                 # Injected wild write mid-emission: the source is

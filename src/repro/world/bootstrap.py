@@ -28,7 +28,7 @@ from ..objects.maps import Map, Slot
 from ..objects.model import SelfObject, SelfVector
 from ..world import corelib
 from .objects_builder import compile_slot_decls
-from .universe import Universe
+from .universe import Universe, fork_universe
 
 
 class World:
@@ -131,6 +131,39 @@ class World:
         # dependency registry; zero the counters so invalidation metrics
         # reflect post-boot mutations only.
         universe.deps.reset_stats()
+
+    # -- zygote forking -----------------------------------------------------------
+
+    def fork(self, universe_id: Optional[str] = None) -> "World":
+        """Fork this warm world into an isolated twin (zygote pattern).
+
+        Instead of re-running the five bootstrap stages (the expensive
+        part is interpreting the core library), the twin is produced by
+        one memoized walk of the already-built object graph: every map
+        is twinned with a fresh identity, every mutable object is
+        deep-cloned, and every immutable value (methods included) is
+        shared.  The twin has its own universe, dependency registry,
+        and lookup epoch, so mutation in either world can never retire
+        code, flush caches, or alias state in the other.
+        """
+        twin = World.__new__(World)
+        universe, clone = fork_universe(self.universe, universe_id)
+        twin.universe = universe
+        twin.lobby = clone(self.lobby)
+        twin.nil_object = universe.nil_object
+        twin.true_object = universe.true_object
+        twin.false_object = universe.false_object
+        twin.interpreter = Interpreter(universe, twin.lobby)
+        twin.traits_clonable = clone(self.traits_clonable)
+        twin.traits_integer = clone(self.traits_integer)
+        twin.traits_float = clone(self.traits_float)
+        twin.traits_string = clone(self.traits_string)
+        twin.traits_vector = clone(self.traits_vector)
+        twin.traits_block = clone(self.traits_block)
+        twin.traits_boolean = clone(self.traits_boolean)
+        twin.traits = clone(self.traits)
+        twin.vector_prototype = clone(self.vector_prototype)
+        return twin
 
     # -- construction helpers -----------------------------------------------------
 

@@ -235,6 +235,13 @@ class Universe:
 
         fire(self, fire_keys, reason=reason)
 
+    # -- forking ----------------------------------------------------------------
+
+    def fork(self, universe_id: Optional[str] = None) -> "Universe":
+        """A fully isolated twin of this universe (see :func:`fork_universe`)."""
+        twin, _clone = fork_universe(self, universe_id)
+        return twin
+
     # -- printing ---------------------------------------------------------------
 
     def write_output(self, text: str) -> None:
@@ -270,3 +277,110 @@ class Universe:
         if t is SelfObject:
             return f"a {value.map.name}" if value.map.name else "an object"
         return repr(value)
+
+
+# ---------------------------------------------------------------------------
+# Zygote forking
+# ---------------------------------------------------------------------------
+
+def fork_universe(parent: Universe, universe_id: Optional[str] = None):
+    """Fork ``parent`` into an isolated twin universe.
+
+    Returns ``(twin, clone)`` where ``clone`` maps any value from the
+    parent's object graph into the twin's (memoized, so sharing and
+    cycles in the parent are preserved in the twin).  The clone rules:
+
+    * **Maps** are always twinned (fresh ``map_id``, fresh lookup
+      caches) via :meth:`Map.forked` — compiled code, inline caches, and
+      the per-map lookup caches all key on map identity, so sharing a
+      map across universes would alias dispatch state between tenants.
+      Unchanged :class:`Slot` descriptors *are* shared (copy-on-write:
+      a mutation in either universe builds a fresh map, never edits one
+      in place).
+    * **SelfObject / SelfVector / SelfBlock** instances are deep-cloned
+      (mutable data surfaces must not alias).
+    * **Immutable values** — ints, floats, strings, :class:`BigInt`,
+      :class:`SelfMethod` (and the AST it holds), ``None`` — are shared.
+
+    The twin starts with a fresh dependency registry, empty runtime
+    set, epoch 0, and no collected output: mutation in one universe can
+    never retire code or flush caches in the other.
+    """
+    twin = Universe(universe_id)
+    obj_memo: dict[int, object] = {}
+    map_memo: dict[int, Map] = {}
+    # Pin every original we memoize by id() so the id cannot be reused
+    # by a new object while the fork is still walking the graph.
+    keepalive: list = []
+
+    def clone_map(m: Map) -> Map:
+        existing = map_memo.get(id(m))
+        if existing is not None:
+            return existing
+
+        def register(t: Map) -> None:
+            map_memo[id(m)] = t
+            keepalive.append(m)
+
+        return m.forked(clone, register)
+
+    def clone(value):
+        t = type(value)
+        if t is SelfObject:
+            existing = obj_memo.get(id(value))
+            if existing is not None:
+                return existing
+            dup = SelfObject.__new__(SelfObject)
+            obj_memo[id(value)] = dup
+            keepalive.append(value)
+            dup.map = clone_map(value.map)
+            dup.data = [clone(v) for v in value.data]
+            return dup
+        if t is SelfVector:
+            existing = obj_memo.get(id(value))
+            if existing is not None:
+                return existing
+            dup = SelfVector.__new__(SelfVector)
+            obj_memo[id(value)] = dup
+            keepalive.append(value)
+            dup.map = clone_map(value.map)
+            dup.elements = [clone(v) for v in value.elements]
+            return dup
+        if t is SelfBlock:
+            existing = obj_memo.get(id(value))
+            if existing is not None:
+                return existing
+            dup = SelfBlock.__new__(SelfBlock)
+            obj_memo[id(value)] = dup
+            keepalive.append(value)
+            dup.map = clone_map(value.map)
+            dup.code = value.code
+            dup.home = value.home
+            dup.env_map = value.env_map
+            dup.captured_self = clone(value.captured_self)
+            return dup
+        # ints, floats, strings, BigInt, SelfMethod, Map-free hosts,
+        # and None are immutable (or host-side descriptors): share.
+        return value
+
+    # Canonical maps and singletons, through the same memo so that e.g.
+    # ``twin.nil_object.map is twin.nil_map`` holds exactly when it does
+    # in the parent.
+    twin.smallint_map = clone_map(parent.smallint_map)
+    twin.bigint_map = clone_map(parent.bigint_map)
+    twin.float_map = clone_map(parent.float_map)
+    twin.string_map = clone_map(parent.string_map)
+    twin.vector_map = clone_map(parent.vector_map)
+    twin.nil_map = clone_map(parent.nil_map)
+    twin.true_map = clone_map(parent.true_map)
+    twin.false_map = clone_map(parent.false_map)
+    twin.nil_object = clone(parent.nil_object)
+    twin.true_object = clone(parent.true_object)
+    twin.false_object = clone(parent.false_object)
+    twin._block_maps = {
+        block_id: clone_map(m) for block_id, m in parent._block_maps.items()
+    }
+    if parent.block_traits is not None:
+        twin.block_traits = clone(parent.block_traits)
+    del keepalive
+    return twin, clone

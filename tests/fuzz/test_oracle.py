@@ -22,14 +22,15 @@ def oracle(tmp_path):
 # -- matrix shape -----------------------------------------------------------
 
 
-def test_full_matrix_is_60_cells():
+def test_full_matrix_is_64_cells():
     matrix = full_matrix()
-    assert len(matrix) == 60
-    assert len(set(matrix)) == 60
+    assert len(matrix) == 64
+    assert len(set(matrix)) == 64
     configs = {cell.config for cell in matrix}
     assert configs == {"newself", "oldself", "st80", "static"}
     assert sum(cell.tier == "interp" for cell in matrix) == 4
     assert sum(cell.pic == "on" for cell in matrix) == 8
+    assert sum(cell.world == "fork" for cell in matrix) == 4
 
 
 def test_cell_validation():
@@ -43,6 +44,8 @@ def test_cell_validation():
         Cell("newself", tier="turbo")
     with pytest.raises(ValueError, match="unknown pic state"):
         Cell("newself", pic="maybe")
+    with pytest.raises(ValueError, match="unknown world state"):
+        Cell("newself", world="parallel")
 
 
 def test_cell_key_roundtrip():
@@ -60,6 +63,19 @@ def test_cell_key_pic_segment_only_when_on():
     assert Cell.from_key(on.key) == on
     with pytest.raises(ValueError, match="malformed cell key"):
         Cell.from_key(off.key + "/pic=sideways")
+
+
+def test_cell_key_world_segment_only_when_forked():
+    fresh = Cell("newself")
+    assert "world" not in fresh.key  # pre-fork keys stay stable
+    forked = Cell("newself", world="fork")
+    assert forked.key.endswith("/world=fork")
+    assert Cell.from_key(forked.key) == forked
+    both = Cell("newself", pic="on", world="fork")
+    assert both.key.endswith("/pic=on/world=fork")
+    assert Cell.from_key(both.key) == both
+    with pytest.raises(ValueError, match="malformed cell key"):
+        Cell.from_key(fresh.key + "/world=sideways")
 
 
 def test_sampling_skips_static_for_dynamic_only_programs():
@@ -94,6 +110,20 @@ def test_interp_tier_cell_agrees_with_recovery_traffic(oracle):
     assert report.ok, report.to_record()
     # the whole ladder degraded: the recovery log must show it
     assert report.recovery_total > 0
+
+
+def test_forked_world_cell_agrees(oracle):
+    program = generate(9, "mixed", size=5)
+    report = oracle.run_cell(program, Cell("newself", world="fork"))
+    assert report.ok, report.to_record()
+    # The zygote is memoized across fork cells and stays unexecuted.
+    zygote = oracle._zygote
+    assert zygote is not None
+    epoch = zygote.universe.lookup_epoch
+    report = oracle.run_cell(program, Cell("oldself", world="fork"))
+    assert report.ok, report.to_record()
+    assert oracle._zygote is zygote
+    assert zygote.universe.lookup_epoch == epoch
 
 
 def test_warm_cache_cell_agrees(oracle):

@@ -1,0 +1,175 @@
+"""Service-level behavior: shedding, overload degradation, quarantine
+re-admission, and the serve.* metrics family."""
+
+import pytest
+
+from repro.serve import (
+    Service,
+    ServiceConfig,
+    SupervisorPolicy,
+    Zygote,
+)
+
+HOG_SETUP = """
+| hog = (| parent* = traits clonable.
+    burn: n = ( n < 1 ifTrue: [ 0 ] False: [ n + (burn: n - 1) ] ). |).
+|"""
+
+
+@pytest.fixture(scope="module")
+def zygote():
+    return Zygote(universe_id="svc-zygote")
+
+
+def make_service(zygote, **overrides):
+    policy = overrides.pop("policy", SupervisorPolicy(
+        fuel=5_000, max_retries=0,
+        failure_threshold=2, quarantine_requests=2,
+    ))
+    config = overrides.pop("config", ServiceConfig(
+        max_queue_depth=8, overload_threshold=4,
+    ))
+    return Service(
+        zygote=zygote, policy=policy, config=config,
+        tenant_setup=(HOG_SETUP,), **overrides,
+    )
+
+
+def test_basic_request_cycle(zygote):
+    service = make_service(zygote)
+    response = service.call("alice", "3 + 4")
+    assert response.status == "ok"
+    assert response.value == "7"
+    assert service.registry.snapshot()["serve.completed"] == 1
+
+
+def test_full_queue_sheds_with_typed_response(zygote):
+    service = make_service(
+        zygote,
+        config=ServiceConfig(max_queue_depth=2, overload_threshold=2),
+    )
+    assert service.submit("a", "1 + 1") is None
+    assert service.submit("a", "2 + 2") is None
+    shed = service.submit("a", "3 + 3")
+    assert shed is not None and shed.status == "shed"
+    assert len(service.queue) == 2  # bounded by construction
+    snapshot = service.registry.snapshot()
+    assert snapshot["serve.shed"] == 1
+    assert snapshot["serve.requests"] == 3
+    # The queued work still completes.
+    responses = service.drain()
+    assert [r.status for r in responses] == ["ok", "ok"]
+
+
+def test_overload_degrades_and_recovers(zygote):
+    service = make_service(
+        zygote,
+        config=ServiceConfig(max_queue_depth=16, overload_threshold=3),
+    )
+    # Materialize the tenant below the overload threshold.
+    assert service.call("t", "1 + 1").status == "ok"
+    runtime = service.tenants["t"].runtime
+    assert not runtime.degraded
+    for _ in range(3):
+        assert service.submit("t", "2 + 2") is None
+    assert service.overloaded
+    assert runtime.degraded
+    snapshot = service.registry.snapshot()
+    assert snapshot["serve.overload_entered"] == 1
+    # Draining the queue ends overload (hysteresis at threshold // 2)
+    # and un-degrades the runtime.
+    responses = service.drain()
+    assert all(r.status == "ok" for r in responses)
+    assert not service.overloaded
+    assert not runtime.degraded
+    assert service.registry.snapshot()["serve.overload_exited"] == 1
+
+
+def test_tenants_forked_under_overload_start_degraded(zygote):
+    service = make_service(
+        zygote,
+        config=ServiceConfig(max_queue_depth=16, overload_threshold=2),
+    )
+    for _ in range(2):
+        assert service.submit("newbie", "1 + 1") is None
+    assert service.overloaded
+    responses = service.drain()
+    assert all(r.status == "ok" for r in responses)
+    # The tenant was forked while overloaded, then overload ended on
+    # drain, so it must have been un-degraded with everyone else.
+    assert not service.tenants["newbie"].runtime.degraded
+
+
+def test_quarantine_and_readmission_cycle(zygote):
+    service = make_service(zygote)
+    hog, probe = "hog burn: 3000", "1 + 2"
+    # Two consecutive fuel kills trip the breaker (threshold 2).
+    assert service.call("victim", hog).status == "deadline"
+    assert service.call("victim", hog).status == "deadline"
+    assert service.tenants["victim"].quarantined
+    # Quarantined: the next two admissions are rejected.
+    assert service.call("victim", probe).status == "quarantined"
+    assert service.call("victim", probe).status == "quarantined"
+    # Re-admission: fresh fork, bumped generation, tenant setup
+    # reapplied (the hog method exists again), same universe id.
+    response = service.call("victim", probe)
+    assert response.status == "ok"
+    assert response.generation == 1
+    runtime = service.tenants["victim"].runtime
+    assert runtime.universe.universe_id == "victim"
+    assert service.call("victim", "hog burn: 1").status == "ok"
+    snapshot = service.registry.snapshot()
+    assert snapshot["serve.quarantines"] == 1
+    assert snapshot["serve.readmissions"] == 1
+    assert snapshot["serve.quarantine_rejections"] == 2
+    assert snapshot["serve.deadline_exceeded"] == 2
+
+
+def test_guest_errors_do_not_quarantine(zygote):
+    service = make_service(zygote)
+    for _ in range(5):
+        assert service.call("buggy", "3 zork").status == "error"
+    assert not service.tenants["buggy"].quarantined
+    assert service.registry.snapshot()["serve.guest_errors"] == 5
+
+
+def test_metrics_snapshot_merges_scoped_tenant_families(zygote):
+    service = make_service(zygote)
+    service.call("m1", "1 + 1")
+    service.call("m2", "2 + 2")
+    snapshot = service.metrics_snapshot()
+    assert snapshot["serve.completed"] == 2
+    assert snapshot["m1/vm.cycles"] > 0
+    assert snapshot["m2/vm.cycles"] > 0
+    # Repeated snapshots do not double-count the runtime counters.
+    again = service.metrics_snapshot()
+    assert again["m1/vm.cycles"] == snapshot["m1/vm.cycles"]
+
+
+def test_recovery_records_are_universe_stamped(zygote):
+    service = make_service(zygote)
+    service.call("ra", "1 + 1")
+    service.call("rb", "2 + 2")
+    runtime = service.tenants["ra"].runtime
+    runtime.recovery.note(
+        stage="compile", selector="x", from_tier="optimizing",
+        to_tier="pessimistic", error_kind="Test", detail="synthetic",
+    )
+    records = service.recovery_records()
+    assert all("universe" in record for record in records)
+    assert {r["universe"] for r in records} == {"ra"}
+
+
+def test_tenant_code_caches_are_read_only_facades(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CODE_CACHE", str(tmp_path / "cache"))
+    zygote = Zygote(universe_id="cache-zygote")
+    service = Service(zygote=zygote)
+    service.call("c1", "1 + 1")
+    runtime = service.tenants["c1"].runtime
+    from repro.compiler.codecache import ReadOnlyCodeCache
+
+    assert isinstance(runtime.code_cache, ReadOnlyCodeCache)
+    assert runtime.code_cache.backing is zygote.shared_cache
+    # A store attempt is shed, not written.
+    assert runtime.code_cache.stats["stores_shed"] >= 0
+    assert runtime.code_cache.evict("anything") is False

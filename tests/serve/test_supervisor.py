@@ -1,0 +1,162 @@
+"""Supervisor behavior: budgets kill cleanly, retries are bounded,
+the breaker trips and re-admits deterministically."""
+
+import pytest
+
+from repro.compiler.config import NEW_SELF
+from repro.objects.errors import InjectedFault
+from repro.robustness import faults
+from repro.serve.supervisor import (
+    CircuitBreaker,
+    Supervisor,
+    SupervisorPolicy,
+)
+from repro.serve.zygote import Zygote
+from repro.vm.runtime import Runtime
+from repro.world.bootstrap import World
+
+HOG_SETUP = """
+| hog = (| parent* = traits clonable.
+    burn: n = ( n < 1 ifTrue: [ 0 ] False: [ n + (burn: n - 1) ] ). |).
+|"""
+
+
+@pytest.fixture(scope="module")
+def zygote():
+    return Zygote(universe_id="sup-zygote")
+
+
+def make_runtime(zygote, tenant_id):
+    world = zygote.fork(tenant_id)
+    world.add_slots(HOG_SETUP)
+    return Runtime(world, NEW_SELF)
+
+
+def test_fuel_budget_kills_and_runtime_stays_usable(zygote):
+    runtime = make_runtime(zygote, "sup-fuel")
+    supervisor = Supervisor(SupervisorPolicy(fuel=5_000))
+    outcome = supervisor.run(runtime, lambda: runtime.run("hog burn: 3000"))
+    assert outcome.status == "deadline"
+    assert "fuel" in outcome.detail
+    assert outcome.killed_frames > 0
+    assert runtime.frames == []
+    assert runtime.execution_budget is None
+    # The runtime serves the next (cheap) request normally.
+    ok = supervisor.run(runtime, lambda: runtime.run("3 + 4"))
+    assert ok.status == "ok" and ok.value == 7
+
+
+def test_fuel_kill_is_deterministic(zygote):
+    details = []
+    for attempt in range(2):
+        runtime = make_runtime(zygote, f"sup-det-{attempt}")
+        supervisor = Supervisor(SupervisorPolicy(fuel=5_000))
+        outcome = supervisor.run(
+            runtime, lambda: runtime.run("hog burn: 3000")
+        )
+        details.append((outcome.status, outcome.detail))
+    assert details[0] == details[1]
+
+
+def test_interpreter_tier_pays_the_fuel_toll(zygote):
+    """A body fully degraded to the AST interpreter still burns fuel
+    (the INTERP_SEND_FUEL toll), so the budget binds on every tier."""
+    runtime = make_runtime(zygote, "sup-interp")
+    supervisor = Supervisor(SupervisorPolicy(fuel=5_000, max_retries=0))
+    plans = [
+        faults.FaultPlan(
+            site=faults.SITE_COMPILER_ENGINE, nth=1, persistent=True
+        ),
+        faults.FaultPlan(site=faults.SITE_VM_CODEGEN, nth=1, persistent=True),
+    ]
+    with faults.injected(*plans):
+        outcome = supervisor.run(
+            runtime, lambda: runtime.run("hog burn: 3000")
+        )
+    assert outcome.status == "deadline"
+    assert "fuel" in outcome.detail
+
+
+def test_transient_fault_is_retried():
+    world = World()
+    runtime = Runtime(world, NEW_SELF)
+    supervisor = Supervisor(SupervisorPolicy(max_retries=2))
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise InjectedFault("bench.cache", 1)
+        return runtime.run("1 + 1")
+
+    outcome = supervisor.run(runtime, flaky)
+    assert outcome.status == "ok"
+    assert outcome.value == 2
+    assert outcome.retries == 1
+
+
+def test_retries_are_bounded():
+    world = World()
+    runtime = Runtime(world, NEW_SELF)
+    supervisor = Supervisor(SupervisorPolicy(max_retries=2))
+
+    def always_fails():
+        raise InjectedFault("bench.cache", 1)
+
+    outcome = supervisor.run(runtime, always_fails)
+    assert outcome.status == "fault"
+    assert outcome.error_kind == "InjectedFault"
+    assert outcome.retries == 2
+
+
+def test_guest_error_is_not_retried():
+    world = World()
+    runtime = Runtime(world, NEW_SELF)
+    supervisor = Supervisor(SupervisorPolicy(max_retries=2))
+    outcome = supervisor.run(runtime, lambda: runtime.run("3 zork"))
+    assert outcome.status == "error"
+    assert outcome.error_kind == "MessageNotUnderstood"
+    assert outcome.retries == 0
+
+
+def test_breaker_trips_after_consecutive_failures():
+    breaker = CircuitBreaker(failure_threshold=3, quarantine_requests=2)
+    assert not breaker.record_failure()
+    assert not breaker.record_failure()
+    assert breaker.record_failure()
+    assert breaker.open
+    # Quarantine: two rejected admissions, then re-admission.
+    assert breaker.admit() == CircuitBreaker.REJECT
+    assert breaker.admit() == CircuitBreaker.REJECT
+    assert breaker.admit() == CircuitBreaker.READMIT
+    assert not breaker.open
+    assert breaker.admit() == CircuitBreaker.ADMIT
+    assert breaker.trips == 1
+
+
+def test_breaker_success_resets_the_streak():
+    breaker = CircuitBreaker(failure_threshold=3, quarantine_requests=1)
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    assert not breaker.record_failure()
+    assert not breaker.open
+
+
+def test_fault_hits_are_scoped_to_the_running_tenant(zygote):
+    """A plan scoped to one universe neither fires from nor has its
+    hit position consumed by another tenant's supervised traffic."""
+    victim = Runtime(zygote.fork("scope-victim"), NEW_SELF)
+    bystander = Runtime(zygote.fork("scope-bystander"), NEW_SELF)
+    supervisor = Supervisor(SupervisorPolicy(max_retries=0))
+    plan = faults.FaultPlan(
+        site=faults.SITE_VM_PREDECODE, nth=1, scope="scope-victim"
+    )
+    with faults.injected(plan):
+        ok = supervisor.run(bystander, lambda: bystander.run("1 + 2"))
+        assert ok.status == "ok"
+        # The bystander's predecodes did not consume the nth position.
+        assert faults.hit_counts().get(faults.SITE_VM_PREDECODE, 0) == 0
+        supervisor.run(victim, lambda: victim.run("1 + 2"))
+        assert faults.hit_counts()[faults.SITE_VM_PREDECODE] >= 1
+        assert faults.fired()
